@@ -1,0 +1,230 @@
+package wcet
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment through
+// internal/experiments and reports the paper-comparable quantities as
+// custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reprints the evaluation. EXPERIMENTS.md records paper-vs-measured.
+
+import (
+	"testing"
+
+	"wcet/internal/cfg"
+	"wcet/internal/experiments"
+	"wcet/internal/ga"
+	"wcet/internal/gen"
+	"wcet/internal/partition"
+	"wcet/internal/testgen"
+)
+
+// cfgCount wraps an integer bound.
+func cfgCount(v int64) cfg.Count { return cfg.NewCount(v) }
+
+// BenchmarkTable1 regenerates Table 1: measurement effort (instrumentation
+// points, measurements) over path bound b on the Figure 1 program.
+func BenchmarkTable1(b *testing.B) {
+	var rows []experiments.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Paper: b=1 → (22, 11); b=2..5 → (16, 9); b=6,7 → (2, 6).
+	b.ReportMetric(float64(rows[0].IP), "ip(b=1)")
+	b.ReportMetric(float64(rows[0].M), "m(b=1)")
+	b.ReportMetric(float64(rows[1].IP), "ip(b=2)")
+	b.ReportMetric(float64(rows[5].IP), "ip(b=6)")
+	b.ReportMetric(float64(rows[5].M), "m(b=6)")
+	if !testing.Short() {
+		b.Logf("\n%s", experiments.RenderTable1(rows))
+	}
+}
+
+// sweepOnce runs the Figure 2/3 workload at the paper's scale (~300
+// branches, ~850 blocks) and caches nothing: the partitioning sweep itself
+// is the measured operation.
+func sweepOnce(b *testing.B) *experiments.SweepResult {
+	b.Helper()
+	res, err := experiments.Sweep(experiments.SweepConfig{Seed: 42, Branches: 300, Points: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFigure2 regenerates Figure 2: instrumentation points over the
+// path bound (log-spaced) on the synthetic industrial application.
+func BenchmarkFigure2(b *testing.B) {
+	var res *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = sweepOnce(b)
+	}
+	// Paper: 857 blocks → ip(b=1) = 1714, falling to 2.
+	b.ReportMetric(float64(res.Blocks), "blocks")
+	b.ReportMetric(float64(res.Points[0].IP), "ip(b=1)")
+	b.ReportMetric(float64(res.Points[len(res.Points)-1].IP), "ip(end)")
+	if !testing.Short() {
+		b.Logf("\n%s", experiments.RenderFigure2(res))
+	}
+}
+
+// BenchmarkFigure3 regenerates Figure 3: the measurement count explosion as
+// instrumentation points shrink toward end-to-end measurement.
+func BenchmarkFigure3(b *testing.B) {
+	var res *experiments.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = sweepOnce(b)
+	}
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	b.ReportMetric(float64(first.IP), "ip(block-level)")
+	b.ReportMetric(first.M.Float64(), "m(block-level)")
+	b.ReportMetric(float64(last.IP), "ip(end-to-end)")
+	b.ReportMetric(last.M.Float64(), "m(end-to-end)")
+	if !testing.Short() {
+		b.Logf("\n%s", experiments.RenderFigure3(res))
+	}
+}
+
+// BenchmarkTable2 regenerates Table 2: model-checking time, memory and
+// steps for the unoptimised translation, the full optimisation pipeline,
+// and each single Section 3.2 optimisation.
+func BenchmarkTable2(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	byName := map[string]experiments.Table2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	unopt := byName["unoptimized"]
+	all := byName["all optimisations used"]
+	// Paper: 283.4s/229MB/28 steps unoptimised → 2.2s/26MB/13 steps with
+	// all optimisations (129× time, 8.6× memory). Shapes, not absolutes.
+	b.ReportMetric(float64(unopt.Time.Milliseconds()), "unopt-ms")
+	b.ReportMetric(float64(all.Time.Milliseconds()), "allopt-ms")
+	b.ReportMetric(float64(unopt.MemoryKB), "unopt-kb")
+	b.ReportMetric(float64(all.MemoryKB), "allopt-kb")
+	b.ReportMetric(float64(unopt.Steps), "unopt-steps")
+	b.ReportMetric(float64(all.Steps), "allopt-steps")
+	if !testing.Short() {
+		b.Logf("\n%s", experiments.RenderTable2(rows))
+	}
+}
+
+// BenchmarkCaseStudy regenerates Section 4: the wiper-control WCET,
+// exhaustive end-to-end versus the partition-based timing-schema bound.
+func BenchmarkCaseStudy(b *testing.B) {
+	var res *experiments.CaseStudyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.CaseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Paper: exhaustive 250 cycles, bound 274 cycles (+9.6%).
+	b.ReportMetric(float64(res.ExhaustiveWCET), "exhaustive-cycles")
+	b.ReportMetric(float64(res.Bound), "bound-cycles")
+	b.ReportMetric(res.Overestimate()*100, "overestimate-%")
+	b.ReportMetric(res.HeuristicShare*100, "heuristic-share-%")
+	if !testing.Short() {
+		b.Logf("\n%s", experiments.RenderCaseStudy(res))
+	}
+}
+
+// BenchmarkHybridTestGen measures the Section 3 generation pipeline on the
+// Table 2 program: GA first, model checker for the residue — the paper
+// expects heuristics to produce well over 90% of the test data.
+func BenchmarkHybridTestGen(b *testing.B) {
+	var share float64
+	var gaEvals, mcSteps int
+	for i := 0; i < b.N; i++ {
+		rep, err := Analyze(experiments.Table2Source, Options{
+			FuncName: "control",
+			Bound:    6,
+			TestGen: testgen.Config{
+				GA:       ga.Config{Seed: 7, Pop: 48, MaxGens: 80, Stagnation: 20},
+				Optimise: true,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		share = rep.TestGen.HeuristicShare
+		gaEvals = rep.TestGen.TotalGAEvals
+		mcSteps = rep.TestGen.TotalMCSteps
+	}
+	b.ReportMetric(share*100, "heuristic-share-%")
+	b.ReportMetric(float64(gaEvals), "ga-evals")
+	b.ReportMetric(float64(mcSteps), "mc-steps")
+}
+
+// BenchmarkGeneralPartitioning is the ablation for the paper's announced
+// extension: the dominator-region ("general") partitioning against the
+// simple AST-based one, at the same path bound, on the paper-scale
+// synthetic application. The general variant should need fewer
+// instrumentation points at comparable measurement cost.
+func BenchmarkGeneralPartitioning(b *testing.B) {
+	prog := gen.Generate(gen.Config{Seed: 42, Branches: 300})
+	g, err := experiments.BuildGraph(prog.Source, prog.FuncName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := cfgCount(16)
+	tree := partition.BuildTree(g)
+	var simple, general *partition.Plan
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		simple = partition.Partition(g, tree, bound)
+		general = partition.GeneralPartition(g, bound)
+	}
+	b.ReportMetric(float64(simple.IP), "simple-ip")
+	b.ReportMetric(float64(general.IP), "general-ip")
+	b.ReportMetric(simple.M.Float64(), "simple-m")
+	b.ReportMetric(general.M.Float64(), "general-m")
+	if general.IP > simple.IP {
+		b.Fatalf("general partitioning (%d ip) worse than simple (%d ip)", general.IP, simple.IP)
+	}
+}
+
+// BenchmarkPartitionSweepScaling is an ablation: partitioning cost as the
+// application grows (the paper's claim that the simple partitioning copes
+// with real-sized code).
+func BenchmarkPartitionSweepScaling(b *testing.B) {
+	for _, branches := range []int{75, 150, 300} {
+		b.Run(sizeName(branches), func(b *testing.B) {
+			prog := gen.Generate(gen.Config{Seed: 9, Branches: branches})
+			g, err := experiments.BuildGraph(prog.Source, prog.FuncName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bounds := partition.DefaultBounds(g, 200)
+				partition.Sweep(g, bounds)
+			}
+			b.ReportMetric(float64(g.NumNodes()), "blocks")
+		})
+	}
+}
+
+func sizeName(branches int) string {
+	switch {
+	case branches <= 100:
+		return "small"
+	case branches <= 200:
+		return "medium"
+	}
+	return "paper-scale"
+}

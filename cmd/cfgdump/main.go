@@ -1,0 +1,82 @@
+// Command cfgdump inspects the front half of the pipeline: it parses a C
+// file, prints the CFG (optionally as Graphviz DOT), the program-segment
+// tree, and the Table 1-style measurement-effort table over path bounds.
+//
+//	cfgdump [-func name] [-dot] [-tree] [-table maxBound] file.c
+//	cfgdump -fig1            # the paper's Figure 1 example
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wcet/internal/cc/parser"
+	"wcet/internal/cfg"
+	"wcet/internal/experiments"
+	"wcet/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cfgdump: ")
+	funcName := flag.String("func", "", "function to inspect (default: first)")
+	dot := flag.Bool("dot", false, "print the CFG in DOT syntax")
+	tree := flag.Bool("tree", false, "print the program-segment tree")
+	table := flag.Int64("table", 8, "print ip/m for path bounds 1..n (0 to skip)")
+	fig1 := flag.Bool("fig1", false, "use the paper's Figure 1 example instead of a file")
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *fig1:
+		src, name = experiments.Figure1Source, "main"
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src, name = string(data), *funcName
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cfgdump [flags] file.c | cfgdump -fig1")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if name == "" {
+		name = firstFunc(src)
+	}
+	g, err := experiments.BuildGraph(src, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("function %s: %d blocks, %d decisions, %s paths\n",
+		name, g.NumNodes(), g.CondBranches(), cfg.WholeFunction(g).PathCount())
+	if *dot {
+		fmt.Println(g.Dot())
+	}
+	psTree := partition.BuildTree(g)
+	if *tree {
+		fmt.Println("program segments:")
+		fmt.Print(psTree)
+	}
+	if *table > 0 {
+		fmt.Println("Bound b | Instr. Points ip | Measurements m")
+		for b := int64(1); b <= *table; b++ {
+			plan := partition.Partition(g, psTree, cfg.NewCount(b))
+			fmt.Printf("%7d | %16d | %14s\n", b, plan.IP, plan.M)
+		}
+	}
+}
+
+// firstFunc returns the first function defined in the source.
+func firstFunc(src string) string {
+	f, err := parser.ParseFile("input.c", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(f.Funcs) == 0 {
+		log.Fatal("no function in file")
+	}
+	return f.Funcs[0].Name
+}

@@ -1,0 +1,112 @@
+// Command mcheck exposes the model-checking back end: it translates a C
+// function to the transition-system IR, optionally applies the Section 3.2
+// optimisations, and generates test data for (or proves infeasibility of)
+// every end-to-end path.
+//
+//	mcheck [-func name] [-opt] [-model] file.c
+//	mcheck -table2          # the paper's optimisation evaluation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wcet/internal/c2m"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/experiments"
+	"wcet/internal/mc"
+	"wcet/internal/opt"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mcheck: ")
+	funcName := flag.String("func", "", "function to check (default: first)")
+	optimise := flag.Bool("opt", true, "apply the Section 3.2 optimisation pipeline")
+	showModel := flag.Bool("model", false, "print the transition system")
+	table2 := flag.Bool("table2", false, "run the paper's Table 2 optimisation evaluation")
+	flag.Parse()
+
+	if *table2 {
+		rows, err := experiments.Table2()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderTable2(rows))
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mcheck [flags] file.c | mcheck -table2")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	file, err := parser.ParseFile(flag.Arg(0), string(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sem.Check(file); err != nil {
+		log.Fatal(err)
+	}
+	name := *funcName
+	if name == "" {
+		if len(file.Funcs) == 0 {
+			log.Fatal("no function in file")
+		}
+		name = file.Funcs[0].Name
+	}
+	g, err := cfg.Build(file.Func(name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	all, err := paths.Enumerate(cfg.WholeFunction(g), 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d end-to-end paths\n", name, len(all))
+	for i, p := range all {
+		low, err := c2m.LowerPath(g, c2m.Options{NaiveWidths: !*optimise}, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Pin non-inputs for deterministic replayable witnesses.
+		for _, v := range low.Model.Vars {
+			if !v.Input {
+				v.Init = tsys.InitConst
+				v.InitVal = 0
+			}
+		}
+		if *optimise {
+			opt.All(low.Model)
+		}
+		if *showModel && i == 0 {
+			fmt.Println(low.Model)
+		}
+		res, err := mc.CheckSymbolic(low.Model, mc.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Reachable {
+			fmt.Printf("path %2d: INFEASIBLE   (%d steps, %d BDD nodes)\n",
+				i, res.Stats.Steps, res.Stats.PeakNodes)
+			continue
+		}
+		fmt.Printf("path %2d: test data   ", i)
+		for id, val := range res.Witness {
+			if d := low.DeclOf[id]; d != nil {
+				fmt.Printf("%s=%d ", d.Name, val)
+			}
+		}
+		fmt.Printf(" (%d steps, %d BDD nodes, %v)\n",
+			res.Stats.Steps, res.Stats.PeakNodes, res.Stats.Duration.Round(0))
+	}
+}

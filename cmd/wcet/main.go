@@ -1,0 +1,65 @@
+// Command wcet runs the complete hybrid measurement-based WCET analysis on
+// a C source file:
+//
+//	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-v] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"wcet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wcet: ")
+	funcName := flag.String("func", "", "function to analyse (default: first in file)")
+	bound := flag.Int64("bound", 8, "path bound b: segments with at most b paths are measured whole")
+	exhaustive := flag.Bool("exhaustive", false, "also measure every input vector end to end")
+	seed := flag.Int64("seed", 1, "seed for the genetic test-data search")
+	verbose := flag.Bool("v", false, "print per-path test-data verdicts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wcet [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := wcet.Analyze(string(src), wcet.Options{
+		FuncName:   *funcName,
+		Bound:      *bound,
+		Exhaustive: *exhaustive,
+		TestGen: wcet.TestGenConfig{
+			GA:       wcet.GAConfig{Seed: *seed},
+			Optimise: true,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("function               : %s\n", report.Fn.Name)
+	fmt.Printf("basic blocks           : %d\n", report.G.NumNodes())
+	fmt.Printf("path bound b           : %d\n", *bound)
+	fmt.Printf("instrumentation points : %d (fused: %d)\n", report.Plan.IP, report.Plan.IPFused())
+	fmt.Printf("measurements           : %s\n", report.Plan.M)
+	fmt.Printf("test data              : %s\n", report.TestGen.Summary())
+	fmt.Printf("infeasible paths       : %d\n", report.InfeasiblePaths)
+	fmt.Printf("WCET bound             : %d cycles\n", report.WCET)
+	if report.ExhaustiveWCET >= 0 {
+		fmt.Printf("exhaustive WCET        : %d cycles\n", report.ExhaustiveWCET)
+		fmt.Printf("overestimation         : %.1f%%\n", report.Overestimate()*100)
+	}
+	if *verbose {
+		fmt.Println("\nper-path verdicts:")
+		for _, r := range report.TestGen.Results {
+			fmt.Printf("  %-14s %s\n", r.Verdict, r.Path.Key())
+		}
+	}
+}

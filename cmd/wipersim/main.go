@@ -1,0 +1,47 @@
+// Command wipersim regenerates the paper's Section 4 case study: the wiper
+// controller model, its generated code, and the WCET comparison.
+//
+//	wipersim [-src] [-dot] [-dump-inputs]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wcet/internal/experiments"
+	"wcet/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wipersim: ")
+	showSrc := flag.Bool("src", false, "print the generated C source")
+	showDot := flag.Bool("dot", false, "print the CFG in DOT syntax")
+	showModel := flag.Bool("chart", false, "print the chart structure")
+	flag.Parse()
+
+	if *showModel {
+		d := model.Wiper()
+		fmt.Printf("model %s: %d blocks\n", d.Name, d.NumBlocks())
+		fmt.Printf("chart %s: %d states\n", d.Chart.Name, len(d.Chart.States))
+		for _, s := range d.Chart.States {
+			fmt.Printf("  state %-10s (id %d)\n", s.Name, s.ID)
+			for _, t := range d.Chart.TransitionsFrom(s.Name) {
+				fmt.Printf("    -> %-10s when %s\n", t.To, t.Guard.C())
+			}
+		}
+		return
+	}
+	res, err := experiments.CaseStudy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *showSrc {
+		fmt.Println(res.Source)
+	}
+	if *showDot {
+		fmt.Println(res.Report.G.Dot())
+	}
+	fmt.Print(experiments.RenderCaseStudy(res))
+}

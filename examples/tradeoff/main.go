@@ -1,0 +1,36 @@
+// The Section 2.3 instrumentation/measurement trade-off (Figures 2 and 3):
+// generate a synthetic industrial application at the paper's scale, sweep
+// the path bound, and print both series.
+//
+//	go run ./examples/tradeoff [-branches 300] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wcet/internal/experiments"
+)
+
+func main() {
+	branches := flag.Int("branches", 300, "conditional branches in the synthetic application")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	res, err := experiments.Sweep(experiments.SweepConfig{
+		Seed:     *seed,
+		Branches: *branches,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Figure 2: instrumentation points over path bound ===")
+	fmt.Print(experiments.RenderFigure2(res))
+	fmt.Println()
+	fmt.Println("=== Figure 3: measurements over instrumentation points ===")
+	fmt.Print(experiments.RenderFigure3(res))
+	fmt.Println()
+	fmt.Printf("end-to-end measurement would need %s runs — the intractable left end of Figure 3.\n",
+		res.TotalPath)
+}

@@ -1,0 +1,3 @@
+module wcet
+
+go 1.22

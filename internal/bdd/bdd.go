@@ -1,0 +1,436 @@
+// Package bdd implements reduced ordered binary decision diagrams with a
+// shared unique table, the symbolic kernel of the model checker that stands
+// in for SAL in this reproduction.
+//
+// References are int32 handles; 0 and 1 are the terminals. Nodes are
+// hash-consed, so structural equality is pointer equality and the node count
+// is an honest measure of the symbolic state-space representation size —
+// the "memory use" column of the paper's Table 2 is derived from the peak
+// node count of a run.
+package bdd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ref is a BDD handle. False and True are the terminals.
+type Ref int32
+
+// Terminal references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+const terminalLevel = int32(1 << 30)
+
+type node struct {
+	level  int32 // variable index (order position); terminals use terminalLevel
+	lo, hi Ref
+}
+
+// Manager owns the node table and operation caches for one variable order.
+type Manager struct {
+	nodes  []node
+	unique map[[3]int32]Ref
+	ite    map[iteKey]Ref
+	quant  map[quantKey]Ref
+	perm   map[permKey]Ref
+	nvars  int
+	cubes  []cube
+	perms  [][]int32
+}
+
+type iteKey struct{ f, g, h Ref }
+
+type quantKey struct {
+	f    Ref
+	cube int32
+	conj Ref // True for plain Exists; otherwise AndExists partner
+}
+
+type permKey struct {
+	f    Ref
+	perm int32
+}
+
+type cube struct {
+	levels map[int32]bool
+	min    int32
+}
+
+// New creates a manager for n variables (order = index order).
+func New(n int) *Manager {
+	m := &Manager{
+		unique: map[[3]int32]Ref{},
+		ite:    map[iteKey]Ref{},
+		quant:  map[quantKey]Ref{},
+		perm:   map[permKey]Ref{},
+		nvars:  n,
+	}
+	// Terminals.
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel},
+		node{level: terminalLevel},
+	)
+	return m
+}
+
+// NumVars reports the variable count.
+func (m *Manager) NumVars() int { return m.nvars }
+
+// NodeCount reports the number of live nodes ever created (the manager does
+// not garbage-collect; this is also the peak).
+func (m *Manager) NodeCount() int { return len(m.nodes) }
+
+// MemoryBytes estimates the memory footprint of the node table and caches.
+func (m *Manager) MemoryBytes() int64 {
+	const nodeSize = 12  // level + 2 refs
+	const entrySize = 24 // hash table entry estimate
+	return int64(len(m.nodes))*nodeSize +
+		int64(len(m.unique)+len(m.ite)+len(m.quant)+len(m.perm))*entrySize
+}
+
+func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := [3]int32{level, int32(lo), int32(hi)}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := Ref(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
+	m.unique[key] = r
+	return r
+}
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns ¬variable i.
+func (m *Manager) NVar(i int) Ref {
+	return m.mk(int32(i), True, False)
+}
+
+// Lit returns variable i or its negation.
+func (m *Manager) Lit(i int, positive bool) Ref {
+	if positive {
+		return m.Var(i)
+	}
+	return m.NVar(i)
+}
+
+// ITE computes if-then-else(f, g, h).
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal shortcuts.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := iteKey{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.ite[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+
+// Iff returns f ↔ g.
+func (m *Manager) Iff(f, g Ref) Ref { return m.ITE(f, g, m.Not(g)) }
+
+// Implies returns f → g.
+func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
+
+// AndN conjoins many operands.
+func (m *Manager) AndN(fs ...Ref) Ref {
+	r := True
+	for _, f := range fs {
+		r = m.And(r, f)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN disjoins many operands.
+func (m *Manager) OrN(fs ...Ref) Ref {
+	r := False
+	for _, f := range fs {
+		r = m.Or(r, f)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Quantification
+
+// Cube registers a set of variables for quantification and returns its id.
+func (m *Manager) Cube(vars []int) int {
+	levels := map[int32]bool{}
+	min := terminalLevel
+	for _, v := range vars {
+		levels[int32(v)] = true
+		if int32(v) < min {
+			min = int32(v)
+		}
+	}
+	m.cubes = append(m.cubes, cube{levels: levels, min: min})
+	return len(m.cubes) - 1
+}
+
+// Exists quantifies the cube's variables existentially out of f.
+func (m *Manager) Exists(f Ref, cubeID int) Ref {
+	return m.andExists(f, True, cubeID)
+}
+
+// AndExists computes ∃cube (f ∧ g) without materialising f ∧ g — the
+// relational-product workhorse of image computation.
+func (m *Manager) AndExists(f, g Ref, cubeID int) Ref {
+	return m.andExists(f, g, cubeID)
+}
+
+func (m *Manager) andExists(f, g Ref, cubeID int) Ref {
+	if f == False || g == False {
+		return False
+	}
+	cb := m.cubes[cubeID]
+	if f == True && g == True {
+		return True
+	}
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if top == terminalLevel {
+		return m.And(f, g)
+	}
+	// Normalise operand order for the cache.
+	a, b := f, g
+	if a > b {
+		a, b = b, a
+	}
+	key := quantKey{f: a, cube: int32(cubeID), conj: b}
+	if r, ok := m.quant[key]; ok {
+		return r
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	var r Ref
+	if cb.levels[top] {
+		lo := m.andExists(f0, g0, cubeID)
+		if lo == True {
+			r = True
+		} else {
+			hi := m.andExists(f1, g1, cubeID)
+			r = m.Or(lo, hi)
+		}
+	} else {
+		lo := m.andExists(f0, g0, cubeID)
+		hi := m.andExists(f1, g1, cubeID)
+		r = m.mk(top, lo, hi)
+	}
+	m.quant[key] = r
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Variable permutation (renaming)
+
+// Permutation registers a variable renaming (old index → new index) and
+// returns its id. Unlisted variables map to themselves.
+func (m *Manager) Permutation(mapping map[int]int) int {
+	perm := make([]int32, m.nvars)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for from, to := range mapping {
+		perm[from] = int32(to)
+	}
+	m.perms = append(m.perms, perm)
+	return len(m.perms) - 1
+}
+
+// Rename applies a registered permutation to f.
+func (m *Manager) Rename(f Ref, permID int) Ref {
+	return m.rename(f, permID)
+}
+
+func (m *Manager) rename(f Ref, permID int) Ref {
+	if f == True || f == False {
+		return f
+	}
+	key := permKey{f: f, perm: int32(permID)}
+	if r, ok := m.perm[key]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	lo := m.rename(n.lo, permID)
+	hi := m.rename(n.hi, permID)
+	v := m.perms[permID][n.level]
+	// Rebuild with ITE on the renamed variable to restore ordering.
+	r := m.ITE(m.Var(int(v)), hi, lo)
+	m.perm[key] = r
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Satisfying assignments and counting
+
+// SatOne returns one satisfying assignment as a slice over all variables:
+// 0, 1, or -1 (don't care). ok is false when f is unsatisfiable.
+func (m *Manager) SatOne(f Ref) (assign []int8, ok bool) {
+	if f == False {
+		return nil, false
+	}
+	assign = make([]int8, m.nvars)
+	for i := range assign {
+		assign[i] = -1
+	}
+	for f != True {
+		n := m.nodes[f]
+		if n.hi != False {
+			assign[n.level] = 1
+			f = n.hi
+		} else {
+			assign[n.level] = 0
+			f = n.lo
+		}
+	}
+	return assign, true
+}
+
+// SatCount returns the number of satisfying assignments over all variables.
+func (m *Manager) SatCount(f Ref) float64 {
+	memo := map[Ref]float64{}
+	var count func(r Ref) float64 // assignments below r's level, scaled later
+	count = func(r Ref) float64 {
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		c := count(n.lo)*pow2(m.gap(n.level, n.lo)) + count(n.hi)*pow2(m.gap(n.level, n.hi))
+		memo[r] = c
+		return c
+	}
+	root := count(f)
+	if f == False {
+		return 0
+	}
+	top := m.level(f)
+	if top == terminalLevel {
+		top = int32(m.nvars)
+	}
+	return root * pow2(int(top))
+}
+
+// gap counts the skipped variables between a node and its child.
+func (m *Manager) gap(level int32, child Ref) int {
+	cl := m.level(child)
+	if cl == terminalLevel {
+		cl = int32(m.nvars)
+	}
+	return int(cl - level - 1)
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+// Support returns the sorted variable indices f depends on.
+func (m *Manager) Support(f Ref) []int {
+	seen := map[Ref]bool{}
+	vars := map[int]bool{}
+	var walk func(Ref)
+	walk = func(r Ref) {
+		if r <= True || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		vars[int(n.level)] = true
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Eval evaluates f under a total assignment.
+func (m *Manager) Eval(f Ref, assign []bool) bool {
+	for f != True && f != False {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == True
+}

@@ -1,0 +1,247 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m := New(4)
+	x := m.Var(0)
+	if x == True || x == False {
+		t.Fatal("variable is a terminal")
+	}
+	if m.Var(0) != x {
+		t.Error("hash consing broken: Var(0) not canonical")
+	}
+	if m.Not(m.Not(x)) != x {
+		t.Error("double negation must be identity")
+	}
+	if m.NVar(0) != m.Not(x) {
+		t.Error("NVar must equal Not(Var)")
+	}
+}
+
+func TestBooleanAlgebraIdentities(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	cases := []struct {
+		name string
+		x, y Ref
+	}{
+		{"and-comm", m.And(a, b), m.And(b, a)},
+		{"or-comm", m.Or(a, b), m.Or(b, a)},
+		{"and-assoc", m.And(a, m.And(b, c)), m.And(m.And(a, b), c)},
+		{"demorgan", m.Not(m.And(a, b)), m.Or(m.Not(a), m.Not(b))},
+		{"distrib", m.And(a, m.Or(b, c)), m.Or(m.And(a, b), m.And(a, c))},
+		{"xor-def", m.Xor(a, b), m.Or(m.And(a, m.Not(b)), m.And(m.Not(a), b))},
+		{"absorb", m.Or(a, m.And(a, b)), a},
+		{"excluded-middle", m.Or(a, m.Not(a)), True},
+		{"contradiction", m.And(a, m.Not(a)), False},
+		{"iff", m.Iff(a, b), m.Not(m.Xor(a, b))},
+		{"implies", m.Implies(a, b), m.Or(m.Not(a), b)},
+	}
+	for _, tc := range cases {
+		if tc.x != tc.y {
+			t.Errorf("%s: refs differ (%d vs %d)", tc.name, tc.x, tc.y)
+		}
+	}
+}
+
+// Property: BDD operations agree with truth-table evaluation on random
+// 5-variable formulas.
+func TestQuickAgainstTruthTables(t *testing.T) {
+	const nvars = 5
+	type formula struct {
+		eval func(a []bool) bool
+		ref  Ref
+	}
+	m := New(nvars)
+	rng := rand.New(rand.NewSource(99))
+	var build func(depth int) formula
+	build = func(depth int) formula {
+		if depth == 0 || rng.Intn(3) == 0 {
+			i := rng.Intn(nvars)
+			return formula{eval: func(a []bool) bool { return a[i] }, ref: m.Var(i)}
+		}
+		l := build(depth - 1)
+		r := build(depth - 1)
+		switch rng.Intn(4) {
+		case 0:
+			return formula{eval: func(a []bool) bool { return l.eval(a) && r.eval(a) }, ref: m.And(l.ref, r.ref)}
+		case 1:
+			return formula{eval: func(a []bool) bool { return l.eval(a) || r.eval(a) }, ref: m.Or(l.ref, r.ref)}
+		case 2:
+			return formula{eval: func(a []bool) bool { return l.eval(a) != r.eval(a) }, ref: m.Xor(l.ref, r.ref)}
+		default:
+			return formula{eval: func(a []bool) bool { return !l.eval(a) }, ref: m.Not(l.ref)}
+		}
+	}
+	for trial := 0; trial < 60; trial++ {
+		f := build(4)
+		for bits := 0; bits < 1<<nvars; bits++ {
+			assign := make([]bool, nvars)
+			for i := range assign {
+				assign[i] = bits&(1<<uint(i)) != 0
+			}
+			if m.Eval(f.ref, assign) != f.eval(assign) {
+				t.Fatalf("trial %d: mismatch at assignment %05b", trial, bits)
+			}
+		}
+	}
+}
+
+func TestExists(t *testing.T) {
+	m := New(3)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, b)
+	cb := m.Cube([]int{0})
+	// ∃a (a ∧ b) = b
+	if got := m.Exists(f, cb); got != b {
+		t.Errorf("∃a(a∧b) != b")
+	}
+	// ∃a (a ∧ ¬a) = false
+	if got := m.Exists(m.And(a, m.Not(a)), cb); got != False {
+		t.Error("∃a(false) != false")
+	}
+	// ∃a (a ∨ b) = true
+	if got := m.Exists(m.Or(a, b), cb); got != True {
+		t.Error("∃a(a∨b) != true")
+	}
+}
+
+func TestAndExistsEqualsComposition(t *testing.T) {
+	const nvars = 6
+	m := New(nvars)
+	rng := rand.New(rand.NewSource(7))
+	randomFormula := func() Ref {
+		f := m.Var(rng.Intn(nvars))
+		for i := 0; i < 6; i++ {
+			g := m.Lit(rng.Intn(nvars), rng.Intn(2) == 0)
+			switch rng.Intn(3) {
+			case 0:
+				f = m.And(f, g)
+			case 1:
+				f = m.Or(f, g)
+			default:
+				f = m.Xor(f, g)
+			}
+		}
+		return f
+	}
+	for trial := 0; trial < 50; trial++ {
+		f, g := randomFormula(), randomFormula()
+		vars := []int{rng.Intn(nvars), rng.Intn(nvars)}
+		cb := m.Cube(vars)
+		direct := m.AndExists(f, g, cb)
+		composed := m.Exists(m.And(f, g), cb)
+		if direct != composed {
+			t.Fatalf("trial %d: AndExists != Exists∘And", trial)
+		}
+	}
+}
+
+func TestRename(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	f := m.And(a, m.Not(b))
+	p := m.Permutation(map[int]int{0: 2, 1: 3})
+	g := m.Rename(f, p)
+	want := m.And(m.Var(2), m.Not(m.Var(3)))
+	if g != want {
+		t.Error("rename produced wrong function")
+	}
+	// Renaming twice with the inverse returns the original.
+	inv := m.Permutation(map[int]int{2: 0, 3: 1})
+	if m.Rename(g, inv) != f {
+		t.Error("inverse rename is not identity")
+	}
+}
+
+func TestSatOne(t *testing.T) {
+	m := New(4)
+	f := m.And(m.Var(1), m.Not(m.Var(3)))
+	assign, ok := m.SatOne(f)
+	if !ok {
+		t.Fatal("satisfiable function reported unsat")
+	}
+	if assign[1] != 1 || assign[3] != 0 {
+		t.Errorf("assignment %v does not satisfy f", assign)
+	}
+	if _, ok := m.SatOne(False); ok {
+		t.Error("False reported satisfiable")
+	}
+	full := make([]bool, 4)
+	for i, v := range assign {
+		full[i] = v == 1
+	}
+	if !m.Eval(f, full) {
+		t.Error("SatOne assignment does not evaluate to true")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New(4)
+	a, b := m.Var(0), m.Var(1)
+	cases := []struct {
+		f    Ref
+		want float64
+	}{
+		{True, 16},
+		{False, 0},
+		{a, 8},
+		{m.And(a, b), 4},
+		{m.Or(a, b), 12},
+		{m.Xor(a, b), 8},
+	}
+	for i, tc := range cases {
+		if got := m.SatCount(tc.f); got != tc.want {
+			t.Errorf("case %d: SatCount = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.And(m.Var(1), m.Or(m.Var(3), m.Not(m.Var(4))))
+	got := m.Support(f)
+	want := []int{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("support = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("support = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCanonicityProperty(t *testing.T) {
+	// Two different constructions of the same function share a ref.
+	f := func(x, y, z uint8) bool {
+		m := New(3)
+		a, b, c := m.Var(0), m.Var(1), m.Var(2)
+		lhs := m.ITE(a, m.And(b, c), m.Or(b, c))
+		rhs := m.Or(m.And(a, m.And(b, c)), m.And(m.Not(a), m.Or(b, c)))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeGrowthAccounting(t *testing.T) {
+	m := New(8)
+	before := m.NodeCount()
+	f := True
+	for i := 0; i < 8; i++ {
+		f = m.And(f, m.Var(i))
+	}
+	if m.NodeCount() <= before {
+		t.Error("node count did not grow")
+	}
+	if m.MemoryBytes() <= 0 {
+		t.Error("memory estimate must be positive")
+	}
+}

@@ -1,0 +1,448 @@
+// Package c2m lowers a C-subset CFG into the transition-system IR — the
+// equivalent of the paper's C-to-SAL conversion.
+//
+// The baseline translation is deliberately naive, exactly as the paper
+// describes its unoptimised translator: every variable is stored as a
+// 16-bit signed integer and every statement is one transition. The passes
+// in internal/opt then reproduce the paper's Section 3.2 optimisations on
+// top. Assignment semantics stay exact regardless of storage width: every
+// assignment truncates through the variable's declared C type.
+package c2m
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+	"wcet/internal/cfg"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+)
+
+// Options tune the lowering.
+type Options struct {
+	// NaiveWidths stores every variable in 16 signed bits (the paper's
+	// unoptimised translator default). When false, declared widths are used
+	// directly.
+	NaiveWidths bool
+	// Inputs marks the model input variables. Function parameters and
+	// globals annotated /*@ input */ are added automatically.
+	Inputs map[*ast.VarDecl]bool
+}
+
+// Result of a lowering.
+type Result struct {
+	Model *tsys.Model
+	// VarOf maps C declarations to model variables.
+	VarOf map[*ast.VarDecl]tsys.VarID
+	// DeclOf is the inverse of VarOf.
+	DeclOf map[tsys.VarID]*ast.VarDecl
+	// EntryLoc maps each basic block to the location at its entry.
+	EntryLoc map[cfg.NodeID]tsys.Loc
+	// ExitLoc is the location of the function's exit block.
+	ExitLoc tsys.Loc
+}
+
+// Error reports a construct outside the translatable subset.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: c2m: %s", e.Pos, e.Msg) }
+
+// Lower translates the whole function.
+func Lower(g *cfg.Graph, opt Options) (*Result, error) {
+	lw, err := newLowering(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := lw.lowerBlocks(); err != nil {
+		return nil, err
+	}
+	lw.res.Model.Trap = tsys.NoLoc
+	return lw.res, nil
+}
+
+// LowerPath translates the function plus a forced copy of the given path:
+// execution may nondeterministically enter the path copy at the path's
+// first block; inside the copy every decision is constrained to the path's
+// choice, and completing the copy reaches the model's Trap location.
+// Reaching the trap is therefore exactly "the program executes the path",
+// and an initial state of a trap-reaching run is a test datum.
+func LowerPath(g *cfg.Graph, opt Options, p paths.Path) (*Result, error) {
+	lw, err := newLowering(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := lw.lowerBlocks(); err != nil {
+		return nil, err
+	}
+	if err := lw.addPathChain(p); err != nil {
+		return nil, err
+	}
+	return lw.res, nil
+}
+
+type lowering struct {
+	g   *cfg.Graph
+	opt Options
+	res *Result
+	// chain counts per-block item groups for the concatenation pass.
+	chainSeq int
+}
+
+func newLowering(g *cfg.Graph, opt Options) (*lowering, error) {
+	m := &tsys.Model{Name: g.Fn.Name}
+	res := &Result{
+		Model:    m,
+		VarOf:    map[*ast.VarDecl]tsys.VarID{},
+		DeclOf:   map[tsys.VarID]*ast.VarDecl{},
+		EntryLoc: map[cfg.NodeID]tsys.Loc{},
+	}
+	lw := &lowering{g: g, opt: opt, res: res}
+
+	// Collect every variable referenced or declared in the function.
+	var decls []*ast.VarDecl
+	seen := map[*ast.VarDecl]bool{}
+	add := func(d *ast.VarDecl) {
+		if d != nil && !seen[d] {
+			seen[d] = true
+			decls = append(decls, d)
+		}
+	}
+	for _, p := range g.Fn.Params {
+		add(p)
+	}
+	ast.Walk(g.Fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			add(x.Decl)
+		case *ast.VarDecl:
+			add(x)
+		}
+		return true
+	})
+	for _, d := range decls {
+		bits, signed := d.Type.Bits, d.Type.Signed
+		if lw.opt.NaiveWidths {
+			bits, signed = 16, true
+		}
+		if bits <= 0 {
+			bits = 16
+		}
+		v := m.NewVar(d.Name, bits, signed)
+		input := d.Input || lw.opt.Inputs[d] || isParam(g.Fn, d)
+		v.Input = input
+		v.Init = tsys.InitFree
+		if d.Rng != nil {
+			v.Lo, v.Hi = d.Rng.Lo, d.Rng.Hi
+			v.HasRange = true
+		}
+		res.VarOf[d] = v.ID
+		res.DeclOf[v.ID] = d
+	}
+
+	// Allocate block entry locations.
+	for _, n := range g.Nodes {
+		res.EntryLoc[n.ID] = m.NewLoc()
+	}
+	m.Init = res.EntryLoc[g.Entry]
+	res.ExitLoc = res.EntryLoc[g.Exit]
+	return lw, nil
+}
+
+func isParam(fn *ast.FuncDecl, d *ast.VarDecl) bool {
+	for _, p := range fn.Params {
+		if p == d {
+			return true
+		}
+	}
+	return false
+}
+
+func (lw *lowering) lowerBlocks() error {
+	for _, n := range lw.g.Nodes {
+		last, err := lw.lowerItems(n, lw.res.EntryLoc[n.ID])
+		if err != nil {
+			return err
+		}
+		if err := lw.lowerTerm(n, last, lw.res.EntryLoc, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// curChain reports the chain id of the block most recently lowered.
+func (lw *lowering) curChain() int { return lw.chainSeq }
+
+// lowerItems lowers a block's straight-line items starting at loc, returning
+// the location after the last item.
+func (lw *lowering) lowerItems(n *cfg.Node, loc tsys.Loc) (tsys.Loc, error) {
+	m := lw.res.Model
+	lw.chainSeq++
+	chain := lw.chainSeq
+	cur := loc
+	for _, item := range n.Items {
+		assigns, err := lw.lowerItem(item)
+		if err != nil {
+			return cur, err
+		}
+		if len(assigns) == 0 {
+			continue // external calls: timing only, no state effect
+		}
+		next := m.NewLoc()
+		m.AddEdge(&tsys.Edge{From: cur, To: next, Assigns: assigns, Chain: chain})
+		cur = next
+	}
+	return cur, nil
+}
+
+// lowerTerm lowers a terminator. When forced is true, only the edge matching
+// forcedTo (a block id) is emitted and it targets trapOrLoc instead.
+func (lw *lowering) lowerTerm(n *cfg.Node, from tsys.Loc, entry map[cfg.NodeID]tsys.Loc,
+	forcedEdge *forcedTarget) error {
+
+	m := lw.res.Model
+	emit := func(guard tsys.Expr, to cfg.NodeID) {
+		target, ok := tsys.NoLoc, false
+		if forcedEdge != nil {
+			if to == forcedEdge.block {
+				target, ok = forcedEdge.loc, true
+			}
+		} else {
+			target, ok = entry[to], true
+		}
+		if !ok {
+			return // forced lowering drops off-path edges
+		}
+		m.AddEdge(&tsys.Edge{From: from, To: target, Guard: guard, Chain: lw.curChain()})
+	}
+	switch n.Term.Kind {
+	case cfg.TermGoto:
+		emit(nil, n.Term.To)
+	case cfg.TermReturn:
+		// The returned value does not affect reachability.
+		emit(nil, n.Term.To)
+	case cfg.TermBranch:
+		cond, err := lw.lowerExpr(n.Term.Cond)
+		if err != nil {
+			return err
+		}
+		emit(cond, n.Term.True)
+		emit(&tsys.Un{Op: token.BANG, X: cond}, n.Term.False)
+	case cfg.TermSwitch:
+		tag, err := lw.lowerExpr(n.Term.Tag)
+		if err != nil {
+			return err
+		}
+		var notAny tsys.Expr
+		for _, c := range n.Term.Cases {
+			var match tsys.Expr
+			for _, v := range c.Vals {
+				eq := &tsys.Bin{Op: token.EQ, X: tag, Y: &tsys.Const{Val: v}}
+				if match == nil {
+					match = eq
+				} else {
+					match = &tsys.Bin{Op: token.LOR, X: match, Y: eq}
+				}
+				ne := &tsys.Bin{Op: token.NE, X: tag, Y: &tsys.Const{Val: v}}
+				if notAny == nil {
+					notAny = ne
+				} else {
+					notAny = &tsys.Bin{Op: token.LAND, X: notAny, Y: ne}
+				}
+			}
+			emit(match, c.To)
+		}
+		emit(notAny, n.Term.Default) // nil when there are no cases: always
+	case cfg.TermExit:
+		// Terminal.
+	}
+	return nil
+}
+
+type forcedTarget struct {
+	block cfg.NodeID
+	loc   tsys.Loc
+}
+
+// lowerItem turns one straight-line statement into parallel assignments.
+func (lw *lowering) lowerItem(s ast.Stmt) ([]tsys.Assign, error) {
+	switch x := s.(type) {
+	case *ast.DeclStmt:
+		if x.Decl.Init == nil {
+			return nil, nil
+		}
+		rhs, err := lw.lowerExpr(x.Decl.Init)
+		if err != nil {
+			return nil, err
+		}
+		return []tsys.Assign{lw.assignTo(x.Decl, rhs)}, nil
+	case *ast.ExprStmt:
+		return lw.lowerEffect(x.X)
+	}
+	return nil, &Error{Pos: s.Pos(), Msg: fmt.Sprintf("unsupported block item %T", s)}
+}
+
+func (lw *lowering) lowerEffect(e ast.Expr) ([]tsys.Assign, error) {
+	switch x := e.(type) {
+	case *ast.AssignExpr:
+		id := x.LHS.(*ast.Ident)
+		rhs, err := lw.lowerExpr(x.RHS)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op != token.ASSIGN {
+			rhs = &tsys.Bin{Op: x.Op.BaseOp(), X: lw.ref(id.Decl), Y: rhs}
+		}
+		return []tsys.Assign{lw.assignTo(id.Decl, rhs)}, nil
+	case *ast.UnaryExpr:
+		if x.Op == token.INC || x.Op == token.DEC {
+			id := x.X.(*ast.Ident)
+			op := token.PLUS
+			if x.Op == token.DEC {
+				op = token.MINUS
+			}
+			rhs := &tsys.Bin{Op: op, X: lw.ref(id.Decl), Y: &tsys.Const{Val: 1}}
+			return []tsys.Assign{lw.assignTo(id.Decl, rhs)}, nil
+		}
+	case *ast.CallExpr:
+		if x.Cast == nil && x.Decl == nil {
+			// External routine: no model-visible effect.
+			return nil, nil
+		}
+		if x.Decl != nil {
+			return nil, &Error{Pos: x.NamePos,
+				Msg: "calls to defined functions are not supported by the model translator (inline them)"}
+		}
+	}
+	return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported statement expression %T", e)}
+}
+
+// assignTo wraps the RHS in the declared-type truncation.
+func (lw *lowering) assignTo(d *ast.VarDecl, rhs tsys.Expr) tsys.Assign {
+	bits, signed := d.Type.Bits, d.Type.Signed
+	if bits > 0 && bits < 64 {
+		rhs = &tsys.CastE{Bits: bits, Signed: signed, X: rhs}
+	}
+	return tsys.Assign{Var: lw.res.VarOf[d], RHS: rhs}
+}
+
+func (lw *lowering) ref(d *ast.VarDecl) tsys.Expr {
+	return &tsys.Ref{Var: lw.res.VarOf[d]}
+}
+
+func (lw *lowering) lowerExpr(e ast.Expr) (tsys.Expr, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return &tsys.Const{Val: x.Val}, nil
+	case *ast.Ident:
+		if x.Decl == nil {
+			return nil, &Error{Pos: x.NamePos, Msg: "unresolved identifier " + x.Name}
+		}
+		return lw.ref(x.Decl), nil
+	case *ast.UnaryExpr:
+		if x.Op == token.INC || x.Op == token.DEC {
+			return nil, &Error{Pos: x.OpPos, Msg: "++/-- inside expressions is not supported; use it as a statement"}
+		}
+		sub, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &tsys.Un{Op: x.Op, X: sub}, nil
+	case *ast.BinaryExpr:
+		a, err := lw.lowerExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		b, err := lw.lowerExpr(x.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &tsys.Bin{Op: x.Op, X: a, Y: b}, nil
+	case *ast.CondExpr:
+		c, err := lw.lowerExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := lw.lowerExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		fv, err := lw.lowerExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &tsys.CondE{C: c, T: tv, F: fv}, nil
+	case *ast.AssignExpr:
+		return nil, &Error{Pos: x.Pos(), Msg: "nested assignment is not supported"}
+	case *ast.CallExpr:
+		if x.Cast != nil {
+			sub, err := lw.lowerExpr(x.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return &tsys.CastE{Bits: x.Cast.Bits, Signed: x.Cast.Signed, X: sub}, nil
+		}
+		return nil, &Error{Pos: x.NamePos, Msg: "call with used value is not supported in the model"}
+	}
+	return nil, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported expression %T", e)}
+}
+
+// addPathChain appends the forced path copy and sets the trap.
+func (lw *lowering) addPathChain(p paths.Path) error {
+	m := lw.res.Model
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("c2m: empty path")
+	}
+	// Chain entry locations, one per path block.
+	chainEntry := make([]tsys.Loc, len(p.Blocks))
+	for i := range p.Blocks {
+		chainEntry[i] = m.NewLoc()
+	}
+	trap := m.NewLoc()
+	m.Trap = trap
+
+	for i, id := range p.Blocks {
+		n := lw.g.Node(id)
+		last, err := lw.lowerItems(n, chainEntry[i])
+		if err != nil {
+			return err
+		}
+		var target forcedTarget
+		if i+1 < len(p.Blocks) {
+			target = forcedTarget{block: p.Blocks[i+1], loc: chainEntry[i+1]}
+		} else if p.Exit.To == cfg.NoNode {
+			// Path ends at the function exit: the exit block has no
+			// terminator edges; trap directly.
+			m.AddEdge(&tsys.Edge{From: last, To: trap})
+			continue
+		} else {
+			target = forcedTarget{block: p.Exit.To, loc: trap}
+		}
+		if err := lw.lowerTerm(n, last, nil, &target); err != nil {
+			return err
+		}
+	}
+
+	// Divert into the chain at the path's first block.
+	first := p.Blocks[0]
+	if first == lw.g.Entry {
+		// Fresh initial location choosing between normal and forced entry.
+		ni := m.NewLoc()
+		m.AddEdge(&tsys.Edge{From: ni, To: m.Init})
+		m.AddEdge(&tsys.Edge{From: ni, To: chainEntry[0]})
+		m.Init = ni
+		return nil
+	}
+	firstLoc := lw.res.EntryLoc[first]
+	for _, e := range append([]*tsys.Edge(nil), m.Edges...) {
+		if e.To == firstLoc {
+			m.AddEdge(&tsys.Edge{From: e.From, To: chainEntry[0], Guard: e.Guard,
+				Assigns: append([]tsys.Assign(nil), e.Assigns...), Chain: e.Chain})
+		}
+	}
+	return nil
+}

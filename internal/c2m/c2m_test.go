@@ -1,0 +1,271 @@
+package c2m
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+)
+
+type fixture struct {
+	file *ast.File
+	g    *cfg.Graph
+	m    *interp.Machine
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return &fixture{file: f, g: g, m: interp.New(f, interp.Options{})}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+const lowSrc = `
+/*@ input */ int a;
+/*@ input */ char b;
+int r;
+char c;
+int f(void) {
+    r = 0;
+    c = (char)(a + b);
+    if (c > 10) { r = 1; } else { r = 2; }
+    switch (b & 3) {
+    case 0: r = r + 1; break;
+    case 1: r = r * 2;
+    default: r = r - 1; break;
+    }
+    return r;
+}`
+
+func TestLowerStructure(t *testing.T) {
+	fx := setup(t, lowSrc, "f")
+	low, err := Lower(fx.g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := low.Model
+	if m.Trap != tsys.NoLoc {
+		t.Error("plain lowering must not set a trap")
+	}
+	if len(m.Vars) != 4 {
+		t.Errorf("vars = %d, want 4", len(m.Vars))
+	}
+	inputs := 0
+	for _, v := range m.Vars {
+		if v.Input {
+			inputs++
+		}
+	}
+	if inputs != 2 {
+		t.Errorf("inputs = %d, want 2", inputs)
+	}
+	// Every block has an entry location; edges reference valid locations.
+	for _, n := range fx.g.Nodes {
+		if _, ok := low.EntryLoc[n.ID]; !ok {
+			t.Errorf("block B%d has no location", n.ID)
+		}
+	}
+	for _, e := range m.Edges {
+		if int(e.From) >= m.NLocs || int(e.To) >= m.NLocs {
+			t.Errorf("edge %d→%d out of range", e.From, e.To)
+		}
+	}
+}
+
+func TestNaiveWidths(t *testing.T) {
+	fx := setup(t, lowSrc, "f")
+	naive, err := Lower(fx.g, Options{NaiveWidths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range naive.Model.Vars {
+		if v.Bits != 16 || !v.Signed {
+			t.Errorf("naive var %s: bits=%d signed=%v, want 16-bit signed", v.Name, v.Bits, v.Signed)
+		}
+	}
+	precise, err := Lower(fx.g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bID := precise.VarOf[fx.global("b")]
+	if precise.Model.Vars[bID].Bits != 8 {
+		t.Errorf("precise char width = %d, want 8", precise.Model.Vars[bID].Bits)
+	}
+}
+
+// deterministicWalk executes the lowered model concretely from its initial
+// location with the given variable values; returns final values.
+func deterministicWalk(t *testing.T, m *tsys.Model, vals []int64) []int64 {
+	t.Helper()
+	out := m.OutEdges()
+	loc := m.Init
+	for steps := 0; steps < 100000; steps++ {
+		edges := out[loc]
+		if len(edges) == 0 {
+			return vals
+		}
+		var taken *tsys.Edge
+		for _, e := range edges {
+			if e.Guard == nil {
+				if taken != nil {
+					t.Fatalf("nondeterministic location %d", loc)
+				}
+				taken = e
+				continue
+			}
+			v, err := tsys.Eval(m, e.Guard, vals)
+			if err != nil {
+				t.Fatalf("guard eval: %v", err)
+			}
+			if v != 0 {
+				if taken != nil {
+					t.Fatalf("two enabled edges at location %d", loc)
+				}
+				taken = e
+			}
+		}
+		if taken == nil {
+			t.Fatalf("deadlock at location %d", loc)
+		}
+		next := append([]int64(nil), vals...)
+		for _, a := range taken.Assigns {
+			v, err := tsys.Eval(m, a.RHS, vals)
+			if err != nil {
+				t.Fatalf("assign eval: %v", err)
+			}
+			mv := m.Vars[a.Var]
+			next[a.Var] = tsys.TruncateBits(v, mv.Bits, mv.Signed)
+		}
+		vals = next
+		loc = taken.To
+	}
+	t.Fatal("walk did not terminate")
+	return nil
+}
+
+// Property: for random inputs, walking the lowered model ends with exactly
+// the variable values the interpreter computes.
+func TestQuickModelMatchesInterpreter(t *testing.T) {
+	fx := setup(t, lowSrc, "f")
+	low, err := Lower(fx.g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aD, bD := fx.global("a"), fx.global("b")
+	f := func(a int16, b int8) bool {
+		env := interp.Env{aD: int64(a), bD: int64(b)}
+		if _, err := fx.m.Run(fx.g, env); err != nil {
+			return false
+		}
+		vals := make([]int64, len(low.Model.Vars))
+		vals[low.VarOf[aD]] = int64(a)
+		vals[low.VarOf[bD]] = int64(b)
+		final := deterministicWalk(t, low.Model, vals)
+		for d, id := range low.VarOf {
+			if final[id] != env[d] {
+				t.Logf("a=%d b=%d: model %s=%d interp %d", a, b, d.Name, final[id], env[d])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerPathChainAndTrap(t *testing.T) {
+	fx := setup(t, lowSrc, "f")
+	all, err := paths.Enumerate(cfg.WholeFunction(fx.g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := LowerPath(fx.g, Options{}, all[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Model.Trap == tsys.NoLoc {
+		t.Fatal("path lowering must set the trap")
+	}
+	// The trap must have no outgoing edges.
+	for _, e := range low.Model.Edges {
+		if e.From == low.Model.Trap {
+			t.Error("trap location has outgoing edges")
+		}
+	}
+	// The path lowering has strictly more locations than the plain one
+	// (the forced chain).
+	plain, err := Lower(fx.g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Model.NLocs <= plain.Model.NLocs {
+		t.Error("path chain missing")
+	}
+}
+
+func TestRejectsDefinedCalls(t *testing.T) {
+	fx := setup(t, `
+int g(void) { return 1; }
+int r;
+int f(void) { r = g(); return r; }`, "f")
+	if _, err := Lower(fx.g, Options{}); err == nil {
+		t.Error("defined-function call must be rejected by the translator")
+	}
+}
+
+func TestExternalCallsIgnored(t *testing.T) {
+	fx := setup(t, `
+int r;
+int f(void) { printf1(); r = 1; return r; }`, "f")
+	low, err := Lower(fx.g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range low.Model.Edges {
+		for _, a := range e.Assigns {
+			if low.Model.Vars[a.Var].Name == "printf1" {
+				t.Error("external call leaked into the model")
+			}
+		}
+	}
+}
+
+func TestRangeAnnotationsCarried(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ /*@ range 3 9 */ int a;
+int r;
+int f(void) { r = a; return r; }`, "f")
+	low, err := Lower(fx.g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := low.Model.Vars[low.VarOf[fx.global("a")]]
+	if !v.HasRange || v.Lo != 3 || v.Hi != 9 {
+		t.Errorf("range not carried: %+v", v)
+	}
+}

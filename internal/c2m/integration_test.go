@@ -1,0 +1,120 @@
+package c2m
+
+import (
+	"math/rand"
+	"testing"
+
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/gen"
+	"wcet/internal/interp"
+	"wcet/internal/tsys"
+)
+
+// TestRandomProgramsModelAgreesWithInterpreter: for seeded synthetic
+// programs and random inputs, walking the lowered transition system
+// deterministically must end in exactly the state the interpreter computes
+// — the semantic link between what the model checker reasons about and what
+// the measurement subsystem executes.
+func TestRandomProgramsModelAgreesWithInterpreter(t *testing.T) {
+	seeds := []int64{11, 12, 13, 14, 15}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		prog := gen.Generate(gen.Config{Seed: seed, Branches: 20})
+		f, err := parser.ParseFile("gen.c", prog.Source)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if _, err := sem.Check(f); err != nil {
+			t.Fatalf("seed %d: sem: %v", seed, err)
+		}
+		g, err := cfg.Build(f.Func(prog.FuncName))
+		if err != nil {
+			t.Fatalf("seed %d: cfg: %v", seed, err)
+		}
+		low, err := Lower(g, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		m := interp.New(f, interp.Options{})
+
+		rng := rand.New(rand.NewSource(seed * 31))
+		for trial := 0; trial < 10; trial++ {
+			env := interp.Env{}
+			vals := make([]int64, len(low.Model.Vars))
+			for _, d := range f.Globals {
+				if !d.Input {
+					continue
+				}
+				lo, hi := d.Type.MinMax()
+				if d.Rng != nil {
+					lo, hi = d.Rng.Lo, d.Rng.Hi
+				}
+				v := lo + rng.Int63n(hi-lo+1)
+				env[d] = v
+				vals[low.VarOf[d]] = v
+			}
+			if _, err := m.Run(g, env); err != nil {
+				t.Fatalf("seed %d trial %d: interp: %v", seed, trial, err)
+			}
+			final, ok := walk(t, low.Model, vals)
+			if !ok {
+				t.Fatalf("seed %d trial %d: model walk stuck", seed, trial)
+			}
+			for d, id := range low.VarOf {
+				if final[id] != env[d] {
+					t.Fatalf("seed %d trial %d: %s = %d (model) vs %d (interp)",
+						seed, trial, d.Name, final[id], env[d])
+				}
+			}
+		}
+	}
+}
+
+// walk executes the deterministic base model.
+func walk(t *testing.T, m *tsys.Model, vals []int64) ([]int64, bool) {
+	t.Helper()
+	out := m.OutEdges()
+	loc := m.Init
+	for steps := 0; steps < 1_000_000; steps++ {
+		edges := out[loc]
+		if len(edges) == 0 {
+			return vals, true
+		}
+		var taken *tsys.Edge
+		for _, e := range edges {
+			enabled := e.Guard == nil
+			if !enabled {
+				v, err := tsys.Eval(m, e.Guard, vals)
+				if err != nil {
+					t.Fatalf("guard: %v", err)
+				}
+				enabled = v != 0
+			}
+			if enabled {
+				if taken != nil {
+					t.Fatal("nondeterminism in base model")
+				}
+				taken = e
+			}
+		}
+		if taken == nil {
+			return vals, false
+		}
+		next := append([]int64(nil), vals...)
+		for _, a := range taken.Assigns {
+			v, err := tsys.Eval(m, a.RHS, vals)
+			if err != nil {
+				t.Fatalf("assign: %v", err)
+			}
+			mv := m.Vars[a.Var]
+			next[a.Var] = tsys.TruncateBits(v, mv.Bits, mv.Signed)
+		}
+		vals = next
+		loc = taken.To
+	}
+	return vals, false
+}

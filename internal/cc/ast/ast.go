@@ -1,0 +1,408 @@
+// Package ast defines the abstract syntax tree for the C subset, together
+// with a visitor and a source printer.
+//
+// Every node carries the position of its first token; the CFG builder labels
+// basic blocks with these line numbers exactly as the paper's Figure 1 does.
+package ast
+
+import (
+	"wcet/internal/cc/token"
+)
+
+// ---------------------------------------------------------------------------
+// Types
+
+// TypeKind classifies the scalar types of the subset.
+type TypeKind int
+
+// Scalar type kinds.
+const (
+	TypeVoid TypeKind = iota
+	TypeBool
+	TypeChar
+	TypeShort
+	TypeInt
+	TypeLong
+)
+
+// Type is a scalar C type. Bits and Signed determine the value domain used
+// by the interpreter, the code generator and the model translator. The
+// defaults mirror a 16-bit automotive target (HCS12): int is 16 bits.
+type Type struct {
+	Kind   TypeKind
+	Signed bool
+	Bits   int
+}
+
+// Predefined types of the 16-bit target.
+var (
+	Void  = Type{Kind: TypeVoid}
+	Bool  = Type{Kind: TypeBool, Bits: 1}
+	Char  = Type{Kind: TypeChar, Signed: true, Bits: 8}
+	UChar = Type{Kind: TypeChar, Bits: 8}
+	Short = Type{Kind: TypeShort, Signed: true, Bits: 16}
+	Int   = Type{Kind: TypeInt, Signed: true, Bits: 16}
+	UInt  = Type{Kind: TypeInt, Bits: 16}
+	Long  = Type{Kind: TypeLong, Signed: true, Bits: 32}
+	ULong = Type{Kind: TypeLong, Bits: 32}
+)
+
+// String renders the type in C syntax.
+func (t Type) String() string {
+	switch t.Kind {
+	case TypeVoid:
+		return "void"
+	case TypeBool:
+		return "_Bool"
+	case TypeChar:
+		if t.Signed {
+			return "char"
+		}
+		return "unsigned char"
+	case TypeShort:
+		if t.Signed {
+			return "short"
+		}
+		return "unsigned short"
+	case TypeInt:
+		if t.Signed {
+			return "int"
+		}
+		return "unsigned int"
+	case TypeLong:
+		if t.Signed {
+			return "long"
+		}
+		return "unsigned long"
+	}
+	return "?"
+}
+
+// IsVoid reports whether t is the void type.
+func (t Type) IsVoid() bool { return t.Kind == TypeVoid }
+
+// MinMax returns the representable value range of the type.
+func (t Type) MinMax() (lo, hi int64) {
+	if t.Bits <= 0 {
+		return 0, 0
+	}
+	if t.Signed {
+		hi = int64(1)<<(t.Bits-1) - 1
+		lo = -hi - 1
+		return lo, hi
+	}
+	return 0, int64(1)<<t.Bits - 1
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+
+// Range is a value-range annotation (/*@ range lo hi */), standing in for
+// the annotations a code generator derives from the Simulink model.
+type Range struct {
+	Lo, Hi int64
+}
+
+// Width returns the number of bits needed to represent the annotated range
+// (including a sign bit when Lo < 0).
+func (r Range) Width() int {
+	need := func(v int64) int {
+		bits := 0
+		if v < 0 {
+			v = -v - 1
+		}
+		for v > 0 {
+			bits++
+			v >>= 1
+		}
+		return bits
+	}
+	w := need(r.Hi)
+	if n := need(r.Lo); n > w {
+		w = n
+	}
+	if r.Lo < 0 {
+		w++
+	}
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------------
+// Nodes
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// File is a translation unit: a list of global declarations and functions.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// Pos implements Node; it reports the position of the first declaration.
+func (f *File) Pos() token.Pos {
+	if len(f.Globals) > 0 {
+		return f.Globals[0].NamePos
+	}
+	if len(f.Funcs) > 0 {
+		return f.Funcs[0].NamePos
+	}
+	return token.Pos{}
+}
+
+// Func returns the function with the given name, or nil.
+func (f *File) Func(name string) *FuncDecl {
+	for _, fn := range f.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	return nil
+}
+
+// VarDecl declares a scalar variable, optionally initialised.
+type VarDecl struct {
+	NamePos  token.Pos
+	Name     string
+	Type     Type
+	Init     Expr   // may be nil
+	Rng      *Range // may be nil; from /*@ range lo hi */
+	Input    bool   // from /*@ input */: unconstrained initial value in the model
+	Volatile bool
+}
+
+// Pos implements Node.
+func (d *VarDecl) Pos() token.Pos { return d.NamePos }
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	NamePos token.Pos
+	Name    string
+	Ret     Type
+	Params  []*VarDecl
+	Body    *Block
+}
+
+// Pos implements Node.
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Block is a brace-delimited statement list. Transparent blocks are
+// synthesised by the parser for multi-declarator statements ("int a, b;")
+// and do not open a scope.
+type Block struct {
+	Lbrace      token.Pos
+	Stmts       []Stmt
+	Transparent bool
+}
+
+// DeclStmt is a local variable declaration used as a statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct {
+	Semi token.Pos
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	IfPos token.Pos
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+}
+
+// CaseClause is one case (or default) arm of a switch.
+type CaseClause struct {
+	CasePos token.Pos
+	Vals    []Expr // nil for default; constant expressions
+	Body    []Stmt
+	// Falls reports whether control flow falls through to the next clause
+	// (i.e. the body does not end in break/return). Set by the parser.
+	Falls bool
+}
+
+// Pos implements Node.
+func (c *CaseClause) Pos() token.Pos { return c.CasePos }
+
+// SwitchStmt is a switch over an integer expression. Only the common
+// generated-code shape is supported: a brace-delimited list of case clauses.
+type SwitchStmt struct {
+	SwitchPos token.Pos
+	Tag       Expr
+	Clauses   []*CaseClause
+}
+
+// WhileStmt is a while loop. Bound is the annotated maximum iteration count
+// (0 when absent).
+type WhileStmt struct {
+	WhilePos token.Pos
+	Cond     Expr
+	Body     Stmt
+	Bound    int
+}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	DoPos token.Pos
+	Body  Stmt
+	Cond  Expr
+	Bound int
+}
+
+// ForStmt is a for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	ForPos token.Pos
+	Init   Stmt // DeclStmt or ExprStmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+	Bound  int
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct {
+	BreakPos token.Pos
+}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct {
+	ContinuePos token.Pos
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	ReturnPos token.Pos
+	X         Expr // may be nil
+}
+
+// Pos implementations.
+func (s *Block) Pos() token.Pos        { return s.Lbrace }
+func (s *DeclStmt) Pos() token.Pos     { return s.Decl.NamePos }
+func (s *ExprStmt) Pos() token.Pos     { return s.X.Pos() }
+func (s *EmptyStmt) Pos() token.Pos    { return s.Semi }
+func (s *IfStmt) Pos() token.Pos       { return s.IfPos }
+func (s *SwitchStmt) Pos() token.Pos   { return s.SwitchPos }
+func (s *WhileStmt) Pos() token.Pos    { return s.WhilePos }
+func (s *DoWhileStmt) Pos() token.Pos  { return s.DoPos }
+func (s *ForStmt) Pos() token.Pos      { return s.ForPos }
+func (s *BreakStmt) Pos() token.Pos    { return s.BreakPos }
+func (s *ContinueStmt) Pos() token.Pos { return s.ContinuePos }
+func (s *ReturnStmt) Pos() token.Pos   { return s.ReturnPos }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*EmptyStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*SwitchStmt) stmtNode()   {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Ident references a variable.
+type Ident struct {
+	NamePos token.Pos
+	Name    string
+	// Decl is resolved by the semantic pass.
+	Decl *VarDecl
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	LitPos token.Pos
+	Val    int64
+}
+
+// UnaryExpr is -x, ~x, !x, +x, ++x, --x, x++, x--.
+type UnaryExpr struct {
+	OpPos   token.Pos
+	Op      token.Kind
+	X       Expr
+	Postfix bool // true for x++ / x--
+}
+
+// BinaryExpr is a binary operation, including && and || (which the CFG
+// builder expands into short-circuit control flow).
+type BinaryExpr struct {
+	Op   token.Kind
+	X, Y Expr
+}
+
+// AssignExpr is an assignment, possibly compound (+= etc.).
+type AssignExpr struct {
+	Op  token.Kind // ASSIGN or op-assign kind
+	LHS Expr       // must be an *Ident in the subset
+	RHS Expr
+}
+
+// CondExpr is the ternary c ? t : f.
+type CondExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// CallExpr calls a named function. Calls to undeclared functions are treated
+// as opaque external routines with a fixed cost (the paper's printf1()...).
+// C casts are lowered to CallExpr markers with Cast set.
+type CallExpr struct {
+	NamePos token.Pos
+	Name    string
+	Args    []Expr
+	// Decl is resolved by the semantic pass when the callee is defined in
+	// the same file; nil for external routines.
+	Decl *FuncDecl
+	// Cast, when non-nil, marks this node as a C cast to the given type.
+	Cast *Type
+}
+
+// Pos implementations.
+func (e *Ident) Pos() token.Pos      { return e.NamePos }
+func (e *IntLit) Pos() token.Pos     { return e.LitPos }
+func (e *UnaryExpr) Pos() token.Pos  { return e.OpPos }
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *AssignExpr) Pos() token.Pos { return e.LHS.Pos() }
+func (e *CondExpr) Pos() token.Pos   { return e.Cond.Pos() }
+func (e *CallExpr) Pos() token.Pos   { return e.NamePos }
+
+func (*Ident) exprNode()      {}
+func (*IntLit) exprNode()     {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+func (*AssignExpr) exprNode() {}
+func (*CondExpr) exprNode()   {}
+func (*CallExpr) exprNode()   {}

@@ -1,0 +1,170 @@
+package ast
+
+import (
+	"testing"
+
+	"wcet/internal/cc/token"
+)
+
+func TestTypeStrings(t *testing.T) {
+	cases := map[string]Type{
+		"void": Void, "_Bool": Bool, "char": Char, "unsigned char": UChar,
+		"short": Short, "int": Int, "unsigned int": UInt,
+		"long": Long, "unsigned long": ULong,
+	}
+	for want, typ := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestTypeMinMax(t *testing.T) {
+	cases := []struct {
+		typ    Type
+		lo, hi int64
+	}{
+		{Char, -128, 127},
+		{UChar, 0, 255},
+		{Int, -32768, 32767},
+		{UInt, 0, 65535},
+		{Bool, 0, 1},
+		{Long, -2147483648, 2147483647},
+	}
+	for _, c := range cases {
+		lo, hi := c.typ.MinMax()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("%s: MinMax = [%d,%d], want [%d,%d]", c.typ, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestRangeWidth(t *testing.T) {
+	cases := []struct {
+		rng  Range
+		want int
+	}{
+		{Range{0, 1}, 1},
+		{Range{0, 2}, 2},
+		{Range{0, 255}, 8},
+		{Range{-1, 0}, 1},
+		{Range{-128, 127}, 8},
+		{Range{-1, 1}, 2},
+		{Range{0, 0}, 1},
+		{Range{-20, 50}, 7},
+	}
+	for _, c := range cases {
+		if got := c.rng.Width(); got != c.want {
+			t.Errorf("Width(%v) = %d, want %d", c.rng, got, c.want)
+		}
+	}
+}
+
+// Small AST for walk/read/write tests: { a = b + 1; c++; ext(a, d); }
+func sampleBlock() (*Block, map[string]*VarDecl) {
+	decls := map[string]*VarDecl{}
+	for _, n := range []string{"a", "b", "c", "d"} {
+		decls[n] = &VarDecl{Name: n, Type: Int}
+	}
+	id := func(n string) *Ident { return &Ident{Name: n, Decl: decls[n]} }
+	return &Block{Stmts: []Stmt{
+		&ExprStmt{X: &AssignExpr{Op: token.ASSIGN, LHS: id("a"),
+			RHS: &BinaryExpr{Op: token.PLUS, X: id("b"), Y: &IntLit{Val: 1}}}},
+		&ExprStmt{X: &UnaryExpr{Op: token.INC, X: id("c"), Postfix: true}},
+		&ExprStmt{X: &CallExpr{Name: "ext", Args: []Expr{id("a"), id("d")}}},
+	}}, decls
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	blk, _ := sampleBlock()
+	idents := Idents(blk)
+	names := map[string]int{}
+	for _, id := range idents {
+		names[id.Name]++
+	}
+	if names["a"] != 2 || names["b"] != 1 || names["c"] != 1 || names["d"] != 1 {
+		t.Errorf("ident visits = %v", names)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	blk, _ := sampleBlock()
+	count := 0
+	Walk(blk, func(n Node) bool {
+		count++
+		_, isStmt := n.(*ExprStmt)
+		return !isStmt // prune below statements
+	})
+	if count != 4 { // block + 3 statements
+		t.Errorf("visited %d nodes with pruning, want 4", count)
+	}
+}
+
+func TestReadWrittenVars(t *testing.T) {
+	blk, _ := sampleBlock()
+	reads := ReadVars(blk)
+	if !reads["b"] || !reads["d"] {
+		t.Errorf("reads = %v, want b and d", reads)
+	}
+	if reads["a"] != true {
+		// a is read by the call argument.
+		t.Error("a is read as a call argument")
+	}
+	writes := WrittenVars(blk)
+	if !writes["a"] || !writes["c"] {
+		t.Errorf("writes = %v, want a and c", writes)
+	}
+	if writes["b"] || writes["d"] {
+		t.Errorf("writes = %v: b/d are never written", writes)
+	}
+}
+
+func TestCompoundAssignReadsLHS(t *testing.T) {
+	d := &VarDecl{Name: "x", Type: Int}
+	e := &AssignExpr{Op: token.ADDASSIGN, LHS: &Ident{Name: "x", Decl: d}, RHS: &IntLit{Val: 1}}
+	reads := ReadVars(&ExprStmt{X: e})
+	if !reads["x"] {
+		t.Error("x += 1 must read x")
+	}
+	plain := &AssignExpr{Op: token.ASSIGN, LHS: &Ident{Name: "x", Decl: d}, RHS: &IntLit{Val: 1}}
+	reads2 := ReadVars(&ExprStmt{X: plain})
+	if reads2["x"] {
+		t.Error("x = 1 must not read x")
+	}
+}
+
+func TestPrintExpressionForms(t *testing.T) {
+	a := &Ident{Name: "a"}
+	b := &Ident{Name: "b"}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&BinaryExpr{Op: token.PLUS, X: a, Y: &BinaryExpr{Op: token.STAR, X: b, Y: &IntLit{Val: 2}}},
+			"a + b * 2"},
+		{&BinaryExpr{Op: token.STAR, X: &BinaryExpr{Op: token.PLUS, X: a, Y: b}, Y: &IntLit{Val: 2}},
+			"(a + b) * 2"},
+		{&UnaryExpr{Op: token.MINUS, X: a}, "-a"},
+		{&UnaryExpr{Op: token.INC, X: a, Postfix: true}, "a++"},
+		{&CondExpr{Cond: a, Then: &IntLit{Val: 1}, Else: &IntLit{Val: 0}}, "a ? 1 : 0"},
+		{&CallExpr{Name: "f", Args: []Expr{a, b}}, "f(a, b)"},
+		{&CallExpr{Name: "__cast_char", Args: []Expr{a}, Cast: &Char}, "(char)a"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFileFuncLookup(t *testing.T) {
+	f := &File{Funcs: []*FuncDecl{{Name: "a"}, {Name: "b"}}}
+	if f.Func("b") == nil || f.Func("missing") != nil {
+		t.Error("Func lookup broken")
+	}
+	if !f.Pos().IsValid() {
+		// Funcs carry no positions here; Pos falls back to zero. Just make
+		// sure it does not panic on sparse files.
+		_ = f.Pos()
+	}
+}

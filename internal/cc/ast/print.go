@@ -1,0 +1,321 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"wcet/internal/cc/token"
+)
+
+// Print renders the AST back to compilable C-subset source. The output is
+// not byte-identical to the input but is semantically equivalent; it is used
+// by the synthetic program generator and the TargetLink-style emitter.
+func Print(f *File) string {
+	var p printer
+	for _, g := range f.Globals {
+		p.varDecl(g)
+		p.buf.WriteString(";\n")
+	}
+	if len(f.Globals) > 0 {
+		p.buf.WriteByte('\n')
+	}
+	for i, fn := range f.Funcs {
+		if i > 0 {
+			p.buf.WriteByte('\n')
+		}
+		p.funcDecl(fn)
+	}
+	return p.buf.String()
+}
+
+// PrintStmt renders a single statement (used in diagnostics).
+func PrintStmt(s Stmt) string {
+	var p printer
+	p.stmt(s)
+	return strings.TrimRight(p.buf.String(), "\n")
+}
+
+// ExprString renders an expression in C syntax.
+func ExprString(e Expr) string {
+	var p printer
+	p.expr(e, 0)
+	return p.buf.String()
+}
+
+type printer struct {
+	buf    strings.Builder
+	indent int
+}
+
+func (p *printer) nl() {
+	p.buf.WriteByte('\n')
+	for i := 0; i < p.indent; i++ {
+		p.buf.WriteString("    ")
+	}
+}
+
+func (p *printer) varDecl(d *VarDecl) {
+	if d.Input {
+		p.buf.WriteString("/*@ input */ ")
+	}
+	if d.Rng != nil {
+		fmt.Fprintf(&p.buf, "/*@ range %d %d */ ", d.Rng.Lo, d.Rng.Hi)
+	}
+	if d.Volatile {
+		p.buf.WriteString("volatile ")
+	}
+	fmt.Fprintf(&p.buf, "%s %s", d.Type, d.Name)
+	if d.Init != nil {
+		p.buf.WriteString(" = ")
+		p.expr(d.Init, 0)
+	}
+}
+
+func (p *printer) funcDecl(fn *FuncDecl) {
+	fmt.Fprintf(&p.buf, "%s %s(", fn.Ret, fn.Name)
+	if len(fn.Params) == 0 {
+		p.buf.WriteString("void")
+	}
+	for i, par := range fn.Params {
+		if i > 0 {
+			p.buf.WriteString(", ")
+		}
+		p.varDecl(par)
+	}
+	p.buf.WriteString(") ")
+	p.block(fn.Body)
+	p.buf.WriteByte('\n')
+}
+
+func (p *printer) block(b *Block) {
+	p.buf.WriteByte('{')
+	p.indent++
+	for _, s := range b.Stmts {
+		p.nl()
+		p.stmt(s)
+	}
+	p.indent--
+	p.nl()
+	p.buf.WriteByte('}')
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *Block:
+		p.block(x)
+	case *DeclStmt:
+		p.varDecl(x.Decl)
+		p.buf.WriteByte(';')
+	case *ExprStmt:
+		p.expr(x.X, 0)
+		p.buf.WriteByte(';')
+	case *EmptyStmt:
+		p.buf.WriteByte(';')
+	case *IfStmt:
+		p.buf.WriteString("if (")
+		p.expr(x.Cond, 0)
+		p.buf.WriteString(") ")
+		p.stmtAsBlock(x.Then)
+		if x.Else != nil {
+			p.buf.WriteString(" else ")
+			if elseIf, ok := x.Else.(*IfStmt); ok {
+				p.stmt(elseIf)
+			} else {
+				p.stmtAsBlock(x.Else)
+			}
+		}
+	case *SwitchStmt:
+		p.buf.WriteString("switch (")
+		p.expr(x.Tag, 0)
+		p.buf.WriteString(") {")
+		p.indent++
+		for _, c := range x.Clauses {
+			p.nl()
+			if c.Vals == nil {
+				p.buf.WriteString("default:")
+			} else {
+				for i, v := range c.Vals {
+					if i > 0 {
+						p.nl()
+					}
+					p.buf.WriteString("case ")
+					p.expr(v, 0)
+					p.buf.WriteByte(':')
+				}
+			}
+			p.indent++
+			for _, bs := range c.Body {
+				p.nl()
+				p.stmt(bs)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.nl()
+		p.buf.WriteByte('}')
+	case *WhileStmt:
+		if x.Bound > 0 {
+			fmt.Fprintf(&p.buf, "/*@ loopbound %d */ ", x.Bound)
+		}
+		p.buf.WriteString("while (")
+		p.expr(x.Cond, 0)
+		p.buf.WriteString(") ")
+		p.stmtAsBlock(x.Body)
+	case *DoWhileStmt:
+		if x.Bound > 0 {
+			fmt.Fprintf(&p.buf, "/*@ loopbound %d */ ", x.Bound)
+		}
+		p.buf.WriteString("do ")
+		p.stmtAsBlock(x.Body)
+		p.buf.WriteString(" while (")
+		p.expr(x.Cond, 0)
+		p.buf.WriteString(");")
+	case *ForStmt:
+		if x.Bound > 0 {
+			fmt.Fprintf(&p.buf, "/*@ loopbound %d */ ", x.Bound)
+		}
+		p.buf.WriteString("for (")
+		switch init := x.Init.(type) {
+		case nil:
+			p.buf.WriteByte(';')
+		case *DeclStmt:
+			p.varDecl(init.Decl)
+			p.buf.WriteByte(';')
+		case *ExprStmt:
+			p.expr(init.X, 0)
+			p.buf.WriteByte(';')
+		}
+		p.buf.WriteByte(' ')
+		if x.Cond != nil {
+			p.expr(x.Cond, 0)
+		}
+		p.buf.WriteString("; ")
+		if x.Post != nil {
+			p.expr(x.Post, 0)
+		}
+		p.buf.WriteString(") ")
+		p.stmtAsBlock(x.Body)
+	case *BreakStmt:
+		p.buf.WriteString("break;")
+	case *ContinueStmt:
+		p.buf.WriteString("continue;")
+	case *ReturnStmt:
+		p.buf.WriteString("return")
+		if x.X != nil {
+			p.buf.WriteByte(' ')
+			p.expr(x.X, 0)
+		}
+		p.buf.WriteByte(';')
+	default:
+		fmt.Fprintf(&p.buf, "/* ? %T */", s)
+	}
+}
+
+func (p *printer) stmtAsBlock(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		p.block(b)
+		return
+	}
+	p.block(&Block{Stmts: []Stmt{s}})
+}
+
+// Operator precedence for printing with minimal parentheses.
+func prec(op token.Kind) int {
+	switch op {
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.SHL, token.SHR:
+		return 8
+	case token.LT, token.GT, token.LE, token.GE:
+		return 7
+	case token.EQ, token.NE:
+		return 6
+	case token.AMP:
+		return 5
+	case token.CARET:
+		return 4
+	case token.PIPE:
+		return 3
+	case token.LAND:
+		return 2
+	case token.LOR:
+		return 1
+	}
+	return 0
+}
+
+func (p *printer) expr(e Expr, parent int) {
+	switch x := e.(type) {
+	case *Ident:
+		p.buf.WriteString(x.Name)
+	case *IntLit:
+		fmt.Fprintf(&p.buf, "%d", x.Val)
+	case *UnaryExpr:
+		if x.Postfix {
+			p.expr(x.X, 100)
+			p.buf.WriteString(x.Op.String())
+			return
+		}
+		p.buf.WriteString(x.Op.String())
+		// Avoid "--x" when printing -(-x).
+		if u, ok := x.X.(*UnaryExpr); ok && u.Op == x.Op && !u.Postfix {
+			p.buf.WriteByte('(')
+			p.expr(x.X, 0)
+			p.buf.WriteByte(')')
+			return
+		}
+		p.expr(x.X, 100)
+	case *BinaryExpr:
+		pr := prec(x.Op)
+		if pr < parent {
+			p.buf.WriteByte('(')
+		}
+		p.expr(x.X, pr)
+		fmt.Fprintf(&p.buf, " %s ", x.Op)
+		p.expr(x.Y, pr+1)
+		if pr < parent {
+			p.buf.WriteByte(')')
+		}
+	case *AssignExpr:
+		if parent > 0 {
+			p.buf.WriteByte('(')
+		}
+		p.expr(x.LHS, 100)
+		fmt.Fprintf(&p.buf, " %s ", x.Op)
+		p.expr(x.RHS, 0)
+		if parent > 0 {
+			p.buf.WriteByte(')')
+		}
+	case *CondExpr:
+		if parent > 0 {
+			p.buf.WriteByte('(')
+		}
+		p.expr(x.Cond, 3)
+		p.buf.WriteString(" ? ")
+		p.expr(x.Then, 0)
+		p.buf.WriteString(" : ")
+		p.expr(x.Else, 0)
+		if parent > 0 {
+			p.buf.WriteByte(')')
+		}
+	case *CallExpr:
+		if x.Cast != nil {
+			fmt.Fprintf(&p.buf, "(%s)", *x.Cast)
+			p.expr(x.Args[0], 100)
+			return
+		}
+		p.buf.WriteString(x.Name)
+		p.buf.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				p.buf.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.buf.WriteByte(')')
+	default:
+		fmt.Fprintf(&p.buf, "/* ? %T */", e)
+	}
+}

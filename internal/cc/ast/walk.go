@@ -1,0 +1,182 @@
+package ast
+
+import "wcet/internal/cc/token"
+
+// Visitor is called for each node during Walk; returning false prunes the
+// subtree below the node.
+type Visitor func(Node) bool
+
+// Walk traverses the AST rooted at n in depth-first source order.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, g := range x.Globals {
+			Walk(g, v)
+		}
+		for _, f := range x.Funcs {
+			Walk(f, v)
+		}
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Walk(p, v)
+		}
+		if x.Body != nil {
+			Walk(x.Body, v)
+		}
+	case *VarDecl:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+	case *Block:
+		for _, s := range x.Stmts {
+			Walk(s, v)
+		}
+	case *DeclStmt:
+		Walk(x.Decl, v)
+	case *ExprStmt:
+		Walk(x.X, v)
+	case *EmptyStmt:
+	case *IfStmt:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		if x.Else != nil {
+			Walk(x.Else, v)
+		}
+	case *SwitchStmt:
+		Walk(x.Tag, v)
+		for _, c := range x.Clauses {
+			Walk(c, v)
+		}
+	case *CaseClause:
+		for _, val := range x.Vals {
+			Walk(val, v)
+		}
+		for _, s := range x.Body {
+			Walk(s, v)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, v)
+		Walk(x.Body, v)
+	case *DoWhileStmt:
+		Walk(x.Body, v)
+		Walk(x.Cond, v)
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, v)
+		}
+		if x.Post != nil {
+			Walk(x.Post, v)
+		}
+		Walk(x.Body, v)
+	case *BreakStmt, *ContinueStmt:
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, v)
+		}
+	case *Ident, *IntLit:
+	case *UnaryExpr:
+		Walk(x.X, v)
+	case *BinaryExpr:
+		Walk(x.X, v)
+		Walk(x.Y, v)
+	case *AssignExpr:
+		Walk(x.LHS, v)
+		Walk(x.RHS, v)
+	case *CondExpr:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	}
+}
+
+// Idents returns every identifier referenced below n, in source order.
+func Idents(n Node) []*Ident {
+	var out []*Ident
+	Walk(n, func(m Node) bool {
+		if id, ok := m.(*Ident); ok {
+			out = append(out, id)
+		}
+		return true
+	})
+	return out
+}
+
+// ReadVars returns the names of variables read (not purely written) below n.
+func ReadVars(n Node) map[string]bool {
+	reads := map[string]bool{}
+	var walk func(Node, bool)
+	walk = func(m Node, lvalue bool) {
+		switch x := m.(type) {
+		case nil:
+			return
+		case *Ident:
+			if !lvalue {
+				reads[x.Name] = true
+			}
+		case *AssignExpr:
+			// Compound assignment also reads the LHS.
+			walk(x.LHS, x.Op == token.ASSIGN)
+			walk(x.RHS, false)
+		case *UnaryExpr:
+			// ++/-- read and write.
+			walk(x.X, false)
+		case *BinaryExpr:
+			walk(x.X, false)
+			walk(x.Y, false)
+		case *CondExpr:
+			walk(x.Cond, false)
+			walk(x.Then, false)
+			walk(x.Else, false)
+		case *CallExpr:
+			for _, a := range x.Args {
+				walk(a, false)
+			}
+		case *IntLit:
+		default:
+			Walk(m, func(inner Node) bool {
+				if inner == m {
+					return true
+				}
+				walk(inner, false)
+				return false
+			})
+		}
+	}
+	walk(n, false)
+	return reads
+}
+
+// WrittenVars returns the names of variables assigned below n.
+func WrittenVars(n Node) map[string]bool {
+	writes := map[string]bool{}
+	Walk(n, func(m Node) bool {
+		switch x := m.(type) {
+		case *AssignExpr:
+			if id, ok := x.LHS.(*Ident); ok {
+				writes[id.Name] = true
+			}
+		case *UnaryExpr:
+			if x.Op == token.INC || x.Op == token.DEC {
+				if id, ok := x.X.(*Ident); ok {
+					writes[id.Name] = true
+				}
+			}
+		case *VarDecl:
+			if x.Init != nil {
+				writes[x.Name] = true
+			}
+		}
+		return true
+	})
+	return writes
+}

@@ -1,0 +1,340 @@
+// Package lexer turns C-subset source text into a token stream.
+//
+// The lexer is hand written, keeps precise line/column positions, folds
+// character constants into integer literals (as C does), and recognises the
+// analyser's annotation comments (/*@ ... */) which stand in for the range
+// annotations a production code generator would emit.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wcet/internal/cc/token"
+)
+
+// Error is a lexical error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans a source buffer.
+type Lexer struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+
+	// KeepComments controls whether comment tokens are emitted (annotation
+	// comments /*@ ... */ are always emitted so the parser can attach them).
+	KeepComments bool
+}
+
+// New returns a lexer over src; file is used in positions.
+func New(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' || c == '\f'
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token. At end of input it returns an EOF token
+// forever. Lexical errors are returned alongside a best-effort token.
+func (l *Lexer) Next() (token.Token, error) {
+	for {
+		// Skip whitespace.
+		for l.off < len(l.src) && isSpace(l.peek()) {
+			l.advance()
+		}
+		if l.off >= len(l.src) {
+			return token.Token{Kind: token.EOF, Pos: l.pos()}, nil
+		}
+		start := l.pos()
+		c := l.peek()
+
+		// Comments and preprocessor-like lines.
+		if c == '/' && l.peek2() == '/' {
+			begin := l.off
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			if l.KeepComments {
+				return token.Token{Kind: token.COMMENT, Text: l.src[begin:l.off], Pos: start}, nil
+			}
+			continue
+		}
+		if c == '/' && l.peek2() == '*' {
+			begin := l.off
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			text := l.src[begin:l.off]
+			if !closed {
+				return token.Token{Kind: token.COMMENT, Text: text, Pos: start},
+					&Error{Pos: start, Msg: "unterminated block comment"}
+			}
+			if l.KeepComments || strings.HasPrefix(text, "/*@") {
+				return token.Token{Kind: token.COMMENT, Text: text, Pos: start}, nil
+			}
+			continue
+		}
+		if c == '#' && l.col == 1 {
+			// Tolerate and skip preprocessor directives: the analyser works
+			// on preprocessed (include-resolved) sources, but generated code
+			// sometimes retains harmless #line markers.
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+
+		switch {
+		case isIdentStart(c):
+			begin := l.off
+			for l.off < len(l.src) && isIdentCont(l.peek()) {
+				l.advance()
+			}
+			text := l.src[begin:l.off]
+			if k, ok := token.Keywords[text]; ok {
+				return token.Token{Kind: k, Text: text, Pos: start}, nil
+			}
+			return token.Token{Kind: token.IDENT, Text: text, Pos: start}, nil
+
+		case isDigit(c):
+			return l.lexNumber(start)
+
+		case c == '\'':
+			return l.lexCharConst(start)
+		}
+
+		// Operators and punctuation.
+		return l.lexOperator(start)
+	}
+}
+
+func (l *Lexer) lexNumber(start token.Pos) (token.Token, error) {
+	begin := l.off
+	base := 10
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		base = 16
+		l.advance()
+		l.advance()
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.advance()
+		}
+	} else {
+		for l.off < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if strings.HasPrefix(l.src[begin:l.off], "0") && l.off-begin > 1 {
+			base = 8
+		}
+	}
+	text := l.src[begin:l.off]
+	// Swallow integer suffixes (u, U, l, L combinations).
+	for l.off < len(l.src) {
+		switch l.peek() {
+		case 'u', 'U', 'l', 'L':
+			l.advance()
+		default:
+			goto done
+		}
+	}
+done:
+	digits := text
+	if base == 16 {
+		digits = text[2:]
+	} else if base == 8 {
+		digits = text[1:]
+		if digits == "" {
+			digits = "0"
+		}
+	}
+	v, err := strconv.ParseInt(digits, base, 64)
+	if err != nil {
+		// Try unsigned 64-bit before giving up.
+		if u, uerr := strconv.ParseUint(digits, base, 64); uerr == nil {
+			v = int64(u)
+			err = nil
+		}
+	}
+	tok := token.Token{Kind: token.INTLIT, Text: l.src[begin:l.off], Pos: start, Val: v}
+	if err != nil {
+		return tok, &Error{Pos: start, Msg: fmt.Sprintf("bad integer literal %q", text)}
+	}
+	return tok, nil
+}
+
+func (l *Lexer) lexCharConst(start token.Pos) (token.Token, error) {
+	begin := l.off
+	l.advance() // opening quote
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.INTLIT, Pos: start}, &Error{Pos: start, Msg: "unterminated character constant"}
+	}
+	var v int64
+	c := l.advance()
+	if c == '\\' {
+		if l.off >= len(l.src) {
+			return token.Token{Kind: token.INTLIT, Pos: start}, &Error{Pos: start, Msg: "unterminated escape"}
+		}
+		e := l.advance()
+		switch e {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return token.Token{Kind: token.INTLIT, Pos: start},
+				&Error{Pos: start, Msg: fmt.Sprintf("unsupported escape \\%c", e)}
+		}
+	} else {
+		v = int64(c)
+	}
+	if l.off >= len(l.src) || l.peek() != '\'' {
+		return token.Token{Kind: token.INTLIT, Pos: start, Val: v},
+			&Error{Pos: start, Msg: "unterminated character constant"}
+	}
+	l.advance()
+	return token.Token{Kind: token.INTLIT, Text: l.src[begin:l.off], Pos: start, Val: v}, nil
+}
+
+// three-, two- and one-character operators, longest match first.
+var operators = []struct {
+	text string
+	kind token.Kind
+}{
+	{"<<=", token.SHLASSIGN},
+	{">>=", token.SHRASSIGN},
+	{"<<", token.SHL},
+	{">>", token.SHR},
+	{"<=", token.LE},
+	{">=", token.GE},
+	{"==", token.EQ},
+	{"!=", token.NE},
+	{"&&", token.LAND},
+	{"||", token.LOR},
+	{"+=", token.ADDASSIGN},
+	{"-=", token.SUBASSIGN},
+	{"*=", token.MULASSIGN},
+	{"/=", token.DIVASSIGN},
+	{"%=", token.MODASSIGN},
+	{"&=", token.ANDASSIGN},
+	{"|=", token.ORASSIGN},
+	{"^=", token.XORASSIGN},
+	{"++", token.INC},
+	{"--", token.DEC},
+	{"(", token.LPAREN},
+	{")", token.RPAREN},
+	{"{", token.LBRACE},
+	{"}", token.RBRACE},
+	{"[", token.LBRACKET},
+	{"]", token.RBRACKET},
+	{";", token.SEMICOLON},
+	{",", token.COMMA},
+	{":", token.COLON},
+	{"?", token.QUESTION},
+	{"=", token.ASSIGN},
+	{"+", token.PLUS},
+	{"-", token.MINUS},
+	{"*", token.STAR},
+	{"/", token.SLASH},
+	{"%", token.PERCENT},
+	{"&", token.AMP},
+	{"|", token.PIPE},
+	{"^", token.CARET},
+	{"~", token.TILDE},
+	{"!", token.BANG},
+	{"<", token.LT},
+	{">", token.GT},
+}
+
+func (l *Lexer) lexOperator(start token.Pos) (token.Token, error) {
+	rest := l.src[l.off:]
+	for _, op := range operators {
+		if strings.HasPrefix(rest, op.text) {
+			for range op.text {
+				l.advance()
+			}
+			return token.Token{Kind: op.kind, Text: op.text, Pos: start}, nil
+		}
+	}
+	c := l.advance()
+	return token.Token{Kind: token.EOF, Pos: start},
+		&Error{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+// All lexes the entire input, returning tokens up to and including EOF.
+func (l *Lexer) All() ([]token.Token, error) {
+	var toks []token.Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return toks, err
+		}
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wcet/internal/cc/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	l := New("test.c", src)
+	toks, err := l.All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	got := kinds(t, "int x; if (x) while_y = 1;")
+	want := []token.Kind{
+		token.KwInt, token.IDENT, token.SEMICOLON,
+		token.KwIf, token.LPAREN, token.IDENT, token.RPAREN,
+		token.IDENT, token.ASSIGN, token.INTLIT, token.SEMICOLON,
+		token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIntegerLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"42", 42},
+		{"0", 0},
+		{"0x2A", 42},
+		{"0X2a", 42},
+		{"052", 42},
+		{"'a'", 97},
+		{"'\\n'", 10},
+		{"'\\0'", 0},
+		{"65535", 65535},
+		{"42u", 42},
+		{"42UL", 42},
+	}
+	for _, c := range cases {
+		l := New("t.c", c.src)
+		tok, err := l.Next()
+		if err != nil {
+			t.Errorf("lex %q: %v", c.src, err)
+			continue
+		}
+		if tok.Kind != token.INTLIT || tok.Val != c.want {
+			t.Errorf("lex %q: got kind=%s val=%d, want INTLIT %d", c.src, tok.Kind, tok.Val, c.want)
+		}
+	}
+}
+
+func TestOperatorsLongestMatch(t *testing.T) {
+	got := kinds(t, "a <<= b >> c <= d << e < f")
+	want := []token.Kind{
+		token.IDENT, token.SHLASSIGN, token.IDENT, token.SHR, token.IDENT,
+		token.LE, token.IDENT, token.SHL, token.IDENT, token.LT, token.IDENT,
+		token.EOF,
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	l := New("f.c", "int\n  x;")
+	tk, _ := l.Next()
+	if tk.Pos.Line != 1 || tk.Pos.Col != 1 {
+		t.Errorf("int at %v, want 1:1", tk.Pos)
+	}
+	tk, _ = l.Next()
+	if tk.Pos.Line != 2 || tk.Pos.Col != 3 {
+		t.Errorf("x at %v, want 2:3", tk.Pos)
+	}
+}
+
+func TestCommentsSkippedButAnnotationsKept(t *testing.T) {
+	l := New("t.c", "// line\n/* block */ int /*@ range 0 3 */ x;")
+	toks, err := l.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAnn bool
+	for _, tk := range toks {
+		if tk.Kind == token.COMMENT {
+			if !strings.HasPrefix(tk.Text, "/*@") {
+				t.Errorf("non-annotation comment leaked: %q", tk.Text)
+			}
+			sawAnn = true
+		}
+	}
+	if !sawAnn {
+		t.Error("annotation comment was dropped")
+	}
+}
+
+func TestPreprocessorLinesSkipped(t *testing.T) {
+	got := kinds(t, "#include <stdio.h>\nint x;")
+	want := []token.Kind{token.KwInt, token.IDENT, token.SEMICOLON, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	l := New("t.c", "/* never closed")
+	if _, err := l.All(); err == nil {
+		t.Error("expected error for unterminated comment")
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	l := New("t.c", "int x; @")
+	if _, err := l.All(); err == nil {
+		t.Error("expected error for @")
+	}
+}
+
+// Property: any decimal literal round-trips through the lexer.
+func TestQuickDecimalRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		l := New("q.c", strings.TrimSpace(" "+itoa(int64(v))))
+		tok, err := l.Next()
+		return err == nil && tok.Kind == token.INTLIT && tok.Val == int64(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+// Property: lexing is insensitive to extra interior whitespace between tokens.
+func TestQuickWhitespaceInsensitive(t *testing.T) {
+	f := func(nSpaces uint8) bool {
+		sep := strings.Repeat(" ", int(nSpaces%8)+1)
+		a := kindsNoErr("int" + sep + "x" + sep + "=" + sep + "1;")
+		b := kindsNoErr("int x = 1;")
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func kindsNoErr(src string) []token.Kind {
+	l := New("q.c", src)
+	toks, err := l.All()
+	if err != nil {
+		return nil
+	}
+	out := make([]token.Kind, 0, len(toks))
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}

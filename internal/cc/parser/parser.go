@@ -1,0 +1,903 @@
+// Package parser builds the AST for the C subset via recursive descent.
+//
+// Annotation comments are honoured:
+//
+//	/*@ input */          — variable gets an unconstrained initial value
+//	/*@ range lo hi */    — value-range annotation (from the code generator)
+//	/*@ loopbound n */    — maximum iteration count of the following loop
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/lexer"
+	"wcet/internal/cc/token"
+)
+
+// Error is a syntax error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+// ParseFile parses an entire translation unit.
+func ParseFile(name, src string) (*ast.File, error) {
+	lx := lexer.New(name, src)
+	toks, err := lx.All()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, file: &ast.File{Name: name}}
+	if err := p.parseUnit(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+// ParseFunc parses a source fragment that must contain at least one function
+// and returns the named function (or the only function when name is "").
+func ParseFunc(src, name string) (*ast.FuncDecl, *ast.File, error) {
+	f, err := ParseFile("<src>", src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if name == "" {
+		if len(f.Funcs) == 0 {
+			return nil, nil, fmt.Errorf("parser: no function in source")
+		}
+		return f.Funcs[0], f, nil
+	}
+	fn := f.Func(name)
+	if fn == nil {
+		return nil, nil, fmt.Errorf("parser: function %q not found", name)
+	}
+	return fn, f, nil
+}
+
+type pendingAnn struct {
+	input bool
+	rng   *ast.Range
+	bound int
+}
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	file *ast.File
+	ann  pendingAnn
+}
+
+func (p *parser) cur() token.Token { return p.toks[p.pos] }
+
+// skipComments consumes comment tokens, recording annotations.
+func (p *parser) skipComments() {
+	for p.toks[p.pos].Kind == token.COMMENT {
+		p.recordAnnotation(p.toks[p.pos].Text)
+		p.pos++
+	}
+}
+
+func (p *parser) recordAnnotation(text string) {
+	if !strings.HasPrefix(text, "/*@") {
+		return
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(text, "/*@"), "*/")
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return
+	}
+	switch fields[0] {
+	case "input":
+		p.ann.input = true
+	case "range":
+		if len(fields) >= 3 {
+			lo, err1 := strconv.ParseInt(fields[1], 10, 64)
+			hi, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 == nil && err2 == nil && lo <= hi {
+				p.ann.rng = &ast.Range{Lo: lo, Hi: hi}
+			}
+		}
+	case "loopbound":
+		if len(fields) >= 2 {
+			if n, err := strconv.Atoi(fields[1]); err == nil && n > 0 {
+				p.ann.bound = n
+			}
+		}
+	}
+}
+
+func (p *parser) takeAnn() pendingAnn {
+	a := p.ann
+	p.ann = pendingAnn{}
+	return a
+}
+
+func (p *parser) next() token.Token {
+	p.skipComments()
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) peekKind() token.Kind {
+	p.skipComments()
+	return p.toks[p.pos].Kind
+}
+
+// peekKindAt looks ahead n non-comment tokens.
+func (p *parser) peekKindAt(n int) token.Kind {
+	i := p.pos
+	seen := 0
+	for i < len(p.toks) {
+		if p.toks[i].Kind == token.COMMENT {
+			i++
+			continue
+		}
+		if seen == n {
+			return p.toks[i].Kind
+		}
+		seen++
+		i++
+	}
+	return token.EOF
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	p.skipComments()
+	t := p.toks[p.pos]
+	if t.Kind != k {
+		return t, &Error{Pos: t.Pos, Msg: fmt.Sprintf("expected %s, found %s", k, t)}
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	p.skipComments()
+	return &Error{Pos: p.toks[p.pos].Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) atType() bool {
+	switch p.peekKind() {
+	case token.KwInt, token.KwChar, token.KwShort, token.KwLong,
+		token.KwUnsigned, token.KwSigned, token.KwVoid, token.KwBool,
+		token.KwConst, token.KwVolatile:
+		return true
+	}
+	return false
+}
+
+// parseType parses a type-specifier sequence, returning the type and whether
+// volatile appeared.
+func (p *parser) parseType() (ast.Type, bool, error) {
+	signed, unsigned := false, false
+	volatile := false
+	var base token.Kind
+	haveBase := false
+	for {
+		switch p.peekKind() {
+		case token.KwConst:
+			p.next()
+		case token.KwVolatile:
+			p.next()
+			volatile = true
+		case token.KwSigned:
+			p.next()
+			signed = true
+		case token.KwUnsigned:
+			p.next()
+			unsigned = true
+		case token.KwInt, token.KwChar, token.KwShort, token.KwLong, token.KwVoid, token.KwBool:
+			if haveBase {
+				// "short int" / "long int": int after short/long is absorbed.
+				if p.peekKind() == token.KwInt && (base == token.KwShort || base == token.KwLong) {
+					p.next()
+					continue
+				}
+				goto done
+			}
+			base = p.peekKind()
+			haveBase = true
+			p.next()
+		default:
+			goto done
+		}
+	}
+done:
+	if !haveBase {
+		if signed || unsigned {
+			base = token.KwInt
+		} else {
+			return ast.Void, volatile, p.errHere("expected type specifier")
+		}
+	}
+	var t ast.Type
+	switch base {
+	case token.KwVoid:
+		t = ast.Void
+	case token.KwBool:
+		t = ast.Bool
+	case token.KwChar:
+		t = ast.Char
+		if unsigned {
+			t = ast.UChar
+		}
+	case token.KwShort:
+		t = ast.Short
+		if unsigned {
+			t = ast.Type{Kind: ast.TypeShort, Bits: 16}
+		}
+	case token.KwLong:
+		t = ast.Long
+		if unsigned {
+			t = ast.ULong
+		}
+	default: // int
+		t = ast.Int
+		if unsigned {
+			t = ast.UInt
+		}
+	}
+	return t, volatile, nil
+}
+
+func (p *parser) parseUnit() error {
+	for p.peekKind() != token.EOF {
+		if !p.atType() {
+			return p.errHere("expected declaration, found %s", p.cur())
+		}
+		ann := p.takeAnn()
+		typ, vol, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		nameTok, err := p.expect(token.IDENT)
+		if err != nil {
+			return err
+		}
+		if p.peekKind() == token.LPAREN {
+			fn, err := p.parseFuncRest(typ, nameTok)
+			if err != nil {
+				return err
+			}
+			if fn != nil {
+				p.file.Funcs = append(p.file.Funcs, fn)
+			}
+			continue
+		}
+		// Global variable declaration list.
+		for {
+			d := &ast.VarDecl{NamePos: nameTok.Pos, Name: nameTok.Text, Type: typ,
+				Rng: ann.rng, Input: ann.input, Volatile: vol}
+			if p.peekKind() == token.ASSIGN {
+				p.next()
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return err
+				}
+				d.Init = e
+			}
+			p.file.Globals = append(p.file.Globals, d)
+			if p.peekKind() != token.COMMA {
+				break
+			}
+			p.next()
+			nameTok, err = p.expect(token.IDENT)
+			if err != nil {
+				return err
+			}
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFuncRest parses a function from its '(' onward. Returns nil (and no
+// error) for a bare prototype.
+func (p *parser) parseFuncRest(ret ast.Type, nameTok token.Token) (*ast.FuncDecl, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	fn := &ast.FuncDecl{NamePos: nameTok.Pos, Name: nameTok.Text, Ret: ret}
+	if p.peekKind() == token.KwVoid && p.peekKindAt(1) == token.RPAREN {
+		p.next()
+	}
+	for p.peekKind() != token.RPAREN {
+		ann := p.takeAnn()
+		typ, vol, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		nt, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, &ast.VarDecl{
+			NamePos: nt.Pos, Name: nt.Text, Type: typ,
+			Rng: ann.rng, Input: ann.input, Volatile: vol,
+		})
+		if p.peekKind() == token.COMMA {
+			p.next()
+			continue
+		}
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	if p.peekKind() == token.SEMICOLON {
+		p.next()
+		return nil, nil // prototype only
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() (*ast.Block, error) {
+	lb, err := p.expect(token.LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &ast.Block{Lbrace: lb.Pos}
+	for p.peekKind() != token.RBRACE {
+		if p.peekKind() == token.EOF {
+			return nil, p.errHere("unexpected EOF in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	switch p.peekKind() {
+	case token.LBRACE:
+		return p.parseBlock()
+	case token.SEMICOLON:
+		t := p.next()
+		return &ast.EmptyStmt{Semi: t.Pos}, nil
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwSwitch:
+		return p.parseSwitch()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwBreak:
+		t := p.next()
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.BreakStmt{BreakPos: t.Pos}, nil
+	case token.KwContinue:
+		t := p.next()
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return &ast.ContinueStmt{ContinuePos: t.Pos}, nil
+	case token.KwReturn:
+		t := p.next()
+		ret := &ast.ReturnStmt{ReturnPos: t.Pos}
+		if p.peekKind() != token.SEMICOLON {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			ret.X = e
+		}
+		if _, err := p.expect(token.SEMICOLON); err != nil {
+			return nil, err
+		}
+		return ret, nil
+	}
+	if p.atType() {
+		d, err := p.parseLocalDecl()
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	// Expression statement.
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.ExprStmt{X: e}, nil
+}
+
+// parseLocalDecl parses "type name [= init] {, name [= init]} ;" and returns
+// a single DeclStmt or a Block wrapping multiple DeclStmts.
+func (p *parser) parseLocalDecl() (ast.Stmt, error) {
+	ann := p.takeAnn()
+	typ, vol, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	var decls []ast.Stmt
+	for {
+		nt, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		d := &ast.VarDecl{NamePos: nt.Pos, Name: nt.Text, Type: typ,
+			Rng: ann.rng, Input: ann.input, Volatile: vol}
+		if p.peekKind() == token.ASSIGN {
+			p.next()
+			e, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		decls = append(decls, &ast.DeclStmt{Decl: d})
+		if p.peekKind() != token.COMMA {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	// Multiple declarators: keep them as sibling statements via a
+	// transparent block (no scope; the CFG builder flattens it).
+	return &ast.Block{Lbrace: decls[0].Pos(), Stmts: decls, Transparent: true}, nil
+}
+
+func (p *parser) parseIf() (ast.Stmt, error) {
+	t := p.next() // if
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.IfStmt{IfPos: t.Pos, Cond: cond, Then: then}
+	if p.peekKind() == token.KwElse {
+		p.next()
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *parser) parseSwitch() (ast.Stmt, error) {
+	t := p.next() // switch
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LBRACE); err != nil {
+		return nil, err
+	}
+	sw := &ast.SwitchStmt{SwitchPos: t.Pos, Tag: tag}
+	var cur *ast.CaseClause
+	flush := func() {
+		if cur != nil {
+			cur.Falls = !endsControl(cur.Body)
+			sw.Clauses = append(sw.Clauses, cur)
+			cur = nil
+		}
+	}
+	for p.peekKind() != token.RBRACE {
+		switch p.peekKind() {
+		case token.KwCase:
+			ct := p.next()
+			v, err := p.parseCondExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.COLON); err != nil {
+				return nil, err
+			}
+			if cur != nil && len(cur.Body) == 0 && cur.Vals != nil {
+				// case 1: case 2: body — merge labels into one clause.
+				cur.Vals = append(cur.Vals, v)
+				continue
+			}
+			flush()
+			cur = &ast.CaseClause{CasePos: ct.Pos, Vals: []ast.Expr{v}}
+		case token.KwDefault:
+			dt := p.next()
+			if _, err := p.expect(token.COLON); err != nil {
+				return nil, err
+			}
+			flush()
+			cur = &ast.CaseClause{CasePos: dt.Pos}
+		case token.EOF:
+			return nil, p.errHere("unexpected EOF in switch")
+		default:
+			if cur == nil {
+				return nil, p.errHere("statement before first case label")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			cur.Body = append(cur.Body, s)
+		}
+	}
+	p.next() // }
+	flush()
+	return sw, nil
+}
+
+// endsControl reports whether the statement list definitely transfers
+// control at its end (break/continue/return), so a switch clause does not
+// fall through.
+func endsControl(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	switch last := body[len(body)-1].(type) {
+	case *ast.BreakStmt, *ast.ContinueStmt, *ast.ReturnStmt:
+		return true
+	case *ast.Block:
+		return endsControl(last.Stmts)
+	}
+	return false
+}
+
+func (p *parser) parseWhile() (ast.Stmt, error) {
+	ann := p.takeAnn()
+	t := p.next() // while
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{WhilePos: t.Pos, Cond: cond, Body: body, Bound: ann.bound}, nil
+}
+
+func (p *parser) parseDoWhile() (ast.Stmt, error) {
+	ann := p.takeAnn()
+	t := p.next() // do
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	return &ast.DoWhileStmt{DoPos: t.Pos, Body: body, Cond: cond, Bound: ann.bound}, nil
+}
+
+func (p *parser) parseFor() (ast.Stmt, error) {
+	ann := p.takeAnn()
+	t := p.next() // for
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	st := &ast.ForStmt{ForPos: t.Pos, Bound: ann.bound}
+	// Init clause.
+	if p.peekKind() != token.SEMICOLON {
+		if p.atType() {
+			d, err := p.parseLocalDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ast.ExprStmt{X: e}
+			if _, err := p.expect(token.SEMICOLON); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	// Cond clause.
+	if p.peekKind() != token.SEMICOLON {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = e
+	}
+	if _, err := p.expect(token.SEMICOLON); err != nil {
+		return nil, err
+	}
+	// Post clause.
+	if p.peekKind() != token.RPAREN {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = e
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) parseExpr() (ast.Expr, error) { return p.parseAssignExpr() }
+
+func (p *parser) parseAssignExpr() (ast.Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKind().IsAssignOp() {
+		op := p.next().Kind
+		if _, ok := lhs.(*ast.Ident); !ok {
+			return nil, p.errHere("assignment target must be a variable")
+		}
+		rhs, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignExpr{Op: op, LHS: lhs, RHS: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseCondExpr() (ast.Expr, error) {
+	c, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKind() == token.QUESTION {
+		p.next()
+		t, err := p.parseAssignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		f, err := p.parseCondExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.CondExpr{Cond: c, Then: t, Else: f}, nil
+	}
+	return c, nil
+}
+
+func binPrec(k token.Kind) int {
+	switch k {
+	case token.LOR:
+		return 1
+	case token.LAND:
+		return 2
+	case token.PIPE:
+		return 3
+	case token.CARET:
+		return 4
+	case token.AMP:
+		return 5
+	case token.EQ, token.NE:
+		return 6
+	case token.LT, token.GT, token.LE, token.GE:
+		return 7
+	case token.SHL, token.SHR:
+		return 8
+	case token.PLUS, token.MINUS:
+		return 9
+	case token.STAR, token.SLASH, token.PERCENT:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseBinary(minPrec int) (ast.Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pr := binPrec(p.peekKind())
+		if pr == 0 || pr < minPrec {
+			return lhs, nil
+		}
+		op := p.next().Kind
+		rhs, err := p.parseBinary(pr + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.BinaryExpr{Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (ast.Expr, error) {
+	switch p.peekKind() {
+	case token.MINUS, token.PLUS, token.TILDE, token.BANG:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x}, nil
+	case token.INC, token.DEC:
+		t := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := x.(*ast.Ident); !ok {
+			return nil, &Error{Pos: t.Pos, Msg: "++/-- target must be a variable"}
+		}
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x}, nil
+	case token.LPAREN:
+		// Cast or parenthesised expression.
+		if p.isCastAhead() {
+			p.next() // (
+			typ, _, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RPAREN); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			// Casts are modelled as truncating assignments downstream; the
+			// AST keeps them as a call-like marker to preserve semantics.
+			t := typ
+			return &ast.CallExpr{NamePos: x.Pos(), Name: castName(typ), Args: []ast.Expr{x}, Cast: &t}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func castName(t ast.Type) string { return "__cast_" + sanitize(t.String()) }
+
+func sanitize(s string) string { return strings.ReplaceAll(s, " ", "_") }
+
+// isCastAhead reports whether the upcoming tokens are "( type )".
+func (p *parser) isCastAhead() bool {
+	if p.peekKind() != token.LPAREN {
+		return false
+	}
+	k := p.peekKindAt(1)
+	switch k {
+	case token.KwInt, token.KwChar, token.KwShort, token.KwLong,
+		token.KwUnsigned, token.KwSigned, token.KwBool, token.KwVoid,
+		token.KwConst, token.KwVolatile:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (ast.Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peekKind() {
+		case token.INC, token.DEC:
+			t := p.next()
+			if _, ok := x.(*ast.Ident); !ok {
+				return nil, &Error{Pos: t.Pos, Msg: "++/-- target must be a variable"}
+			}
+			x = &ast.UnaryExpr{OpPos: t.Pos, Op: t.Kind, X: x, Postfix: true}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (ast.Expr, error) {
+	p.skipComments()
+	t := p.cur()
+	switch t.Kind {
+	case token.INTLIT:
+		p.next()
+		return &ast.IntLit{LitPos: t.Pos, Val: t.Val}, nil
+	case token.IDENT:
+		p.next()
+		if p.peekKind() == token.LPAREN {
+			p.next()
+			call := &ast.CallExpr{NamePos: t.Pos, Name: t.Text}
+			for p.peekKind() != token.RPAREN {
+				a, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.peekKind() == token.COMMA {
+					p.next()
+				}
+			}
+			p.next() // )
+			return call, nil
+		}
+		return &ast.Ident{NamePos: t.Pos, Name: t.Text}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, &Error{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s in expression", t)}
+}

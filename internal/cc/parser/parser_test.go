@@ -1,0 +1,291 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := ParseFile("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	return f
+}
+
+func TestGlobalsAndFunction(t *testing.T) {
+	f := mustParse(t, `
+int g1;
+int g2 = 5, g3;
+void f(void) { g1 = g2 + g3; }
+`)
+	if len(f.Globals) != 3 {
+		t.Fatalf("globals = %d, want 3", len(f.Globals))
+	}
+	if f.Globals[1].Init == nil {
+		t.Error("g2 missing initializer")
+	}
+	fn := f.Func("f")
+	if fn == nil || len(fn.Body.Stmts) != 1 {
+		t.Fatal("function f not parsed correctly")
+	}
+}
+
+func TestPrototypeSkipped(t *testing.T) {
+	f := mustParse(t, `
+void ext(int a);
+void f(void) { ext(1); }
+`)
+	if len(f.Funcs) != 1 || f.Funcs[0].Name != "f" {
+		t.Fatalf("funcs = %v, want only f", len(f.Funcs))
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	f := mustParse(t, `
+int x;
+void f(void) {
+    if (x == 0) { x = 1; } else if (x == 1) x = 2; else { x = 3; }
+}
+`)
+	ifStmt, ok := f.Func("f").Body.Stmts[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatal("expected IfStmt")
+	}
+	elseIf, ok := ifStmt.Else.(*ast.IfStmt)
+	if !ok {
+		t.Fatal("expected else-if chain")
+	}
+	if elseIf.Else == nil {
+		t.Error("inner else missing")
+	}
+}
+
+func TestSwitchClausesAndFallthrough(t *testing.T) {
+	f := mustParse(t, `
+int x, y;
+void f(void) {
+    switch (x) {
+    case 0:
+        y = 1;
+        break;
+    case 1:
+    case 2:
+        y = 2;
+    default:
+        y = 3;
+        break;
+    }
+}
+`)
+	sw := f.Func("f").Body.Stmts[0].(*ast.SwitchStmt)
+	if len(sw.Clauses) != 3 {
+		t.Fatalf("clauses = %d, want 3", len(sw.Clauses))
+	}
+	if len(sw.Clauses[1].Vals) != 2 {
+		t.Errorf("merged case labels = %d, want 2", len(sw.Clauses[1].Vals))
+	}
+	if sw.Clauses[0].Falls {
+		t.Error("case 0 should not fall through (ends in break)")
+	}
+	if !sw.Clauses[1].Falls {
+		t.Error("case 1/2 should fall through")
+	}
+	if sw.Clauses[2].Vals != nil {
+		t.Error("default clause should have nil Vals")
+	}
+}
+
+func TestLoopsAndBounds(t *testing.T) {
+	f := mustParse(t, `
+int i, n;
+void f(void) {
+    /*@ loopbound 10 */ while (i < n) { i = i + 1; }
+    /*@ loopbound 5 */ for (i = 0; i < 5; i++) { n += i; }
+    /*@ loopbound 3 */ do { i--; } while (i > 0);
+}
+`)
+	body := f.Func("f").Body.Stmts
+	if w := body[0].(*ast.WhileStmt); w.Bound != 10 {
+		t.Errorf("while bound = %d, want 10", w.Bound)
+	}
+	if fr := body[1].(*ast.ForStmt); fr.Bound != 5 {
+		t.Errorf("for bound = %d, want 5", fr.Bound)
+	}
+	if d := body[2].(*ast.DoWhileStmt); d.Bound != 3 {
+		t.Errorf("do bound = %d, want 3", d.Bound)
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	f := mustParse(t, `
+/*@ input */ /*@ range 0 2 */ int selector;
+int other;
+`)
+	if !f.Globals[0].Input {
+		t.Error("input annotation lost")
+	}
+	if r := f.Globals[0].Rng; r == nil || r.Lo != 0 || r.Hi != 2 {
+		t.Errorf("range annotation = %v, want [0,2]", f.Globals[0].Rng)
+	}
+	if f.Globals[1].Input || f.Globals[1].Rng != nil {
+		t.Error("annotation leaked to next declaration")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	f := mustParse(t, `
+int a, b, c, r;
+void f(void) { r = a + b * c; }
+`)
+	assign := f.Func("f").Body.Stmts[0].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	add, ok := assign.RHS.(*ast.BinaryExpr)
+	if !ok || add.Op != token.PLUS {
+		t.Fatalf("expected +, got %v", assign.RHS)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.STAR {
+		t.Fatal("b*c should bind tighter than +")
+	}
+}
+
+func TestShortCircuitAndTernary(t *testing.T) {
+	f := mustParse(t, `
+int a, b, r;
+void f(void) { r = a && b || !a ? 1 : 0; }
+`)
+	cond, ok := f.Func("f").Body.Stmts[0].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS.(*ast.CondExpr)
+	if !ok {
+		t.Fatal("expected ternary at top")
+	}
+	or, ok := cond.Cond.(*ast.BinaryExpr)
+	if !ok || or.Op != token.LOR {
+		t.Fatal("|| should be ternary condition")
+	}
+}
+
+func TestCompoundAssignAndIncDec(t *testing.T) {
+	f := mustParse(t, `
+int a;
+void f(void) { a += 2; a--; ++a; }
+`)
+	body := f.Func("f").Body.Stmts
+	if as := body[0].(*ast.ExprStmt).X.(*ast.AssignExpr); as.Op != token.ADDASSIGN {
+		t.Errorf("op = %v, want +=", as.Op)
+	}
+	if u := body[1].(*ast.ExprStmt).X.(*ast.UnaryExpr); !u.Postfix || u.Op != token.DEC {
+		t.Error("a-- should be postfix DEC")
+	}
+	if u := body[2].(*ast.ExprStmt).X.(*ast.UnaryExpr); u.Postfix || u.Op != token.INC {
+		t.Error("++a should be prefix INC")
+	}
+}
+
+func TestCasts(t *testing.T) {
+	f := mustParse(t, `
+int a; char c;
+void f(void) { a = (int)c; c = (unsigned char)(a + 1); }
+`)
+	call, ok := f.Func("f").Body.Stmts[0].(*ast.ExprStmt).X.(*ast.AssignExpr).RHS.(*ast.CallExpr)
+	if !ok || !strings.HasPrefix(call.Name, "__cast_") {
+		t.Fatalf("cast should lower to __cast_ marker, got %T", call)
+	}
+}
+
+func TestMultiDeclaratorLocal(t *testing.T) {
+	f := mustParse(t, `
+void f(void) { int a = 1, b, c = 3; a = b + c; }
+`)
+	blk, ok := f.Func("f").Body.Stmts[0].(*ast.Block)
+	if !ok || len(blk.Stmts) != 3 {
+		t.Fatalf("multi declarator should expand to 3 decls, got %T", f.Func("f").Body.Stmts[0])
+	}
+}
+
+func TestFigure1ProgramParses(t *testing.T) {
+	// The paper's Figure 1 listing, with printfN() as external calls.
+	f := mustParse(t, `
+int main() {
+    int i;
+    printf1();
+    printf2();
+    if (i == 0)
+    {
+        printf3();
+        if (i == 0) {
+            printf4();
+        } else {
+            printf5();
+        }
+    }
+    if (i == 0)
+    {
+        printf6();
+        printf7();
+    }
+    printf8();
+}
+`)
+	fn := f.Func("main")
+	if fn == nil {
+		t.Fatal("main not found")
+	}
+	if len(fn.Body.Stmts) != 6 {
+		t.Errorf("main has %d statements, want 6", len(fn.Body.Stmts))
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"int ;",
+		"void f(void) { if x { } }",
+		"void f(void) { break; }", // caught by sem, parses fine — skip
+		"void f(void) { 1 = 2; }",
+		"void f(void) { switch (x) { y = 1; } }",
+		"void f(void) { a = ; }",
+		"void f(void) {",
+	}
+	for _, src := range bad {
+		if src == "void f(void) { break; }" {
+			continue
+		}
+		full := "int x, y, a;\n" + src
+		if _, err := ParseFile("bad.c", full); err == nil {
+			t.Errorf("expected syntax error for %q", src)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	src := `
+int sel, state, out;
+void control(void) {
+    switch (state) {
+    case 0:
+        if (sel == 1) {
+            out = 10;
+        } else {
+            out = 0;
+        }
+        break;
+    default:
+        out = out + 1;
+        break;
+    }
+}
+`
+	f1 := mustParse(t, src)
+	printed := ast.Print(f1)
+	f2, err := ParseFile("rt.c", printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed source failed: %v\n%s", err, printed)
+	}
+	if ast.Print(f2) != printed {
+		t.Errorf("print/parse/print is not a fixpoint:\n--- first ---\n%s\n--- second ---\n%s",
+			printed, ast.Print(f2))
+	}
+}

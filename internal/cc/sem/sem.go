@@ -1,0 +1,387 @@
+// Package sem resolves names, checks the static rules of the C subset and
+// computes constant values for case labels.
+//
+// The checker is deliberately pragmatic: generated automotive code is well
+// typed by construction, so the pass focuses on what downstream stages need —
+// every identifier resolved to its declaration, every case label constant,
+// and a complete variable inventory per function.
+package sem
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+)
+
+// Error is a semantic error with position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Info is the result of checking one file.
+type Info struct {
+	File *ast.File
+	// FuncVars maps each function to every variable visible in it
+	// (globals + params + locals), in declaration order.
+	FuncVars map[*ast.FuncDecl][]*ast.VarDecl
+	// CaseVals maps each case-label expression to its constant value.
+	CaseVals map[ast.Expr]int64
+	// Externals lists called-but-undefined function names (opaque routines).
+	Externals []string
+}
+
+// Check resolves and checks f.
+func Check(f *ast.File) (*Info, error) {
+	info := &Info{
+		File:     f,
+		FuncVars: map[*ast.FuncDecl][]*ast.VarDecl{},
+		CaseVals: map[ast.Expr]int64{},
+	}
+	c := &checker{info: info, file: f, externals: map[string]bool{}}
+	// Global scope.
+	gscope := newScope(nil)
+	for _, g := range f.Globals {
+		if err := gscope.declare(g); err != nil {
+			return nil, err
+		}
+		if g.Init != nil {
+			if err := c.expr(g.Init, gscope); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, fn := range f.Funcs {
+		if err := c.checkFunc(fn, gscope); err != nil {
+			return nil, err
+		}
+	}
+	for name := range c.externals {
+		info.Externals = append(info.Externals, name)
+	}
+	return info, nil
+}
+
+// CheckFunc parses-level helper: check a whole file and return info, failing
+// if the named function is missing.
+func CheckFunc(f *ast.File, name string) (*Info, *ast.FuncDecl, error) {
+	info, err := Check(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	fn := f.Func(name)
+	if fn == nil {
+		return nil, nil, fmt.Errorf("sem: function %q not found", name)
+	}
+	return info, fn, nil
+}
+
+type scope struct {
+	parent *scope
+	vars   map[string]*ast.VarDecl
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, vars: map[string]*ast.VarDecl{}}
+}
+
+func (s *scope) declare(d *ast.VarDecl) error {
+	if _, ok := s.vars[d.Name]; ok {
+		return &Error{Pos: d.NamePos, Msg: fmt.Sprintf("redeclaration of %q", d.Name)}
+	}
+	s.vars[d.Name] = d
+	return nil
+}
+
+func (s *scope) lookup(name string) *ast.VarDecl {
+	for sc := s; sc != nil; sc = sc.parent {
+		if d, ok := sc.vars[name]; ok {
+			return d
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	info      *Info
+	file      *ast.File
+	externals map[string]bool
+	cur       *ast.FuncDecl
+	loopDepth int
+	swDepth   int
+}
+
+func (c *checker) checkFunc(fn *ast.FuncDecl, gscope *scope) error {
+	c.cur = fn
+	vars := make([]*ast.VarDecl, 0, len(c.file.Globals)+len(fn.Params))
+	vars = append(vars, c.file.Globals...)
+	fscope := newScope(gscope)
+	for _, p := range fn.Params {
+		if err := fscope.declare(p); err != nil {
+			return err
+		}
+		vars = append(vars, p)
+	}
+	c.info.FuncVars[fn] = vars
+	if fn.Body == nil {
+		return nil
+	}
+	if err := c.stmt(fn.Body, fscope); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *checker) addVar(d *ast.VarDecl) {
+	c.info.FuncVars[c.cur] = append(c.info.FuncVars[c.cur], d)
+}
+
+func (c *checker) stmt(s ast.Stmt, sc *scope) error {
+	switch x := s.(type) {
+	case *ast.Block:
+		inner := sc
+		if !x.Transparent {
+			inner = newScope(sc)
+		}
+		for _, st := range x.Stmts {
+			if err := c.stmt(st, inner); err != nil {
+				return err
+			}
+		}
+	case *ast.DeclStmt:
+		if x.Decl.Init != nil {
+			if err := c.expr(x.Decl.Init, sc); err != nil {
+				return err
+			}
+		}
+		if err := sc.declare(x.Decl); err != nil {
+			return err
+		}
+		c.addVar(x.Decl)
+	case *ast.ExprStmt:
+		return c.expr(x.X, sc)
+	case *ast.EmptyStmt:
+	case *ast.IfStmt:
+		if err := c.expr(x.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.stmt(x.Then, sc); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			return c.stmt(x.Else, sc)
+		}
+	case *ast.SwitchStmt:
+		if err := c.expr(x.Tag, sc); err != nil {
+			return err
+		}
+		c.swDepth++
+		defer func() { c.swDepth-- }()
+		seen := map[int64]bool{}
+		defaults := 0
+		for _, cl := range x.Clauses {
+			if cl.Vals == nil {
+				defaults++
+				if defaults > 1 {
+					return &Error{Pos: cl.CasePos, Msg: "multiple default labels"}
+				}
+			}
+			for _, v := range cl.Vals {
+				cv, err := ConstEval(v)
+				if err != nil {
+					return &Error{Pos: v.Pos(), Msg: "case label is not constant: " + err.Error()}
+				}
+				if seen[cv] {
+					return &Error{Pos: v.Pos(), Msg: fmt.Sprintf("duplicate case value %d", cv)}
+				}
+				seen[cv] = true
+				c.info.CaseVals[v] = cv
+			}
+			inner := newScope(sc)
+			for _, st := range cl.Body {
+				if err := c.stmt(st, inner); err != nil {
+					return err
+				}
+			}
+		}
+	case *ast.WhileStmt:
+		if err := c.expr(x.Cond, sc); err != nil {
+			return err
+		}
+		c.loopDepth++
+		err := c.stmt(x.Body, sc)
+		c.loopDepth--
+		return err
+	case *ast.DoWhileStmt:
+		c.loopDepth++
+		if err := c.stmt(x.Body, sc); err != nil {
+			c.loopDepth--
+			return err
+		}
+		c.loopDepth--
+		return c.expr(x.Cond, sc)
+	case *ast.ForStmt:
+		inner := newScope(sc)
+		if x.Init != nil {
+			if err := c.stmt(x.Init, inner); err != nil {
+				return err
+			}
+		}
+		if x.Cond != nil {
+			if err := c.expr(x.Cond, inner); err != nil {
+				return err
+			}
+		}
+		if x.Post != nil {
+			if err := c.expr(x.Post, inner); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		err := c.stmt(x.Body, inner)
+		c.loopDepth--
+		return err
+	case *ast.BreakStmt:
+		if c.loopDepth == 0 && c.swDepth == 0 {
+			return &Error{Pos: x.BreakPos, Msg: "break outside loop or switch"}
+		}
+	case *ast.ContinueStmt:
+		if c.loopDepth == 0 {
+			return &Error{Pos: x.ContinuePos, Msg: "continue outside loop"}
+		}
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			if c.cur.Ret.IsVoid() {
+				return &Error{Pos: x.ReturnPos, Msg: "return with value in void function"}
+			}
+			return c.expr(x.X, sc)
+		}
+	default:
+		return fmt.Errorf("sem: unhandled statement %T", s)
+	}
+	return nil
+}
+
+func (c *checker) expr(e ast.Expr, sc *scope) error {
+	switch x := e.(type) {
+	case *ast.Ident:
+		d := sc.lookup(x.Name)
+		if d == nil {
+			return &Error{Pos: x.NamePos, Msg: fmt.Sprintf("undeclared variable %q", x.Name)}
+		}
+		x.Decl = d
+	case *ast.IntLit:
+	case *ast.UnaryExpr:
+		return c.expr(x.X, sc)
+	case *ast.BinaryExpr:
+		if err := c.expr(x.X, sc); err != nil {
+			return err
+		}
+		return c.expr(x.Y, sc)
+	case *ast.AssignExpr:
+		if err := c.expr(x.LHS, sc); err != nil {
+			return err
+		}
+		return c.expr(x.RHS, sc)
+	case *ast.CondExpr:
+		if err := c.expr(x.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.expr(x.Then, sc); err != nil {
+			return err
+		}
+		return c.expr(x.Else, sc)
+	case *ast.CallExpr:
+		if x.Cast != nil {
+			if len(x.Args) != 1 {
+				return &Error{Pos: x.NamePos, Msg: "cast takes one operand"}
+			}
+			return c.expr(x.Args[0], sc)
+		}
+		if fn := c.file.Func(x.Name); fn != nil {
+			x.Decl = fn
+			if len(x.Args) != len(fn.Params) {
+				return &Error{Pos: x.NamePos,
+					Msg: fmt.Sprintf("call to %s with %d args, want %d", x.Name, len(x.Args), len(fn.Params))}
+			}
+		} else {
+			c.externals[x.Name] = true
+		}
+		for _, a := range x.Args {
+			if err := c.expr(a, sc); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("sem: unhandled expression %T", e)
+	}
+	return nil
+}
+
+// ConstEval evaluates a constant integer expression (literals, unary +,-,~,!,
+// and binary arithmetic over constants).
+func ConstEval(e ast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Val, nil
+	case *ast.UnaryExpr:
+		v, err := ConstEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.MINUS:
+			return -v, nil
+		case token.PLUS:
+			return v, nil
+		case token.TILDE:
+			return ^v, nil
+		case token.BANG:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *ast.BinaryExpr:
+		a, err := ConstEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := ConstEval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case token.PLUS:
+			return a + b, nil
+		case token.MINUS:
+			return a - b, nil
+		case token.STAR:
+			return a * b, nil
+		case token.SLASH:
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return a / b, nil
+		case token.PERCENT:
+			if b == 0 {
+				return 0, fmt.Errorf("modulo by zero")
+			}
+			return a % b, nil
+		case token.SHL:
+			return a << uint(b&63), nil
+		case token.SHR:
+			return a >> uint(b&63), nil
+		case token.AMP:
+			return a & b, nil
+		case token.PIPE:
+			return a | b, nil
+		case token.CARET:
+			return a ^ b, nil
+		}
+	}
+	return 0, fmt.Errorf("not a constant expression")
+}

@@ -1,0 +1,181 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+)
+
+func check(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	f, err := parser.ParseFile("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(f)
+}
+
+func mustCheck(t *testing.T, src string) *Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func TestResolution(t *testing.T) {
+	info := mustCheck(t, `
+int g;
+void f(int p) { int l; l = g + p; }
+`)
+	fn := info.File.Func("f")
+	vars := info.FuncVars[fn]
+	names := map[string]bool{}
+	for _, v := range vars {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"g", "p", "l"} {
+		if !names[want] {
+			t.Errorf("variable %q missing from FuncVars", want)
+		}
+	}
+	// Every ident in the body must be resolved.
+	ast.Walk(fn.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Decl == nil {
+			t.Errorf("unresolved identifier %q", id.Name)
+		}
+		return true
+	})
+}
+
+func TestUndeclared(t *testing.T) {
+	if _, err := check(t, `void f(void) { x = 1; }`); err == nil {
+		t.Error("expected undeclared-variable error")
+	}
+}
+
+func TestRedeclaration(t *testing.T) {
+	if _, err := check(t, `void f(void) { int a; int a; }`); err == nil {
+		t.Error("expected redeclaration error")
+	}
+	// Shadowing in a nested scope is legal.
+	mustCheck(t, `void f(void) { int a; { int a; a = 1; } a = 2; }`)
+}
+
+func TestBreakContinuePlacement(t *testing.T) {
+	if _, err := check(t, `void f(void) { break; }`); err == nil {
+		t.Error("expected error: break outside loop/switch")
+	}
+	if _, err := check(t, `void f(void) { continue; }`); err == nil {
+		t.Error("expected error: continue outside loop")
+	}
+	mustCheck(t, `int x; void f(void) { while (x) { if (x) break; continue; } }`)
+	mustCheck(t, `int x; void f(void) { switch (x) { case 1: break; } }`)
+}
+
+func TestSwitchRules(t *testing.T) {
+	if _, err := check(t, `int x; void f(void) { switch (x) { case 1: case 1: break; } }`); err == nil {
+		t.Error("expected duplicate case error")
+	}
+	if _, err := check(t, `int x; void f(void) { switch (x) { default: break; default: break; } }`); err == nil {
+		t.Error("expected multiple-default error")
+	}
+	info := mustCheck(t, `int x; void f(void) { switch (x) { case 2+3: break; case -1: break; } }`)
+	vals := map[int64]bool{}
+	for _, v := range info.CaseVals {
+		vals[v] = true
+	}
+	if !vals[5] || !vals[-1] {
+		t.Errorf("case values = %v, want {5, -1}", vals)
+	}
+}
+
+func TestNonConstCase(t *testing.T) {
+	if _, err := check(t, `int x, y; void f(void) { switch (x) { case y: break; } }`); err == nil {
+		t.Error("expected non-constant case error")
+	}
+}
+
+func TestReturnInVoid(t *testing.T) {
+	if _, err := check(t, `void f(void) { return 1; }`); err == nil {
+		t.Error("expected return-with-value error")
+	}
+	mustCheck(t, `int f(void) { return 1; }`)
+	mustCheck(t, `void f(void) { return; }`)
+}
+
+func TestCallArity(t *testing.T) {
+	if _, err := check(t, `
+int add(int a, int b) { return a + b; }
+void f(void) { add(1); }
+`); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestExternalsCollected(t *testing.T) {
+	info := mustCheck(t, `void f(void) { printf1(); printf2(); printf1(); }`)
+	if len(info.Externals) != 2 {
+		t.Errorf("externals = %v, want 2 distinct", info.Externals)
+	}
+}
+
+func TestConstEval(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"-4", -4},
+		{"~0", -1},
+		{"!5", 0},
+		{"!0", 1},
+		{"16>>2", 4},
+		{"1<<10", 1024},
+		{"7%3", 1},
+		{"7/2", 3},
+		{"5&3", 1},
+		{"5|3", 7},
+		{"5^3", 6},
+	}
+	for _, c := range cases {
+		f, err := parser.ParseFile("c.c", "int g = "+c.src+";")
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		got, err := ConstEval(f.Globals[0].Init)
+		if err != nil {
+			t.Errorf("ConstEval(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ConstEval(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestConstEvalErrors(t *testing.T) {
+	for _, src := range []string{"1/0", "1%0"} {
+		f, err := parser.ParseFile("c.c", "int g = "+src+";")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ConstEval(f.Globals[0].Init); err == nil {
+			t.Errorf("ConstEval(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := check(t, "void f(void) {\n    x = 1;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error %q should mention line 2", err)
+	}
+}

@@ -1,0 +1,275 @@
+// Package token defines the lexical tokens of the C subset accepted by the
+// WCET analyser's front end, together with source positions.
+//
+// The subset is the language emitted by TargetLink-style code generators for
+// control applications: scalar integer types, if/else, switch, the three loop
+// forms, assignments, calls, and the usual C expression operators.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	COMMENT
+
+	// Literals and identifiers.
+	IDENT  // wiper_state
+	INTLIT // 42, 0x2A, 'a'
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwShort
+	KwLong
+	KwUnsigned
+	KwSigned
+	KwVoid
+	KwBool // _Bool, recognised for range-friendly declarations
+	KwIf
+	KwElse
+	KwSwitch
+	KwCase
+	KwDefault
+	KwWhile
+	KwDo
+	KwFor
+	KwBreak
+	KwContinue
+	KwReturn
+	KwConst
+	KwVolatile
+
+	// Punctuation and operators.
+	LPAREN    // (
+	RPAREN    // )
+	LBRACE    // {
+	RBRACE    // }
+	LBRACKET  // [
+	RBRACKET  // ]
+	SEMICOLON // ;
+	COMMA     // ,
+	COLON     // :
+	QUESTION  // ?
+
+	ASSIGN     // =
+	ADDASSIGN  // +=
+	SUBASSIGN  // -=
+	MULASSIGN  // *=
+	DIVASSIGN  // /=
+	MODASSIGN  // %=
+	ANDASSIGN  // &=
+	ORASSIGN   // |=
+	XORASSIGN  // ^=
+	SHLASSIGN  // <<=
+	SHRASSIGN  // >>=
+	INC        // ++
+	DEC        // --
+	PLUS       // +
+	MINUS      // -
+	STAR       // *
+	SLASH      // /
+	PERCENT    // %
+	AMP        // &
+	PIPE       // |
+	CARET      // ^
+	TILDE      // ~
+	BANG       // !
+	SHL        // <<
+	SHR        // >>
+	LT         // <
+	GT         // >
+	LE         // <=
+	GE         // >=
+	EQ         // ==
+	NE         // !=
+	LAND       // &&
+	LOR        // ||
+	kindsCount // sentinel for tests
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	COMMENT:    "comment",
+	IDENT:      "identifier",
+	INTLIT:     "integer literal",
+	KwInt:      "int",
+	KwChar:     "char",
+	KwShort:    "short",
+	KwLong:     "long",
+	KwUnsigned: "unsigned",
+	KwSigned:   "signed",
+	KwVoid:     "void",
+	KwBool:     "_Bool",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwSwitch:   "switch",
+	KwCase:     "case",
+	KwDefault:  "default",
+	KwWhile:    "while",
+	KwDo:       "do",
+	KwFor:      "for",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwReturn:   "return",
+	KwConst:    "const",
+	KwVolatile: "volatile",
+	LPAREN:     "(",
+	RPAREN:     ")",
+	LBRACE:     "{",
+	RBRACE:     "}",
+	LBRACKET:   "[",
+	RBRACKET:   "]",
+	SEMICOLON:  ";",
+	COMMA:      ",",
+	COLON:      ":",
+	QUESTION:   "?",
+	ASSIGN:     "=",
+	ADDASSIGN:  "+=",
+	SUBASSIGN:  "-=",
+	MULASSIGN:  "*=",
+	DIVASSIGN:  "/=",
+	MODASSIGN:  "%=",
+	ANDASSIGN:  "&=",
+	ORASSIGN:   "|=",
+	XORASSIGN:  "^=",
+	SHLASSIGN:  "<<=",
+	SHRASSIGN:  ">>=",
+	INC:        "++",
+	DEC:        "--",
+	PLUS:       "+",
+	MINUS:      "-",
+	STAR:       "*",
+	SLASH:      "/",
+	PERCENT:    "%",
+	AMP:        "&",
+	PIPE:       "|",
+	CARET:      "^",
+	TILDE:      "~",
+	BANG:       "!",
+	SHL:        "<<",
+	SHR:        ">>",
+	LT:         "<",
+	GT:         ">",
+	LE:         "<=",
+	GE:         ">=",
+	EQ:         "==",
+	NE:         "!=",
+	LAND:       "&&",
+	LOR:        "||",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// NumKinds reports the number of defined token kinds (used by tests).
+func NumKinds() int { return int(kindsCount) }
+
+// Keywords maps keyword spellings to their kinds.
+var Keywords = map[string]Kind{
+	"int":      KwInt,
+	"char":     KwChar,
+	"short":    KwShort,
+	"long":     KwLong,
+	"unsigned": KwUnsigned,
+	"signed":   KwSigned,
+	"void":     KwVoid,
+	"_Bool":    KwBool,
+	"bool":     KwBool,
+	"if":       KwIf,
+	"else":     KwElse,
+	"switch":   KwSwitch,
+	"case":     KwCase,
+	"default":  KwDefault,
+	"while":    KwWhile,
+	"do":       KwDo,
+	"for":      KwFor,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"const":    KwConst,
+	"volatile": KwVolatile,
+}
+
+// Pos is a source position: 1-based line and column plus file name.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position in file:line:col form.
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a lexed token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  Pos
+	// Val holds the value of an INTLIT after lexing.
+	Val int64
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssignOp reports whether the kind is an assignment operator (= or op=).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case ASSIGN, ADDASSIGN, SUBASSIGN, MULASSIGN, DIVASSIGN, MODASSIGN,
+		ANDASSIGN, ORASSIGN, XORASSIGN, SHLASSIGN, SHRASSIGN:
+		return true
+	}
+	return false
+}
+
+// BaseOp returns the underlying binary operator of a compound assignment,
+// e.g. ADDASSIGN → PLUS. For plain ASSIGN it returns ASSIGN.
+func (k Kind) BaseOp() Kind {
+	switch k {
+	case ADDASSIGN:
+		return PLUS
+	case SUBASSIGN:
+		return MINUS
+	case MULASSIGN:
+		return STAR
+	case DIVASSIGN:
+		return SLASH
+	case MODASSIGN:
+		return PERCENT
+	case ANDASSIGN:
+		return AMP
+	case ORASSIGN:
+		return PIPE
+	case XORASSIGN:
+		return CARET
+	case SHLASSIGN:
+		return SHL
+	case SHRASSIGN:
+		return SHR
+	}
+	return ASSIGN
+}

@@ -1,0 +1,78 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEveryKindHasName(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds(); k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestKeywordsRoundTrip(t *testing.T) {
+	for spelling, kind := range Keywords {
+		if spelling == "bool" {
+			continue // alias of _Bool
+		}
+		if kind.String() != spelling {
+			t.Errorf("keyword %q stringifies as %q", spelling, kind)
+		}
+	}
+}
+
+func TestBaseOp(t *testing.T) {
+	cases := map[Kind]Kind{
+		ADDASSIGN: PLUS, SUBASSIGN: MINUS, MULASSIGN: STAR,
+		DIVASSIGN: SLASH, MODASSIGN: PERCENT, ANDASSIGN: AMP,
+		ORASSIGN: PIPE, XORASSIGN: CARET, SHLASSIGN: SHL, SHRASSIGN: SHR,
+		ASSIGN: ASSIGN,
+	}
+	for in, want := range cases {
+		if got := in.BaseOp(); got != want {
+			t.Errorf("BaseOp(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestIsAssignOp(t *testing.T) {
+	for _, k := range []Kind{ASSIGN, ADDASSIGN, SHRASSIGN} {
+		if !k.IsAssignOp() {
+			t.Errorf("%s must be an assignment operator", k)
+		}
+	}
+	for _, k := range []Kind{PLUS, EQ, LAND, IDENT} {
+		if k.IsAssignOp() {
+			t.Errorf("%s must not be an assignment operator", k)
+		}
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := Pos{File: "a.c", Line: 3, Col: 7}
+	if p.String() != "a.c:3:7" {
+		t.Errorf("pos = %q", p.String())
+	}
+	if (Pos{Line: 2, Col: 1}).String() != "2:1" {
+		t.Error("file-less position format")
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero position must be invalid")
+	}
+	if !p.IsValid() {
+		t.Error("set position must be valid")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	id := Token{Kind: IDENT, Text: "foo"}
+	if !strings.Contains(id.String(), "foo") {
+		t.Error("ident token string lacks the name")
+	}
+	if (Token{Kind: SEMICOLON}).String() != ";" {
+		t.Error("punctuation token string")
+	}
+}

@@ -1,0 +1,126 @@
+package cfg
+
+// Arm is a structural region recorded during CFG construction: the block set
+// of a branch arm (then/else/case/default) or loop body, in the hierarchy
+// induced by the abstract syntax tree. The paper partitions "following the
+// abstract syntax tree": arms are exactly the program-segment candidates.
+type Arm struct {
+	// Kind is "function", "then", "else", "case", "default" or "loop-body".
+	Kind string
+	// Entry is the block the arm is entered through.
+	Entry NodeID
+	// Set is the arm's block set (Entry included).
+	Set map[NodeID]bool
+	// Children are the arms nested directly inside this one.
+	Children []*Arm
+}
+
+// Region returns the arm as a countable region of g.
+func (a *Arm) Region(g *Graph) Region {
+	return Region{G: g, Entry: a.Entry, Set: a.Set}
+}
+
+// Walk visits the arm tree pre-order.
+func (a *Arm) Walk(f func(*Arm)) {
+	f(a)
+	for _, c := range a.Children {
+		c.Walk(f)
+	}
+}
+
+// SingleEntry reports whether the arm is a valid program segment of g: every
+// edge from outside the block set enters at Entry, and there is exactly one
+// such edge (the function arm is entered by the program, which also counts
+// as one entry).
+func (a *Arm) SingleEntry(g *Graph) bool {
+	entries := 0
+	for _, n := range g.Nodes {
+		if a.Set[n.ID] {
+			continue
+		}
+		for _, e := range g.Succs(n.ID) {
+			if !a.Set[e.To] {
+				continue
+			}
+			if e.To != a.Entry {
+				return false
+			}
+			entries++
+		}
+	}
+	if a.Kind == "function" {
+		return true
+	}
+	return entries == 1
+}
+
+// armRecorder tracks arm construction inside the builder. Blocks created
+// while an arm is being built are assigned to it by contiguous id span.
+type armRecorder struct {
+	root  *Arm
+	stack []*Arm
+	spans []int // span start per stack entry
+	extra [][]NodeID
+}
+
+func (r *armRecorder) push(kind string, entry NodeID, nextID int, extra ...NodeID) {
+	arm := &Arm{Kind: kind, Entry: entry, Set: map[NodeID]bool{}}
+	if len(r.stack) == 0 {
+		r.root = arm
+	} else {
+		top := r.stack[len(r.stack)-1]
+		top.Children = append(top.Children, arm)
+	}
+	r.stack = append(r.stack, arm)
+	r.spans = append(r.spans, nextID)
+	r.extra = append(r.extra, extra)
+}
+
+func (r *armRecorder) pop(nextID int) {
+	arm := r.stack[len(r.stack)-1]
+	start := r.spans[len(r.spans)-1]
+	arm.Set[arm.Entry] = true
+	for id := start; id < nextID; id++ {
+		arm.Set[NodeID(id)] = true
+	}
+	for _, id := range r.extra[len(r.extra)-1] {
+		arm.Set[id] = true
+	}
+	r.stack = r.stack[:len(r.stack)-1]
+	r.spans = r.spans[:len(r.spans)-1]
+	r.extra = r.extra[:len(r.extra)-1]
+}
+
+// remap rewrites arm node ids after pruning; arms whose entry vanished are
+// removed (their children are lifted into the parent).
+func remapArms(a *Arm, remap []NodeID) *Arm {
+	newSet := map[NodeID]bool{}
+	for id := range a.Set {
+		if nid := remap[id]; nid != NoNode {
+			newSet[nid] = true
+		}
+	}
+	a.Set = newSet
+	var kids []*Arm
+	for _, c := range a.Children {
+		c = remapArms(c, remap)
+		if c == nil {
+			continue
+		}
+		if remap[c.Entry] == NoNode {
+			// Dead arm: lift surviving grandchildren.
+			kids = append(kids, c.Children...)
+			continue
+		}
+		c.Entry = remap[c.Entry]
+		kids = append(kids, c)
+	}
+	a.Children = kids
+	if a.Kind != "function" && remap[a.Entry] == NoNode {
+		return a // caller inspects entry and lifts children
+	}
+	if a.Kind == "function" {
+		a.Entry = remap[a.Entry]
+	}
+	return a
+}

@@ -1,0 +1,637 @@
+// Package cfg builds and analyses control flow graphs for the C subset.
+//
+// The construction mirrors the CFG of the paper's Figure 1:
+//
+//   - Branch conditions are evaluated at the end of the basic block that
+//     also holds the preceding straight-line code (no dedicated condition
+//     blocks for if/switch).
+//   - An if with an else arm gets a dedicated join block; the join block
+//     absorbs the statements that follow the if.
+//   - An if without an else branches directly to the continuation block.
+//   - The function has a distinguished empty entry block, an empty epilogue
+//     block (the target of every return and of falling off the end), and a
+//     distinguished exit block.
+//
+// With these rules the paper's example program yields exactly 11 basic
+// blocks, reproducing Table 1.
+package cfg
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+)
+
+// NodeID indexes a basic block within its Graph.
+type NodeID int
+
+// NoNode is the invalid node id.
+const NoNode NodeID = -1
+
+// TermKind classifies block terminators.
+type TermKind int
+
+// Terminator kinds.
+const (
+	TermGoto   TermKind = iota // unconditional edge
+	TermBranch                 // two-way conditional
+	TermSwitch                 // multi-way on a tag value
+	TermReturn                 // jump to the epilogue, with optional value
+	TermExit                   // the exit block's pseudo-terminator
+)
+
+// SwitchCase is one outgoing case edge of a TermSwitch.
+type SwitchCase struct {
+	Vals []int64 // constant labels sharing this target
+	To   NodeID
+}
+
+// Term is a basic block terminator.
+type Term struct {
+	Kind TermKind
+	// Cond is the branch condition (TermBranch).
+	Cond ast.Expr
+	// Tag is the switch subject (TermSwitch).
+	Tag ast.Expr
+	// Val is the returned expression (TermReturn), possibly nil.
+	Val ast.Expr
+	// To is the target of TermGoto and TermReturn.
+	To NodeID
+	// True and False are the TermBranch targets.
+	True, False NodeID
+	// Cases and Default are the TermSwitch targets.
+	Cases   []SwitchCase
+	Default NodeID
+}
+
+// Node is a basic block.
+type Node struct {
+	ID   NodeID
+	Line int // line of the first instruction (0 for synthetic blocks)
+	// Items are the straight-line operations of the block, each either an
+	// *ast.ExprStmt or an *ast.DeclStmt (declaration with initialiser).
+	Items []ast.Stmt
+	Term  Term
+	// LoopBound is set on loop-header blocks from /*@ loopbound n */
+	// annotations (0 when absent).
+	LoopBound int
+	// Label is a human-readable role tag: "entry", "exit", "epilogue",
+	// "join", "header", or "".
+	Label string
+}
+
+// Edge identifies one control edge by its source block and outcome.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	// Kind describes the outcome: "goto", "true", "false", "case", "default",
+	// "return".
+	Kind string
+	// CaseVals holds the labels of a "case" edge.
+	CaseVals []int64
+}
+
+// Graph is the CFG of one function.
+type Graph struct {
+	Fn    *ast.FuncDecl
+	Nodes []*Node
+	Entry NodeID
+	Exit  NodeID
+	// Epilogue is the empty return block preceding Exit.
+	Epilogue NodeID
+	// Arms is the root of the structural region tree recorded during
+	// construction (the whole function), used by the partitioner.
+	Arms *Arm
+
+	preds [][]NodeID // computed lazily
+}
+
+// Node returns the block with the given id.
+func (g *Graph) Node(id NodeID) *Node { return g.Nodes[id] }
+
+// NumNodes reports the number of basic blocks (including entry, epilogue
+// and exit).
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Succs returns the outgoing edges of block id in a deterministic order.
+func (g *Graph) Succs(id NodeID) []Edge {
+	n := g.Nodes[id]
+	switch n.Term.Kind {
+	case TermGoto:
+		return []Edge{{From: id, To: n.Term.To, Kind: "goto"}}
+	case TermBranch:
+		return []Edge{
+			{From: id, To: n.Term.True, Kind: "true"},
+			{From: id, To: n.Term.False, Kind: "false"},
+		}
+	case TermSwitch:
+		out := make([]Edge, 0, len(n.Term.Cases)+1)
+		for _, c := range n.Term.Cases {
+			out = append(out, Edge{From: id, To: c.To, Kind: "case", CaseVals: c.Vals})
+		}
+		out = append(out, Edge{From: id, To: n.Term.Default, Kind: "default"})
+		return out
+	case TermReturn:
+		return []Edge{{From: id, To: n.Term.To, Kind: "return"}}
+	case TermExit:
+		return nil
+	}
+	return nil
+}
+
+// Preds returns the predecessor blocks of id.
+func (g *Graph) Preds(id NodeID) []NodeID {
+	if g.preds == nil {
+		g.preds = make([][]NodeID, len(g.Nodes))
+		for _, n := range g.Nodes {
+			for _, e := range g.Succs(n.ID) {
+				g.preds[e.To] = append(g.preds[e.To], n.ID)
+			}
+		}
+	}
+	return g.preds[id]
+}
+
+// InEdges returns every edge whose target is id.
+func (g *Graph) InEdges(id NodeID) []Edge {
+	var in []Edge
+	for _, n := range g.Nodes {
+		for _, e := range g.Succs(n.ID) {
+			if e.To == id {
+				in = append(in, e)
+			}
+		}
+	}
+	return in
+}
+
+// CondBranches counts two-way and multi-way decisions in the graph.
+func (g *Graph) CondBranches() int {
+	n := 0
+	for _, b := range g.Nodes {
+		switch b.Term.Kind {
+		case TermBranch:
+			n++
+		case TermSwitch:
+			n++
+		}
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+// BuildError reports a construct the CFG builder cannot translate.
+type BuildError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *BuildError) Error() string { return fmt.Sprintf("%s: cfg: %s", e.Pos, e.Msg) }
+
+type builder struct {
+	g    *Graph
+	arms armRecorder
+	// cur is the block currently receiving items; NoNode while unreachable.
+	cur NodeID
+	// breakTo/continueTo are the active jump targets.
+	breakTo    []NodeID
+	continueTo []NodeID
+}
+
+// Build constructs the CFG of fn. The function body must be present and the
+// file semantically checked (identifiers resolved, case labels constant).
+func Build(fn *ast.FuncDecl) (*Graph, error) {
+	if fn.Body == nil {
+		return nil, &BuildError{Pos: fn.NamePos, Msg: "function has no body"}
+	}
+	b := &builder{g: &Graph{Fn: fn}}
+	entry := b.newBlock("entry", 0)
+	b.g.Entry = entry
+	b.arms.push("function", entry, 0)
+
+	first := b.newBlock("", 0)
+	b.g.Nodes[entry].Term = Term{Kind: TermGoto, To: first}
+	b.cur = first
+
+	// Epilogue and exit.
+	epi := b.newBlock("epilogue", 0)
+	exit := b.newBlock("exit", 0)
+	b.g.Epilogue = epi
+	b.g.Exit = exit
+	b.g.Nodes[epi].Term = Term{Kind: TermGoto, To: exit}
+	b.g.Nodes[exit].Term = Term{Kind: TermExit}
+
+	if err := b.stmts(fn.Body.Stmts); err != nil {
+		return nil, err
+	}
+	// Fall off the end of the body.
+	b.seal(Term{Kind: TermReturn, To: epi})
+	b.arms.pop(len(b.g.Nodes))
+	b.g.Arms = b.arms.root
+	b.g.prune()
+	return b.g, nil
+}
+
+// prune removes unreachable blocks and renumbers the survivors.
+func (g *Graph) prune() {
+	reach := make([]bool, len(g.Nodes))
+	stack := []NodeID{g.Entry}
+	reach[g.Entry] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Succs(id) {
+			if !reach[e.To] {
+				reach[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	remap := make([]NodeID, len(g.Nodes))
+	var kept []*Node
+	for i, n := range g.Nodes {
+		if reach[i] {
+			remap[i] = NodeID(len(kept))
+			n.ID = remap[i]
+			kept = append(kept, n)
+		} else {
+			remap[i] = NoNode
+		}
+	}
+	fix := func(id NodeID) NodeID {
+		if id == NoNode {
+			return NoNode
+		}
+		return remap[id]
+	}
+	for _, n := range kept {
+		n.Term.To = fix(n.Term.To)
+		n.Term.True = fix(n.Term.True)
+		n.Term.False = fix(n.Term.False)
+		n.Term.Default = fix(n.Term.Default)
+		for i := range n.Term.Cases {
+			n.Term.Cases[i].To = fix(n.Term.Cases[i].To)
+		}
+	}
+	g.Nodes = kept
+	g.Entry = fix(g.Entry)
+	g.Exit = fix(g.Exit)
+	g.Epilogue = fix(g.Epilogue)
+	if g.Arms != nil {
+		g.Arms = remapArms(g.Arms, remap)
+	}
+	g.preds = nil
+}
+
+func (b *builder) newBlock(label string, line int) NodeID {
+	id := NodeID(len(b.g.Nodes))
+	b.g.Nodes = append(b.g.Nodes, &Node{ID: id, Label: label, Line: line})
+	return id
+}
+
+// seal terminates the current block (if any) with t.
+func (b *builder) seal(t Term) {
+	if b.cur == NoNode {
+		return
+	}
+	b.g.Nodes[b.cur].Term = t
+	b.cur = NoNode
+}
+
+// append adds a straight-line item to the current block, opening a fresh one
+// if the builder is in dead code (after break/return) — dead blocks are
+// pruned afterwards.
+func (b *builder) append(s ast.Stmt) {
+	if b.cur == NoNode {
+		b.cur = b.newBlock("", lineOf(s))
+	}
+	n := b.g.Nodes[b.cur]
+	if n.Line == 0 {
+		n.Line = lineOf(s)
+	}
+	n.Items = append(n.Items, s)
+}
+
+func lineOf(n ast.Node) int {
+	if n == nil {
+		return 0
+	}
+	return n.Pos().Line
+}
+
+func (b *builder) stmts(list []ast.Stmt) error {
+	for _, s := range list {
+		if err := b.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) error {
+	switch x := s.(type) {
+	case *ast.Block:
+		return b.stmts(x.Stmts)
+	case *ast.EmptyStmt:
+		return nil
+	case *ast.DeclStmt:
+		// Declarations without initialisers generate no code.
+		if x.Decl.Init != nil {
+			b.append(x)
+		}
+		return nil
+	case *ast.ExprStmt:
+		b.append(x)
+		return nil
+	case *ast.IfStmt:
+		return b.ifStmt(x)
+	case *ast.SwitchStmt:
+		return b.switchStmt(x)
+	case *ast.WhileStmt:
+		return b.whileStmt(x)
+	case *ast.DoWhileStmt:
+		return b.doWhileStmt(x)
+	case *ast.ForStmt:
+		return b.forStmt(x)
+	case *ast.BreakStmt:
+		if len(b.breakTo) == 0 {
+			return &BuildError{Pos: x.BreakPos, Msg: "break outside loop/switch"}
+		}
+		b.seal(Term{Kind: TermGoto, To: b.breakTo[len(b.breakTo)-1]})
+		return nil
+	case *ast.ContinueStmt:
+		if len(b.continueTo) == 0 {
+			return &BuildError{Pos: x.ContinuePos, Msg: "continue outside loop"}
+		}
+		b.seal(Term{Kind: TermGoto, To: b.continueTo[len(b.continueTo)-1]})
+		return nil
+	case *ast.ReturnStmt:
+		b.ensureCur(lineOf(x))
+		b.seal(Term{Kind: TermReturn, Val: x.X, To: b.g.Epilogue})
+		return nil
+	}
+	return &BuildError{Pos: s.Pos(), Msg: fmt.Sprintf("unsupported statement %T", s)}
+}
+
+func (b *builder) ensureCur(line int) {
+	if b.cur == NoNode {
+		b.cur = b.newBlock("", line)
+	}
+}
+
+func (b *builder) ifStmt(x *ast.IfStmt) error {
+	if err := checkNoSideEffects(x.Cond); err != nil {
+		return err
+	}
+	b.ensureCur(lineOf(x))
+	condBlock := b.cur
+
+	thenEntry := b.newBlock("", lineOf(x.Then))
+	if x.Else == nil {
+		// No else: branch false edge goes straight to the continuation.
+		cont := b.newBlock("", 0)
+		b.g.Nodes[condBlock].Term = Term{Kind: TermBranch, Cond: x.Cond, True: thenEntry, False: cont}
+		b.arms.push("then", thenEntry, len(b.g.Nodes))
+		b.cur = thenEntry
+		if err := b.stmt(x.Then); err != nil {
+			return err
+		}
+		b.seal(Term{Kind: TermGoto, To: cont})
+		b.arms.pop(len(b.g.Nodes))
+		b.cur = cont
+		return nil
+	}
+	elseEntry := b.newBlock("", lineOf(x.Else))
+	join := b.newBlock("join", 0)
+	b.g.Nodes[condBlock].Term = Term{Kind: TermBranch, Cond: x.Cond, True: thenEntry, False: elseEntry}
+	b.arms.push("then", thenEntry, len(b.g.Nodes))
+	b.cur = thenEntry
+	if err := b.stmt(x.Then); err != nil {
+		return err
+	}
+	b.seal(Term{Kind: TermGoto, To: join})
+	b.arms.pop(len(b.g.Nodes))
+	b.arms.push("else", elseEntry, len(b.g.Nodes))
+	b.cur = elseEntry
+	if err := b.stmt(x.Else); err != nil {
+		return err
+	}
+	b.seal(Term{Kind: TermGoto, To: join})
+	b.arms.pop(len(b.g.Nodes))
+	// The join block absorbs the continuation.
+	b.cur = join
+	return nil
+}
+
+func (b *builder) switchStmt(x *ast.SwitchStmt) error {
+	if err := checkNoSideEffects(x.Tag); err != nil {
+		return err
+	}
+	b.ensureCur(lineOf(x))
+	tagBlock := b.cur
+	b.cur = NoNode
+
+	cont := b.newBlock("join", 0)
+	term := Term{Kind: TermSwitch, Tag: x.Tag, Default: cont}
+
+	// First pass: create clause entry blocks.
+	entries := make([]NodeID, len(x.Clauses))
+	for i, cl := range x.Clauses {
+		entries[i] = b.newBlock("", lineOf(cl))
+		if cl.Vals == nil {
+			term.Default = entries[i]
+		} else {
+			vals := make([]int64, 0, len(cl.Vals))
+			for _, v := range cl.Vals {
+				cv, err := constVal(v)
+				if err != nil {
+					return &BuildError{Pos: v.Pos(), Msg: "non-constant case label"}
+				}
+				vals = append(vals, cv)
+			}
+			term.Cases = append(term.Cases, SwitchCase{Vals: vals, To: entries[i]})
+		}
+	}
+	b.g.Nodes[tagBlock].Term = term
+
+	// Second pass: clause bodies, with fallthrough to the next entry.
+	b.breakTo = append(b.breakTo, cont)
+	for i, cl := range x.Clauses {
+		kind := "case"
+		if cl.Vals == nil {
+			kind = "default"
+		}
+		b.arms.push(kind, entries[i], len(b.g.Nodes))
+		b.cur = entries[i]
+		if err := b.stmts(cl.Body); err != nil {
+			return err
+		}
+		fallTo := cont
+		if i+1 < len(x.Clauses) {
+			fallTo = entries[i+1]
+		}
+		b.seal(Term{Kind: TermGoto, To: fallTo})
+		b.arms.pop(len(b.g.Nodes))
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = cont
+	return nil
+}
+
+func (b *builder) whileStmt(x *ast.WhileStmt) error {
+	if err := checkNoSideEffects(x.Cond); err != nil {
+		return err
+	}
+	header := b.newBlock("header", lineOf(x))
+	b.g.Nodes[header].LoopBound = x.Bound
+	b.seal(Term{Kind: TermGoto, To: header})
+
+	body := b.newBlock("", lineOf(x.Body))
+	cont := b.newBlock("", 0)
+	b.g.Nodes[header].Term = Term{Kind: TermBranch, Cond: x.Cond, True: body, False: cont}
+
+	b.breakTo = append(b.breakTo, cont)
+	b.continueTo = append(b.continueTo, header)
+	b.arms.push("loop-body", body, len(b.g.Nodes))
+	b.cur = body
+	if err := b.stmt(x.Body); err != nil {
+		return err
+	}
+	b.seal(Term{Kind: TermGoto, To: header})
+	b.arms.pop(len(b.g.Nodes))
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = cont
+	return nil
+}
+
+func (b *builder) doWhileStmt(x *ast.DoWhileStmt) error {
+	if err := checkNoSideEffects(x.Cond); err != nil {
+		return err
+	}
+	body := b.newBlock("header", lineOf(x))
+	b.g.Nodes[body].LoopBound = x.Bound
+	b.seal(Term{Kind: TermGoto, To: body})
+
+	latch := b.newBlock("", 0) // evaluates the condition
+	cont := b.newBlock("", 0)
+
+	b.breakTo = append(b.breakTo, cont)
+	b.continueTo = append(b.continueTo, latch)
+	b.arms.push("loop-body", body, len(b.g.Nodes), latch)
+	b.cur = body
+	if err := b.stmt(x.Body); err != nil {
+		return err
+	}
+	b.seal(Term{Kind: TermGoto, To: latch})
+	b.arms.pop(len(b.g.Nodes))
+	b.g.Nodes[latch].Term = Term{Kind: TermBranch, Cond: x.Cond, True: body, False: cont}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = cont
+	return nil
+}
+
+func (b *builder) forStmt(x *ast.ForStmt) error {
+	if x.Cond != nil {
+		if err := checkNoSideEffects(x.Cond); err != nil {
+			return err
+		}
+	}
+	if x.Init != nil {
+		if err := b.stmt(x.Init); err != nil {
+			return err
+		}
+	}
+	header := b.newBlock("header", lineOf(x))
+	b.g.Nodes[header].LoopBound = x.Bound
+	b.seal(Term{Kind: TermGoto, To: header})
+
+	body := b.newBlock("", lineOf(x.Body))
+	cont := b.newBlock("", 0)
+	post := b.newBlock("", 0) // continue target evaluating the post clause
+	if x.Cond != nil {
+		b.g.Nodes[header].Term = Term{Kind: TermBranch, Cond: x.Cond, True: body, False: cont}
+	} else {
+		b.g.Nodes[header].Term = Term{Kind: TermGoto, To: body}
+	}
+
+	b.breakTo = append(b.breakTo, cont)
+	b.continueTo = append(b.continueTo, post)
+	b.arms.push("loop-body", body, len(b.g.Nodes), post)
+	b.cur = body
+	if err := b.stmt(x.Body); err != nil {
+		return err
+	}
+	b.seal(Term{Kind: TermGoto, To: post})
+	b.cur = post
+	if x.Post != nil {
+		b.append(&ast.ExprStmt{X: x.Post})
+	}
+	b.seal(Term{Kind: TermGoto, To: header})
+	b.arms.pop(len(b.g.Nodes))
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+	b.cur = cont
+	return nil
+}
+
+func constVal(e ast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Val, nil
+	case *ast.UnaryExpr:
+		if x.Op == token.MINUS {
+			v, err := constVal(x.X)
+			return -v, err
+		}
+	case *ast.BinaryExpr:
+		a, err1 := constVal(x.X)
+		c, err2 := constVal(x.Y)
+		if err1 != nil || err2 != nil {
+			break
+		}
+		switch x.Op {
+		case token.PLUS:
+			return a + c, nil
+		case token.MINUS:
+			return a - c, nil
+		case token.STAR:
+			return a * c, nil
+		}
+	}
+	return 0, fmt.Errorf("not constant")
+}
+
+// checkNoSideEffects rejects conditions containing assignments, ++/-- or
+// calls: decisions must be repeatable so that path forcing and measurement
+// observe the same control flow.
+func checkNoSideEffects(e ast.Expr) error {
+	var bad ast.Node
+	ast.Walk(e, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.AssignExpr:
+			bad = n
+			return false
+		case *ast.UnaryExpr:
+			u := n.(*ast.UnaryExpr)
+			if u.Op == token.INC || u.Op == token.DEC {
+				bad = n
+				return false
+			}
+		case *ast.CallExpr:
+			if n.(*ast.CallExpr).Cast == nil {
+				bad = n
+				return false
+			}
+		}
+		return true
+	})
+	if bad != nil {
+		return &BuildError{Pos: bad.Pos(), Msg: "condition must be side-effect free"}
+	}
+	return nil
+}

@@ -1,0 +1,398 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+)
+
+// Figure1Source is the paper's Figure 1 listing.
+const Figure1Source = `
+int main() {
+    int i;
+    printf1();
+    printf2();
+    if (i == 0)
+    {
+        printf3();
+        if (i == 0) {
+            printf4();
+        } else {
+            printf5();
+        }
+    }
+    if (i == 0)
+    {
+        printf6();
+        printf7();
+    }
+    printf8();
+}
+`
+
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	f, err := parser.ParseFile("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	fn := f.Func(name)
+	if fn == nil {
+		t.Fatalf("function %q missing", name)
+	}
+	g, err := Build(fn)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return g
+}
+
+func TestFigure1BlockCount(t *testing.T) {
+	g := buildFunc(t, Figure1Source, "main")
+	// The paper's CFG has 11 nodes (start, 9 labelled blocks, end), giving
+	// ip = 22 at path bound 1 in Table 1.
+	if g.NumNodes() != 11 {
+		t.Fatalf("Figure 1 blocks = %d, want 11\n%s", g.NumNodes(), g.Dot())
+	}
+}
+
+func TestFigure1PathCount(t *testing.T) {
+	g := buildFunc(t, Figure1Source, "main")
+	whole := WholeFunction(g)
+	if got := whole.PathCount(); got.Cmp(6) != 0 {
+		t.Errorf("whole-function paths = %s, want 6", got)
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `int a, b; void f(void) { a = 1; b = 2; a = a + b; }`, "f")
+	// entry, body, epilogue, exit.
+	if g.NumNodes() != 4 {
+		t.Fatalf("blocks = %d, want 4\n%s", g.NumNodes(), g.Dot())
+	}
+	if got := WholeFunction(g).PathCount(); got.Cmp(1) != 0 {
+		t.Errorf("paths = %s, want 1", got)
+	}
+}
+
+func TestIfWithoutElseNoJoinBlock(t *testing.T) {
+	g := buildFunc(t, `int a; void f(void) { if (a) { a = 1; } a = 2; }`, "f")
+	// entry, [cond], [a=1], [a=2], epilogue, exit = 6; no empty join.
+	if g.NumNodes() != 6 {
+		t.Fatalf("blocks = %d, want 6\n%s", g.NumNodes(), g.Dot())
+	}
+	if got := WholeFunction(g).PathCount(); got.Cmp(2) != 0 {
+		t.Errorf("paths = %s, want 2", got)
+	}
+}
+
+func TestIfElseHasJoinBlock(t *testing.T) {
+	g := buildFunc(t, `int a; void f(void) { if (a) { a = 1; } else { a = 2; } a = 3; }`, "f")
+	// entry, [cond], [a=1], [a=2], join(a=3), epilogue, exit = 7.
+	if g.NumNodes() != 7 {
+		t.Fatalf("blocks = %d, want 7\n%s", g.NumNodes(), g.Dot())
+	}
+	joins := 0
+	for _, n := range g.Nodes {
+		if n.Label == "join" {
+			joins++
+		}
+	}
+	if joins != 1 {
+		t.Errorf("join blocks = %d, want 1", joins)
+	}
+}
+
+func TestSwitchShape(t *testing.T) {
+	g := buildFunc(t, `
+int x, y;
+void f(void) {
+    switch (x) {
+    case 0: y = 0; break;
+    case 1: y = 1; break;
+    default: y = 9; break;
+    }
+    y = y + 1;
+}`, "f")
+	var sw *Node
+	for _, n := range g.Nodes {
+		if n.Term.Kind == TermSwitch {
+			sw = n
+		}
+	}
+	if sw == nil {
+		t.Fatal("no switch terminator")
+	}
+	if len(sw.Term.Cases) != 2 {
+		t.Errorf("cases = %d, want 2", len(sw.Term.Cases))
+	}
+	if got := WholeFunction(g).PathCount(); got.Cmp(3) != 0 {
+		t.Errorf("paths = %s, want 3", got)
+	}
+}
+
+func TestSwitchFallthroughPaths(t *testing.T) {
+	g := buildFunc(t, `
+int x, y;
+void f(void) {
+    switch (x) {
+    case 0: y = 0;
+    case 1: y = 1; break;
+    default: y = 9; break;
+    }
+}`, "f")
+	// Paths: case0→case1→out, case1→out, default→out = 3.
+	if got := WholeFunction(g).PathCount(); got.Cmp(3) != 0 {
+		t.Errorf("paths = %s, want 3", got)
+	}
+}
+
+func TestSwitchWithoutDefault(t *testing.T) {
+	g := buildFunc(t, `
+int x, y;
+void f(void) {
+    switch (x) {
+    case 0: y = 0; break;
+    case 1: y = 1; break;
+    }
+}`, "f")
+	// Implicit default edge to the continuation: 3 paths.
+	if got := WholeFunction(g).PathCount(); got.Cmp(3) != 0 {
+		t.Errorf("paths = %s, want 3", got)
+	}
+}
+
+func TestBoundedWhilePathCount(t *testing.T) {
+	g := buildFunc(t, `
+int i, a;
+void f(void) {
+    /*@ loopbound 3 */ while (i < 10) {
+        if (a) { a = 0; } else { a = 1; }
+        i = i + 1;
+    }
+}`, "f")
+	// Body has 2 paths; Σ_{k=0..3} 2^k = 1+2+4+8 = 15.
+	if got := WholeFunction(g).PathCount(); got.Cmp(15) != 0 {
+		t.Errorf("paths = %s, want 15", got)
+	}
+}
+
+func TestUnboundedLoopIsInfinite(t *testing.T) {
+	g := buildFunc(t, `
+int i;
+void f(void) { while (i < 10) { i = i + 1; } }`, "f")
+	if got := WholeFunction(g).PathCount(); !got.IsInf() {
+		t.Errorf("paths = %s, want inf", got)
+	}
+}
+
+func TestDoWhileAndFor(t *testing.T) {
+	g := buildFunc(t, `
+int i, s;
+void f(void) {
+    /*@ loopbound 2 */ do { s = s + i; } while (i > 0);
+    /*@ loopbound 2 */ for (i = 0; i < 2; i++) { s = s + 1; }
+}`, "f")
+	got := WholeFunction(g).PathCount()
+	if got.IsInf() {
+		t.Fatalf("paths = inf, want finite")
+	}
+	if got.Cmp(1) <= 0 {
+		t.Errorf("paths = %s, want > 1", got)
+	}
+}
+
+func TestReturnsReachEpilogue(t *testing.T) {
+	g := buildFunc(t, `
+int a;
+int f(void) {
+    if (a) { return 1; }
+    return 0;
+}`, "f")
+	// Both returns target the epilogue; exactly 2 paths.
+	if got := WholeFunction(g).PathCount(); got.Cmp(2) != 0 {
+		t.Errorf("paths = %s, want 2", got)
+	}
+	epi := g.Node(g.Epilogue)
+	if epi.Term.Kind != TermGoto || epi.Term.To != g.Exit {
+		t.Error("epilogue must fall into exit")
+	}
+	if len(g.Preds(g.Epilogue)) != 2 {
+		t.Errorf("epilogue preds = %d, want 2", len(g.Preds(g.Epilogue)))
+	}
+}
+
+func TestDeadCodePruned(t *testing.T) {
+	g := buildFunc(t, `
+int a;
+int f(void) {
+    return 1;
+    a = 2;
+}`, "f")
+	for _, n := range g.Nodes {
+		for _, it := range n.Items {
+			if strings.Contains(ast.PrintStmt(it), "a = 2") {
+				t.Error("dead statement survived prune")
+			}
+		}
+	}
+}
+
+func TestSideEffectingConditionRejected(t *testing.T) {
+	f, err := parser.ParseFile("t.c", `int a; void f(void) { if (a = 1) { a = 2; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(f.Func("f")); err == nil {
+		t.Error("expected error for side-effecting condition")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	g := buildFunc(t, Figure1Source, "main")
+	idom := g.Dominators()
+	if idom[g.Entry] != g.Entry {
+		t.Error("entry must be its own idom")
+	}
+	// The exit is dominated by the epilogue.
+	if idom[g.Exit] != g.Epilogue {
+		t.Errorf("idom(exit) = %d, want epilogue %d", idom[g.Exit], g.Epilogue)
+	}
+	// Every node except entry has an idom.
+	for id, d := range idom {
+		if NodeID(id) != g.Entry && d == NoNode {
+			t.Errorf("node %d missing idom", id)
+		}
+	}
+}
+
+func TestBackEdges(t *testing.T) {
+	g := buildFunc(t, `
+int i;
+void f(void) { /*@ loopbound 4 */ while (i) { i = i - 1; } }`, "f")
+	be := g.BackEdges()
+	if len(be) != 1 {
+		t.Fatalf("back edges = %d, want 1", len(be))
+	}
+	if g.Node(be[0].To).Label != "header" {
+		t.Error("back edge should target the loop header")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := buildFunc(t, Figure1Source, "main")
+	dot := g.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "start") || !strings.Contains(dot, "end") {
+		t.Error("dot output missing structure")
+	}
+}
+
+// Property: in any freshly built graph the successor targets are valid and
+// the predecessor relation is the inverse of the successor relation.
+func TestGraphInvariants(t *testing.T) {
+	sources := []string{
+		Figure1Source,
+		`int a; void f(void) { if (a) a = 1; else a = 2; }`,
+		`int x, y; void f(void) { switch (x) { case 1: y = 1; default: y = 2; } }`,
+		`int i; void f(void) { /*@ loopbound 9 */ for (i = 0; i < 9; i++) { if (i) { i = i + 1; } } }`,
+	}
+	for _, src := range sources {
+		name := "f"
+		if strings.Contains(src, "int main") {
+			name = "main"
+		}
+		g := buildFunc(t, src, name)
+		for _, n := range g.Nodes {
+			for _, e := range g.Succs(n.ID) {
+				if e.To < 0 || int(e.To) >= len(g.Nodes) {
+					t.Fatalf("edge to invalid node %d", e.To)
+				}
+				found := false
+				for _, p := range g.Preds(e.To) {
+					if p == n.ID {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("preds(%d) missing %d", e.To, n.ID)
+				}
+			}
+		}
+		// Exactly one exit with no successors.
+		if len(g.Succs(g.Exit)) != 0 {
+			t.Error("exit must have no successors")
+		}
+	}
+}
+
+// Property: path counts compose — a program of n sequential independent
+// if-statements has exactly 2^n paths.
+func TestQuickSequentialIfPaths(t *testing.T) {
+	f := func(n uint8) bool {
+		k := int(n%6) + 1
+		var b strings.Builder
+		b.WriteString("int a;\nvoid f(void) {\n")
+		for i := 0; i < k; i++ {
+			b.WriteString("if (a) { a = 1; }\n")
+		}
+		b.WriteString("}\n")
+		file, err := parser.ParseFile("q.c", b.String())
+		if err != nil {
+			return false
+		}
+		if _, err := sem.Check(file); err != nil {
+			return false
+		}
+		g, err := Build(file.Func("f"))
+		if err != nil {
+			return false
+		}
+		want := int64(1) << uint(k)
+		return WholeFunction(g).PathCount().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nesting multiplies and chains add — if-else chains of depth d
+// have d+1 paths.
+func TestQuickIfElseChainPaths(t *testing.T) {
+	f := func(n uint8) bool {
+		d := int(n%5) + 1
+		src := "int a;\nvoid f(void) {\n"
+		for i := 0; i < d; i++ {
+			src += "if (a) { a = 1; } else {\n"
+		}
+		src += "a = 0;\n"
+		for i := 0; i < d; i++ {
+			src += "}\n"
+		}
+		src += "}\n"
+		file, err := parser.ParseFile("q.c", src)
+		if err != nil {
+			return false
+		}
+		if _, err := sem.Check(file); err != nil {
+			return false
+		}
+		g, err := Build(file.Func("f"))
+		if err != nil {
+			return false
+		}
+		return WholeFunction(g).PathCount().Cmp(int64(d)+1) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,363 @@
+package cfg
+
+import (
+	"math"
+	"math/big"
+)
+
+// Count is a path count: a non-negative big integer or infinity (for
+// unbounded loops). Counts grow multiplicatively with program size, so the
+// end-to-end measurement counts of Figure 3 overflow any fixed-width type.
+type Count struct {
+	inf bool
+	v   *big.Int
+}
+
+// NewCount returns a finite count.
+func NewCount(v int64) Count { return Count{v: big.NewInt(v)} }
+
+// Inf returns the infinite count.
+func Inf() Count { return Count{inf: true} }
+
+// IsInf reports whether the count is infinite.
+func (c Count) IsInf() bool { return c.inf }
+
+// Int returns the big integer value; nil when infinite.
+func (c Count) Int() *big.Int {
+	if c.inf {
+		return nil
+	}
+	if c.v == nil {
+		return big.NewInt(0)
+	}
+	return c.v
+}
+
+// Int64 returns the value clamped to int64 (max int64 when infinite or too
+// large).
+func (c Count) Int64() int64 {
+	const max = int64(^uint64(0) >> 1)
+	if c.inf {
+		return max
+	}
+	if c.v == nil {
+		return 0
+	}
+	if !c.v.IsInt64() {
+		return max
+	}
+	return c.v.Int64()
+}
+
+// Float64 returns the value as a float (inf when infinite).
+func (c Count) Float64() float64 {
+	if c.inf {
+		return math.Inf(1)
+	}
+	f, _ := new(big.Float).SetInt(c.Int()).Float64()
+	return f
+}
+
+// Add returns c + d.
+func (c Count) Add(d Count) Count {
+	if c.inf || d.inf {
+		return Inf()
+	}
+	return Count{v: new(big.Int).Add(c.Int(), d.Int())}
+}
+
+// Mul returns c × d.
+func (c Count) Mul(d Count) Count {
+	if c.inf || d.inf {
+		// 0 × ∞ is taken as ∞ here: an unbounded loop around dead code is
+		// still an unbounded region.
+		return Inf()
+	}
+	return Count{v: new(big.Int).Mul(c.Int(), d.Int())}
+}
+
+// Cmp compares c with the integer n: -1, 0, +1.
+func (c Count) Cmp(n int64) int {
+	if c.inf {
+		return 1
+	}
+	return c.Int().Cmp(big.NewInt(n))
+}
+
+// CmpCount compares two counts.
+func (c Count) CmpCount(d Count) int {
+	switch {
+	case c.inf && d.inf:
+		return 0
+	case c.inf:
+		return 1
+	case d.inf:
+		return -1
+	}
+	return c.Int().Cmp(d.Int())
+}
+
+// String renders the count ("inf" when infinite).
+func (c Count) String() string {
+	if c.inf {
+		return "inf"
+	}
+	return c.Int().String()
+}
+
+// GobEncodeText is a tiny helper for reports.
+func (c Count) Format() string { return c.String() }
+
+// ---------------------------------------------------------------------------
+// Region path counting
+
+// Region is a set of nodes with a designated entry. Exits are the edges
+// leaving the set.
+type Region struct {
+	G     *Graph
+	Entry NodeID
+	Set   map[NodeID]bool
+}
+
+// WholeFunction returns the region covering the entire graph.
+func WholeFunction(g *Graph) Region {
+	set := make(map[NodeID]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		set[n.ID] = true
+	}
+	return Region{G: g, Entry: g.Entry, Set: set}
+}
+
+// Nodes returns the member ids in ascending order.
+func (r Region) Nodes() []NodeID {
+	var out []NodeID
+	for _, n := range r.G.Nodes {
+		if r.Set[n.ID] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Size reports the number of blocks in the region.
+func (r Region) Size() int { return len(r.Set) }
+
+// PathCount counts the distinct entry→exit paths through the region.
+//
+// Acyclic regions use a topological DP. Loops are handled by collapsing each
+// natural loop (innermost first) into a single supernode whose path count is
+// Σ_{k=0..bound} body^k when the header carries a loop-bound annotation, and
+// ∞ otherwise. An exit of the region counts as one path endpoint.
+func (r Region) PathCount() Count {
+	// Work on an induced subgraph with virtual exit.
+	ids := r.Nodes()
+	index := map[NodeID]int{}
+	for i, id := range ids {
+		index[id] = i
+	}
+	nodes := make([]vnode, len(ids))
+	mult := make([]Count, len(ids)) // per-node multiplicity (loop collapse)
+	for i := range mult {
+		mult[i] = NewCount(1)
+	}
+	for i, id := range ids {
+		for _, e := range r.G.Succs(id) {
+			if j, ok := index[e.To]; ok {
+				nodes[i].succs = append(nodes[i].succs, j)
+			} else {
+				nodes[i].succs = append(nodes[i].succs, -1)
+			}
+		}
+		// The exit block of the whole function has no successors: count its
+		// termination as one exit.
+		if len(nodes[i].succs) == 0 {
+			nodes[i].succs = append(nodes[i].succs, -1)
+		}
+	}
+	entry, ok := index[r.Entry]
+	if !ok {
+		return NewCount(0)
+	}
+
+	// Collapse natural loops until acyclic. Find back edges via DFS.
+	for iter := 0; iter < len(ids)+2; iter++ {
+		back := findBackEdge(nodes, entry)
+		if back == nil {
+			break
+		}
+		from, to := back[0], back[1]
+		// Natural loop of the back edge: nodes that reach `from` without
+		// passing through `to`.
+		loop := map[int]bool{to: true, from: true}
+		stack := []int{from}
+		preds := predecessors(nodes)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == to {
+				continue
+			}
+			for _, p := range preds[x] {
+				if !loop[p] {
+					loop[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		// Path count of one iteration of the loop body: paths from `to`
+		// back to `from` inside the loop... approximated as paths through
+		// the loop subregion from header to the back edge source, which for
+		// structured loops equals the body path count.
+		bodyPaths := countDAGSub(nodes, mult, loop, to, from)
+		bound := r.G.Nodes[ids[to]].LoopBound
+		var loopCount Count
+		if bound <= 0 || bodyPaths.IsInf() {
+			loopCount = Inf()
+		} else {
+			// Σ_{k=0..bound} body^k
+			sum := NewCount(1)
+			pow := NewCount(1)
+			for k := 1; k <= bound; k++ {
+				pow = pow.Mul(bodyPaths)
+				sum = sum.Add(pow)
+			}
+			loopCount = sum
+		}
+		// Collapse: header absorbs the loop; redirect edges.
+		mult[to] = mult[to].Mul(loopCount)
+		var newSuccs []int
+		seenExit := map[int]bool{}
+		for x := range loop {
+			for _, s := range nodes[x].succs {
+				if s == -1 {
+					if !seenExit[-1] {
+						newSuccs = append(newSuccs, -1)
+						seenExit[-1] = true
+					}
+					continue
+				}
+				if loop[s] {
+					continue
+				}
+				if !seenExit[s] {
+					newSuccs = append(newSuccs, s)
+					seenExit[s] = true
+				}
+			}
+		}
+		for x := range loop {
+			if x != to {
+				nodes[x].succs = nil // dead; unreachable after redirect
+			}
+		}
+		nodes[to].succs = newSuccs
+		// Redirect incoming edges of loop members (other than header) from
+		// outside: with natural loops and a single header there are none.
+	}
+	if findBackEdge(nodes, entry) != nil {
+		// Irreducible flow: give up precisely, report infinity.
+		return Inf()
+	}
+	return countDAG(nodes, mult, entry)
+}
+
+func predecessors(nodes []vnode) [][]int {
+	preds := make([][]int, len(nodes))
+	for i, n := range nodes {
+		for _, s := range n.succs {
+			if s >= 0 {
+				preds[s] = append(preds[s], i)
+			}
+		}
+	}
+	return preds
+}
+
+// findBackEdge returns [from, to] for some DFS back edge, or nil.
+func findBackEdge(nodes []vnode, entry int) []int {
+	state := make([]int, len(nodes)) // 0 unvisited, 1 on stack, 2 done
+	var res []int
+	var dfs func(int)
+	dfs = func(u int) {
+		state[u] = 1
+		for _, v := range nodes[u].succs {
+			if v < 0 || res != nil {
+				continue
+			}
+			switch state[v] {
+			case 0:
+				dfs(v)
+			case 1:
+				res = []int{u, v}
+			}
+		}
+		state[u] = 2
+	}
+	dfs(entry)
+	return res
+}
+
+// countDAG counts entry→exit paths in an acyclic succ graph, weighting each
+// node by its multiplicity.
+func countDAG(nodes []vnode, mult []Count, entry int) Count {
+	memo := make([]*Count, len(nodes))
+	var paths func(int) Count
+	paths = func(u int) Count {
+		if memo[u] != nil {
+			return *memo[u]
+		}
+		total := NewCount(0)
+		for _, v := range nodes[u].succs {
+			if v == -1 {
+				total = total.Add(NewCount(1))
+			} else {
+				total = total.Add(paths(v))
+			}
+		}
+		if len(nodes[u].succs) == 0 {
+			// Collapsed dead node.
+			total = NewCount(0)
+		}
+		total = total.Mul(mult[u])
+		memo[u] = &total
+		return total
+	}
+	return paths(entry)
+}
+
+// countDAGSub counts paths from src to dst restricted to `in`, treating dst
+// as terminal.
+func countDAGSub(nodes []vnode, mult []Count, in map[int]bool, src, dst int) Count {
+	memo := map[int]*Count{}
+	var paths func(int) Count
+	paths = func(u int) Count {
+		if u == dst {
+			return mult[u]
+		}
+		if c, ok := memo[u]; ok {
+			return *c
+		}
+		zero := NewCount(0)
+		memo[u] = &zero // cycle guard: revisiting contributes 0
+		total := NewCount(0)
+		for _, v := range nodes[u].succs {
+			if v < 0 || !in[v] {
+				continue
+			}
+			total = total.Add(paths(v))
+		}
+		total = total.Mul(mult[u])
+		memo[u] = &total
+		return total
+	}
+	if !in[src] {
+		return NewCount(0)
+	}
+	return paths(src)
+}
+
+// vnode is a node of the induced region subgraph used during counting;
+// succs index into the node slice, -1 denotes a region exit.
+type vnode struct {
+	succs []int
+}

@@ -1,0 +1,133 @@
+package cfg
+
+// Dominators computes the immediate-dominator array for the graph using the
+// Cooper–Harvey–Kennedy iterative algorithm. idom[Entry] == Entry; nodes
+// unreachable from Entry (none after prune) get NoNode.
+func (g *Graph) Dominators() []NodeID {
+	order := g.ReversePostorder()
+	rpoIndex := make([]int, len(g.Nodes))
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, id := range order {
+		rpoIndex[id] = i
+	}
+	idom := make([]NodeID, len(g.Nodes))
+	for i := range idom {
+		idom[i] = NoNode
+	}
+	idom[g.Entry] = g.Entry
+
+	intersect := func(a, b NodeID) NodeID {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, id := range order {
+			if id == g.Entry {
+				continue
+			}
+			var newIdom NodeID = NoNode
+			for _, p := range g.Preds(id) {
+				if idom[p] == NoNode {
+					continue
+				}
+				if newIdom == NoNode {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != NoNode && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// ReversePostorder returns the nodes reachable from Entry in reverse
+// postorder of a depth-first traversal.
+func (g *Graph) ReversePostorder() []NodeID {
+	seen := make([]bool, len(g.Nodes))
+	var post []NodeID
+	var dfs func(NodeID)
+	dfs = func(id NodeID) {
+		seen[id] = true
+		for _, e := range g.Succs(id) {
+			if !seen[e.To] {
+				dfs(e.To)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// DomTree converts an idom array into children lists.
+func DomTree(idom []NodeID) [][]NodeID {
+	children := make([][]NodeID, len(idom))
+	for id, d := range idom {
+		if d == NoNode || NodeID(id) == d {
+			continue
+		}
+		children[d] = append(children[d], NodeID(id))
+	}
+	return children
+}
+
+// DomSubtree returns the set of nodes dominated by root (root included).
+func DomSubtree(idom []NodeID, root NodeID) map[NodeID]bool {
+	children := DomTree(idom)
+	set := map[NodeID]bool{}
+	var walk func(NodeID)
+	walk = func(id NodeID) {
+		set[id] = true
+		for _, c := range children[id] {
+			walk(c)
+		}
+	}
+	walk(root)
+	return set
+}
+
+// BackEdges returns the back edges of the graph (edges whose target
+// dominates their source), which identify natural loops.
+func (g *Graph) BackEdges() []Edge {
+	idom := g.Dominators()
+	dominates := func(a, b NodeID) bool {
+		// Does a dominate b?
+		for x := b; ; x = idom[x] {
+			if x == a {
+				return true
+			}
+			if x == idom[x] || idom[x] == NoNode {
+				return x == a
+			}
+		}
+	}
+	var back []Edge
+	for _, n := range g.Nodes {
+		for _, e := range g.Succs(n.ID) {
+			if dominates(e.To, e.From) {
+				back = append(back, e)
+			}
+		}
+	}
+	return back
+}

@@ -1,0 +1,68 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"wcet/internal/cc/ast"
+)
+
+// Dot renders the graph in Graphviz DOT syntax. Blocks are labelled with
+// their id, role and first-instruction line, matching the node labelling of
+// the paper's Figure 1.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Fn.Name)
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		label := fmt.Sprintf("B%d", n.ID)
+		switch {
+		case n.ID == g.Entry:
+			label = "start"
+		case n.ID == g.Exit:
+			label = "end"
+		case n.Label == "epilogue":
+			label = fmt.Sprintf("B%d (epilogue)", n.ID)
+		case n.Line > 0:
+			label = fmt.Sprintf("B%d @%d", n.ID, n.Line)
+		}
+		var items []string
+		for _, it := range n.Items {
+			items = append(items, ast.PrintStmt(it))
+		}
+		text := label
+		if len(items) > 0 {
+			text += "\\n" + strings.Join(items, "\\n")
+		}
+		if n.Term.Kind == TermBranch {
+			text += "\\nif " + ast.ExprString(n.Term.Cond)
+		}
+		if n.Term.Kind == TermSwitch {
+			text += "\\nswitch " + ast.ExprString(n.Term.Tag)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", n.ID, escapeDot(text))
+	}
+	for _, n := range g.Nodes {
+		for _, e := range g.Succs(n.ID) {
+			attr := ""
+			switch e.Kind {
+			case "true":
+				attr = ` [label="T"]`
+			case "false":
+				attr = ` [label="F"]`
+			case "case":
+				attr = fmt.Sprintf(` [label="%v"]`, e.CaseVals)
+			case "default":
+				attr = ` [label="def"]`
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.From, e.To, attr)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,236 @@
+package codegen
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/isa"
+)
+
+// Defined callees are compiled as straight AST bodies (no MARK points: the
+// measurement granularity of this reproduction is the analysed function;
+// callee time is attributed to the calling block, exactly as an external
+// routine's would be).
+
+func appendUnique(list []*ast.FuncDecl, fn *ast.FuncDecl) []*ast.FuncDecl {
+	for _, f := range list {
+		if f == fn {
+			return list
+		}
+	}
+	return append(list, fn)
+}
+
+func (cp *compiler) compileCallees() error {
+	for len(cp.pendingCallees) > 0 {
+		fn := cp.pendingCallees[0]
+		cp.pendingCallees = cp.pendingCallees[1:]
+		if _, done := cp.c.FuncPC[fn.Name]; done {
+			continue
+		}
+		cp.c.FuncPC[fn.Name] = len(cp.c.Prog)
+		cc := &calleeCompiler{cp: cp}
+		if err := cc.stmt(fn.Body); err != nil {
+			return err
+		}
+		// Fall-off return.
+		cp.emit(isa.Instr{Op: isa.LDI, A: cp.c.RetReg, Imm: 0})
+		cp.emit(isa.Instr{Op: isa.RET})
+	}
+	return nil
+}
+
+type calleeCompiler struct {
+	cp *compiler
+	// breakFix / continueFix hold jump-instruction indices awaiting their
+	// target, per nesting level.
+	breakFix    [][]int
+	continueFix [][]int
+}
+
+func (cc *calleeCompiler) here() int { return len(cc.cp.c.Prog) }
+
+func (cc *calleeCompiler) patch(indices []int, target int) {
+	for _, idx := range indices {
+		switch cc.cp.c.Prog[idx].Op {
+		case isa.JMP:
+			cc.cp.c.Prog[idx].A = int32(target)
+		case isa.BEQZ, isa.BNEZ:
+			cc.cp.c.Prog[idx].B = int32(target)
+		}
+	}
+}
+
+func (cc *calleeCompiler) stmt(s ast.Stmt) error {
+	cp := cc.cp
+	switch x := s.(type) {
+	case *ast.Block:
+		for _, st := range x.Stmts {
+			if err := cc.stmt(st); err != nil {
+				return err
+			}
+		}
+	case *ast.EmptyStmt:
+	case *ast.ExprStmt, *ast.DeclStmt:
+		return cp.item(s)
+	case *ast.IfStmt:
+		r, err := cp.expr(x.Cond)
+		if err != nil {
+			return err
+		}
+		toElse := cp.emit(isa.Instr{Op: isa.BEQZ, A: r})
+		if err := cc.stmt(x.Then); err != nil {
+			return err
+		}
+		if x.Else == nil {
+			cc.patch([]int{toElse}, cc.here())
+			return nil
+		}
+		skip := cp.emit(isa.Instr{Op: isa.JMP})
+		cc.patch([]int{toElse}, cc.here())
+		if err := cc.stmt(x.Else); err != nil {
+			return err
+		}
+		cc.patch([]int{skip}, cc.here())
+	case *ast.WhileStmt:
+		head := cc.here()
+		r, err := cp.expr(x.Cond)
+		if err != nil {
+			return err
+		}
+		exit := cp.emit(isa.Instr{Op: isa.BEQZ, A: r})
+		cc.breakFix = append(cc.breakFix, nil)
+		cc.continueFix = append(cc.continueFix, nil)
+		if err := cc.stmt(x.Body); err != nil {
+			return err
+		}
+		cc.patch(cc.continueFix[len(cc.continueFix)-1], cc.here())
+		cp.emit(isa.Instr{Op: isa.JMP, A: int32(head)})
+		cc.patch([]int{exit}, cc.here())
+		cc.patch(cc.breakFix[len(cc.breakFix)-1], cc.here())
+		cc.breakFix = cc.breakFix[:len(cc.breakFix)-1]
+		cc.continueFix = cc.continueFix[:len(cc.continueFix)-1]
+	case *ast.DoWhileStmt:
+		head := cc.here()
+		cc.breakFix = append(cc.breakFix, nil)
+		cc.continueFix = append(cc.continueFix, nil)
+		if err := cc.stmt(x.Body); err != nil {
+			return err
+		}
+		cc.patch(cc.continueFix[len(cc.continueFix)-1], cc.here())
+		r, err := cp.expr(x.Cond)
+		if err != nil {
+			return err
+		}
+		cp.emit(isa.Instr{Op: isa.BNEZ, A: r, B: int32(head)})
+		cc.patch(cc.breakFix[len(cc.breakFix)-1], cc.here())
+		cc.breakFix = cc.breakFix[:len(cc.breakFix)-1]
+		cc.continueFix = cc.continueFix[:len(cc.continueFix)-1]
+	case *ast.ForStmt:
+		if x.Init != nil {
+			if err := cc.stmt(x.Init); err != nil {
+				return err
+			}
+		}
+		head := cc.here()
+		var exit int = -1
+		if x.Cond != nil {
+			r, err := cp.expr(x.Cond)
+			if err != nil {
+				return err
+			}
+			exit = cp.emit(isa.Instr{Op: isa.BEQZ, A: r})
+		}
+		cc.breakFix = append(cc.breakFix, nil)
+		cc.continueFix = append(cc.continueFix, nil)
+		if err := cc.stmt(x.Body); err != nil {
+			return err
+		}
+		cc.patch(cc.continueFix[len(cc.continueFix)-1], cc.here())
+		if x.Post != nil {
+			if _, err := cp.expr(x.Post); err != nil {
+				return err
+			}
+		}
+		cp.emit(isa.Instr{Op: isa.JMP, A: int32(head)})
+		if exit >= 0 {
+			cc.patch([]int{exit}, cc.here())
+		}
+		cc.patch(cc.breakFix[len(cc.breakFix)-1], cc.here())
+		cc.breakFix = cc.breakFix[:len(cc.breakFix)-1]
+		cc.continueFix = cc.continueFix[:len(cc.continueFix)-1]
+	case *ast.SwitchStmt:
+		return cc.switchStmt(x)
+	case *ast.BreakStmt:
+		if len(cc.breakFix) == 0 {
+			return &Error{Pos: x.BreakPos, Msg: "break outside loop/switch"}
+		}
+		idx := cp.emit(isa.Instr{Op: isa.JMP})
+		cc.breakFix[len(cc.breakFix)-1] = append(cc.breakFix[len(cc.breakFix)-1], idx)
+	case *ast.ContinueStmt:
+		if len(cc.continueFix) == 0 {
+			return &Error{Pos: x.ContinuePos, Msg: "continue outside loop"}
+		}
+		idx := cp.emit(isa.Instr{Op: isa.JMP})
+		cc.continueFix[len(cc.continueFix)-1] = append(cc.continueFix[len(cc.continueFix)-1], idx)
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			r, err := cp.expr(x.X)
+			if err != nil {
+				return err
+			}
+			cp.emit(isa.Instr{Op: isa.MOV, A: cp.c.RetReg, B: r})
+		}
+		cp.emit(isa.Instr{Op: isa.RET})
+	default:
+		return fmt.Errorf("codegen: unsupported callee statement %T", s)
+	}
+	return nil
+}
+
+func (cc *calleeCompiler) switchStmt(x *ast.SwitchStmt) error {
+	cp := cc.cp
+	tag, err := cp.expr(x.Tag)
+	if err != nil {
+		return err
+	}
+	// Compare chain into per-clause bodies with fallthrough.
+	entryFix := make([][]int, len(x.Clauses))
+	dflt := -1
+	for i, cl := range x.Clauses {
+		if cl.Vals == nil {
+			dflt = i
+			continue
+		}
+		for _, v := range cl.Vals {
+			cv, ok := constInt(v)
+			if !ok {
+				return &Error{Pos: v.Pos(), Msg: "non-constant case label"}
+			}
+			lit := cp.reg()
+			cp.emit(isa.Instr{Op: isa.LDI, A: lit, Imm: cv})
+			hit := cp.reg()
+			cp.emit(isa.Instr{Op: isa.SEQ, A: hit, B: tag, C: lit})
+			entryFix[i] = append(entryFix[i], cp.emit(isa.Instr{Op: isa.BNEZ, A: hit}))
+		}
+	}
+	toDefault := cp.emit(isa.Instr{Op: isa.JMP})
+	cc.breakFix = append(cc.breakFix, nil)
+	for i, cl := range x.Clauses {
+		cc.patch(entryFix[i], cc.here())
+		if i == dflt {
+			cc.patch([]int{toDefault}, cc.here())
+		}
+		for _, st := range cl.Body {
+			if err := cc.stmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	if dflt < 0 {
+		cc.patch([]int{toDefault}, cc.here())
+	}
+	cc.patch(cc.breakFix[len(cc.breakFix)-1], cc.here())
+	cc.breakFix = cc.breakFix[:len(cc.breakFix)-1]
+	return nil
+}

@@ -1,0 +1,526 @@
+// Package codegen compiles the C-subset CFG to the virtual HCS12-flavoured
+// ISA, inserting a MARK observation point at the start of every basic block
+// so that one simulator run serves any instrumentation plan.
+//
+// Switch statements compile to compare chains (the dispatch TargetLink
+// emits for small label sets), so later cases cost more cycles to reach —
+// one of the effects that makes block timing path-dependent.
+package codegen
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+	"wcet/internal/cfg"
+	"wcet/internal/isa"
+)
+
+// Compiled is the executable image of one function.
+type Compiled struct {
+	G    *cfg.Graph
+	Prog []isa.Instr
+	// BlockPC maps each basic block to its first instruction.
+	BlockPC map[cfg.NodeID]int
+	// VarAddr assigns one memory word per variable.
+	VarAddr map[*ast.VarDecl]int
+	// VarType records each address's declared type for store truncation.
+	VarType []ast.Type
+	// ExtNames numbers external routines.
+	ExtNames []string
+	// FuncPC maps defined callees to their entry (compiled after main body).
+	FuncPC map[string]int
+	// RetReg is the register convention for return values.
+	RetReg int32
+}
+
+// Error reports an uncompilable construct.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: codegen: %s", e.Pos, e.Msg) }
+
+type compiler struct {
+	c              *Compiled
+	file           *ast.File
+	nextReg        int32
+	extIDs         map[string]int
+	pendingCallees []*ast.FuncDecl
+	// pending fixups: instruction index → block target.
+	blockFix map[int]cfg.NodeID
+	// pending call fixups: instruction index → callee name.
+	callFix map[int]string
+}
+
+// Compile lowers the graph (and any defined functions it calls) to ISA code.
+func Compile(g *cfg.Graph, file *ast.File) (*Compiled, error) {
+	cp := &compiler{
+		c: &Compiled{
+			G:       g,
+			BlockPC: map[cfg.NodeID]int{},
+			VarAddr: map[*ast.VarDecl]int{},
+			FuncPC:  map[string]int{},
+			RetReg:  0,
+		},
+		file:     file,
+		extIDs:   map[string]int{},
+		blockFix: map[int]cfg.NodeID{},
+		callFix:  map[int]string{},
+	}
+	cp.nextReg = 1 // r0 is the return-value register
+
+	// Allocate addresses for every variable in the program (globals first,
+	// then function locals/params as encountered).
+	alloc := func(d *ast.VarDecl) {
+		if _, ok := cp.c.VarAddr[d]; ok {
+			return
+		}
+		cp.c.VarAddr[d] = len(cp.c.VarType)
+		cp.c.VarType = append(cp.c.VarType, d.Type)
+	}
+	for _, gl := range file.Globals {
+		alloc(gl)
+	}
+	ast.Walk(file, func(n ast.Node) bool {
+		if d, ok := n.(*ast.VarDecl); ok {
+			alloc(d)
+		}
+		return true
+	})
+
+	// Main body.
+	if err := cp.compileGraph(g); err != nil {
+		return nil, err
+	}
+	// Defined callees, compiled as straight AST bodies.
+	if err := cp.compileCallees(); err != nil {
+		return nil, err
+	}
+	// Fix block branch targets.
+	for idx, blk := range cp.blockFix {
+		pc, ok := cp.c.BlockPC[blk]
+		if !ok {
+			return nil, fmt.Errorf("codegen: missing block B%d", blk)
+		}
+		switch cp.c.Prog[idx].Op {
+		case isa.JMP, isa.CALL:
+			cp.c.Prog[idx].A = int32(pc)
+		case isa.BEQZ, isa.BNEZ:
+			cp.c.Prog[idx].B = int32(pc)
+		}
+	}
+	for idx, name := range cp.callFix {
+		pc, ok := cp.c.FuncPC[name]
+		if !ok {
+			return nil, fmt.Errorf("codegen: missing function %s", name)
+		}
+		cp.c.Prog[idx].A = int32(pc)
+	}
+	return cp.c, nil
+}
+
+func (cp *compiler) emit(i isa.Instr) int {
+	cp.c.Prog = append(cp.c.Prog, i)
+	return len(cp.c.Prog) - 1
+}
+
+func (cp *compiler) reg() int32 {
+	r := cp.nextReg
+	cp.nextReg++
+	return r
+}
+
+func (cp *compiler) compileGraph(g *cfg.Graph) error {
+	// Emit blocks in id order; entry is block 0 by construction? Not
+	// necessarily — ensure the entry block is first.
+	order := make([]cfg.NodeID, 0, len(g.Nodes))
+	order = append(order, g.Entry)
+	for _, n := range g.Nodes {
+		if n.ID != g.Entry {
+			order = append(order, n.ID)
+		}
+	}
+	for _, id := range order {
+		n := g.Node(id)
+		cp.c.BlockPC[id] = len(cp.c.Prog)
+		cp.emit(isa.Instr{Op: isa.MARK, Imm: int64(id)})
+		for _, item := range n.Items {
+			if err := cp.item(item); err != nil {
+				return err
+			}
+		}
+		if err := cp.term(g, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cp *compiler) term(g *cfg.Graph, n *cfg.Node) error {
+	switch n.Term.Kind {
+	case cfg.TermGoto:
+		cp.blockFix[cp.emit(isa.Instr{Op: isa.JMP})] = n.Term.To
+	case cfg.TermReturn:
+		if n.Term.Val != nil {
+			r, err := cp.expr(n.Term.Val)
+			if err != nil {
+				return err
+			}
+			cp.emit(isa.Instr{Op: isa.MOV, A: cp.c.RetReg, B: r})
+		}
+		cp.blockFix[cp.emit(isa.Instr{Op: isa.JMP})] = n.Term.To
+	case cfg.TermBranch:
+		r, err := cp.expr(n.Term.Cond)
+		if err != nil {
+			return err
+		}
+		cp.blockFix[cp.emit(isa.Instr{Op: isa.BEQZ, A: r})] = n.Term.False
+		cp.blockFix[cp.emit(isa.Instr{Op: isa.JMP})] = n.Term.True
+	case cfg.TermSwitch:
+		tag, err := cp.expr(n.Term.Tag)
+		if err != nil {
+			return err
+		}
+		// Compare chain: later cases cost more to reach.
+		for _, c := range n.Term.Cases {
+			for _, v := range c.Vals {
+				lit := cp.reg()
+				cp.emit(isa.Instr{Op: isa.LDI, A: lit, Imm: v})
+				hit := cp.reg()
+				cp.emit(isa.Instr{Op: isa.SEQ, A: hit, B: tag, C: lit})
+				cp.blockFix[cp.emit(isa.Instr{Op: isa.BNEZ, A: hit})] = c.To
+			}
+		}
+		cp.blockFix[cp.emit(isa.Instr{Op: isa.JMP})] = n.Term.Default
+	case cfg.TermExit:
+		cp.emit(isa.Instr{Op: isa.HALT})
+	}
+	return nil
+}
+
+func (cp *compiler) item(s ast.Stmt) error {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		// External calls in statement position need no result register.
+		if call, ok := x.X.(*ast.CallExpr); ok && call.Cast == nil && call.Decl == nil {
+			for _, a := range call.Args {
+				if _, err := cp.expr(a); err != nil {
+					return err
+				}
+			}
+			cp.emit(isa.Instr{Op: isa.EXT, Imm: int64(cp.extID(call.Name))})
+			return nil
+		}
+		_, err := cp.expr(x.X)
+		return err
+	case *ast.DeclStmt:
+		if x.Decl.Init == nil {
+			return nil
+		}
+		r, err := cp.expr(x.Decl.Init)
+		if err != nil {
+			return err
+		}
+		cp.store(x.Decl, r)
+		return nil
+	}
+	return &Error{Pos: s.Pos(), Msg: fmt.Sprintf("unsupported item %T", s)}
+}
+
+// store truncates through the declared type and writes memory.
+func (cp *compiler) store(d *ast.VarDecl, r int32) {
+	t := d.Type
+	if t.Bits > 0 && t.Bits < 64 {
+		sign := int32(0)
+		if t.Signed {
+			sign = 1
+		}
+		cp.emit(isa.Instr{Op: isa.TRUNC, A: r, B: sign, C: int32(t.Bits)})
+	}
+	cp.emit(isa.Instr{Op: isa.ST, A: int32(cp.c.VarAddr[d]), B: r})
+}
+
+func (cp *compiler) load(d *ast.VarDecl) int32 {
+	r := cp.reg()
+	cp.emit(isa.Instr{Op: isa.LD, A: r, B: int32(cp.c.VarAddr[d])})
+	return r
+}
+
+func (cp *compiler) expr(e ast.Expr) (int32, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		r := cp.reg()
+		cp.emit(isa.Instr{Op: isa.LDI, A: r, Imm: x.Val})
+		return r, nil
+	case *ast.Ident:
+		if x.Decl == nil {
+			return 0, &Error{Pos: x.NamePos, Msg: "unresolved identifier " + x.Name}
+		}
+		return cp.load(x.Decl), nil
+	case *ast.UnaryExpr:
+		return cp.unary(x)
+	case *ast.BinaryExpr:
+		return cp.binary(x)
+	case *ast.AssignExpr:
+		return cp.assign(x)
+	case *ast.CondExpr:
+		// Arms are side-effect free (checked by the CFG builder for
+		// conditions; we enforce purity here too): compute both, select.
+		c, err := cp.expr(x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		tv, err := cp.expr(x.Then)
+		if err != nil {
+			return 0, err
+		}
+		fv, err := cp.expr(x.Else)
+		if err != nil {
+			return 0, err
+		}
+		// r = f ^ ((t ^ f) & -(c != 0))
+		b := cp.reg()
+		cp.emit(isa.Instr{Op: isa.BOOL, A: b, B: c})
+		m := cp.reg()
+		cp.emit(isa.Instr{Op: isa.NEG, A: m, B: b})
+		d := cp.reg()
+		cp.emit(isa.Instr{Op: isa.XOR, A: d, B: tv, C: fv})
+		d2 := cp.reg()
+		cp.emit(isa.Instr{Op: isa.AND, A: d2, B: d, C: m})
+		r := cp.reg()
+		cp.emit(isa.Instr{Op: isa.XOR, A: r, B: fv, C: d2})
+		return r, nil
+	case *ast.CallExpr:
+		return cp.call(x)
+	}
+	return 0, &Error{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported expression %T", e)}
+}
+
+func (cp *compiler) unary(x *ast.UnaryExpr) (int32, error) {
+	if x.Op == token.INC || x.Op == token.DEC {
+		id := x.X.(*ast.Ident)
+		old := cp.load(id.Decl)
+		one := cp.reg()
+		cp.emit(isa.Instr{Op: isa.LDI, A: one, Imm: 1})
+		nv := cp.reg()
+		op := isa.ADD
+		if x.Op == token.DEC {
+			op = isa.SUB
+		}
+		cp.emit(isa.Instr{Op: op, A: nv, B: old, C: one})
+		cp.store(id.Decl, nv)
+		if x.Postfix {
+			return old, nil
+		}
+		return cp.load(id.Decl), nil
+	}
+	r, err := cp.expr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	out := cp.reg()
+	switch x.Op {
+	case token.MINUS:
+		cp.emit(isa.Instr{Op: isa.NEG, A: out, B: r})
+	case token.PLUS:
+		return r, nil
+	case token.TILDE:
+		cp.emit(isa.Instr{Op: isa.NOT, A: out, B: r})
+	case token.BANG:
+		b := cp.reg()
+		cp.emit(isa.Instr{Op: isa.BOOL, A: b, B: r})
+		one := cp.reg()
+		cp.emit(isa.Instr{Op: isa.LDI, A: one, Imm: 1})
+		cp.emit(isa.Instr{Op: isa.XOR, A: out, B: b, C: one})
+	default:
+		return 0, &Error{Pos: x.OpPos, Msg: "bad unary operator"}
+	}
+	return out, nil
+}
+
+func (cp *compiler) binary(x *ast.BinaryExpr) (int32, error) {
+	// Short-circuit forms: operands are pure in the accepted subset, so a
+	// branch-free evaluation is faithful; it also keeps block timing
+	// constant, as real generated code mostly does.
+	if x.Op == token.LAND || x.Op == token.LOR {
+		a, err := cp.expr(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := cp.expr(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		ba := cp.reg()
+		cp.emit(isa.Instr{Op: isa.BOOL, A: ba, B: a})
+		bb := cp.reg()
+		cp.emit(isa.Instr{Op: isa.BOOL, A: bb, B: b})
+		out := cp.reg()
+		if x.Op == token.LAND {
+			cp.emit(isa.Instr{Op: isa.AND, A: out, B: ba, C: bb})
+		} else {
+			cp.emit(isa.Instr{Op: isa.OR, A: out, B: ba, C: bb})
+		}
+		return out, nil
+	}
+	a, err := cp.expr(x.X)
+	if err != nil {
+		return 0, err
+	}
+	b, err := cp.expr(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	out := cp.reg()
+	simple := map[token.Kind]isa.Op{
+		token.PLUS: isa.ADD, token.MINUS: isa.SUB, token.STAR: isa.MUL,
+		token.SLASH: isa.DIV, token.PERCENT: isa.MOD,
+		token.AMP: isa.AND, token.PIPE: isa.OR, token.CARET: isa.XOR,
+		token.EQ: isa.SEQ, token.NE: isa.SNE,
+		token.LT: isa.SLT, token.LE: isa.SLE,
+	}
+	if op, ok := simple[x.Op]; ok {
+		cp.emit(isa.Instr{Op: op, A: out, B: a, C: b})
+		return out, nil
+	}
+	switch x.Op {
+	case token.GT:
+		cp.emit(isa.Instr{Op: isa.SLT, A: out, B: b, C: a})
+	case token.GE:
+		cp.emit(isa.Instr{Op: isa.SLE, A: out, B: b, C: a})
+	case token.NE:
+		cp.emit(isa.Instr{Op: isa.SNE, A: out, B: a, C: b})
+	case token.SHL, token.SHR:
+		k, ok := constInt(x.Y)
+		if !ok {
+			return 0, &Error{Pos: x.Pos(), Msg: "shift amounts must be constant"}
+		}
+		op := isa.SHL
+		if x.Op == token.SHR {
+			op = isa.ASR // C >> on signed int is arithmetic on this target
+		}
+		cp.emit(isa.Instr{Op: op, A: out, B: a, C: int32(k)})
+	default:
+		return 0, &Error{Pos: x.Pos(), Msg: "bad binary operator " + x.Op.String()}
+	}
+	return out, nil
+}
+
+// extID interns an external routine name.
+func (cp *compiler) extID(name string) int {
+	id, ok := cp.extIDs[name]
+	if !ok {
+		id = len(cp.c.ExtNames)
+		cp.extIDs[name] = id
+		cp.c.ExtNames = append(cp.c.ExtNames, name)
+	}
+	return id
+}
+
+func constInt(e ast.Expr) (int64, bool) {
+	if l, ok := e.(*ast.IntLit); ok {
+		return l.Val, true
+	}
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.MINUS {
+		if v, ok := constInt(u.X); ok {
+			return -v, true
+		}
+	}
+	return 0, false
+}
+
+func (cp *compiler) assign(x *ast.AssignExpr) (int32, error) {
+	id := x.LHS.(*ast.Ident)
+	r, err := cp.expr(x.RHS)
+	if err != nil {
+		return 0, err
+	}
+	if x.Op != token.ASSIGN {
+		old := cp.load(id.Decl)
+		out := cp.reg()
+		switch x.Op.BaseOp() {
+		case token.PLUS:
+			cp.emit(isa.Instr{Op: isa.ADD, A: out, B: old, C: r})
+		case token.MINUS:
+			cp.emit(isa.Instr{Op: isa.SUB, A: out, B: old, C: r})
+		case token.STAR:
+			cp.emit(isa.Instr{Op: isa.MUL, A: out, B: old, C: r})
+		case token.SLASH:
+			cp.emit(isa.Instr{Op: isa.DIV, A: out, B: old, C: r})
+		case token.PERCENT:
+			cp.emit(isa.Instr{Op: isa.MOD, A: out, B: old, C: r})
+		case token.AMP:
+			cp.emit(isa.Instr{Op: isa.AND, A: out, B: old, C: r})
+		case token.PIPE:
+			cp.emit(isa.Instr{Op: isa.OR, A: out, B: old, C: r})
+		case token.CARET:
+			cp.emit(isa.Instr{Op: isa.XOR, A: out, B: old, C: r})
+		case token.SHL:
+			k, ok := constInt(x.RHS)
+			if !ok {
+				return 0, &Error{Pos: x.Pos(), Msg: "shift amounts must be constant"}
+			}
+			cp.emit(isa.Instr{Op: isa.SHL, A: out, B: old, C: int32(k)})
+		case token.SHR:
+			k, ok := constInt(x.RHS)
+			if !ok {
+				return 0, &Error{Pos: x.Pos(), Msg: "shift amounts must be constant"}
+			}
+			cp.emit(isa.Instr{Op: isa.ASR, A: out, B: old, C: int32(k)})
+		default:
+			return 0, &Error{Pos: x.Pos(), Msg: "bad compound assignment"}
+		}
+		r = out
+	}
+	cp.store(id.Decl, r)
+	return r, nil
+}
+
+func (cp *compiler) call(x *ast.CallExpr) (int32, error) {
+	if x.Cast != nil {
+		r, err := cp.expr(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		t := *x.Cast
+		if t.Bits > 0 && t.Bits < 64 {
+			sign := int32(0)
+			if t.Signed {
+				sign = 1
+			}
+			out := cp.reg()
+			cp.emit(isa.Instr{Op: isa.MOV, A: out, B: r})
+			cp.emit(isa.Instr{Op: isa.TRUNC, A: out, B: sign, C: int32(t.Bits)})
+			return out, nil
+		}
+		return r, nil
+	}
+	if x.Decl == nil {
+		// External: evaluate arguments, then a fixed-cost EXT; the result
+		// register models the routine's (unknown, zero-modelled) value.
+		for _, a := range x.Args {
+			if _, err := cp.expr(a); err != nil {
+				return 0, err
+			}
+		}
+		cp.emit(isa.Instr{Op: isa.EXT, Imm: int64(cp.extID(x.Name))})
+		r := cp.reg()
+		cp.emit(isa.Instr{Op: isa.LDI, A: r, Imm: 0})
+		return r, nil
+	}
+	// Defined callee: store arguments to the parameter slots, CALL.
+	for i, a := range x.Args {
+		r, err := cp.expr(a)
+		if err != nil {
+			return 0, err
+		}
+		cp.store(x.Decl.Params[i], r)
+	}
+	cp.callFix[cp.emit(isa.Instr{Op: isa.CALL})] = x.Name
+	cp.pendingCallees = appendUnique(cp.pendingCallees, x.Decl)
+	out := cp.reg()
+	cp.emit(isa.Instr{Op: isa.MOV, A: out, B: cp.c.RetReg})
+	return out, nil
+}

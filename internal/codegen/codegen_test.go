@@ -1,0 +1,166 @@
+package codegen
+
+import (
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/isa"
+)
+
+func compile(t *testing.T, src, name string) (*Compiled, *ast.File) {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	img, err := Compile(g, f)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return img, f
+}
+
+func TestEveryBlockHasMark(t *testing.T) {
+	img, _ := compile(t, `
+int a, r;
+int f(void) {
+    if (a) { r = 1; } else { r = 2; }
+    return r;
+}`, "f")
+	marks := map[int64]bool{}
+	for _, in := range img.Prog {
+		if in.Op == isa.MARK {
+			marks[in.Imm] = true
+		}
+	}
+	for _, n := range img.G.Nodes {
+		if !marks[int64(n.ID)] {
+			t.Errorf("block B%d has no MARK", n.ID)
+		}
+	}
+	// BlockPC points at the MARK of each block.
+	for _, n := range img.G.Nodes {
+		pc := img.BlockPC[n.ID]
+		if img.Prog[pc].Op != isa.MARK || img.Prog[pc].Imm != int64(n.ID) {
+			t.Errorf("BlockPC[%d] does not point at its MARK", n.ID)
+		}
+	}
+}
+
+func TestBranchTargetsResolved(t *testing.T) {
+	img, _ := compile(t, `
+int a, r;
+int f(void) {
+    switch (a) { case 1: r = 1; break; case 2: r = 2; break; default: r = 0; }
+    if (a > 5) { r = r + 1; }
+    return r;
+}`, "f")
+	for pc, in := range img.Prog {
+		switch in.Op {
+		case isa.JMP:
+			if int(in.A) < 0 || int(in.A) >= len(img.Prog) {
+				t.Errorf("pc %d: jmp to %d out of range", pc, in.A)
+			}
+		case isa.BEQZ, isa.BNEZ:
+			if int(in.B) < 0 || int(in.B) >= len(img.Prog) {
+				t.Errorf("pc %d: branch to %d out of range", pc, in.B)
+			}
+		}
+	}
+}
+
+func TestVarAddressesUniqueAndTyped(t *testing.T) {
+	img, f := compile(t, `
+int a; char c; unsigned char u;
+int f(void) { a = c + u; return a; }`, "f")
+	seen := map[int]bool{}
+	for _, addr := range img.VarAddr {
+		if seen[addr] {
+			t.Errorf("address %d assigned twice", addr)
+		}
+		seen[addr] = true
+	}
+	for _, g := range f.Globals {
+		addr := img.VarAddr[g]
+		if img.VarType[addr] != g.Type {
+			t.Errorf("%s: stored type %v, want %v", g.Name, img.VarType[addr], g.Type)
+		}
+	}
+}
+
+func TestStoresTruncate(t *testing.T) {
+	img, f := compile(t, `
+char c;
+int f(void) { c = (char)(200); return c; }`, "f")
+	_ = f
+	// Every ST to the char address is preceded by a TRUNC of 8 bits.
+	var cAddr int32 = -1
+	for d, addr := range img.VarAddr {
+		if d.Name == "c" {
+			cAddr = int32(addr)
+		}
+	}
+	for pc, in := range img.Prog {
+		if in.Op == isa.ST && in.A == cAddr {
+			if pc == 0 || img.Prog[pc-1].Op != isa.TRUNC || img.Prog[pc-1].C != 8 {
+				t.Error("store to char not preceded by 8-bit TRUNC")
+			}
+		}
+	}
+}
+
+func TestCalleesCompiled(t *testing.T) {
+	img, _ := compile(t, `
+int helper(int x) { return x * 2; }
+int f(void) { return helper(21); }`, "f")
+	if _, ok := img.FuncPC["helper"]; !ok {
+		t.Fatal("callee not compiled")
+	}
+	calls := 0
+	for _, in := range img.Prog {
+		if in.Op == isa.CALL {
+			calls++
+			if int(in.A) != img.FuncPC["helper"] {
+				t.Error("call target not fixed up")
+			}
+		}
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestExternalsInterned(t *testing.T) {
+	img, _ := compile(t, `
+int f(void) { printf1(); printf2(); printf1(); return 0; }`, "f")
+	if len(img.ExtNames) != 2 {
+		t.Errorf("externals = %v, want 2 distinct", img.ExtNames)
+	}
+}
+
+func TestSymbolicShiftRejected(t *testing.T) {
+	f, err := parser.ParseFile("t.c", `int a, b, r; int f(void) { r = a << b; return r; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f.Func("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(g, f); err == nil {
+		t.Error("symbolic shift amount must be rejected")
+	}
+}

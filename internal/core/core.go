@@ -1,0 +1,246 @@
+// Package core orchestrates the complete hybrid measurement-based WCET
+// analysis of the paper:
+//
+//	parse → semantic check → CFG → PS partitioning (path bound b)
+//	      → hybrid test-data generation (GA, then model checking)
+//	      → instrumented measurement on the cycle-accurate simulator
+//	      → timing-schema WCET bound
+//
+// The root package wcet re-exports this entry point as the public API.
+package core
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/codegen"
+	"wcet/internal/interp"
+	"wcet/internal/measure"
+	"wcet/internal/partition"
+	"wcet/internal/paths"
+	"wcet/internal/schema"
+	"wcet/internal/sim"
+	"wcet/internal/testgen"
+)
+
+// Options configure an analysis.
+type Options struct {
+	// FuncName selects the analysed function ("" = first).
+	FuncName string
+	// Bound is the partitioning path bound b (default 8).
+	Bound int64
+	// TestGen tunes the hybrid generator.
+	TestGen testgen.Config
+	// Exhaustive additionally measures every input vector end to end when
+	// the input space is at most MaxExhaustive (ground truth).
+	Exhaustive    bool
+	MaxExhaustive int
+	// Costs overrides the simulator's cycle model.
+	SimOptions sim.Options
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bound == 0 {
+		o.Bound = 8
+	}
+	if o.MaxExhaustive == 0 {
+		o.MaxExhaustive = 1 << 16
+	}
+	return o
+}
+
+// Report is the complete analysis result.
+type Report struct {
+	File *ast.File
+	Fn   *ast.FuncDecl
+	G    *cfg.Graph
+	Plan *partition.Plan
+	// TestGen is the hybrid generation report (per-path verdicts).
+	TestGen *testgen.Report
+	// Measurement aggregates per-unit maxima.
+	Measurement *measure.Result
+	// WCET is the timing-schema bound in simulator cycles.
+	WCET int64
+	// Critical lists the plan units on the bound's critical path.
+	Critical []int
+	// ExhaustiveWCET is the true end-to-end maximum (-1 when not computed).
+	ExhaustiveWCET int64
+	// InfeasiblePaths counts targets proven unreachable.
+	InfeasiblePaths int
+}
+
+// Overestimate reports the bound's relative overestimation against the
+// exhaustive ground truth (0 when unavailable).
+func (r *Report) Overestimate() float64 {
+	if r.ExhaustiveWCET <= 0 {
+		return 0
+	}
+	return float64(r.WCET-r.ExhaustiveWCET) / float64(r.ExhaustiveWCET)
+}
+
+// Analyze runs the full pipeline on C source text.
+func Analyze(src string, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	file, err := parser.ParseFile("input.c", src)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sem.Check(file); err != nil {
+		return nil, err
+	}
+	var fn *ast.FuncDecl
+	if opt.FuncName == "" {
+		if len(file.Funcs) == 0 {
+			return nil, fmt.Errorf("core: no function to analyse")
+		}
+		fn = file.Funcs[0]
+	} else if fn = file.Func(opt.FuncName); fn == nil {
+		return nil, fmt.Errorf("core: function %q not found", opt.FuncName)
+	}
+	g, err := cfg.Build(fn)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeGraph(file, fn, g, opt)
+}
+
+// AnalyzeGraph runs the pipeline on a prebuilt CFG.
+func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	rep := &Report{File: file, Fn: fn, G: g, ExhaustiveWCET: -1}
+
+	// 1. Partition.
+	rep.Plan = partition.PartitionBound(g, opt.Bound)
+
+	// 2. Targets: every internal path of whole-measured segments, and every
+	// outcome of residual blocks (block time depends on the branch taken).
+	targets, err := planTargets(g, rep.Plan)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Hybrid test-data generation. The pipeline always runs the model
+	// optimisations: the naive translation exists for the Table 2
+	// comparison, not for production analyses.
+	gen := testgen.New(file, fn, g)
+	tgConf := opt.TestGen
+	tgConf.Optimise = true
+	rep.TestGen, err = gen.Generate(targets, tgConf)
+	if err != nil {
+		return nil, err
+	}
+	var envs []interp.Env
+	for _, r := range rep.TestGen.Results {
+		switch r.Verdict {
+		case testgen.FoundByHeuristic, testgen.FoundByModelChecker:
+			envs = append(envs, r.Env)
+		case testgen.Infeasible:
+			rep.InfeasiblePaths++
+		case testgen.Unknown:
+			return nil, fmt.Errorf("core: no test datum for path %s: %v", r.Path.Key(), r.Err)
+		}
+	}
+
+	// 4. Measure on the simulator.
+	img, err := codegen.Compile(g, file)
+	if err != nil {
+		return nil, err
+	}
+	vm := sim.New(img, opt.SimOptions)
+	rep.Measurement, err = measure.Campaign(rep.Plan, vm, envs)
+	if err != nil {
+		return nil, err
+	}
+	pruneUnobserved(rep)
+
+	// 5. Timing schema.
+	bound, err := schema.Compute(rep.Measurement)
+	if err != nil {
+		return nil, err
+	}
+	rep.WCET = bound.WCET
+	rep.Critical = bound.CriticalUnits
+
+	// 6. Optional exhaustive ground truth.
+	if opt.Exhaustive {
+		var inputs []measure.InputVar
+		for _, v := range gen.Inputs {
+			inputs = append(inputs, measure.InputVar{Decl: v.Decl, Lo: v.Lo, Hi: v.Hi})
+		}
+		all, err := measure.EnumerateInputs(inputs, tgConf.Base, opt.MaxExhaustive)
+		if err == nil {
+			exh, err := measure.ExhaustiveMax(vm, all)
+			if err != nil {
+				return nil, err
+			}
+			rep.ExhaustiveWCET = exh
+		}
+	}
+	return rep, nil
+}
+
+// planTargets enumerates the paths each plan unit needs measured.
+func planTargets(g *cfg.Graph, plan *partition.Plan) ([]paths.Path, error) {
+	var targets []paths.Path
+	seen := map[string]bool{}
+	add := func(p paths.Path) {
+		if !seen[p.Key()] {
+			seen[p.Key()] = true
+			targets = append(targets, p)
+		}
+	}
+	blockTargets := func(id cfg.NodeID) {
+		succs := g.Succs(id)
+		if len(succs) == 0 {
+			add(paths.Path{Blocks: []cfg.NodeID{id},
+				Exit: cfg.Edge{From: id, To: cfg.NoNode, Kind: "end"}})
+			return
+		}
+		for _, e := range succs {
+			add(paths.Path{Blocks: []cfg.NodeID{id}, Exit: e})
+		}
+	}
+	for _, u := range plan.Units {
+		switch u.Kind {
+		case partition.WholePS:
+			ps, err := paths.Enumerate(u.PS.Region, 100000)
+			if err == paths.ErrCyclic {
+				// A bounded-loop segment measured as a whole: its iteration
+				// paths cannot be enumerated, so target every block outcome
+				// inside it instead; measurement still times the segment end
+				// to end on the runs that reach it.
+				for _, id := range u.PS.Region.Nodes() {
+					blockTargets(id)
+				}
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: enumerating segment paths: %w", err)
+			}
+			for _, p := range ps {
+				add(p)
+			}
+		case partition.SingleBlock:
+			blockTargets(u.Block)
+		}
+	}
+	return targets, nil
+}
+
+// pruneUnobserved drops per-unit observations that never happened because
+// every path into the unit is infeasible. Such units cannot execute, so
+// they are removed from the schema graph by giving them zero weight — but
+// only when genuinely unreachable (all their targets infeasible); an
+// unmeasured reachable unit is a campaign bug that schema.Compute reports.
+func pruneUnobserved(rep *Report) {
+	for i := range rep.Measurement.Times {
+		ut := &rep.Measurement.Times[i]
+		if ut.Samples == 0 {
+			// Unreachable code contributes nothing to any executable path.
+			ut.Max = 0
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTable1Exact asserts the paper's Table 1 numbers exactly.
+func TestTable1Exact(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Table1Row{
+		{1, 22, 11}, {2, 16, 9}, {3, 16, 9}, {4, 16, 9}, {5, 16, 9}, {6, 2, 6}, {7, 2, 6},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], w)
+		}
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "22") || !strings.Contains(out, "Bound") {
+		t.Error("render missing content")
+	}
+}
+
+// TestSweepShapes asserts the qualitative content of Figures 2 and 3 on a
+// mid-size synthetic instance (the full 300-branch instance runs in the
+// benchmarks).
+func TestSweepShapes(t *testing.T) {
+	res, err := Sweep(SweepConfig{Seed: 11, Branches: 120, Points: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points
+	// Figure 2: starts at 2·blocks, monotone non-increasing, ends at 2.
+	if pts[0].IP != 2*res.Blocks {
+		t.Errorf("ip(1) = %d, want %d", pts[0].IP, 2*res.Blocks)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].IP > pts[i-1].IP {
+			t.Fatalf("ip not monotone at %s", pts[i].Bound)
+		}
+	}
+	if pts[len(pts)-1].IP != 2 {
+		t.Errorf("final ip = %d, want 2", pts[len(pts)-1].IP)
+	}
+	// Most of the instrumentation-point reduction happens at small bounds:
+	// by the middle of the (log-spaced) sweep, ip is already below 20% of
+	// its b=1 value — the paper's "huge increments of b give only minor
+	// reductions" right tail.
+	mid := pts[len(pts)/2]
+	if mid.IP*5 > pts[0].IP {
+		t.Errorf("ip at sweep midpoint = %d, want < 20%% of %d", mid.IP, pts[0].IP)
+	}
+	// Figure 3: m explodes toward ip = 2.
+	first, last := pts[0], pts[len(pts)-1]
+	if last.M.CmpCount(first.M) <= 0 {
+		t.Errorf("end-to-end m (%s) must exceed block-level m (%s)", last.M, first.M)
+	}
+	if !strings.Contains(RenderFigure2(res), "blocks") {
+		t.Error("figure 2 render missing workload header")
+	}
+	if !strings.Contains(RenderFigure3(res), "ip") {
+		t.Error("figure 3 render missing header")
+	}
+}
+
+// TestTable2Shape asserts the qualitative Table 2 result: every
+// configuration agrees the target is reachable; the full pipeline uses the
+// fewest steps and by far the fewest state bits; concatenation cuts steps;
+// width-reducing passes cut state bits.
+func TestTable2Shape(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !r.Reachable {
+			t.Errorf("%s: target unreachable — configurations must agree", r.Name)
+		}
+	}
+	unopt := byName["unoptimized"]
+	all := byName["all optimisations used"]
+	if all.StateBits >= unopt.StateBits {
+		t.Errorf("all-opts state bits %d not below unoptimised %d", all.StateBits, unopt.StateBits)
+	}
+	if all.Steps >= unopt.Steps {
+		t.Errorf("all-opts steps %d not below unoptimised %d", all.Steps, unopt.Steps)
+	}
+	if c := byName["Statement Concatenation"]; c.Steps >= unopt.Steps {
+		t.Errorf("concatenation steps %d not below unoptimised %d", c.Steps, unopt.Steps)
+	}
+	if r := byName["Variable Range Analysis"]; r.StateBits >= unopt.StateBits {
+		t.Errorf("range analysis did not reduce state bits (%d vs %d)", r.StateBits, unopt.StateBits)
+	}
+	if l := byName["Live-Variable Analysis"]; l.StateBits >= unopt.StateBits {
+		t.Errorf("live-variable analysis did not reduce state bits (%d vs %d)", l.StateBits, unopt.StateBits)
+	}
+	if d := byName["DeadVariable Elimination"]; d.StateBits >= unopt.StateBits {
+		t.Errorf("dead-variable elimination did not reduce state bits (%d vs %d)", d.StateBits, unopt.StateBits)
+	}
+	if c := byName["Reverse CSE"]; c.StateBits >= unopt.StateBits {
+		t.Errorf("reverse CSE did not reduce state bits (%d vs %d)", c.StateBits, unopt.StateBits)
+	}
+	out := RenderTable2(rows)
+	if !strings.Contains(out, "unoptimized") {
+		t.Error("render missing rows")
+	}
+}
+
+// TestTable2SourceSpec checks the evaluation program matches the paper's
+// description: ~105 effective lines, 4 booleans, 13 bytes.
+func TestTable2SourceSpec(t *testing.T) {
+	lines := 0
+	for _, l := range strings.Split(Table2Source, "\n") {
+		s := strings.TrimSpace(l)
+		if s != "" && !strings.HasPrefix(s, "/*") {
+			lines++
+		}
+	}
+	if lines < 95 || lines > 115 {
+		t.Errorf("effective lines = %d, want ≈105", lines)
+	}
+	boolDecls := strings.Count(Table2Source, "int sw_") + strings.Count(Table2Source, "int flag_")
+	if boolDecls != 4 {
+		t.Errorf("boolean variables = %d, want 4", boolDecls)
+	}
+	byteDecls := strings.Count(Table2Source, "char ")
+	// 13 byte variables: 2 sensors, level, out_cmd, 3 dbg, 3 tmp, 3 unused.
+	if byteDecls != 13 {
+		t.Errorf("byte variables = %d, want 13", byteDecls)
+	}
+}
+
+// TestCaseStudyShape asserts the Section 4 result shape: the bound is safe
+// (≥ exhaustive), close (≤ 30% over), and the model has the paper's scale.
+func TestCaseStudyShape(t *testing.T) {
+	res, err := CaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.States != 9 {
+		t.Errorf("states = %d, want 9", res.States)
+	}
+	if res.Blocks < 60 || res.Blocks > 80 {
+		t.Errorf("blocks = %d, want ≈70", res.Blocks)
+	}
+	if res.ExhaustiveWCET <= 0 {
+		t.Fatal("exhaustive WCET missing")
+	}
+	if res.Bound < res.ExhaustiveWCET {
+		t.Errorf("bound %d below exhaustive %d: unsafe", res.Bound, res.ExhaustiveWCET)
+	}
+	over := res.Overestimate()
+	if over > 0.30 {
+		t.Errorf("overestimation %.1f%% too loose (paper: 9.6%%)", over*100)
+	}
+	if res.ExhaustiveWCET < 100 || res.ExhaustiveWCET > 1000 {
+		t.Errorf("exhaustive WCET = %d cycles, want the paper's hundreds-of-cycles scale", res.ExhaustiveWCET)
+	}
+	out := RenderCaseStudy(res)
+	if !strings.Contains(out, "wiper_control") {
+		t.Error("render missing header")
+	}
+	t.Logf("\n%s", out)
+}

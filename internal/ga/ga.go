@@ -1,0 +1,251 @@
+// Package ga implements search-based (heuristic) test-data generation with a
+// genetic algorithm, the first stage of the paper's hybrid generator.
+//
+// The fitness function is the classic approach-level + normalised branch
+// distance objective of Tracey et al.; the paper cites the same framework
+// and expects heuristics to find more than 90% of the required test data
+// before the model checker is consulted for the remainder.
+package ga
+
+import (
+	"math/rand"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+	"wcet/internal/paths"
+)
+
+// Variable is one searched input dimension with its domain.
+type Variable struct {
+	Decl   *ast.VarDecl
+	Lo, Hi int64
+}
+
+// DomainOf derives the search domain of a declaration: the range annotation
+// when present, the type's representable range otherwise.
+func DomainOf(d *ast.VarDecl) Variable {
+	if d.Rng != nil {
+		return Variable{Decl: d, Lo: d.Rng.Lo, Hi: d.Rng.Hi}
+	}
+	lo, hi := d.Type.MinMax()
+	return Variable{Decl: d, Lo: lo, Hi: hi}
+}
+
+// Config tunes the search.
+type Config struct {
+	// Pop is the population size (default 64).
+	Pop int
+	// MaxGens bounds the generations per target (default 200).
+	MaxGens int
+	// Stagnation stops the search after this many generations without
+	// fitness improvement (default 40) — the paper's "coverage bound".
+	Stagnation int
+	// MutRate is the per-gene mutation probability (default 0.2).
+	MutRate float64
+	// CrossRate is the crossover probability (default 0.9).
+	CrossRate float64
+	// Tournament is the selection tournament size (default 3).
+	Tournament int
+	// Seed makes runs reproducible.
+	Seed int64
+	// OnTrace observes every executed candidate (for incidental coverage).
+	OnTrace func(env interp.Env, tr *interp.Trace)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Pop == 0 {
+		c.Pop = 64
+	}
+	if c.MaxGens == 0 {
+		c.MaxGens = 200
+	}
+	if c.Stagnation == 0 {
+		c.Stagnation = 40
+	}
+	if c.MutRate == 0 {
+		c.MutRate = 0.2
+	}
+	if c.CrossRate == 0 {
+		c.CrossRate = 0.9
+	}
+	if c.Tournament == 0 {
+		c.Tournament = 3
+	}
+	return c
+}
+
+// Stats reports search effort.
+type Stats struct {
+	Evaluations int
+	Generations int
+	Best        float64
+}
+
+// Result of one search.
+type Result struct {
+	// Env is the winning input assignment (inputs only) when Found.
+	Env   interp.Env
+	Found bool
+	Stats Stats
+}
+
+// Search looks for inputs that drive execution down the target path.
+// base supplies values for non-input variables (state); it is cloned per
+// run. Runtime faults (division by zero on a candidate) score worst rather
+// than aborting the search.
+func Search(g *cfg.Graph, m *interp.Machine, inputs []Variable,
+	target paths.Path, base interp.Env, conf Config) Result {
+
+	conf = conf.withDefaults()
+	rng := rand.New(rand.NewSource(conf.Seed))
+	n := len(inputs)
+
+	eval := func(genes []int64) float64 {
+		env := base.Clone()
+		for i, v := range inputs {
+			env[v.Decl] = genes[i]
+		}
+		tr, err := m.Run(g, env)
+		if err != nil {
+			return float64(len(target.Blocks)) + 2
+		}
+		if conf.OnTrace != nil {
+			conf.OnTrace(env, tr)
+		}
+		return paths.Fitness(g, tr, target)
+	}
+
+	randomGenes := func() []int64 {
+		gs := make([]int64, n)
+		for i, v := range inputs {
+			gs[i] = randomIn(rng, v.Lo, v.Hi)
+		}
+		return gs
+	}
+
+	pop := make([]indiv, conf.Pop)
+	stats := Stats{}
+	best := indiv{fit: 1e18}
+	for i := range pop {
+		pop[i] = indiv{genes: randomGenes()}
+		pop[i].fit = eval(pop[i].genes)
+		stats.Evaluations++
+		if pop[i].fit < best.fit {
+			best = cloneIndiv(pop[i])
+		}
+	}
+
+	stagnant := 0
+	for gen := 0; gen < conf.MaxGens && best.fit > 0 && stagnant < conf.Stagnation; gen++ {
+		stats.Generations++
+		next := make([]indiv, 0, conf.Pop)
+		// Elitism: carry the best through unchanged.
+		next = append(next, cloneIndiv(best))
+		for len(next) < conf.Pop {
+			a := tournament(rng, pop, conf.Tournament)
+			b := tournament(rng, pop, conf.Tournament)
+			child := crossover(rng, a.genes, b.genes, conf.CrossRate)
+			mutate(rng, child, inputs, conf.MutRate)
+			ind := indiv{genes: child}
+			ind.fit = eval(ind.genes)
+			stats.Evaluations++
+			next = append(next, ind)
+		}
+		pop = next
+		improved := false
+		for i := range pop {
+			if pop[i].fit < best.fit {
+				best = cloneIndiv(pop[i])
+				improved = true
+			}
+		}
+		if improved {
+			stagnant = 0
+		} else {
+			stagnant++
+		}
+	}
+	stats.Best = best.fit
+
+	res := Result{Stats: stats}
+	if best.fit == 0 {
+		env := interp.Env{}
+		for i, v := range inputs {
+			env[v.Decl] = best.genes[i]
+		}
+		res.Env = env
+		res.Found = true
+	}
+	return res
+}
+
+// indiv is one population member.
+type indiv struct {
+	genes []int64
+	fit   float64
+}
+
+func cloneIndiv(in indiv) indiv {
+	return indiv{genes: append([]int64(nil), in.genes...), fit: in.fit}
+}
+
+func randomIn(rng *rand.Rand, lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	span := uint64(hi - lo + 1)
+	return lo + int64(rng.Uint64()%span)
+}
+
+func tournament(rng *rand.Rand, pop []indiv, k int) indiv {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.fit < best.fit {
+			best = c
+		}
+	}
+	return best
+}
+
+func crossover(rng *rand.Rand, a, b []int64, rate float64) []int64 {
+	child := append([]int64(nil), a...)
+	if rng.Float64() >= rate || len(a) == 0 {
+		return child
+	}
+	cut := rng.Intn(len(a))
+	for i := cut; i < len(a); i++ {
+		child[i] = b[i]
+	}
+	return child
+}
+
+func mutate(rng *rand.Rand, genes []int64, vars []Variable, rate float64) {
+	for i := range genes {
+		if rng.Float64() >= rate {
+			continue
+		}
+		v := vars[i]
+		switch rng.Intn(3) {
+		case 0: // random reset
+			genes[i] = randomIn(rng, v.Lo, v.Hi)
+		case 1: // small creep, the workhorse for branch distances
+			delta := int64(rng.Intn(7)) - 3
+			genes[i] = clamp(genes[i]+delta, v.Lo, v.Hi)
+		case 2: // bit flip within the domain width
+			bit := uint(rng.Intn(16))
+			genes[i] = clamp(genes[i]^(1<<bit), v.Lo, v.Hi)
+		}
+	}
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,201 @@
+package ga
+
+import (
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+	"wcet/internal/paths"
+)
+
+type fixture struct {
+	file *ast.File
+	g    *cfg.Graph
+	m    *interp.Machine
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return &fixture{file: f, g: g, m: interp.New(f, interp.Options{})}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+func pathWithStmt(t *testing.T, fx *fixture, stmt string) paths.Path {
+	t.Helper()
+	ps, err := paths.Enumerate(cfg.WholeFunction(fx.g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		for _, id := range p.Blocks {
+			for _, item := range fx.g.Node(id).Items {
+				if ast.PrintStmt(item) == stmt {
+					return p
+				}
+			}
+		}
+	}
+	t.Fatalf("no path contains %q", stmt)
+	return paths.Path{}
+}
+
+func TestDomainOf(t *testing.T) {
+	f, err := parser.ParseFile("t.c", `
+/*@ range 0 2 */ int sel;
+char c;
+unsigned char u;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := DomainOf(f.Globals[0])
+	if v.Lo != 0 || v.Hi != 2 {
+		t.Errorf("annotated domain = [%d,%d], want [0,2]", v.Lo, v.Hi)
+	}
+	v = DomainOf(f.Globals[1])
+	if v.Lo != -128 || v.Hi != 127 {
+		t.Errorf("char domain = [%d,%d]", v.Lo, v.Hi)
+	}
+	v = DomainOf(f.Globals[2])
+	if v.Lo != 0 || v.Hi != 255 {
+		t.Errorf("uchar domain = [%d,%d]", v.Lo, v.Hi)
+	}
+}
+
+func TestFindsNeedleEquality(t *testing.T) {
+	// A single equality against a 16-bit constant: the classic case where
+	// random testing fails and branch distance shines.
+	fx := setup(t, `
+int a, r;
+int f(void) {
+    if (a == 12345) { r = 1; } else { r = 0; }
+    return r;
+}`, "f")
+	target := pathWithStmt(t, fx, "r = 1;")
+	res := Search(fx.g, fx.m, []Variable{DomainOf(fx.global("a"))}, target, interp.Env{}, Config{Seed: 1})
+	if !res.Found {
+		t.Fatalf("GA failed to find a == 12345 (best fitness %v after %d evals)",
+			res.Stats.Best, res.Stats.Evaluations)
+	}
+	if got := res.Env[fx.global("a")]; got != 12345 {
+		t.Errorf("found a = %d, want 12345", got)
+	}
+}
+
+func TestFindsNestedConjunction(t *testing.T) {
+	fx := setup(t, `
+int a, b, r;
+int f(void) {
+    r = 0;
+    if (a > 1000) {
+        if (b == a + 7) {
+            r = 1;
+        }
+    }
+    return r;
+}`, "f")
+	target := pathWithStmt(t, fx, "r = 1;")
+	res := Search(fx.g, fx.m,
+		[]Variable{DomainOf(fx.global("a")), DomainOf(fx.global("b"))},
+		target, interp.Env{}, Config{Seed: 7, MaxGens: 400, Stagnation: 120})
+	if !res.Found {
+		t.Fatalf("GA failed nested conjunction (best %v)", res.Stats.Best)
+	}
+	a := res.Env[fx.global("a")]
+	b := res.Env[fx.global("b")]
+	if !(a > 1000 && b == a+7) {
+		t.Errorf("solution a=%d b=%d violates predicate", a, b)
+	}
+}
+
+func TestRespectsBaseEnv(t *testing.T) {
+	// state is not searched; only sel is. The target needs state == 3,
+	// provided by base.
+	fx := setup(t, `
+int state, sel, r;
+int f(void) {
+    r = 0;
+    if (state == 3) {
+        if (sel == 1) { r = 1; }
+    }
+    return r;
+}`, "f")
+	target := pathWithStmt(t, fx, "r = 1;")
+	base := interp.Env{fx.global("state"): 3}
+	res := Search(fx.g, fx.m, []Variable{{Decl: fx.global("sel"), Lo: 0, Hi: 2}},
+		target, base, Config{Seed: 3})
+	if !res.Found {
+		t.Fatal("GA failed with fixed state")
+	}
+	if res.Env[fx.global("sel")] != 1 {
+		t.Errorf("sel = %d, want 1", res.Env[fx.global("sel")])
+	}
+}
+
+func TestInfeasibleStagnates(t *testing.T) {
+	fx := setup(t, `
+int a, r;
+int f(void) {
+    r = 0;
+    if (a > 5) {
+        if (a < 3) { r = 1; }
+    }
+    return r;
+}`, "f")
+	target := pathWithStmt(t, fx, "r = 1;")
+	res := Search(fx.g, fx.m, []Variable{DomainOf(fx.global("a"))},
+		target, interp.Env{}, Config{Seed: 5, MaxGens: 60, Stagnation: 15})
+	if res.Found {
+		t.Error("GA claims to cover an infeasible path")
+	}
+	if res.Stats.Best <= 0 {
+		t.Error("best fitness for infeasible path must stay positive")
+	}
+}
+
+func TestOnTraceObservesEveryEvaluation(t *testing.T) {
+	fx := setup(t, `
+int a, r;
+int f(void) { if (a == 77) { r = 1; } return r; }`, "f")
+	target := pathWithStmt(t, fx, "r = 1;")
+	count := 0
+	conf := Config{Seed: 2, OnTrace: func(env interp.Env, tr *interp.Trace) { count++ }}
+	res := Search(fx.g, fx.m, []Variable{DomainOf(fx.global("a"))}, target, interp.Env{}, conf)
+	if count != res.Stats.Evaluations {
+		t.Errorf("OnTrace fired %d times, evals = %d", count, res.Stats.Evaluations)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	fx := setup(t, `
+int a, r;
+int f(void) { if (a == 4242) { r = 1; } return r; }`, "f")
+	target := pathWithStmt(t, fx, "r = 1;")
+	r1 := Search(fx.g, fx.m, []Variable{DomainOf(fx.global("a"))}, target, interp.Env{}, Config{Seed: 11})
+	r2 := Search(fx.g, fx.m, []Variable{DomainOf(fx.global("a"))}, target, interp.Env{}, Config{Seed: 11})
+	if r1.Stats.Evaluations != r2.Stats.Evaluations || r1.Found != r2.Found {
+		t.Errorf("same seed diverged: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}

@@ -1,0 +1,222 @@
+// Package gen synthesises TargetLink-style automotive control code — the
+// stand-in for the IP-restricted industrial applications of the paper's
+// Section 2.3. The generator is seeded and deterministic; its output is
+// loop-free nested if/switch control logic over annotated byte and boolean
+// signals, the structure the paper reports (≈5000 lines, ≈850 basic
+// blocks, ≈300 conditional branches per function).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config sizes the generated function.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Branches is the target number of conditional decisions (if + switch);
+	// the paper's functions have about 300.
+	Branches int
+	// Inputs is the number of input signals (default 12).
+	Inputs int
+	// States is the number of state/output variables (default 16).
+	States int
+	// MaxDepth bounds decision nesting (default 6).
+	MaxDepth int
+	// FuncName names the generated function (default "control_task").
+	FuncName string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Branches == 0 {
+		c.Branches = 300
+	}
+	if c.Inputs == 0 {
+		c.Inputs = 12
+	}
+	if c.States == 0 {
+		c.States = 16
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 6
+	}
+	if c.FuncName == "" {
+		c.FuncName = "control_task"
+	}
+	return c
+}
+
+// Program is a generated translation unit.
+type Program struct {
+	Source   string
+	FuncName string
+	// Branches is the number of decisions actually emitted.
+	Branches int
+	// Lines is the source line count.
+	Lines int
+}
+
+type generator struct {
+	conf     Config
+	rng      *rand.Rand
+	b        strings.Builder
+	indent   int
+	branches int
+	tmpSeq   int
+	inputs   []string
+	states   []string
+}
+
+// Generate produces a deterministic synthetic program for the config.
+func Generate(conf Config) *Program {
+	conf = conf.withDefaults()
+	g := &generator{conf: conf, rng: rand.New(rand.NewSource(conf.Seed))}
+
+	g.line("/* Synthetic TargetLink-style control function (seed %d). */", conf.Seed)
+	for i := 0; i < conf.Inputs; i++ {
+		name := fmt.Sprintf("in_sig%d", i)
+		g.inputs = append(g.inputs, name)
+		switch i % 3 {
+		case 0:
+			g.line("/*@ input */ /*@ range 0 1 */ int %s;", name)
+		case 1:
+			g.line("/*@ input */ /*@ range 0 100 */ char %s;", name)
+		default:
+			g.line("/*@ input */ /*@ range -50 50 */ char %s;", name)
+		}
+	}
+	for i := 0; i < conf.States; i++ {
+		name := fmt.Sprintf("st_var%d", i)
+		g.states = append(g.states, name)
+		if i%2 == 0 {
+			g.line("char %s;", name)
+		} else {
+			g.line("int %s;", name)
+		}
+	}
+	g.line("")
+	g.line("void %s(void) {", conf.FuncName)
+	g.indent++
+	// A few compiler-temporary locals in the TargetLink style.
+	for i := 0; i < 4; i++ {
+		g.line("char Aux_U8_%d;", i)
+	}
+	g.stmtList(0, 3+g.rng.Intn(3))
+	for g.branches < conf.Branches {
+		g.stmtList(0, 2)
+	}
+	g.indent--
+	g.line("}")
+
+	src := g.b.String()
+	return &Program{
+		Source:   src,
+		FuncName: conf.FuncName,
+		Branches: g.branches,
+		Lines:    strings.Count(src, "\n"),
+	}
+}
+
+func (g *generator) line(format string, args ...any) {
+	for i := 0; i < g.indent; i++ {
+		g.b.WriteString("    ")
+	}
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *generator) stmtList(depth, n int) {
+	for i := 0; i < n; i++ {
+		g.stmt(depth)
+	}
+}
+
+func (g *generator) stmt(depth int) {
+	over := g.branches >= g.conf.Branches
+	switch {
+	case depth >= g.conf.MaxDepth || over || g.rng.Intn(100) < 35:
+		g.assignment()
+	case g.rng.Intn(100) < 70:
+		g.ifStmt(depth)
+	default:
+		g.switchStmt(depth)
+	}
+}
+
+func (g *generator) ifStmt(depth int) {
+	g.branches++
+	g.line("if (%s) {", g.condition())
+	g.indent++
+	g.stmtList(depth+1, 1+g.rng.Intn(3))
+	g.indent--
+	if g.rng.Intn(100) < 55 {
+		g.line("} else {")
+		g.indent++
+		g.stmtList(depth+1, 1+g.rng.Intn(2))
+		g.indent--
+	}
+	g.line("}")
+}
+
+func (g *generator) switchStmt(depth int) {
+	g.branches++
+	tag := g.pick(g.inputs)
+	g.line("switch (%s) {", tag)
+	cases := 2 + g.rng.Intn(3)
+	for c := 0; c < cases; c++ {
+		g.line("case %d:", c)
+		g.indent++
+		g.stmtList(depth+1, 1+g.rng.Intn(2))
+		g.line("break;")
+		g.indent--
+	}
+	g.line("default:")
+	g.indent++
+	g.stmtList(depth+1, 1)
+	g.line("break;")
+	g.indent--
+	g.line("}")
+}
+
+func (g *generator) condition() string {
+	a := g.pick(g.inputs)
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("%s == %d", a, g.rng.Intn(4))
+	case 1:
+		return fmt.Sprintf("%s > %d", a, g.rng.Intn(40))
+	case 2:
+		return fmt.Sprintf("%s < %d", a, g.rng.Intn(40))
+	case 3:
+		return fmt.Sprintf("%s != 0 && %s <= %d", a, g.pick(g.inputs), g.rng.Intn(30))
+	default:
+		return fmt.Sprintf("%s >= %d || %s == 1", a, 5+g.rng.Intn(30), g.pick(g.inputs))
+	}
+}
+
+func (g *generator) assignment() {
+	dst := g.pick(g.states)
+	switch g.rng.Intn(6) {
+	case 0:
+		g.line("%s = %d;", dst, g.rng.Intn(100))
+	case 1:
+		g.line("%s = (char)(%s + %d);", dst, g.pick(g.inputs), g.rng.Intn(20))
+	case 2:
+		g.line("%s = (char)(%s - %s);", dst, g.pick(g.inputs), g.pick(g.inputs))
+	case 3:
+		// Temporary define-and-use in the compiler style.
+		tmp := fmt.Sprintf("Aux_U8_%d", g.rng.Intn(4))
+		g.line("%s = (char)(%s * 2);", tmp, g.pick(g.inputs))
+		g.line("%s = (char)(%s + 1);", dst, tmp)
+	case 4:
+		g.line("%s = (char)(%s & 15);", dst, g.pick(g.inputs))
+	default:
+		g.line("update_output%d();", g.rng.Intn(8))
+	}
+}
+
+func (g *generator) pick(list []string) string {
+	return list[g.rng.Intn(len(list))]
+}

@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"testing"
+
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/partition"
+)
+
+func build(t *testing.T, conf Config) (*Program, *cfg.Graph) {
+	t.Helper()
+	p := Generate(conf)
+	f, err := parser.ParseFile("gen.c", p.Source)
+	if err != nil {
+		t.Fatalf("generated source does not parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("generated source does not check: %v", err)
+	}
+	g, err := cfg.Build(f.Func(p.FuncName))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return p, g
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 5, Branches: 40})
+	b := Generate(Config{Seed: 5, Branches: 40})
+	if a.Source != b.Source {
+		t.Error("same seed produced different programs")
+	}
+	c := Generate(Config{Seed: 6, Branches: 40})
+	if a.Source == c.Source {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramWellFormed(t *testing.T) {
+	p, g := build(t, Config{Seed: 1, Branches: 60})
+	if p.Branches < 60 {
+		t.Errorf("branches = %d, want ≥ 60", p.Branches)
+	}
+	if got := g.CondBranches(); got < 60 {
+		t.Errorf("CFG decisions = %d, want ≥ 60", got)
+	}
+	// Loop-free by construction.
+	if len(g.BackEdges()) != 0 {
+		t.Error("generated code must be loop-free")
+	}
+}
+
+// TestPaperScale reproduces the Section 2.3 workload: ~300 conditional
+// branches yield a CFG of roughly 850 basic blocks and ~5000 source lines.
+func TestPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p, g := build(t, Config{Seed: 42, Branches: 300})
+	nodes := g.NumNodes()
+	if nodes < 600 || nodes > 1200 {
+		t.Errorf("basic blocks = %d, want the paper's ≈850 ball park", nodes)
+	}
+	if p.Lines < 1500 {
+		t.Errorf("lines = %d, want thousands", p.Lines)
+	}
+	branches := g.CondBranches()
+	if branches < 250 || branches > 400 {
+		t.Errorf("decisions = %d, want ≈300", branches)
+	}
+}
+
+// TestSweepShape checks the qualitative shape of Figures 2 and 3 on a
+// mid-size instance: ip = 2·blocks at b=1, ip non-increasing in b, ending
+// at 2 (end-to-end) where m explodes beyond any fixed budget.
+func TestSweepShape(t *testing.T) {
+	_, g := build(t, Config{Seed: 7, Branches: 80})
+	bounds := partition.DefaultBounds(g, 200)
+	points := partition.Sweep(g, bounds)
+	if points[0].IP != 2*g.NumNodes() {
+		t.Errorf("ip(b=1) = %d, want %d", points[0].IP, 2*g.NumNodes())
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].IP > points[i-1].IP {
+			t.Errorf("ip not monotone at bound %s", points[i].Bound)
+		}
+	}
+	last := points[len(points)-1]
+	if last.IP != 2 {
+		t.Errorf("final ip = %d, want 2 (end-to-end)", last.IP)
+	}
+	first := points[0]
+	// Figure 3's explosion: end-to-end measurements dwarf block-level ones.
+	if last.M.CmpCount(first.M) <= 0 {
+		t.Errorf("end-to-end m (%s) must exceed block-level m (%s)", last.M, first.M)
+	}
+}
+
+// TestMidBoundReachesFewHundredIPs reflects the paper's report that their
+// simple partitioning reached ≈500 instrumentation points on the
+// industrial function.
+func TestMidBoundReachesFewHundredIPs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, g := build(t, Config{Seed: 42, Branches: 300})
+	bounds := partition.DefaultBounds(g, 200)
+	points := partition.Sweep(g, bounds)
+	found := false
+	for _, pt := range points {
+		if pt.IP >= 300 && pt.IP <= 800 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no bound lands in the few-hundred instrumentation-point band")
+	}
+}

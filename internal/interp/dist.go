@@ -1,0 +1,103 @@
+package interp
+
+import (
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+)
+
+// Branch distances follow Tracey et al. ("A search-based automated test-data
+// generation framework for safety-critical systems"): for each relational
+// predicate the distance measures how far the operand values are from making
+// the predicate true (or false), with a constant K=1 added so that an
+// unsatisfied predicate always has positive distance. Conjunction sums the
+// operand distances, disjunction takes the minimum.
+
+const distK = 1.0
+
+// branchDist returns (distance-to-true, distance-to-false) of a condition
+// under the current environment. One of the two is always 0 — the side the
+// condition currently evaluates to.
+func (st *state) branchDist(e ast.Expr) (dt, df float64) {
+	switch x := e.(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.BANG {
+			t, f := st.branchDist(x.X)
+			return f, t
+		}
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			at, af := st.branchDist(x.X)
+			// C short-circuits: when the left side is false the right side
+			// is unevaluated, but its distance still guides the search.
+			bt, bf := st.branchDist(x.Y)
+			return at + bt, minF(af, bf)
+		case token.LOR:
+			at, af := st.branchDist(x.X)
+			bt, bf := st.branchDist(x.Y)
+			return minF(at, bt), af + bf
+		case token.EQ, token.NE, token.LT, token.LE, token.GT, token.GE:
+			a, err1 := st.eval(x.X)
+			b, err2 := st.eval(x.Y)
+			if err1 != nil || err2 != nil {
+				return distK, distK
+			}
+			return relDist(x.Op, a, b)
+		}
+	}
+	// Generic predicate: its truth value gives a unit distance.
+	v, err := st.eval(e)
+	if err != nil {
+		return distK, distK
+	}
+	if v != 0 {
+		return 0, distK
+	}
+	return distK, 0
+}
+
+// relDist computes distances for a relational operator with operand values
+// a and b.
+func relDist(op token.Kind, a, b int64) (dt, df float64) {
+	fa, fb := float64(a), float64(b)
+	switch op {
+	case token.EQ:
+		if a == b {
+			return 0, distK
+		}
+		return absF(fa-fb) + 0, 0 // false already holds
+	case token.NE:
+		if a != b {
+			return 0, absF(fa - fb)
+		}
+		return distK, 0
+	case token.LT:
+		if a < b {
+			return 0, fb - fa
+		}
+		return fa - fb + distK, 0
+	case token.LE:
+		if a <= b {
+			return 0, fb - fa + distK
+		}
+		return fa - fb, 0
+	case token.GT:
+		if a > b {
+			return 0, fa - fb
+		}
+		return fb - fa + distK, 0
+	case token.GE:
+		if a >= b {
+			return 0, fa - fb + distK
+		}
+		return fb - fa, 0
+	}
+	return distK, distK
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,653 @@
+// Package interp executes the C subset concretely.
+//
+// The executor runs over the CFG of the analysed function, recording the
+// exact control path taken (block sequence and per-decision outcomes) plus
+// Tracey-style branch distances at every decision — the measurement
+// subsystem uses the path, the genetic test-data generator uses the
+// distances, and exhaustive end-to-end runs use the step counts as an
+// oracle for the cycle-accurate simulator.
+//
+// Semantics follow the 16-bit target: every variable holds its value
+// truncated to its declared width; intermediate arithmetic is exact in
+// int64 (the HCS12 ALU's behaviour for the generated-code patterns in
+// scope). Reads of never-written locals yield 0 — C leaves them undefined,
+// and the model checker's "variable initialisation" optimisation pins them
+// to 0, so the interpreter matches the model.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/token"
+	"wcet/internal/cfg"
+)
+
+// Env maps variables to their current values.
+type Env map[*ast.VarDecl]int64
+
+// Clone returns a copy of the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Decision records one executed control decision.
+type Decision struct {
+	// Block is the deciding basic block.
+	Block cfg.NodeID
+	// Taken is the index of the taken edge within cfg.Graph.Succs(Block).
+	Taken int
+	// Dists[i] is the branch distance to make edge i taken instead
+	// (0 for the taken edge). Distances follow Tracey et al.
+	Dists []float64
+}
+
+// Trace is the recorded execution of one run.
+type Trace struct {
+	// Blocks is the executed block sequence, entry to exit.
+	Blocks []cfg.NodeID
+	// Decisions are the multi-successor choices in execution order.
+	Decisions []Decision
+	// Steps counts executed items (statements), a rough cost proxy.
+	Steps int
+	// Ret is the function result (0 for void).
+	Ret int64
+}
+
+// PathKey returns a canonical string identifying the taken path through the
+// decision structure (block:edge pairs).
+func (t *Trace) PathKey() string {
+	key := make([]byte, 0, len(t.Decisions)*4)
+	for _, d := range t.Decisions {
+		key = append(key, byte('A'+d.Taken%26))
+		key = appendInt(key, int(d.Block))
+	}
+	return string(key)
+}
+
+func appendInt(b []byte, v int) []byte {
+	return append(b, fmt.Sprintf("%d", v)...)
+}
+
+// Options bound an execution.
+type Options struct {
+	// MaxSteps aborts runaway loops (default 1 << 20).
+	MaxSteps int
+	// MaxCallDepth bounds recursion through defined functions (default 64).
+	MaxCallDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	if o.MaxCallDepth == 0 {
+		o.MaxCallDepth = 64
+	}
+	return o
+}
+
+// ErrStepLimit is returned when MaxSteps is exhausted.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// RuntimeError is an execution fault (division by zero etc.).
+type RuntimeError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string { return fmt.Sprintf("%s: runtime: %s", e.Pos, e.Msg) }
+
+// Machine executes functions of one checked file.
+type Machine struct {
+	File *ast.File
+	Opt  Options
+}
+
+// New returns a machine for the file.
+func New(file *ast.File, opt Options) *Machine {
+	return &Machine{File: file, Opt: opt.withDefaults()}
+}
+
+// Run executes the graph from its entry with the given environment. The
+// environment is mutated in place (it carries globals across the run);
+// locals are added as they are declared.
+func (m *Machine) Run(g *cfg.Graph, env Env) (*Trace, error) {
+	tr := &Trace{}
+	st := &state{m: m, env: env, tr: tr}
+	cur := g.Entry
+	for {
+		tr.Blocks = append(tr.Blocks, cur)
+		node := g.Node(cur)
+		for _, item := range node.Items {
+			if err := st.exec(item); err != nil {
+				return tr, err
+			}
+			tr.Steps++
+			if tr.Steps > m.Opt.MaxSteps {
+				return tr, ErrStepLimit
+			}
+		}
+		switch node.Term.Kind {
+		case cfg.TermGoto:
+			cur = node.Term.To
+		case cfg.TermReturn:
+			if node.Term.Val != nil {
+				v, err := st.eval(node.Term.Val)
+				if err != nil {
+					return tr, err
+				}
+				tr.Ret = v
+			}
+			cur = node.Term.To
+		case cfg.TermBranch:
+			v, err := st.eval(node.Term.Cond)
+			if err != nil {
+				return tr, err
+			}
+			dt, df := st.branchDist(node.Term.Cond)
+			d := Decision{Block: cur, Dists: []float64{dt, df}}
+			if v != 0 {
+				d.Taken = 0
+				cur = node.Term.True
+			} else {
+				d.Taken = 1
+				cur = node.Term.False
+			}
+			tr.Decisions = append(tr.Decisions, d)
+		case cfg.TermSwitch:
+			v, err := st.eval(node.Term.Tag)
+			if err != nil {
+				return tr, err
+			}
+			succs := g.Succs(cur)
+			d := Decision{Block: cur, Dists: make([]float64, len(succs))}
+			taken := len(succs) - 1 // default edge is last
+			for i, e := range succs {
+				if e.Kind != "case" {
+					d.Dists[i] = 1 // reaching default: any non-label value
+					continue
+				}
+				best := 1e18
+				hit := false
+				for _, cv := range e.CaseVals {
+					dist := absF(float64(v - cv))
+					if dist < best {
+						best = dist
+					}
+					if cv == v {
+						hit = true
+					}
+				}
+				d.Dists[i] = best
+				if hit {
+					taken = i
+				}
+			}
+			if taken == len(succs)-1 {
+				d.Dists[taken] = 0
+			}
+			d.Taken = taken
+			cur = succs[taken].To
+			tr.Decisions = append(tr.Decisions, d)
+		case cfg.TermExit:
+			return tr, nil
+		default:
+			return tr, fmt.Errorf("interp: bad terminator in block %d", cur)
+		}
+		if tr.Steps++; tr.Steps > m.Opt.MaxSteps {
+			return tr, ErrStepLimit
+		}
+	}
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// ---------------------------------------------------------------------------
+// Expression and statement evaluation
+
+type state struct {
+	m     *Machine
+	env   Env
+	tr    *Trace
+	depth int
+}
+
+// control-flow sentinels for the AST-level statement executor (callee
+// bodies only).
+var (
+	errBreak    = errors.New("break")
+	errContinue = errors.New("continue")
+)
+
+type returned struct{ val int64 }
+
+func (returned) Error() string { return "return" }
+
+func (st *state) exec(s ast.Stmt) error {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		_, err := st.eval(x.X)
+		return err
+	case *ast.DeclStmt:
+		if x.Decl.Init != nil {
+			v, err := st.eval(x.Decl.Init)
+			if err != nil {
+				return err
+			}
+			st.env[x.Decl] = Truncate(v, x.Decl.Type)
+		} else {
+			st.env[x.Decl] = 0
+		}
+		return nil
+	}
+	return fmt.Errorf("interp: unexpected block item %T", s)
+}
+
+// Truncate wraps v to the representable range of t (two's complement).
+func Truncate(v int64, t ast.Type) int64 {
+	bits := t.Bits
+	if bits <= 0 || bits >= 64 {
+		return v
+	}
+	mask := (int64(1) << uint(bits)) - 1
+	v &= mask
+	if t.Signed && v&(int64(1)<<uint(bits-1)) != 0 {
+		v -= int64(1) << uint(bits)
+	}
+	return v
+}
+
+func (st *state) eval(e ast.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Val, nil
+	case *ast.Ident:
+		if x.Decl == nil {
+			return 0, &RuntimeError{Pos: x.NamePos, Msg: "unresolved identifier " + x.Name}
+		}
+		return st.env[x.Decl], nil
+	case *ast.UnaryExpr:
+		return st.evalUnary(x)
+	case *ast.BinaryExpr:
+		return st.evalBinary(x)
+	case *ast.AssignExpr:
+		return st.evalAssign(x)
+	case *ast.CondExpr:
+		c, err := st.eval(x.Cond)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return st.eval(x.Then)
+		}
+		return st.eval(x.Else)
+	case *ast.CallExpr:
+		return st.evalCall(x)
+	}
+	return 0, fmt.Errorf("interp: unexpected expression %T", e)
+}
+
+func (st *state) evalUnary(x *ast.UnaryExpr) (int64, error) {
+	if x.Op == token.INC || x.Op == token.DEC {
+		id := x.X.(*ast.Ident)
+		old := st.env[id.Decl]
+		delta := int64(1)
+		if x.Op == token.DEC {
+			delta = -1
+		}
+		st.env[id.Decl] = Truncate(old+delta, id.Decl.Type)
+		if x.Postfix {
+			return old, nil
+		}
+		return st.env[id.Decl], nil
+	}
+	v, err := st.eval(x.X)
+	if err != nil {
+		return 0, err
+	}
+	switch x.Op {
+	case token.MINUS:
+		return -v, nil
+	case token.PLUS:
+		return v, nil
+	case token.TILDE:
+		return ^v, nil
+	case token.BANG:
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, &RuntimeError{Pos: x.OpPos, Msg: "bad unary operator"}
+}
+
+func (st *state) evalBinary(x *ast.BinaryExpr) (int64, error) {
+	// Short-circuit operators.
+	if x.Op == token.LAND || x.Op == token.LOR {
+		a, err := st.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == token.LAND && a == 0 {
+			return 0, nil
+		}
+		if x.Op == token.LOR && a != 0 {
+			return 1, nil
+		}
+		b, err := st.eval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		if b != 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	a, err := st.eval(x.X)
+	if err != nil {
+		return 0, err
+	}
+	b, err := st.eval(x.Y)
+	if err != nil {
+		return 0, err
+	}
+	return applyBinary(x.Op, a, b, x.Pos())
+}
+
+func applyBinary(op token.Kind, a, b int64, pos token.Pos) (int64, error) {
+	boolInt := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.PLUS:
+		return a + b, nil
+	case token.MINUS:
+		return a - b, nil
+	case token.STAR:
+		return a * b, nil
+	case token.SLASH:
+		if b == 0 {
+			return 0, &RuntimeError{Pos: pos, Msg: "division by zero"}
+		}
+		return a / b, nil
+	case token.PERCENT:
+		if b == 0 {
+			return 0, &RuntimeError{Pos: pos, Msg: "modulo by zero"}
+		}
+		return a % b, nil
+	case token.SHL:
+		return a << uint(b&63), nil
+	case token.SHR:
+		return a >> uint(b&63), nil
+	case token.AMP:
+		return a & b, nil
+	case token.PIPE:
+		return a | b, nil
+	case token.CARET:
+		return a ^ b, nil
+	case token.LT:
+		return boolInt(a < b), nil
+	case token.GT:
+		return boolInt(a > b), nil
+	case token.LE:
+		return boolInt(a <= b), nil
+	case token.GE:
+		return boolInt(a >= b), nil
+	case token.EQ:
+		return boolInt(a == b), nil
+	case token.NE:
+		return boolInt(a != b), nil
+	}
+	return 0, &RuntimeError{Pos: pos, Msg: "bad binary operator " + op.String()}
+}
+
+func (st *state) evalAssign(x *ast.AssignExpr) (int64, error) {
+	id := x.LHS.(*ast.Ident)
+	rhs, err := st.eval(x.RHS)
+	if err != nil {
+		return 0, err
+	}
+	if x.Op != token.ASSIGN {
+		v, err := applyBinary(x.Op.BaseOp(), st.env[id.Decl], rhs, x.Pos())
+		if err != nil {
+			return 0, err
+		}
+		rhs = v
+	}
+	rhs = Truncate(rhs, id.Decl.Type)
+	st.env[id.Decl] = rhs
+	return rhs, nil
+}
+
+func (st *state) evalCall(x *ast.CallExpr) (int64, error) {
+	if x.Cast != nil {
+		v, err := st.eval(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		return Truncate(v, *x.Cast), nil
+	}
+	if x.Decl == nil {
+		// External routine: evaluate arguments for side effects, result 0.
+		for _, a := range x.Args {
+			if _, err := st.eval(a); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	}
+	if st.depth >= st.m.Opt.MaxCallDepth {
+		return 0, &RuntimeError{Pos: x.NamePos, Msg: "call depth exceeded"}
+	}
+	// Bind parameters.
+	saved := make(map[*ast.VarDecl]int64, len(x.Decl.Params))
+	for i, p := range x.Decl.Params {
+		v, err := st.eval(x.Args[i])
+		if err != nil {
+			return 0, err
+		}
+		saved[p] = st.env[p]
+		st.env[p] = Truncate(v, p.Type)
+	}
+	st.depth++
+	ret, err := st.execBody(x.Decl.Body)
+	st.depth--
+	for p, v := range saved {
+		st.env[p] = v
+	}
+	return ret, err
+}
+
+// execBody runs a callee body at AST level (no tracing inside callees; the
+// analysed function's own CFG drives the trace).
+func (st *state) execBody(b *ast.Block) (int64, error) {
+	err := st.stmtList(b.Stmts)
+	if r, ok := err.(returned); ok {
+		return r.val, nil
+	}
+	if err == errBreak || err == errContinue {
+		return 0, fmt.Errorf("interp: stray break/continue")
+	}
+	return 0, err
+}
+
+func (st *state) stmtList(list []ast.Stmt) error {
+	for _, s := range list {
+		if err := st.stmtAST(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *state) stmtAST(s ast.Stmt) error {
+	st.tr.Steps++
+	if st.tr.Steps > st.m.Opt.MaxSteps {
+		return ErrStepLimit
+	}
+	switch x := s.(type) {
+	case *ast.Block:
+		return st.stmtList(x.Stmts)
+	case *ast.EmptyStmt:
+		return nil
+	case *ast.ExprStmt, *ast.DeclStmt:
+		return st.exec(s)
+	case *ast.IfStmt:
+		c, err := st.eval(x.Cond)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			return st.stmtAST(x.Then)
+		}
+		if x.Else != nil {
+			return st.stmtAST(x.Else)
+		}
+		return nil
+	case *ast.SwitchStmt:
+		return st.switchAST(x)
+	case *ast.WhileStmt:
+		for {
+			c, err := st.eval(x.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := st.loopBody(x.Body); err != nil {
+				if err == errBreak {
+					return nil
+				}
+				return err
+			}
+		}
+	case *ast.DoWhileStmt:
+		for {
+			if err := st.loopBody(x.Body); err != nil {
+				if err == errBreak {
+					return nil
+				}
+				return err
+			}
+			c, err := st.eval(x.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			if err := st.stmtAST(x.Init); err != nil {
+				return err
+			}
+		}
+		for {
+			if x.Cond != nil {
+				c, err := st.eval(x.Cond)
+				if err != nil {
+					return err
+				}
+				if c == 0 {
+					return nil
+				}
+			}
+			if err := st.loopBody(x.Body); err != nil {
+				if err == errBreak {
+					return nil
+				}
+				return err
+			}
+			if x.Post != nil {
+				if _, err := st.eval(x.Post); err != nil {
+					return err
+				}
+			}
+		}
+	case *ast.BreakStmt:
+		return errBreak
+	case *ast.ContinueStmt:
+		return errContinue
+	case *ast.ReturnStmt:
+		var v int64
+		if x.X != nil {
+			var err error
+			v, err = st.eval(x.X)
+			if err != nil {
+				return err
+			}
+		}
+		return returned{val: v}
+	}
+	return fmt.Errorf("interp: unexpected statement %T", s)
+}
+
+func (st *state) loopBody(body ast.Stmt) error {
+	err := st.stmtAST(body)
+	if err == errContinue {
+		return nil
+	}
+	return err
+}
+
+func (st *state) switchAST(x *ast.SwitchStmt) error {
+	tag, err := st.eval(x.Tag)
+	if err != nil {
+		return err
+	}
+	start := -1
+	dflt := -1
+	for i, cl := range x.Clauses {
+		if cl.Vals == nil {
+			dflt = i
+			continue
+		}
+		for _, v := range cl.Vals {
+			cv, cerr := constOrEval(st, v)
+			if cerr != nil {
+				return cerr
+			}
+			if cv == tag {
+				start = i
+			}
+		}
+		if start >= 0 {
+			break
+		}
+	}
+	if start < 0 {
+		start = dflt
+	}
+	if start < 0 {
+		return nil
+	}
+	for i := start; i < len(x.Clauses); i++ {
+		if err := st.stmtList(x.Clauses[i].Body); err != nil {
+			if err == errBreak {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func constOrEval(st *state, e ast.Expr) (int64, error) {
+	return st.eval(e)
+}

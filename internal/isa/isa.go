@@ -1,0 +1,186 @@
+// Package isa defines the HCS12-flavoured virtual instruction set executed
+// by the cycle-accurate simulator — the stand-in for the paper's Motorola
+// HCS12 evaluation board.
+//
+// The machine is a load/store register machine with a fresh virtual
+// register file per call frame and one memory word per C variable. Cycle
+// costs are modelled after the HCS12's: memory accesses cost more than
+// register ALU operations, multiplication and division are multi-cycle, and
+// conditional branches are cheaper when not taken. The conditional-branch
+// asymmetry and the compare-chain switch dispatch are what make measured
+// block times path-dependent — the source of the timing-schema
+// overestimation the paper's case study exhibits (274 vs 250 cycles).
+package isa
+
+import "fmt"
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes.
+const (
+	NOP Op = iota
+	// LDI r, imm — load immediate.
+	LDI
+	// LD r, addr — load memory word.
+	LD
+	// ST addr, r — store register (with the variable's width truncation).
+	ST
+	// MOV r, r2 — register move.
+	MOV
+	// ALU: A = dest, B, C = operands.
+	ADD
+	SUB
+	MUL
+	DIV
+	MOD
+	AND
+	OR
+	XOR
+	NOT // A = dest, B = operand
+	NEG
+	SHL // shift left by constant C
+	SHR // logical shift right by constant C
+	ASR // arithmetic shift right by constant C
+	// Comparisons set A to 0/1.
+	SEQ
+	SNE
+	SLT
+	SLE
+	// TRUNC r, bits(C), signed(B != 0) — wrap to a declared C type.
+	TRUNC
+	// BOOL r, r2 — normalise to 0/1.
+	BOOL
+	// JMP pc.
+	JMP
+	// BEQZ r, pc / BNEZ r, pc — conditional branches (taken costs more).
+	BEQZ
+	BNEZ
+	// CALL pc / RET — defined function linkage; return value in register 0
+	// of the caller's frame after RETV.
+	CALL
+	RET
+	// EXT id — external routine with a fixed modelled cost.
+	EXT
+	// MARK id — basic-block boundary observation point (zero cost: an
+	// idealised instrumentation point; the ip metric counts effort, not
+	// time).
+	MARK
+	// HALT ends execution.
+	HALT
+)
+
+var opNames = [...]string{
+	NOP: "nop", LDI: "ldi", LD: "ld", ST: "st", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", MOD: "mod",
+	AND: "and", OR: "or", XOR: "xor", NOT: "not", NEG: "neg",
+	SHL: "shl", SHR: "shr", ASR: "asr",
+	SEQ: "seq", SNE: "sne", SLT: "slt", SLE: "sle",
+	TRUNC: "trunc", BOOL: "bool",
+	JMP: "jmp", BEQZ: "beqz", BNEZ: "bnez",
+	CALL: "call", RET: "ret", EXT: "ext", MARK: "mark", HALT: "halt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", int(o))
+}
+
+// Instr is one instruction. Operand meaning depends on the opcode; A is
+// usually the destination register.
+type Instr struct {
+	Op      Op
+	A, B, C int32
+	// Imm carries immediates (LDI) and ids (EXT, MARK).
+	Imm int64
+}
+
+// String disassembles the instruction.
+func (i Instr) String() string {
+	switch i.Op {
+	case LDI:
+		return fmt.Sprintf("ldi   r%d, #%d", i.A, i.Imm)
+	case LD:
+		return fmt.Sprintf("ld    r%d, [%d]", i.A, i.B)
+	case ST:
+		return fmt.Sprintf("st    [%d], r%d", i.A, i.B)
+	case MOV:
+		return fmt.Sprintf("mov   r%d, r%d", i.A, i.B)
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SEQ, SNE, SLT, SLE:
+		return fmt.Sprintf("%-5s r%d, r%d, r%d", i.Op, i.A, i.B, i.C)
+	case NOT, NEG, BOOL:
+		return fmt.Sprintf("%-5s r%d, r%d", i.Op, i.A, i.B)
+	case SHL, SHR, ASR:
+		return fmt.Sprintf("%-5s r%d, r%d, #%d", i.Op, i.A, i.B, i.C)
+	case TRUNC:
+		sign := "u"
+		if i.B != 0 {
+			sign = "s"
+		}
+		return fmt.Sprintf("trunc r%d, %s%d", i.A, sign, i.C)
+	case JMP:
+		return fmt.Sprintf("jmp   %d", i.A)
+	case BEQZ:
+		return fmt.Sprintf("beqz  r%d, %d", i.A, i.B)
+	case BNEZ:
+		return fmt.Sprintf("bnez  r%d, %d", i.A, i.B)
+	case CALL:
+		return fmt.Sprintf("call  %d", i.A)
+	case RET:
+		return "ret"
+	case EXT:
+		return fmt.Sprintf("ext   #%d", i.Imm)
+	case MARK:
+		return fmt.Sprintf("mark  #%d", i.Imm)
+	case HALT:
+		return "halt"
+	}
+	return i.Op.String()
+}
+
+// CostModel gives per-instruction cycle costs.
+type CostModel struct {
+	// Costs[op] is the base cost; branches use Taken/NotTaken.
+	Costs map[Op]int64
+	// BranchTaken / BranchNotTaken model the HCS12 Bcc asymmetry.
+	BranchTaken    int64
+	BranchNotTaken int64
+	// ExtCost maps external-routine ids to their modelled cost; ExtDefault
+	// applies otherwise.
+	ExtCost    map[int]int64
+	ExtDefault int64
+}
+
+// DefaultCosts returns the HCS12-flavoured cycle model.
+func DefaultCosts() *CostModel {
+	return &CostModel{
+		Costs: map[Op]int64{
+			NOP: 1, LDI: 1, LD: 3, ST: 3, MOV: 1,
+			ADD: 1, SUB: 1, AND: 1, OR: 1, XOR: 1, NOT: 1, NEG: 1,
+			SHL: 1, SHR: 1, ASR: 1,
+			MUL: 3, DIV: 11, MOD: 13,
+			SEQ: 1, SNE: 1, SLT: 1, SLE: 1,
+			TRUNC: 1, BOOL: 1,
+			JMP: 3, CALL: 4, RET: 5,
+			MARK: 0, HALT: 0,
+		},
+		BranchTaken:    3,
+		BranchNotTaken: 1,
+		ExtDefault:     8,
+		ExtCost:        map[int]int64{},
+	}
+}
+
+// Cost returns the cost of a non-branch instruction.
+func (cm *CostModel) Cost(i Instr) int64 {
+	if i.Op == EXT {
+		if c, ok := cm.ExtCost[int(i.Imm)]; ok {
+			return c
+		}
+		return cm.ExtDefault
+	}
+	return cm.Costs[i.Op]
+}

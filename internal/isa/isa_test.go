@@ -1,0 +1,62 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpNames(t *testing.T) {
+	for op := NOP; op <= HALT; op++ {
+		if strings.HasPrefix(op.String(), "op") {
+			t.Errorf("opcode %d has no mnemonic", int(op))
+		}
+	}
+}
+
+func TestDisassembly(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: LDI, A: 3, Imm: 42}, "ldi   r3, #42"},
+		{Instr{Op: LD, A: 1, B: 7}, "ld    r1, [7]"},
+		{Instr{Op: ST, A: 7, B: 1}, "st    [7], r1"},
+		{Instr{Op: ADD, A: 1, B: 2, C: 3}, "add   r1, r2, r3"},
+		{Instr{Op: TRUNC, A: 4, B: 1, C: 8}, "trunc r4, s8"},
+		{Instr{Op: TRUNC, A: 4, B: 0, C: 8}, "trunc r4, u8"},
+		{Instr{Op: BEQZ, A: 2, B: 99}, "beqz  r2, 99"},
+		{Instr{Op: MARK, Imm: 5}, "mark  #5"},
+		{Instr{Op: EXT, Imm: 2}, "ext   #2"},
+		{Instr{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("disasm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDefaultCosts(t *testing.T) {
+	cm := DefaultCosts()
+	// HCS12 flavour: memory ops cost more than register ALU ops; multiply
+	// and divide are multi-cycle; branches are asymmetric; marks are free.
+	if cm.Costs[LD] <= cm.Costs[ADD] {
+		t.Error("loads must cost more than register adds")
+	}
+	if cm.Costs[MUL] <= cm.Costs[ADD] || cm.Costs[DIV] <= cm.Costs[MUL] {
+		t.Error("mul/div cost ordering broken")
+	}
+	if cm.BranchTaken <= cm.BranchNotTaken {
+		t.Error("taken branches must cost more")
+	}
+	if cm.Costs[MARK] != 0 {
+		t.Error("observation points must be free")
+	}
+	if cm.Cost(Instr{Op: EXT, Imm: 0}) != cm.ExtDefault {
+		t.Error("unknown external must use the default cost")
+	}
+	cm.ExtCost[3] = 20
+	if cm.Cost(Instr{Op: EXT, Imm: 3}) != 20 {
+		t.Error("per-routine external cost ignored")
+	}
+}

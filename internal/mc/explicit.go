@@ -1,0 +1,209 @@
+package mc
+
+import (
+	"fmt"
+	"time"
+
+	"wcet/internal/tsys"
+)
+
+// CheckExplicit runs breadth-first reachability over concrete states. It
+// enumerates every initial assignment of the free variables, so it is only
+// practical for small domains; the engine exists to cross-check the
+// symbolic engine and to explore tiny models exactly.
+func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	if model.Trap == tsys.NoLoc {
+		return nil, fmt.Errorf("mc: model has no trap location")
+	}
+
+	// Enumerate initial states.
+	type state struct {
+		loc  tsys.Loc
+		vals string // packed values, used as a map key
+	}
+	pack := func(vals []int64) string {
+		b := make([]byte, 0, len(vals)*8)
+		for _, v := range vals {
+			for i := 0; i < 8; i++ {
+				b = append(b, byte(v>>uint(8*i)))
+			}
+		}
+		return string(b)
+	}
+	unpack := func(s string) []int64 {
+		vals := make([]int64, len(s)/8)
+		for i := range vals {
+			var v uint64
+			for j := 0; j < 8; j++ {
+				v |= uint64(s[i*8+j]) << uint(8*j)
+			}
+			vals[i] = int64(v)
+		}
+		return vals
+	}
+
+	var free []int // indices of free variables
+	base := make([]int64, len(model.Vars))
+	for i, v := range model.Vars {
+		if v.Init == tsys.InitConst {
+			base[i] = tsys.TruncateBits(v.InitVal, v.Bits, v.Signed)
+		} else {
+			free = append(free, i)
+		}
+	}
+	domain := func(v *tsys.Var) (lo, hi int64) {
+		if v.HasRange {
+			return v.Lo, v.Hi
+		}
+		if v.Signed {
+			hi = int64(1)<<uint(v.Bits-1) - 1
+			return -hi - 1, hi
+		}
+		return 0, int64(1)<<uint(v.Bits) - 1
+	}
+	// Estimate the initial-state count to guard against explosion.
+	total := 1.0
+	for _, i := range free {
+		lo, hi := domain(model.Vars[i])
+		total *= float64(hi-lo) + 1
+		if total > float64(opt.MaxStates) {
+			return nil, fmt.Errorf("mc: explicit engine: initial space too large (%g states)", total)
+		}
+	}
+
+	var inits [][]int64
+	var enumerate func(i int, vals []int64)
+	enumerate = func(i int, vals []int64) {
+		if i == len(free) {
+			inits = append(inits, append([]int64(nil), vals...))
+			return
+		}
+		lo, hi := domain(model.Vars[free[i]])
+		for v := lo; v <= hi; v++ {
+			vals[free[i]] = tsys.TruncateBits(v, model.Vars[free[i]].Bits, model.Vars[free[i]].Signed)
+			enumerate(i+1, vals)
+		}
+	}
+	enumerate(0, append([]int64(nil), base...))
+
+	out := model.OutEdges()
+	res := &Result{}
+	res.Stats.StateBits = model.StateBits()
+
+	visited := map[state]bool{}
+	parent := map[state]state{}
+	root := map[state][]int64{} // initial full assignment per BFS tree root
+	var frontier []state
+	push := func(s state, from *state, init []int64) bool {
+		if visited[s] {
+			return false
+		}
+		visited[s] = true
+		if from != nil {
+			parent[s] = *from
+		} else {
+			root[s] = init
+		}
+		frontier = append(frontier, s)
+		return true
+	}
+	for _, iv := range inits {
+		s := state{loc: model.Init, vals: pack(iv)}
+		push(s, nil, iv)
+	}
+	if len(visited) > opt.MaxStates {
+		return nil, fmt.Errorf("mc: explicit engine: too many states")
+	}
+
+	findRoot := func(s state) []int64 {
+		for {
+			if iv, ok := root[s]; ok {
+				return iv
+			}
+			s = parent[s]
+		}
+	}
+
+	goal := func(s state) bool { return s.loc == model.Trap }
+
+	for _, s := range frontier {
+		if goal(s) {
+			res.Reachable = true
+			res.Witness = witnessFrom(model, findRoot(s))
+			res.Stats.Duration = time.Since(start)
+			res.Stats.States = float64(len(visited))
+			res.Stats.MemoryBytes = int64(len(visited)) * int64(len(model.Vars)*8+32)
+			return res, nil
+		}
+	}
+
+	for len(frontier) > 0 && res.Stats.Steps < opt.MaxSteps {
+		res.Stats.Steps++
+		var next []state
+		for _, s := range frontier {
+			vals := unpack(s.vals)
+			for _, e := range out[s.loc] {
+				if e.Guard != nil {
+					g, err := tsys.Eval(model, e.Guard, vals)
+					if err != nil {
+						continue // faulting guard disables the edge
+					}
+					if g == 0 {
+						continue
+					}
+				}
+				nv := append([]int64(nil), vals...)
+				ok := true
+				for _, a := range e.Assigns {
+					v, err := tsys.Eval(model, a.RHS, vals)
+					if err != nil {
+						ok = false
+						break
+					}
+					mv := model.Vars[a.Var]
+					nv[a.Var] = tsys.TruncateBits(v, mv.Bits, mv.Signed)
+				}
+				if !ok {
+					continue
+				}
+				ns := state{loc: e.To, vals: pack(nv)}
+				if visited[ns] {
+					continue
+				}
+				visited[ns] = true
+				parent[ns] = s
+				next = append(next, ns)
+				if len(visited) > opt.MaxStates {
+					return nil, fmt.Errorf("mc: explicit engine: state limit exceeded")
+				}
+				if goal(ns) {
+					res.Reachable = true
+					res.Witness = witnessFrom(model, findRoot(ns))
+					res.Stats.Steps++
+					res.Stats.Duration = time.Since(start)
+					res.Stats.States = float64(len(visited))
+					res.Stats.MemoryBytes = int64(len(visited)) * int64(len(model.Vars)*8+32)
+					return res, nil
+				}
+			}
+		}
+		frontier = next
+	}
+
+	res.Stats.Duration = time.Since(start)
+	res.Stats.States = float64(len(visited))
+	res.Stats.MemoryBytes = int64(len(visited)) * int64(len(model.Vars)*8+32)
+	return res, nil
+}
+
+func witnessFrom(model *tsys.Model, init []int64) map[tsys.VarID]int64 {
+	out := map[tsys.VarID]int64{}
+	for i, v := range model.Vars {
+		if v.Input {
+			out[v.ID] = init[i]
+		}
+	}
+	return out
+}

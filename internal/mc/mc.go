@@ -1,0 +1,65 @@
+// Package mc is the model checker standing in for SAL: given a transition
+// system and a trap location, it either produces a run reaching the trap —
+// whose initial state is the wanted test datum — or proves the trap
+// unreachable, establishing path infeasibility.
+//
+// Two engines are provided: the symbolic engine (BDD-based breadth-first
+// reachability with counterexample extraction) carries the real workloads;
+// the explicit-state engine enumerates concrete states and cross-checks the
+// symbolic engine on small models. Both report the metrics of the paper's
+// Table 2: wall time, memory footprint, and steps (BFS iterations).
+package mc
+
+import (
+	"time"
+
+	"wcet/internal/tsys"
+)
+
+// Stats are the cost metrics of one run (the Table 2 columns).
+type Stats struct {
+	// Steps counts breadth-first iterations until the trap was hit or the
+	// fixpoint was reached — the paper's "steps" column.
+	Steps int
+	// PeakNodes is the BDD node count after the run (symbolic engine).
+	PeakNodes int
+	// MemoryBytes estimates the working-set size: BDD tables for the
+	// symbolic engine, the state set for the explicit engine.
+	MemoryBytes int64
+	// Duration is the wall-clock simulation time.
+	Duration time.Duration
+	// States is the number of distinct reachable states visited (explicit)
+	// or a satisfying-assignment estimate of the reachable set (symbolic).
+	States float64
+	// StateBits is the encoded state-vector width of the checked model.
+	StateBits int
+}
+
+// Result of a reachability query.
+type Result struct {
+	// Reachable reports whether the trap location can be reached.
+	Reachable bool
+	// Witness gives, for a reachable trap, the initial values of the model's
+	// input variables on some trap-reaching run — the generated test datum.
+	Witness map[tsys.VarID]int64
+	Stats   Stats
+}
+
+// Options bound a run.
+type Options struct {
+	// MaxSteps aborts the search after this many frontier expansions
+	// (default 10000).
+	MaxSteps int
+	// MaxStates bounds the explicit engine's visited set (default 2_000_000).
+	MaxStates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 10000
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 2_000_000
+	}
+	return o
+}

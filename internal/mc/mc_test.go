@@ -1,0 +1,369 @@
+package mc
+
+import (
+	"testing"
+
+	"wcet/internal/c2m"
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cc/token"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+)
+
+// hand-built model: x free 4-bit unsigned; L0 --(x==5)--> L1(trap);
+// L0 --(x!=5)--> L2 --(x'=x+1)--> L0.
+func counterModel() *tsys.Model {
+	m := &tsys.Model{Name: "counter"}
+	x := m.NewVar("x", 4, false)
+	x.Input = true
+	l0 := m.NewLoc()
+	l1 := m.NewLoc()
+	l2 := m.NewLoc()
+	m.Init = l0
+	m.Trap = l1
+	ref := &tsys.Ref{Var: x.ID}
+	five := &tsys.Const{Val: 5}
+	m.AddEdge(&tsys.Edge{From: l0, To: l1, Guard: &tsys.Bin{Op: token.EQ, X: ref, Y: five}})
+	m.AddEdge(&tsys.Edge{From: l0, To: l2, Guard: &tsys.Bin{Op: token.NE, X: ref, Y: five}})
+	m.AddEdge(&tsys.Edge{From: l2, To: l0, Assigns: []tsys.Assign{{Var: x.ID,
+		RHS: &tsys.CastE{Bits: 4, Signed: false, X: &tsys.Bin{Op: token.PLUS, X: ref, Y: &tsys.Const{Val: 1}}}}}})
+	return m
+}
+
+func TestSymbolicReachesTrap(t *testing.T) {
+	res, err := CheckSymbolic(counterModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("trap must be reachable")
+	}
+	if len(res.Witness) != 1 {
+		t.Fatalf("witness = %v, want one input", res.Witness)
+	}
+}
+
+func TestExplicitMatchesSymbolic(t *testing.T) {
+	sym, err := CheckSymbolic(counterModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := CheckExplicit(counterModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Reachable != exp.Reachable {
+		t.Errorf("engines disagree: symbolic=%v explicit=%v", sym.Reachable, exp.Reachable)
+	}
+}
+
+func TestUnreachableTrap(t *testing.T) {
+	m := &tsys.Model{Name: "stuck"}
+	x := m.NewVar("x", 3, false)
+	x.Input = true
+	l0, l1 := m.NewLoc(), m.NewLoc()
+	m.Init = l0
+	m.Trap = l1
+	// Guard can never hold: x == 9 with only 3 bits.
+	m.AddEdge(&tsys.Edge{From: l0, To: l1,
+		Guard: &tsys.Bin{Op: token.EQ, X: &tsys.Ref{Var: x.ID}, Y: &tsys.Const{Val: 9}}})
+	sym, err := CheckSymbolic(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Reachable {
+		t.Error("symbolic: unreachable trap reported reachable")
+	}
+	exp, err := CheckExplicit(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Reachable {
+		t.Error("explicit: unreachable trap reported reachable")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: C source → path model → witness → replay
+
+type fixture struct {
+	file *ast.File
+	fn   *ast.FuncDecl
+	g    *cfg.Graph
+	m    *interp.Machine
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	fn := f.Func(name)
+	g, err := cfg.Build(fn)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return &fixture{file: f, fn: fn, g: g, m: interp.New(f, interp.Options{})}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// genAndReplay generates test data for every end-to-end path via the
+// symbolic checker and replays each witness on the interpreter, expecting
+// exact coverage. Returns the number of feasible and infeasible paths.
+func genAndReplay(t *testing.T, fx *fixture, opt c2m.Options) (feasible, infeasible int) {
+	t.Helper()
+	allPaths, err := paths.Enumerate(cfg.WholeFunction(fx.g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range allPaths {
+		low, err := c2m.LowerPath(fx.g, opt, p)
+		if err != nil {
+			t.Fatalf("lower path %s: %v", p.Key(), err)
+		}
+		res, err := CheckSymbolic(low.Model, Options{})
+		if err != nil {
+			t.Fatalf("check path %s: %v", p.Key(), err)
+		}
+		if !res.Reachable {
+			infeasible++
+			continue
+		}
+		feasible++
+		// Replay on the interpreter.
+		env := interp.Env{}
+		for id, val := range res.Witness {
+			env[low.DeclOf[id]] = val
+		}
+		tr, err := fx.m.Run(fx.g, env)
+		if err != nil {
+			t.Fatalf("replay %s: %v", p.Key(), err)
+		}
+		if !paths.Covers(fx.g, tr, p) {
+			t.Errorf("witness %v does not drive execution down path %s", res.Witness, p.Key())
+		}
+	}
+	return feasible, infeasible
+}
+
+func TestPathTestGenerationSimple(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ int a;
+/*@ input */ int b;
+int r;
+int f(void) {
+    r = 0;
+    if (a > 3) { r = 1; }
+    if (b == a + 2) { r = r + 2; }
+    return r;
+}`, "f")
+	// Non-input r must be pinned for deterministic replay.
+	opt := c2m.Options{NaiveWidths: false}
+	feas, infeas := genAndReplay(t, fx, opt)
+	if feas != 4 || infeas != 0 {
+		t.Errorf("feasible=%d infeasible=%d, want 4/0", feas, infeas)
+	}
+}
+
+func TestInfeasiblePathDetected(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ int a;
+int r;
+int f(void) {
+    r = 0;
+    if (a > 5) {
+        if (a < 3) { r = 1; }
+    }
+    return r;
+}`, "f")
+	feas, infeas := genAndReplay(t, fx, c2m.Options{})
+	// Paths: a>5&a<3 (infeasible), a>5&!(a<3), !(a>5): 2 feasible, 1 infeasible.
+	if feas != 2 || infeas != 1 {
+		t.Errorf("feasible=%d infeasible=%d, want 2/1", feas, infeas)
+	}
+}
+
+func TestSwitchPathGeneration(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ /*@ range 0 4 */ int sel;
+int r;
+int f(void) {
+    switch (sel) {
+    case 0: r = 1; break;
+    case 1:
+    case 2: r = 2; break;
+    default: r = 9; break;
+    }
+    return r;
+}`, "f")
+	feas, infeas := genAndReplay(t, fx, c2m.Options{})
+	if feas != 3 || infeas != 0 {
+		t.Errorf("feasible=%d infeasible=%d, want 3/0", feas, infeas)
+	}
+}
+
+func TestEqualityNeedle(t *testing.T) {
+	// The model checker's guarantee: it finds the needle no matter how
+	// sparse (a == 12345 over 16-bit input).
+	fx := setup(t, `
+/*@ input */ int a;
+int r;
+int f(void) {
+    r = 0;
+    if (a == 12345) { r = 1; }
+    return r;
+}`, "f")
+	allPaths, _ := paths.Enumerate(cfg.WholeFunction(fx.g), 0)
+	var needle paths.Path
+	found := false
+	for _, p := range allPaths {
+		for _, id := range p.Blocks {
+			for _, item := range fx.g.Node(id).Items {
+				if ast.PrintStmt(item) == "r = 1;" {
+					needle, found = p, true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("needle path missing")
+	}
+	low, err := c2m.LowerPath(fx.g, c2m.Options{}, needle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CheckSymbolic(low.Model, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Fatal("needle not found by model checker")
+	}
+	aID := low.VarOf[fx.global("a")]
+	if res.Witness[aID] != 12345 {
+		t.Errorf("witness a = %d, want 12345", res.Witness[aID])
+	}
+}
+
+func TestArithmeticInGuards(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ /*@ range -20 20 */ int a;
+/*@ input */ /*@ range -20 20 */ int b;
+int r;
+int f(void) {
+    r = 0;
+    if ((a * 3 - b) / 2 == 7) { r = 1; }
+    return r;
+}`, "f")
+	feas, infeas := genAndReplay(t, fx, c2m.Options{})
+	if feas != 2 || infeas != 0 {
+		t.Errorf("feasible=%d infeasible=%d, want 2/0", feas, infeas)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	res, err := CheckSymbolic(counterModel(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.PeakNodes <= 0 || s.MemoryBytes <= 0 || s.StateBits <= 0 {
+		t.Errorf("stats not populated: %+v", s)
+	}
+	if s.Steps == 0 {
+		t.Error("steps should be > 0 for this model")
+	}
+}
+
+func TestMaxStepsAborts(t *testing.T) {
+	res, err := CheckSymbolic(counterModel(), Options{MaxSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x=5 initial state hits at step 0… the counter model traps at
+	// step 0 for x=5, so Reachable even with MaxSteps 1.
+	_ = res
+	// A model needing many steps:
+	m := &tsys.Model{Name: "far"}
+	x := m.NewVar("x", 8, false)
+	x.Init = tsys.InitConst
+	x.InitVal = 0
+	l0, l1 := m.NewLoc(), m.NewLoc()
+	m.Init, m.Trap = l0, l1
+	ref := &tsys.Ref{Var: x.ID}
+	m.AddEdge(&tsys.Edge{From: l0, To: l0, Assigns: []tsys.Assign{{Var: x.ID,
+		RHS: &tsys.CastE{Bits: 8, Signed: false, X: &tsys.Bin{Op: token.PLUS, X: ref, Y: &tsys.Const{Val: 1}}}}},
+		Guard: &tsys.Bin{Op: token.LT, X: ref, Y: &tsys.Const{Val: 200}}})
+	m.AddEdge(&tsys.Edge{From: l0, To: l1,
+		Guard: &tsys.Bin{Op: token.EQ, X: ref, Y: &tsys.Const{Val: 200}}})
+	res2, err := CheckSymbolic(m, Options{MaxSteps: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reachable {
+		t.Error("should not reach within 5 steps")
+	}
+	res3, err := CheckSymbolic(m, Options{MaxSteps: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res3.Reachable {
+		t.Error("should reach within 500 steps")
+	}
+}
+
+func TestDifferentialEnginesOnLoweredModel(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ /*@ range 0 7 */ int a;
+/*@ input */ /*@ range 0 7 */ int b;
+int r;
+int f(void) {
+    r = 0;
+    if (a + b == 9) { r = 1; }
+    if (a > b) { r = r + 2; }
+    return r;
+}`, "f")
+	allPaths, _ := paths.Enumerate(cfg.WholeFunction(fx.g), 0)
+	for _, p := range allPaths {
+		low, err := c2m.LowerPath(fx.g, c2m.Options{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pin non-input variables so the explicit engine's initial space
+		// stays enumerable (the varinit optimisation does this for real
+		// workloads).
+		for _, v := range low.Model.Vars {
+			if !v.Input {
+				v.Init = tsys.InitConst
+				v.InitVal = 0
+			}
+		}
+		sym, err := CheckSymbolic(low.Model, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := CheckExplicit(low.Model, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sym.Reachable != exp.Reachable {
+			t.Errorf("path %s: symbolic=%v explicit=%v", p.Key(), sym.Reachable, exp.Reachable)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package measure is the measurement subsystem: it executes generated test
+// data on the cycle-accurate simulator and aggregates, per unit of the
+// instrumentation plan, the maximum observed execution time.
+//
+// A unit's time is the cycle delta between its entry observation point and
+// the first observation point outside it — exactly what the paper obtains
+// from its start/stop cycle-counter instrumentation on the HCS12 board.
+package measure
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+	"wcet/internal/partition"
+	"wcet/internal/sim"
+)
+
+// UnitTime aggregates observations for one plan unit.
+type UnitTime struct {
+	Unit partition.Unit
+	// Max is the worst observed execution time in cycles (-1: never seen).
+	Max int64
+	// Samples counts observations.
+	Samples int
+	// PerPath records, for whole-segment units, the worst time per internal
+	// path key (block id sequence) — coverage bookkeeping.
+	PerPath map[string]int64
+}
+
+// Result of a measurement campaign.
+type Result struct {
+	Plan  *partition.Plan
+	Times []UnitTime
+	// Runs counts simulator executions.
+	Runs int
+}
+
+// Covered reports whether every unit has at least one observation.
+func (r *Result) Covered() bool {
+	for _, t := range r.Times {
+		if t.Samples == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// UnitMax returns the maximum for the i-th plan unit (-1 when unobserved).
+func (r *Result) UnitMax(i int) int64 { return r.Times[i].Max }
+
+// Campaign runs every test vector and aggregates unit times.
+func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env) (*Result, error) {
+	res := &Result{Plan: plan}
+	res.Times = make([]UnitTime, len(plan.Units))
+	for i, u := range plan.Units {
+		res.Times[i] = UnitTime{Unit: u, Max: -1, PerPath: map[string]int64{}}
+	}
+	for _, env := range data {
+		tr, err := vm.Run(env.Clone())
+		if err != nil {
+			return nil, fmt.Errorf("measure: run failed: %w", err)
+		}
+		res.Runs++
+		res.Observe(tr)
+	}
+	return res, nil
+}
+
+// Observe folds one simulator trace into the aggregates.
+func (r *Result) Observe(tr *sim.Trace) {
+	events := tr.Events
+	for ui := range r.Times {
+		ut := &r.Times[ui]
+		switch ut.Unit.Kind {
+		case partition.SingleBlock:
+			for i, ev := range events {
+				if ev.Block != ut.Unit.Block {
+					continue
+				}
+				end := tr.Total
+				if i+1 < len(events) {
+					end = events[i+1].Cycle
+				}
+				d := end - ev.Cycle
+				ut.observe("", d)
+			}
+		case partition.WholePS:
+			set := ut.Unit.PS.Region.Set
+			entry := ut.Unit.PS.Region.Entry
+			for i := 0; i < len(events); i++ {
+				if events[i].Block != entry {
+					continue
+				}
+				// Follow until the trace leaves the region.
+				j := i + 1
+				key := blockKey(events[i].Block)
+				for j < len(events) && set[events[j].Block] {
+					key += "-" + blockKey(events[j].Block)
+					j++
+				}
+				end := tr.Total
+				if j < len(events) {
+					end = events[j].Cycle
+				}
+				ut.observe(key, end-events[i].Cycle)
+				i = j - 1
+			}
+		}
+	}
+}
+
+func (ut *UnitTime) observe(pathKey string, d int64) {
+	ut.Samples++
+	if d > ut.Max {
+		ut.Max = d
+	}
+	if pathKey != "" {
+		if d > ut.PerPath[pathKey] {
+			ut.PerPath[pathKey] = d
+		}
+	}
+}
+
+func blockKey(id cfg.NodeID) string { return fmt.Sprintf("%d", id) }
+
+// ExhaustiveMax runs every environment and returns the maximum end-to-end
+// time — the ground truth the paper obtains from exhaustive end-to-end
+// measurement on small input spaces.
+func ExhaustiveMax(vm *sim.VM, data []interp.Env) (int64, error) {
+	var max int64 = -1
+	for _, env := range data {
+		tr, err := vm.Run(env.Clone())
+		if err != nil {
+			return 0, err
+		}
+		if tr.Total > max {
+			max = tr.Total
+		}
+	}
+	return max, nil
+}
+
+// EnumerateInputs builds the full cross product of the given input domains
+// (each variable uses its annotation range or type range), erroring out
+// beyond the cap. Base supplies fixed non-input values.
+func EnumerateInputs(vars []InputVar, base interp.Env, cap int) ([]interp.Env, error) {
+	total := 1
+	for _, v := range vars {
+		span := v.Hi - v.Lo + 1
+		if span <= 0 || total > cap/int(span)+1 {
+			total = cap + 1
+			break
+		}
+		total *= int(span)
+	}
+	if total > cap {
+		return nil, fmt.Errorf("measure: input space too large (> %d)", cap)
+	}
+	envs := []interp.Env{base.Clone()}
+	for _, v := range vars {
+		var next []interp.Env
+		for _, e := range envs {
+			for val := v.Lo; val <= v.Hi; val++ {
+				ne := e.Clone()
+				ne[v.Decl] = val
+				next = append(next, ne)
+			}
+		}
+		envs = next
+	}
+	return envs, nil
+}
+
+// InputVar is one enumerable input dimension.
+type InputVar struct {
+	Decl   *ast.VarDecl
+	Lo, Hi int64
+}

@@ -1,0 +1,189 @@
+package measure
+
+import (
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/codegen"
+	"wcet/internal/interp"
+	"wcet/internal/partition"
+	"wcet/internal/sim"
+)
+
+type fixture struct {
+	file *ast.File
+	g    *cfg.Graph
+	vm   *sim.VM
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	img, err := codegen.Compile(g, f)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return &fixture{file: f, g: g, vm: sim.New(img, sim.Options{})}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+const measSrc = `
+/*@ input */ /*@ range 0 3 */ int sel;
+/*@ input */ /*@ range 0 1 */ int flag;
+int r;
+int f(void) {
+    r = 0;
+    switch (sel) {
+    case 0: r = 1; break;
+    case 1: r = r + 2; r = r * 3; break;
+    case 2: if (flag == 1) { r = 7; } break;
+    default: r = 9; break;
+    }
+    if (flag == 1) { r = r + 1; }
+    return r;
+}`
+
+func (fx *fixture) allInputs(t *testing.T) []interp.Env {
+	t.Helper()
+	envs, err := EnumerateInputs([]InputVar{
+		{Decl: fx.global("sel"), Lo: 0, Hi: 3},
+		{Decl: fx.global("flag"), Lo: 0, Hi: 1},
+	}, interp.Env{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return envs
+}
+
+func TestEnumerateInputs(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	envs := fx.allInputs(t)
+	if len(envs) != 8 {
+		t.Fatalf("enumerated %d inputs, want 8", len(envs))
+	}
+	seen := map[[2]int64]bool{}
+	for _, e := range envs {
+		key := [2]int64{e[fx.global("sel")], e[fx.global("flag")]}
+		if seen[key] {
+			t.Errorf("duplicate input %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnumerateInputsCap(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	_, err := EnumerateInputs([]InputVar{
+		{Decl: fx.global("sel"), Lo: 0, Hi: 1 << 20},
+	}, interp.Env{}, 1000)
+	if err == nil {
+		t.Error("expected cap error")
+	}
+}
+
+func TestCampaignCoversAllUnits(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	plan := partition.PartitionBound(fx.g, 1)
+	res, err := Campaign(plan, fx.vm, fx.allInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered() {
+		for i, ut := range res.Times {
+			if ut.Samples == 0 {
+				t.Errorf("unit %d (%v) never observed", i, ut.Unit.Kind)
+			}
+		}
+	}
+	if res.Runs != 8 {
+		t.Errorf("runs = %d, want 8", res.Runs)
+	}
+}
+
+func TestBlockTimesPositiveAndStable(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	plan := partition.PartitionBound(fx.g, 1)
+	res, err := Campaign(plan, fx.vm, fx.allInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ut := range res.Times {
+		if ut.Samples > 0 && ut.Max < 0 {
+			t.Errorf("unit %d: max < 0 with samples", i)
+		}
+	}
+	// Re-running the same campaign gives identical maxima (determinism).
+	res2, err := Campaign(plan, fx.vm, fx.allInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Times {
+		if res.Times[i].Max != res2.Times[i].Max {
+			t.Errorf("unit %d: max differs between campaigns", i)
+		}
+	}
+}
+
+func TestWholeSegmentPerPathTimes(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	// Large bound: the whole function is one unit.
+	plan := partition.PartitionBound(fx.g, 1000)
+	if len(plan.Units) != 1 || plan.Units[0].Kind != partition.WholePS {
+		t.Fatalf("expected a single whole-function unit, got %d", len(plan.Units))
+	}
+	res, err := Campaign(plan, fx.vm, fx.allInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut := res.Times[0]
+	// Each of the 8 inputs drives a distinct end-to-end path here (flag
+	// steers both its decisions consistently, sel picks the clause).
+	if len(ut.PerPath) != 8 {
+		t.Errorf("distinct paths observed = %d, want 8", len(ut.PerPath))
+	}
+	// The unit max equals the exhaustive end-to-end max.
+	exh, err := ExhaustiveMax(fx.vm, fx.allInputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ut.Max != exh {
+		t.Errorf("whole-function unit max %d != exhaustive %d", ut.Max, exh)
+	}
+}
+
+func TestExhaustiveMaxMonotoneInData(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	all := fx.allInputs(t)
+	some, err := ExhaustiveMax(fx.vm, all[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := ExhaustiveMax(fx.vm, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if some > full {
+		t.Errorf("subset max %d exceeds full max %d", some, full)
+	}
+}

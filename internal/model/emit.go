@@ -1,0 +1,177 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Emit generates the C-subset source of the controller function in
+// TargetLink style: one function whose body is a switch over the state
+// variable with nested if/else chains, followed by the diagram's output
+// conditioning blocks.
+//
+// The previous state is an input (range-annotated), so the generated
+// function is a pure step function suitable for exhaustive end-to-end
+// measurement and for path forcing.
+func (d *Diagram) Emit(funcName string) string {
+	c := d.Chart
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	w("/* %s — generated from model %q (%d blocks, %d chart states). */",
+		funcName, d.Name, d.NumBlocks(), len(c.States))
+	for _, in := range c.Inputs {
+		w("/*@ input */ /*@ range %d %d */ int %s;", in.Lo, in.Hi, in.Name)
+	}
+	w("/*@ input */ /*@ range 0 %d */ int %s;", len(c.States)-1, c.StateVar)
+	for _, out := range c.Outputs {
+		w("int %s;", out)
+	}
+	w("int next_%s;", c.StateVar)
+	w("char motor_cmd;")
+	w("")
+	w("void %s(void) {", funcName)
+	w("    switch (%s) {", c.StateVar)
+	for _, s := range c.States {
+		w("    case %d: /* %s */", s.ID, s.Name)
+		trans := c.TransitionsFrom(s.Name)
+		indent := "        "
+		for i, t := range trans {
+			kw := "if"
+			if i > 0 {
+				kw = "} else if"
+			}
+			w("%s%s (%s) {", indent, kw, t.Guard.C())
+			target := c.state(t.To)
+			w("%s    next_%s = %d;", indent, c.StateVar, target.ID)
+			for _, a := range effectiveActions(t, target) {
+				w("%s    %s = %d;", indent, a.Output, a.Value)
+			}
+		}
+		if len(trans) > 0 {
+			w("%s} else {", indent)
+			w("%s    next_%s = %d;", indent, c.StateVar, s.ID)
+			for _, a := range s.During {
+				w("%s    %s = %d;", indent, a.Output, a.Value)
+			}
+			w("%s}", indent)
+		} else {
+			w("%snext_%s = %d;", indent, c.StateVar, s.ID)
+			for _, a := range s.During {
+				w("%s%s = %d;", indent, a.Output, a.Value)
+			}
+		}
+		w("        break;")
+	}
+	w("    default:")
+	w("        next_%s = 0;", c.StateVar)
+	for _, out := range c.Outputs {
+		w("        %s = 0;", out)
+	}
+	w("        break;")
+	w("    }")
+	// Output conditioning from the diagram blocks.
+	for _, blk := range d.Blocks {
+		switch blk.Kind {
+		case GainShift:
+			if blk.Out != "" && len(blk.In) == 1 {
+				w("    %s = (char)(%s << %d);", blk.Out, blk.In[0], blk.Params["shift"])
+			}
+		case Saturation:
+			if blk.Out == "motor_cmd" && len(blk.In) == 1 {
+				w("    if (%s > %d) { %s = (char)(%d); }",
+					blk.In[0], blk.Params["hi"], blk.Out, blk.Params["hi"])
+				w("    if (%s < %d) { %s = (char)(%d); }",
+					blk.In[0], blk.Params["lo"], blk.Out, blk.Params["lo"])
+			}
+		}
+	}
+	w("}")
+	return b.String()
+}
+
+// effectiveActions merges a transition's explicit actions with the target
+// state's during-actions (explicit actions win).
+func effectiveActions(t Transition, target State) []Action {
+	set := map[string]int64{}
+	order := []string{}
+	for _, a := range target.During {
+		if _, ok := set[a.Output]; !ok {
+			order = append(order, a.Output)
+		}
+		set[a.Output] = a.Value
+	}
+	for _, a := range t.Actions {
+		if _, ok := set[a.Output]; !ok {
+			order = append(order, a.Output)
+		}
+		set[a.Output] = a.Value
+	}
+	out := make([]Action, 0, len(order))
+	for _, o := range order {
+		out = append(out, Action{Output: o, Value: set[o]})
+	}
+	return out
+}
+
+// Step executes the chart semantics directly on the model (the reference
+// oracle for the generated code): given input values and the current state
+// id, it returns the next state id and the outputs.
+func (c *Chart) Step(inputs map[string]int64, state int64) (int64, map[string]int64, error) {
+	var cur *State
+	for i := range c.States {
+		if c.States[i].ID == state {
+			cur = &c.States[i]
+		}
+	}
+	outs := map[string]int64{}
+	if cur == nil {
+		// Out-of-range state: the generated default arm resets.
+		for _, o := range c.Outputs {
+			outs[o] = 0
+		}
+		return 0, outs, nil
+	}
+	for _, t := range c.TransitionsFrom(cur.Name) {
+		sat := true
+		for _, g := range t.Guard.Terms {
+			v, ok := inputs[g.Signal]
+			if !ok {
+				return 0, nil, fmt.Errorf("model: missing input %q", g.Signal)
+			}
+			if !cmp(v, g.Op, g.Value) {
+				sat = false
+				break
+			}
+		}
+		if sat {
+			target := c.state(t.To)
+			for _, a := range effectiveActions(t, target) {
+				outs[a.Output] = a.Value
+			}
+			return target.ID, outs, nil
+		}
+	}
+	for _, a := range cur.During {
+		outs[a.Output] = a.Value
+	}
+	return cur.ID, outs, nil
+}
+
+func cmp(a int64, op string, b int64) bool {
+	switch op {
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+// Package model is the MatLab/Simulink + TargetLink stand-in for the
+// paper's Section 4 case study: a structured Stateflow-style chart plus a
+// small block diagram, and a code generator that emits the C-subset source
+// of a single wiper_control function in the nested switch/if style of
+// TargetLink output.
+//
+// The paper's chart has 9 states and the surrounding model about 70 blocks;
+// Wiper() reproduces those numbers. The previous controller state is a
+// model input (the paper enforces test data "on the input parameters and
+// the state of the application" through glue code), which keeps the input
+// space small enough for exhaustive end-to-end measurement: 3·2·2·9 = 108
+// vectors.
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Signal is an input signal with its range.
+type Signal struct {
+	Name   string
+	Lo, Hi int64
+}
+
+// Guard is a conjunction of simple comparisons over input signals.
+type Guard struct {
+	Terms []GuardTerm
+}
+
+// GuardTerm compares one signal with a constant.
+type GuardTerm struct {
+	Signal string
+	Op     string // "==", "!=", "<", "<=", ">", ">="
+	Value  int64
+}
+
+// C renders the guard as a C expression ("1" when empty).
+func (g Guard) C() string {
+	if len(g.Terms) == 0 {
+		return "1"
+	}
+	parts := make([]string, len(g.Terms))
+	for i, t := range g.Terms {
+		parts[i] = fmt.Sprintf("%s %s %d", t.Signal, t.Op, t.Value)
+	}
+	return strings.Join(parts, " && ")
+}
+
+// Action assigns a constant to an output.
+type Action struct {
+	Output string
+	Value  int64
+}
+
+// Transition moves the chart between states; transitions of one state are
+// evaluated in priority order.
+type Transition struct {
+	From, To string
+	Guard    Guard
+	Actions  []Action
+}
+
+// State is one chart state with its during-actions (outputs driven while
+// the state is active).
+type State struct {
+	Name   string
+	ID     int64
+	During []Action
+}
+
+// Chart is a Stateflow-style state machine.
+type Chart struct {
+	Name        string
+	States      []State
+	Transitions []Transition
+	Inputs      []Signal
+	Outputs     []string
+	// StateVar names the generated state variable.
+	StateVar string
+}
+
+// Validate checks structural sanity: unique state names/ids, transitions
+// referencing defined states and signals.
+func (c *Chart) Validate() error {
+	ids := map[int64]bool{}
+	names := map[string]bool{}
+	for _, s := range c.States {
+		if names[s.Name] {
+			return fmt.Errorf("model: duplicate state %q", s.Name)
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("model: duplicate state id %d", s.ID)
+		}
+		names[s.Name] = true
+		ids[s.ID] = true
+	}
+	sigs := map[string]bool{}
+	for _, in := range c.Inputs {
+		sigs[in.Name] = true
+	}
+	outs := map[string]bool{}
+	for _, o := range c.Outputs {
+		outs[o] = true
+	}
+	for _, t := range c.Transitions {
+		if !names[t.From] || !names[t.To] {
+			return fmt.Errorf("model: transition %s→%s references unknown state", t.From, t.To)
+		}
+		for _, g := range t.Guard.Terms {
+			if !sigs[g.Signal] {
+				return fmt.Errorf("model: guard references unknown signal %q", g.Signal)
+			}
+		}
+		for _, a := range t.Actions {
+			if !outs[a.Output] {
+				return fmt.Errorf("model: action targets unknown output %q", a.Output)
+			}
+		}
+	}
+	for _, s := range c.States {
+		for _, a := range s.During {
+			if !outs[a.Output] {
+				return fmt.Errorf("model: during-action targets unknown output %q", a.Output)
+			}
+		}
+	}
+	return nil
+}
+
+// State lookup by name.
+func (c *Chart) state(name string) State {
+	for _, s := range c.States {
+		if s.Name == name {
+			return s
+		}
+	}
+	return State{}
+}
+
+// TransitionsFrom lists a state's transitions in priority order.
+func (c *Chart) TransitionsFrom(name string) []Transition {
+	var out []Transition
+	for _, t := range c.Transitions {
+		if t.From == name {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Block diagram
+
+// BlockKind enumerates the Simulink-style blocks the emitter understands.
+type BlockKind int
+
+// Block kinds.
+const (
+	Inport BlockKind = iota
+	Outport
+	Constant
+	Saturation
+	GainShift // multiply by 2^k (shift — TargetLink's fixed-point gain)
+	SwitchSel // out = cond ? a : b
+	Chartref  // placeholder for the chart itself
+	LogicalOp
+	Relational
+	UnitDelay
+)
+
+// Block is one diagram block.
+type Block struct {
+	Kind BlockKind
+	Name string
+	// Params carries kind-specific settings (limits, shift amounts, …).
+	Params map[string]int64
+	// In lists the input connections (signal or block names).
+	In []string
+	// Out is the produced signal name ("" for sinks).
+	Out string
+}
+
+// Diagram is the surrounding block model.
+type Diagram struct {
+	Name   string
+	Chart  *Chart
+	Blocks []Block
+}
+
+// NumBlocks reports the diagram size (the paper's model has ≈70 blocks).
+func (d *Diagram) NumBlocks() int { return len(d.Blocks) }

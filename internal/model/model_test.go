@@ -1,0 +1,147 @@
+package model
+
+import (
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+)
+
+func TestWiperModelShape(t *testing.T) {
+	d := Wiper()
+	if err := d.Chart.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Chart.States); got != 9 {
+		t.Errorf("states = %d, want 9 (the paper's chart)", got)
+	}
+	if n := d.NumBlocks(); n < 60 || n > 80 {
+		t.Errorf("blocks = %d, want ≈70 (the paper's model)", n)
+	}
+}
+
+func TestChartValidateCatchesErrors(t *testing.T) {
+	c := &Chart{
+		Name:     "bad",
+		StateVar: "s",
+		States:   []State{{Name: "A", ID: 0}, {Name: "B", ID: 1}},
+		Inputs:   []Signal{{Name: "x", Lo: 0, Hi: 1}},
+		Outputs:  []string{"y"},
+		Transitions: []Transition{
+			{From: "A", To: "MISSING", Guard: Guard{[]GuardTerm{{"x", "==", 1}}}},
+		},
+	}
+	if err := c.Validate(); err == nil {
+		t.Error("missing target state not reported")
+	}
+	c.Transitions[0].To = "B"
+	c.Transitions[0].Guard.Terms[0].Signal = "zz"
+	if err := c.Validate(); err == nil {
+		t.Error("unknown guard signal not reported")
+	}
+}
+
+func TestEmittedCodeCompiles(t *testing.T) {
+	d := Wiper()
+	src := d.Emit("wiper_control")
+	f, err := parser.ParseFile("wiper.c", src)
+	if err != nil {
+		t.Fatalf("emitted code does not parse: %v\n%s", err, src)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("emitted code does not check: %v", err)
+	}
+	g, err := cfg.Build(f.Func("wiper_control"))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	if g.CondBranches() < 9 {
+		t.Errorf("emitted CFG has only %d decisions", g.CondBranches())
+	}
+}
+
+// TestEmittedCodeMatchesChartSemantics runs all 108 input vectors through
+// both the chart oracle and the interpreted generated code.
+func TestEmittedCodeMatchesChartSemantics(t *testing.T) {
+	d := Wiper()
+	src := d.Emit("wiper_control")
+	f, err := parser.ParseFile("wiper.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f.Func("wiper_control"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := interp.New(f, interp.Options{})
+
+	decl := func(name string) *ast.VarDecl {
+		for _, gl := range f.Globals {
+			if gl.Name == name {
+				return gl
+			}
+		}
+		t.Fatalf("global %q missing", name)
+		return nil
+	}
+	selD, washD, endD, stateD := decl("sel"), decl("wash"), decl("endpos"), decl("state")
+	nextD, motorD, pumpD := decl("next_state"), decl("motor"), decl("pump")
+
+	for sel := int64(0); sel <= 2; sel++ {
+		for wash := int64(0); wash <= 1; wash++ {
+			for endpos := int64(0); endpos <= 1; endpos++ {
+				for state := int64(0); state <= 8; state++ {
+					env := interp.Env{selD: sel, washD: wash, endD: endpos, stateD: state}
+					if _, err := m.Run(g, env); err != nil {
+						t.Fatalf("run: %v", err)
+					}
+					wantNext, wantOuts, err := d.Chart.Step(
+						map[string]int64{"sel": sel, "wash": wash, "endpos": endpos}, state)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if env[nextD] != wantNext {
+						t.Errorf("sel=%d wash=%d end=%d state=%d: next=%d, oracle %d",
+							sel, wash, endpos, state, env[nextD], wantNext)
+					}
+					if env[motorD] != wantOuts["motor"] || env[pumpD] != wantOuts["pump"] {
+						t.Errorf("sel=%d wash=%d end=%d state=%d: outputs motor=%d pump=%d, oracle %v",
+							sel, wash, endpos, state, env[motorD], env[pumpD], wantOuts)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEveryStateReachable(t *testing.T) {
+	d := Wiper()
+	c := d.Chart
+	reach := map[int64]bool{0: true}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range c.States {
+			if !reach[s.ID] {
+				continue
+			}
+			for _, tr := range c.TransitionsFrom(s.Name) {
+				id := c.state(tr.To).ID
+				if !reach[id] {
+					reach[id] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for _, s := range c.States {
+		if !reach[s.ID] {
+			t.Errorf("state %s unreachable from OFF", s.Name)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package model
+
+import "fmt"
+
+// Wiper builds the case-study model: an automotive wiper controller with a
+// two-step speed selector (off/slow/fast), a water-pump button and an
+// end-position switch, as a 9-state chart inside a ~70-block diagram.
+func Wiper() *Diagram {
+	chart := &Chart{
+		Name:     "wiper_chart",
+		StateVar: "state",
+		Inputs: []Signal{
+			{Name: "sel", Lo: 0, Hi: 2},    // 0 off, 1 slow, 2 fast
+			{Name: "wash", Lo: 0, Hi: 1},   // water-pump button
+			{Name: "endpos", Lo: 0, Hi: 1}, // wipers at park position
+		},
+		Outputs: []string{"motor", "pump"},
+		// The slice order is the emitted case order (TargetLink dispatches
+		// with a compare chain, so later cases cost more cycles to reach);
+		// PARKED — the state with the most transitions — sits early, which
+		// is what makes the per-segment maxima combine pessimistically in
+		// the timing schema, as in the paper's case study.
+		States: []State{
+			{Name: "OFF", ID: 0, During: []Action{{"motor", 0}, {"pump", 0}}},
+			{Name: "PARKED", ID: 8, During: []Action{{"motor", 0}, {"pump", 0}}},
+			{Name: "SLOW", ID: 1, During: []Action{{"motor", 1}, {"pump", 0}}},
+			{Name: "FAST", ID: 2, During: []Action{{"motor", 2}, {"pump", 0}}},
+			{Name: "RETURN", ID: 3, During: []Action{{"motor", 1}, {"pump", 0}}},
+			{Name: "WASH_OFF", ID: 4, During: []Action{{"motor", 1}, {"pump", 1}}},
+			{Name: "WASH_SLOW", ID: 5, During: []Action{{"motor", 1}, {"pump", 1}}},
+			{Name: "WASH_FAST", ID: 6, During: []Action{{"motor", 2}, {"pump", 1}}},
+			{Name: "POSTWASH", ID: 7, During: []Action{{"motor", 1}, {"pump", 0}}},
+		},
+		Transitions: []Transition{
+			// OFF: washing wins, then speed selection.
+			{From: "OFF", To: "WASH_OFF", Guard: Guard{[]GuardTerm{{"wash", "==", 1}}}},
+			{From: "OFF", To: "SLOW", Guard: Guard{[]GuardTerm{{"sel", "==", 1}}}},
+			{From: "OFF", To: "FAST", Guard: Guard{[]GuardTerm{{"sel", "==", 2}}}},
+			// SLOW.
+			{From: "SLOW", To: "WASH_SLOW", Guard: Guard{[]GuardTerm{{"wash", "==", 1}}}},
+			{From: "SLOW", To: "FAST", Guard: Guard{[]GuardTerm{{"sel", "==", 2}}}},
+			{From: "SLOW", To: "RETURN", Guard: Guard{[]GuardTerm{{"sel", "==", 0}}}},
+			// FAST.
+			{From: "FAST", To: "WASH_FAST", Guard: Guard{[]GuardTerm{{"wash", "==", 1}}}},
+			{From: "FAST", To: "SLOW", Guard: Guard{[]GuardTerm{{"sel", "==", 1}}}},
+			{From: "FAST", To: "RETURN", Guard: Guard{[]GuardTerm{{"sel", "==", 0}}}},
+			// RETURN runs the wipers to the park position, then stops.
+			{From: "RETURN", To: "PARKED", Guard: Guard{[]GuardTerm{{"endpos", "==", 1}}}},
+			{From: "RETURN", To: "SLOW", Guard: Guard{[]GuardTerm{{"sel", "==", 1}}}},
+			{From: "RETURN", To: "FAST", Guard: Guard{[]GuardTerm{{"sel", "==", 2}}}},
+			// Washing states: stay while the button is held.
+			{From: "WASH_OFF", To: "POSTWASH", Guard: Guard{[]GuardTerm{{"wash", "==", 0}}}},
+			{From: "WASH_SLOW", To: "SLOW", Guard: Guard{[]GuardTerm{{"wash", "==", 0}}}},
+			{From: "WASH_FAST", To: "FAST", Guard: Guard{[]GuardTerm{{"wash", "==", 0}}}},
+			// Post-wash wipe ends at the park position.
+			{From: "POSTWASH", To: "PARKED", Guard: Guard{[]GuardTerm{{"endpos", "==", 1}}}},
+			{From: "POSTWASH", To: "WASH_OFF", Guard: Guard{[]GuardTerm{{"wash", "==", 1}}}},
+			// PARKED returns to OFF (debounced idle) or restarts.
+			{From: "PARKED", To: "OFF", Guard: Guard{[]GuardTerm{{"sel", "==", 0}, {"wash", "==", 0}}}},
+			{From: "PARKED", To: "SLOW", Guard: Guard{[]GuardTerm{{"sel", "==", 1}}}},
+			{From: "PARKED", To: "FAST", Guard: Guard{[]GuardTerm{{"sel", "==", 2}}}},
+			{From: "PARKED", To: "WASH_OFF", Guard: Guard{[]GuardTerm{{"wash", "==", 1}}}},
+		},
+	}
+
+	d := &Diagram{Name: "wiper_model", Chart: chart}
+	add := func(b Block) { d.Blocks = append(d.Blocks, b) }
+
+	// Inports and outports.
+	for _, in := range chart.Inputs {
+		add(Block{Kind: Inport, Name: "In_" + in.Name, Out: in.Name})
+	}
+	add(Block{Kind: Inport, Name: "In_state", Out: "state"})
+	add(Block{Kind: Outport, Name: "Out_motor", In: []string{"motor_cmd"}})
+	add(Block{Kind: Outport, Name: "Out_pump", In: []string{"pump"}})
+	add(Block{Kind: Outport, Name: "Out_state", In: []string{"next_state"}})
+
+	// Input conditioning: saturate the selector, debounce-ish logic.
+	add(Block{Kind: Saturation, Name: "SatSel", In: []string{"sel"},
+		Out: "sel", Params: map[string]int64{"lo": 0, "hi": 2}})
+	add(Block{Kind: Saturation, Name: "SatWash", In: []string{"wash"},
+		Out: "wash", Params: map[string]int64{"lo": 0, "hi": 1}})
+	add(Block{Kind: Saturation, Name: "SatEnd", In: []string{"endpos"},
+		Out: "endpos", Params: map[string]int64{"lo": 0, "hi": 1}})
+	add(Block{Kind: Saturation, Name: "SatState", In: []string{"state"},
+		Out: "state", Params: map[string]int64{"lo": 0, "hi": 8}})
+
+	// The chart itself.
+	add(Block{Kind: Chartref, Name: chart.Name, In: []string{"sel", "wash", "endpos", "state"},
+		Out: "motor"})
+
+	// Output conditioning: scale the motor command for the power stage
+	// (shift by 5 ≈ fixed-point gain), saturate, drive the outport signal.
+	add(Block{Kind: GainShift, Name: "MotorGain", In: []string{"motor"},
+		Out: "motor_cmd", Params: map[string]int64{"shift": 5}})
+	add(Block{Kind: Saturation, Name: "MotorSat", In: []string{"motor_cmd"},
+		Out: "motor_cmd", Params: map[string]int64{"lo": 0, "hi": 100}})
+
+	// Filler conditioning blocks to reach the paper's ≈70-block scale:
+	// per-signal range checks, logic gates for the diagnosis output.
+	for i := 0; i < 18; i++ {
+		add(Block{Kind: Relational, Name: fmt.Sprintf("RelChk%d", i)})
+	}
+	for i := 0; i < 18; i++ {
+		add(Block{Kind: LogicalOp, Name: fmt.Sprintf("Logic%d", i)})
+	}
+	for i := 0; i < 12; i++ {
+		add(Block{Kind: Constant, Name: fmt.Sprintf("Const%d", i)})
+	}
+	for i := 0; i < 6; i++ {
+		add(Block{Kind: UnitDelay, Name: fmt.Sprintf("Delay%d", i)})
+	}
+	return d
+}

@@ -1,0 +1,345 @@
+// Package opt implements the paper's Section 3.2 state-space optimisations
+// over the transition-system IR:
+//
+//	Reverse CSE              — inline compiler temporaries back into their uses
+//	Live-Variable Analysis   — dead-assignment removal, unused-variable
+//	                           removal, and memory-slot sharing
+//	Statement Concatenation  — merge independent consecutive transitions
+//	Variable Range Analysis  — shrink variable widths via interval analysis
+//	Variable Initialisation  — pin uninitialised non-input variables
+//	Dead Variable & Code Elimination — drop everything that cannot influence
+//	                           control flow
+//
+// Each pass mutates the model in place and reports what it changed; callers
+// that need the original should Clone() first. All runs the full pipeline in
+// the canonical order.
+package opt
+
+import (
+	"fmt"
+
+	"wcet/internal/tsys"
+)
+
+// PassStats reports the effect of one pass.
+type PassStats struct {
+	Name        string
+	BitsBefore  int
+	BitsAfter   int
+	EdgesBefore int
+	EdgesAfter  int
+	Detail      string
+}
+
+func (p PassStats) String() string {
+	return fmt.Sprintf("%-22s bits %3d → %3d, edges %3d → %3d  %s",
+		p.Name, p.BitsBefore, p.BitsAfter, p.EdgesBefore, p.EdgesAfter, p.Detail)
+}
+
+func statsFor(name string, m *tsys.Model, f func() string) PassStats {
+	ps := PassStats{Name: name, BitsBefore: m.StateBits(), EdgesBefore: len(m.Edges)}
+	ps.Detail = f()
+	ps.BitsAfter = m.StateBits()
+	ps.EdgesAfter = len(m.Edges)
+	return ps
+}
+
+// All applies every optimisation in the canonical order and returns the
+// per-pass reports.
+func All(m *tsys.Model) []PassStats {
+	return []PassStats{
+		ReverseCSE(m),
+		DeadElim(m),
+		LiveVars(m),
+		RangeAnalysis(m),
+		VarInit(m),
+		Concat(m),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Variable Initialisation
+
+// VarInit pins every uninitialised non-input variable to zero. The state
+// space |D| is unchanged but the reachable set |DR| collapses to one initial
+// assignment per input valuation.
+func VarInit(m *tsys.Model) PassStats {
+	return statsFor("VarInit", m, func() string {
+		n := 0
+		for _, v := range m.Vars {
+			if !v.Input && v.Init == tsys.InitFree {
+				v.Init = tsys.InitConst
+				v.InitVal = 0
+				n++
+			}
+		}
+		return fmt.Sprintf("pinned %d variables", n)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Variable Range Analysis
+
+// interval is a conservative value range.
+type interval struct{ lo, hi int64 }
+
+func (a interval) union(b interval) interval {
+	if b.lo < a.lo {
+		a.lo = b.lo
+	}
+	if b.hi > a.hi {
+		a.hi = b.hi
+	}
+	return a
+}
+
+func typeInterval(v *tsys.Var) interval {
+	if v.Signed {
+		hi := int64(1)<<uint(v.Bits-1) - 1
+		return interval{-hi - 1, hi}
+	}
+	return interval{0, int64(1)<<uint(v.Bits) - 1}
+}
+
+// RangeAnalysis shrinks variable widths using a flow-insensitive interval
+// fixpoint seeded from range annotations (the information a code generator
+// derives from the Simulink model) and assignment right-hand sides.
+func RangeAnalysis(m *tsys.Model) PassStats {
+	return statsFor("RangeAnalysis", m, func() string {
+		cur := make([]interval, len(m.Vars))
+		for i, v := range m.Vars {
+			switch {
+			case v.Bits == 0:
+				cur[i] = interval{0, 0}
+			case v.Input && v.HasRange:
+				cur[i] = interval{v.Lo, v.Hi}
+			case v.Init == tsys.InitConst && !v.Input:
+				cur[i] = interval{v.InitVal, v.InitVal}
+			case !v.Input && v.Init == tsys.InitFree:
+				// Uninitialised: any representable value.
+				cur[i] = typeInterval(v)
+			default:
+				cur[i] = typeInterval(v)
+			}
+		}
+		// Fixpoint with widening: after a few rounds, jump to type bounds.
+		const widenAfter = 8
+		for round := 0; ; round++ {
+			changed := false
+			for _, e := range m.Edges {
+				for _, a := range e.Assigns {
+					iv := evalInterval(m, a.RHS, cur)
+					// Store clamps through the variable's type.
+					tv := typeInterval(m.Vars[a.Var])
+					if iv.lo < tv.lo || iv.hi > tv.hi {
+						// Wrapping possible: full type range.
+						iv = tv
+					}
+					nu := cur[a.Var].union(iv)
+					if nu != cur[a.Var] {
+						if round >= widenAfter {
+							nu = cur[a.Var].union(tv)
+						}
+						cur[a.Var] = nu
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+			if round > widenAfter*4 {
+				break
+			}
+		}
+		shrunk := 0
+		for i, v := range m.Vars {
+			if v.Bits == 0 {
+				continue
+			}
+			iv := cur[i]
+			bits, signed := widthFor(iv)
+			if bits < v.Bits {
+				v.Bits = bits
+				v.Signed = signed
+				shrunk++
+			}
+			v.Lo, v.Hi, v.HasRange = iv.lo, iv.hi, true
+		}
+		return fmt.Sprintf("narrowed %d variables", shrunk)
+	})
+}
+
+// widthFor computes the two's-complement width covering an interval.
+func widthFor(iv interval) (bits int, signed bool) {
+	signed = iv.lo < 0
+	need := func(v int64) int {
+		n := 0
+		if v < 0 {
+			v = -v - 1
+		}
+		for v > 0 {
+			n++
+			v >>= 1
+		}
+		return n
+	}
+	bits = need(iv.hi)
+	if n := need(iv.lo); n > bits {
+		bits = n
+	}
+	if signed {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits, signed
+}
+
+// evalInterval conservatively evaluates an expression over intervals.
+func evalInterval(m *tsys.Model, e tsys.Expr, cur []interval) interval {
+	full := interval{-(1 << 33), 1 << 33}
+	switch x := e.(type) {
+	case *tsys.Const:
+		return interval{x.Val, x.Val}
+	case *tsys.Ref:
+		return cur[x.Var]
+	case *tsys.Un:
+		sub := evalInterval(m, x.X, cur)
+		switch x.Op.String() {
+		case "-":
+			return interval{-sub.hi, -sub.lo}
+		case "+":
+			return sub
+		case "!":
+			return interval{0, 1}
+		case "~":
+			return interval{^sub.hi, ^sub.lo}
+		}
+		return full
+	case *tsys.Bin:
+		switch x.Op.String() {
+		case "==", "!=", "<", ">", "<=", ">=", "&&", "||":
+			return interval{0, 1}
+		}
+		a := evalInterval(m, x.X, cur)
+		b := evalInterval(m, x.Y, cur)
+		switch x.Op.String() {
+		case "+":
+			return interval{satAdd(a.lo, b.lo), satAdd(a.hi, b.hi)}
+		case "-":
+			return interval{satAdd(a.lo, -b.hi), satAdd(a.hi, -b.lo)}
+		case "*":
+			c := []int64{satMul(a.lo, b.lo), satMul(a.lo, b.hi), satMul(a.hi, b.lo), satMul(a.hi, b.hi)}
+			lo, hi := c[0], c[0]
+			for _, v := range c[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			return interval{lo, hi}
+		case "/":
+			if k, ok := x.Y.(*tsys.Const); ok && k.Val > 0 {
+				return interval{a.lo / k.Val, a.hi / k.Val}
+			}
+			return full
+		case "%":
+			if k, ok := x.Y.(*tsys.Const); ok && k.Val > 0 {
+				if a.lo >= 0 {
+					return interval{0, k.Val - 1}
+				}
+				return interval{-(k.Val - 1), k.Val - 1}
+			}
+			return full
+		case "<<":
+			if k, ok := x.Y.(*tsys.Const); ok && k.Val >= 0 && k.Val < 32 {
+				return interval{satMul(a.lo, 1<<uint(k.Val)), satMul(a.hi, 1<<uint(k.Val))}
+			}
+			return full
+		case ">>":
+			if k, ok := x.Y.(*tsys.Const); ok && k.Val >= 0 && k.Val < 32 {
+				return interval{a.lo >> uint(k.Val), a.hi >> uint(k.Val)}
+			}
+			return full
+		case "&":
+			if a.lo >= 0 && b.lo >= 0 {
+				hi := a.hi
+				if b.hi < hi {
+					hi = b.hi
+				}
+				return interval{0, hi}
+			}
+			return full
+		case "|", "^":
+			if a.lo >= 0 && b.lo >= 0 {
+				return interval{0, nextPow2(maxI(a.hi, b.hi)) - 1}
+			}
+			return full
+		}
+		return full
+	case *tsys.CondE:
+		t := evalInterval(m, x.T, cur)
+		f := evalInterval(m, x.F, cur)
+		return t.union(f)
+	case *tsys.CastE:
+		sub := evalInterval(m, x.X, cur)
+		var tr interval
+		if x.Signed {
+			hi := int64(1)<<uint(x.Bits-1) - 1
+			tr = interval{-hi - 1, hi}
+		} else {
+			tr = interval{0, int64(1)<<uint(x.Bits) - 1}
+		}
+		if sub.lo >= tr.lo && sub.hi <= tr.hi {
+			return sub
+		}
+		return tr
+	}
+	return full
+}
+
+func satAdd(a, b int64) int64 {
+	const lim = int64(1) << 40
+	c := a + b
+	if c > lim {
+		return lim
+	}
+	if c < -lim {
+		return -lim
+	}
+	return c
+}
+
+func satMul(a, b int64) int64 {
+	const lim = int64(1) << 40
+	if a == 0 || b == 0 {
+		return 0
+	}
+	c := a * b
+	if a == c/b && c <= lim && c >= -lim {
+		return c
+	}
+	if (a > 0) == (b > 0) {
+		return lim
+	}
+	return -lim
+}
+
+func nextPow2(v int64) int64 {
+	p := int64(1)
+	for p <= v {
+		p <<= 1
+	}
+	return p
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,320 @@
+package opt
+
+import (
+	"testing"
+
+	"wcet/internal/c2m"
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/mc"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+)
+
+// lowerSrc parses and lowers a function, returning the path-trap model for
+// the lexically first end-to-end path plus the lowering result.
+func lowerSrc(t *testing.T, src, name string, naive bool) (*tsys.Model, *c2m.Result, *cfg.Graph, *ast.File) {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	ps, err := paths.Enumerate(cfg.WholeFunction(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := c2m.LowerPath(g, c2m.Options{NaiveWidths: naive}, ps[len(ps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return low.Model, low, g, f
+}
+
+const optSrc = `
+/*@ input */ /*@ range 0 1 */ int sw;
+/*@ input */ /*@ range 0 50 */ char a;
+char level, out;
+char dbg;
+int f(void) {
+    char t1;
+    char unused;
+    t1 = (char)(a + 1);
+    level = (char)(t1 * 2);
+    dbg = (char)(level + 5);
+    if (sw == 1) {
+        if (level > 40) {
+            out = 2;
+        } else {
+            out = 1;
+        }
+    } else {
+        out = 0;
+    }
+    return out;
+}`
+
+func TestVarInit(t *testing.T) {
+	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
+	freeBefore := countFree(m)
+	st := VarInit(m)
+	if countFree(m) != inputCount(m) {
+		t.Errorf("after VarInit, free vars = %d, want only the %d inputs", countFree(m), inputCount(m))
+	}
+	if freeBefore <= inputCount(m) {
+		t.Error("test premise broken: baseline should have free non-inputs")
+	}
+	if st.BitsBefore != st.BitsAfter {
+		t.Error("VarInit must not change |D| (state bits)")
+	}
+}
+
+func countFree(m *tsys.Model) int {
+	n := 0
+	for _, v := range m.Vars {
+		if v.Init == tsys.InitFree {
+			n++
+		}
+	}
+	return n
+}
+
+func inputCount(m *tsys.Model) int {
+	n := 0
+	for _, v := range m.Vars {
+		if v.Input {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRangeAnalysisShrinksWidths(t *testing.T) {
+	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
+	VarInit(m) // pin non-inputs so intervals are seeded tightly
+	bitsBefore := m.StateBits()
+	st := RangeAnalysis(m)
+	if st.BitsAfter >= bitsBefore {
+		t.Fatalf("range analysis did not shrink state bits: %d → %d", bitsBefore, st.BitsAfter)
+	}
+	// The boolean input must drop to 1 bit, byte variables to ≤ 8 bits.
+	for _, v := range m.Vars {
+		if v.Bits == 0 {
+			continue
+		}
+		switch v.Name {
+		case "sw":
+			if v.Bits != 1 {
+				t.Errorf("sw width = %d, want 1", v.Bits)
+			}
+		case "a":
+			if v.Bits > 7 {
+				t.Errorf("a width = %d, want ≤ 7 (range 0..50)", v.Bits)
+			}
+		case "level", "out", "dbg", "t1":
+			if v.Bits > 8 {
+				t.Errorf("%s width = %d, want ≤ 8", v.Name, v.Bits)
+			}
+		}
+	}
+}
+
+func TestReverseCSEInlinesTemp(t *testing.T) {
+	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
+	st := ReverseCSE(m)
+	// t1 is assigned once and read once right after: it must be gone.
+	for _, v := range m.Vars {
+		if v.Name == "t1" && v.Bits != 0 {
+			t.Errorf("t1 still occupies %d bits after ReverseCSE (%s)", v.Bits, st.Detail)
+		}
+	}
+}
+
+func TestLiveVarsRemovesUnused(t *testing.T) {
+	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
+	LiveVars(m)
+	for _, v := range m.Vars {
+		if v.Name == "unused" && v.Bits != 0 {
+			t.Error("unused variable survived LiveVars")
+		}
+	}
+}
+
+func TestDeadElimDropsNonControlFlow(t *testing.T) {
+	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
+	edgesBefore := len(m.Edges)
+	st := DeadElim(m)
+	// dbg feeds no guard: its assignment and bits must be gone.
+	for _, v := range m.Vars {
+		if v.Name == "dbg" && v.Bits != 0 {
+			t.Errorf("dbg survived DeadElim (%s)", st.Detail)
+		}
+		if v.Name == "out" && v.Bits != 0 {
+			// out never reaches a guard either — also removable.
+			t.Errorf("out survived DeadElim")
+		}
+		if v.Name == "level" && v.Bits == 0 {
+			t.Error("level is control-flow relevant and must survive")
+		}
+	}
+	if len(m.Edges) >= edgesBefore {
+		t.Error("DeadElim should contract emptied transitions")
+	}
+}
+
+func TestConcatMergesIndependent(t *testing.T) {
+	src := `
+/*@ input */ int a;
+int x, y, z, r;
+int f(void) {
+    x = a + 1;
+    y = a + 2;
+    z = a + 3;
+    if (x + y + z > 10) { r = 1; }
+    return r;
+}`
+	m, _, _, _ := lowerSrc(t, src, "f", true)
+	edgesBefore := len(m.Edges)
+	st := Concat(m)
+	if st.EdgesAfter >= edgesBefore {
+		t.Errorf("Concat merged nothing: %s", st.Detail)
+	}
+	// x, y, z assignments are pairwise independent: they should share edges.
+	maxAssigns := 0
+	for _, e := range m.Edges {
+		if len(e.Assigns) > maxAssigns {
+			maxAssigns = len(e.Assigns)
+		}
+	}
+	if maxAssigns < 2 {
+		t.Error("no transition carries multiple parallel assignments")
+	}
+}
+
+func TestConcatRespectsDependence(t *testing.T) {
+	src := `
+/*@ input */ int a;
+int x, y, r;
+int f(void) {
+    x = a + 1;
+    y = x * 2;
+    if (y > 4) { r = 1; }
+    return r;
+}`
+	m, low, g, file := lowerSrc(t, src, "f", true)
+	_ = low
+	_ = g
+	_ = file
+	Concat(m)
+	// y = x*2 reads x written by the previous statement: they must not be
+	// merged into one parallel step.
+	for _, e := range m.Edges {
+		writes := map[tsys.VarID]bool{}
+		for _, as := range e.Assigns {
+			writes[as.Var] = true
+		}
+		for _, as := range e.Assigns {
+			reads := map[tsys.VarID]bool{}
+			tsys.ReadVars(as.RHS, reads)
+			for w := range writes {
+				if reads[w] && w != as.Var {
+					t.Fatalf("dependent statements merged into one transition")
+				}
+			}
+		}
+	}
+}
+
+// TestOptimisationsPreserveReachability is the key soundness property: for
+// every end-to-end path of a program, the optimised and unoptimised models
+// agree on trap reachability, and optimised witnesses still drive the
+// interpreter down the target path.
+func TestOptimisationsPreserveReachability(t *testing.T) {
+	src := `
+/*@ input */ /*@ range 0 3 */ int sel;
+/*@ input */ /*@ range -10 10 */ char a;
+char level, out;
+int f(void) {
+    char t;
+    t = (char)(a * 2);
+    level = (char)(t + 1);
+    out = 0;
+    switch (sel) {
+    case 0:
+        if (level > 5) { out = 1; }
+        break;
+    case 1:
+        if (level < -5) { out = 2; }
+        break;
+    default:
+        out = 3;
+        break;
+    }
+    return out;
+}`
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f.Func("f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := paths.Enumerate(cfg.WholeFunction(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		low, err := c2m.LowerPath(g, c2m.Options{NaiveWidths: true}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline := low.Model.Clone()
+		// The baseline leaves non-inputs free, which over-approximates
+		// feasibility; pin them for a fair comparison (VarInit is part of
+		// the sound pipeline).
+		VarInit(baseline)
+		optd := baseline.Clone()
+		All(optd)
+
+		rb, err := mc.CheckSymbolic(baseline, mc.Options{})
+		if err != nil {
+			t.Fatalf("baseline check: %v", err)
+		}
+		ro, err := mc.CheckSymbolic(optd, mc.Options{})
+		if err != nil {
+			t.Fatalf("optimised check: %v", err)
+		}
+		if rb.Reachable != ro.Reachable {
+			t.Errorf("path %s: baseline reachable=%v, optimised=%v",
+				p.Key(), rb.Reachable, ro.Reachable)
+		}
+		if ro.Reachable && ro.Stats.StateBits >= rb.Stats.StateBits {
+			t.Errorf("path %s: optimisation did not shrink state bits (%d vs %d)",
+				p.Key(), ro.Stats.StateBits, rb.Stats.StateBits)
+		}
+	}
+}
+
+func TestAllPipelineStats(t *testing.T) {
+	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
+	before := m.StateBits()
+	stats := All(m)
+	if len(stats) != 6 {
+		t.Fatalf("pipeline ran %d passes, want 6", len(stats))
+	}
+	if m.StateBits() >= before {
+		t.Errorf("full pipeline did not shrink state bits: %d → %d", before, m.StateBits())
+	}
+}

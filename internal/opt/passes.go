@@ -1,0 +1,531 @@
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"wcet/internal/tsys"
+)
+
+// ---------------------------------------------------------------------------
+// Reverse CSE
+
+// maxInlineSize bounds substituted-expression growth.
+const maxInlineSize = 24
+
+// ReverseCSE replaces reads of compiler temporaries by their defining
+// expressions — the contrary of common-subexpression elimination. A
+// temporary is a non-input variable assigned exactly once; substitution is
+// performed forward within the defining chain (the straight-line block) for
+// as long as neither the temporary nor its operands are reassigned. When
+// every read has been inlined the defining assignment disappears, together
+// with the temporary's state bits.
+func ReverseCSE(m *tsys.Model) PassStats {
+	return statsFor("ReverseCSE", m, func() string {
+		inlined := 0
+		// Walk each chain in edge order.
+		for _, chain := range chains(m) {
+			avail := map[tsys.VarID]tsys.Expr{} // candidate definitions in flight
+			for _, e := range chain {
+				// Substitute into guard and RHSs.
+				for v, def := range avail {
+					if e.Guard != nil {
+						if g := tsys.Subst(e.Guard, v, def); g != e.Guard && tsys.Size(g) <= maxInlineSize {
+							e.Guard = g
+							inlined++
+						}
+					}
+					for i := range e.Assigns {
+						if r := tsys.Subst(e.Assigns[i].RHS, v, def); r != e.Assigns[i].RHS &&
+							tsys.Size(r) <= maxInlineSize {
+							e.Assigns[i].RHS = r
+							inlined++
+						}
+					}
+				}
+				// Kill definitions whose operands (or themselves) are written.
+				written := map[tsys.VarID]bool{}
+				for _, a := range e.Assigns {
+					written[a.Var] = true
+				}
+				for v, def := range avail {
+					reads := map[tsys.VarID]bool{}
+					tsys.ReadVars(def, reads)
+					kill := written[v]
+					for w := range written {
+						if reads[w] {
+							kill = true
+						}
+					}
+					if kill {
+						delete(avail, v)
+					}
+				}
+				// Record new candidate definitions: the RHS must not read
+				// anything this edge writes (including the target itself),
+				// or the inlined expression would see post-state values.
+				for _, a := range e.Assigns {
+					v := m.Vars[a.Var]
+					if v.Input || tsys.Size(a.RHS) > maxInlineSize {
+						continue
+					}
+					reads := map[tsys.VarID]bool{}
+					tsys.ReadVars(a.RHS, reads)
+					selfRef := false
+					for w := range written {
+						if reads[w] {
+							selfRef = true
+						}
+					}
+					if !selfRef {
+						avail[a.Var] = a.RHS
+					}
+				}
+			}
+		}
+		// Drop defining assignments of temporaries that are no longer read.
+		removed := removeDeadDefs(m)
+		return fmt.Sprintf("inlined %d reads, removed %d temporaries", inlined, removed)
+	})
+}
+
+// chains groups edges by chain id, preserving model order.
+func chains(m *tsys.Model) [][]*tsys.Edge {
+	idx := map[int]int{}
+	var out [][]*tsys.Edge
+	for _, e := range m.Edges {
+		i, ok := idx[e.Chain]
+		if !ok {
+			i = len(out)
+			idx[e.Chain] = i
+			out = append(out, nil)
+		}
+		out[i] = append(out[i], e)
+	}
+	return out
+}
+
+// removeDeadDefs deletes assignments to non-input variables that are read
+// nowhere, zeroes those variables out of the state vector, and contracts
+// the emptied transitions. Returns the number of removed variables.
+func removeDeadDefs(m *tsys.Model) int {
+	read := map[tsys.VarID]bool{}
+	for _, e := range m.Edges {
+		if e.Guard != nil {
+			tsys.ReadVars(e.Guard, read)
+		}
+		for _, a := range e.Assigns {
+			tsys.ReadVars(a.RHS, read)
+		}
+	}
+	removed := 0
+	dead := map[tsys.VarID]bool{}
+	for _, v := range m.Vars {
+		if !v.Input && !read[v.ID] && v.Bits > 0 {
+			hasAssign := false
+			for _, e := range m.Edges {
+				for _, a := range e.Assigns {
+					if a.Var == v.ID {
+						hasAssign = true
+					}
+				}
+			}
+			if hasAssign || v.Init == tsys.InitFree {
+				dead[v.ID] = true
+				v.Bits = 0
+				v.Init = tsys.InitConst
+				v.InitVal = 0
+				removed++
+			}
+		}
+	}
+	if removed == 0 {
+		return 0
+	}
+	for _, e := range m.Edges {
+		var keep []tsys.Assign
+		for _, a := range e.Assigns {
+			if !dead[a.Var] {
+				keep = append(keep, a)
+			}
+		}
+		e.Assigns = keep
+	}
+	Contract(m)
+	return removed
+}
+
+// ---------------------------------------------------------------------------
+// Live-variable analysis
+
+// LiveVars runs backward liveness over the location graph, removes dead
+// assignments and never-read variables, and lets non-interfering variables
+// share a state slot (the paper's memory-location sharing).
+func LiveVars(m *tsys.Model) PassStats {
+	return statsFor("LiveVars", m, func() string {
+		liveAt := liveness(m)
+
+		// Dead assignment elimination.
+		deadAssigns := 0
+		for _, e := range m.Edges {
+			var keep []tsys.Assign
+			for _, a := range e.Assigns {
+				if liveAt[e.To][a.Var] {
+					keep = append(keep, a)
+				} else {
+					deadAssigns++
+				}
+			}
+			e.Assigns = keep
+		}
+		removed := removeDeadDefs(m)
+
+		// Slot sharing: two non-input live ranges interfere when both are
+		// live at some location (or both live at init with free values).
+		liveAt = liveness(m)
+		candidates := []tsys.VarID{}
+		for _, v := range m.Vars {
+			if !v.Input && v.Bits > 0 && !liveAt[m.Init][v.ID] {
+				candidates = append(candidates, v.ID)
+			}
+		}
+		interferes := func(a, b tsys.VarID) bool {
+			for _, lv := range liveAt {
+				if lv[a] && lv[b] {
+					return true
+				}
+			}
+			return false
+		}
+		merged := 0
+		rep := map[tsys.VarID]tsys.VarID{}
+		var classes [][]tsys.VarID
+		for _, c := range candidates {
+			placed := false
+			for ci := range classes {
+				ok := true
+				for _, o := range classes[ci] {
+					if interferes(c, o) || m.Vars[o].Signed != m.Vars[c].Signed {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					classes[ci] = append(classes[ci], c)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				classes = append(classes, []tsys.VarID{c})
+			}
+		}
+		for _, cl := range classes {
+			if len(cl) < 2 {
+				continue
+			}
+			// Representative: the widest member.
+			sort.Slice(cl, func(i, j int) bool { return m.Vars[cl[i]].Bits > m.Vars[cl[j]].Bits })
+			r := cl[0]
+			for _, o := range cl[1:] {
+				rep[o] = r
+				m.Vars[o].Bits = 0
+				m.Vars[o].Init = tsys.InitConst
+				m.Vars[o].InitVal = 0
+				merged++
+			}
+		}
+		if merged > 0 {
+			rename := func(e tsys.Expr) tsys.Expr { return renameVars(e, rep) }
+			for _, e := range m.Edges {
+				if e.Guard != nil {
+					e.Guard = rename(e.Guard)
+				}
+				for i := range e.Assigns {
+					e.Assigns[i].RHS = rename(e.Assigns[i].RHS)
+					if r, ok := rep[e.Assigns[i].Var]; ok {
+						e.Assigns[i].Var = r
+					}
+				}
+			}
+		}
+		return fmt.Sprintf("dead assigns %d, unused vars %d, shared slots %d",
+			deadAssigns, removed, merged)
+	})
+}
+
+func renameVars(e tsys.Expr, rep map[tsys.VarID]tsys.VarID) tsys.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *tsys.Const:
+		return x
+	case *tsys.Ref:
+		if r, ok := rep[x.Var]; ok {
+			return &tsys.Ref{Var: r}
+		}
+		return x
+	case *tsys.Un:
+		return &tsys.Un{Op: x.Op, X: renameVars(x.X, rep)}
+	case *tsys.Bin:
+		return &tsys.Bin{Op: x.Op, X: renameVars(x.X, rep), Y: renameVars(x.Y, rep)}
+	case *tsys.CondE:
+		return &tsys.CondE{C: renameVars(x.C, rep), T: renameVars(x.T, rep), F: renameVars(x.F, rep)}
+	case *tsys.CastE:
+		return &tsys.CastE{Bits: x.Bits, Signed: x.Signed, X: renameVars(x.X, rep)}
+	}
+	return e
+}
+
+// liveness computes the live set per location (backward fixpoint).
+func liveness(m *tsys.Model) map[tsys.Loc]map[tsys.VarID]bool {
+	live := map[tsys.Loc]map[tsys.VarID]bool{}
+	get := func(l tsys.Loc) map[tsys.VarID]bool {
+		if live[l] == nil {
+			live[l] = map[tsys.VarID]bool{}
+		}
+		return live[l]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range m.Edges {
+			in := map[tsys.VarID]bool{}
+			// use(guard) ∪ use(RHS) ∪ (live(To) − defs)
+			if e.Guard != nil {
+				tsys.ReadVars(e.Guard, in)
+			}
+			defs := map[tsys.VarID]bool{}
+			for _, a := range e.Assigns {
+				tsys.ReadVars(a.RHS, in)
+				defs[a.Var] = true
+			}
+			for v := range get(e.To) {
+				if !defs[v] {
+					in[v] = true
+				}
+			}
+			src := get(e.From)
+			for v := range in {
+				if !src[v] {
+					src[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return live
+}
+
+// ---------------------------------------------------------------------------
+// Statement concatenation
+
+// Concat merges consecutive transitions lowered from the same basic block
+// when their statements are independent, halving (or better) the number of
+// steps the model checker must execute through straight-line code.
+func Concat(m *tsys.Model) PassStats {
+	return statsFor("Concat", m, func() string {
+		merged := 0
+		for {
+			inDeg := map[tsys.Loc]int{}
+			outEdges := map[tsys.Loc][]*tsys.Edge{}
+			for _, e := range m.Edges {
+				inDeg[e.To]++
+				outEdges[e.From] = append(outEdges[e.From], e)
+			}
+			var e1, e2 *tsys.Edge
+			for _, a := range m.Edges {
+				if a.Guard != nil || len(a.Assigns) == 0 {
+					continue
+				}
+				succ := outEdges[a.To]
+				if len(succ) != 1 || inDeg[a.To] != 1 {
+					continue
+				}
+				b := succ[0]
+				if b.Guard != nil || len(b.Assigns) == 0 || b.Chain != a.Chain || b == a {
+					continue
+				}
+				if !independent(a, b) {
+					continue
+				}
+				e1, e2 = a, b
+				break
+			}
+			if e1 == nil {
+				break
+			}
+			e1.Assigns = append(e1.Assigns, e2.Assigns...)
+			e1.To = e2.To
+			removeEdge(m, e2)
+			merged++
+		}
+		CompactLocs(m)
+		return fmt.Sprintf("merged %d transitions", merged)
+	})
+}
+
+// independent reports whether two consecutive assignment edges commute into
+// one parallel step: the first may not write anything the second reads or
+// writes, and the second may not write anything the first reads.
+func independent(a, b *tsys.Edge) bool {
+	wa, ra := map[tsys.VarID]bool{}, map[tsys.VarID]bool{}
+	wb, rb := map[tsys.VarID]bool{}, map[tsys.VarID]bool{}
+	for _, as := range a.Assigns {
+		wa[as.Var] = true
+		tsys.ReadVars(as.RHS, ra)
+	}
+	for _, bs := range b.Assigns {
+		wb[bs.Var] = true
+		tsys.ReadVars(bs.RHS, rb)
+	}
+	for v := range wa {
+		if rb[v] || wb[v] {
+			return false
+		}
+	}
+	for v := range wb {
+		if ra[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Dead variable and code elimination
+
+// DeadElim removes variables (and the code feeding them) that cannot
+// influence control flow: only guard supports, closed under data
+// dependencies of assignments to kept variables, survive.
+func DeadElim(m *tsys.Model) PassStats {
+	return statsFor("DeadElim", m, func() string {
+		relevant := map[tsys.VarID]bool{}
+		for _, e := range m.Edges {
+			if e.Guard != nil {
+				tsys.ReadVars(e.Guard, relevant)
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range m.Edges {
+				for _, a := range e.Assigns {
+					if !relevant[a.Var] {
+						continue
+					}
+					before := len(relevant)
+					tsys.ReadVars(a.RHS, relevant)
+					if len(relevant) != before {
+						changed = true
+					}
+				}
+			}
+		}
+		droppedAssigns := 0
+		droppedVars := 0
+		for _, e := range m.Edges {
+			var keep []tsys.Assign
+			for _, a := range e.Assigns {
+				if relevant[a.Var] {
+					keep = append(keep, a)
+				} else {
+					droppedAssigns++
+				}
+			}
+			e.Assigns = keep
+		}
+		for _, v := range m.Vars {
+			if !relevant[v.ID] && !v.Input && v.Bits > 0 {
+				v.Bits = 0
+				v.Init = tsys.InitConst
+				v.InitVal = 0
+				droppedVars++
+			}
+		}
+		Contract(m)
+		return fmt.Sprintf("dropped %d assignments, %d variables", droppedAssigns, droppedVars)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers
+
+// Contract removes no-op transitions (no guard, no assignments) whose
+// source has exactly one outgoing edge, rerouting predecessors directly to
+// the target, then renumbers locations.
+func Contract(m *tsys.Model) {
+	for {
+		outEdges := map[tsys.Loc][]*tsys.Edge{}
+		for _, e := range m.Edges {
+			outEdges[e.From] = append(outEdges[e.From], e)
+		}
+		var victim *tsys.Edge
+		for _, e := range m.Edges {
+			if e.Guard == nil && len(e.Assigns) == 0 && e.From != e.To &&
+				len(outEdges[e.From]) == 1 && e.From != m.Trap {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			break
+		}
+		for _, e := range m.Edges {
+			if e.To == victim.From {
+				e.To = victim.To
+			}
+		}
+		if m.Init == victim.From {
+			m.Init = victim.To
+		}
+		removeEdge(m, victim)
+	}
+	CompactLocs(m)
+}
+
+func removeEdge(m *tsys.Model, victim *tsys.Edge) {
+	for i, e := range m.Edges {
+		if e == victim {
+			m.Edges = append(m.Edges[:i], m.Edges[i+1:]...)
+			return
+		}
+	}
+}
+
+// CompactLocs renumbers locations reachable from Init (keeping the trap),
+// shrinking the location-register width after structural passes.
+func CompactLocs(m *tsys.Model) {
+	out := m.OutEdges()
+	seen := map[tsys.Loc]bool{m.Init: true}
+	order := []tsys.Loc{m.Init}
+	for i := 0; i < len(order); i++ {
+		for _, e := range out[order[i]] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				order = append(order, e.To)
+			}
+		}
+	}
+	if m.Trap != tsys.NoLoc && !seen[m.Trap] {
+		seen[m.Trap] = true
+		order = append(order, m.Trap)
+	}
+	remap := map[tsys.Loc]tsys.Loc{}
+	for i, l := range order {
+		remap[l] = tsys.Loc(i)
+	}
+	var kept []*tsys.Edge
+	for _, e := range m.Edges {
+		if !seen[e.From] {
+			continue // unreachable
+		}
+		e.From = remap[e.From]
+		e.To = remap[e.To]
+		kept = append(kept, e)
+	}
+	m.Edges = kept
+	m.Init = remap[m.Init]
+	if m.Trap != tsys.NoLoc {
+		m.Trap = remap[m.Trap]
+	}
+	m.NLocs = len(order)
+}

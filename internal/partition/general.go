@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"wcet/internal/cfg"
+)
+
+// General PS partitioning — the extension the paper announces as ongoing
+// work ("We are currently extending the CFG partitioning algorithm to
+// produce a general PS partitioning. This is expected to result in
+// improvements in the number of instrumentation points at low measurement
+// cycle costs.").
+//
+// Instead of restricting candidate segments to AST arms, every dominator
+// subtree rooted at a block with a single entering edge is a valid program
+// segment (any edge into the subtree from outside must target its root, by
+// the definition of dominance). The partitioner walks the dominator tree
+// top-down and measures a subtree as a whole as soon as its path count fits
+// the bound; otherwise the root block becomes a residual measurement and
+// the children are visited recursively. Because the candidate set strictly
+// contains the structural arms, the general partition never needs more
+// instrumentation points than the simple one at the same bound.
+
+// GeneralPartition computes a plan over dominator-subtree segments.
+func GeneralPartition(g *cfg.Graph, bound cfg.Count) *Plan {
+	p := &Plan{G: g, Bound: bound, M: cfg.NewCount(0)}
+	idom := g.Dominators()
+	children := cfg.DomTree(idom)
+
+	// subtree sets, computed once bottom-up.
+	subtree := make([]map[cfg.NodeID]bool, len(g.Nodes))
+	var collect func(v cfg.NodeID) map[cfg.NodeID]bool
+	collect = func(v cfg.NodeID) map[cfg.NodeID]bool {
+		if subtree[v] != nil {
+			return subtree[v]
+		}
+		set := map[cfg.NodeID]bool{v: true}
+		for _, c := range children[v] {
+			for id := range collect(c) {
+				set[id] = true
+			}
+		}
+		subtree[v] = set
+		return set
+	}
+	collect(g.Entry)
+
+	// singleEntry reports whether the subtree of v is entered by exactly
+	// one edge from outside (or v is the function entry).
+	singleEntry := func(v cfg.NodeID) bool {
+		if v == g.Entry {
+			return true
+		}
+		set := subtree[v]
+		entries := 0
+		for _, p := range g.Preds(v) {
+			if !set[p] {
+				entries++
+			}
+		}
+		// Dominance guarantees no outside edge targets a non-root member.
+		return entries == 1
+	}
+
+	var visit func(v cfg.NodeID)
+	visit = func(v cfg.NodeID) {
+		region := cfg.Region{G: g, Entry: v, Set: subtree[v]}
+		if singleEntry(v) {
+			paths := region.PathCount()
+			if !paths.IsInf() && paths.CmpCount(bound) <= 0 {
+				ps := &PS{Kind: "dom-region", Region: region, Paths: paths}
+				p.Units = append(p.Units, Unit{Kind: WholePS, PS: ps, Paths: paths})
+				p.IP += 2
+				p.M = p.M.Add(paths)
+				return
+			}
+		}
+		// Residual root block, recurse into dominated subtrees.
+		p.Units = append(p.Units, Unit{Kind: SingleBlock, Block: v, Paths: cfg.NewCount(1)})
+		p.IP += 2
+		p.M = p.M.Add(cfg.NewCount(1))
+		for _, c := range children[v] {
+			visit(c)
+		}
+	}
+	visit(g.Entry)
+	return p
+}
+
+// GeneralSweep evaluates the general partitioning across bounds.
+func GeneralSweep(g *cfg.Graph, bounds []cfg.Count) []Point {
+	out := make([]Point, 0, len(bounds))
+	for _, b := range bounds {
+		plan := GeneralPartition(g, b)
+		out = append(out, Point{Bound: b, IP: plan.IP, IPFused: plan.IPFused(), M: plan.M})
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"testing"
+
+	"wcet/internal/cfg"
+)
+
+func TestGeneralPartitionCoversEveryBlockOnce(t *testing.T) {
+	g := buildGraph(t, figure1, "main")
+	for _, b := range []int64{1, 2, 3, 6, 100} {
+		plan := GeneralPartition(g, cfg.NewCount(b))
+		seen := map[cfg.NodeID]int{}
+		for _, u := range plan.Units {
+			switch u.Kind {
+			case SingleBlock:
+				seen[u.Block]++
+			case WholePS:
+				for id := range u.PS.Region.Set {
+					seen[id]++
+				}
+			}
+		}
+		for _, n := range g.Nodes {
+			if seen[n.ID] != 1 {
+				t.Errorf("b=%d: block B%d covered %d times", b, n.ID, seen[n.ID])
+			}
+		}
+		if plan.IP != 2*len(plan.Units) {
+			t.Errorf("b=%d: ip accounting broken", b)
+		}
+	}
+}
+
+// TestGeneralNeverWorseThanSimple is the paper's expectation for its
+// announced extension: the general partitioning needs at most as many
+// instrumentation points as the AST-based one at every bound.
+func TestGeneralNeverWorseThanSimple(t *testing.T) {
+	sources := map[string]string{
+		"main": figure1,
+		"f": `int a, b, c; void f(void) {
+			if (a) { if (b) { c = 1; } else { c = 2; } c = c + 1; } else { c = 3; }
+			switch (c) { case 1: a = 1; break; case 2: a = 2; break; default: a = 0; }
+			if (b) { b = 0; }
+			c = a + b;
+		}`,
+	}
+	for name, src := range sources {
+		g := buildGraph(t, src, name)
+		tree := BuildTree(g)
+		for b := int64(1); b <= 64; b *= 2 {
+			simple := Partition(g, tree, cfg.NewCount(b))
+			general := GeneralPartition(g, cfg.NewCount(b))
+			if general.IP > simple.IP {
+				t.Errorf("%s b=%d: general ip %d > simple ip %d", name, b, general.IP, simple.IP)
+			}
+		}
+	}
+}
+
+// TestGeneralImprovesOnChains: a straight-line suffix after a decision is a
+// dominator region the simple partitioning cannot merge; the general one
+// measures it as one segment.
+func TestGeneralImprovesOnChains(t *testing.T) {
+	g := buildGraph(t, `
+int a, r;
+void f(void) {
+    if (a) { r = 1; }
+    r = r + 1;
+    r = r * 2;
+    r = r - 3;
+    r = r ^ 1;
+}`, "f")
+	b := cfg.NewCount(1)
+	simple := Partition(g, BuildTree(g), b)
+	general := GeneralPartition(g, b)
+	if general.IP >= simple.IP {
+		t.Errorf("general ip %d should beat simple ip %d on chain suffixes",
+			general.IP, simple.IP)
+	}
+	// Both stay at one measurement per unit at b=1… measurements may only
+	// shrink (merging 1-path chains costs nothing).
+	if general.M.CmpCount(simple.M) > 0 {
+		t.Errorf("general m %s exceeds simple m %s at b=1", general.M, simple.M)
+	}
+}
+
+func TestGeneralSegmentsAreSingleEntry(t *testing.T) {
+	g := buildGraph(t, figure1, "main")
+	plan := GeneralPartition(g, cfg.NewCount(2))
+	for _, u := range plan.Units {
+		if u.Kind != WholePS {
+			continue
+		}
+		entries := 0
+		for _, n := range g.Nodes {
+			if u.PS.Region.Set[n.ID] {
+				continue
+			}
+			for _, e := range g.Succs(n.ID) {
+				if u.PS.Region.Set[e.To] {
+					entries++
+					if e.To != u.PS.Region.Entry {
+						t.Errorf("general segment entered at non-root B%d", e.To)
+					}
+				}
+			}
+		}
+		if u.PS.Region.Entry != g.Entry && entries != 1 {
+			t.Errorf("general segment has %d entry edges", entries)
+		}
+	}
+}
+
+func TestGeneralEndToEndAtLargeBound(t *testing.T) {
+	g := buildGraph(t, figure1, "main")
+	plan := GeneralPartition(g, cfg.NewCount(1000))
+	if plan.IP != 2 || plan.M.Cmp(6) != 0 {
+		t.Errorf("general at huge bound: ip=%d m=%s, want 2/6", plan.IP, plan.M)
+	}
+}

@@ -1,0 +1,274 @@
+package partition
+
+import (
+	"testing"
+
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+)
+
+// figure1 is the paper's Figure 1 listing.
+const figure1 = `
+int main() {
+    int i;
+    printf1();
+    printf2();
+    if (i == 0)
+    {
+        printf3();
+        if (i == 0) {
+            printf4();
+        } else {
+            printf5();
+        }
+    }
+    if (i == 0)
+    {
+        printf6();
+        printf7();
+    }
+    printf8();
+}
+`
+
+func buildGraph(t *testing.T, src, name string) *cfg.Graph {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return g
+}
+
+// TestTable1 reproduces the paper's Table 1 exactly.
+func TestTable1(t *testing.T) {
+	g := buildGraph(t, figure1, "main")
+	want := []struct {
+		b  int64
+		ip int
+		m  int64
+	}{
+		{1, 22, 11},
+		{2, 16, 9},
+		{3, 16, 9},
+		{4, 16, 9},
+		{5, 16, 9},
+		{6, 2, 6},
+		{7, 2, 6},
+	}
+	tree := BuildTree(g)
+	for _, w := range want {
+		plan := Partition(g, tree, cfg.NewCount(w.b))
+		if plan.IP != w.ip || plan.M.Cmp(w.m) != 0 {
+			t.Errorf("b=%d: ip=%d m=%s, want ip=%d m=%d\ntree:\n%s",
+				w.b, plan.IP, plan.M, w.ip, w.m, tree)
+		}
+	}
+}
+
+func TestTable1Fused(t *testing.T) {
+	// Footnote 1: fusing consecutive instrumentation points gives ip/2+1.
+	g := buildGraph(t, figure1, "main")
+	plan := PartitionBound(g, 1)
+	if plan.IPFused() != 12 {
+		t.Errorf("fused ip = %d, want 12", plan.IPFused())
+	}
+}
+
+func TestTreeShapeFigure1(t *testing.T) {
+	g := buildGraph(t, figure1, "main")
+	tree := BuildTree(g)
+	if tree.Kind != "function" {
+		t.Fatalf("root kind = %q", tree.Kind)
+	}
+	if tree.Paths.Cmp(6) != 0 {
+		t.Errorf("root paths = %s, want 6", tree.Paths)
+	}
+	// Direct children: outer then-arm (4 blocks, 2 paths) and second if's
+	// then-arm (1 block, 1 path).
+	if len(tree.Children) != 2 {
+		t.Fatalf("root children = %d, want 2\n%s", len(tree.Children), tree)
+	}
+	outer := tree.Children[0]
+	if outer.Region.Size() != 4 || outer.Paths.Cmp(2) != 0 {
+		t.Errorf("outer then-arm: blocks=%d paths=%s, want 4 blocks 2 paths",
+			outer.Region.Size(), outer.Paths)
+	}
+	// Its nested segments are the inner if's arms.
+	if len(outer.Children) != 2 {
+		t.Errorf("outer arm children = %d, want 2", len(outer.Children))
+	}
+	second := tree.Children[1]
+	if second.Region.Size() != 1 || second.Paths.Cmp(1) != 0 {
+		t.Errorf("second then-arm: blocks=%d paths=%s, want 1 block 1 path",
+			second.Region.Size(), second.Paths)
+	}
+}
+
+func TestSegmentsAreSingleEntry(t *testing.T) {
+	for _, src := range []string{
+		figure1,
+		`int x, y; void f(void) {
+			switch (x) { case 0: y = 1; break; case 1: y = 2; default: y = 3; break; }
+		}`,
+		`int i, s; void f(void) { /*@ loopbound 3 */ while (i) { if (s) { s = 0; } i = i - 1; } }`,
+	} {
+		name := "f"
+		if src == figure1 {
+			name = "main"
+		}
+		g := buildGraph(t, src, name)
+		tree := BuildTree(g)
+		var check func(*PS)
+		check = func(ps *PS) {
+			entries := 0
+			for _, n := range g.Nodes {
+				if ps.Region.Set[n.ID] {
+					continue
+				}
+				for _, e := range g.Succs(n.ID) {
+					if ps.Region.Set[e.To] {
+						entries++
+						if e.To != ps.Region.Entry {
+							t.Errorf("PS %s entered at non-entry block B%d", ps.Kind, e.To)
+						}
+					}
+				}
+			}
+			if ps.Kind != "function" && entries != 1 {
+				t.Errorf("PS %s has %d entry edges, want 1", ps.Kind, entries)
+			}
+			for _, c := range ps.Children {
+				check(c)
+			}
+		}
+		check(tree)
+	}
+}
+
+func TestFallthroughClauseDissolved(t *testing.T) {
+	g := buildGraph(t, `
+int x, y;
+void f(void) {
+    switch (x) {
+    case 0:
+        y = 0;
+    case 1:
+        if (y) { y = 2; }
+        break;
+    default:
+        y = 3;
+        break;
+    }
+}`, "f")
+	tree := BuildTree(g)
+	// Clause 1 is fallen into: it is not a PS, but the if's then-arm inside
+	// it must be lifted to the root.
+	kinds := map[string]int{}
+	tree.Walk(func(ps *PS) { kinds[ps.Kind]++ })
+	if kinds["case"] != 1 {
+		t.Errorf("case segments = %d, want 1 (fall-into clause dissolved)", kinds["case"])
+	}
+	if kinds["then"] != 1 {
+		t.Errorf("then segments = %d, want 1 (lifted from dissolved clause)", kinds["then"])
+	}
+	if kinds["default"] != 1 {
+		t.Errorf("default segments = %d, want 1", kinds["default"])
+	}
+}
+
+func (ps *PS) Walk(f func(*PS)) {
+	f(ps)
+	for _, c := range ps.Children {
+		c.Walk(f)
+	}
+}
+
+// TestAccountingInvariants checks, across several programs and bounds, the
+// structural invariants of the plan: ip = 2×units, m ≥ units, every block
+// covered exactly once, and monotonicity (ip non-increasing in b for the
+// bounds tested, m… not necessarily monotone, but ≥ path count of whole
+// function? no: m shrinks as segments merge).
+func TestAccountingInvariants(t *testing.T) {
+	sources := map[string]string{
+		"main": figure1,
+		"f": `int a, b, c; void f(void) {
+			if (a) { if (b) { c = 1; } else { c = 2; } } else { c = 3; }
+			switch (c) { case 1: a = 1; break; case 2: a = 2; break; default: a = 0; }
+			if (b) { b = 0; }
+		}`,
+	}
+	for name, src := range sources {
+		g := buildGraph(t, src, name)
+		tree := BuildTree(g)
+		prevIP := 1 << 30
+		for b := int64(1); b <= 64; b *= 2 {
+			plan := Partition(g, tree, cfg.NewCount(b))
+			if plan.IP != 2*len(plan.Units) {
+				t.Errorf("%s b=%d: ip=%d != 2×units=%d", name, b, plan.IP, 2*len(plan.Units))
+			}
+			if plan.IP > prevIP {
+				t.Errorf("%s: ip increased from %d to %d when b grew to %d", name, prevIP, plan.IP, b)
+			}
+			prevIP = plan.IP
+			// Coverage: every block appears in exactly one unit.
+			seen := map[cfg.NodeID]int{}
+			for _, u := range plan.Units {
+				switch u.Kind {
+				case SingleBlock:
+					seen[u.Block]++
+				case WholePS:
+					for id := range u.PS.Region.Set {
+						// Only blocks not covered by a deeper unit... whole
+						// PS covers all its blocks.
+						seen[id]++
+					}
+				}
+			}
+			for _, n := range g.Nodes {
+				if seen[n.ID] != 1 {
+					t.Errorf("%s b=%d: block B%d covered %d times", name, b, n.ID, seen[n.ID])
+				}
+			}
+		}
+	}
+}
+
+func TestSweepEndsAtEndToEnd(t *testing.T) {
+	g := buildGraph(t, figure1, "main")
+	bounds := DefaultBounds(g, 64)
+	points := Sweep(g, bounds)
+	last := points[len(points)-1]
+	if last.IP != 2 {
+		t.Errorf("final sweep point ip = %d, want 2 (end-to-end)", last.IP)
+	}
+	if last.M.Cmp(6) != 0 {
+		t.Errorf("final sweep point m = %s, want 6", last.M)
+	}
+	first := points[0]
+	if first.IP != 2*g.NumNodes() {
+		t.Errorf("first sweep point ip = %d, want %d", first.IP, 2*g.NumNodes())
+	}
+}
+
+func TestUnboundedLoopNeverMeasuredWhole(t *testing.T) {
+	g := buildGraph(t, `int i; void f(void) { while (i) { i = i - 1; } }`, "f")
+	tree := BuildTree(g)
+	plan := Partition(g, tree, cfg.NewCount(1_000_000))
+	for _, u := range plan.Units {
+		if u.Kind == WholePS && u.PS.Paths.IsInf() {
+			t.Error("segment with unbounded paths measured as a whole")
+		}
+	}
+	if plan.M.IsInf() {
+		t.Error("plan measurement count must stay finite")
+	}
+}

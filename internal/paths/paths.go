@@ -1,0 +1,248 @@
+// Package paths enumerates the execution paths inside a program segment and
+// matches recorded traces against them.
+//
+// A path is the canonical unit of the paper's measurement plan: measuring a
+// program segment "as a whole" means producing one run per path through the
+// segment. The package also computes the search fitness (approach level +
+// normalised branch distance, per Tracey et al.) that the genetic test-data
+// generator minimises, and which the model checker replaces with an exact
+// answer.
+package paths
+
+import (
+	"fmt"
+	"strings"
+
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+)
+
+// Path is one acyclic route through a region, from its entry block to an
+// edge that leaves the region.
+type Path struct {
+	// Blocks is the in-region block sequence, beginning at the region entry.
+	Blocks []cfg.NodeID
+	// Exit is the edge leaving the region at the end of the path.
+	Exit cfg.Edge
+}
+
+// Key returns a canonical identity string for the path.
+func (p Path) Key() string {
+	var b strings.Builder
+	for i, id := range p.Blocks {
+		if i > 0 {
+			b.WriteByte('-')
+		}
+		fmt.Fprintf(&b, "%d", id)
+	}
+	fmt.Fprintf(&b, ">%d", p.Exit.To)
+	return b.String()
+}
+
+// ErrCyclic is returned when enumeration meets a cycle inside the region.
+var ErrCyclic = fmt.Errorf("paths: region contains a cycle; decompose before enumerating")
+
+// Enumerate lists every path of the region, in a deterministic order. The
+// region must be acyclic (the partitioner never measures an unbounded
+// region as a whole; bounded loop regions are decomposed for enumeration).
+// The limit guards against explosion; 0 means no limit.
+func Enumerate(r cfg.Region, limit int) ([]Path, error) {
+	var out []Path
+	var cur []cfg.NodeID
+	onStack := map[cfg.NodeID]bool{}
+	var dfs func(id cfg.NodeID) error
+	dfs = func(id cfg.NodeID) error {
+		if onStack[id] {
+			return ErrCyclic
+		}
+		onStack[id] = true
+		cur = append(cur, id)
+		defer func() {
+			onStack[id] = false
+			cur = cur[:len(cur)-1]
+		}()
+		succs := r.G.Succs(id)
+		if len(succs) == 0 {
+			// Function exit block inside the region terminates a path.
+			blocks := append([]cfg.NodeID(nil), cur...)
+			out = append(out, Path{Blocks: blocks, Exit: cfg.Edge{From: id, To: cfg.NoNode, Kind: "end"}})
+			if limit > 0 && len(out) > limit {
+				return fmt.Errorf("paths: more than %d paths", limit)
+			}
+			return nil
+		}
+		for _, e := range succs {
+			if !r.Set[e.To] {
+				blocks := append([]cfg.NodeID(nil), cur...)
+				out = append(out, Path{Blocks: blocks, Exit: e})
+				if limit > 0 && len(out) > limit {
+					return fmt.Errorf("paths: more than %d paths", limit)
+				}
+				continue
+			}
+			if err := dfs(e.To); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(r.Entry); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Trace matching
+
+// Step is one executed control transfer reconstructed from a trace.
+type Step struct {
+	Block cfg.NodeID
+	Next  cfg.NodeID
+	// Decision is the index into trace.Decisions when Block had multiple
+	// successors, else -1.
+	Decision int
+}
+
+// Steps reconstructs the per-block transfer list of a trace.
+func Steps(g *cfg.Graph, tr *interp.Trace) []Step {
+	steps := make([]Step, 0, len(tr.Blocks))
+	di := 0
+	for i := 0; i < len(tr.Blocks); i++ {
+		s := Step{Block: tr.Blocks[i], Next: cfg.NoNode, Decision: -1}
+		if i+1 < len(tr.Blocks) {
+			s.Next = tr.Blocks[i+1]
+		}
+		if len(g.Succs(tr.Blocks[i])) > 1 {
+			if di < len(tr.Decisions) && tr.Decisions[di].Block == tr.Blocks[i] {
+				s.Decision = di
+				di++
+			}
+		}
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// Covers reports whether the trace executes the path: some visit of the
+// path's entry block is followed by exactly the path's block sequence and
+// then its exit edge.
+func Covers(g *cfg.Graph, tr *interp.Trace, p Path) bool {
+	blocks := tr.Blocks
+	n := len(p.Blocks)
+	for i := 0; i+n <= len(blocks); i++ {
+		if blocks[i] != p.Blocks[0] {
+			continue
+		}
+		ok := true
+		for j := 0; j < n; j++ {
+			if blocks[i+j] != p.Blocks[j] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Check the exit transfer.
+		if p.Exit.To == cfg.NoNode {
+			if i+n == len(blocks) {
+				return true
+			}
+			continue
+		}
+		if i+n < len(blocks) && blocks[i+n] == p.Exit.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Fitness scores how close the trace comes to covering the path: 0 means
+// covered; larger is farther. The score is approachLevel + normalised
+// branch distance at the first divergence, minimised over every visit of
+// the path entry (Tracey-style objective for search-based test generation).
+func Fitness(g *cfg.Graph, tr *interp.Trace, p Path) float64 {
+	if Covers(g, tr, p) {
+		return 0
+	}
+	steps := Steps(g, tr)
+	best := float64(len(p.Blocks)) + 1
+	seen := false
+	for i := range steps {
+		if steps[i].Block != p.Blocks[0] {
+			continue
+		}
+		seen = true
+		score := matchFrom(g, tr, steps, i, p)
+		if score < best {
+			best = score
+		}
+	}
+	if !seen {
+		// Entry never reached: worst approach level plus one.
+		return float64(len(p.Blocks)) + 1
+	}
+	return best
+}
+
+func matchFrom(g *cfg.Graph, tr *interp.Trace, steps []Step, start int, p Path) float64 {
+	n := len(p.Blocks)
+	for j := 0; j < n; j++ {
+		si := start + j
+		if si >= len(steps) || steps[si].Block != p.Blocks[j] {
+			// Diverged before this block: attribute to previous decision.
+			return divergeScore(g, tr, steps, si-1, p, j)
+		}
+		var want cfg.NodeID
+		if j+1 < n {
+			want = p.Blocks[j+1]
+		} else {
+			want = p.Exit.To
+			if want == cfg.NoNode {
+				// Path ends at the function exit: matched fully.
+				return 0
+			}
+		}
+		if steps[si].Next != want {
+			return divergeScore(g, tr, steps, si, p, j+1)
+		}
+	}
+	return 0
+}
+
+// divergeScore computes approach level + normalised branch distance for a
+// divergence at steps[si] with `matched` path blocks already matched.
+func divergeScore(g *cfg.Graph, tr *interp.Trace, steps []Step, si int, p Path, matched int) float64 {
+	approach := float64(len(p.Blocks) - matched)
+	if si < 0 || si >= len(steps) {
+		return approach + 1
+	}
+	st := steps[si]
+	if st.Decision < 0 {
+		return approach + 1
+	}
+	d := tr.Decisions[st.Decision]
+	// Which successor edge would have kept us on the path?
+	var want cfg.NodeID
+	if matched < len(p.Blocks) {
+		want = p.Blocks[matched]
+	} else {
+		want = p.Exit.To
+	}
+	succs := g.Succs(st.Block)
+	for i, e := range succs {
+		if e.To == want && i < len(d.Dists) {
+			return approach + normalise(d.Dists[i])
+		}
+	}
+	return approach + 1
+}
+
+// normalise maps a branch distance into [0,1).
+func normalise(d float64) float64 {
+	if d < 0 {
+		d = -d
+	}
+	return d / (d + 1)
+}

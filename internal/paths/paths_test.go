@@ -1,0 +1,251 @@
+package paths
+
+import (
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/interp"
+	"wcet/internal/partition"
+)
+
+type fixture struct {
+	file *ast.File
+	g    *cfg.Graph
+	m    *interp.Machine
+	fn   *ast.FuncDecl
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	fn := f.Func(name)
+	g, err := cfg.Build(fn)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return &fixture{file: f, g: g, m: interp.New(f, interp.Options{}), fn: fn}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+const branchy = `
+int a, b, r;
+int f(void) {
+    r = 0;
+    if (a > 0) {
+        if (b > 0) { r = 1; } else { r = 2; }
+    }
+    if (a > 10) { r = r + 10; }
+    return r;
+}`
+
+func TestEnumerateWholeFunction(t *testing.T) {
+	fx := setup(t, branchy, "f")
+	whole := cfg.WholeFunction(fx.g)
+	ps, err := Enumerate(whole, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := whole.PathCount()
+	if want.Cmp(int64(len(ps))) != 0 {
+		t.Errorf("enumerated %d paths, PathCount says %s", len(ps), want)
+	}
+	// Keys must be unique.
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Key()] {
+			t.Errorf("duplicate path key %s", p.Key())
+		}
+		seen[p.Key()] = true
+	}
+}
+
+func TestEnumerateMatchesPathCountOnSegments(t *testing.T) {
+	fx := setup(t, branchy, "f")
+	tree := partition.BuildTree(fx.g)
+	var check func(ps *partition.PS)
+	check = func(ps *partition.PS) {
+		got, err := Enumerate(ps.Region, 0)
+		if err != nil {
+			t.Fatalf("enumerate %s: %v", ps.Kind, err)
+		}
+		if ps.Paths.Cmp(int64(len(got))) != 0 {
+			t.Errorf("%s: %d enumerated vs %s counted", ps.Kind, len(got), ps.Paths)
+		}
+		for _, c := range ps.Children {
+			check(c)
+		}
+	}
+	check(tree)
+}
+
+func TestCyclicRegionRejected(t *testing.T) {
+	fx := setup(t, `int i; void f(void) { while (i) { i = i - 1; } }`, "f")
+	if _, err := Enumerate(cfg.WholeFunction(fx.g), 0); err == nil {
+		t.Error("expected ErrCyclic for looping region")
+	}
+}
+
+func TestCoversEndToEnd(t *testing.T) {
+	fx := setup(t, branchy, "f")
+	whole := cfg.WholeFunction(fx.g)
+	ps, err := Enumerate(whole, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aD, bD := fx.global("a"), fx.global("b")
+	envs := []interp.Env{
+		{aD: 5, bD: 5},
+		{aD: 5, bD: -5},
+		{aD: -5, bD: 0},
+		{aD: 20, bD: 1},
+	}
+	covered := map[string]bool{}
+	for _, env := range envs {
+		tr, err := fx.m.Run(fx.g, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, p := range ps {
+			if Covers(fx.g, tr, p) {
+				covered[p.Key()] = true
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("trace covers %d end-to-end paths, want exactly 1", n)
+		}
+	}
+	if len(covered) != 4 {
+		t.Errorf("4 distinct inputs covered %d distinct paths", len(covered))
+	}
+}
+
+func TestFitnessZeroIffCovered(t *testing.T) {
+	fx := setup(t, branchy, "f")
+	whole := cfg.WholeFunction(fx.g)
+	ps, _ := Enumerate(whole, 0)
+	aD, bD := fx.global("a"), fx.global("b")
+	tr, err := fx.m.Run(fx.g, interp.Env{aD: 5, bD: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		fit := Fitness(fx.g, tr, p)
+		if Covers(fx.g, tr, p) != (fit == 0) {
+			t.Errorf("path %s: covered=%v but fitness=%v", p.Key(), Covers(fx.g, tr, p), fit)
+		}
+	}
+}
+
+func TestFitnessMonotoneTowardTarget(t *testing.T) {
+	fx := setup(t, `
+int a, r;
+int f(void) {
+    if (a == 500) { r = 1; } else { r = 0; }
+    return r;
+}`, "f")
+	whole := cfg.WholeFunction(fx.g)
+	ps, _ := Enumerate(whole, 0)
+	// Find the path through the then-arm (r = 1).
+	var target Path
+	found := false
+	for _, p := range ps {
+		for _, id := range p.Blocks {
+			for _, item := range fx.g.Node(id).Items {
+				if ast.PrintStmt(item) == "r = 1;" {
+					target = p
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("target path not found")
+	}
+	aD := fx.global("a")
+	var prev = 1e18
+	for _, a := range []int64{0, 100, 400, 499, 500} {
+		tr, err := fx.m.Run(fx.g, interp.Env{aD: a})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fit := Fitness(fx.g, tr, target)
+		if fit > prev {
+			t.Errorf("fitness increased at a=%d: %v > %v", a, fit, prev)
+		}
+		prev = fit
+	}
+	if prev != 0 {
+		t.Errorf("fitness at exact hit = %v, want 0", prev)
+	}
+}
+
+func TestFitnessSegmentPath(t *testing.T) {
+	// Cover a path inside a nested segment rather than end-to-end.
+	fx := setup(t, branchy, "f")
+	tree := partition.BuildTree(fx.g)
+	if len(tree.Children) == 0 {
+		t.Fatal("no segments")
+	}
+	seg := tree.Children[0] // then-arm of (a > 0)
+	segPaths, err := Enumerate(seg.Region, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segPaths) != 2 {
+		t.Fatalf("segment paths = %d, want 2", len(segPaths))
+	}
+	aD, bD := fx.global("a"), fx.global("b")
+	tr, err := fx.m.Run(fx.g, interp.Env{aD: 1, bD: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, p := range segPaths {
+		if Covers(fx.g, tr, p) {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("trace covers %d segment paths, want 1", n)
+	}
+	// A trace that never enters the segment covers none and has positive
+	// fitness for both.
+	tr2, err := fx.m.Run(fx.g, interp.Env{aD: -1, bD: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range segPaths {
+		if Covers(fx.g, tr2, p) {
+			t.Error("non-entering trace claims coverage")
+		}
+		if Fitness(fx.g, tr2, p) <= 0 {
+			t.Error("non-entering trace must have positive fitness")
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	fx := setup(t, branchy, "f")
+	if _, err := Enumerate(cfg.WholeFunction(fx.g), 2); err == nil {
+		t.Error("expected limit error")
+	}
+}

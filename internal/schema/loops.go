@@ -1,0 +1,246 @@
+package schema
+
+import (
+	"fmt"
+
+	"wcet/internal/cfg"
+	"wcet/internal/measure"
+	"wcet/internal/partition"
+)
+
+// Bounded-loop support: when the contracted unit graph contains cycles —
+// loops measured at block granularity rather than swallowed by a
+// whole-measured segment — each natural loop is collapsed into its header
+// using the /*@ loopbound n */ annotation: the collapsed weight is
+//
+//	n × (longest path through one iteration) + (final header evaluation)
+//
+// which is safe whenever n bounds the iteration count and the per-unit
+// maxima bound the per-visit costs. Nested loops collapse innermost first.
+
+// unitGraph is the mutable contracted graph the schema works on.
+type unitGraph struct {
+	succs  map[int]map[int]bool
+	weight []int64
+	entry  int
+	alive  map[int]bool
+}
+
+func (ug *unitGraph) addEdge(a, b int) {
+	if a == b {
+		return
+	}
+	if ug.succs[a] == nil {
+		ug.succs[a] = map[int]bool{}
+	}
+	ug.succs[a][b] = true
+}
+
+// findBackEdge returns (from, to, found) for some DFS back edge.
+func (ug *unitGraph) findBackEdge() (int, int, bool) {
+	state := map[int]int{}
+	var fu, fh int
+	found := false
+	var dfs func(u int)
+	dfs = func(u int) {
+		state[u] = 1
+		for v := range ug.succs[u] {
+			if found || !ug.alive[v] {
+				continue
+			}
+			switch state[v] {
+			case 0:
+				dfs(v)
+			case 1:
+				fu, fh, found = u, v, true
+			}
+		}
+		state[u] = 2
+	}
+	dfs(ug.entry)
+	return fu, fh, found
+}
+
+// preds computes the predecessor map over alive nodes.
+func (ug *unitGraph) preds() map[int][]int {
+	out := map[int][]int{}
+	for a, set := range ug.succs {
+		if !ug.alive[a] {
+			continue
+		}
+		for b := range set {
+			if ug.alive[b] {
+				out[b] = append(out[b], a)
+			}
+		}
+	}
+	return out
+}
+
+// collapseLoops rewrites the graph until it is acyclic. unitBound gives the
+// iteration bound of a header unit (0 = unbounded → error).
+func (ug *unitGraph) collapseLoops(unitBound func(int) int64) error {
+	for guard := 0; ; guard++ {
+		if guard > len(ug.weight)+2 {
+			return fmt.Errorf("schema: loop collapse did not converge (irreducible flow?)")
+		}
+		u, h, found := ug.findBackEdge()
+		if !found {
+			return nil
+		}
+		// Natural loop of (u → h): nodes reaching u without passing h.
+		loop := map[int]bool{h: true, u: true}
+		preds := ug.preds()
+		stack := []int{u}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if x == h {
+				continue
+			}
+			for _, p := range preds[x] {
+				if !loop[p] {
+					loop[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		// Reducibility: no outside node may enter the loop except at h.
+		for b := range loop {
+			if b == h {
+				continue
+			}
+			for _, p := range preds[b] {
+				if !loop[p] {
+					return fmt.Errorf("schema: irreducible loop entry at unit %d", b)
+				}
+			}
+		}
+		n := unitBound(h)
+		if n <= 0 {
+			return fmt.Errorf("schema: loop at unit %d has no /*@ loopbound */ annotation", h)
+		}
+		// Longest path h→u strictly inside the loop (back edge excluded).
+		iter, err := ug.longestWithin(loop, h, u)
+		if err != nil {
+			return err
+		}
+		ug.weight[h] = n*iter + ug.weight[h]
+		// Collapse: h inherits every loop-leaving edge; members die.
+		for x := range loop {
+			for v := range ug.succs[x] {
+				if !loop[v] && ug.alive[v] {
+					ug.addEdge(h, v)
+				}
+			}
+		}
+		delete(ug.succs[u], h) // drop the back edge
+		for x := range loop {
+			if x == h {
+				continue
+			}
+			ug.alive[x] = false
+			delete(ug.succs, x)
+		}
+		// Remove edges from h into dead members.
+		for v := range ug.succs[h] {
+			if loop[v] && v != h {
+				delete(ug.succs[h], v)
+			}
+		}
+	}
+}
+
+// longestWithin computes the longest src→dst path inside the member set
+// (weights of both endpoints included); the member subgraph must be acyclic
+// once the back edge is ignored.
+func (ug *unitGraph) longestWithin(members map[int]bool, src, dst int) (int64, error) {
+	memo := map[int]int64{}
+	state := map[int]int{}
+	var dfs func(u int) (int64, error)
+	dfs = func(u int) (int64, error) {
+		if u == dst {
+			return ug.weight[dst], nil
+		}
+		switch state[u] {
+		case 1:
+			return 0, fmt.Errorf("schema: nested loop not yet collapsed inside loop body")
+		case 2:
+			return memo[u], nil
+		}
+		state[u] = 1
+		best := int64(-1)
+		for v := range ug.succs[u] {
+			if !members[v] || !ug.alive[v] || (u == src && false) {
+				continue
+			}
+			if v == src {
+				continue // ignore the back edge
+			}
+			c, err := dfs(v)
+			if err != nil {
+				return 0, err
+			}
+			if c > best {
+				best = c
+			}
+		}
+		if best < 0 {
+			// Dead end inside the loop that never reaches dst: contributes
+			// nothing to the iteration path.
+			best = 0
+		}
+		memo[u] = ug.weight[u] + best
+		state[u] = 2
+		return memo[u], nil
+	}
+	return dfs(src)
+}
+
+// buildUnitGraph constructs the contracted graph and weight vector.
+func buildUnitGraph(res *measure.Result, unitOf map[cfg.NodeID]int) (*unitGraph, error) {
+	plan := res.Plan
+	g := plan.G
+	ug := &unitGraph{
+		succs:  map[int]map[int]bool{},
+		weight: make([]int64, len(plan.Units)),
+		entry:  unitOf[g.Entry],
+		alive:  map[int]bool{},
+	}
+	for i := range plan.Units {
+		w := res.UnitMax(i)
+		if w < 0 {
+			return nil, fmt.Errorf("schema: unit %d was never measured", i)
+		}
+		ug.weight[i] = w
+		ug.alive[i] = true
+	}
+	for _, n := range g.Nodes {
+		for _, e := range g.Succs(n.ID) {
+			ug.addEdge(unitOf[e.From], unitOf[e.To])
+		}
+	}
+	return ug, nil
+}
+
+// unitBoundFunc derives the loop bound of a unit from its blocks' loop
+// annotations (the maximum over contained headers).
+func unitBoundFunc(plan *partition.Plan) func(int) int64 {
+	g := plan.G
+	return func(ui int) int64 {
+		u := plan.Units[ui]
+		switch u.Kind {
+		case partition.SingleBlock:
+			return int64(g.Node(u.Block).LoopBound)
+		case partition.WholePS:
+			best := int64(0)
+			for id := range u.PS.Region.Set {
+				if b := int64(g.Node(id).LoopBound); b > best {
+					best = b
+				}
+			}
+			return best
+		}
+		return 0
+	}
+}

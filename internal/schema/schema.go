@@ -1,0 +1,118 @@
+// Package schema computes the WCET bound from measured program-segment
+// times with the paper's "simple timing schema approach": contract every
+// whole-measured segment to a supernode weighted by its observed maximum,
+// weight residual blocks by their observed maxima, and take the longest
+// entry→exit path through the contracted graph.
+//
+// The bound is safe with respect to the measured cost model whenever every
+// unit's worst path was exercised; it over-approximates the true WCET
+// because per-unit maxima from different runs may not lie on one path —
+// the 274-vs-250-cycle gap of the paper's case study.
+package schema
+
+import (
+	"fmt"
+
+	"wcet/internal/cfg"
+	"wcet/internal/measure"
+	"wcet/internal/partition"
+)
+
+// Bound is the result of the timing-schema computation.
+type Bound struct {
+	// WCET is the computed bound in cycles.
+	WCET int64
+	// CriticalUnits lists the plan-unit indices on the longest path of the
+	// contracted (loop-collapsed) graph.
+	CriticalUnits []int
+	// UnitWeights are the effective per-unit weights after loop collapse
+	// (collapsed headers carry their whole loop's worst-case cost).
+	UnitWeights []int64
+}
+
+// Compute contracts the plan's units and returns the longest-path bound.
+// Loops left visible in the contracted graph (measured at block
+// granularity) are collapsed using their /*@ loopbound */ annotations; an
+// unannotated loop is an error.
+func Compute(res *measure.Result) (*Bound, error) {
+	plan := res.Plan
+	g := plan.G
+
+	// Map every block to its unit.
+	unitOf := make(map[cfg.NodeID]int, len(g.Nodes))
+	for ui, u := range plan.Units {
+		switch u.Kind {
+		case partition.SingleBlock:
+			unitOf[u.Block] = ui
+		case partition.WholePS:
+			for id := range u.PS.Region.Set {
+				unitOf[id] = ui
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if _, ok := unitOf[n.ID]; !ok {
+			return nil, fmt.Errorf("schema: block B%d not covered by the plan", n.ID)
+		}
+	}
+
+	ug, err := buildUnitGraph(res, unitOf)
+	if err != nil {
+		return nil, err
+	}
+	if err := ug.collapseLoops(unitBoundFunc(plan)); err != nil {
+		return nil, err
+	}
+
+	entry := ug.entry
+	// Longest path via DFS with memoisation over the (now acyclic) graph.
+	memo := make([]int64, len(plan.Units))
+	state := make([]int, len(plan.Units)) // 0 new, 1 on stack, 2 done
+	choice := make([]int, len(plan.Units))
+	for i := range choice {
+		choice[i] = -1
+	}
+	var longest func(u int) (int64, error)
+	longest = func(u int) (int64, error) {
+		switch state[u] {
+		case 1:
+			return 0, fmt.Errorf("schema: internal: cycle survived loop collapse at unit %d", u)
+		case 2:
+			return memo[u], nil
+		}
+		state[u] = 1
+		best := int64(0)
+		for v := range ug.succs[u] {
+			if !ug.alive[v] {
+				continue
+			}
+			c, err := longest(v)
+			if err != nil {
+				return 0, err
+			}
+			if choice[u] == -1 || c > best || (c == best && v < choice[u]) {
+				if c >= best {
+					choice[u] = v
+				}
+			}
+			if c > best {
+				best = c
+			}
+		}
+		memo[u] = ug.weight[u] + best
+		state[u] = 2
+		return memo[u], nil
+	}
+	total, err := longest(entry)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bound{WCET: total, UnitWeights: ug.weight}
+	for u := entry; u != -1; u = choice[u] {
+		b.CriticalUnits = append(b.CriticalUnits, u)
+		if len(b.CriticalUnits) > len(plan.Units) {
+			break
+		}
+	}
+	return b, nil
+}

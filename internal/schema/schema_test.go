@@ -1,0 +1,304 @@
+package schema
+
+import (
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/codegen"
+	"wcet/internal/interp"
+	"wcet/internal/measure"
+	"wcet/internal/partition"
+	"wcet/internal/sim"
+)
+
+type fixture struct {
+	file *ast.File
+	g    *cfg.Graph
+	vm   *sim.VM
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	g, err := cfg.Build(f.Func(name))
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	img, err := codegen.Compile(g, f)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return &fixture{file: f, g: g, vm: sim.New(img, sim.Options{})}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+const wcetSrc = `
+/*@ input */ /*@ range 0 2 */ int sel;
+/*@ input */ /*@ range 0 1 */ int flag;
+int r;
+int f(void) {
+    r = 0;
+    switch (sel) {
+    case 0:
+        r = 1;
+        break;
+    case 1:
+        r = r + 2;
+        r = r * 3;
+        r = r - 1;
+        break;
+    default:
+        if (flag == 1) { r = 7; r = r + r; } else { r = 5; }
+        break;
+    }
+    if (flag == 1) { r = r + 1; }
+    return r;
+}`
+
+func (fx *fixture) inputs(t *testing.T) []interp.Env {
+	t.Helper()
+	envs, err := measure.EnumerateInputs([]measure.InputVar{
+		{Decl: fx.global("sel"), Lo: 0, Hi: 2},
+		{Decl: fx.global("flag"), Lo: 0, Hi: 1},
+	}, interp.Env{}, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return envs
+}
+
+// boundAt partitions with bound b, measures exhaustively and computes the
+// schema bound.
+func boundAt(t *testing.T, fx *fixture, b int64) int64 {
+	t.Helper()
+	plan := partition.PartitionBound(fx.g, b)
+	res, err := measure.Campaign(plan, fx.vm, fx.inputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Covered() {
+		t.Fatal("campaign did not cover every unit")
+	}
+	bound, err := Compute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bound.WCET
+}
+
+func TestBoundIsSafe(t *testing.T) {
+	fx := setup(t, wcetSrc, "f")
+	exh, err := measure.ExhaustiveMax(fx.vm, fx.inputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range []int64{1, 2, 3, 6, 1000} {
+		bound := boundAt(t, fx, b)
+		if bound < exh {
+			t.Errorf("b=%d: bound %d < exhaustive max %d (unsafe!)", b, bound, exh)
+		}
+	}
+}
+
+func TestEndToEndBoundIsExact(t *testing.T) {
+	fx := setup(t, wcetSrc, "f")
+	exh, err := measure.ExhaustiveMax(fx.vm, fx.inputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single whole-function unit: the bound equals the exhaustive max.
+	bound := boundAt(t, fx, 1_000_000)
+	if bound != exh {
+		t.Errorf("end-to-end bound %d != exhaustive %d", bound, exh)
+	}
+}
+
+func TestFinerPartitionsOverestimate(t *testing.T) {
+	fx := setup(t, wcetSrc, "f")
+	blockBound := boundAt(t, fx, 1)
+	endToEnd := boundAt(t, fx, 1_000_000)
+	if blockBound < endToEnd {
+		t.Errorf("block-level bound %d below end-to-end bound %d", blockBound, endToEnd)
+	}
+	// The branch-cost asymmetry must actually manifest as overestimation
+	// at block granularity for this program.
+	if blockBound == endToEnd {
+		t.Logf("note: block-level bound is tight on this program (%d)", blockBound)
+	}
+}
+
+func TestCriticalUnitsFormAPath(t *testing.T) {
+	fx := setup(t, wcetSrc, "f")
+	plan := partition.PartitionBound(fx.g, 1)
+	res, err := measure.Campaign(plan, fx.vm, fx.inputs(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Compute(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bound.CriticalUnits) == 0 {
+		t.Fatal("no critical units")
+	}
+	sum := int64(0)
+	for _, u := range bound.CriticalUnits {
+		sum += res.UnitMax(u)
+	}
+	if sum != bound.WCET {
+		t.Errorf("critical-unit sum %d != WCET %d", sum, bound.WCET)
+	}
+}
+
+func TestUnmeasuredUnitRejected(t *testing.T) {
+	fx := setup(t, wcetSrc, "f")
+	plan := partition.PartitionBound(fx.g, 1)
+	res, err := measure.Campaign(plan, fx.vm, fx.inputs(t)[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Covered() {
+		t.Skip("single input unexpectedly covered everything")
+	}
+	if _, err := Compute(res); err == nil {
+		t.Error("expected error for unmeasured units")
+	}
+}
+
+const loopSrc = `
+/*@ input */ /*@ range 0 3 */ int n;
+int s;
+int f(void) {
+    int i;
+    s = 0;
+    /*@ loopbound 3 */ for (i = 0; i < n; i++) { s = s + i; }
+    return s;
+}`
+
+func TestBoundedLoopAtBlockGranularity(t *testing.T) {
+	fx := setup(t, loopSrc, "f")
+	envs, err := measure.EnumerateInputs([]measure.InputVar{
+		{Decl: fx.global("n"), Lo: 0, Hi: 3},
+	}, interp.Env{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := measure.ExhaustiveMax(fx.vm, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block granularity: the loop's back edge is visible in the contracted
+	// graph and gets collapsed via the /*@ loopbound 3 */ annotation.
+	plan := partition.PartitionBound(fx.g, 1)
+	res, err := measure.Campaign(plan, fx.vm, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(res)
+	if err != nil {
+		t.Fatalf("bounded loop must be computable: %v", err)
+	}
+	if b.WCET < exh {
+		t.Errorf("loop bound %d below exhaustive %d: unsafe", b.WCET, exh)
+	}
+	if b.WCET > exh*3 {
+		t.Errorf("loop bound %d absurdly loose vs %d", b.WCET, exh)
+	}
+	// Whole-function measurement stays exact.
+	plan2 := partition.PartitionBound(fx.g, 1000)
+	res2, err := measure.Campaign(plan2, fx.vm, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Covered() {
+		t.Fatal("whole-function unit unobserved")
+	}
+	b2, err := Compute(res2)
+	if err != nil {
+		t.Fatalf("whole-function schema failed: %v", err)
+	}
+	if b2.WCET != exh {
+		t.Errorf("bound %d != exhaustive %d", b2.WCET, exh)
+	}
+}
+
+func TestUnboundedLoopRejected(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ /*@ range 0 3 */ int n;
+int s;
+int f(void) {
+    int i;
+    s = 0;
+    for (i = 0; i < n; i++) { s = s + i; }
+    return s;
+}`, "f")
+	plan := partition.PartitionBound(fx.g, 1)
+	envs, err := measure.EnumerateInputs([]measure.InputVar{
+		{Decl: fx.global("n"), Lo: 0, Hi: 3},
+	}, interp.Env{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := measure.Campaign(plan, fx.vm, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compute(res); err == nil {
+		t.Error("unannotated loop must be rejected")
+	}
+}
+
+func TestNestedBoundedLoops(t *testing.T) {
+	fx := setup(t, `
+/*@ input */ /*@ range 0 2 */ int n;
+int s;
+int f(void) {
+    int i, j;
+    s = 0;
+    /*@ loopbound 2 */ for (i = 0; i < n; i++) {
+        /*@ loopbound 3 */ for (j = 0; j < 3; j++) {
+            s = s + j;
+        }
+    }
+    return s;
+}`, "f")
+	envs, err := measure.EnumerateInputs([]measure.InputVar{
+		{Decl: fx.global("n"), Lo: 0, Hi: 2},
+	}, interp.Env{}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exh, err := measure.ExhaustiveMax(fx.vm, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := partition.PartitionBound(fx.g, 1)
+	res, err := measure.Campaign(plan, fx.vm, envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(res)
+	if err != nil {
+		t.Fatalf("nested bounded loops must be computable: %v", err)
+	}
+	if b.WCET < exh {
+		t.Errorf("nested loop bound %d below exhaustive %d: unsafe", b.WCET, exh)
+	}
+}

@@ -1,0 +1,237 @@
+// Package sim is the cycle-accurate virtual machine for the HCS12-flavoured
+// ISA — the measurement target standing in for the paper's evaluation
+// board. It executes a compiled image, advances a free-running cycle
+// counter by each instruction's modelled cost, and records a timestamped
+// event at every basic-block MARK, from which the measurement subsystem
+// computes program-segment execution times.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/codegen"
+	"wcet/internal/interp"
+	"wcet/internal/isa"
+)
+
+// BlockEvent is one MARK observation.
+type BlockEvent struct {
+	Block cfg.NodeID
+	// Cycle is the counter value when the block was entered.
+	Cycle int64
+}
+
+// Trace is the timing record of one run.
+type Trace struct {
+	Events []BlockEvent
+	// Total is the cycle count at HALT.
+	Total int64
+	// Ret is the function result (register 0 at HALT).
+	Ret int64
+	// Instructions counts executed instructions.
+	Instructions int64
+	// FinalMem snapshots variable memory at HALT (indexed like VarType).
+	FinalMem []int64
+}
+
+// Options bound a run.
+type Options struct {
+	// MaxInstructions aborts runaway code (default 4M).
+	MaxInstructions int64
+	// Costs overrides the default cycle model.
+	Costs *isa.CostModel
+}
+
+// ErrLimit is returned when the instruction budget is exhausted.
+var ErrLimit = errors.New("sim: instruction limit exceeded")
+
+// VM executes compiled images.
+type VM struct {
+	img   *codegen.Compiled
+	costs *isa.CostModel
+	opt   Options
+}
+
+// New builds a VM for the image.
+func New(img *codegen.Compiled, opt Options) *VM {
+	if opt.MaxInstructions == 0 {
+		opt.MaxInstructions = 4 << 20
+	}
+	costs := opt.Costs
+	if costs == nil {
+		costs = isa.DefaultCosts()
+	}
+	return &VM{img: img, costs: costs, opt: opt}
+}
+
+// Costs exposes the active cycle model.
+func (vm *VM) Costs() *isa.CostModel { return vm.costs }
+
+type frame struct {
+	retPC int
+	regs  []int64
+}
+
+// Run executes from the image start with memory initialised from env
+// (variables absent from env start at zero).
+func (vm *VM) Run(env interp.Env) (*Trace, error) {
+	mem := make([]int64, len(vm.img.VarType))
+	for d, v := range env {
+		if addr, ok := vm.img.VarAddr[d]; ok {
+			mem[addr] = interp.Truncate(v, vm.img.VarType[addr])
+		}
+	}
+	tr := &Trace{}
+	pc := 0
+	cur := &frame{regs: make([]int64, 64)}
+	var stack []*frame
+	growTo := func(f *frame, r int32) {
+		for int(r) >= len(f.regs) {
+			f.regs = append(f.regs, make([]int64, len(f.regs))...)
+		}
+	}
+	prog := vm.img.Prog
+	var cycles int64
+
+	for {
+		if pc < 0 || pc >= len(prog) {
+			return tr, fmt.Errorf("sim: pc %d out of range", pc)
+		}
+		in := prog[pc]
+		tr.Instructions++
+		if tr.Instructions > vm.opt.MaxInstructions {
+			return tr, ErrLimit
+		}
+		growTo(cur, in.A)
+		growTo(cur, in.B)
+		growTo(cur, in.C)
+		r := cur.regs
+		nextPC := pc + 1
+		cost := vm.costs.Cost(in)
+
+		switch in.Op {
+		case isa.NOP:
+		case isa.LDI:
+			r[in.A] = in.Imm
+		case isa.LD:
+			r[in.A] = mem[in.B]
+		case isa.ST:
+			r[in.B] = interp.Truncate(r[in.B], vm.img.VarType[in.A])
+			mem[in.A] = r[in.B]
+		case isa.MOV:
+			r[in.A] = r[in.B]
+		case isa.ADD:
+			r[in.A] = r[in.B] + r[in.C]
+		case isa.SUB:
+			r[in.A] = r[in.B] - r[in.C]
+		case isa.MUL:
+			r[in.A] = r[in.B] * r[in.C]
+		case isa.DIV:
+			if r[in.C] == 0 {
+				return tr, fmt.Errorf("sim: division by zero at pc %d", pc)
+			}
+			r[in.A] = r[in.B] / r[in.C]
+		case isa.MOD:
+			if r[in.C] == 0 {
+				return tr, fmt.Errorf("sim: modulo by zero at pc %d", pc)
+			}
+			r[in.A] = r[in.B] % r[in.C]
+		case isa.AND:
+			r[in.A] = r[in.B] & r[in.C]
+		case isa.OR:
+			r[in.A] = r[in.B] | r[in.C]
+		case isa.XOR:
+			r[in.A] = r[in.B] ^ r[in.C]
+		case isa.NOT:
+			r[in.A] = ^r[in.B]
+		case isa.NEG:
+			r[in.A] = -r[in.B]
+		case isa.SHL:
+			r[in.A] = r[in.B] << uint(in.C&63)
+		case isa.SHR:
+			r[in.A] = int64(uint64(r[in.B]) >> uint(in.C&63))
+		case isa.ASR:
+			r[in.A] = r[in.B] >> uint(in.C&63)
+		case isa.SEQ:
+			r[in.A] = b2i(r[in.B] == r[in.C])
+		case isa.SNE:
+			r[in.A] = b2i(r[in.B] != r[in.C])
+		case isa.SLT:
+			r[in.A] = b2i(r[in.B] < r[in.C])
+		case isa.SLE:
+			r[in.A] = b2i(r[in.B] <= r[in.C])
+		case isa.TRUNC:
+			t := ast.Type{Bits: int(in.C), Signed: in.B != 0}
+			r[in.A] = interp.Truncate(r[in.A], t)
+		case isa.BOOL:
+			r[in.A] = b2i(r[in.B] != 0)
+		case isa.JMP:
+			nextPC = int(in.A)
+		case isa.BEQZ:
+			if r[in.A] == 0 {
+				nextPC = int(in.B)
+				cost = vm.costs.BranchTaken
+			} else {
+				cost = vm.costs.BranchNotTaken
+			}
+		case isa.BNEZ:
+			if r[in.A] != 0 {
+				nextPC = int(in.B)
+				cost = vm.costs.BranchTaken
+			} else {
+				cost = vm.costs.BranchNotTaken
+			}
+		case isa.CALL:
+			if len(stack) > 256 {
+				return tr, fmt.Errorf("sim: call stack overflow")
+			}
+			stack = append(stack, cur)
+			nf := &frame{retPC: pc + 1, regs: make([]int64, 64)}
+			cur = nf
+			nextPC = int(in.A)
+		case isa.RET:
+			if len(stack) == 0 {
+				return tr, fmt.Errorf("sim: return with empty stack")
+			}
+			ret := cur.regs[vm.img.RetReg]
+			nextPC = cur.retPC
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			growTo(cur, vm.img.RetReg)
+			cur.regs[vm.img.RetReg] = ret
+		case isa.EXT:
+			// Opaque external routine: time only.
+		case isa.MARK:
+			tr.Events = append(tr.Events, BlockEvent{Block: cfg.NodeID(in.Imm), Cycle: cycles})
+		case isa.HALT:
+			cycles += cost
+			tr.Total = cycles
+			tr.Ret = cur.regs[vm.img.RetReg]
+			tr.FinalMem = append([]int64(nil), mem...)
+			return tr, nil
+		default:
+			return tr, fmt.Errorf("sim: bad opcode %v at pc %d", in.Op, pc)
+		}
+		cycles += cost
+		pc = nextPC
+	}
+}
+
+func b2i(c bool) int64 {
+	if c {
+		return 1
+	}
+	return 0
+}
+
+// BlockSequence extracts the executed block ids.
+func (t *Trace) BlockSequence() []cfg.NodeID {
+	out := make([]cfg.NodeID, len(t.Events))
+	for i, e := range t.Events {
+		out[i] = e.Block
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/codegen"
+	"wcet/internal/interp"
+)
+
+type fixture struct {
+	file *ast.File
+	fn   *ast.FuncDecl
+	g    *cfg.Graph
+	vm   *VM
+	m    *interp.Machine
+}
+
+func setup(t *testing.T, src, name string) *fixture {
+	t.Helper()
+	f, err := parser.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	fn := f.Func(name)
+	g, err := cfg.Build(fn)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	img, err := codegen.Compile(g, f)
+	if err != nil {
+		t.Fatalf("codegen: %v", err)
+	}
+	return &fixture{file: f, fn: fn, g: g, vm: New(img, Options{}), m: interp.New(f, interp.Options{})}
+}
+
+func (fx *fixture) global(name string) *ast.VarDecl {
+	for _, g := range fx.file.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+const mixedSrc = `
+int a, b;
+int f(void) {
+    int r;
+    char c;
+    r = 0;
+    c = (char)(a + 100);
+    if (a > b) { r = a - b; } else { r = b - a; }
+    switch (b & 3) {
+    case 0: r = r + c; break;
+    case 1: r = r * 2; break;
+    case 2: r = r / 2; break;
+    default: r = r % 7;
+    }
+    if (a != 0 && b != 0) { r = r ^ 5; }
+    return r;
+}`
+
+// Differential property: the VM computes the same result and visits the
+// same block sequence as the interpreter.
+func TestQuickVMMatchesInterpreter(t *testing.T) {
+	fx := setup(t, mixedSrc, "f")
+	aD, bD := fx.global("a"), fx.global("b")
+	f := func(a, b int16) bool {
+		env1 := interp.Env{aD: int64(a), bD: int64(b)}
+		env2 := interp.Env{aD: int64(a), bD: int64(b)}
+		itr, err1 := fx.m.Run(fx.g, env1)
+		str, err2 := fx.vm.Run(env2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if itr.Ret != str.Ret {
+			t.Logf("a=%d b=%d: interp=%d vm=%d", a, b, itr.Ret, str.Ret)
+			return false
+		}
+		blocks := str.BlockSequence()
+		if len(blocks) != len(itr.Blocks) {
+			return false
+		}
+		for i := range blocks {
+			if blocks[i] != itr.Blocks[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCyclesDeterministicPerInput(t *testing.T) {
+	fx := setup(t, mixedSrc, "f")
+	aD, bD := fx.global("a"), fx.global("b")
+	t1, err := fx.vm.Run(interp.Env{aD: 5, bD: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := fx.vm.Run(interp.Env{aD: 5, bD: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1.Total != t2.Total {
+		t.Errorf("same input, different cycles: %d vs %d", t1.Total, t2.Total)
+	}
+	if t1.Total <= 0 {
+		t.Error("run consumed no cycles")
+	}
+}
+
+func TestBranchAsymmetryVisible(t *testing.T) {
+	fx := setup(t, `
+int a, r;
+int f(void) {
+    if (a > 0) { r = 1; } else { r = 1; }
+    return r;
+}`, "f")
+	aD := fx.global("a")
+	tTaken, err := fx.vm.Run(interp.Env{aD: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tNot, err := fx.vm.Run(interp.Env{aD: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tTaken.Total == tNot.Total {
+		t.Error("then and else paths cost identically; branch asymmetry lost")
+	}
+}
+
+func TestSwitchCompareChainCosts(t *testing.T) {
+	fx := setup(t, `
+int s, r;
+int f(void) {
+    switch (s) {
+    case 0: r = 1; break;
+    case 1: r = 1; break;
+    case 2: r = 1; break;
+    case 3: r = 1; break;
+    }
+    return r;
+}`, "f")
+	sD := fx.global("s")
+	var prev int64 = -1
+	for v := int64(0); v <= 3; v++ {
+		tr, err := fx.vm.Run(interp.Env{sD: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && tr.Total <= prev {
+			t.Errorf("case %d not costlier than case %d (%d vs %d): compare chain broken",
+				v, v-1, tr.Total, prev)
+		}
+		prev = tr.Total
+	}
+}
+
+func TestExternalCallCost(t *testing.T) {
+	fx := setup(t, `
+int r;
+int f(void) { printf1(); r = 1; return r; }`, "f")
+	tr, err := fx.vm.Run(interp.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := setup(t, `
+int r;
+int f(void) { r = 1; return r; }`, "f")
+	tr2, err := base.vm.Run(interp.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total-tr2.Total != fx.vm.Costs().ExtDefault {
+		t.Errorf("external call cost = %d, want %d", tr.Total-tr2.Total, fx.vm.Costs().ExtDefault)
+	}
+}
+
+func TestDefinedFunctionCall(t *testing.T) {
+	fx := setup(t, `
+int add(int x, int y) { return x + y; }
+int f(void) { return add(20, 22); }`, "f")
+	tr, err := fx.vm.Run(interp.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ret != 42 {
+		t.Errorf("ret = %d, want 42", tr.Ret)
+	}
+}
+
+func TestCalleeWithControlFlow(t *testing.T) {
+	fx := setup(t, `
+int absdiff(int x, int y) {
+    if (x > y) { return x - y; }
+    return y - x;
+}
+int sum3(int n) {
+    int i, s;
+    s = 0;
+    /*@ loopbound 10 */ for (i = 0; i < n; i++) { s += i; }
+    return s;
+}
+int f(void) { return absdiff(3, 10) * 100 + sum3(4); }`, "f")
+	tr, err := fx.vm.Run(interp.Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Ret != 706 {
+		t.Errorf("ret = %d, want 706", tr.Ret)
+	}
+}
+
+func TestLoopCycleGrowth(t *testing.T) {
+	fx := setup(t, `
+int n, s;
+int f(void) {
+    int i;
+    s = 0;
+    /*@ loopbound 64 */ for (i = 0; i < n; i++) { s = s + i; }
+    return s;
+}`, "f")
+	nD := fx.global("n")
+	var prev int64
+	for n := int64(0); n <= 10; n++ {
+		tr, err := fx.vm.Run(interp.Env{nD: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 0 && tr.Total <= prev {
+			t.Errorf("n=%d: cycles %d not greater than %d", n, tr.Total, prev)
+		}
+		prev = tr.Total
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	fx := setup(t, `
+int f(void) { while (1) { } return 0; }`, "f")
+	fx.vm.opt.MaxInstructions = 1000
+	if _, err := fx.vm.Run(interp.Env{}); err != ErrLimit {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestMarksMatchBlocks(t *testing.T) {
+	fx := setup(t, mixedSrc, "f")
+	aD, bD := fx.global("a"), fx.global("b")
+	tr, err := fx.vm.Run(interp.Env{aD: 7, bD: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events must be monotone in cycle and start at the entry block.
+	if tr.Events[0].Block != fx.g.Entry {
+		t.Error("first mark is not the entry block")
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i].Cycle < tr.Events[i-1].Cycle {
+			t.Error("mark cycles not monotone")
+		}
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if last.Block != fx.g.Exit {
+		t.Error("last mark is not the exit block")
+	}
+}

@@ -1,0 +1,273 @@
+// Package testgen implements the paper's hybrid test-data generation
+// (Section 3): heuristic search first — cheap, expected to cover more than
+// 90% of the required paths — then model checking for the residue, which
+// either produces the missing data or proves the path infeasible.
+package testgen
+
+import (
+	"fmt"
+
+	"wcet/internal/c2m"
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/ga"
+	"wcet/internal/interp"
+	"wcet/internal/mc"
+	"wcet/internal/opt"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+)
+
+// Verdict classifies one target path after generation.
+type Verdict int
+
+// Verdicts.
+const (
+	// FoundByHeuristic: the genetic search produced covering test data.
+	FoundByHeuristic Verdict = iota
+	// FoundByModelChecker: the model checker produced the data.
+	FoundByModelChecker
+	// Infeasible: the model checker proved no input executes the path.
+	Infeasible
+	// Unknown: generation failed within budget without a proof (only
+	// possible when the model checker is disabled or errors out).
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case FoundByHeuristic:
+		return "heuristic"
+	case FoundByModelChecker:
+		return "model-checker"
+	case Infeasible:
+		return "infeasible"
+	}
+	return "unknown"
+}
+
+// PathResult is the outcome for one target path.
+type PathResult struct {
+	Path    paths.Path
+	Verdict Verdict
+	// Env is the covering input assignment for found paths.
+	Env interp.Env
+	// GAEvaluations and MCStats record the effort spent.
+	GAEvaluations int
+	MCStats       mc.Stats
+	// Err records a model-checker failure (Verdict == Unknown).
+	Err error
+}
+
+// Report aggregates a generation run.
+type Report struct {
+	Results []PathResult
+	// HeuristicShare is the fraction of feasible paths covered by the GA —
+	// the paper expects > 0.9 on real code.
+	HeuristicShare float64
+	TotalGAEvals   int
+	TotalMCSteps   int
+}
+
+// Config tunes the hybrid driver.
+type Config struct {
+	// GA configures the heuristic stage; GA.Seed seeds reproducibility.
+	GA ga.Config
+	// SkipGA jumps straight to the model checker (for comparison runs).
+	SkipGA bool
+	// SkipMC disables the model checker stage (heuristic-only baseline).
+	SkipMC bool
+	// Optimise runs the Section 3.2 pipeline on every path model before
+	// checking (recommended; off reproduces the naive translator).
+	Optimise bool
+	// MC bounds each model-checker run.
+	MC mc.Options
+	// Base provides values for non-input variables at function entry.
+	Base interp.Env
+}
+
+// Generator owns the analysed function.
+type Generator struct {
+	File   *ast.File
+	Fn     *ast.FuncDecl
+	G      *cfg.Graph
+	M      *interp.Machine
+	Inputs []ga.Variable
+}
+
+// New builds a generator; inputs are the function parameters plus globals
+// annotated /*@ input */.
+func New(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph) *Generator {
+	gen := &Generator{File: file, Fn: fn, G: g, M: interp.New(file, interp.Options{})}
+	for _, p := range fn.Params {
+		gen.Inputs = append(gen.Inputs, ga.DomainOf(p))
+	}
+	for _, gl := range file.Globals {
+		if gl.Input {
+			gen.Inputs = append(gen.Inputs, ga.DomainOf(gl))
+		}
+	}
+	return gen
+}
+
+// InputDecls lists the input declarations in order.
+func (gen *Generator) InputDecls() []*ast.VarDecl {
+	out := make([]*ast.VarDecl, len(gen.Inputs))
+	for i, v := range gen.Inputs {
+		out[i] = v.Decl
+	}
+	return out
+}
+
+// Generate produces test data for every target path.
+func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, error) {
+	rep := &Report{}
+
+	// Covered paths accumulate incidentally: every candidate the GA
+	// evaluates is checked against all still-open targets.
+	covered := map[string]interp.Env{}
+	open := map[string]paths.Path{}
+	for _, p := range targets {
+		open[p.Key()] = p
+	}
+
+	if !conf.SkipGA {
+		seed := conf.GA.Seed
+		for _, p := range targets {
+			if _, done := covered[p.Key()]; done {
+				continue
+			}
+			gaConf := conf.GA
+			gaConf.Seed = seed
+			seed++
+			gaConf.OnTrace = func(env interp.Env, tr *interp.Trace) {
+				for key, q := range open {
+					if _, done := covered[key]; done {
+						continue
+					}
+					if paths.Covers(gen.G, tr, q) {
+						covered[key] = env.Clone()
+					}
+				}
+			}
+			res := ga.Search(gen.G, gen.M, gen.Inputs, p, conf.Base, gaConf)
+			rep.TotalGAEvals += res.Stats.Evaluations
+			if res.Found {
+				if _, done := covered[p.Key()]; !done {
+					env := conf.Base.Clone()
+					for d, v := range res.Env {
+						env[d] = v
+					}
+					covered[p.Key()] = env
+				}
+			}
+		}
+	}
+
+	heuristicHits := 0
+	feasible := 0
+	for _, p := range targets {
+		pr := PathResult{Path: p}
+		if env, ok := covered[p.Key()]; ok {
+			pr.Verdict = FoundByHeuristic
+			pr.Env = env
+			heuristicHits++
+			feasible++
+			rep.Results = append(rep.Results, pr)
+			continue
+		}
+		if conf.SkipMC {
+			pr.Verdict = Unknown
+			rep.Results = append(rep.Results, pr)
+			continue
+		}
+		res, env, err := gen.CheckPath(p, conf)
+		if err != nil {
+			pr.Verdict = Unknown
+			pr.Err = err
+			rep.Results = append(rep.Results, pr)
+			continue
+		}
+		pr.MCStats = res.Stats
+		rep.TotalMCSteps += res.Stats.Steps
+		if res.Reachable {
+			pr.Verdict = FoundByModelChecker
+			pr.Env = env
+			feasible++
+		} else {
+			pr.Verdict = Infeasible
+		}
+		rep.Results = append(rep.Results, pr)
+	}
+	if feasible > 0 {
+		rep.HeuristicShare = float64(heuristicHits) / float64(feasible)
+	}
+	return rep, nil
+}
+
+// CheckPath runs the model checker for one path and maps the witness back
+// to an interpreter environment.
+func (gen *Generator) CheckPath(p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
+	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	model := low.Model
+	// Pin non-inputs so model semantics match the interpreter's
+	// zero-initialised locals, with base-env overrides (the paper's
+	// variable-initialisation optimisation, applied soundly).
+	for _, v := range model.Vars {
+		if v.Input {
+			continue
+		}
+		v.Init = tsys.InitConst
+		v.InitVal = 0
+		if d := low.DeclOf[v.ID]; d != nil {
+			if val, ok := conf.Base[d]; ok {
+				v.InitVal = val
+			}
+		}
+	}
+	if conf.Optimise {
+		opt.All(model)
+	}
+	res, err := mc.CheckSymbolic(model, conf.MC)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Reachable {
+		return res, nil, nil
+	}
+	env := conf.Base.Clone()
+	for id, val := range res.Witness {
+		if d := low.DeclOf[id]; d != nil {
+			env[d] = val
+		}
+	}
+	// Validate by replay: the witness must actually cover the path.
+	tr, err := gen.M.Run(gen.G, env.Clone())
+	if err != nil {
+		return nil, nil, fmt.Errorf("testgen: witness replay failed: %w", err)
+	}
+	if !paths.Covers(gen.G, tr, p) {
+		return nil, nil, fmt.Errorf("testgen: witness does not cover path %s", p.Key())
+	}
+	return res, env, nil
+}
+
+// Summary renders the report compactly.
+func (rep *Report) Summary() string {
+	byVerdict := map[Verdict]int{}
+	for _, r := range rep.Results {
+		byVerdict[r.Verdict]++
+	}
+	keys := []Verdict{FoundByHeuristic, FoundByModelChecker, Infeasible, Unknown}
+	s := ""
+	for _, k := range keys {
+		if byVerdict[k] > 0 {
+			s += fmt.Sprintf("%s:%d ", k, byVerdict[k])
+		}
+	}
+	return fmt.Sprintf("%spaths:%d heuristic-share:%.0f%% ga-evals:%d mc-steps:%d",
+		s, len(rep.Results), rep.HeuristicShare*100, rep.TotalGAEvals, rep.TotalMCSteps)
+}

@@ -1,0 +1,193 @@
+package tsys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wcet/internal/cc/token"
+)
+
+func TestTruncateBits(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bits   int
+		signed bool
+		want   int64
+	}{
+		{200, 8, true, -56},
+		{200, 8, false, 200},
+		{256, 8, false, 0},
+		{-1, 8, false, 255},
+		{-1, 8, true, -1},
+		{32768, 16, true, -32768},
+		{65535, 16, false, 65535},
+		{5, 3, false, 5},
+		{5, 3, true, -3},
+		{1, 1, false, 1},
+		{1, 1, true, -1},
+		{12345, 0, true, 12345},  // width 0: pass-through
+		{12345, 64, true, 12345}, // full width: pass-through
+	}
+	for _, c := range cases {
+		if got := TruncateBits(c.v, c.bits, c.signed); got != c.want {
+			t.Errorf("TruncateBits(%d, %d, %v) = %d, want %d", c.v, c.bits, c.signed, got, c.want)
+		}
+	}
+}
+
+func TestQuickTruncateIdempotent(t *testing.T) {
+	f := func(v int32, bits uint8, signed bool) bool {
+		b := int(bits%63) + 1
+		once := TruncateBits(int64(v), b, signed)
+		twice := TruncateBits(once, b, signed)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildExprModel() (*Model, VarID, VarID) {
+	m := &Model{Name: "t"}
+	x := m.NewVar("x", 16, true)
+	y := m.NewVar("y", 16, true)
+	return m, x.ID, y.ID
+}
+
+func TestEvalOperators(t *testing.T) {
+	m, x, y := buildExprModel()
+	vals := []int64{7, -3}
+	rx, ry := &Ref{Var: x}, &Ref{Var: y}
+	cases := []struct {
+		e    Expr
+		want int64
+	}{
+		{&Bin{Op: token.PLUS, X: rx, Y: ry}, 4},
+		{&Bin{Op: token.MINUS, X: rx, Y: ry}, 10},
+		{&Bin{Op: token.STAR, X: rx, Y: ry}, -21},
+		{&Bin{Op: token.SLASH, X: rx, Y: &Const{Val: 2}}, 3},
+		{&Bin{Op: token.PERCENT, X: rx, Y: &Const{Val: 4}}, 3},
+		{&Bin{Op: token.LT, X: rx, Y: ry}, 0},
+		{&Bin{Op: token.GE, X: rx, Y: ry}, 1},
+		{&Bin{Op: token.EQ, X: rx, Y: rx}, 1},
+		{&Bin{Op: token.LAND, X: rx, Y: ry}, 1},
+		{&Bin{Op: token.LAND, X: &Const{Val: 0}, Y: ry}, 0},
+		{&Bin{Op: token.LOR, X: &Const{Val: 0}, Y: &Const{Val: 0}}, 0},
+		{&Un{Op: token.MINUS, X: rx}, -7},
+		{&Un{Op: token.BANG, X: &Const{Val: 0}}, 1},
+		{&Un{Op: token.TILDE, X: &Const{Val: 0}}, -1},
+		{&CondE{C: rx, T: &Const{Val: 1}, F: &Const{Val: 2}}, 1},
+		{&CondE{C: &Const{Val: 0}, T: &Const{Val: 1}, F: &Const{Val: 2}}, 2},
+		{&CastE{Bits: 8, Signed: true, X: &Const{Val: 200}}, -56},
+	}
+	for i, c := range cases {
+		got, err := Eval(m, c.e, vals)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("case %d: Eval = %d, want %d (%s)", i, got, c.want, ExprString(m, c.e))
+		}
+	}
+}
+
+func TestEvalShortCircuitSkipsFaults(t *testing.T) {
+	m, x, _ := buildExprModel()
+	vals := []int64{0, 0}
+	div := &Bin{Op: token.SLASH, X: &Const{Val: 1}, Y: &Ref{Var: x}}
+	// x == 0, so 1/x faults — but && short-circuits first.
+	e := &Bin{Op: token.LAND, X: &Ref{Var: x}, Y: div}
+	got, err := Eval(m, e, vals)
+	if err != nil || got != 0 {
+		t.Errorf("short-circuit failed: %v %v", got, err)
+	}
+	if _, err := Eval(m, div, vals); err == nil {
+		t.Error("division by zero must fault when evaluated")
+	}
+}
+
+func TestSubstAndReadVars(t *testing.T) {
+	m, x, y := buildExprModel()
+	e := &Bin{Op: token.PLUS, X: &Ref{Var: x}, Y: &Bin{Op: token.STAR, X: &Ref{Var: y}, Y: &Ref{Var: x}}}
+	reads := map[VarID]bool{}
+	ReadVars(e, reads)
+	if !reads[x] || !reads[y] || len(reads) != 2 {
+		t.Errorf("reads = %v", reads)
+	}
+	repl := &Const{Val: 5}
+	sub := Subst(e, x, repl)
+	reads2 := map[VarID]bool{}
+	ReadVars(sub, reads2)
+	if reads2[x] {
+		t.Error("substitution left a read of x")
+	}
+	got, err := Eval(m, sub, []int64{0, 3})
+	if err != nil || got != 5+3*5 {
+		t.Errorf("substituted eval = %d (%v), want 20", got, err)
+	}
+	// Original untouched.
+	if r := map[VarID]bool{}; true {
+		ReadVars(e, r)
+		if !r[x] {
+			t.Error("Subst mutated the original expression")
+		}
+	}
+}
+
+func TestSize(t *testing.T) {
+	_, x, y := buildExprModel()
+	e := &Bin{Op: token.PLUS, X: &Ref{Var: x}, Y: &Bin{Op: token.STAR, X: &Ref{Var: y}, Y: &Const{Val: 2}}}
+	if got := Size(e); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+}
+
+func TestStateBitsAndLocBits(t *testing.T) {
+	m := &Model{Name: "t"}
+	m.NewVar("a", 16, true)
+	m.NewVar("b", 1, false)
+	for i := 0; i < 5; i++ {
+		m.NewLoc()
+	}
+	if got := m.LocBits(); got != 3 {
+		t.Errorf("LocBits(5) = %d, want 3", got)
+	}
+	if got := m.StateBits(); got != 16+1+3 {
+		t.Errorf("StateBits = %d, want 20", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := &Model{Name: "t"}
+	v := m.NewVar("a", 16, true)
+	l0, l1 := m.NewLoc(), m.NewLoc()
+	m.Init = l0
+	m.AddEdge(&Edge{From: l0, To: l1, Assigns: []Assign{{Var: v.ID, RHS: &Const{Val: 1}}}})
+	c := m.Clone()
+	c.Vars[0].Bits = 4
+	c.Edges[0].Assigns[0] = Assign{Var: v.ID, RHS: &Const{Val: 9}}
+	if m.Vars[0].Bits != 16 {
+		t.Error("clone shares Var structs")
+	}
+	if m.Edges[0].Assigns[0].RHS.(*Const).Val != 1 {
+		t.Error("clone shares Assign slices")
+	}
+}
+
+func TestModelString(t *testing.T) {
+	m := &Model{Name: "demo"}
+	v := m.NewVar("x", 8, true)
+	v.Input = true
+	l0, l1 := m.NewLoc(), m.NewLoc()
+	m.Init, m.Trap = l0, l1
+	m.AddEdge(&Edge{From: l0, To: l1,
+		Guard: &Bin{Op: token.GT, X: &Ref{Var: v.ID}, Y: &Const{Val: 3}}})
+	s := m.String()
+	for _, want := range []string{"MODULE demo", "VAR x", "INPUT", "L0 -> L1", "(x > 3)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("model string missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Package wcet is a hybrid measurement-based worst-case execution time
+// (WCET) analyser for a C subset, reproducing Wenzel, Rieder, Kirner and
+// Puschner, "Automatic Timing Model Generation by CFG Partitioning and
+// Model Checking" (DATE 2005).
+//
+// The analysis partitions a function's control flow graph into program
+// segments along the abstract syntax tree, generates test data that forces
+// execution of every segment path — first with a genetic algorithm, then
+// with a BDD-based model checker that also proves infeasibility — measures
+// the forced runs on a cycle-accurate HCS12-flavoured simulator, and
+// combines the per-segment maxima into a WCET bound with a timing schema.
+//
+// Quick start:
+//
+//	report, err := wcet.Analyze(src, wcet.Options{Bound: 8, Exhaustive: true})
+//	if err != nil { ... }
+//	fmt.Println(report.WCET, report.ExhaustiveWCET)
+//
+// The building blocks (partitioning sweeps, the model checker, the
+// optimisation passes, the simulator) are exposed through the internal
+// packages for the example programs and benchmarks in this repository; the
+// stable external surface is this package.
+package wcet
+
+import (
+	"wcet/internal/core"
+	"wcet/internal/ga"
+	"wcet/internal/mc"
+	"wcet/internal/testgen"
+)
+
+// Options configure an analysis; the zero value uses sensible defaults
+// (path bound 8, hybrid generation with model-checker fallback).
+type Options = core.Options
+
+// Report is the complete analysis result.
+type Report = core.Report
+
+// GAConfig tunes the heuristic test-data stage.
+type GAConfig = ga.Config
+
+// TestGenConfig tunes the hybrid test-data generator.
+type TestGenConfig = testgen.Config
+
+// MCOptions bound individual model-checker runs.
+type MCOptions = mc.Options
+
+// Verdict classifies per-path generation outcomes.
+type Verdict = testgen.Verdict
+
+// Per-path verdicts.
+const (
+	FoundByHeuristic    = testgen.FoundByHeuristic
+	FoundByModelChecker = testgen.FoundByModelChecker
+	Infeasible          = testgen.Infeasible
+	Unknown             = testgen.Unknown
+)
+
+// Analyze runs the full hybrid WCET analysis on C source text.
+func Analyze(src string, opt Options) (*Report, error) {
+	return core.Analyze(src, opt)
+}

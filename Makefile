@@ -1,0 +1,32 @@
+# Build and verification entry points. `make check` is the full gate:
+# build, vet, the test suite, and the race-detector run that guards the
+# parallel analysis engine.
+
+GO ?= go
+
+.PHONY: build test vet race check bench bench-parallel clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+# bench-parallel runs the worker-fan-out benchmarks and appends the parsed
+# results (including the speedup metric) to BENCH_1.json via cmd/benchlog.
+bench-parallel:
+	$(GO) test -run '^$$' -bench Parallel -benchtime 3x . | $(GO) run ./cmd/benchlog -out BENCH_1.json
+
+clean:
+	$(GO) clean ./...

@@ -10,7 +10,10 @@ package wcet
 // reprints the evaluation. EXPERIMENTS.md records paper-vs-measured.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"wcet/internal/cfg"
 	"wcet/internal/experiments"
@@ -217,6 +220,85 @@ func BenchmarkPartitionSweepScaling(b *testing.B) {
 			b.ReportMetric(float64(g.NumNodes()), "blocks")
 		})
 	}
+}
+
+// workerCounts is the fan-out axis of the parallel benchmarks: serial
+// baseline, two workers, and one worker per CPU (deduplicated).
+func workerCounts() []int {
+	counts := []int{1, 2}
+	if n := runtime.GOMAXPROCS(0); n > 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkHybridTestGenParallel measures the parallel analysis engine on
+// the hybrid generation pipeline: the same Table 2 workload as
+// BenchmarkHybridTestGen, fanned over 1, 2, and GOMAXPROCS workers. The
+// speedup metric is wall time at Workers=1 over wall time at Workers=w —
+// ≈1.0 on a single-CPU host, approaching w on multi-core runners. The
+// reports are identical for every worker count (see the determinism tests),
+// so the speedup is free of result drift.
+func BenchmarkHybridTestGenParallel(b *testing.B) {
+	run := func(workers int) {
+		_, err := Analyze(experiments.Table2Source, Options{
+			FuncName: "control",
+			Bound:    6,
+			Workers:  workers,
+			TestGen: testgen.Config{
+				GA:       ga.Config{Seed: 7, Pop: 48, MaxGens: 80, Stagnation: 20},
+				Optimise: true,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	baseline := serialBaseline(b, func() { run(1) })
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				run(w)
+			}
+			perOp := time.Since(start) / time.Duration(b.N)
+			b.ReportMetric(baseline.Seconds()/perOp.Seconds(), "speedup")
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the partitioning sweep (the Figure 2/3
+// series) over the worker axis on the paper-scale synthetic application.
+func BenchmarkSweepParallel(b *testing.B) {
+	run := func(workers int) {
+		_, err := experiments.Sweep(experiments.SweepConfig{
+			Seed: 42, Branches: 300, Points: 400, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	baseline := serialBaseline(b, func() { run(1) })
+	for _, w := range workerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				run(w)
+			}
+			perOp := time.Since(start) / time.Duration(b.N)
+			b.ReportMetric(baseline.Seconds()/perOp.Seconds(), "speedup")
+		})
+	}
+}
+
+// serialBaseline times one warm serial run of op — the denominator of the
+// speedup metric, measured once so every sub-benchmark shares it.
+func serialBaseline(b *testing.B, op func()) time.Duration {
+	b.Helper()
+	op() // warm-up: first run pays parser/GA cache misses
+	start := time.Now()
+	op()
+	return time.Since(start)
 }
 
 func sizeName(branches int) string {

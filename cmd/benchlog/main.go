@@ -1,0 +1,129 @@
+// Command benchlog appends the result of a `go test -bench` run to a JSON
+// benchmark log, so successive runs accumulate a machine-readable history:
+//
+//	go test -bench 'Parallel' -benchtime 3x . | go run ./cmd/benchlog -out BENCH_1.json
+//
+// Each invocation parses the benchmark lines from stdin (name, iterations,
+// ns/op, and every custom metric such as the parallel suite's speedup),
+// wraps them with the run's date, Go version, and GOMAXPROCS, and appends
+// one entry to the JSON array in -out (created when absent). Lines that are
+// not benchmark results pass through to stdout unchanged, so the tool can
+// sit at the end of a pipe without hiding the test output.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Entry is one appended run.
+type Entry struct {
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "JSON log file to append to")
+	flag.Parse()
+
+	benches, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchlog:", err)
+		os.Exit(1)
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchlog: no benchmark lines on stdin; log unchanged")
+		return
+	}
+	entry := Entry{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: benches,
+	}
+	if err := appendEntry(*out, entry); err != nil {
+		fmt.Fprintln(os.Stderr, "benchlog:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchlog: appended %d benchmarks to %s\n", len(benches), *out)
+}
+
+// parse scans stdin for benchmark result lines of the form
+//
+//	BenchmarkName-8   	      12	  98765 ns/op	  3.14 speedup	 2.0 other
+//
+// echoing every line to stdout.
+func parse(r *os.File) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			if unit == "ns/op" {
+				b.NsPerOp = v
+				continue
+			}
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// appendEntry does a read-modify-write of the JSON array in path.
+func appendEntry(path string, e Entry) error {
+	var log []Entry
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &log); err != nil {
+			return fmt.Errorf("%s exists but is not a benchlog array: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	log = append(log, e)
+	data, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -20,6 +20,7 @@ func main() {
 	bound := flag.Int64("bound", 8, "path bound b: segments with at most b paths are measured whole")
 	exhaustive := flag.Bool("exhaustive", false, "also measure every input vector end to end")
 	seed := flag.Int64("seed", 1, "seed for the genetic test-data search")
+	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial); results are identical for every value")
 	verbose := flag.Bool("v", false, "print per-path test-data verdicts")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -35,6 +36,7 @@ func main() {
 		FuncName:   *funcName,
 		Bound:      *bound,
 		Exhaustive: *exhaustive,
+		Workers:    *workers,
 		TestGen: wcet.TestGenConfig{
 			GA:       wcet.GAConfig{Seed: *seed},
 			Optimise: true,

@@ -1,7 +1,7 @@
 // Command wipersim regenerates the paper's Section 4 case study: the wiper
 // controller model, its generated code, and the WCET comparison.
 //
-//	wipersim [-src] [-dot] [-dump-inputs]
+//	wipersim [-src] [-dot] [-chart] [-workers n]
 package main
 
 import (
@@ -19,6 +19,7 @@ func main() {
 	showSrc := flag.Bool("src", false, "print the generated C source")
 	showDot := flag.Bool("dot", false, "print the CFG in DOT syntax")
 	showModel := flag.Bool("chart", false, "print the chart structure")
+	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial)")
 	flag.Parse()
 
 	if *showModel {
@@ -33,7 +34,7 @@ func main() {
 		}
 		return
 	}
-	res, err := experiments.CaseStudy()
+	res, err := experiments.CaseStudyWorkers(*workers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,11 @@
 // is an honest measure of the symbolic state-space representation size —
 // the "memory use" column of the paper's Table 2 is derived from the peak
 // node count of a run.
+//
+// A Manager is not safe for concurrent use: the unique table and operation
+// caches mutate on every operation. All state is per-Manager — the package
+// has no mutable package-level state — so concurrent model-checker runs
+// simply build one fresh Manager each, which is what mc.CheckSymbolic does.
 package bdd
 
 import (

@@ -40,6 +40,12 @@ type Options struct {
 	MaxExhaustive int
 	// Costs overrides the simulator's cycle model.
 	SimOptions sim.Options
+	// Workers bounds the fan-out of every parallel pipeline stage — GA
+	// searches, model-checker calls, measurement replays and the
+	// exhaustive sweep. 0 (the default) uses one worker per CPU,
+	// 1 reproduces the serial pipeline. Every stage merges its results
+	// deterministically, so the Report is identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +134,9 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 	gen := testgen.New(file, fn, g)
 	tgConf := opt.TestGen
 	tgConf.Optimise = true
+	if tgConf.Workers == 0 {
+		tgConf.Workers = opt.Workers
+	}
 	rep.TestGen, err = gen.Generate(targets, tgConf)
 	if err != nil {
 		return nil, err
@@ -150,7 +159,7 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 		return nil, err
 	}
 	vm := sim.New(img, opt.SimOptions)
-	rep.Measurement, err = measure.Campaign(rep.Plan, vm, envs)
+	rep.Measurement, err = measure.Campaign(rep.Plan, vm, envs, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +181,7 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 		}
 		all, err := measure.EnumerateInputs(inputs, tgConf.Base, opt.MaxExhaustive)
 		if err == nil {
-			exh, err := measure.ExhaustiveMax(vm, all)
+			exh, err := measure.ExhaustiveMax(vm, all, opt.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -109,6 +109,9 @@ type SweepConfig struct {
 	Seed     int64
 	Branches int // the paper's functions have ≈300
 	Points   int // sweep samples (log-spaced bounds)
+	// Workers parallelises the per-bound partition passes (0 = one per
+	// CPU, 1 = serial); the series is identical for every value.
+	Workers int
 }
 
 // SweepResult carries the series for both figures plus workload facts.
@@ -136,7 +139,7 @@ func Sweep(conf SweepConfig) (*SweepResult, error) {
 	}
 	bounds := partition.DefaultBounds(g, conf.Points)
 	return &SweepResult{
-		Points:    partition.Sweep(g, bounds),
+		Points:    partition.Sweep(g, bounds, conf.Workers),
 		Blocks:    g.NumNodes(),
 		Branches:  g.CondBranches(),
 		Lines:     prog.Lines,
@@ -194,14 +197,22 @@ func (c *CaseStudyResult) Overestimate() float64 {
 
 // CaseStudy runs the full pipeline on the wiper controller, partitioned so
 // that each case block is one program segment (path bound 8: every case
-// arm has at most 5 internal paths, the whole function far more).
+// arm has at most 5 internal paths, the whole function far more). It uses
+// one analysis worker per CPU; the result is worker-count independent.
 func CaseStudy() (*CaseStudyResult, error) {
+	return CaseStudyWorkers(0)
+}
+
+// CaseStudyWorkers is CaseStudy with an explicit analysis fan-out
+// (0 = one worker per CPU, 1 = serial).
+func CaseStudyWorkers(workers int) (*CaseStudyResult, error) {
 	d := model.Wiper()
 	src := d.Emit("wiper_control")
 	rep, err := core.Analyze(src, core.Options{
 		FuncName:   "wiper_control",
 		Bound:      8,
 		Exhaustive: true,
+		Workers:    workers,
 		TestGen: testgen.Config{
 			GA:       ga.Config{Seed: 2005, Pop: 48, MaxGens: 80, Stagnation: 20},
 			Optimise: true,

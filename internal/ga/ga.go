@@ -50,6 +50,12 @@ type Config struct {
 	// Seed makes runs reproducible.
 	Seed int64
 	// OnTrace observes every executed candidate (for incidental coverage).
+	// It is called synchronously from the goroutine running Search, but
+	// drivers may run several Searches concurrently: a callback shared
+	// across Search calls must either be safe for concurrent use or, like
+	// the hybrid generator, capture only per-search state. It must not
+	// influence the search — Search's result is a pure function of its
+	// arguments and Seed.
 	OnTrace func(env interp.Env, tr *interp.Trace)
 }
 

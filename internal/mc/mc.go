@@ -8,6 +8,11 @@
 // the explicit-state engine enumerates concrete states and cross-checks the
 // symbolic engine on small models. Both report the metrics of the paper's
 // Table 2: wall time, memory footprint, and steps (BFS iterations).
+//
+// The package keeps no mutable package-level state: every check builds its
+// own engine state (CheckSymbolic allocates a fresh BDD manager per call,
+// since managers are not goroutine-safe) and returns its Stats by value in
+// the Result, so independent checks may run concurrently.
 package mc
 
 import (

@@ -9,10 +9,12 @@ package measure
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
 	"wcet/internal/interp"
+	"wcet/internal/par"
 	"wcet/internal/partition"
 	"wcet/internal/sim"
 )
@@ -51,21 +53,79 @@ func (r *Result) Covered() bool {
 func (r *Result) UnitMax(i int) int64 { return r.Times[i].Max }
 
 // Campaign runs every test vector and aggregates unit times.
-func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env) (*Result, error) {
+//
+// The optional workers argument fans replays out over a bounded worker
+// pool, one simulator clone and one accumulator per worker; the final fold
+// (max per unit and path, summed samples) is order-insensitive, so the
+// Result is identical for every worker count. Omitted or 1 runs serially;
+// 0 uses one worker per CPU. On failure the error of the lowest-indexed
+// failing vector is reported when it completed before the early exit.
+func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env, workers ...int) (*Result, error) {
+	w := 1
+	if len(workers) > 0 {
+		w = par.Workers(workers[0])
+	}
+	accs := make([]*Result, w)
+	errs := make([]error, len(data))
+	var failed atomic.Bool
+	par.ForEachWorker(len(data), w, func(worker int) func(int) {
+		wvm := vm.Clone()
+		acc := newResult(plan)
+		accs[worker] = acc
+		return func(i int) {
+			if failed.Load() {
+				return
+			}
+			tr, err := wvm.Run(data[i].Clone())
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+			acc.Runs++
+			acc.Observe(tr)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("measure: run failed: %w", err)
+		}
+	}
+	res := newResult(plan)
+	for _, acc := range accs {
+		if acc != nil {
+			res.merge(acc)
+		}
+	}
+	return res, nil
+}
+
+func newResult(plan *partition.Plan) *Result {
 	res := &Result{Plan: plan}
 	res.Times = make([]UnitTime, len(plan.Units))
 	for i, u := range plan.Units {
 		res.Times[i] = UnitTime{Unit: u, Max: -1, PerPath: map[string]int64{}}
 	}
-	for _, env := range data {
-		tr, err := vm.Run(env.Clone())
-		if err != nil {
-			return nil, fmt.Errorf("measure: run failed: %w", err)
+	return res
+}
+
+// merge folds another campaign over the same plan into r. Maxima and
+// per-path maxima are commutative and associative, so merge order does not
+// affect the result.
+func (r *Result) merge(o *Result) {
+	r.Runs += o.Runs
+	for i := range r.Times {
+		a, b := &r.Times[i], &o.Times[i]
+		a.Samples += b.Samples
+		if b.Max > a.Max {
+			a.Max = b.Max
 		}
-		res.Runs++
-		res.Observe(tr)
+		for k, v := range b.PerPath {
+			if v > a.PerPath[k] {
+				a.PerPath[k] = v
+			}
+		}
 	}
-	return res, nil
 }
 
 // Observe folds one simulator trace into the aggregates.
@@ -127,16 +187,46 @@ func blockKey(id cfg.NodeID) string { return fmt.Sprintf("%d", id) }
 
 // ExhaustiveMax runs every environment and returns the maximum end-to-end
 // time — the ground truth the paper obtains from exhaustive end-to-end
-// measurement on small input spaces.
-func ExhaustiveMax(vm *sim.VM, data []interp.Env) (int64, error) {
-	var max int64 = -1
-	for _, env := range data {
-		tr, err := vm.Run(env.Clone())
+// measurement on small input spaces. The optional workers argument
+// parallelises the runs as in Campaign; max-folding makes the result
+// independent of the worker count.
+func ExhaustiveMax(vm *sim.VM, data []interp.Env, workers ...int) (int64, error) {
+	w := 1
+	if len(workers) > 0 {
+		w = par.Workers(workers[0])
+	}
+	maxes := make([]int64, w)
+	for i := range maxes {
+		maxes[i] = -1
+	}
+	errs := make([]error, len(data))
+	var failed atomic.Bool
+	par.ForEachWorker(len(data), w, func(worker int) func(int) {
+		wvm := vm.Clone()
+		return func(i int) {
+			if failed.Load() {
+				return
+			}
+			tr, err := wvm.Run(data[i].Clone())
+			if err != nil {
+				errs[i] = err
+				failed.Store(true)
+				return
+			}
+			if tr.Total > maxes[worker] {
+				maxes[worker] = tr.Total
+			}
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return 0, err
 		}
-		if tr.Total > max {
-			max = tr.Total
+	}
+	var max int64 = -1
+	for _, m := range maxes {
+		if m > max {
+			max = m
 		}
 	}
 	return max, nil

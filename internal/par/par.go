@@ -1,0 +1,79 @@
+// Package par provides the bounded worker-pool primitive behind the
+// analysis pipeline's Workers knob.
+//
+// Every parallel stage of the pipeline (GA searches, model-checker calls,
+// measurement replays, the partitioning sweep) fans out through ForEach /
+// ForEachWorker and merges its results deterministically: items are indexed,
+// workers pull indices in ascending order, and callers fold outcomes by
+// index so the observable result is independent of completion order — and
+// therefore of the worker count. Workers == 1 runs inline on the calling
+// goroutine with no goroutines spawned, reproducing the serial pipeline
+// exactly.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalises a Workers knob: n > 0 is used as given, 0 (the
+// default) means one worker per available CPU (runtime.GOMAXPROCS(0)), and
+// negative values clamp to 1.
+func Workers(n int) int {
+	switch {
+	case n > 0:
+		return n
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// ForEach runs body(i) for every i in [0, n) on at most `workers`
+// goroutines. With workers <= 1 (or n <= 1) the loop runs inline in index
+// order. Indices are handed out in ascending order in both modes; bodies
+// writing to distinct elements of a shared slice need no locking, and all
+// writes are visible to the caller when ForEach returns.
+func ForEach(n, workers int, body func(i int)) {
+	ForEachWorker(n, workers, func(int) func(int) { return body })
+}
+
+// ForEachWorker is ForEach with per-worker state: each worker goroutine
+// calls newWorker(worker) once — worker is its index in [0, workers) — and
+// feeds its indices to the returned body. Use it when the body needs a
+// resource that is cheap to duplicate but not goroutine-safe to share (an
+// interpreter machine, a simulator instance).
+func ForEachWorker(n, workers int, newWorker func(worker int) func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		body := newWorker(0)
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(worker int) {
+			defer wg.Done()
+			body := newWorker(worker)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,66 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", got)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 1000
+		hits := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSerialRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestForEachWorkerStatePerGoroutine(t *testing.T) {
+	var setups atomic.Int32
+	ForEachWorker(100, 4, func(worker int) func(int) {
+		setups.Add(1)
+		if worker < 0 || worker >= 4 {
+			t.Errorf("worker index %d out of range", worker)
+		}
+		return func(int) {}
+	})
+	if s := setups.Load(); s < 1 || s > 4 {
+		t.Errorf("newWorker called %d times, want 1..4", s)
+	}
+}
+
+func TestForEachEmptyAndClamp(t *testing.T) {
+	ForEach(0, 8, func(int) { t.Fatal("body called for n=0") })
+	// More workers than items: must not deadlock or double-visit.
+	var count atomic.Int32
+	ForEach(3, 100, func(int) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Errorf("visited %d, want 3", count.Load())
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"wcet/internal/cfg"
+	"wcet/internal/par"
 )
 
 // PS is a program segment: a single-entry subgraph of the CFG, arranged in
@@ -173,14 +174,23 @@ type Point struct {
 	M       cfg.Count
 }
 
-// Sweep evaluates the plan across the given bounds.
-func Sweep(g *cfg.Graph, bounds []cfg.Count) []Point {
-	tree := BuildTree(g)
-	out := make([]Point, 0, len(bounds))
-	for _, b := range bounds {
-		plan := Partition(g, tree, b)
-		out = append(out, Point{Bound: b, IP: plan.IP, IPFused: plan.IPFused(), M: plan.M})
+// Sweep evaluates the plan across the given bounds. Each bound's partition
+// pass is independent (the PS tree is built once and only read), so the
+// optional workers argument fans the sweep out over a worker pool; results
+// are collected indexed by bound position, making the series identical for
+// every worker count. Omitted or 1 sweeps serially; 0 uses one worker per
+// CPU.
+func Sweep(g *cfg.Graph, bounds []cfg.Count, workers ...int) []Point {
+	w := 1
+	if len(workers) > 0 {
+		w = par.Workers(workers[0])
 	}
+	tree := BuildTree(g)
+	out := make([]Point, len(bounds))
+	par.ForEach(len(bounds), w, func(i int) {
+		plan := Partition(g, tree, bounds[i])
+		out[i] = Point{Bound: bounds[i], IP: plan.IP, IPFused: plan.IPFused(), M: plan.M}
+	})
 	return out
 }
 

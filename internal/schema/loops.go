@@ -2,6 +2,7 @@ package schema
 
 import (
 	"fmt"
+	"sort"
 
 	"wcet/internal/cfg"
 	"wcet/internal/measure"
@@ -36,29 +37,59 @@ func (ug *unitGraph) addEdge(a, b int) {
 	ug.succs[a][b] = true
 }
 
-// findBackEdge returns (from, to, found) for some DFS back edge.
-func (ug *unitGraph) findBackEdge() (int, int, bool) {
+// sortedSuccs returns the alive successors of u in ascending order, so
+// graph walks do not depend on map iteration order.
+func (ug *unitGraph) sortedSuccs(u int) []int {
+	out := make([]int, 0, len(ug.succs[u]))
+	for v := range ug.succs[u] {
+		if ug.alive[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// backEdges returns every DFS back edge (from, to) in deterministic order.
+func (ug *unitGraph) backEdges() [][2]int {
 	state := map[int]int{}
-	var fu, fh int
-	found := false
+	var out [][2]int
 	var dfs func(u int)
 	dfs = func(u int) {
 		state[u] = 1
-		for v := range ug.succs[u] {
-			if found || !ug.alive[v] {
-				continue
-			}
+		for _, v := range ug.sortedSuccs(u) {
 			switch state[v] {
 			case 0:
 				dfs(v)
 			case 1:
-				fu, fh, found = u, v, true
+				out = append(out, [2]int{u, v})
 			}
 		}
 		state[u] = 2
 	}
 	dfs(ug.entry)
-	return fu, fh, found
+	return out
+}
+
+// naturalLoop returns the natural loop of back edge u → h: h, u, and every
+// node reaching u without passing h.
+func (ug *unitGraph) naturalLoop(u, h int, preds map[int][]int) map[int]bool {
+	loop := map[int]bool{h: true, u: true}
+	stack := []int{u}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if x == h {
+			continue
+		}
+		for _, p := range preds[x] {
+			if !loop[p] {
+				loop[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return loop
 }
 
 // preds computes the predecessor map over alive nodes.
@@ -84,25 +115,23 @@ func (ug *unitGraph) collapseLoops(unitBound func(int) int64) error {
 		if guard > len(ug.weight)+2 {
 			return fmt.Errorf("schema: loop collapse did not converge (irreducible flow?)")
 		}
-		u, h, found := ug.findBackEdge()
-		if !found {
+		edges := ug.backEdges()
+		if len(edges) == 0 {
 			return nil
 		}
-		// Natural loop of (u → h): nodes reaching u without passing h.
-		loop := map[int]bool{h: true, u: true}
+		// Collapse the innermost loop first: the natural loop with the
+		// fewest members (nesting implies strict containment, so an inner
+		// loop is always smaller than its enclosing one). Picking an outer
+		// loop while an inner cycle survives would make the longest-path
+		// step fail. DFS order used to decide this implicitly via map
+		// iteration, failing nondeterministically on nested loops.
 		preds := ug.preds()
-		stack := []int{u}
-		for len(stack) > 0 {
-			x := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if x == h {
-				continue
-			}
-			for _, p := range preds[x] {
-				if !loop[p] {
-					loop[p] = true
-					stack = append(stack, p)
-				}
+		u, h := edges[0][0], edges[0][1]
+		loop := ug.naturalLoop(u, h, preds)
+		for _, e := range edges[1:] {
+			cand := ug.naturalLoop(e[0], e[1], preds)
+			if len(cand) < len(loop) {
+				u, h, loop = e[0], e[1], cand
 			}
 		}
 		// Reducibility: no outside node may enter the loop except at h.

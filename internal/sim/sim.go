@@ -70,6 +70,15 @@ func New(img *codegen.Compiled, opt Options) *VM {
 // Costs exposes the active cycle model.
 func (vm *VM) Costs() *isa.CostModel { return vm.costs }
 
+// Clone returns an independent VM over the same image and cycle model.
+// A VM keeps no state across runs (memory and registers are allocated per
+// Run), but runs themselves are single-goroutine; parallel measurement
+// campaigns give each worker its own clone.
+func (vm *VM) Clone() *VM {
+	c := *vm
+	return &c
+}
+
 type frame struct {
 	retPC int
 	regs  []int64

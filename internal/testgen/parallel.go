@@ -1,0 +1,144 @@
+package testgen
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+	"sync"
+
+	"wcet/internal/interp"
+)
+
+// SeedFor derives the GA seed for one target path: a stable hash of the
+// path key mixed with the configured base seed, finished with a splitmix64
+// avalanche so adjacent keys get decorrelated streams.
+//
+// Seeds used to be allocated by a `seed++` walk over the target slice, which
+// coupled every target's search to the position — and to the coverage
+// verdicts — of all targets before it: adding, removing or reordering one
+// target silently reshuffled every later search. Deriving the seed from the
+// path key makes each search a pure function of (target, base seed), which
+// both fixes that latent bug in serial mode and is what allows searches to
+// run concurrently with byte-identical results.
+func SeedFor(base int64, pathKey string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, pathKey)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// gaOutcome is one target's finished (or skipped) GA search. A search is
+// speculative: whether it counts is decided by the board's fold, not by the
+// worker that ran it.
+type gaOutcome struct {
+	// found/env carry the search's own covering assignment (base + genes).
+	found bool
+	env   interp.Env
+	// evals is the search's fitness-evaluation count.
+	evals int
+	// cover holds the first covering assignment the search's candidate
+	// traces produced for each target key (incidental coverage).
+	cover map[string]interp.Env
+}
+
+// gaBoard folds speculative per-target GA searches into the canonical
+// serial outcome.
+//
+// The serial driver's rule is: target j's search is skipped iff some
+// earlier search that ran covers j incidentally. That rule is a chain over
+// target order, so the board replays it as a fold: outcomes are delivered
+// in any order, but decided strictly in target order (the frontier).
+// A decided search either counts — its incidental coverage and result merge
+// into the board, lowest search index winning each key — or is discarded,
+// contributing nothing, exactly as if it had never run. Workers consult the
+// board before starting a search and skip targets whose fate is already
+// sealed; everything else runs speculatively. The fold's result is a pure
+// function of the per-search outcomes, which are pure functions of
+// (target, seed) — so coverage, chosen environments and evaluation counts
+// are identical for every worker count, including 1.
+type gaBoard struct {
+	mu       sync.Mutex
+	keys     []string
+	outcomes []*gaOutcome
+	frontier int // first undecided target index
+	// counted maps covered target keys to their canonical environment.
+	counted map[string]interp.Env
+	// evals sums evaluations over counted searches only.
+	evals int
+}
+
+func newGABoard(keys []string) *gaBoard {
+	return &gaBoard{
+		keys:     keys,
+		outcomes: make([]*gaOutcome, len(keys)),
+		counted:  map[string]interp.Env{},
+	}
+}
+
+// snapshot returns the keys currently covered by decided, counted searches.
+// A running search may skip coverage checks for these: all of them carry a
+// final environment that supersedes anything the search would record.
+func (b *gaBoard) snapshot() map[string]bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]bool, len(b.counted))
+	for k := range b.counted {
+		out[k] = true
+	}
+	return out
+}
+
+// trySkip marks target i as skipped when a decided lower-index search
+// already covers it — the serial driver's incidental-coverage fast path.
+// It returns false when the search must run (possibly speculatively).
+func (b *gaBoard) trySkip(i int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.counted[b.keys[i]]; !ok {
+		return false
+	}
+	b.outcomes[i] = &gaOutcome{}
+	b.advanceLocked()
+	return true
+}
+
+// deliver hands in a finished speculative search and decides any newly
+// completable prefix.
+func (b *gaBoard) deliver(i int, o *gaOutcome) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.outcomes[i] = o
+	b.advanceLocked()
+}
+
+func (b *gaBoard) advanceLocked() {
+	for b.frontier < len(b.outcomes) && b.outcomes[b.frontier] != nil {
+		o := b.outcomes[b.frontier]
+		key := b.keys[b.frontier]
+		b.frontier++
+		if _, done := b.counted[key]; done {
+			// Skipped — or speculative work discarded because a counted
+			// earlier search covered this target first.
+			continue
+		}
+		for k, env := range o.cover {
+			if _, done := b.counted[k]; !done {
+				b.counted[k] = env
+			}
+		}
+		if o.found {
+			if _, done := b.counted[key]; !done {
+				b.counted[key] = o.env
+			}
+		}
+		b.evals += o.evals
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"wcet/internal/interp"
 	"wcet/internal/mc"
 	"wcet/internal/opt"
+	"wcet/internal/par"
 	"wcet/internal/paths"
 	"wcet/internal/tsys"
 )
@@ -72,7 +73,15 @@ type Report struct {
 // Config tunes the hybrid driver.
 type Config struct {
 	// GA configures the heuristic stage; GA.Seed seeds reproducibility.
+	// Each target's search is seeded with SeedFor(GA.Seed, path key), so
+	// per-target results do not depend on the target's slice position.
 	GA ga.Config
+	// Workers bounds the generator's fan-out: GA searches and
+	// model-checker calls run on up to Workers goroutines, each with its
+	// own interpreter machine (model-checker runs already build a fresh
+	// BDD manager per call). 0 (the default) uses one worker per CPU,
+	// 1 runs serially. The Report is identical for every value.
+	Workers int
 	// SkipGA jumps straight to the model checker (for comparison runs).
 	SkipGA bool
 	// SkipMC disables the model checker stage (heuristic-only baseline).
@@ -120,94 +129,148 @@ func (gen *Generator) InputDecls() []*ast.VarDecl {
 }
 
 // Generate produces test data for every target path.
+//
+// Both stages fan out over conf.Workers goroutines. GA searches run
+// speculatively — each on a worker-private interpreter, collecting its
+// incidental coverage locally — and a coverage board folds the outcomes in
+// target order, replaying the serial driver's skip rule (a target is
+// skipped when an earlier counted search already covers it); see gaBoard.
+// Model-checker calls on the residue are independent (one fresh BDD
+// manager per call) and merge indexed by target position. The Report is
+// therefore identical for every worker count.
 func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, error) {
+	workers := par.Workers(conf.Workers)
 	rep := &Report{}
-
-	// Covered paths accumulate incidentally: every candidate the GA
-	// evaluates is checked against all still-open targets.
-	covered := map[string]interp.Env{}
-	open := map[string]paths.Path{}
-	for _, p := range targets {
-		open[p.Key()] = p
+	n := len(targets)
+	keys := make([]string, n)
+	for i, p := range targets {
+		keys[i] = p.Key()
 	}
 
+	// Stage 1: heuristic search. Covered paths accumulate incidentally:
+	// every candidate a GA evaluates is checked against the open targets.
+	board := newGABoard(keys)
 	if !conf.SkipGA {
-		seed := conf.GA.Seed
-		for _, p := range targets {
-			if _, done := covered[p.Key()]; done {
-				continue
-			}
-			gaConf := conf.GA
-			gaConf.Seed = seed
-			seed++
-			gaConf.OnTrace = func(env interp.Env, tr *interp.Trace) {
-				for key, q := range open {
-					if _, done := covered[key]; done {
-						continue
-					}
-					if paths.Covers(gen.G, tr, q) {
-						covered[key] = env.Clone()
-					}
+		par.ForEachWorker(n, workers, func(int) func(int) {
+			m := interp.New(gen.File, gen.M.Opt)
+			return func(i int) {
+				if board.trySkip(i) {
+					return
 				}
+				gen.searchTarget(m, board, targets, i, conf)
 			}
-			res := ga.Search(gen.G, gen.M, gen.Inputs, p, conf.Base, gaConf)
-			rep.TotalGAEvals += res.Stats.Evaluations
-			if res.Found {
-				if _, done := covered[p.Key()]; !done {
-					env := conf.Base.Clone()
-					for d, v := range res.Env {
-						env[d] = v
-					}
-					covered[p.Key()] = env
-				}
-			}
-		}
+		})
 	}
+	covered := board.counted
+	rep.TotalGAEvals = board.evals
 
-	heuristicHits := 0
-	feasible := 0
-	for _, p := range targets {
-		pr := PathResult{Path: p}
-		if env, ok := covered[p.Key()]; ok {
-			pr.Verdict = FoundByHeuristic
-			pr.Env = env
-			heuristicHits++
-			feasible++
-			rep.Results = append(rep.Results, pr)
+	// Stage 2: model checking for the residue.
+	results := make([]PathResult, n)
+	var residue []int
+	for i, p := range targets {
+		results[i] = PathResult{Path: p}
+		if env, ok := covered[keys[i]]; ok {
+			results[i].Verdict = FoundByHeuristic
+			results[i].Env = env
 			continue
 		}
 		if conf.SkipMC {
-			pr.Verdict = Unknown
-			rep.Results = append(rep.Results, pr)
+			results[i].Verdict = Unknown
 			continue
 		}
-		res, env, err := gen.CheckPath(p, conf)
-		if err != nil {
-			pr.Verdict = Unknown
-			pr.Err = err
-			rep.Results = append(rep.Results, pr)
-			continue
-		}
-		pr.MCStats = res.Stats
-		rep.TotalMCSteps += res.Stats.Steps
-		if res.Reachable {
-			pr.Verdict = FoundByModelChecker
-			pr.Env = env
-			feasible++
-		} else {
-			pr.Verdict = Infeasible
-		}
-		rep.Results = append(rep.Results, pr)
+		residue = append(residue, i)
 	}
+	par.ForEachWorker(len(residue), workers, func(int) func(int) {
+		m := interp.New(gen.File, gen.M.Opt)
+		return func(k int) {
+			i := residue[k]
+			pr := &results[i]
+			res, env, err := gen.checkPath(m, targets[i], conf)
+			if err != nil {
+				pr.Verdict = Unknown
+				pr.Err = err
+				return
+			}
+			pr.MCStats = res.Stats
+			if res.Reachable {
+				pr.Verdict = FoundByModelChecker
+				pr.Env = env
+			} else {
+				pr.Verdict = Infeasible
+			}
+		}
+	})
+
+	// Deterministic merge in target order.
+	heuristicHits := 0
+	feasible := 0
+	for i := range results {
+		switch results[i].Verdict {
+		case FoundByHeuristic:
+			heuristicHits++
+			feasible++
+		case FoundByModelChecker:
+			feasible++
+		}
+		rep.TotalMCSteps += results[i].MCStats.Steps
+	}
+	rep.Results = results
 	if feasible > 0 {
 		rep.HeuristicShare = float64(heuristicHits) / float64(feasible)
 	}
 	return rep, nil
 }
 
+// searchTarget runs one speculative GA search on a worker-private machine.
+// Incidental coverage is collected into the outcome — never into shared
+// state — so the search is a pure function of (target, seed) and the board
+// can fold it deterministically.
+func (gen *Generator) searchTarget(m *interp.Machine, board *gaBoard,
+	targets []paths.Path, i int, conf Config) {
+
+	p := targets[i]
+	gaConf := conf.GA
+	gaConf.Seed = SeedFor(conf.GA.Seed, board.keys[i])
+	// Targets already covered by decided counted searches keep their board
+	// environment no matter what this search observes; skip their checks.
+	done := board.snapshot()
+	o := &gaOutcome{cover: map[string]interp.Env{}}
+	gaConf.OnTrace = func(env interp.Env, tr *interp.Trace) {
+		for j, q := range targets {
+			key := board.keys[j]
+			if done[key] {
+				continue
+			}
+			if _, ok := o.cover[key]; ok {
+				continue
+			}
+			if paths.Covers(gen.G, tr, q) {
+				o.cover[key] = env.Clone()
+			}
+		}
+	}
+	res := ga.Search(gen.G, m, gen.Inputs, p, conf.Base, gaConf)
+	o.evals = res.Stats.Evaluations
+	if res.Found {
+		env := conf.Base.Clone()
+		for d, v := range res.Env {
+			env[d] = v
+		}
+		o.found = true
+		o.env = env
+	}
+	board.deliver(i, o)
+}
+
 // CheckPath runs the model checker for one path and maps the witness back
 // to an interpreter environment.
 func (gen *Generator) CheckPath(p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
+	return gen.checkPath(gen.M, p, conf)
+}
+
+// checkPath is CheckPath with an explicit machine for the witness replay,
+// so concurrent callers can use worker-private interpreters.
+func (gen *Generator) checkPath(m *interp.Machine, p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
 	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
 	if err != nil {
 		return nil, nil, err
@@ -245,7 +308,7 @@ func (gen *Generator) CheckPath(p paths.Path, conf Config) (*mc.Result, interp.E
 		}
 	}
 	// Validate by replay: the witness must actually cover the path.
-	tr, err := gen.M.Run(gen.G, env.Clone())
+	tr, err := m.Run(gen.G, env.Clone())
 	if err != nil {
 		return nil, nil, fmt.Errorf("testgen: witness replay failed: %w", err)
 	}

@@ -16,6 +16,11 @@
 //	if err != nil { ... }
 //	fmt.Println(report.WCET, report.ExhaustiveWCET)
 //
+// The pipeline's parallel stages (GA searches, model-checker calls,
+// measurement replays) fan out over Options.Workers goroutines — one per
+// CPU by default, 1 for a serial run — and merge deterministically: the
+// Report is identical for every worker count.
+//
 // The building blocks (partitioning sweeps, the model checker, the
 // optimisation passes, the simulator) are exposed through the internal
 // packages for the example programs and benchmarks in this repository; the

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-parallel clean
+.PHONY: build test vet race check bench bench-parallel bench-bdd clean
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,14 @@ bench:
 # results (including the speedup metric) to BENCH_1.json via cmd/benchlog.
 bench-parallel:
 	$(GO) test -run '^$$' -bench Parallel -benchtime 3x . | $(GO) run ./cmd/benchlog -out BENCH_1.json
+
+# bench-bdd runs the BDD-kernel microbenchmarks plus the end-to-end hybrid
+# test-generation benchmark and appends the parsed results to BENCH_2.json;
+# the first entry in that file is the pre-rewrite map-based baseline.
+bench-bdd:
+	( $(GO) test -run '^$$' -bench BDD -benchtime 10x ./internal/bdd ; \
+	  $(GO) test -run '^$$' -bench 'HybridTestGenParallel|Table2|CaseStudy' -benchtime 3x . ) \
+	| $(GO) run ./cmd/benchlog -out BENCH_2.json
 
 clean:
 	$(GO) clean ./...

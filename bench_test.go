@@ -120,6 +120,8 @@ func BenchmarkTable2(b *testing.B) {
 	b.ReportMetric(float64(all.MemoryKB), "allopt-kb")
 	b.ReportMetric(float64(unopt.Steps), "unopt-steps")
 	b.ReportMetric(float64(all.Steps), "allopt-steps")
+	b.ReportMetric(float64(unopt.PeakNodes), "unopt-nodes")
+	b.ReportMetric(float64(all.PeakNodes), "allopt-nodes")
 	if !testing.Short() {
 		b.Logf("\n%s", experiments.RenderTable2(rows))
 	}
@@ -141,6 +143,7 @@ func BenchmarkCaseStudy(b *testing.B) {
 	b.ReportMetric(float64(res.Bound), "bound-cycles")
 	b.ReportMetric(res.Overestimate()*100, "overestimate-%")
 	b.ReportMetric(res.HeuristicShare*100, "heuristic-share-%")
+	b.ReportMetric(float64(res.Report.TestGen.PeakMCNodes), "peak-mc-nodes")
 	if !testing.Short() {
 		b.Logf("\n%s", experiments.RenderCaseStudy(res))
 	}

@@ -2,11 +2,20 @@
 // shared unique table, the symbolic kernel of the model checker that stands
 // in for SAL in this reproduction.
 //
-// References are int32 handles; 0 and 1 are the terminals. Nodes are
-// hash-consed, so structural equality is pointer equality and the node count
-// is an honest measure of the symbolic state-space representation size —
-// the "memory use" column of the paper's Table 2 is derived from the peak
-// node count of a run.
+// References are int32 handles with a complement edge in bit 0: handle
+// index<<1 denotes the function of node `index`, and index<<1|1 denotes its
+// negation, so Not is a constant-time bit flip and a function and its
+// complement share every node. There is a single terminal node (index 0);
+// True and False are its two polarities. Canonicity is kept by the "lo edge
+// never complemented" invariant: mk folds a complemented lo edge into the
+// result polarity, so structural equality remains pointer (handle) equality
+// and the node count is an honest measure of the symbolic state-space
+// representation size — the "memory use" column of the paper's Table 2 is
+// derived from the peak node count of a run.
+//
+// Hash consing and the ite/quant/perm operation caches use open-addressed
+// tables over packed integer keys (see tables.go); MemoryBytes reports the
+// exact backing-array footprint of all of them.
 //
 // A Manager is not safe for concurrent use: the unique table and operation
 // caches mutate on every operation. All state is per-Manager — the package
@@ -19,66 +28,61 @@ import (
 	"sort"
 )
 
-// Ref is a BDD handle. False and True are the terminals.
+// Ref is a BDD handle: node index in bits 1..31, complement flag in bit 0.
+// False and True are the two polarities of the terminal.
 type Ref int32
 
-// Terminal references.
+// Terminal references. Note True is the zero value: the terminal node has
+// index 0 and True is its uncomplemented handle.
 const (
-	False Ref = 0
-	True  Ref = 1
+	True  Ref = 0
+	False Ref = 1
 )
 
 const terminalLevel = int32(1 << 30)
 
+// node is one decision node: branch variable (order position) and the two
+// cofactor edges. The stored lo edge is never complemented (canonical
+// form); terminals use terminalLevel.
 type node struct {
-	level  int32 // variable index (order position); terminals use terminalLevel
+	level  int32
 	lo, hi Ref
 }
+
+// nodeBytes is the exact size of a node (three 4-byte words, no padding).
+const nodeBytes = 12
 
 // Manager owns the node table and operation caches for one variable order.
 type Manager struct {
 	nodes  []node
-	unique map[[3]int32]Ref
-	ite    map[iteKey]Ref
-	quant  map[quantKey]Ref
-	perm   map[permKey]Ref
+	unique uniqueTable
+	ite    cache
+	quant  cache
+	perm   cache
 	nvars  int
+	varRef []Ref // interned single-variable functions
 	cubes  []cube
 	perms  [][]int32
 }
 
-type iteKey struct{ f, g, h Ref }
-
-type quantKey struct {
-	f    Ref
-	cube int32
-	conj Ref // True for plain Exists; otherwise AndExists partner
-}
-
-type permKey struct {
-	f    Ref
-	perm int32
-}
-
+// cube is a registered quantification variable set.
 type cube struct {
-	levels map[int32]bool
-	min    int32
+	member []bool // indexed by level
 }
 
 // New creates a manager for n variables (order = index order).
 func New(n int) *Manager {
-	m := &Manager{
-		unique: map[[3]int32]Ref{},
-		ite:    map[iteKey]Ref{},
-		quant:  map[quantKey]Ref{},
-		perm:   map[permKey]Ref{},
-		nvars:  n,
+	m := &Manager{nvars: n}
+	m.nodes = make([]node, 1, 256)
+	m.nodes[0] = node{level: terminalLevel}
+	m.unique.init(1 << 10)
+	m.ite.init(1 << 11)
+	m.quant.init(1 << 9)
+	m.perm.init(1 << 9)
+	m.varRef = make([]Ref, n)
+	for i := 0; i < n; i++ {
+		m.varRef[i] = m.mk(int32(i), False, True)
 	}
-	// Terminals.
-	m.nodes = append(m.nodes,
-		node{level: terminalLevel},
-		node{level: terminalLevel},
-	)
 	return m
 }
 
@@ -86,31 +90,58 @@ func New(n int) *Manager {
 func (m *Manager) NumVars() int { return m.nvars }
 
 // NodeCount reports the number of live nodes ever created (the manager does
-// not garbage-collect; this is also the peak).
+// not garbage-collect; this is also the peak). With complement edges a
+// function and its negation share all their nodes, so counts are lower than
+// a two-terminal representation's — up to 2× on negation-heavy formulas
+// such as parity.
 func (m *Manager) NodeCount() int { return len(m.nodes) }
 
-// MemoryBytes estimates the memory footprint of the node table and caches.
+// MemoryBytes reports the exact memory footprint of the node array, the
+// unique table, the operation caches, and the registered cubes and
+// permutations, computed from their backing-array capacities.
 func (m *Manager) MemoryBytes() int64 {
-	const nodeSize = 12  // level + 2 refs
-	const entrySize = 24 // hash table entry estimate
-	return int64(len(m.nodes))*nodeSize +
-		int64(len(m.unique)+len(m.ite)+len(m.quant)+len(m.perm))*entrySize
+	b := int64(cap(m.nodes)) * nodeBytes
+	b += int64(len(m.unique.slots)) * 4
+	b += m.ite.memoryBytes() + m.quant.memoryBytes() + m.perm.memoryBytes()
+	b += int64(cap(m.varRef)) * 4
+	for _, c := range m.cubes {
+		b += int64(len(c.member))
+	}
+	for _, p := range m.perms {
+		b += int64(len(p)) * 4
+	}
+	return b
 }
 
-func (m *Manager) level(r Ref) int32 { return m.nodes[r].level }
+// level of the node a handle points at (complement flag ignored).
+func (m *Manager) level(r Ref) int32 { return m.nodes[r>>1].level }
 
+// mk interns the node (level, lo, hi), enforcing canonical form: equal
+// children collapse, and a complemented lo edge is folded into the result's
+// polarity so the stored lo edge is always regular.
 func (m *Manager) mk(level int32, lo, hi Ref) Ref {
 	if lo == hi {
 		return lo
 	}
-	key := [3]int32{level, int32(lo), int32(hi)}
-	if r, ok := m.unique[key]; ok {
-		return r
+	if lo&1 != 0 {
+		// ¬ite(v, ¬hi, ¬lo): flip both children, return the complement.
+		return m.mkRaw(level, lo^1, hi^1) ^ 1
 	}
-	r := Ref(len(m.nodes))
+	return m.mkRaw(level, lo, hi)
+}
+
+func (m *Manager) mkRaw(level int32, lo, hi Ref) Ref {
+	idx, slot := m.unique.lookup(m.nodes, level, lo, hi)
+	if idx != 0 {
+		return Ref(idx) << 1
+	}
+	idx = int32(len(m.nodes))
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
-	m.unique[key] = r
-	return r
+	m.unique.slots[slot] = idx
+	if uint32(len(m.nodes)) > (m.unique.mask+1)/4*3 {
+		m.unique.rehash(m.nodes)
+	}
+	return Ref(idx) << 1
 }
 
 // Var returns the BDD of variable i.
@@ -118,12 +149,12 @@ func (m *Manager) Var(i int) Ref {
 	if i < 0 || i >= m.nvars {
 		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
 	}
-	return m.mk(int32(i), False, True)
+	return m.varRef[i]
 }
 
 // NVar returns ¬variable i.
 func (m *Manager) NVar(i int) Ref {
-	return m.mk(int32(i), True, False)
+	return m.Var(i) ^ 1
 }
 
 // Lit returns variable i or its negation.
@@ -134,9 +165,24 @@ func (m *Manager) Lit(i int, positive bool) Ref {
 	return m.NVar(i)
 }
 
+// Not returns ¬f — with complement edges, a constant-time handle flip.
+func (m *Manager) Not(f Ref) Ref { return f ^ 1 }
+
 // ITE computes if-then-else(f, g, h).
 func (m *Manager) ITE(f, g, h Ref) Ref {
-	// Terminal shortcuts.
+	// Equivalent-operand rewrites: ite(f,f,h)=ite(f,1,h), ite(f,¬f,h)=
+	// ite(f,0,h), ite(f,g,f)=ite(f,g,0), ite(f,g,¬f)=ite(f,g,1).
+	if f == g {
+		g = True
+	} else if f == g^1 {
+		g = False
+	}
+	if f == h {
+		h = False
+	} else if f == h^1 {
+		h = True
+	}
+	// Terminal cases.
 	switch {
 	case f == True:
 		return g
@@ -146,9 +192,27 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 		return g
 	case g == True && h == False:
 		return f
+	case g == False && h == True:
+		return f ^ 1
 	}
-	key := iteKey{f, g, h}
-	if r, ok := m.ite[key]; ok {
+	// Canonical polarity for the cache: regular f (ite(¬f,g,h)=ite(f,h,g))
+	// and regular g (ite(f,¬g,¬h)=¬ite(f,g,h)).
+	if f&1 != 0 {
+		f ^= 1
+		g, h = h, g
+	}
+	var out Ref
+	if g&1 != 0 {
+		g ^= 1
+		h ^= 1
+		out = 1
+	}
+	return m.iteStep(f, g, h) ^ out
+}
+
+func (m *Manager) iteStep(f, g, h Ref) Ref {
+	key := uint64(uint32(f))<<32 | uint64(uint32(g))
+	if r, ok := m.ite.get(key, uint32(h)); ok {
 		return r
 	}
 	top := m.level(f)
@@ -164,20 +228,21 @@ func (m *Manager) ITE(f, g, h Ref) Ref {
 	lo := m.ITE(f0, g0, h0)
 	hi := m.ITE(f1, g1, h1)
 	r := m.mk(top, lo, hi)
-	m.ite[key] = r
+	m.ite.put(key, uint32(h), r)
 	return r
 }
 
+// cofactors returns f's children at the given level, complement flags
+// pushed down; a function above (or independent of) the level cofactors to
+// itself.
 func (m *Manager) cofactors(f Ref, level int32) (lo, hi Ref) {
-	n := m.nodes[f]
+	n := &m.nodes[f>>1]
 	if n.level != level {
 		return f, f
 	}
-	return n.lo, n.hi
+	c := f & 1
+	return n.lo ^ c, n.hi ^ c
 }
-
-// Not returns ¬f.
-func (m *Manager) Not(f Ref) Ref { return m.ITE(f, False, True) }
 
 // And returns f ∧ g.
 func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
@@ -186,10 +251,10 @@ func (m *Manager) And(f, g Ref) Ref { return m.ITE(f, g, False) }
 func (m *Manager) Or(f, g Ref) Ref { return m.ITE(f, True, g) }
 
 // Xor returns f ⊕ g.
-func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, m.Not(g), g) }
+func (m *Manager) Xor(f, g Ref) Ref { return m.ITE(f, g^1, g) }
 
 // Iff returns f ↔ g.
-func (m *Manager) Iff(f, g Ref) Ref { return m.ITE(f, g, m.Not(g)) }
+func (m *Manager) Iff(f, g Ref) Ref { return m.ITE(f, g, g^1) }
 
 // Implies returns f → g.
 func (m *Manager) Implies(f, g Ref) Ref { return m.ITE(f, g, True) }
@@ -223,15 +288,11 @@ func (m *Manager) OrN(fs ...Ref) Ref {
 
 // Cube registers a set of variables for quantification and returns its id.
 func (m *Manager) Cube(vars []int) int {
-	levels := map[int32]bool{}
-	min := terminalLevel
+	member := make([]bool, m.nvars)
 	for _, v := range vars {
-		levels[int32(v)] = true
-		if int32(v) < min {
-			min = int32(v)
-		}
+		member[v] = true
 	}
-	m.cubes = append(m.cubes, cube{levels: levels, min: min})
+	m.cubes = append(m.cubes, cube{member: member})
 	return len(m.cubes) - 1
 }
 
@@ -247,10 +308,12 @@ func (m *Manager) AndExists(f, g Ref, cubeID int) Ref {
 }
 
 func (m *Manager) andExists(f, g Ref, cubeID int) Ref {
-	if f == False || g == False {
+	if f == False || g == False || f == g^1 {
 		return False
 	}
-	cb := m.cubes[cubeID]
+	if f == g {
+		g = True
+	}
 	if f == True && g == True {
 		return True
 	}
@@ -266,14 +329,14 @@ func (m *Manager) andExists(f, g Ref, cubeID int) Ref {
 	if a > b {
 		a, b = b, a
 	}
-	key := quantKey{f: a, cube: int32(cubeID), conj: b}
-	if r, ok := m.quant[key]; ok {
+	key := uint64(uint32(a))<<32 | uint64(uint32(b))
+	if r, ok := m.quant.get(key, uint32(cubeID)); ok {
 		return r
 	}
 	f0, f1 := m.cofactors(f, top)
 	g0, g1 := m.cofactors(g, top)
 	var r Ref
-	if cb.levels[top] {
+	if m.cubes[cubeID].member[top] {
 		lo := m.andExists(f0, g0, cubeID)
 		if lo == True {
 			r = True
@@ -286,7 +349,7 @@ func (m *Manager) andExists(f, g Ref, cubeID int) Ref {
 		hi := m.andExists(f1, g1, cubeID)
 		r = m.mk(top, lo, hi)
 	}
-	m.quant[key] = r
+	m.quant.put(key, uint32(cubeID), r)
 	return r
 }
 
@@ -294,7 +357,9 @@ func (m *Manager) andExists(f, g Ref, cubeID int) Ref {
 // Variable permutation (renaming)
 
 // Permutation registers a variable renaming (old index → new index) and
-// returns its id. Unlisted variables map to themselves.
+// returns its id. Unlisted variables map to themselves. (The map range
+// below only scatters into distinct slice slots, so iteration order cannot
+// influence the registered permutation.)
 func (m *Manager) Permutation(mapping map[int]int) int {
 	perm := make([]int32, m.nvars)
 	for i := range perm {
@@ -313,21 +378,24 @@ func (m *Manager) Rename(f Ref, permID int) Ref {
 }
 
 func (m *Manager) rename(f Ref, permID int) Ref {
-	if f == True || f == False {
+	if f>>1 == 0 {
 		return f
 	}
-	key := permKey{f: f, perm: int32(permID)}
-	if r, ok := m.perm[key]; ok {
-		return r
+	// Cache on the regular handle; the complement commutes with renaming.
+	c := f & 1
+	fr := f ^ c
+	key := uint64(uint32(fr))<<32 | uint64(uint32(permID))
+	if r, ok := m.perm.get(key, 0); ok {
+		return r ^ c
 	}
-	n := m.nodes[f]
+	n := m.nodes[fr>>1]
 	lo := m.rename(n.lo, permID)
 	hi := m.rename(n.hi, permID)
 	v := m.perms[permID][n.level]
 	// Rebuild with ITE on the renamed variable to restore ordering.
 	r := m.ITE(m.Var(int(v)), hi, lo)
-	m.perm[key] = r
-	return r
+	m.perm.put(key, 0, r)
+	return r ^ c
 }
 
 // ---------------------------------------------------------------------------
@@ -344,13 +412,15 @@ func (m *Manager) SatOne(f Ref) (assign []int8, ok bool) {
 		assign[i] = -1
 	}
 	for f != True {
-		n := m.nodes[f]
-		if n.hi != False {
+		n := &m.nodes[f>>1]
+		c := f & 1
+		lo, hi := n.lo^c, n.hi^c
+		if hi != False {
 			assign[n.level] = 1
-			f = n.hi
+			f = hi
 		} else {
 			assign[n.level] = 0
-			f = n.lo
+			f = lo
 		}
 	}
 	return assign, true
@@ -358,6 +428,9 @@ func (m *Manager) SatOne(f Ref) (assign []int8, ok bool) {
 
 // SatCount returns the number of satisfying assignments over all variables.
 func (m *Manager) SatCount(f Ref) float64 {
+	if f == False {
+		return 0
+	}
 	memo := map[Ref]float64{}
 	var count func(r Ref) float64 // assignments below r's level, scaled later
 	count = func(r Ref) float64 {
@@ -370,20 +443,18 @@ func (m *Manager) SatCount(f Ref) float64 {
 		if v, ok := memo[r]; ok {
 			return v
 		}
-		n := m.nodes[r]
-		c := count(n.lo)*pow2(m.gap(n.level, n.lo)) + count(n.hi)*pow2(m.gap(n.level, n.hi))
-		memo[r] = c
-		return c
-	}
-	root := count(f)
-	if f == False {
-		return 0
+		n := &m.nodes[r>>1]
+		c := r & 1
+		lo, hi := n.lo^c, n.hi^c
+		v := count(lo)*pow2(m.gap(n.level, lo)) + count(hi)*pow2(m.gap(n.level, hi))
+		memo[r] = v
+		return v
 	}
 	top := m.level(f)
 	if top == terminalLevel {
-		top = int32(m.nvars)
+		top = int32(m.nvars) // f == True
 	}
-	return root * pow2(int(top))
+	return count(f) * pow2(int(top))
 }
 
 // gap counts the skipped variables between a node and its child.
@@ -409,11 +480,12 @@ func (m *Manager) Support(f Ref) []int {
 	vars := map[int]bool{}
 	var walk func(Ref)
 	walk = func(r Ref) {
-		if r <= True || seen[r] {
+		idx := r >> 1 // complement edges share support
+		if idx == 0 || seen[idx] {
 			return
 		}
-		seen[r] = true
-		n := m.nodes[r]
+		seen[idx] = true
+		n := &m.nodes[idx]
 		vars[int(n.level)] = true
 		walk(n.lo)
 		walk(n.hi)
@@ -429,12 +501,13 @@ func (m *Manager) Support(f Ref) []int {
 
 // Eval evaluates f under a total assignment.
 func (m *Manager) Eval(f Ref, assign []bool) bool {
-	for f != True && f != False {
-		n := m.nodes[f]
+	for f>>1 != 0 {
+		n := &m.nodes[f>>1]
+		c := f & 1
 		if assign[n.level] {
-			f = n.hi
+			f = n.hi ^ c
 		} else {
-			f = n.lo
+			f = n.lo ^ c
 		}
 	}
 	return f == True

@@ -1,0 +1,110 @@
+package bdd
+
+import "testing"
+
+// Microbenchmarks for the kernel hot paths. Each iteration builds a fresh
+// Manager so the unique-table and cache growth cost is included — that is
+// what the model checker pays, since every CheckSymbolic run starts cold.
+
+// buildParity builds the parity function of n variables — the classic
+// worst case for node count without complement edges, best case with them.
+func buildParity(m *Manager, n int) Ref {
+	f := False
+	for v := 0; v < n; v++ {
+		f = m.Xor(f, m.Var(v))
+	}
+	return f
+}
+
+func BenchmarkBDDXorChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(64)
+		if f := buildParity(m, 64); f == True || f == False {
+			b.Fatal("parity collapsed")
+		}
+	}
+}
+
+func BenchmarkBDDAndOrTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(64)
+		f := True
+		for v := 0; v+1 < 64; v += 2 {
+			f = m.And(f, m.Or(m.Var(v), m.NVar(v+1)))
+		}
+		if f == False {
+			b.Fatal("conjunction collapsed")
+		}
+	}
+}
+
+// BenchmarkBDDRelProduct mimics one symbolic image step: current-state vars
+// at even levels, next-state at odd, a bit-shift transition relation, and
+// AndExists + Rename exactly like mc's reachability loop.
+func BenchmarkBDDRelProduct(b *testing.B) {
+	const bits = 20
+	for i := 0; i < b.N; i++ {
+		m := New(2 * bits)
+		cur := func(j int) Ref { return m.Var(2 * j) }
+		next := func(j int) Ref { return m.Var(2*j + 1) }
+		trans := True
+		for j := 0; j < bits; j++ {
+			src := False
+			if j+1 < bits {
+				src = cur(j + 1)
+			}
+			trans = m.And(trans, m.Iff(next(j), src))
+		}
+		curVars := make([]int, bits)
+		mapping := map[int]int{}
+		for j := 0; j < bits; j++ {
+			curVars[j] = 2 * j
+			mapping[2*j+1] = 2 * j
+		}
+		cube := m.Cube(curVars)
+		perm := m.Permutation(mapping)
+		state := buildEvenParity(m, bits)
+		for step := 0; step < 8; step++ {
+			img := m.AndExists(state, trans, cube)
+			state = m.Or(state, m.Rename(img, perm))
+		}
+		if state == False {
+			b.Fatal("reachable set collapsed")
+		}
+	}
+}
+
+func buildEvenParity(m *Manager, bits int) Ref {
+	f := False
+	for j := 0; j < bits; j++ {
+		f = m.Xor(f, m.Var(2*j))
+	}
+	return m.Not(f)
+}
+
+// BenchmarkBDDNegationHeavy stresses Not-heavy formulas (De Morgan ladders):
+// with complement edges every Not is a bit flip; before, each was a full
+// ITE traversal.
+func BenchmarkBDDNegationHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := New(48)
+		f := m.Var(0)
+		for v := 1; v < 48; v++ {
+			f = m.Not(m.And(m.Not(f), m.Not(m.Var(v))))
+		}
+		if f == True || f == False {
+			b.Fatal("ladder collapsed")
+		}
+	}
+}
+
+func BenchmarkBDDSatCount(b *testing.B) {
+	m := New(40)
+	f := buildParity(m, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.SatCount(f); got <= 0 {
+			b.Fatal("SatCount returned", got)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential property tests: drive the complement-edge kernel and the
+// map-based reference kernel (refkernel_test.go) through the same random
+// operation tape and require identical semantics at every step — Eval must
+// agree on every assignment, SatCount and Support must match, and the
+// quantification/renaming operators must commute with the correspondence.
+
+const propVars = 8
+
+// pair tracks the same boolean function in both kernels.
+type pair struct {
+	n Ref  // new kernel
+	o rRef // reference kernel
+}
+
+// checkPair verifies the two handles denote the same function by exhaustive
+// evaluation over all 2^propVars assignments, plus SatCount and Support.
+func checkPair(t *testing.T, m *Manager, r *rManager, p pair, step int) {
+	t.Helper()
+	assign := make([]bool, propVars)
+	for bits := 0; bits < 1<<propVars; bits++ {
+		for i := range assign {
+			assign[i] = bits>>i&1 == 1
+		}
+		if got, want := m.Eval(p.n, assign), r.Eval(p.o, assign); got != want {
+			t.Fatalf("step %d: Eval(%v) = %v, reference says %v", step, assign, got, want)
+		}
+	}
+	if got, want := m.SatCount(p.n), r.SatCount(p.o); math.Abs(got-want) > 0.5 {
+		t.Fatalf("step %d: SatCount = %v, reference says %v", step, got, want)
+	}
+	gs, ws := m.Support(p.n), r.Support(p.o)
+	if len(gs) != len(ws) {
+		t.Fatalf("step %d: Support = %v, reference says %v", step, gs, ws)
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("step %d: Support = %v, reference says %v", step, gs, ws)
+		}
+	}
+}
+
+func TestKernelMatchesReferenceOnRandomFormulas(t *testing.T) {
+	rng := rand.New(rand.NewSource(423817))
+	rounds := 25
+	steps := 60
+	if testing.Short() {
+		rounds = 6
+	}
+	for round := 0; round < rounds; round++ {
+		m := New(propVars)
+		r := rNew(propVars)
+		// Shared quantification cube and a renaming that swaps the two
+		// halves of the variable order (the current/next-state pattern the
+		// model checker uses).
+		cubeVars := []int{}
+		for v := 0; v < propVars; v++ {
+			if rng.Intn(2) == 0 {
+				cubeVars = append(cubeVars, v)
+			}
+		}
+		cubeN := m.Cube(cubeVars)
+		cubeO := r.Cube(cubeVars)
+		mapping := map[int]int{}
+		for v := 0; v < propVars/2; v++ {
+			mapping[v] = v + propVars/2
+			mapping[v+propVars/2] = v
+		}
+		permN := m.Permutation(mapping)
+		permO := r.Permutation(mapping)
+
+		pool := []pair{
+			{True, rTrue},
+			{False, rFalse},
+		}
+		for v := 0; v < propVars; v++ {
+			pool = append(pool,
+				pair{m.Var(v), r.Var(v)},
+				pair{m.NVar(v), r.NVar(v)})
+		}
+		pick := func() pair { return pool[rng.Intn(len(pool))] }
+
+		for step := 0; step < steps; step++ {
+			a, b, c := pick(), pick(), pick()
+			var p pair
+			switch rng.Intn(10) {
+			case 0:
+				p = pair{m.Not(a.n), r.Not(a.o)}
+			case 1:
+				p = pair{m.And(a.n, b.n), r.And(a.o, b.o)}
+			case 2:
+				p = pair{m.Or(a.n, b.n), r.Or(a.o, b.o)}
+			case 3:
+				p = pair{m.Xor(a.n, b.n), r.Xor(a.o, b.o)}
+			case 4:
+				p = pair{m.Iff(a.n, b.n), r.Iff(a.o, b.o)}
+			case 5:
+				p = pair{m.Implies(a.n, b.n), r.Implies(a.o, b.o)}
+			case 6:
+				p = pair{m.ITE(a.n, b.n, c.n), r.ITE(a.o, b.o, c.o)}
+			case 7:
+				p = pair{m.Exists(a.n, cubeN), r.Exists(a.o, cubeO)}
+			case 8:
+				p = pair{m.AndExists(a.n, b.n, cubeN), r.AndExists(a.o, b.o, cubeO)}
+			case 9:
+				p = pair{m.Rename(a.n, permN), r.Rename(a.o, permO)}
+			}
+			checkPair(t, m, r, p, step)
+			pool = append(pool, p)
+		}
+		// Complement edges should at most match the reference node count
+		// (typically about half, since f and ¬f share all nodes).
+		if m.NodeCount() > len(r.nodes)+1 {
+			t.Errorf("round %d: new kernel has %d nodes, reference only %d — sharing lost",
+				round, m.NodeCount(), len(r.nodes))
+		}
+	}
+}
+
+// TestSatOneAgainstEval checks that every assignment SatOne produces indeed
+// satisfies the function (with don't-cares filled both ways).
+func TestSatOneAgainstEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(99173))
+	m := New(propVars)
+	pool := []Ref{True, False}
+	for v := 0; v < propVars; v++ {
+		pool = append(pool, m.Var(v), m.NVar(v))
+	}
+	for step := 0; step < 300; step++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		f := m.ITE(a, b, c)
+		pool = append(pool, f)
+		assign, ok := m.SatOne(f)
+		if !ok {
+			if f != False {
+				t.Fatalf("step %d: SatOne says unsat but f != False", step)
+			}
+			continue
+		}
+		// Fill don't-cares randomly a few times; all must satisfy f.
+		for try := 0; try < 4; try++ {
+			full := make([]bool, propVars)
+			for i, v := range assign {
+				switch v {
+				case 1:
+					full[i] = true
+				case 0:
+					full[i] = false
+				default:
+					full[i] = rng.Intn(2) == 1
+				}
+			}
+			if !m.Eval(f, full) {
+				t.Fatalf("step %d: SatOne assignment %v (filled %v) does not satisfy f",
+					step, assign, full)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Complement-edge structural invariants
+
+// TestCanonicalLoEdgesRegular walks every stored node and checks the kernel's
+// canonical-form invariant: stored lo edges are never complemented, children
+// are strictly below their parent in the order, and no duplicate triples
+// exist (hash consing is airtight).
+func TestCanonicalLoEdgesRegular(t *testing.T) {
+	m := buildBusyManager(t)
+	seen := map[[3]int32]bool{}
+	for i := 1; i < len(m.nodes); i++ {
+		n := m.nodes[i]
+		if n.lo&1 != 0 {
+			t.Errorf("node %d: stored lo edge %d is complemented", i, n.lo)
+		}
+		if n.lo == n.hi {
+			t.Errorf("node %d: redundant test (lo == hi == %d)", i, n.lo)
+		}
+		if m.level(n.lo) <= n.level || m.level(n.hi) <= n.level {
+			t.Errorf("node %d: child level not strictly below %d", i, n.level)
+		}
+		key := [3]int32{n.level, int32(n.lo), int32(n.hi)}
+		if seen[key] {
+			t.Errorf("node %d: duplicate triple %v — unique table leaked", i, key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestNotIsFree checks the headline complement-edge property: negation
+// allocates no nodes, is an involution, and Var/NVar share a node.
+func TestNotIsFree(t *testing.T) {
+	m := New(6)
+	f := m.And(m.Var(0), m.Or(m.Var(1), m.NVar(2)))
+	before := m.NodeCount()
+	g := m.Not(f)
+	if m.NodeCount() != before {
+		t.Errorf("Not allocated %d nodes; complement edges should make it free",
+			m.NodeCount()-before)
+	}
+	if m.Not(g) != f {
+		t.Error("Not is not an involution")
+	}
+	if g == f {
+		t.Error("Not returned its argument")
+	}
+	if m.Var(3)>>1 != m.NVar(3)>>1 {
+		t.Error("Var and NVar do not share their node")
+	}
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Error("terminal complements wrong")
+	}
+}
+
+// TestMemoryBytesExact recomputes the footprint from first principles and
+// requires MemoryBytes to match exactly (it is no longer an estimate).
+func TestMemoryBytesExact(t *testing.T) {
+	m := buildBusyManager(t)
+	want := int64(cap(m.nodes))*nodeBytes +
+		int64(len(m.unique.slots))*4 +
+		int64(len(m.ite.entries))*16 +
+		int64(len(m.quant.entries))*16 +
+		int64(len(m.perm.entries))*16 +
+		int64(cap(m.varRef))*4
+	for _, c := range m.cubes {
+		want += int64(len(c.member))
+	}
+	for _, p := range m.perms {
+		want += int64(len(p)) * 4
+	}
+	if got := m.MemoryBytes(); got != want {
+		t.Errorf("MemoryBytes = %d, recomputed %d", got, want)
+	}
+	if m.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes must be positive")
+	}
+}
+
+// buildBusyManager exercises every operator enough to populate all tables
+// past their initial capacities.
+func buildBusyManager(t *testing.T) *Manager {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	m := New(12)
+	cube := m.Cube([]int{0, 2, 4, 6, 8, 10})
+	perm := m.Permutation(map[int]int{0: 1, 1: 0, 4: 5, 5: 4})
+	pool := []Ref{True, False}
+	for v := 0; v < 12; v++ {
+		pool = append(pool, m.Var(v), m.NVar(v))
+	}
+	for i := 0; i < 400; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		f := m.ITE(a, b, c)
+		if i%5 == 0 {
+			f = m.AndExists(f, b, cube)
+		}
+		if i%7 == 0 {
+			f = m.Rename(f, perm)
+		}
+		pool = append(pool, f)
+	}
+	return m
+}

@@ -1,0 +1,291 @@
+package bdd
+
+// Reference kernel for differential testing: a direct copy of the previous
+// map-based, two-terminal implementation (no complement edges, Go-map unique
+// table and caches). It is deliberately slow and simple — its only job is to
+// be an independent oracle for the randomized equivalence tests in
+// prop_test.go: both kernels build the same formulas and must agree on Eval
+// over every assignment, on SatCount, and through AndExists/Rename.
+
+import (
+	"fmt"
+	"sort"
+)
+
+type rRef int32
+
+const (
+	rFalse rRef = 0
+	rTrue  rRef = 1
+)
+
+type rNode struct {
+	level  int32
+	lo, hi rRef
+}
+
+type rManager struct {
+	nodes  []rNode
+	unique map[[3]int32]rRef
+	ite    map[[3]rRef]rRef
+	quant  map[rQuantKey]rRef
+	perm   map[rPermKey]rRef
+	nvars  int
+	cubes  []rCube
+	perms  [][]int32
+}
+
+type rQuantKey struct {
+	f    rRef
+	cube int32
+	conj rRef
+}
+
+type rPermKey struct {
+	f    rRef
+	perm int32
+}
+
+type rCube struct {
+	levels map[int32]bool
+}
+
+func rNew(n int) *rManager {
+	m := &rManager{
+		unique: map[[3]int32]rRef{},
+		ite:    map[[3]rRef]rRef{},
+		quant:  map[rQuantKey]rRef{},
+		perm:   map[rPermKey]rRef{},
+		nvars:  n,
+	}
+	m.nodes = append(m.nodes,
+		rNode{level: terminalLevel},
+		rNode{level: terminalLevel},
+	)
+	return m
+}
+
+func (m *rManager) rlevel(r rRef) int32 { return m.nodes[r].level }
+
+func (m *rManager) mk(level int32, lo, hi rRef) rRef {
+	if lo == hi {
+		return lo
+	}
+	key := [3]int32{level, int32(lo), int32(hi)}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	r := rRef(len(m.nodes))
+	m.nodes = append(m.nodes, rNode{level: level, lo: lo, hi: hi})
+	m.unique[key] = r
+	return r
+}
+
+func (m *rManager) Var(i int) rRef {
+	if i < 0 || i >= m.nvars {
+		panic(fmt.Sprintf("refbdd: variable %d out of range", i))
+	}
+	return m.mk(int32(i), rFalse, rTrue)
+}
+
+func (m *rManager) NVar(i int) rRef { return m.mk(int32(i), rTrue, rFalse) }
+
+func (m *rManager) ITE(f, g, h rRef) rRef {
+	switch {
+	case f == rTrue:
+		return g
+	case f == rFalse:
+		return h
+	case g == h:
+		return g
+	case g == rTrue && h == rFalse:
+		return f
+	}
+	key := [3]rRef{f, g, h}
+	if r, ok := m.ite[key]; ok {
+		return r
+	}
+	top := m.rlevel(f)
+	if l := m.rlevel(g); l < top {
+		top = l
+	}
+	if l := m.rlevel(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cof(f, top)
+	g0, g1 := m.cof(g, top)
+	h0, h1 := m.cof(h, top)
+	r := m.mk(top, m.ITE(f0, g0, h0), m.ITE(f1, g1, h1))
+	m.ite[key] = r
+	return r
+}
+
+func (m *rManager) cof(f rRef, level int32) (lo, hi rRef) {
+	n := m.nodes[f]
+	if n.level != level {
+		return f, f
+	}
+	return n.lo, n.hi
+}
+
+func (m *rManager) Not(f rRef) rRef      { return m.ITE(f, rFalse, rTrue) }
+func (m *rManager) And(f, g rRef) rRef   { return m.ITE(f, g, rFalse) }
+func (m *rManager) Or(f, g rRef) rRef    { return m.ITE(f, rTrue, g) }
+func (m *rManager) Xor(f, g rRef) rRef   { return m.ITE(f, m.Not(g), g) }
+func (m *rManager) Iff(f, g rRef) rRef   { return m.ITE(f, g, m.Not(g)) }
+func (m *rManager) Implies(f, g rRef) rRef { return m.ITE(f, g, rTrue) }
+
+func (m *rManager) Cube(vars []int) int {
+	levels := map[int32]bool{}
+	for _, v := range vars {
+		levels[int32(v)] = true
+	}
+	m.cubes = append(m.cubes, rCube{levels: levels})
+	return len(m.cubes) - 1
+}
+
+func (m *rManager) Exists(f rRef, cubeID int) rRef {
+	return m.andExists(f, rTrue, cubeID)
+}
+
+func (m *rManager) AndExists(f, g rRef, cubeID int) rRef {
+	return m.andExists(f, g, cubeID)
+}
+
+func (m *rManager) andExists(f, g rRef, cubeID int) rRef {
+	if f == rFalse || g == rFalse {
+		return rFalse
+	}
+	if f == rTrue && g == rTrue {
+		return rTrue
+	}
+	top := m.rlevel(f)
+	if l := m.rlevel(g); l < top {
+		top = l
+	}
+	if top == terminalLevel {
+		return m.And(f, g)
+	}
+	a, b := f, g
+	if a > b {
+		a, b = b, a
+	}
+	key := rQuantKey{f: a, cube: int32(cubeID), conj: b}
+	if r, ok := m.quant[key]; ok {
+		return r
+	}
+	f0, f1 := m.cof(f, top)
+	g0, g1 := m.cof(g, top)
+	var r rRef
+	if m.cubes[cubeID].levels[top] {
+		lo := m.andExists(f0, g0, cubeID)
+		if lo == rTrue {
+			r = rTrue
+		} else {
+			r = m.Or(lo, m.andExists(f1, g1, cubeID))
+		}
+	} else {
+		r = m.mk(top, m.andExists(f0, g0, cubeID), m.andExists(f1, g1, cubeID))
+	}
+	m.quant[key] = r
+	return r
+}
+
+func (m *rManager) Permutation(mapping map[int]int) int {
+	perm := make([]int32, m.nvars)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for from, to := range mapping {
+		perm[from] = int32(to)
+	}
+	m.perms = append(m.perms, perm)
+	return len(m.perms) - 1
+}
+
+func (m *rManager) Rename(f rRef, permID int) rRef {
+	if f == rTrue || f == rFalse {
+		return f
+	}
+	key := rPermKey{f: f, perm: int32(permID)}
+	if r, ok := m.perm[key]; ok {
+		return r
+	}
+	n := m.nodes[f]
+	lo := m.Rename(n.lo, permID)
+	hi := m.Rename(n.hi, permID)
+	r := m.ITE(m.Var(int(m.perms[permID][n.level])), hi, lo)
+	m.perm[key] = r
+	return r
+}
+
+func (m *rManager) SatCount(f rRef) float64 {
+	if f == rFalse {
+		return 0
+	}
+	memo := map[rRef]float64{}
+	var count func(r rRef) float64
+	count = func(r rRef) float64 {
+		if r == rFalse {
+			return 0
+		}
+		if r == rTrue {
+			return 1
+		}
+		if v, ok := memo[r]; ok {
+			return v
+		}
+		n := m.nodes[r]
+		c := count(n.lo)*pow2(m.rgap(n.level, n.lo)) + count(n.hi)*pow2(m.rgap(n.level, n.hi))
+		memo[r] = c
+		return c
+	}
+	top := m.rlevel(f)
+	if top == terminalLevel {
+		top = int32(m.nvars)
+	}
+	return count(f) * pow2(int(top))
+}
+
+func (m *rManager) rgap(level int32, child rRef) int {
+	cl := m.rlevel(child)
+	if cl == terminalLevel {
+		cl = int32(m.nvars)
+	}
+	return int(cl - level - 1)
+}
+
+func (m *rManager) Support(f rRef) []int {
+	seen := map[rRef]bool{}
+	vars := map[int]bool{}
+	var walk func(rRef)
+	walk = func(r rRef) {
+		if r <= rTrue || seen[r] {
+			return
+		}
+		seen[r] = true
+		n := m.nodes[r]
+		vars[int(n.level)] = true
+		walk(n.lo)
+		walk(n.hi)
+	}
+	walk(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (m *rManager) Eval(f rRef, assign []bool) bool {
+	for f != rTrue && f != rFalse {
+		n := m.nodes[f]
+		if assign[n.level] {
+			f = n.hi
+		} else {
+			f = n.lo
+		}
+	}
+	return f == rTrue
+}

@@ -1,0 +1,159 @@
+package bdd
+
+// Open-addressed hash tables of the kernel. Two shapes:
+//
+//   - uniqueTable backs hash consing. Slots hold node indices into the
+//     manager's node array (0 — the terminal — doubles as "empty"), so the
+//     table costs 4 bytes per slot and the key (level, lo, hi) lives only
+//     once, in the node array itself.
+//   - cache backs the ite/quant/perm operation caches: packed uint64 key
+//     plus a 32-bit auxiliary, linear probing, 16 bytes per slot.
+//
+// Both use power-of-two capacities with a 3/4 load-factor rehash. Tables
+// are per-Manager and single-threaded (each parallel model-checker worker
+// builds a fresh Manager), so there is no locking anywhere.
+
+// refNone marks an empty cache slot; it is not a valid Ref.
+const refNone = Ref(-1)
+
+// hash3 mixes a (level, lo, hi) node triple.
+func hash3(level int32, lo, hi Ref) uint32 {
+	h := uint64(uint32(level))<<32 | uint64(uint32(lo))
+	h *= 0x9E3779B97F4A7C15
+	h ^= uint64(uint32(hi)) * 0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	h *= 0x94D049BB133111EB
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// mix hashes a packed cache key.
+func mix(key uint64, aux uint32) uint32 {
+	h := key * 0x9E3779B97F4A7C15
+	h ^= uint64(aux) * 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	h *= 0x94D049BB133111EB
+	h ^= h >> 29
+	return uint32(h)
+}
+
+// uniqueTable is the hash-consing index over the manager's node array.
+type uniqueTable struct {
+	slots []int32 // node index; 0 = empty (the terminal is never interned)
+	mask  uint32
+}
+
+func (t *uniqueTable) init(capacity int) {
+	t.slots = make([]int32, capacity)
+	t.mask = uint32(capacity - 1)
+}
+
+// lookup finds the node with the given triple, or the slot to insert at.
+// The caller appends the node and stores its index via commit.
+func (t *uniqueTable) lookup(nodes []node, level int32, lo, hi Ref) (idx int32, slot uint32) {
+	h := hash3(level, lo, hi) & t.mask
+	for {
+		s := t.slots[h]
+		if s == 0 {
+			return 0, h
+		}
+		n := &nodes[s]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return s, h
+		}
+		h = (h + 1) & t.mask
+	}
+}
+
+// rehash rebuilds the table at double capacity from the node array.
+func (t *uniqueTable) rehash(nodes []node) {
+	t.init(2 * len(t.slots))
+	for i := 1; i < len(nodes); i++ {
+		n := &nodes[i]
+		h := hash3(n.level, n.lo, n.hi) & t.mask
+		for t.slots[h] != 0 {
+			h = (h + 1) & t.mask
+		}
+		t.slots[h] = int32(i)
+	}
+}
+
+// centry is one operation-cache slot: a packed 64-bit key, a 32-bit
+// auxiliary key component, and the cached result.
+type centry struct {
+	key uint64
+	aux uint32
+	val Ref
+}
+
+// cache is an open-addressed operation cache (exact, growing — results are
+// never evicted, so repeated subproblems always hit).
+type cache struct {
+	entries []centry
+	mask    uint32
+	used    int
+}
+
+func (c *cache) init(capacity int) {
+	c.entries = make([]centry, capacity)
+	for i := range c.entries {
+		c.entries[i].val = refNone
+	}
+	c.mask = uint32(capacity - 1)
+	c.used = 0
+}
+
+func (c *cache) get(key uint64, aux uint32) (Ref, bool) {
+	h := mix(key, aux) & c.mask
+	for {
+		e := &c.entries[h]
+		if e.val == refNone {
+			return 0, false
+		}
+		if e.key == key && e.aux == aux {
+			return e.val, true
+		}
+		h = (h + 1) & c.mask
+	}
+}
+
+func (c *cache) put(key uint64, aux uint32, val Ref) {
+	if uint32(c.used+1) > (c.mask+1)/4*3 {
+		c.grow()
+	}
+	h := mix(key, aux) & c.mask
+	for {
+		e := &c.entries[h]
+		if e.val == refNone {
+			*e = centry{key: key, aux: aux, val: val}
+			c.used++
+			return
+		}
+		if e.key == key && e.aux == aux {
+			e.val = val
+			return
+		}
+		h = (h + 1) & c.mask
+	}
+}
+
+func (c *cache) grow() {
+	old := c.entries
+	c.init(2 * len(old))
+	for _, e := range old {
+		if e.val == refNone {
+			continue
+		}
+		h := mix(e.key, e.aux) & c.mask
+		for c.entries[h].val != refNone {
+			h = (h + 1) & c.mask
+		}
+		c.entries[h] = e
+		c.used++
+	}
+}
+
+// memoryBytes is the exact backing-array footprint (16 bytes per slot).
+func (c *cache) memoryBytes() int64 {
+	return int64(len(c.entries)) * 16
+}

@@ -53,17 +53,19 @@ type Result struct {
 // Options bound a run.
 type Options struct {
 	// MaxSteps aborts the search after this many frontier expansions
-	// (default 10000).
+	// (default 10000). Zero or negative selects the default: a negative
+	// bound would otherwise disable the abort check entirely.
 	MaxSteps int
 	// MaxStates bounds the explicit engine's visited set (default 2_000_000).
+	// Zero or negative selects the default.
 	MaxStates int
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxSteps == 0 {
+	if o.MaxSteps <= 0 {
 		o.MaxSteps = 10000
 	}
-	if o.MaxStates == 0 {
+	if o.MaxStates <= 0 {
 		o.MaxStates = 2_000_000
 	}
 	return o

@@ -1,0 +1,50 @@
+package mc
+
+import "testing"
+
+// TestOptionsWithDefaults pins the clamping behaviour: zero means "use the
+// default", and negative bounds — which would silently disable the search
+// limits — are clamped to the defaults too.
+func TestOptionsWithDefaults(t *testing.T) {
+	cases := []struct {
+		name          string
+		in            Options
+		wantSteps     int
+		wantMaxStates int
+	}{
+		{"zero-values", Options{}, 10000, 2_000_000},
+		{"negative-steps", Options{MaxSteps: -1}, 10000, 2_000_000},
+		{"negative-states", Options{MaxStates: -7}, 10000, 2_000_000},
+		{"both-negative", Options{MaxSteps: -100, MaxStates: -100}, 10000, 2_000_000},
+		{"explicit-kept", Options{MaxSteps: 5, MaxStates: 99}, 5, 99},
+		{"mixed", Options{MaxSteps: -3, MaxStates: 17}, 10000, 17},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.in.withDefaults()
+			if got.MaxSteps != tc.wantSteps {
+				t.Errorf("MaxSteps = %d, want %d", got.MaxSteps, tc.wantSteps)
+			}
+			if got.MaxStates != tc.wantMaxStates {
+				t.Errorf("MaxStates = %d, want %d", got.MaxStates, tc.wantMaxStates)
+			}
+		})
+	}
+}
+
+// TestNegativeMaxStepsStillBounds is the end-to-end symptom of the bug: a
+// negative MaxSteps used to make `Steps < opt.MaxSteps` false-forever
+// impossible (the loop never aborts on an infinite frontier) — after
+// clamping, a negative bound behaves like the default and terminates.
+func TestNegativeMaxStepsStillBounds(t *testing.T) {
+	res, err := CheckSymbolic(counterModel(), Options{MaxSteps: -5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reachable {
+		t.Error("trap must still be reachable with a clamped bound")
+	}
+	if res.Stats.Steps > 10000 {
+		t.Errorf("steps %d exceed the clamped default bound", res.Stats.Steps)
+	}
+}

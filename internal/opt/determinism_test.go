@@ -1,0 +1,153 @@
+package opt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cc/token"
+	"wcet/internal/cfg"
+	"wcet/internal/model"
+	"wcet/internal/paths"
+	"wcet/internal/tsys"
+
+	"wcet/internal/c2m"
+)
+
+// chainedTempModel builds the regression scenario for the ReverseCSE
+// ordering bug: two live temporaries whose definitions interact. t1's
+// definition is a wide expression over the input a; t2's definition reads
+// t1 (and absorbs it at its defining edge); a later use reads both. Whether
+// the use ends up with t1's or t2's definition inlined depends on which is
+// substituted first — both fit alone, but not together, under
+// maxInlineSize — so iterating the availability map in hash order leaked
+// map randomisation into the optimised model.
+func chainedTempModel() *tsys.Model {
+	m := &tsys.Model{Name: "chained"}
+	a := m.NewVar("a", 8, false)
+	a.Input = true
+	t1 := m.NewVar("t1", 8, false)
+	t2 := m.NewVar("t2", 8, false)
+	x := m.NewVar("x", 8, false)
+
+	l0, l1, l2, l3, l4 := m.NewLoc(), m.NewLoc(), m.NewLoc(), m.NewLoc(), m.NewLoc()
+	m.Init = l0
+	m.Trap = l4
+
+	ra := func() tsys.Expr { return &tsys.Ref{Var: a.ID} }
+	// t1 = a+a+a+a+a+a+a — size 13, inlinable alone but not alongside
+	// another definition of similar size (maxInlineSize is 24).
+	wide := ra()
+	for i := 0; i < 6; i++ {
+		wide = &tsys.Bin{Op: token.PLUS, X: wide, Y: ra()}
+	}
+	m.AddEdge(&tsys.Edge{From: l0, To: l1, Chain: 1,
+		Assigns: []tsys.Assign{{Var: t1.ID, RHS: wide}}})
+	// t2 = t1 + 1 — reads t1, so the chained definition grows to size 15
+	// when t1 is inlined at this edge.
+	m.AddEdge(&tsys.Edge{From: l1, To: l2, Chain: 1,
+		Assigns: []tsys.Assign{{Var: t2.ID,
+			RHS: &tsys.Bin{Op: token.PLUS, X: &tsys.Ref{Var: t1.ID}, Y: &tsys.Const{Val: 1}}}}})
+	// x = t1 + t2 — both definitions are available; only one fits.
+	m.AddEdge(&tsys.Edge{From: l2, To: l3, Chain: 1,
+		Assigns: []tsys.Assign{{Var: x.ID,
+			RHS: &tsys.Bin{Op: token.PLUS, X: &tsys.Ref{Var: t1.ID}, Y: &tsys.Ref{Var: t2.ID}}}}})
+	// Keep x observable so the dead-definition sweep cannot erase the
+	// difference.
+	m.AddEdge(&tsys.Edge{From: l3, To: l4, Chain: 1,
+		Guard: &tsys.Bin{Op: token.GT, X: &tsys.Ref{Var: x.ID}, Y: &tsys.Const{Val: 0}}})
+	return m
+}
+
+// TestReverseCSEDeterministic pins the fix: the pass must substitute
+// available definitions in ascending VarID order, giving byte-identical
+// models on every run. Run with -count=20 to stress map-order randomisation.
+func TestReverseCSEDeterministic(t *testing.T) {
+	first := ""
+	for i := 0; i < 30; i++ {
+		m := chainedTempModel()
+		ReverseCSE(m)
+		s := m.String()
+		if i == 0 {
+			first = s
+			continue
+		}
+		if s != first {
+			t.Fatalf("run %d produced a different model:\n--- run 0 ---\n%s\n--- run %d ---\n%s",
+				i, first, i, s)
+		}
+	}
+	// The canonical order substitutes t1 (lower VarID) first, so the use
+	// site must carry t1's widened definition and keep reading t2.
+	if !strings.Contains(first, "t2") {
+		t.Errorf("canonical result should still read t2:\n%s", first)
+	}
+}
+
+// TestReverseCSEStatsDeterministic pins the PassStats detail string, which
+// also depended on substitution order through the inlined-read counter.
+func TestReverseCSEStatsDeterministic(t *testing.T) {
+	first := ""
+	for i := 0; i < 20; i++ {
+		ps := ReverseCSE(chainedTempModel())
+		if i == 0 {
+			first = ps.Detail
+			continue
+		}
+		if ps.Detail != first {
+			t.Fatalf("run %d stats %q differ from run 0 stats %q", i, ps.Detail, first)
+		}
+	}
+}
+
+// TestPipelineDeterministicOnWiper mirrors PR 1's determinism tests at the
+// opt layer: the full six-pass pipeline over paths of the wiper-controller
+// model must produce deep-equal transition systems on every run.
+func TestPipelineDeterministicOnWiper(t *testing.T) {
+	src := model.Wiper().Emit("wiper_control")
+	f, err := parser.ParseFile("wiper.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(f.Func("wiper_control"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := paths.Enumerate(cfg.WholeFunction(g), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) > 4 {
+		ps = ps[:4]
+	}
+	const runs = 6
+	for pi, p := range ps {
+		var ref *tsys.Model
+		var refStats []PassStats
+		for run := 0; run < runs; run++ {
+			low, err := c2m.LowerPath(g, c2m.Options{NaiveWidths: true}, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats := All(low.Model)
+			if run == 0 {
+				ref = low.Model
+				refStats = stats
+				continue
+			}
+			if !reflect.DeepEqual(low.Model, ref) {
+				t.Fatalf("path %d: optimised model differs between run 0 and run %d:\n%s\nvs\n%s",
+					pi, run, ref, low.Model)
+			}
+			if !reflect.DeepEqual(stats, refStats) {
+				t.Fatalf("path %d: pass stats differ between run 0 and run %d: %v vs %v",
+					pi, run, stats, refStats)
+			}
+		}
+	}
+}

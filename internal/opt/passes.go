@@ -27,8 +27,13 @@ func ReverseCSE(m *tsys.Model) PassStats {
 		for _, chain := range chains(m) {
 			avail := map[tsys.VarID]tsys.Expr{} // candidate definitions in flight
 			for _, e := range chain {
-				// Substitute into guard and RHSs.
-				for v, def := range avail {
+				// Substitute into guard and RHSs, in ascending VarID order:
+				// when two in-flight definitions interact (t2's definition
+				// reads t1), the substitution result depends on which is
+				// inlined first, so map-iteration order would leak into the
+				// rewritten model and the Table 2 numbers.
+				for _, v := range sortedVarIDs(avail) {
+					def := avail[v]
 					if e.Guard != nil {
 						if g := tsys.Subst(e.Guard, v, def); g != e.Guard && tsys.Size(g) <= maxInlineSize {
 							e.Guard = g
@@ -44,6 +49,9 @@ func ReverseCSE(m *tsys.Model) PassStats {
 					}
 				}
 				// Kill definitions whose operands (or themselves) are written.
+				// Each kill decision only reads `written` and the definition
+				// itself, so the iteration order over `avail` cannot change
+				// the surviving set.
 				written := map[tsys.VarID]bool{}
 				for _, a := range e.Assigns {
 					written[a.Var] = true
@@ -87,6 +95,17 @@ func ReverseCSE(m *tsys.Model) PassStats {
 		removed := removeDeadDefs(m)
 		return fmt.Sprintf("inlined %d reads, removed %d temporaries", inlined, removed)
 	})
+}
+
+// sortedVarIDs returns the keys of an availability map in ascending order,
+// pinning every substitution sequence to one canonical order.
+func sortedVarIDs(avail map[tsys.VarID]tsys.Expr) []tsys.VarID {
+	ids := make([]tsys.VarID, 0, len(avail))
+	for v := range avail {
+		ids = append(ids, v)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // chains groups edges by chain id, preserving model order.
@@ -299,6 +318,9 @@ func liveness(m *tsys.Model) map[tsys.Loc]map[tsys.VarID]bool {
 				tsys.ReadVars(a.RHS, in)
 				defs[a.Var] = true
 			}
+			// Both map ranges below only build set unions (insert-only, no
+			// value depends on visit order), so the fixpoint — and with it
+			// the rewritten model — is order-independent.
 			for v := range get(e.To) {
 				if !defs[v] {
 					in[v] = true
@@ -378,6 +400,8 @@ func independent(a, b *tsys.Edge) bool {
 		wb[bs.Var] = true
 		tsys.ReadVars(bs.RHS, rb)
 	}
+	// Order-independent: each range computes a pure any-of predicate over
+	// the read/write sets, so no iteration order reaches the verdict.
 	for v := range wa {
 		if rb[v] || wb[v] {
 			return false

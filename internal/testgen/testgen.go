@@ -68,6 +68,10 @@ type Report struct {
 	HeuristicShare float64
 	TotalGAEvals   int
 	TotalMCSteps   int
+	// PeakMCNodes is the largest BDD node count any single model-checker
+	// call reached (each call owns a fresh manager, so the per-call peaks
+	// are independent and their max is worker-count invariant).
+	PeakMCNodes int
 }
 
 // Config tunes the hybrid driver.
@@ -213,6 +217,9 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 			feasible++
 		}
 		rep.TotalMCSteps += results[i].MCStats.Steps
+		if results[i].MCStats.PeakNodes > rep.PeakMCNodes {
+			rep.PeakMCNodes = results[i].MCStats.PeakNodes
+		}
 	}
 	rep.Results = results
 	if feasible > 0 {

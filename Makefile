@@ -1,10 +1,23 @@
 # Build and verification entry points. `make check` is the full gate:
 # build, vet, the test suite, and the race-detector run that guards the
-# parallel analysis engine.
+# parallel analysis engine. `make check-faults` additionally drives the
+# fault-injection and resilience suites (cancellation, injected faults,
+# worker panics, degraded reports) under the race detector.
 
 GO ?= go
 
-.PHONY: build test vet race check bench bench-parallel bench-bdd clean
+.PHONY: help build test vet race check check-faults bench bench-parallel bench-bdd clean
+
+help:
+	@echo "make build         - compile all packages"
+	@echo "make test          - run the test suite"
+	@echo "make vet           - go vet"
+	@echo "make race          - test suite under the race detector"
+	@echo "make check         - build + vet + test + race (the full gate)"
+	@echo "make check-faults  - fault-injection & resilience suites under -race"
+	@echo "make bench         - regenerate every table and figure"
+	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
+	@echo "make bench-bdd     - BDD kernel benchmarks -> BENCH_2.json"
 
 build:
 	$(GO) build ./...
@@ -19,6 +32,19 @@ race:
 	$(GO) test -race ./...
 
 check: build vet test race
+
+# check-faults re-runs the resilience surface with the race detector on:
+# the fail/faults/par unit suites plus every stage's injected-fault,
+# cancellation and panic-isolation tests, including the wiper end-to-end
+# degradation tests.
+check-faults:
+	$(GO) test -race \
+		./internal/fail ./internal/faults ./internal/par \
+		-run . -count 1
+	$(GO) test -race -count 1 \
+		-run 'Resilien|Cancel|Panic|Fault|Budget|Degrad|Unknown|Leak|Unavailable|Wiper' \
+		./internal/mc ./internal/partition ./internal/testgen \
+		./internal/measure ./internal/core ./internal/experiments
 
 bench:
 	$(GO) test -bench . -benchtime 1x .

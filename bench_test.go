@@ -188,7 +188,7 @@ func BenchmarkGeneralPartitioning(b *testing.B) {
 		b.Fatal(err)
 	}
 	bound := cfgCount(16)
-	tree := partition.BuildTree(g)
+	tree := partition.MustBuildTree(g)
 	var simple, general *partition.Plan
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -218,7 +218,9 @@ func BenchmarkPartitionSweepScaling(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				bounds := partition.DefaultBounds(g, 200)
-				partition.Sweep(g, bounds)
+				if _, err := partition.Sweep(g, bounds); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(g.NumNodes()), "blocks")
 		})

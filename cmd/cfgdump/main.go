@@ -55,7 +55,10 @@ func main() {
 	if *dot {
 		fmt.Println(g.Dot())
 	}
-	psTree := partition.BuildTree(g)
+	psTree, err := partition.BuildTree(g)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *tree {
 		fmt.Println("program segments:")
 		fmt.Print(psTree)

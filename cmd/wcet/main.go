@@ -1,49 +1,87 @@
 // Command wcet runs the complete hybrid measurement-based WCET analysis on
 // a C source file:
 //
-//	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-v] file.c
+//	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d] [-v] file.c
+//
+// Exit codes:
+//
+//	0  analysis completed with an exact bound
+//	1  usage error (bad flags or arguments)
+//	2  parse, semantic or infrastructure error
+//	3  analysis interrupted (timeout/cancellation) or bound degraded/unavailable
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
+	"os/signal"
 
 	"wcet"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("wcet: ")
-	funcName := flag.String("func", "", "function to analyse (default: first in file)")
-	bound := flag.Int64("bound", 8, "path bound b: segments with at most b paths are measured whole")
-	exhaustive := flag.Bool("exhaustive", false, "also measure every input vector end to end")
-	seed := flag.Int64("seed", 1, "seed for the genetic test-data search")
-	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial); results are identical for every value")
-	verbose := flag.Bool("v", false, "print per-path test-data verdicts")
-	flag.Parse()
-	if flag.NArg() != 1 {
+const (
+	exitOK       = 0
+	exitUsage    = 1
+	exitError    = 2
+	exitDegraded = 3
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	fs := flag.NewFlagSet("wcet", flag.ContinueOnError)
+	funcName := fs.String("func", "", "function to analyse (default: first in file)")
+	bound := fs.Int64("bound", 8, "path bound b: segments with at most b paths are measured whole")
+	exhaustive := fs.Bool("exhaustive", false, "also measure every input vector end to end")
+	seed := fs.Int64("seed", 1, "seed for the genetic test-data search")
+	workers := fs.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial); results are identical for every value")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole analysis (0 = none)")
+	mcTimeout := fs.Duration("mc-timeout", 0, "wall-clock budget per model-checker call (0 = none); an expired call degrades its path instead of failing the run")
+	verbose := fs.Bool("v", false, "print per-path test-data verdicts")
+	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: wcet [flags] file.c")
-		flag.PrintDefaults()
-		os.Exit(2)
+		fs.PrintDefaults()
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return exitUsage
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "wcet:", err)
+		return exitError
 	}
-	report, err := wcet.Analyze(string(src), wcet.Options{
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	report, err := wcet.AnalyzeCtx(ctx, string(src), wcet.Options{
 		FuncName:   *funcName,
 		Bound:      *bound,
 		Exhaustive: *exhaustive,
 		Workers:    *workers,
+		MCTimeout:  *mcTimeout,
 		TestGen: wcet.TestGenConfig{
 			GA:       wcet.GAConfig{Seed: *seed},
 			Optimise: true,
 		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "wcet:", err)
+		if wcet.Interrupted(err) {
+			return exitDegraded
+		}
+		return exitError
 	}
 
 	fmt.Printf("function               : %s\n", report.Fn.Name)
@@ -53,10 +91,18 @@ func main() {
 	fmt.Printf("measurements           : %s\n", report.Plan.M)
 	fmt.Printf("test data              : %s\n", report.TestGen.Summary())
 	fmt.Printf("infeasible paths       : %d\n", report.InfeasiblePaths)
-	fmt.Printf("WCET bound             : %d cycles\n", report.WCET)
+	fmt.Printf("soundness              : %s\n", report.Soundness)
+	if report.WCET >= 0 {
+		fmt.Printf("WCET bound             : %d cycles\n", report.WCET)
+	} else {
+		fmt.Printf("WCET bound             : unavailable\n")
+	}
 	if report.ExhaustiveWCET >= 0 {
 		fmt.Printf("exhaustive WCET        : %d cycles\n", report.ExhaustiveWCET)
 		fmt.Printf("overestimation         : %.1f%%\n", report.Overestimate()*100)
+	}
+	if len(report.Degradations) > 0 {
+		fmt.Println(report.Summary())
 	}
 	if *verbose {
 		fmt.Println("\nper-path verdicts:")
@@ -64,4 +110,8 @@ func main() {
 			fmt.Printf("  %-14s %s\n", r.Verdict, r.Path.Key())
 		}
 	}
+	if report.Soundness != wcet.BoundExact {
+		return exitDegraded
+	}
+	return exitOK
 }

@@ -60,9 +60,34 @@ type Manager struct {
 	quant  cache
 	perm   cache
 	nvars  int
+	limit  int   // node budget; 0 = unlimited
 	varRef []Ref // interned single-variable functions
 	cubes  []cube
 	perms  [][]int32
+}
+
+// LimitError is the value a node-budgeted manager panics with when an
+// operation would grow the table past the limit (see SetNodeLimit). The
+// recursive kernel has no error returns, so the budget unwinds as a typed
+// panic that the caller recovers at its API boundary — the model checker
+// converts it into a structured budget-exceeded error and discards the
+// manager.
+type LimitError struct {
+	Nodes, Limit int
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("bdd: node budget exceeded (%d nodes, limit %d)", e.Nodes, e.Limit)
+}
+
+// SetNodeLimit arms a node budget: any operation growing the table past n
+// nodes panics with *LimitError. n <= 0 disables the budget. Callers that
+// set a limit must recover at their boundary and abandon the manager.
+func (m *Manager) SetNodeLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.limit = n
 }
 
 // cube is a registered quantification variable set.
@@ -136,6 +161,9 @@ func (m *Manager) mkRaw(level int32, lo, hi Ref) Ref {
 		return Ref(idx) << 1
 	}
 	idx = int32(len(m.nodes))
+	if m.limit > 0 && int(idx) >= m.limit {
+		panic(&LimitError{Nodes: int(idx), Limit: m.limit})
+	}
 	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi})
 	m.unique.slots[slot] = idx
 	if uint32(len(m.nodes)) > (m.unique.mask+1)/4*3 {

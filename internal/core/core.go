@@ -6,17 +6,31 @@
 //	      → instrumented measurement on the cycle-accurate simulator
 //	      → timing-schema WCET bound
 //
+// The pipeline is budgeted and cancellable end to end: the context passed
+// to AnalyzeCtx bounds the whole analysis (cancel or deadline), Options
+// bounds each stage (model-checker step/node caps and per-call timeout, GA
+// evaluation cap), and a stage that runs out of budget degrades the result
+// instead of aborting it. The final Report is soundness-aware — it states
+// whether the bound is exact, safe-but-degraded, or unavailable, and
+// carries a degradation ledger attributing every unknown path to its
+// cause.
+//
 // The root package wcet re-exports this entry point as the public API.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"strings"
+	"time"
 
 	"wcet/internal/cc/ast"
 	"wcet/internal/cc/parser"
 	"wcet/internal/cc/sem"
 	"wcet/internal/cfg"
 	"wcet/internal/codegen"
+	"wcet/internal/fail"
 	"wcet/internal/interp"
 	"wcet/internal/measure"
 	"wcet/internal/partition"
@@ -34,6 +48,11 @@ type Options struct {
 	Bound int64
 	// TestGen tunes the hybrid generator.
 	TestGen testgen.Config
+	// MCTimeout bounds each individual model-checker call's wall clock
+	// (0 = none). It fills TestGen.MC.Timeout when that is unset. A call
+	// that times out leaves its path Unknown and degrades the report; it
+	// does not abort the analysis.
+	MCTimeout time.Duration
 	// Exhaustive additionally measures every input vector end to end when
 	// the input space is at most MaxExhaustive (ground truth).
 	Exhaustive    bool
@@ -58,6 +77,54 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Soundness classifies how much trust the computed WCET bound deserves.
+type Soundness int
+
+// Soundness levels.
+const (
+	// BoundExact: every target path was covered or proven infeasible; the
+	// bound is safe with respect to the measured cost model.
+	BoundExact Soundness = iota
+	// BoundDegradedSafe: some paths stayed Unknown (budget, timeout or
+	// model-checker failure), but an exhaustive input sweep restored full
+	// coverage of the affected segments — the bound is safe, obtained the
+	// expensive way.
+	BoundDegradedSafe
+	// BoundUnavailable: Unknown paths remain and the input space is too
+	// large for the exhaustive fallback; no safe bound can be stated.
+	// Report.WCET is -1.
+	BoundUnavailable
+)
+
+func (s Soundness) String() string {
+	switch s {
+	case BoundExact:
+		return "exact"
+	case BoundDegradedSafe:
+		return "safe-but-degraded"
+	case BoundUnavailable:
+		return "unavailable"
+	}
+	return fmt.Sprintf("soundness(%d)", int(s))
+}
+
+// Degradation is one ledger entry: a target path the generator could not
+// resolve, the plan units whose coverage that weakens, the recorded cause,
+// and how (whether) the pipeline compensated.
+type Degradation struct {
+	// PathKey identifies the unresolved target path.
+	PathKey string
+	// Units lists the plan-unit indices that needed this path measured.
+	Units []int
+	// Cause is the structured error that stopped generation (budget
+	// exceeded, timeout, model-checker failure, or "model checker
+	// disabled").
+	Cause error
+	// Resolution is "exhaustive-fallback" when the exhaustive input sweep
+	// restored the affected units' coverage, "unresolved" otherwise.
+	Resolution string
+}
+
 // Report is the complete analysis result.
 type Report struct {
 	File *ast.File
@@ -68,10 +135,19 @@ type Report struct {
 	TestGen *testgen.Report
 	// Measurement aggregates per-unit maxima.
 	Measurement *measure.Result
-	// WCET is the timing-schema bound in simulator cycles.
+	// WCET is the timing-schema bound in simulator cycles (-1 when
+	// Soundness is BoundUnavailable).
 	WCET int64
+	// Soundness states how trustworthy WCET is; anything other than
+	// BoundExact comes with a non-empty Degradations ledger.
+	Soundness Soundness
+	// Degradations attributes every unresolved target path to its cause.
+	Degradations []Degradation
 	// Critical lists the plan units on the bound's critical path.
 	Critical []int
+	// DegradedUnits lists the plan units whose worst path is not
+	// guaranteed exercised by the generated vectors (before any fallback).
+	DegradedUnits []int
 	// ExhaustiveWCET is the true end-to-end maximum (-1 when not computed).
 	ExhaustiveWCET int64
 	// InfeasiblePaths counts targets proven unreachable.
@@ -81,14 +157,50 @@ type Report struct {
 // Overestimate reports the bound's relative overestimation against the
 // exhaustive ground truth (0 when unavailable).
 func (r *Report) Overestimate() float64 {
-	if r.ExhaustiveWCET <= 0 {
+	if r.ExhaustiveWCET <= 0 || r.WCET < 0 {
 		return 0
 	}
 	return float64(r.WCET-r.ExhaustiveWCET) / float64(r.ExhaustiveWCET)
 }
 
+// Summary renders the verdict line and, for degraded runs, the
+// degradation ledger — one attributed line per unresolved path.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	switch r.Soundness {
+	case BoundExact:
+		fmt.Fprintf(&b, "WCET bound %d cycles (exact: all %d target paths resolved)",
+			r.WCET, len(r.TestGen.Results))
+	case BoundDegradedSafe:
+		fmt.Fprintf(&b, "WCET bound %d cycles (safe-but-degraded: %d unknown path(s) absorbed by exhaustive fallback)",
+			r.WCET, len(r.Degradations))
+	case BoundUnavailable:
+		fmt.Fprintf(&b, "WCET bound unavailable: %d unknown path(s) and input space too large for exhaustive fallback",
+			len(r.Degradations))
+	}
+	if len(r.Degradations) > 0 {
+		b.WriteString("\ndegradation ledger:")
+		for _, d := range r.Degradations {
+			cause := "model checker disabled"
+			if d.Cause != nil {
+				cause = d.Cause.Error()
+			}
+			fmt.Fprintf(&b, "\n  path %-24s units %v  %-20s cause: %s",
+				d.PathKey, d.Units, d.Resolution, cause)
+		}
+	}
+	return b.String()
+}
+
 // Analyze runs the full pipeline on C source text.
 func Analyze(src string, opt Options) (*Report, error) {
+	return AnalyzeCtx(context.Background(), src, opt)
+}
+
+// AnalyzeCtx is Analyze under a context: cancelling ctx (or letting its
+// deadline expire) unwinds every stage cooperatively and returns a
+// structured fail.ErrCancelled / fail.ErrBudgetExceeded.
+func AnalyzeCtx(ctx context.Context, src string, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	file, err := parser.ParseFile("input.c", src)
 	if err != nil {
@@ -110,20 +222,40 @@ func Analyze(src string, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeGraph(file, fn, g, opt)
+	return AnalyzeGraphCtx(ctx, file, fn, g, opt)
 }
 
 // AnalyzeGraph runs the pipeline on a prebuilt CFG.
 func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (*Report, error) {
+	return AnalyzeGraphCtx(context.Background(), file, fn, g, opt)
+}
+
+// AnalyzeGraphCtx runs the pipeline on a prebuilt CFG under a context.
+//
+// Degradation contract: a target path whose generation ran out of budget
+// (or whose model-checker call failed) does not abort the analysis. The
+// affected plan units are marked degraded, and when the function's input
+// space fits Options.MaxExhaustive the pipeline falls back to measuring
+// every input vector — restoring full coverage the expensive way and
+// yielding a safe-but-degraded bound. When the space is too large the
+// report says so: Soundness is BoundUnavailable and WCET is -1, because a
+// bound whose critical segments were never forced to their worst path
+// would be a guess, not a guarantee.
+func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	rep := &Report{File: file, Fn: fn, G: g, ExhaustiveWCET: -1}
 
 	// 1. Partition.
-	rep.Plan = partition.PartitionBound(g, opt.Bound)
+	plan, err := partition.PartitionBound(g, opt.Bound)
+	if err != nil {
+		return nil, err
+	}
+	rep.Plan = plan
 
 	// 2. Targets: every internal path of whole-measured segments, and every
-	// outcome of residual blocks (block time depends on the branch taken).
-	targets, err := planTargets(g, rep.Plan)
+	// outcome of residual blocks (block time depends on the branch taken),
+	// each mapped back to the plan units that need it.
+	targets, owners, err := planTargets(g, rep.Plan)
 	if err != nil {
 		return nil, err
 	}
@@ -137,21 +269,34 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 	if tgConf.Workers == 0 {
 		tgConf.Workers = opt.Workers
 	}
-	rep.TestGen, err = gen.Generate(targets, tgConf)
+	if tgConf.MC.Timeout == 0 {
+		tgConf.MC.Timeout = opt.MCTimeout
+	}
+	rep.TestGen, err = gen.GenerateCtx(ctx, targets, tgConf)
 	if err != nil {
 		return nil, err
 	}
 	var envs []interp.Env
-	for _, r := range rep.TestGen.Results {
+	degradedUnits := map[int]bool{}
+	for i, r := range rep.TestGen.Results {
 		switch r.Verdict {
 		case testgen.FoundByHeuristic, testgen.FoundByModelChecker:
 			envs = append(envs, r.Env)
 		case testgen.Infeasible:
 			rep.InfeasiblePaths++
 		case testgen.Unknown:
-			return nil, fmt.Errorf("core: no test datum for path %s: %v", r.Path.Key(), r.Err)
+			rep.Degradations = append(rep.Degradations, Degradation{
+				PathKey:    r.Path.Key(),
+				Units:      owners[i],
+				Cause:      r.Err,
+				Resolution: "unresolved",
+			})
+			for _, u := range owners[i] {
+				degradedUnits[u] = true
+			}
 		}
 	}
+	rep.DegradedUnits = sortedKeys(degradedUnits)
 
 	// 4. Measure on the simulator.
 	img, err := codegen.Compile(g, file)
@@ -159,14 +304,37 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 		return nil, err
 	}
 	vm := sim.New(img, opt.SimOptions)
-	rep.Measurement, err = measure.Campaign(rep.Plan, vm, envs, opt.Workers)
+	rep.Measurement, err = measure.CampaignCtx(ctx, rep.Plan, vm, envs, opt.Workers)
 	if err != nil {
 		return nil, err
+	}
+
+	// 4b. Degraded mode: the generated vectors are not guaranteed to
+	// exercise the worst path of the degraded units. When the input space
+	// is small enough, fall back to exhaustively measuring every vector —
+	// per-unit maxima over the full space dominate every path, restoring
+	// safety. Otherwise the bound is unavailable.
+	exhaustiveEnvs, enumerable := enumerateAll(gen, tgConf.Base, opt.MaxExhaustive)
+	if len(rep.Degradations) > 0 {
+		if !enumerable {
+			rep.Soundness = BoundUnavailable
+			rep.WCET = -1
+			return rep, nil
+		}
+		fallback, err := measure.CampaignCtx(ctx, rep.Plan, vm, exhaustiveEnvs, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Measurement.Merge(fallback)
+		for i := range rep.Degradations {
+			rep.Degradations[i].Resolution = "exhaustive-fallback"
+		}
+		rep.Soundness = BoundDegradedSafe
 	}
 	pruneUnobserved(rep)
 
 	// 5. Timing schema.
-	bound, err := schema.Compute(rep.Measurement)
+	bound, err := schema.ComputeDegraded(rep.Measurement, degradedUnits)
 	if err != nil {
 		return nil, err
 	}
@@ -174,45 +342,70 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 	rep.Critical = bound.CriticalUnits
 
 	// 6. Optional exhaustive ground truth.
-	if opt.Exhaustive {
-		var inputs []measure.InputVar
-		for _, v := range gen.Inputs {
-			inputs = append(inputs, measure.InputVar{Decl: v.Decl, Lo: v.Lo, Hi: v.Hi})
+	if opt.Exhaustive && enumerable {
+		exh, err := measure.ExhaustiveMaxCtx(ctx, vm, exhaustiveEnvs, opt.Workers)
+		if err != nil {
+			return nil, err
 		}
-		all, err := measure.EnumerateInputs(inputs, tgConf.Base, opt.MaxExhaustive)
-		if err == nil {
-			exh, err := measure.ExhaustiveMax(vm, all, opt.Workers)
-			if err != nil {
-				return nil, err
-			}
-			rep.ExhaustiveWCET = exh
-		}
+		rep.ExhaustiveWCET = exh
 	}
 	return rep, nil
 }
 
-// planTargets enumerates the paths each plan unit needs measured.
-func planTargets(g *cfg.Graph, plan *partition.Plan) ([]paths.Path, error) {
-	var targets []paths.Path
-	seen := map[string]bool{}
-	add := func(p paths.Path) {
-		if !seen[p.Key()] {
-			seen[p.Key()] = true
-			targets = append(targets, p)
-		}
+// enumerateAll builds the full input-vector cross product, reporting
+// whether the space fits the cap.
+func enumerateAll(gen *testgen.Generator, base interp.Env, cap int) ([]interp.Env, bool) {
+	var inputs []measure.InputVar
+	for _, v := range gen.Inputs {
+		inputs = append(inputs, measure.InputVar{Decl: v.Decl, Lo: v.Lo, Hi: v.Hi})
 	}
-	blockTargets := func(id cfg.NodeID) {
+	all, err := measure.EnumerateInputs(inputs, base, cap)
+	if err != nil {
+		return nil, false
+	}
+	return all, true
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// planTargets enumerates the paths each plan unit needs measured, and for
+// each target the (ascending) list of plan units that requested it — the
+// attribution the degradation ledger needs when a target stays Unknown.
+func planTargets(g *cfg.Graph, plan *partition.Plan) ([]paths.Path, [][]int, error) {
+	var targets []paths.Path
+	var owners [][]int
+	index := map[string]int{}
+	add := func(unit int, p paths.Path) {
+		k := p.Key()
+		if i, ok := index[k]; ok {
+			if os := owners[i]; os[len(os)-1] != unit {
+				owners[i] = append(os, unit)
+			}
+			return
+		}
+		index[k] = len(targets)
+		targets = append(targets, p)
+		owners = append(owners, []int{unit})
+	}
+	blockTargets := func(unit int, id cfg.NodeID) {
 		succs := g.Succs(id)
 		if len(succs) == 0 {
-			add(paths.Path{Blocks: []cfg.NodeID{id},
+			add(unit, paths.Path{Blocks: []cfg.NodeID{id},
 				Exit: cfg.Edge{From: id, To: cfg.NoNode, Kind: "end"}})
 			return
 		}
 		for _, e := range succs {
-			add(paths.Path{Blocks: []cfg.NodeID{id}, Exit: e})
+			add(unit, paths.Path{Blocks: []cfg.NodeID{id}, Exit: e})
 		}
 	}
-	for _, u := range plan.Units {
+	for ui, u := range plan.Units {
 		switch u.Kind {
 		case partition.WholePS:
 			ps, err := paths.Enumerate(u.PS.Region, 100000)
@@ -222,21 +415,21 @@ func planTargets(g *cfg.Graph, plan *partition.Plan) ([]paths.Path, error) {
 				// inside it instead; measurement still times the segment end
 				// to end on the runs that reach it.
 				for _, id := range u.PS.Region.Nodes() {
-					blockTargets(id)
+					blockTargets(ui, id)
 				}
 				continue
 			}
 			if err != nil {
-				return nil, fmt.Errorf("core: enumerating segment paths: %w", err)
+				return nil, nil, fmt.Errorf("core: enumerating segment paths: %w", err)
 			}
 			for _, p := range ps {
-				add(p)
+				add(ui, p)
 			}
 		case partition.SingleBlock:
-			blockTargets(u.Block)
+			blockTargets(ui, u.Block)
 		}
 	}
-	return targets, nil
+	return targets, owners, nil
 }
 
 // pruneUnobserved drops per-unit observations that never happened because
@@ -253,3 +446,8 @@ func pruneUnobserved(rep *Report) {
 		}
 	}
 }
+
+// Interrupted reports whether an analysis error is a budget/cancellation
+// stop (degradable) rather than an infrastructure failure; re-exported
+// here so cmd/wcet need not import internal/fail directly.
+func Interrupted(err error) bool { return fail.Interrupted(err) }

@@ -85,7 +85,7 @@ func TestWiperPipelineDeterministicAcrossWorkers(t *testing.T) {
 		t.Fatal(err)
 	}
 	vm := sim.New(img, sim.Options{})
-	plan := partition.PartitionBound(g, 8)
+	plan := partition.MustPartitionBound(g, 8)
 	t.Run("Campaign", func(t *testing.T) {
 		serial, err := measure.Campaign(plan, vm, envs, 1)
 		if err != nil {

@@ -82,7 +82,10 @@ func Table1() ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	tree := partition.BuildTree(g)
+	tree, err := partition.BuildTree(g)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Table1Row, 0, 7)
 	for b := int64(1); b <= 7; b++ {
 		plan := partition.Partition(g, tree, cfg.NewCount(b))
@@ -138,8 +141,12 @@ func Sweep(conf SweepConfig) (*SweepResult, error) {
 		return nil, err
 	}
 	bounds := partition.DefaultBounds(g, conf.Points)
+	points, err := partition.Sweep(g, bounds, conf.Workers)
+	if err != nil {
+		return nil, err
+	}
 	return &SweepResult{
-		Points:    partition.Sweep(g, bounds, conf.Workers),
+		Points:    points,
 		Blocks:    g.NumNodes(),
 		Branches:  g.CondBranches(),
 		Lines:     prog.Lines,

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/core"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
+	"wcet/internal/model"
+	"wcet/internal/testgen"
+)
+
+// End-to-end resilience on the paper's wiper-controller case study: the
+// full pipeline under cancellation, injected faults and injected panics
+// must return structured errors (or sound degraded reports) — never hang,
+// never crash, never leak, and never let the Workers knob change the
+// outcome.
+
+func wiperGraph(t *testing.T) (*ast.File, *ast.FuncDecl, *cfg.Graph) {
+	t.Helper()
+	src := model.Wiper().Emit("wiper_control")
+	file, err := parser.ParseFile("wiper.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(file); err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Func("wiper_control")
+	g, err := cfg.Build(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, fn, g
+}
+
+func TestWiperCancelMidAnalysisReturnsStructuredError(t *testing.T) {
+	file, fn, g := wiperGraph(t)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	type outcome struct {
+		rep *core.Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := core.AnalyzeGraphCtx(ctx, file, fn, g, core.Options{
+			Bound:   8,
+			Workers: 8,
+			TestGen: wiperTestGenConfig(8),
+		})
+		done <- outcome{rep, err}
+	}()
+	select {
+	case o := <-done:
+		// The analysis may legitimately finish inside 30ms on a fast
+		// machine; only a cancelled run must carry the right kind.
+		if o.err != nil && !errors.Is(o.err, fail.ErrCancelled) {
+			t.Errorf("cancelled analysis: got %v, want ErrCancelled", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled analysis hung")
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines: %d before, %d after cancellation", before, n)
+	}
+}
+
+// TestWiperDegradedReportIdenticalAcrossWorkers is the strongest form of
+// the determinism guarantee: even with every model-checker call failing by
+// injection, the degraded report — WCET, soundness verdict, the full
+// rendered ledger — must be byte-identical for Workers=1 and Workers=8.
+func TestWiperDegradedReportIdenticalAcrossWorkers(t *testing.T) {
+	file, fn, g := wiperGraph(t)
+	analyse := func(workers int) *core.Report {
+		ctx := faults.With(context.Background(), faults.New(
+			faults.Rule{Site: "testgen.mc", Index: -1, Err: fail.Budget("mc", "injected step budget")}))
+		conf := wiperTestGenConfig(workers)
+		rep, err := core.AnalyzeGraphCtx(ctx, file, fn, g, core.Options{
+			Bound:      8,
+			Exhaustive: true,
+			Workers:    workers,
+			TestGen:    conf,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: degradation must not abort: %v", workers, err)
+		}
+		return rep
+	}
+	serial := analyse(1)
+	if serial.Soundness != core.BoundDegradedSafe {
+		t.Fatalf("soundness = %v, want safe-but-degraded (12-vector input space)", serial.Soundness)
+	}
+	if len(serial.Degradations) == 0 {
+		t.Fatal("no ledger entries — the injected faults never fired")
+	}
+	if serial.WCET < serial.ExhaustiveWCET {
+		t.Errorf("degraded bound %d below ground truth %d: safety lost", serial.WCET, serial.ExhaustiveWCET)
+	}
+	parallel := analyse(8)
+	if s, p := serial.Summary(), parallel.Summary(); s != p {
+		t.Errorf("degraded reports differ across workers:\n--- workers=1\n%s\n--- workers=8\n%s", s, p)
+	}
+	if serial.WCET != parallel.WCET || serial.ExhaustiveWCET != parallel.ExhaustiveWCET {
+		t.Errorf("bounds differ: (%d,%d) vs (%d,%d)",
+			serial.WCET, serial.ExhaustiveWCET, parallel.WCET, parallel.ExhaustiveWCET)
+	}
+}
+
+// TestWiperInjectedPanicsDeterministicPerStage explodes one worker in each
+// pipeline stage and demands the same attributed error for every worker
+// count — panic isolation with first-index-wins, end to end.
+func TestWiperInjectedPanicsDeterministicPerStage(t *testing.T) {
+	file, fn, g := wiperGraph(t)
+	stages := []struct {
+		name string
+		rule faults.Rule
+	}{
+		{"testgen", faults.Rule{Site: "testgen.search", Index: 1, Mode: faults.Panic}},
+		{"measure", faults.Rule{Site: "measure.run", Index: 0, Mode: faults.Panic}},
+	}
+	for _, st := range stages {
+		t.Run(st.name, func(t *testing.T) {
+			analyse := func(workers int) string {
+				ctx := faults.With(context.Background(), faults.New(st.rule))
+				_, err := core.AnalyzeGraphCtx(ctx, file, fn, g, core.Options{
+					Bound:   8,
+					Workers: workers,
+					TestGen: wiperTestGenConfig(workers),
+				})
+				if !errors.Is(err, fail.ErrWorkerPanic) {
+					t.Fatalf("workers=%d: got %v, want ErrWorkerPanic", workers, err)
+				}
+				return err.Error()
+			}
+			if s, p := analyse(1), analyse(8); s != p {
+				t.Errorf("panic error differs across workers:\n  1: %s\n  8: %s", s, p)
+			}
+		})
+	}
+}
+
+// TestWiperMCTimeoutDegradesPerPath pins the per-call budget path: with a
+// vanishingly small per-path model-checker timeout the residue degrades —
+// and the exhaustive fallback still delivers a safe bound.
+func TestWiperMCTimeoutDegradesPerPath(t *testing.T) {
+	file, fn, g := wiperGraph(t)
+	conf := wiperTestGenConfig(1)
+	rep, err := core.AnalyzeGraphCtx(context.Background(), file, fn, g, core.Options{
+		Bound:      8,
+		Exhaustive: true,
+		MCTimeout:  time.Nanosecond,
+		TestGen:    conf,
+	})
+	if err != nil {
+		t.Fatalf("per-path timeouts must degrade, not abort: %v", err)
+	}
+	if rep.Soundness != core.BoundDegradedSafe {
+		t.Fatalf("soundness = %v, want safe-but-degraded", rep.Soundness)
+	}
+	for _, d := range rep.Degradations {
+		if !errors.Is(d.Cause, fail.ErrBudgetExceeded) {
+			t.Errorf("path %s: cause = %v, want a spent wall-clock budget", d.PathKey, d.Cause)
+		}
+	}
+	if rep.WCET < rep.ExhaustiveWCET {
+		t.Errorf("degraded bound %d below ground truth %d", rep.WCET, rep.ExhaustiveWCET)
+	}
+}
+
+// TestWiperVerdictsStillDeterministic re-pins the clean-run guarantee with
+// the context-threaded pipeline: Unknown stays absent and soundness exact.
+func TestWiperSoundnessExactOnCleanRun(t *testing.T) {
+	file, fn, g := wiperGraph(t)
+	rep, err := core.AnalyzeGraphCtx(context.Background(), file, fn, g, core.Options{
+		Bound:   8,
+		TestGen: wiperTestGenConfig(0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Soundness != core.BoundExact || len(rep.Degradations) != 0 {
+		t.Errorf("clean wiper run: soundness %v with %d ledger entries, want exact/0",
+			rep.Soundness, len(rep.Degradations))
+	}
+	for _, r := range rep.TestGen.Results {
+		if r.Verdict == testgen.Unknown {
+			t.Errorf("path %s unexpectedly unknown: %v", r.Path.Key(), r.Err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package fail is the analysis pipeline's structured error taxonomy.
+//
+// A long-running analysis distinguishes four ways a stage can stop short of
+// a result, because callers react differently to each:
+//
+//   - ErrBudgetExceeded — a resource budget ran out (wall-clock deadline,
+//     model-checker step/state cap, BDD node cap, GA evaluation cap). The
+//     stage's result is unknown, not wrong; the pipeline degrades to a
+//     safe-but-less-precise answer where it can.
+//   - ErrCancelled — the caller withdrew the request (root context
+//     cancelled). The pipeline unwinds promptly and returns no result.
+//   - ErrWorkerPanic — a worker goroutine panicked. The panic is recovered,
+//     the remaining work is cancelled, and the error carries the stack.
+//   - ErrInfrastructure — the stage itself is broken (malformed input,
+//     unsupported construct, simulator fault): retrying or degrading cannot
+//     help, the analysis input or the tool must change.
+//
+// Every error is an *Error carrying the failing stage and, when known, the
+// path or item it was working on, so a degradation ledger can attribute
+// each unknown to its cause. All errors match the sentinels via errors.Is
+// and unwrap to their cause via errors.As / errors.Unwrap.
+package fail
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel kinds. Match with errors.Is; construct via the helpers below.
+var (
+	// ErrBudgetExceeded marks a stage stopped by a resource budget
+	// (deadline, step/state/node cap, evaluation cap).
+	ErrBudgetExceeded = errors.New("budget exceeded")
+	// ErrCancelled marks work abandoned because the caller cancelled the
+	// root context.
+	ErrCancelled = errors.New("cancelled")
+	// ErrWorkerPanic marks a recovered panic on a worker goroutine.
+	ErrWorkerPanic = errors.New("worker panic")
+	// ErrInfrastructure marks a non-recoverable tooling or input failure.
+	ErrInfrastructure = errors.New("infrastructure failure")
+)
+
+// Error is an attributed pipeline error: which kind of failure, in which
+// stage, on which path/item, caused by what.
+type Error struct {
+	// Kind is one of the package sentinels.
+	Kind error
+	// Stage names the pipeline stage ("mc", "testgen", "measure",
+	// "partition", "core", …). Empty until attributed.
+	Stage string
+	// Path attributes the failure to one work item — a target path key, a
+	// vector index, a sweep bound — when one is known.
+	Path string
+	// Msg is the human-readable detail.
+	Msg string
+	// Cause is the underlying error, if any (unwrapped by errors.As).
+	Cause error
+	// Stack holds the recovered goroutine stack for worker panics. It is
+	// deliberately excluded from Error() so error strings stay comparable
+	// across runs and worker counts.
+	Stack []byte
+}
+
+// Error renders "stage: kind: msg (path): cause". The stack is omitted —
+// retrieve it via errors.As and the Stack field.
+func (e *Error) Error() string {
+	s := ""
+	if e.Stage != "" {
+		s += e.Stage + ": "
+	}
+	s += e.Kind.Error()
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.Path != "" {
+		s += " (" + e.Path + ")"
+	}
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+// Is matches the error's kind, so errors.Is(err, fail.ErrBudgetExceeded)
+// works without unwrapping through Cause.
+func (e *Error) Is(target error) bool { return target == e.Kind }
+
+// Unwrap exposes the cause chain (e.g. context.Canceled under an
+// ErrCancelled, or a recovered error value under an ErrWorkerPanic).
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Budget builds an ErrBudgetExceeded for a stage.
+func Budget(stage, format string, args ...any) *Error {
+	return &Error{Kind: ErrBudgetExceeded, Stage: stage, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Cancelled builds an ErrCancelled for a stage.
+func Cancelled(stage string, cause error) *Error {
+	return &Error{Kind: ErrCancelled, Stage: stage, Cause: cause}
+}
+
+// Infra builds an ErrInfrastructure for a stage.
+func Infra(stage string, cause error) *Error {
+	return &Error{Kind: ErrInfrastructure, Stage: stage, Cause: cause}
+}
+
+// Panic builds an ErrWorkerPanic from a recovered value and its stack.
+func Panic(stage string, recovered any, stack []byte) *Error {
+	e := &Error{Kind: ErrWorkerPanic, Stage: stage, Msg: fmt.Sprint(recovered), Stack: stack}
+	if err, ok := recovered.(error); ok {
+		e.Cause = err
+		e.Msg = ""
+	}
+	return e
+}
+
+// Context converts a context error into the pipeline taxonomy: a deadline
+// that expired is a spent wall-clock budget, an explicit cancel is a
+// withdrawn request. A nil ctxErr returns nil.
+func Context(stage string, ctxErr error) error {
+	switch {
+	case ctxErr == nil:
+		return nil
+	case errors.Is(ctxErr, context.DeadlineExceeded):
+		return &Error{Kind: ErrBudgetExceeded, Stage: stage, Msg: "deadline exceeded", Cause: ctxErr}
+	default:
+		return &Error{Kind: ErrCancelled, Stage: stage, Cause: ctxErr}
+	}
+}
+
+// Attribute fills in missing stage/path attribution on an *Error in the
+// chain, or wraps a foreign error as ErrInfrastructure with the given
+// attribution. Existing attribution is never overwritten, so the innermost
+// (most precise) stage wins. A nil err returns nil.
+func Attribute(err error, stage, path string) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		if fe.Stage == "" {
+			fe.Stage = stage
+		}
+		if fe.Path == "" {
+			fe.Path = path
+		}
+		return err
+	}
+	return &Error{Kind: ErrInfrastructure, Stage: stage, Path: path, Cause: err}
+}
+
+// From classifies an arbitrary stage error into the taxonomy: context
+// errors map like Context, an *Error keeps its kind (gaining attribution),
+// anything else is ErrInfrastructure. A nil err returns nil.
+func From(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return Context(stage, err)
+	}
+	return Attribute(err, stage, "")
+}
+
+// Interrupted reports whether err is a budget or cancellation stop — the
+// two kinds a degraded analysis may absorb as "unknown" rather than abort.
+func Interrupted(err error) bool {
+	return errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrCancelled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

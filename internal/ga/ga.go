@@ -49,6 +49,19 @@ type Config struct {
 	Tournament int
 	// Seed makes runs reproducible.
 	Seed int64
+	// MaxEvaluations caps the total fitness evaluations of one search
+	// (0 = no cap beyond MaxGens × Pop) — the budget knob for the
+	// heuristic stage. The cap is checked deterministically between
+	// evaluations, so a capped search is still a pure function of its
+	// arguments and Seed.
+	MaxEvaluations int
+	// Stop is polled between generations; when it returns true the search
+	// stops early and reports not-found unless a covering candidate was
+	// already seen. It exists for cooperative cancellation — unlike
+	// MaxEvaluations, an externally triggered Stop makes the result
+	// timing-dependent, so drivers only use it on paths that abandon the
+	// whole analysis anyway.
+	Stop func() bool
 	// OnTrace observes every executed candidate (for incidental coverage).
 	// It is called synchronously from the goroutine running Search, but
 	// drivers may run several Searches concurrently: a callback shared
@@ -133,7 +146,16 @@ func Search(g *cfg.Graph, m *interp.Machine, inputs []Variable,
 	pop := make([]indiv, conf.Pop)
 	stats := Stats{}
 	best := indiv{fit: 1e18}
+	// exhausted reports the evaluation budget spent; checked between
+	// evaluations so capped runs stay deterministic.
+	exhausted := func() bool {
+		return conf.MaxEvaluations > 0 && stats.Evaluations >= conf.MaxEvaluations
+	}
 	for i := range pop {
+		if exhausted() {
+			pop = pop[:i]
+			break
+		}
 		pop[i] = indiv{genes: randomGenes()}
 		pop[i].fit = eval(pop[i].genes)
 		stats.Evaluations++
@@ -143,12 +165,13 @@ func Search(g *cfg.Graph, m *interp.Machine, inputs []Variable,
 	}
 
 	stagnant := 0
-	for gen := 0; gen < conf.MaxGens && best.fit > 0 && stagnant < conf.Stagnation; gen++ {
+	for gen := 0; gen < conf.MaxGens && best.fit > 0 && stagnant < conf.Stagnation &&
+		len(pop) > 0 && !exhausted() && !(conf.Stop != nil && conf.Stop()); gen++ {
 		stats.Generations++
 		next := make([]indiv, 0, conf.Pop)
 		// Elitism: carry the best through unchanged.
 		next = append(next, cloneIndiv(best))
-		for len(next) < conf.Pop {
+		for len(next) < conf.Pop && !exhausted() {
 			a := tournament(rng, pop, conf.Tournament)
 			b := tournament(rng, pop, conf.Tournament)
 			child := crossover(rng, a.genes, b.genes, conf.CrossRate)

@@ -78,7 +78,10 @@ func TestPaperScale(t *testing.T) {
 func TestSweepShape(t *testing.T) {
 	_, g := build(t, Config{Seed: 7, Branches: 80})
 	bounds := partition.DefaultBounds(g, 200)
-	points := partition.Sweep(g, bounds)
+	points, err := partition.Sweep(g, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if points[0].IP != 2*g.NumNodes() {
 		t.Errorf("ip(b=1) = %d, want %d", points[0].IP, 2*g.NumNodes())
 	}
@@ -107,7 +110,10 @@ func TestMidBoundReachesFewHundredIPs(t *testing.T) {
 	}
 	_, g := build(t, Config{Seed: 42, Branches: 300})
 	bounds := partition.DefaultBounds(g, 200)
-	points := partition.Sweep(g, bounds)
+	points, err := partition.Sweep(g, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := false
 	for _, pt := range points {
 		if pt.IP >= 300 && pt.IP <= 800 {

@@ -1,9 +1,11 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"wcet/internal/fail"
 	"wcet/internal/tsys"
 )
 
@@ -12,10 +14,23 @@ import (
 // practical for small domains; the engine exists to cross-check the
 // symbolic engine and to explore tiny models exactly.
 func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
+	return CheckExplicitCtx(context.Background(), model, opt)
+}
+
+// CheckExplicitCtx is CheckExplicit with cooperative cancellation (checked
+// between breadth-first levels) and structured budget errors: exceeding
+// MaxStates or MaxSteps returns fail.ErrBudgetExceeded rather than a
+// truncated — and therefore unsound — "unreachable".
+func CheckExplicitCtx(ctx context.Context, model *tsys.Model, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	if model.Trap == tsys.NoLoc {
-		return nil, fmt.Errorf("mc: model has no trap location")
+		return nil, fail.Infra("mc", fmt.Errorf("model has no trap location"))
 	}
 
 	// Enumerate initial states.
@@ -69,7 +84,7 @@ func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
 		lo, hi := domain(model.Vars[i])
 		total *= float64(hi-lo) + 1
 		if total > float64(opt.MaxStates) {
-			return nil, fmt.Errorf("mc: explicit engine: initial space too large (%g states)", total)
+			return nil, fail.Budget("mc", "explicit engine: initial space too large (%g states)", total)
 		}
 	}
 
@@ -114,7 +129,7 @@ func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
 		push(s, nil, iv)
 	}
 	if len(visited) > opt.MaxStates {
-		return nil, fmt.Errorf("mc: explicit engine: too many states")
+		return nil, fail.Budget("mc", "explicit engine: too many initial states (%d)", len(visited))
 	}
 
 	findRoot := func(s state) []int64 {
@@ -140,6 +155,9 @@ func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
 	}
 
 	for len(frontier) > 0 && res.Stats.Steps < opt.MaxSteps {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fail.Context("mc", cerr)
+		}
 		res.Stats.Steps++
 		var next []state
 		for _, s := range frontier {
@@ -176,7 +194,7 @@ func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
 				parent[ns] = s
 				next = append(next, ns)
 				if len(visited) > opt.MaxStates {
-					return nil, fmt.Errorf("mc: explicit engine: state limit exceeded")
+					return nil, fail.Budget("mc", "explicit engine: state budget exhausted (%d states)", len(visited))
 				}
 				if goal(ns) {
 					res.Reachable = true
@@ -190,6 +208,10 @@ func CheckExplicit(model *tsys.Model, opt Options) (*Result, error) {
 			}
 		}
 		frontier = next
+	}
+	if len(frontier) > 0 {
+		// Step budget ran out with the frontier non-empty: no verdict.
+		return nil, fail.Budget("mc", "explicit engine: step budget exhausted after %d steps", res.Stats.Steps)
 	}
 
 	res.Stats.Duration = time.Since(start)

@@ -50,7 +50,10 @@ type Result struct {
 	Stats   Stats
 }
 
-// Options bound a run.
+// Options bound a run. Exhausting any bound is a structured
+// fail.ErrBudgetExceeded error, never a silent "unreachable": a truncated
+// search proves nothing, and reporting it as infeasibility would make the
+// final WCET bound unsound.
 type Options struct {
 	// MaxSteps aborts the search after this many frontier expansions
 	// (default 10000). Zero or negative selects the default: a negative
@@ -59,6 +62,15 @@ type Options struct {
 	// MaxStates bounds the explicit engine's visited set (default 2_000_000).
 	// Zero or negative selects the default.
 	MaxStates int
+	// MaxNodes bounds the symbolic engine's BDD table (default 8_000_000
+	// nodes ≈ 100 MB): a path whose relation or frontier blows up stops
+	// with a budget error instead of growing without bound. Zero or
+	// negative selects the default.
+	MaxNodes int
+	// Timeout bounds one check's wall clock (0 = none). Expiry surfaces as
+	// fail.ErrBudgetExceeded; the paper's model-checker runs "may take
+	// minutes to hours", so production pipelines set this per path.
+	Timeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxStates <= 0 {
 		o.MaxStates = 2_000_000
+	}
+	if o.MaxNodes <= 0 {
+		o.MaxNodes = 8_000_000
 	}
 	return o
 }

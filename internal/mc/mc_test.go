@@ -1,6 +1,7 @@
 package mc
 
 import (
+	"errors"
 	"testing"
 
 	"wcet/internal/c2m"
@@ -9,6 +10,7 @@ import (
 	"wcet/internal/cc/sem"
 	"wcet/internal/cc/token"
 	"wcet/internal/cfg"
+	"wcet/internal/fail"
 	"wcet/internal/interp"
 	"wcet/internal/paths"
 	"wcet/internal/tsys"
@@ -312,12 +314,12 @@ func TestMaxStepsAborts(t *testing.T) {
 		Guard: &tsys.Bin{Op: token.LT, X: ref, Y: &tsys.Const{Val: 200}}})
 	m.AddEdge(&tsys.Edge{From: l0, To: l1,
 		Guard: &tsys.Bin{Op: token.EQ, X: ref, Y: &tsys.Const{Val: 200}}})
+	// Exhausting the step budget with states still unexplored must be a
+	// structured budget error, never a silent "unreachable" — that verdict
+	// would be classified infeasible downstream, which is unsound.
 	res2, err := CheckSymbolic(m, Options{MaxSteps: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res2.Reachable {
-		t.Error("should not reach within 5 steps")
+	if !errors.Is(err, fail.ErrBudgetExceeded) {
+		t.Fatalf("MaxSteps exhaustion: got (%v, %v), want fail.ErrBudgetExceeded", res2, err)
 	}
 	res3, err := CheckSymbolic(m, Options{MaxSteps: 500})
 	if err != nil {

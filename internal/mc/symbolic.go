@@ -1,12 +1,15 @@
 package mc
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"wcet/internal/bdd"
 	"wcet/internal/bv"
 	"wcet/internal/cc/token"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
 	"wcet/internal/tsys"
 )
 
@@ -400,13 +403,46 @@ func (e *encoding) initSet() bdd.Ref {
 
 // CheckSymbolic runs BDD reachability toward the model's trap location.
 func CheckSymbolic(model *tsys.Model, opt Options) (*Result, error) {
+	return CheckSymbolicCtx(context.Background(), model, opt)
+}
+
+// CheckSymbolicCtx is CheckSymbolic with cooperative cancellation and
+// budget enforcement. The engine checks the context between breadth-first
+// iterations, bounds the BDD table at opt.MaxNodes and the iteration count
+// at opt.MaxSteps, and bounds its own wall clock at opt.Timeout. Every
+// bound violation returns a structured fail.ErrBudgetExceeded (a truncated
+// search must never masquerade as a proof of infeasibility); cancellation
+// returns fail.ErrCancelled.
+func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (res *Result, err error) {
 	opt = opt.withDefaults()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	if model.Trap == tsys.NoLoc {
-		return nil, fmt.Errorf("mc: model has no trap location")
+		return nil, fail.Infra("mc", fmt.Errorf("model has no trap location"))
 	}
+	if ferr := faults.Fire(ctx, "mc.check", 0); ferr != nil {
+		return nil, fail.From("mc", ferr)
+	}
+	// The BDD kernel reports an exhausted node budget as a typed panic
+	// (its recursive operations have no error returns); translate it here
+	// and abandon the manager.
+	defer func() {
+		if r := recover(); r != nil {
+			le, ok := r.(*bdd.LimitError)
+			if !ok {
+				panic(r)
+			}
+			res, err = nil, &fail.Error{Kind: fail.ErrBudgetExceeded, Stage: "mc",
+				Msg: "BDD node budget exhausted", Cause: le}
+		}
+	}()
 	e := newEncoding(model)
 	m := e.m
+	m.SetNodeLimit(opt.MaxNodes)
 
 	rels := make([]bdd.Ref, 0, len(model.Edges))
 	for _, ed := range model.Edges {
@@ -421,7 +457,7 @@ func CheckSymbolic(model *tsys.Model, opt Options) (*Result, error) {
 	trap := e.locEquals(model.Trap, false)
 	init := e.initSet()
 
-	res := &Result{}
+	res = &Result{}
 	reached := init
 	frontier := init
 	var rings []bdd.Ref
@@ -429,6 +465,12 @@ func CheckSymbolic(model *tsys.Model, opt Options) (*Result, error) {
 	hit := m.And(frontier, trap) != bdd.False
 
 	for !hit && frontier != bdd.False && res.Stats.Steps < opt.MaxSteps {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fail.Context("mc", cerr)
+		}
+		if ferr := faults.Fire(ctx, "mc.step", res.Stats.Steps); ferr != nil {
+			return nil, fail.From("mc", ferr)
+		}
 		res.Stats.Steps++
 		next := bdd.False
 		for _, rel := range rels {
@@ -442,6 +484,10 @@ func CheckSymbolic(model *tsys.Model, opt Options) (*Result, error) {
 		if m.And(frontier, trap) != bdd.False {
 			hit = true
 		}
+	}
+	if !hit && frontier != bdd.False {
+		// The step budget ran out with states still unexplored: no verdict.
+		return nil, fail.Budget("mc", "step budget exhausted after %d steps", res.Stats.Steps)
 	}
 
 	res.Stats.PeakNodes = m.NodeCount()

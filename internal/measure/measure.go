@@ -8,11 +8,13 @@
 package measure
 
 import (
+	"context"
 	"fmt"
-	"sync/atomic"
 
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
 	"wcet/internal/interp"
 	"wcet/internal/par"
 	"wcet/internal/partition"
@@ -58,38 +60,45 @@ func (r *Result) UnitMax(i int) int64 { return r.Times[i].Max }
 // pool, one simulator clone and one accumulator per worker; the final fold
 // (max per unit and path, summed samples) is order-insensitive, so the
 // Result is identical for every worker count. Omitted or 1 runs serially;
-// 0 uses one worker per CPU. On failure the error of the lowest-indexed
-// failing vector is reported when it completed before the early exit.
+// 0 uses one worker per CPU.
 func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env, workers ...int) (*Result, error) {
 	w := 1
 	if len(workers) > 0 {
 		w = par.Workers(workers[0])
 	}
+	return CampaignCtx(context.Background(), plan, vm, data, w)
+}
+
+// CampaignCtx is Campaign under a context: cancellation stops the replays
+// cooperatively (fail.ErrCancelled; an expired deadline maps to
+// fail.ErrBudgetExceeded), a faulting simulator run surfaces exactly one
+// attributed error — deterministically the lowest-indexed failing vector —
+// and a panicking replay worker is isolated into fail.ErrWorkerPanic. The
+// pool joins every worker before returning, so a failed campaign leaks no
+// goroutines.
+func CampaignCtx(ctx context.Context, plan *partition.Plan, vm *sim.VM, data []interp.Env, workers int) (*Result, error) {
+	w := par.Workers(workers)
 	accs := make([]*Result, w)
-	errs := make([]error, len(data))
-	var failed atomic.Bool
-	par.ForEachWorker(len(data), w, func(worker int) func(int) {
+	err := par.ForEachWorkerCtx(ctx, len(data), w, func(worker int) func(context.Context, int) error {
 		wvm := vm.Clone()
 		acc := newResult(plan)
 		accs[worker] = acc
-		return func(i int) {
-			if failed.Load() {
-				return
+		return func(ctx context.Context, i int) error {
+			if ferr := faults.Fire(ctx, "measure.run", i); ferr != nil {
+				return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
 			}
 			tr, err := wvm.Run(data[i].Clone())
 			if err != nil {
-				errs[i] = err
-				failed.Store(true)
-				return
+				return fail.Attribute(fail.Infra("measure", fmt.Errorf("run failed: %w", err)),
+					"measure", vectorPath(i))
 			}
 			acc.Runs++
 			acc.Observe(tr)
+			return nil
 		}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("measure: run failed: %w", err)
-		}
+	if err != nil {
+		return nil, fail.Attribute(err, "measure", "")
 	}
 	res := newResult(plan)
 	for _, acc := range accs {
@@ -100,6 +109,9 @@ func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env, workers ...in
 	return res, nil
 }
 
+// vectorPath renders the ledger attribution of one test vector.
+func vectorPath(i int) string { return fmt.Sprintf("vector %d", i) }
+
 func newResult(plan *partition.Plan) *Result {
 	res := &Result{Plan: plan}
 	res.Times = make([]UnitTime, len(plan.Units))
@@ -108,6 +120,12 @@ func newResult(plan *partition.Plan) *Result {
 	}
 	return res
 }
+
+// Merge folds another campaign over the same plan into r — the degraded-
+// mode fallback uses it to widen a partial campaign with exhaustive runs.
+// Maxima are commutative and associative, so merge order cannot change the
+// outcome.
+func (r *Result) Merge(o *Result) { r.merge(o) }
 
 // merge folds another campaign over the same plan into r. Maxima and
 // per-path maxima are commutative and associative, so merge order does not
@@ -195,33 +213,36 @@ func ExhaustiveMax(vm *sim.VM, data []interp.Env, workers ...int) (int64, error)
 	if len(workers) > 0 {
 		w = par.Workers(workers[0])
 	}
+	return ExhaustiveMaxCtx(context.Background(), vm, data, w)
+}
+
+// ExhaustiveMaxCtx is ExhaustiveMax under a context, with the same
+// cancellation, attribution and panic-isolation contract as CampaignCtx.
+func ExhaustiveMaxCtx(ctx context.Context, vm *sim.VM, data []interp.Env, workers int) (int64, error) {
+	w := par.Workers(workers)
 	maxes := make([]int64, w)
 	for i := range maxes {
 		maxes[i] = -1
 	}
-	errs := make([]error, len(data))
-	var failed atomic.Bool
-	par.ForEachWorker(len(data), w, func(worker int) func(int) {
+	err := par.ForEachWorkerCtx(ctx, len(data), w, func(worker int) func(context.Context, int) error {
 		wvm := vm.Clone()
-		return func(i int) {
-			if failed.Load() {
-				return
+		return func(ctx context.Context, i int) error {
+			if ferr := faults.Fire(ctx, "measure.exhaustive", i); ferr != nil {
+				return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
 			}
 			tr, err := wvm.Run(data[i].Clone())
 			if err != nil {
-				errs[i] = err
-				failed.Store(true)
-				return
+				return fail.Attribute(fail.Infra("measure", fmt.Errorf("run failed: %w", err)),
+					"measure", vectorPath(i))
 			}
 			if tr.Total > maxes[worker] {
 				maxes[worker] = tr.Total
 			}
+			return nil
 		}
 	})
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
-		}
+	if err != nil {
+		return 0, fail.Attribute(err, "measure", "")
 	}
 	var max int64 = -1
 	for _, m := range maxes {

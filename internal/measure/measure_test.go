@@ -104,7 +104,7 @@ func TestEnumerateInputsCap(t *testing.T) {
 
 func TestCampaignCoversAllUnits(t *testing.T) {
 	fx := setup(t, measSrc, "f")
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	res, err := Campaign(plan, fx.vm, fx.allInputs(t))
 	if err != nil {
 		t.Fatal(err)
@@ -123,7 +123,7 @@ func TestCampaignCoversAllUnits(t *testing.T) {
 
 func TestBlockTimesPositiveAndStable(t *testing.T) {
 	fx := setup(t, measSrc, "f")
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	res, err := Campaign(plan, fx.vm, fx.allInputs(t))
 	if err != nil {
 		t.Fatal(err)
@@ -148,7 +148,7 @@ func TestBlockTimesPositiveAndStable(t *testing.T) {
 func TestWholeSegmentPerPathTimes(t *testing.T) {
 	fx := setup(t, measSrc, "f")
 	// Large bound: the whole function is one unit.
-	plan := partition.PartitionBound(fx.g, 1000)
+	plan := partition.MustPartitionBound(fx.g, 1000)
 	if len(plan.Units) != 1 || plan.Units[0].Kind != partition.WholePS {
 		t.Fatalf("expected a single whole-function unit, got %d", len(plan.Units))
 	}

@@ -12,9 +12,14 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"wcet/internal/fail"
 )
 
 // Workers normalises a Workers knob: n > 0 is used as given, 0 (the
@@ -76,4 +81,125 @@ func ForEachWorker(n, workers int, newWorker func(worker int) func(i int)) {
 		}(k)
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach for fallible, cancellable bodies: see
+// ForEachWorkerCtx for the full contract.
+func ForEachCtx(ctx context.Context, n, workers int, body func(ctx context.Context, i int) error) error {
+	return ForEachWorkerCtx(ctx, n, workers, func(int) func(context.Context, int) error { return body })
+}
+
+// ForEachWorkerCtx is ForEachWorker with cancellation, error collection and
+// panic isolation — the primitive behind every fallible pipeline stage.
+//
+// Bodies receive a context derived from ctx that is cancelled as soon as
+// any body returns a non-nil error or panics; no further indices are
+// dispatched after that, and in-flight bodies are expected to notice the
+// cancellation cooperatively. A panicking body is recovered into a
+// *fail.Error of kind ErrWorkerPanic carrying the goroutine stack — a
+// worker explosion never takes down the process and never leaks the pool's
+// goroutines (the pool always joins every worker before returning).
+//
+// The returned error is deterministic under deterministic bodies:
+// first-index-wins. Among all recorded non-cancellation errors the one
+// with the lowest index is returned — in serial mode dispatch stops at the
+// first error, and in parallel mode a lower-index body either completed
+// before the cancel or was already running and still records its own
+// error, so the winner is the same for every worker count. Errors that are
+// themselves cancellation fallout (bodies unwinding because a peer failed)
+// never win over the peer's root-cause error. When the parent ctx itself
+// is cancelled the pool reports it via the fail taxonomy: ErrCancelled for
+// an explicit cancel, ErrBudgetExceeded for an expired deadline.
+func ForEachWorkerCtx(ctx context.Context, n, workers int, newWorker func(worker int) func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return fail.Context("", ctx.Err())
+	}
+	w := workers
+	if w > n {
+		w = n
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+
+	if w <= 1 {
+		body := newWorker(0)
+		for i := 0; i < n; i++ {
+			if cctx.Err() != nil {
+				break
+			}
+			if err := runIsolated(cctx, body, i); err != nil {
+				errs[i] = err
+				cancel()
+			}
+		}
+		return pickError(ctx, errs)
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(worker int) {
+			defer wg.Done()
+			body := newWorker(worker)
+			for {
+				if cctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runIsolated(cctx, body, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	return pickError(ctx, errs)
+}
+
+// runIsolated runs one body call behind a recover barrier.
+func runIsolated(ctx context.Context, body func(context.Context, int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fail.Panic("", r, debug.Stack())
+		}
+	}()
+	return body(ctx, i)
+}
+
+// pickError folds the per-index error slice into the deterministic result:
+// lowest-index root-cause error first, then parent-context cancellation,
+// then lowest-index cancellation fallout (possible only if a body
+// manufactured one without a failing peer).
+func pickError(ctx context.Context, errs []error) error {
+	var fallout error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if isCancellation(err) {
+			if fallout == nil {
+				fallout = err
+			}
+			continue
+		}
+		return err
+	}
+	if err := fail.Context("", ctx.Err()); err != nil {
+		return err
+	}
+	return fallout
+}
+
+// isCancellation reports whether err is (or wraps) a cancellation signal —
+// the fallout of someone else's failure, never a root cause of its own.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, fail.ErrCancelled)
 }

@@ -47,7 +47,7 @@ func TestGeneralNeverWorseThanSimple(t *testing.T) {
 	}
 	for name, src := range sources {
 		g := buildGraph(t, src, name)
-		tree := BuildTree(g)
+		tree := MustBuildTree(g)
 		for b := int64(1); b <= 64; b *= 2 {
 			simple := Partition(g, tree, cfg.NewCount(b))
 			general := GeneralPartition(g, cfg.NewCount(b))
@@ -72,7 +72,7 @@ void f(void) {
     r = r ^ 1;
 }`, "f")
 	b := cfg.NewCount(1)
-	simple := Partition(g, BuildTree(g), b)
+	simple := Partition(g, MustBuildTree(g), b)
 	general := GeneralPartition(g, b)
 	if general.IP >= simple.IP {
 		t.Errorf("general ip %d should beat simple ip %d on chain suffixes",

@@ -13,10 +13,13 @@
 package partition
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wcet/internal/cfg"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
 	"wcet/internal/par"
 )
 
@@ -38,16 +41,21 @@ type PS struct {
 // keeping only arms that are valid program segments (entered via a single
 // control edge). Invalid arms — e.g. switch clauses that are fallen into —
 // are dissolved: their nested segments are lifted to the parent.
-func BuildTree(g *cfg.Graph) *PS {
+//
+// A graph without an arm tree (hand-assembled instead of produced by
+// cfg.Build) is an input defect reported as fail.ErrInfrastructure — a
+// long-running analysis service must reject such a graph, not crash on it.
+func BuildTree(g *cfg.Graph) (*PS, error) {
 	if g.Arms == nil {
-		panic("partition: graph has no arm tree (built without cfg.Build?)")
+		return nil, fail.Infra("partition", fmt.Errorf("graph has no arm tree (built without cfg.Build?)"))
 	}
 	root := buildPS(g, g.Arms)
 	if root == nil {
-		// The function arm is always single-entry; this cannot happen.
-		panic("partition: function arm rejected")
+		// The function arm is always single-entry; reaching this means the
+		// arm tree is inconsistent with the graph.
+		return nil, fail.Infra("partition", fmt.Errorf("function arm rejected (inconsistent arm tree)"))
 	}
-	return root
+	return root, nil
 }
 
 func buildPS(g *cfg.Graph, a *cfg.Arm) *PS {
@@ -137,9 +145,33 @@ func Partition(g *cfg.Graph, tree *PS, bound cfg.Count) *Plan {
 	return p
 }
 
-// PartitionBound is Partition with an integer bound.
-func PartitionBound(g *cfg.Graph, b int64) *Plan {
-	return Partition(g, BuildTree(g), cfg.NewCount(b))
+// PartitionBound is Partition with an integer bound, building the PS tree
+// itself.
+func PartitionBound(g *cfg.Graph, b int64) (*Plan, error) {
+	tree, err := BuildTree(g)
+	if err != nil {
+		return nil, err
+	}
+	return Partition(g, tree, cfg.NewCount(b)), nil
+}
+
+// MustBuildTree is BuildTree for graphs known to come from cfg.Build
+// (tests and examples); it panics on the input defect BuildTree reports.
+func MustBuildTree(g *cfg.Graph) *PS {
+	tree, err := BuildTree(g)
+	if err != nil {
+		panic(err)
+	}
+	return tree
+}
+
+// MustPartitionBound is PartitionBound with the MustBuildTree contract.
+func MustPartitionBound(g *cfg.Graph, b int64) *Plan {
+	plan, err := PartitionBound(g, b)
+	if err != nil {
+		panic(err)
+	}
+	return plan
 }
 
 func (p *Plan) visit(ps *PS) {
@@ -180,18 +212,37 @@ type Point struct {
 // are collected indexed by bound position, making the series identical for
 // every worker count. Omitted or 1 sweeps serially; 0 uses one worker per
 // CPU.
-func Sweep(g *cfg.Graph, bounds []cfg.Count, workers ...int) []Point {
+func Sweep(g *cfg.Graph, bounds []cfg.Count, workers ...int) ([]Point, error) {
 	w := 1
 	if len(workers) > 0 {
 		w = par.Workers(workers[0])
 	}
-	tree := BuildTree(g)
+	return SweepCtx(context.Background(), g, bounds, w)
+}
+
+// SweepCtx is Sweep under a context: cancellation stops the remaining
+// bounds cooperatively, and a panicking per-bound pass is isolated into a
+// deterministic fail.ErrWorkerPanic attributed to its bound instead of
+// crashing the sweep.
+func SweepCtx(ctx context.Context, g *cfg.Graph, bounds []cfg.Count, workers int) ([]Point, error) {
+	w := par.Workers(workers)
+	tree, err := BuildTree(g)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Point, len(bounds))
-	par.ForEach(len(bounds), w, func(i int) {
+	err = par.ForEachCtx(ctx, len(bounds), w, func(ctx context.Context, i int) error {
+		if ferr := faults.Fire(ctx, "partition.point", i); ferr != nil {
+			return fail.Attribute(fail.From("partition", ferr), "partition", bounds[i].String())
+		}
 		plan := Partition(g, tree, bounds[i])
 		out[i] = Point{Bound: bounds[i], IP: plan.IP, IPFused: plan.IPFused(), M: plan.M}
+		return nil
 	})
-	return out
+	if err != nil {
+		return nil, fail.Attribute(err, "partition", "")
+	}
+	return out, nil
 }
 
 // DefaultBounds produces a log-spaced bound series 1, 2, 4, … that runs past

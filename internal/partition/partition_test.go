@@ -64,7 +64,7 @@ func TestTable1(t *testing.T) {
 		{6, 2, 6},
 		{7, 2, 6},
 	}
-	tree := BuildTree(g)
+	tree := MustBuildTree(g)
 	for _, w := range want {
 		plan := Partition(g, tree, cfg.NewCount(w.b))
 		if plan.IP != w.ip || plan.M.Cmp(w.m) != 0 {
@@ -77,7 +77,7 @@ func TestTable1(t *testing.T) {
 func TestTable1Fused(t *testing.T) {
 	// Footnote 1: fusing consecutive instrumentation points gives ip/2+1.
 	g := buildGraph(t, figure1, "main")
-	plan := PartitionBound(g, 1)
+	plan := MustPartitionBound(g, 1)
 	if plan.IPFused() != 12 {
 		t.Errorf("fused ip = %d, want 12", plan.IPFused())
 	}
@@ -85,7 +85,7 @@ func TestTable1Fused(t *testing.T) {
 
 func TestTreeShapeFigure1(t *testing.T) {
 	g := buildGraph(t, figure1, "main")
-	tree := BuildTree(g)
+	tree := MustBuildTree(g)
 	if tree.Kind != "function" {
 		t.Fatalf("root kind = %q", tree.Kind)
 	}
@@ -126,7 +126,7 @@ func TestSegmentsAreSingleEntry(t *testing.T) {
 			name = "main"
 		}
 		g := buildGraph(t, src, name)
-		tree := BuildTree(g)
+		tree := MustBuildTree(g)
 		var check func(*PS)
 		check = func(ps *PS) {
 			entries := 0
@@ -169,7 +169,7 @@ void f(void) {
         break;
     }
 }`, "f")
-	tree := BuildTree(g)
+	tree := MustBuildTree(g)
 	// Clause 1 is fallen into: it is not a PS, but the if's then-arm inside
 	// it must be lifted to the root.
 	kinds := map[string]int{}
@@ -208,7 +208,7 @@ func TestAccountingInvariants(t *testing.T) {
 	}
 	for name, src := range sources {
 		g := buildGraph(t, src, name)
-		tree := BuildTree(g)
+		tree := MustBuildTree(g)
 		prevIP := 1 << 30
 		for b := int64(1); b <= 64; b *= 2 {
 			plan := Partition(g, tree, cfg.NewCount(b))
@@ -245,7 +245,10 @@ func TestAccountingInvariants(t *testing.T) {
 func TestSweepEndsAtEndToEnd(t *testing.T) {
 	g := buildGraph(t, figure1, "main")
 	bounds := DefaultBounds(g, 64)
-	points := Sweep(g, bounds)
+	points, err := Sweep(g, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
 	last := points[len(points)-1]
 	if last.IP != 2 {
 		t.Errorf("final sweep point ip = %d, want 2 (end-to-end)", last.IP)
@@ -261,7 +264,7 @@ func TestSweepEndsAtEndToEnd(t *testing.T) {
 
 func TestUnboundedLoopNeverMeasuredWhole(t *testing.T) {
 	g := buildGraph(t, `int i; void f(void) { while (i) { i = i - 1; } }`, "f")
-	tree := BuildTree(g)
+	tree := MustBuildTree(g)
 	plan := Partition(g, tree, cfg.NewCount(1_000_000))
 	for _, u := range plan.Units {
 		if u.Kind == WholePS && u.PS.Paths.IsInf() {

@@ -78,7 +78,7 @@ func TestEnumerateWholeFunction(t *testing.T) {
 
 func TestEnumerateMatchesPathCountOnSegments(t *testing.T) {
 	fx := setup(t, branchy, "f")
-	tree := partition.BuildTree(fx.g)
+	tree := partition.MustBuildTree(fx.g)
 	var check func(ps *partition.PS)
 	check = func(ps *partition.PS) {
 		got, err := Enumerate(ps.Region, 0)
@@ -201,7 +201,7 @@ int f(void) {
 func TestFitnessSegmentPath(t *testing.T) {
 	// Cover a path inside a nested segment rather than end-to-end.
 	fx := setup(t, branchy, "f")
-	tree := partition.BuildTree(fx.g)
+	tree := partition.MustBuildTree(fx.g)
 	if len(tree.Children) == 0 {
 		t.Fatal("no segments")
 	}

@@ -12,6 +12,7 @@ package schema
 
 import (
 	"fmt"
+	"sort"
 
 	"wcet/internal/cfg"
 	"wcet/internal/measure"
@@ -28,6 +29,16 @@ type Bound struct {
 	// UnitWeights are the effective per-unit weights after loop collapse
 	// (collapsed headers carry their whole loop's worst-case cost).
 	UnitWeights []int64
+	// DegradedUnits lists (sorted) the plan units whose worst path is not
+	// guaranteed exercised — units containing target paths the generator
+	// left Unknown. Their measured maxima are lower bounds on the true
+	// unit WCET, so the schema bound is only safe if a fallback (e.g. an
+	// exhaustive input sweep) restored their coverage.
+	DegradedUnits []int
+	// CriticalDegraded reports whether the critical path crosses a
+	// degraded unit — if it does, the headline WCET itself rests on
+	// degraded coverage, not just some side branch.
+	CriticalDegraded bool
 }
 
 // Compute contracts the plan's units and returns the longest-path bound.
@@ -35,6 +46,14 @@ type Bound struct {
 // granularity) are collapsed using their /*@ loopbound */ annotations; an
 // unannotated loop is an error.
 func Compute(res *measure.Result) (*Bound, error) {
+	return ComputeDegraded(res, nil)
+}
+
+// ComputeDegraded is Compute with a set of degraded plan units (indices
+// into res.Plan.Units) to carry through into the bound's soundness
+// annotations. The numeric result is unchanged — degradation is reported,
+// never silently corrected.
+func ComputeDegraded(res *measure.Result, degraded map[int]bool) (*Bound, error) {
 	plan := res.Plan
 	g := plan.G
 
@@ -111,6 +130,18 @@ func Compute(res *measure.Result) (*Bound, error) {
 	for u := entry; u != -1; u = choice[u] {
 		b.CriticalUnits = append(b.CriticalUnits, u)
 		if len(b.CriticalUnits) > len(plan.Units) {
+			break
+		}
+	}
+	for u := range degraded {
+		if degraded[u] {
+			b.DegradedUnits = append(b.DegradedUnits, u)
+		}
+	}
+	sort.Ints(b.DegradedUnits)
+	for _, u := range b.CriticalUnits {
+		if degraded[u] {
+			b.CriticalDegraded = true
 			break
 		}
 	}

@@ -88,7 +88,7 @@ func (fx *fixture) inputs(t *testing.T) []interp.Env {
 // schema bound.
 func boundAt(t *testing.T, fx *fixture, b int64) int64 {
 	t.Helper()
-	plan := partition.PartitionBound(fx.g, b)
+	plan := partition.MustPartitionBound(fx.g, b)
 	res, err := measure.Campaign(plan, fx.vm, fx.inputs(t))
 	if err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestFinerPartitionsOverestimate(t *testing.T) {
 
 func TestCriticalUnitsFormAPath(t *testing.T) {
 	fx := setup(t, wcetSrc, "f")
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	res, err := measure.Campaign(plan, fx.vm, fx.inputs(t))
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +169,7 @@ func TestCriticalUnitsFormAPath(t *testing.T) {
 
 func TestUnmeasuredUnitRejected(t *testing.T) {
 	fx := setup(t, wcetSrc, "f")
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	res, err := measure.Campaign(plan, fx.vm, fx.inputs(t)[:1])
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +206,7 @@ func TestBoundedLoopAtBlockGranularity(t *testing.T) {
 	}
 	// Block granularity: the loop's back edge is visible in the contracted
 	// graph and gets collapsed via the /*@ loopbound 3 */ annotation.
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	res, err := measure.Campaign(plan, fx.vm, envs)
 	if err != nil {
 		t.Fatal(err)
@@ -222,7 +222,7 @@ func TestBoundedLoopAtBlockGranularity(t *testing.T) {
 		t.Errorf("loop bound %d absurdly loose vs %d", b.WCET, exh)
 	}
 	// Whole-function measurement stays exact.
-	plan2 := partition.PartitionBound(fx.g, 1000)
+	plan2 := partition.MustPartitionBound(fx.g, 1000)
 	res2, err := measure.Campaign(plan2, fx.vm, envs)
 	if err != nil {
 		t.Fatal(err)
@@ -249,7 +249,7 @@ int f(void) {
     for (i = 0; i < n; i++) { s = s + i; }
     return s;
 }`, "f")
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	envs, err := measure.EnumerateInputs([]measure.InputVar{
 		{Decl: fx.global("n"), Lo: 0, Hi: 3},
 	}, interp.Env{}, 100)
@@ -289,7 +289,7 @@ int f(void) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plan := partition.PartitionBound(fx.g, 1)
+	plan := partition.MustPartitionBound(fx.g, 1)
 	res, err := measure.Campaign(plan, fx.vm, envs)
 	if err != nil {
 		t.Fatal(err)

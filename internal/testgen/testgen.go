@@ -5,11 +5,14 @@
 package testgen
 
 import (
+	"context"
 	"fmt"
 
 	"wcet/internal/c2m"
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
 	"wcet/internal/ga"
 	"wcet/internal/interp"
 	"wcet/internal/mc"
@@ -30,8 +33,10 @@ const (
 	FoundByModelChecker
 	// Infeasible: the model checker proved no input executes the path.
 	Infeasible
-	// Unknown: generation failed within budget without a proof (only
-	// possible when the model checker is disabled or errors out).
+	// Unknown: generation stopped without data and without a proof — the
+	// model checker was disabled, ran out of budget, or failed. The cause
+	// is recorded in PathResult.Err; the final report must treat the
+	// path's segment as degraded, never as infeasible.
 	Unknown
 )
 
@@ -43,8 +48,10 @@ func (v Verdict) String() string {
 		return "model-checker"
 	case Infeasible:
 		return "infeasible"
+	case Unknown:
+		return "unknown"
 	}
-	return "unknown"
+	return fmt.Sprintf("verdict(%d)", int(v))
 }
 
 // PathResult is the outcome for one target path.
@@ -143,6 +150,18 @@ func (gen *Generator) InputDecls() []*ast.VarDecl {
 // manager per call) and merge indexed by target position. The Report is
 // therefore identical for every worker count.
 func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, error) {
+	return gen.GenerateCtx(context.Background(), targets, conf)
+}
+
+// GenerateCtx is Generate under a context. Cancelling ctx aborts both
+// stages cooperatively and returns a structured fail.ErrCancelled (an
+// expired deadline returns fail.ErrBudgetExceeded); a worker panic in
+// either stage is isolated into a deterministic fail.ErrWorkerPanic. A
+// per-path failure, by contrast, never aborts the run: a model-checker
+// call that runs out of budget (conf.MC caps and Timeout) or fails leaves
+// its target Unknown with the cause recorded in PathResult.Err, and the
+// analysis continues — degrading the final report is the caller's job.
+func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, conf Config) (*Report, error) {
 	workers := par.Workers(conf.Workers)
 	rep := &Report{}
 	n := len(targets)
@@ -155,15 +174,22 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 	// every candidate a GA evaluates is checked against the open targets.
 	board := newGABoard(keys)
 	if !conf.SkipGA {
-		par.ForEachWorker(n, workers, func(int) func(int) {
+		err := par.ForEachWorkerCtx(ctx, n, workers, func(int) func(context.Context, int) error {
 			m := interp.New(gen.File, gen.M.Opt)
-			return func(i int) {
-				if board.trySkip(i) {
-					return
+			return func(ctx context.Context, i int) error {
+				if ferr := faults.Fire(ctx, "testgen.search", i); ferr != nil {
+					return fail.From("testgen", ferr)
 				}
-				gen.searchTarget(m, board, targets, i, conf)
+				if board.trySkip(i) {
+					return nil
+				}
+				gen.searchTarget(ctx, m, board, targets, i, conf)
+				return nil
 			}
 		})
+		if err != nil {
+			return nil, fail.Attribute(err, "testgen", "")
+		}
 	}
 	covered := board.counted
 	rep.TotalGAEvals = board.evals
@@ -184,16 +210,27 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 		}
 		residue = append(residue, i)
 	}
-	par.ForEachWorker(len(residue), workers, func(int) func(int) {
+	merr := par.ForEachWorkerCtx(ctx, len(residue), workers, func(int) func(context.Context, int) error {
 		m := interp.New(gen.File, gen.M.Opt)
-		return func(k int) {
+		return func(ctx context.Context, k int) error {
 			i := residue[k]
 			pr := &results[i]
-			res, env, err := gen.checkPath(m, targets[i], conf)
+			var res *mc.Result
+			var env interp.Env
+			err := faults.Fire(ctx, "testgen.mc", i)
+			if err == nil {
+				res, env, err = gen.checkPathCtx(ctx, m, targets[i], conf)
+			}
 			if err != nil {
+				// Root-context cancellation unwinds the whole run; any
+				// per-path failure — budget, per-path timeout, unsupported
+				// construct — degrades this one target to Unknown.
+				if ctx.Err() != nil {
+					return fail.Context("testgen", ctx.Err())
+				}
 				pr.Verdict = Unknown
-				pr.Err = err
-				return
+				pr.Err = fail.Attribute(err, "testgen", keys[i])
+				return nil
 			}
 			pr.MCStats = res.Stats
 			if res.Reachable {
@@ -202,8 +239,12 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 			} else {
 				pr.Verdict = Infeasible
 			}
+			return nil
 		}
 	})
+	if merr != nil {
+		return nil, fail.Attribute(merr, "testgen", "")
+	}
 
 	// Deterministic merge in target order.
 	heuristicHits := 0
@@ -231,13 +272,17 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 // searchTarget runs one speculative GA search on a worker-private machine.
 // Incidental coverage is collected into the outcome — never into shared
 // state — so the search is a pure function of (target, seed) and the board
-// can fold it deterministically.
-func (gen *Generator) searchTarget(m *interp.Machine, board *gaBoard,
+// can fold it deterministically. The context only feeds the search's Stop
+// hook: cancellation cuts the search short, which is observable — but
+// GenerateCtx abandons the whole run on cancellation, so no timing-
+// dependent outcome ever reaches a returned Report.
+func (gen *Generator) searchTarget(ctx context.Context, m *interp.Machine, board *gaBoard,
 	targets []paths.Path, i int, conf Config) {
 
 	p := targets[i]
 	gaConf := conf.GA
 	gaConf.Seed = SeedFor(conf.GA.Seed, board.keys[i])
+	gaConf.Stop = func() bool { return ctx.Err() != nil }
 	// Targets already covered by decided counted searches keep their board
 	// environment no matter what this search observes; skip their checks.
 	done := board.snapshot()
@@ -272,12 +317,14 @@ func (gen *Generator) searchTarget(m *interp.Machine, board *gaBoard,
 // CheckPath runs the model checker for one path and maps the witness back
 // to an interpreter environment.
 func (gen *Generator) CheckPath(p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
-	return gen.checkPath(gen.M, p, conf)
+	return gen.checkPathCtx(context.Background(), gen.M, p, conf)
 }
 
-// checkPath is CheckPath with an explicit machine for the witness replay,
-// so concurrent callers can use worker-private interpreters.
-func (gen *Generator) checkPath(m *interp.Machine, p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
+// checkPathCtx is CheckPath with an explicit machine for the witness
+// replay, so concurrent callers can use worker-private interpreters, and a
+// context bounding the model-checker call (together with conf.MC's step,
+// node and per-call timeout budgets).
+func (gen *Generator) checkPathCtx(ctx context.Context, m *interp.Machine, p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
 	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
 	if err != nil {
 		return nil, nil, err
@@ -301,7 +348,7 @@ func (gen *Generator) checkPath(m *interp.Machine, p paths.Path, conf Config) (*
 	if conf.Optimise {
 		opt.All(model)
 	}
-	res, err := mc.CheckSymbolic(model, conf.MC)
+	res, err := mc.CheckSymbolicCtx(ctx, model, conf.MC)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -21,6 +21,18 @@
 // CPU by default, 1 for a serial run — and merge deterministically: the
 // Report is identical for every worker count.
 //
+// # Budgets, cancellation and degraded results
+//
+// AnalyzeCtx runs the same pipeline under a context: cancelling it (or
+// letting its deadline expire) unwinds every stage cooperatively and
+// returns an error matching ErrCancelled or ErrBudgetExceeded
+// (errors.Is). Per-stage budgets — model-checker step, state and BDD-node
+// caps plus a per-call timeout, and a GA evaluation cap — never abort the
+// analysis on their own: a path whose generation ran out of budget is
+// recorded in the Report's degradation ledger, and Report.Soundness states
+// whether the bound is still exact, safe-but-degraded (an exhaustive input
+// sweep restored coverage), or unavailable. See Report.Summary.
+//
 // The building blocks (partitioning sweeps, the model checker, the
 // optimisation passes, the simulator) are exposed through the internal
 // packages for the example programs and benchmarks in this repository; the
@@ -28,7 +40,10 @@
 package wcet
 
 import (
+	"context"
+
 	"wcet/internal/core"
+	"wcet/internal/fail"
 	"wcet/internal/ga"
 	"wcet/internal/mc"
 	"wcet/internal/testgen"
@@ -40,6 +55,19 @@ type Options = core.Options
 
 // Report is the complete analysis result.
 type Report = core.Report
+
+// Soundness classifies how much trust the computed bound deserves.
+type Soundness = core.Soundness
+
+// Soundness levels.
+const (
+	BoundExact        = core.BoundExact
+	BoundDegradedSafe = core.BoundDegradedSafe
+	BoundUnavailable  = core.BoundUnavailable
+)
+
+// Degradation is one entry of the report's degradation ledger.
+type Degradation = core.Degradation
 
 // GAConfig tunes the heuristic test-data stage.
 type GAConfig = ga.Config
@@ -61,7 +89,33 @@ const (
 	Unknown             = testgen.Unknown
 )
 
+// Structured failure kinds: every pipeline error matches exactly one of
+// these under errors.Is, with stage and path attribution in its message.
+var (
+	// ErrBudgetExceeded: a stage ran out of its wall-clock, step, state,
+	// node or evaluation budget.
+	ErrBudgetExceeded = fail.ErrBudgetExceeded
+	// ErrCancelled: the caller's context was cancelled.
+	ErrCancelled = fail.ErrCancelled
+	// ErrWorkerPanic: a pipeline worker panicked; the error carries the
+	// recovered value and stack, isolated instead of crashing the process.
+	ErrWorkerPanic = fail.ErrWorkerPanic
+	// ErrInfrastructure: the pipeline itself failed (simulator fault,
+	// inconsistent model) — distinct from running out of budget.
+	ErrInfrastructure = fail.ErrInfrastructure
+)
+
+// Interrupted reports whether err is a budget or cancellation stop rather
+// than an infrastructure failure.
+func Interrupted(err error) bool { return fail.Interrupted(err) }
+
 // Analyze runs the full hybrid WCET analysis on C source text.
 func Analyze(src string, opt Options) (*Report, error) {
 	return core.Analyze(src, opt)
+}
+
+// AnalyzeCtx is Analyze under a context: cancellation and deadlines unwind
+// the whole pipeline cooperatively.
+func AnalyzeCtx(ctx context.Context, src string, opt Options) (*Report, error) {
+	return core.AnalyzeCtx(ctx, src, opt)
 }

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help build test vet race check check-faults bench bench-parallel bench-bdd clean
+.PHONY: help build test vet race check check-faults check-obs lint-prints bench bench-parallel bench-bdd bench-obs clean
 
 help:
 	@echo "make build         - compile all packages"
@@ -15,9 +15,12 @@ help:
 	@echo "make race          - test suite under the race detector"
 	@echo "make check         - build + vet + test + race (the full gate)"
 	@echo "make check-faults  - fault-injection & resilience suites under -race"
+	@echo "make check-obs     - observability determinism suites under -race"
+	@echo "make lint-prints   - fail on stray stdout writes inside internal/"
 	@echo "make bench         - regenerate every table and figure"
 	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
 	@echo "make bench-bdd     - BDD kernel benchmarks -> BENCH_2.json"
+	@echo "make bench-obs     - observer overhead benchmarks -> BENCH_3.json"
 
 build:
 	$(GO) build ./...
@@ -46,6 +49,30 @@ check-faults:
 		./internal/mc ./internal/partition ./internal/testgen \
 		./internal/measure ./internal/core ./internal/experiments
 
+# check-obs drives the observability layer's own suite plus the canonical-
+# export determinism tests (clean and fault-injected wiper pipelines) under
+# the race detector — the byte-identical-across-workers guarantee is
+# exactly the kind of property a data race would silently break.
+check-obs:
+	$(GO) test -race -count 1 ./internal/obs
+	$(GO) test -race -count 1 -run 'Observability|Deterministic' \
+		./internal/experiments
+
+# lint-prints guards the stdout/stderr contract: library code under
+# internal/ must never print — results belong to the cmd tools' stdout,
+# human diagnostics to the observer's progress stream. internal/obs is the
+# one package allowed to hold an io.Writer, and tests are exempt.
+lint-prints:
+	@bad=$$(grep -rn 'fmt\.Print\|os\.Stdout' internal/ \
+		--include '*.go' \
+		--exclude '*_test.go' \
+		--exclude-dir obs || true); \
+	if [ -n "$$bad" ]; then \
+		echo "stray print/stdout in internal/ (route through cmd/ or obs):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
 bench:
 	$(GO) test -bench . -benchtime 1x .
 
@@ -61,6 +88,14 @@ bench-bdd:
 	( $(GO) test -run '^$$' -bench BDD -benchtime 10x ./internal/bdd ; \
 	  $(GO) test -run '^$$' -bench 'HybridTestGenParallel|Table2|CaseStudy' -benchtime 3x . ) \
 	| $(GO) run ./cmd/benchlog -out BENCH_2.json
+
+# bench-obs measures the observability layer's cost: BenchmarkTable2 and
+# the hybrid test-gen benchmark (observer disabled — the no-op overhead vs
+# the seed entry already in BENCH_3.json) plus BenchmarkObserverOverhead
+# (disabled vs enabled side by side).
+bench-obs:
+	$(GO) test -run '^$$' -bench 'Table2|HybridTestGenParallel|ObserverOverhead' -benchtime 3x . \
+	| $(GO) run ./cmd/benchlog -out BENCH_3.json
 
 clean:
 	$(GO) clean ./...

@@ -176,6 +176,43 @@ func BenchmarkHybridTestGen(b *testing.B) {
 	b.ReportMetric(float64(mcSteps), "mc-steps")
 }
 
+// BenchmarkObserverOverhead measures the observability layer's cost on the
+// hybrid generation pipeline: the same Table 2 workload with no observer
+// (the nil-check fast path every un-observed run takes) and with a full
+// observer recording spans, metrics and canonical events. The overhead-%
+// metric is the enabled run's wall time over the disabled run's, minus one
+// — the no-op path must stay under 2%.
+func BenchmarkObserverOverhead(b *testing.B) {
+	run := func(ob *Observer) {
+		_, err := Analyze(experiments.Table2Source, Options{
+			FuncName: "control",
+			Bound:    6,
+			Obs:      ob,
+			TestGen: testgen.Config{
+				GA:       ga.Config{Seed: 7, Pop: 48, MaxGens: 80, Stagnation: 20},
+				Optimise: true,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	disabled := serialBaseline(b, func() { run(nil) })
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(nil)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			run(NewObserver(ObserverConfig{}))
+		}
+		perOp := time.Since(start) / time.Duration(b.N)
+		b.ReportMetric((perOp.Seconds()/disabled.Seconds()-1)*100, "overhead-%")
+	})
+}
+
 // BenchmarkGeneralPartitioning is the ablation for the paper's announced
 // extension: the dominator-region ("general") partitioning against the
 // simple AST-based one, at the same path bound, on the paper-scale

@@ -4,6 +4,9 @@
 //
 //	cfgdump [-func name] [-dot] [-tree] [-table maxBound] file.c
 //	cfgdump -fig1            # the paper's Figure 1 example
+//
+// All results go to stdout; errors and diagnostics go to stderr, so DOT
+// output can be piped straight into graphviz.
 package main
 
 import (

@@ -5,6 +5,9 @@
 //
 //	mcheck [-func name] [-opt] [-model] file.c
 //	mcheck -table2          # the paper's optimisation evaluation
+//
+// All results go to stdout; errors and diagnostics go to stderr, so the
+// table and per-path output stay pipeable.
 package main
 
 import (

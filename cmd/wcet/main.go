@@ -1,7 +1,15 @@
 // Command wcet runs the complete hybrid measurement-based WCET analysis on
 // a C source file:
 //
-//	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d] [-v] file.c
+//	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d]
+//	     [-v] [-trace file] [-metrics file] [-pprof addr] file.c
+//
+// The analysis report goes to stdout; diagnostics, errors and -v progress go
+// to stderr, so results stay pipeable. -trace writes a Chrome trace-event
+// file (load in chrome://tracing or https://ui.perfetto.dev), -metrics
+// writes the metrics registry as JSON, and -pprof serves net/http/pprof on
+// the given address for live CPU/heap profiling. Trace and metrics files are
+// written even when the analysis fails, so a degraded run can be diagnosed.
 //
 // Exit codes:
 //
@@ -15,6 +23,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 
@@ -39,7 +50,10 @@ func run() int {
 	workers := fs.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial); results are identical for every value")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole analysis (0 = none)")
 	mcTimeout := fs.Duration("mc-timeout", 0, "wall-clock budget per model-checker call (0 = none); an expired call degrades its path instead of failing the run")
-	verbose := fs.Bool("v", false, "print per-path test-data verdicts")
+	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event file of the pipeline stages")
+	metricsFile := fs.String("metrics", "", "write the metrics registry (counters, gauges, histograms) as JSON")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the analysis")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: wcet [flags] file.c")
 		fs.PrintDefaults()
@@ -57,6 +71,39 @@ func run() int {
 		return exitError
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "wcet: pprof:", err)
+			}
+		}()
+	}
+	var ob *wcet.Observer
+	if *traceFile != "" || *metricsFile != "" || *verbose {
+		cfg := wcet.ObserverConfig{}
+		if *verbose {
+			cfg.Progress = os.Stderr
+		}
+		ob = wcet.NewObserver(cfg)
+	}
+	// Export observability even when the analysis errors out: a trace of a
+	// degraded or interrupted run is exactly when you want one.
+	defer func() {
+		if ob == nil {
+			return
+		}
+		if *traceFile != "" {
+			if err := writeTo(*traceFile, ob.Trace().WriteChrome); err != nil {
+				fmt.Fprintln(os.Stderr, "wcet: trace:", err)
+			}
+		}
+		if *metricsFile != "" {
+			if err := writeTo(*metricsFile, ob.Metrics().WriteSnapshotAll); err != nil {
+				fmt.Fprintln(os.Stderr, "wcet: metrics:", err)
+			}
+		}
+	}()
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if *timeout > 0 {
@@ -71,6 +118,7 @@ func run() int {
 		Exhaustive: *exhaustive,
 		Workers:    *workers,
 		MCTimeout:  *mcTimeout,
+		Obs:        ob,
 		TestGen: wcet.TestGenConfig{
 			GA:       wcet.GAConfig{Seed: *seed},
 			Optimise: true,
@@ -114,4 +162,17 @@ func run() int {
 		return exitDegraded
 	}
 	return exitOK
+}
+
+// writeTo creates path and streams one export into it.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

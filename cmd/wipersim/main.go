@@ -2,6 +2,9 @@
 // controller model, its generated code, and the WCET comparison.
 //
 //	wipersim [-src] [-dot] [-chart] [-workers n]
+//
+// All results — generated source, DOT graph, case-study tables — go to
+// stdout; errors and diagnostics go to stderr.
 package main
 
 import (

@@ -33,6 +33,7 @@ import (
 	"wcet/internal/fail"
 	"wcet/internal/interp"
 	"wcet/internal/measure"
+	"wcet/internal/obs"
 	"wcet/internal/partition"
 	"wcet/internal/paths"
 	"wcet/internal/schema"
@@ -65,6 +66,15 @@ type Options struct {
 	// 1 reproduces the serial pipeline. Every stage merges its results
 	// deterministically, so the Report is identical for every value.
 	Workers int
+	// Obs receives the analysis's observability stream: stage spans, the
+	// metrics registry and -v progress. nil (the default) disables
+	// observation at the cost of one pointer check per site; the attached
+	// observer is also threaded through the context, so every stage —
+	// testgen, both model-checker engines, the GA, measurement, the
+	// partitioning sweep and the worker pool — reports into the same
+	// registry and trace. Deterministic exports (canonical snapshot and
+	// event stream) are byte-identical for every Workers value.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -202,6 +212,7 @@ func Analyze(src string, opt Options) (*Report, error) {
 // structured fail.ErrCancelled / fail.ErrBudgetExceeded.
 func AnalyzeCtx(ctx context.Context, src string, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
+	sp := opt.Obs.Span("stage", "frontend", "00/frontend")
 	file, err := parser.ParseFile("input.c", src)
 	if err != nil {
 		return nil, err
@@ -222,6 +233,8 @@ func AnalyzeCtx(ctx context.Context, src string, opt Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End("func", fn.Name, "blocks", g.NumNodes())
+	opt.Obs.Progressf("frontend: parsed %s (%d blocks)", fn.Name, g.NumNodes())
 	return AnalyzeGraphCtx(ctx, file, fn, g, opt)
 }
 
@@ -243,22 +256,35 @@ func AnalyzeGraph(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (
 // would be a guess, not a guarantee.
 func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
+	o := opt.Obs
+	// The observer rides the context from here on, exactly like the fault
+	// injector: testgen, the model checker, measurement and the worker pool
+	// all read it back with obs.From.
+	ctx = obs.With(ctx, o)
 	rep := &Report{File: file, Fn: fn, G: g, ExhaustiveWCET: -1}
 
 	// 1. Partition.
+	sp := o.Span("stage", "partition", "10/partition", "bound", opt.Bound)
 	plan, err := partition.PartitionBound(g, opt.Bound)
 	if err != nil {
 		return nil, err
 	}
 	rep.Plan = plan
+	sp.End("units", len(plan.Units), "ip", plan.IP, "m", plan.M)
+	o.Count("partition.units", int64(len(plan.Units)))
+	o.Set("partition.ip", 0, int64(plan.IP))
+	o.Progressf("partition: bound=%d → %d units, ip=%d, m=%s", opt.Bound, len(plan.Units), plan.IP, plan.M)
 
 	// 2. Targets: every internal path of whole-measured segments, and every
 	// outcome of residual blocks (block time depends on the branch taken),
 	// each mapped back to the plan units that need it.
+	sp = o.Span("stage", "targets", "20/targets")
 	targets, owners, err := planTargets(g, rep.Plan)
 	if err != nil {
 		return nil, err
 	}
+	sp.End("targets", len(targets))
+	o.Count("testgen.targets", int64(len(targets)))
 
 	// 3. Hybrid test-data generation. The pipeline always runs the model
 	// optimisations: the naive translation exists for the Table 2
@@ -272,10 +298,14 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 	if tgConf.MC.Timeout == 0 {
 		tgConf.MC.Timeout = opt.MCTimeout
 	}
+	sp = o.Span("stage", "testgen", "30/testgen", "targets", len(targets))
 	rep.TestGen, err = gen.GenerateCtx(ctx, targets, tgConf)
 	if err != nil {
 		return nil, err
 	}
+	sp.End("heuristic-share", fmt.Sprintf("%.2f", rep.TestGen.HeuristicShare),
+		"ga-evals", rep.TestGen.TotalGAEvals, "mc-steps", rep.TestGen.TotalMCSteps)
+	o.Progressf("testgen: %s", rep.TestGen.Summary())
 	var envs []interp.Env
 	degradedUnits := map[int]bool{}
 	for i, r := range rep.TestGen.Results {
@@ -299,15 +329,20 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 	rep.DegradedUnits = sortedKeys(degradedUnits)
 
 	// 4. Measure on the simulator.
+	sp = o.Span("stage", "compile", "40/compile")
 	img, err := codegen.Compile(g, file)
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	vm := sim.New(img, opt.SimOptions)
+	sp = o.Span("stage", "measure", "50/measure", "vectors", len(envs))
 	rep.Measurement, err = measure.CampaignCtx(ctx, rep.Plan, vm, envs, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
+	sp.End("runs", rep.Measurement.Runs)
+	o.Progressf("measure: %d vectors replayed over %d units", rep.Measurement.Runs, len(rep.Measurement.Times))
 
 	// 4b. Degraded mode: the generated vectors are not guaranteed to
 	// exercise the worst path of the degraded units. When the input space
@@ -319,8 +354,10 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 		if !enumerable {
 			rep.Soundness = BoundUnavailable
 			rep.WCET = -1
+			finishObservation(o, rep)
 			return rep, nil
 		}
+		sp = o.Span("stage", "fallback", "60/fallback", "vectors", len(exhaustiveEnvs))
 		fallback, err := measure.CampaignCtx(ctx, rep.Plan, vm, exhaustiveEnvs, opt.Workers)
 		if err != nil {
 			return nil, err
@@ -330,26 +367,60 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 			rep.Degradations[i].Resolution = "exhaustive-fallback"
 		}
 		rep.Soundness = BoundDegradedSafe
+		sp.End("runs", fallback.Runs)
+		o.Progressf("fallback: exhaustive sweep of %d vectors restored coverage", fallback.Runs)
 	}
 	pruneUnobserved(rep)
 
 	// 5. Timing schema.
+	sp = o.Span("stage", "schema", "70/schema")
 	bound, err := schema.ComputeDegraded(rep.Measurement, degradedUnits)
 	if err != nil {
 		return nil, err
 	}
 	rep.WCET = bound.WCET
 	rep.Critical = bound.CriticalUnits
+	sp.End("wcet", rep.WCET, "critical-units", len(rep.Critical))
 
 	// 6. Optional exhaustive ground truth.
 	if opt.Exhaustive && enumerable {
+		sp = o.Span("stage", "exhaustive", "80/exhaustive", "vectors", len(exhaustiveEnvs))
 		exh, err := measure.ExhaustiveMaxCtx(ctx, vm, exhaustiveEnvs, opt.Workers)
 		if err != nil {
 			return nil, err
 		}
 		rep.ExhaustiveWCET = exh
+		sp.End("max-cycles", exh)
+		o.Set("measure.exhaustive.wcet_cycles", 0, exh)
 	}
+	finishObservation(o, rep)
+	o.Progressf("schema: WCET=%d cycles, soundness=%s", rep.WCET, rep.Soundness)
 	return rep, nil
+}
+
+// finishObservation records the verdict-level metrics and the degradation
+// ledger into the observation session. Ledger entries become deterministic
+// instant events — one per unresolved path, keyed by path key and carrying
+// the attributed units, resolution and cause — so a degraded run is
+// diagnosable from the trace alone. Called exactly once per analysis, after
+// every Resolution is final.
+func finishObservation(o *obs.Observer, rep *Report) {
+	if o == nil {
+		return
+	}
+	o.Set("schema.wcet_cycles", 0, rep.WCET)
+	o.Set("core.soundness", 0, int64(rep.Soundness))
+	o.Count("core.infeasible_paths", int64(rep.InfeasiblePaths))
+	o.Count("core.degraded_paths", int64(len(rep.Degradations)))
+	for _, d := range rep.Degradations {
+		cause := "model checker disabled"
+		if d.Cause != nil {
+			cause = d.Cause.Error()
+		}
+		o.Instant("ledger", "degraded", "65/ledger/"+d.PathKey,
+			"path", d.PathKey, "units", fmt.Sprint(d.Units),
+			"resolution", d.Resolution, "cause", cause)
+	}
 }
 
 // enumerateAll builds the full input-vector cross product, reporting

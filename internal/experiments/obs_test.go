@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cc/parser"
+	"wcet/internal/cc/sem"
+	"wcet/internal/cfg"
+	"wcet/internal/core"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
+	"wcet/internal/model"
+	"wcet/internal/obs"
+)
+
+// The observability layer rides the same determinism guarantee as the
+// pipeline itself: the canonical metrics snapshot and the canonical trace
+// stream must be byte-identical for Workers=1 and Workers=8 — on a clean
+// run and on a run degraded by injected faults.
+
+func buildWiperGraph(t *testing.T) (*ast.File, *ast.FuncDecl, *cfg.Graph) {
+	t.Helper()
+	src := model.Wiper().Emit("wiper_control")
+	file, err := parser.ParseFile("wiper.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sem.Check(file); err != nil {
+		t.Fatal(err)
+	}
+	fn := file.Func("wiper_control")
+	g, err := cfg.Build(fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file, fn, g
+}
+
+// observedRun runs the full wiper pipeline under a fresh observer and
+// returns the canonical exports plus the report.
+func observedRun(t *testing.T, ctx context.Context, file *ast.File, fn *ast.FuncDecl,
+	g *cfg.Graph, workers int) ([]byte, []string, *core.Report, *obs.Observer) {
+
+	t.Helper()
+	o := obs.New(obs.Config{})
+	rep, err := core.AnalyzeGraphCtx(ctx, file, fn, g, core.Options{
+		Bound:      8,
+		Exhaustive: true,
+		Workers:    workers,
+		Obs:        o,
+		TestGen:    wiperTestGenConfig(workers),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Metrics().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), o.Trace().CanonicalLines(), rep, o
+}
+
+func TestObservabilityCanonicalAcrossWorkers(t *testing.T) {
+	file, fn, g := buildWiperGraph(t)
+	ctx := context.Background()
+	snap1, lines1, rep, o := observedRun(t, ctx, file, fn, g, 1)
+	snap8, lines8, _, _ := observedRun(t, ctx, file, fn, g, 8)
+
+	if !bytes.Equal(snap1, snap8) {
+		t.Errorf("canonical metrics snapshot differs between Workers=1 and Workers=8:\n--- serial:\n%s\n--- parallel:\n%s",
+			snap1, snap8)
+	}
+	if !reflect.DeepEqual(lines1, lines8) {
+		t.Errorf("canonical trace differs between Workers=1 and Workers=8 (%d vs %d lines)",
+			len(lines1), len(lines8))
+	}
+
+	// The snapshot must actually cover the pipeline: stage spans in the
+	// trace, model-checker effort in the registry. (No frontend span here —
+	// AnalyzeGraphCtx starts from a built graph.)
+	joined := strings.Join(lines1, "\n")
+	for _, want := range []string{"10/partition", "30/testgen", "50/measure", "70/schema", "30/testgen/mc/"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("canonical trace missing %q", want)
+		}
+	}
+
+	// The registry and the report are views of the same accumulation — they
+	// can never disagree.
+	reg := o.Metrics()
+	if got, want := reg.Value("testgen.ga.evaluations"), int64(rep.TestGen.TotalGAEvals); got != want {
+		t.Errorf("registry testgen.ga.evaluations = %d, report says %d", got, want)
+	}
+	if got, want := reg.Value("testgen.mc.steps"), int64(rep.TestGen.TotalMCSteps); got != want {
+		t.Errorf("registry testgen.mc.steps = %d, report says %d", got, want)
+	}
+	if got, want := reg.Value("testgen.mc.peak_nodes"), int64(rep.TestGen.PeakMCNodes); got != want {
+		t.Errorf("registry testgen.mc.peak_nodes = %d, report says %d", got, want)
+	}
+	if got, want := reg.Value("schema.wcet_cycles"), rep.WCET; got != want {
+		t.Errorf("registry schema.wcet_cycles = %d, report says %d", got, want)
+	}
+	if got, want := reg.Value("core.infeasible_paths"), int64(rep.InfeasiblePaths); got != want {
+		t.Errorf("registry core.infeasible_paths = %d, report says %d", got, want)
+	}
+}
+
+// TestObservabilityCanonicalUnderInjectedFaults degrades every residue
+// model-checker call with a deterministic budget fault: the canonical
+// exports must still be byte-identical across worker counts, and every
+// degraded path must surface as a ledger instant in the trace.
+func TestObservabilityCanonicalUnderInjectedFaults(t *testing.T) {
+	file, fn, g := buildWiperGraph(t)
+	inject := func() context.Context {
+		return faults.With(context.Background(), faults.New(faults.Rule{
+			Site:  "testgen.mc",
+			Index: -1,
+			Err:   fail.Budget("mc", "injected step budget"),
+		}))
+	}
+	snap1, lines1, rep, o := observedRun(t, inject(), file, fn, g, 1)
+	snap8, lines8, _, _ := observedRun(t, inject(), file, fn, g, 8)
+
+	if rep.Soundness == core.BoundExact {
+		t.Fatal("injected faults did not degrade the run")
+	}
+	if len(rep.Degradations) == 0 {
+		t.Fatal("no degradation ledger entries")
+	}
+	if !bytes.Equal(snap1, snap8) {
+		t.Errorf("degraded canonical snapshot differs between Workers=1 and Workers=8:\n--- serial:\n%s\n--- parallel:\n%s",
+			snap1, snap8)
+	}
+	if !reflect.DeepEqual(lines1, lines8) {
+		t.Errorf("degraded canonical trace differs between Workers=1 and Workers=8 (%d vs %d lines)",
+			len(lines1), len(lines8))
+	}
+
+	ledger := 0
+	for _, l := range lines1 {
+		if strings.Contains(l, "65/ledger/") {
+			ledger++
+			if !strings.Contains(l, "injected step budget") {
+				t.Errorf("ledger event missing its cause: %s", l)
+			}
+		}
+	}
+	if ledger != len(rep.Degradations) {
+		t.Errorf("trace has %d ledger events, report has %d degradations", ledger, len(rep.Degradations))
+	}
+	if got, want := o.Metrics().Value("core.degraded_paths"), int64(len(rep.Degradations)); got != want {
+		t.Errorf("registry core.degraded_paths = %d, report has %d", got, want)
+	}
+}

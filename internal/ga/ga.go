@@ -13,6 +13,7 @@ import (
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
 	"wcet/internal/interp"
+	"wcet/internal/obs"
 	"wcet/internal/paths"
 )
 
@@ -62,6 +63,13 @@ type Config struct {
 	// timing-dependent, so drivers only use it on paths that abandon the
 	// whole analysis anyway.
 	Stop func() bool
+	// Obs receives volatile observability only: GA searches run
+	// speculatively under the hybrid generator — whether a given search
+	// runs at all depends on worker scheduling — so nothing a single
+	// Search records may enter a canonical export. Deterministic GA
+	// effort is the coverage board's counted fold, recorded by the
+	// generator after the merge. nil disables recording.
+	Obs *obs.Observer
 	// OnTrace observes every executed candidate (for incidental coverage).
 	// It is called synchronously from the goroutine running Search, but
 	// drivers may run several Searches concurrently: a callback shared
@@ -117,6 +125,7 @@ func Search(g *cfg.Graph, m *interp.Machine, inputs []Variable,
 	target paths.Path, base interp.Env, conf Config) Result {
 
 	conf = conf.withDefaults()
+	sp := conf.Obs.SpanV("ga", "ga.search", "path", target.Key())
 	rng := rand.New(rand.NewSource(conf.Seed))
 	n := len(inputs)
 
@@ -206,6 +215,10 @@ func Search(g *cfg.Graph, m *interp.Machine, inputs []Variable,
 		res.Env = env
 		res.Found = true
 	}
+	conf.Obs.CountV("ga.searches", 1)
+	conf.Obs.CountV("ga.evaluations.speculative", int64(stats.Evaluations))
+	sp.End("found", res.Found,
+		"evals", stats.Evaluations, "gens", stats.Generations)
 	return res
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wcet/internal/fail"
+	"wcet/internal/obs"
 	"wcet/internal/tsys"
 )
 
@@ -29,6 +30,8 @@ func CheckExplicitCtx(ctx context.Context, model *tsys.Model, opt Options) (*Res
 		defer cancel()
 	}
 	start := time.Now()
+	o := obs.From(ctx)
+	o.Count("mc.explicit.calls", 1)
 	if model.Trap == tsys.NoLoc {
 		return nil, fail.Infra("mc", fmt.Errorf("model has no trap location"))
 	}
@@ -106,6 +109,13 @@ func CheckExplicitCtx(ctx context.Context, model *tsys.Model, opt Options) (*Res
 	out := model.OutEdges()
 	res := &Result{}
 	res.Stats.StateBits = model.StateBits()
+	// Step and state counts are pure functions of model + options; the
+	// duration is wall clock and stays volatile.
+	record := func() {
+		o.Count("mc.explicit.steps", int64(res.Stats.Steps))
+		o.Hist("mc.explicit.states", int64(res.Stats.States))
+		o.HistV("mc.explicit.duration_ns", res.Stats.Duration.Nanoseconds())
+	}
 
 	visited := map[state]bool{}
 	parent := map[state]state{}
@@ -150,6 +160,7 @@ func CheckExplicitCtx(ctx context.Context, model *tsys.Model, opt Options) (*Res
 			res.Stats.Duration = time.Since(start)
 			res.Stats.States = float64(len(visited))
 			res.Stats.MemoryBytes = int64(len(visited)) * int64(len(model.Vars)*8+32)
+			record()
 			return res, nil
 		}
 	}
@@ -203,6 +214,7 @@ func CheckExplicitCtx(ctx context.Context, model *tsys.Model, opt Options) (*Res
 					res.Stats.Duration = time.Since(start)
 					res.Stats.States = float64(len(visited))
 					res.Stats.MemoryBytes = int64(len(visited)) * int64(len(model.Vars)*8+32)
+					record()
 					return res, nil
 				}
 			}
@@ -217,6 +229,7 @@ func CheckExplicitCtx(ctx context.Context, model *tsys.Model, opt Options) (*Res
 	res.Stats.Duration = time.Since(start)
 	res.Stats.States = float64(len(visited))
 	res.Stats.MemoryBytes = int64(len(visited)) * int64(len(model.Vars)*8+32)
+	record()
 	return res, nil
 }
 

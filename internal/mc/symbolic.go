@@ -10,6 +10,7 @@ import (
 	"wcet/internal/cc/token"
 	"wcet/internal/fail"
 	"wcet/internal/faults"
+	"wcet/internal/obs"
 	"wcet/internal/tsys"
 )
 
@@ -421,6 +422,9 @@ func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (res 
 		defer cancel()
 	}
 	start := time.Now()
+	o := obs.From(ctx)
+	o.Count("mc.calls", 1)
+	msp := o.SpanV("mc", "mc.symbolic")
 	if model.Trap == tsys.NoLoc {
 		return nil, fail.Infra("mc", fmt.Errorf("model has no trap location"))
 	}
@@ -436,6 +440,7 @@ func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (res 
 			if !ok {
 				panic(r)
 			}
+			o.Count("mc.budget_exhausted", 1)
 			res, err = nil, &fail.Error{Kind: fail.ErrBudgetExceeded, Stage: "mc",
 				Msg: "BDD node budget exhausted", Cause: le}
 		}
@@ -487,6 +492,7 @@ func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (res 
 	}
 	if !hit && frontier != bdd.False {
 		// The step budget ran out with states still unexplored: no verdict.
+		o.Count("mc.budget_exhausted", 1)
 		return nil, fail.Budget("mc", "step budget exhausted after %d steps", res.Stats.Steps)
 	}
 
@@ -506,6 +512,14 @@ func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (res 
 		res.Witness = w
 	}
 	res.Stats.Duration = time.Since(start)
+	// Steps, peak nodes and state bits are pure functions of model + options
+	// (one fresh manager per call), so they feed deterministic series; the
+	// duration is wall clock and stays volatile.
+	o.Count("mc.steps", int64(res.Stats.Steps))
+	o.SetMax("mc.peak_nodes", int64(res.Stats.PeakNodes))
+	o.Hist("mc.state_bits", int64(e.nbits))
+	o.HistV("mc.duration_ns", res.Stats.Duration.Nanoseconds())
+	msp.End("steps", res.Stats.Steps, "reachable", res.Reachable)
 	return res, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"wcet/internal/fail"
 	"wcet/internal/faults"
 	"wcet/internal/interp"
+	"wcet/internal/obs"
 	"wcet/internal/par"
 	"wcet/internal/partition"
 	"wcet/internal/sim"
@@ -78,11 +79,13 @@ func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env, workers ...in
 // goroutines.
 func CampaignCtx(ctx context.Context, plan *partition.Plan, vm *sim.VM, data []interp.Env, workers int) (*Result, error) {
 	w := par.Workers(workers)
+	o := obs.From(ctx)
 	accs := make([]*Result, w)
 	err := par.ForEachWorkerCtx(ctx, len(data), w, func(worker int) func(context.Context, int) error {
 		wvm := vm.Clone()
 		acc := newResult(plan)
 		accs[worker] = acc
+		ow := o.Worker(worker)
 		return func(ctx context.Context, i int) error {
 			if ferr := faults.Fire(ctx, "measure.run", i); ferr != nil {
 				return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
@@ -94,6 +97,10 @@ func CampaignCtx(ctx context.Context, plan *partition.Plan, vm *sim.VM, data []i
 			}
 			acc.Runs++
 			acc.Observe(tr)
+			// The vector set and each run's cycle count are deterministic;
+			// histogram buckets fold commutatively across workers.
+			ow.Count("measure.runs", 1)
+			ow.Hist("measure.cycles", tr.Total)
 			return nil
 		}
 	})
@@ -220,12 +227,14 @@ func ExhaustiveMax(vm *sim.VM, data []interp.Env, workers ...int) (int64, error)
 // cancellation, attribution and panic-isolation contract as CampaignCtx.
 func ExhaustiveMaxCtx(ctx context.Context, vm *sim.VM, data []interp.Env, workers int) (int64, error) {
 	w := par.Workers(workers)
+	o := obs.From(ctx)
 	maxes := make([]int64, w)
 	for i := range maxes {
 		maxes[i] = -1
 	}
 	err := par.ForEachWorkerCtx(ctx, len(data), w, func(worker int) func(context.Context, int) error {
 		wvm := vm.Clone()
+		ow := o.Worker(worker)
 		return func(ctx context.Context, i int) error {
 			if ferr := faults.Fire(ctx, "measure.exhaustive", i); ferr != nil {
 				return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
@@ -238,6 +247,8 @@ func ExhaustiveMaxCtx(ctx context.Context, vm *sim.VM, data []interp.Env, worker
 			if tr.Total > maxes[worker] {
 				maxes[worker] = tr.Total
 			}
+			ow.Count("measure.exhaustive.runs", 1)
+			ow.Hist("measure.exhaustive.cycles", tr.Total)
 			return nil
 		}
 	})
@@ -250,6 +261,7 @@ func ExhaustiveMaxCtx(ctx context.Context, vm *sim.VM, data []interp.Env, worker
 			max = m
 		}
 	}
+	o.SetMax("measure.exhaustive.max_cycles", max)
 	return max, nil
 }
 

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Kind classifies a metric's aggregation rule. Every kind folds
+// commutatively, so the aggregate is independent of arrival order — the
+// registry-level half of the determinism rule.
+type Kind uint8
+
+// Metric kinds.
+const (
+	// KindCounter sums its updates.
+	KindCounter Kind = iota
+	// KindMax keeps the largest recorded value.
+	KindMax
+	// KindGauge keeps the value recorded with the highest logical index —
+	// concurrent writers tag updates with a logical position (path index,
+	// sweep-bound position), never rely on arrival order.
+	KindGauge
+	// KindHist counts values into power-of-two buckets and keeps count and
+	// sum; bucket counts are sums, so histograms merge commutatively.
+	KindHist
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindMax:
+		return "max"
+	case KindGauge:
+		return "gauge"
+	case KindHist:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Metric is one named series. All updates fold commutatively under the
+// metric's own lock; a metric is a shard-merge in miniature — per-worker
+// updates land in any order and the fold is order-insensitive by
+// construction.
+type Metric struct {
+	Name     string
+	Kind     Kind
+	Volatile bool
+
+	mu  sync.Mutex
+	val int64 // counter sum / max / gauge value
+	idx int64 // gauge: logical index of val
+	set bool  // gauge/max: any update recorded
+	// histogram state
+	count, sum int64
+	buckets    map[int]int64 // bit-length → count
+}
+
+func (m *Metric) add(n int64) {
+	m.mu.Lock()
+	m.val += n
+	m.mu.Unlock()
+}
+
+func (m *Metric) max(v int64) {
+	m.mu.Lock()
+	if !m.set || v > m.val {
+		m.val = v
+		m.set = true
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metric) setIdx(idx, v int64) {
+	m.mu.Lock()
+	if !m.set || idx >= m.idx {
+		m.val = v
+		m.idx = idx
+		m.set = true
+	}
+	m.mu.Unlock()
+}
+
+// bucketOf maps v to its power-of-two bucket: the bit length of v for
+// positive values, 0 for v <= 0 (negative observations are clamped — the
+// pipeline's quantities are non-negative).
+func bucketOf(v int64) int {
+	b := 0
+	for x := v; x > 0; x >>= 1 {
+		b++
+	}
+	return b
+}
+
+func (m *Metric) observe(v int64) {
+	m.mu.Lock()
+	if m.buckets == nil {
+		m.buckets = map[int]int64{}
+	}
+	m.buckets[bucketOf(v)]++
+	m.count++
+	m.sum += v
+	m.mu.Unlock()
+}
+
+// Registry holds every metric of one observation session, keyed by name.
+// It is safe for concurrent use; reads take a shared lock, the first
+// update of a new name upgrades to an exclusive one.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*Metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]*Metric{}}
+}
+
+// metric returns the named metric, creating it on first use. The first
+// registration fixes kind and volatility; a later update under a
+// conflicting kind returns a detached throwaway metric instead of
+// corrupting the series — observability must degrade, not crash.
+func (r *Registry) metric(name string, kind Kind, volatile bool) *Metric {
+	r.mu.RLock()
+	m := r.metrics[name]
+	r.mu.RUnlock()
+	if m == nil {
+		r.mu.Lock()
+		m = r.metrics[name]
+		if m == nil {
+			m = &Metric{Name: name, Kind: kind, Volatile: volatile}
+			r.metrics[name] = m
+		}
+		r.mu.Unlock()
+	}
+	if m.Kind != kind {
+		return &Metric{Name: name, Kind: kind}
+	}
+	return m
+}
+
+// Value returns the scalar value of a counter/max/gauge metric (0 when
+// absent) — the hook tests and report views use to read back a series.
+func (r *Registry) Value(name string) int64 {
+	r.mu.RLock()
+	m := r.metrics[name]
+	r.mu.RUnlock()
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.Kind == KindHist {
+		return m.sum
+	}
+	return m.val
+}
+
+// Bucket is one histogram bucket in a snapshot: Bit is the value's bit
+// length (values in [2^(Bit-1), 2^Bit)), N its observation count.
+type Bucket struct {
+	Bit int   `json:"bit"`
+	N   int64 `json:"n"`
+}
+
+// MetricSnapshot is the exported state of one metric. Volatile is only ever
+// true in full exports — the canonical snapshot filters those metrics out,
+// so the field never perturbs canonical bytes.
+type MetricSnapshot struct {
+	Name     string   `json:"name"`
+	Kind     string   `json:"kind"`
+	Volatile bool     `json:"volatile,omitempty"`
+	Value    int64    `json:"value"`
+	Count    int64    `json:"count,omitempty"`
+	Sum      int64    `json:"sum,omitempty"`
+	Buckets  []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot exports every metric, sorted by name. Volatile metrics are
+// included only when includeVolatile is set; the deterministic subset is
+// byte-identical across worker counts once serialised.
+func (r *Registry) Snapshot(includeVolatile bool) []MetricSnapshot {
+	r.mu.RLock()
+	ms := make([]*Metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		ms = append(ms, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		if m.Volatile && !includeVolatile {
+			continue
+		}
+		m.mu.Lock()
+		s := MetricSnapshot{Name: m.Name, Kind: m.Kind.String(),
+			Volatile: m.Volatile, Value: m.val}
+		if m.Kind == KindHist {
+			s.Value = 0
+			s.Count = m.count
+			s.Sum = m.sum
+			bits := make([]int, 0, len(m.buckets))
+			for b := range m.buckets {
+				bits = append(bits, b)
+			}
+			sort.Ints(bits)
+			for _, b := range bits {
+				s.Buckets = append(s.Buckets, Bucket{Bit: b, N: m.buckets[b]})
+			}
+		}
+		m.mu.Unlock()
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteSnapshot serialises the deterministic metrics as indented JSON —
+// the canonical snapshot the determinism tests compare byte for byte.
+func (r *Registry) WriteSnapshot(w io.Writer) error {
+	return writeSnapshotJSON(w, r.Snapshot(false))
+}
+
+// WriteSnapshotAll serialises every metric including the volatile ones —
+// what the -metrics flag writes for humans.
+func (r *Registry) WriteSnapshotAll(w io.Writer) error {
+	return writeSnapshotJSON(w, r.Snapshot(true))
+}
+
+func writeSnapshotJSON(w io.Writer, snaps []MetricSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []MetricSnapshot `json:"metrics"`
+	}{Metrics: snaps})
+}

@@ -1,0 +1,323 @@
+// Package obs is the pipeline's observability core: hierarchical spans
+// over the analysis stages, a registry of named metrics, and a progress
+// stream — all with deterministic aggregation, and all zero-dependency
+// (stdlib only, no imports from the rest of the pipeline).
+//
+// # The determinism rule
+//
+// The analysis pipeline guarantees byte-identical reports for every worker
+// count; the observability layer must not be the place where that guarantee
+// leaks away. Every recorded quantity is therefore classified:
+//
+//   - Deterministic (the default): values that are pure functions of the
+//     analysed program and the configuration — model-checker steps, BDD
+//     node peaks, GA evaluations counted by the coverage board, verdict
+//     counts, measured cycle values, the WCET bound. These aggregate
+//     through commutative folds (sum, max, highest-logical-index-wins,
+//     fixed-bucket histogram counts), so the aggregate is independent of
+//     arrival order — and therefore of goroutine scheduling and of the
+//     Workers knob. Deterministic trace events carry a logical sort key
+//     (stage number, path key, plan-unit index) and every canonical export
+//     merges them in logical order, never arrival order.
+//
+//   - Volatile: wall-clock durations, speculative GA searches that may or
+//     may not run depending on scheduling, worker utilization. These are
+//     recorded for humans and excluded from every canonical export.
+//
+// Registry.WriteSnapshot and Tracer.WriteCanonical emit only deterministic
+// data and are byte-identical for Workers=1 and Workers=8 (test-enforced on
+// the wiper case study); Registry.WriteSnapshotAll and Tracer.WriteChrome
+// additionally include the volatile data.
+//
+// # Cost when disabled
+//
+// A nil *Observer is the valid disabled state: every method nil-checks and
+// returns immediately, so un-observed pipelines pay one pointer comparison
+// per instrumentation site (benchmarked at < 2% on BenchmarkTable2). Hot
+// call sites therefore thread the observer as a possibly-nil pointer and
+// never need to guard their own calls.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Config configures a new Observer.
+type Config struct {
+	// Progress receives the human-readable progress stream (one line per
+	// event, prefixed with the elapsed time). nil disables progress output.
+	// Pipelines write results to stdout; progress belongs on stderr.
+	Progress io.Writer
+}
+
+// Observer is one observation session: a metrics registry, a trace
+// recorder and an optional progress stream, shared by every stage of one
+// analysis. The zero value is not usable — construct with New. A nil
+// Observer is the disabled state: every method is a nil-check no-op.
+//
+// Observers are safe for concurrent use. Worker returns a derived handle
+// that attributes trace events to a worker lane; all derived handles share
+// the same registry and tracer.
+type Observer struct {
+	reg      *Registry
+	tr       *Tracer
+	progress io.Writer
+	progMu   *sync.Mutex
+	epoch    time.Time
+	tid      int
+}
+
+// New builds an enabled Observer with a fresh registry and tracer.
+func New(c Config) *Observer {
+	return &Observer{
+		reg:      NewRegistry(),
+		tr:       newTracer(),
+		progress: c.Progress,
+		progMu:   &sync.Mutex{},
+		epoch:    time.Now(),
+	}
+}
+
+// Metrics returns the observer's registry (nil for a nil observer).
+func (o *Observer) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Trace returns the observer's tracer (nil for a nil observer).
+func (o *Observer) Trace() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}
+
+// Worker derives a handle whose trace events are attributed to worker lane
+// w (lanes are the tid axis of the Chrome trace; the orchestrating
+// goroutine is lane 0, workers are lanes 1..n). The derived handle shares
+// the registry, tracer and progress stream.
+func (o *Observer) Worker(w int) *Observer {
+	if o == nil {
+		return nil
+	}
+	d := *o
+	d.tid = w + 1
+	return &d
+}
+
+// Progressf writes one progress line, prefixed with the elapsed wall time.
+// Safe for concurrent use; a no-op without a progress writer.
+func (o *Observer) Progressf(format string, args ...any) {
+	if o == nil || o.progress == nil {
+		return
+	}
+	o.progMu.Lock()
+	defer o.progMu.Unlock()
+	fmt.Fprintf(o.progress, "[%8.3fs] %s\n",
+		time.Since(o.epoch).Seconds(), fmt.Sprintf(format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+
+// Span is one timed region of the pipeline. Obtain with Observer.Span
+// (deterministic, part of the canonical stream) or Observer.SpanV
+// (volatile); finish with End. A nil Span (from a nil Observer) is inert.
+type Span struct {
+	o        *Observer
+	cat      string
+	name     string
+	logical  string
+	volatile bool
+	start    time.Time
+	args     []Arg
+}
+
+// Span starts a deterministic span. logical is the canonical sort key —
+// stage spans use zero-padded stage numbers ("30/testgen"), per-path spans
+// append the path key ("30/testgen/mc/<key>") so nesting sorts with its
+// parent. kv is an alternating key/value list; values must themselves be
+// deterministic (no durations, no pointers).
+func (o *Observer) Span(cat, name, logical string, kv ...any) *Span {
+	if o == nil {
+		return nil
+	}
+	return &Span{o: o, cat: cat, name: name, logical: logical,
+		start: time.Now(), args: makeArgs(kv)}
+}
+
+// SpanV starts a volatile span: it appears in the Chrome trace but never
+// in the canonical stream. Use it for work whose occurrence depends on
+// scheduling — speculative GA searches, per-worker internals.
+func (o *Observer) SpanV(cat, name string, kv ...any) *Span {
+	if o == nil {
+		return nil
+	}
+	return &Span{o: o, cat: cat, name: name, volatile: true,
+		start: time.Now(), args: makeArgs(kv)}
+}
+
+// End finishes the span, appending kv to its arguments and emitting it to
+// the tracer. End on a nil span is a no-op.
+func (s *Span) End(kv ...any) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.o.tr.add(Event{
+		Cat:      s.cat,
+		Name:     s.name,
+		Logical:  s.logical,
+		Volatile: s.volatile,
+		TID:      s.o.tid,
+		StartNS:  s.start.Sub(s.o.epoch).Nanoseconds(),
+		DurNS:    now.Sub(s.start).Nanoseconds(),
+		Args:     append(s.args, makeArgs(kv)...),
+	})
+}
+
+// Instant emits a deterministic zero-duration event — the ledger events
+// (degradations, budget exhaustions) use it so that every unresolved path
+// is visible in the trace with its cause.
+func (o *Observer) Instant(cat, name, logical string, kv ...any) {
+	if o == nil {
+		return
+	}
+	o.tr.add(Event{
+		Cat:     cat,
+		Name:    name,
+		Logical: logical,
+		Instant: true,
+		TID:     o.tid,
+		StartNS: time.Since(o.epoch).Nanoseconds(),
+		Args:    makeArgs(kv),
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Metric recording (nil-safe front end over the registry)
+
+// Count adds n to the named deterministic counter.
+func (o *Observer) Count(name string, n int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindCounter, false).add(n)
+}
+
+// CountV adds n to the named volatile counter.
+func (o *Observer) CountV(name string, n int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindCounter, true).add(n)
+}
+
+// SetMax raises the named deterministic max-gauge to v if v is larger.
+func (o *Observer) SetMax(name string, v int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindMax, false).max(v)
+}
+
+// SetMaxV raises the named volatile max-gauge.
+func (o *Observer) SetMaxV(name string, v int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindMax, true).max(v)
+}
+
+// Set records v on the named deterministic gauge at logical index idx. The
+// value with the highest index wins the snapshot, so concurrent writers
+// with distinct logical indices (path position, sweep-bound position)
+// aggregate deterministically, never by arrival order.
+func (o *Observer) Set(name string, idx, v int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindGauge, false).setIdx(idx, v)
+}
+
+// SetV records v on the named volatile gauge at logical index idx.
+func (o *Observer) SetV(name string, idx, v int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindGauge, true).setIdx(idx, v)
+}
+
+// Hist records v in the named deterministic histogram (power-of-two
+// buckets; bucket counts and the sum aggregate commutatively).
+func (o *Observer) Hist(name string, v int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindHist, false).observe(v)
+}
+
+// HistV records v in the named volatile histogram — the home of every
+// duration distribution.
+func (o *Observer) HistV(name string, v int64) {
+	if o == nil {
+		return
+	}
+	o.reg.metric(name, KindHist, true).observe(v)
+}
+
+// ---------------------------------------------------------------------------
+// Args
+
+// Arg is one key/value trace-event argument, stringified at record time so
+// exports need no reflection.
+type Arg struct {
+	K, V string
+}
+
+// makeArgs folds an alternating key/value list into Args. Values are
+// rendered with %v; a trailing odd key gets an empty value rather than
+// panicking (observability must never take the pipeline down).
+func makeArgs(kv []any) []Arg {
+	if len(kv) == 0 {
+		return nil
+	}
+	out := make([]Arg, 0, (len(kv)+1)/2)
+	for i := 0; i < len(kv); i += 2 {
+		k := fmt.Sprintf("%v", kv[i])
+		v := ""
+		if i+1 < len(kv) {
+			v = fmt.Sprintf("%v", kv[i+1])
+		}
+		out = append(out, Arg{K: k, V: v})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Context plumbing
+
+type ctxKey struct{}
+
+// With attaches an observer to the context, the same pattern the fault
+// injector uses: deep call sites (the worker pool, the model-checker
+// engines, measurement replays) read it back with From and pay one context
+// lookup per call, not per inner iteration.
+func With(ctx context.Context, o *Observer) context.Context {
+	if o == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, o)
+}
+
+// From retrieves the context's observer, or nil.
+func From(ctx context.Context) *Observer {
+	o, _ := ctx.Value(ctxKey{}).(*Observer)
+	return o
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A nil Observer must be inert everywhere: the pipeline threads possibly-
+// nil observers through every stage without guarding call sites.
+func TestNilObserverIsNoOp(t *testing.T) {
+	var o *Observer
+	o.Count("x", 1)
+	o.CountV("x", 1)
+	o.SetMax("x", 1)
+	o.SetMaxV("x", 1)
+	o.Set("x", 0, 1)
+	o.SetV("x", 0, 1)
+	o.Hist("x", 1)
+	o.HistV("x", 1)
+	o.Progressf("hello %d", 1)
+	o.Instant("c", "n", "l")
+	sp := o.Span("c", "n", "l", "k", "v")
+	sp.End("k2", "v2")
+	o.SpanV("c", "n").End()
+	if o.Worker(3) != nil {
+		t.Error("nil.Worker() must stay nil")
+	}
+	if o.Metrics() != nil || o.Trace() != nil {
+		t.Error("nil observer must expose nil registry and tracer")
+	}
+	if From(context.Background()) != nil {
+		t.Error("From on a bare context must be nil")
+	}
+	if ctx := With(context.Background(), nil); From(ctx) != nil {
+		t.Error("With(nil) must not attach an observer")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	o := New(Config{})
+	ctx := With(context.Background(), o)
+	if From(ctx) != o {
+		t.Fatal("observer lost in context round trip")
+	}
+	if w := From(ctx).Worker(2); w.tid != 3 {
+		t.Fatalf("Worker(2) tid = %d, want 3", w.tid)
+	}
+}
+
+func TestMetricKinds(t *testing.T) {
+	o := New(Config{})
+	o.Count("c", 2)
+	o.Count("c", 3)
+	o.SetMax("m", 7)
+	o.SetMax("m", 4)
+	o.Set("g", 1, 10)
+	o.Set("g", 3, 30)
+	o.Set("g", 2, 20) // lower logical index: must not win
+	o.Hist("h", 1)
+	o.Hist("h", 5)
+	o.Hist("h", 5)
+	reg := o.Metrics()
+	if v := reg.Value("c"); v != 5 {
+		t.Errorf("counter = %d, want 5", v)
+	}
+	if v := reg.Value("m"); v != 7 {
+		t.Errorf("max = %d, want 7", v)
+	}
+	if v := reg.Value("g"); v != 30 {
+		t.Errorf("gauge = %d, want 30 (highest logical index)", v)
+	}
+	if v := reg.Value("h"); v != 11 {
+		t.Errorf("hist sum = %d, want 11", v)
+	}
+	snaps := reg.Snapshot(true)
+	var hist *MetricSnapshot
+	for i := range snaps {
+		if snaps[i].Name == "h" {
+			hist = &snaps[i]
+		}
+	}
+	if hist == nil || hist.Count != 3 || hist.Sum != 11 {
+		t.Fatalf("hist snapshot = %+v, want count 3 sum 11", hist)
+	}
+	// 1 → bucket 1; 5 → bucket 3 (values 4..7).
+	if len(hist.Buckets) != 2 || hist.Buckets[0] != (Bucket{Bit: 1, N: 1}) ||
+		hist.Buckets[1] != (Bucket{Bit: 3, N: 2}) {
+		t.Errorf("hist buckets = %+v", hist.Buckets)
+	}
+}
+
+// A kind conflict on a name must neither panic nor corrupt the original
+// series.
+func TestKindConflictIsDropped(t *testing.T) {
+	o := New(Config{})
+	o.Count("x", 5)
+	o.SetMax("x", 100) // conflicting kind: dropped
+	if v := o.Metrics().Value("x"); v != 5 {
+		t.Errorf("counter corrupted by kind conflict: %d", v)
+	}
+}
+
+// The snapshot must be a pure fold of the recorded updates: concurrent
+// writers from many goroutines, arriving in any order, must produce the
+// same canonical bytes as a serial run.
+func TestSnapshotDeterministicUnderConcurrency(t *testing.T) {
+	record := func(parallel bool) string {
+		o := New(Config{})
+		n := 64
+		work := func(i int) {
+			o.Count("evals", int64(i))
+			o.SetMax("peak", int64(i*7%97))
+			o.Set("wcet", int64(i), int64(i*3))
+			o.Hist("cycles", int64(i%13))
+			o.HistV("ns", int64(i)) // volatile: excluded from canonical
+		}
+		if parallel {
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) { defer wg.Done(); work(i) }(i)
+			}
+			wg.Wait()
+		} else {
+			for i := n - 1; i >= 0; i-- { // reversed order on purpose
+				work(i)
+			}
+		}
+		var b bytes.Buffer
+		if err := o.Metrics().WriteSnapshot(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	serial := record(false)
+	for i := 0; i < 4; i++ {
+		if p := record(true); p != serial {
+			t.Fatalf("snapshot differs between serial and concurrent runs:\n--- serial\n%s\n--- concurrent\n%s", serial, p)
+		}
+	}
+	if strings.Contains(serial, `"ns"`) {
+		t.Error("volatile metric leaked into the canonical snapshot")
+	}
+}
+
+func TestCanonicalTraceOrdersLogically(t *testing.T) {
+	o := New(Config{})
+	// Emit out of logical order, from different worker lanes.
+	o.Worker(1).Span("stage", "measure", "50/measure").End("runs", 12)
+	o.Span("stage", "partition", "10/partition", "units", 4).End()
+	o.Worker(2).SpanV("ga", "search").End("evals", 99) // volatile
+	o.Instant("ledger", "degraded", "65/ledger/p1", "cause", "budget")
+	lines := o.Trace().CanonicalLines()
+	if len(lines) != 3 {
+		t.Fatalf("canonical stream has %d lines, want 3 (volatile dropped): %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "10/partition") ||
+		!strings.Contains(lines[1], "50/measure") ||
+		!strings.Contains(lines[2], "65/ledger/p1") {
+		t.Errorf("canonical stream not in logical order:\n%s", strings.Join(lines, "\n"))
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "ts") && strings.Contains(l, "dur") {
+			t.Errorf("canonical line carries wall-clock fields: %s", l)
+		}
+	}
+	// End-time args must land in the export.
+	if !strings.Contains(lines[1], `"runs":"12"`) {
+		t.Errorf("span End args missing: %s", lines[1])
+	}
+}
+
+func TestChromeExportShape(t *testing.T) {
+	o := New(Config{})
+	sp := o.Span("stage", "testgen", "30/testgen")
+	sp.End("targets", 40)
+	o.Instant("ledger", "degraded", "65/ledger/x")
+	var b bytes.Buffer
+	if err := o.Trace().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	for _, want := range []string{`"ph":"X"`, `"ph":"i"`, `"pid":1`, `"name":"testgen"`, `"targets":"40"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chrome trace missing %s in %s", want, s)
+		}
+	}
+}
+
+func TestProgressGoesToWriter(t *testing.T) {
+	var b bytes.Buffer
+	o := New(Config{Progress: &b})
+	o.Progressf("testgen: %d targets", 40)
+	if !strings.Contains(b.String(), "testgen: 40 targets") {
+		t.Errorf("progress output = %q", b.String())
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	for _, tc := range []struct {
+		v int64
+		b int
+	}{{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1 << 40, 41}} {
+		if got := bucketOf(tc.v); got != tc.b {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.b)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one recorded trace entry: a completed span (with duration) or
+// an instant. Wall-clock fields (StartNS, DurNS) and the worker lane (TID)
+// are inherently schedule-dependent; the canonical export drops them and
+// orders events by Logical, so the deterministic event stream is identical
+// for every worker count.
+type Event struct {
+	Cat      string
+	Name     string
+	Logical  string // canonical sort key; empty only on volatile events
+	Volatile bool
+	Instant  bool
+	TID      int
+	StartNS  int64 // ns since the observer's epoch
+	DurNS    int64
+	Args     []Arg
+}
+
+// Tracer buffers events as they complete — arrival order, whatever the
+// scheduler produced — and re-orders at export time: the Chrome export
+// sorts by start time for readability, the canonical export merges the
+// deterministic events in logical order.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func newTracer() *Tracer {
+	return &Tracer{}
+}
+
+func (t *Tracer) add(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of every buffered event, in arrival order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// chromeEvent is the Chrome trace-event JSON shape (the "Trace Event
+// Format" consumed by chrome://tracing and Perfetto).
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome serialises the full trace — volatile events included — in
+// Chrome trace-event format: load the file in chrome://tracing or
+// ui.perfetto.dev to see the pipeline's stages, worker lanes and per-path
+// work laid out on the wall clock.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].StartNS < evs[j].StartNS })
+	out := make([]chromeEvent, 0, len(evs))
+	for _, ev := range evs {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Cat,
+			Ph:   "X",
+			TS:   float64(ev.StartNS) / 1e3,
+			Dur:  float64(ev.DurNS) / 1e3,
+			PID:  1,
+			TID:  ev.TID,
+			Args: argMap(ev),
+		}
+		if ev.Instant {
+			ce.Ph = "i"
+			ce.Dur = 0
+			ce.Scope = "g"
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// canonicalEvent is one line of the canonical stream: the deterministic
+// payload of an event, stripped of every schedule-dependent field.
+type canonicalEvent struct {
+	Logical string            `json:"logical"`
+	Cat     string            `json:"cat"`
+	Name    string            `json:"name"`
+	Args    map[string]string `json:"args,omitempty"`
+}
+
+// WriteCanonical serialises the deterministic event stream: volatile
+// events are dropped, wall times and worker lanes are stripped, and the
+// remainder is merged in logical order (ties broken by the serialised
+// line, so the output is a total order). One JSON object per line. The
+// determinism suites compare this stream byte for byte across worker
+// counts.
+func (t *Tracer) WriteCanonical(w io.Writer) error {
+	lines := t.CanonicalLines()
+	for _, l := range lines {
+		if _, err := io.WriteString(w, l+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CanonicalLines returns the canonical stream as sorted JSON lines.
+func (t *Tracer) CanonicalLines() []string {
+	evs := t.Events()
+	lines := make([]string, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Volatile {
+			continue
+		}
+		b, err := json.Marshal(canonicalEvent{
+			Logical: ev.Logical,
+			Cat:     ev.Cat,
+			Name:    ev.Name,
+			Args:    argMap(ev),
+		})
+		if err != nil {
+			continue // unreachable: all fields are strings
+		}
+		lines = append(lines, string(b))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// argMap renders an event's args for JSON export. Duplicate keys keep the
+// last value (End-time args override Span-time ones). encoding/json
+// serialises map keys in sorted order, keeping the output deterministic.
+func argMap(ev Event) map[string]string {
+	if len(ev.Args) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ev.Args))
+	for _, a := range ev.Args {
+		m[a.K] = a.V
+	}
+	return m
+}

@@ -18,8 +18,10 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wcet/internal/fail"
+	"wcet/internal/obs"
 )
 
 // Workers normalises a Workers knob: n > 0 is used as given, 0 (the
@@ -122,17 +124,46 @@ func ForEachWorkerCtx(ctx context.Context, n, workers int, newWorker func(worker
 	defer cancel()
 	errs := make([]error, n)
 
+	// Pool-level observability is volatile by nature — task durations and
+	// utilization are wall clock — so it never enters a canonical export,
+	// and an un-observed pool pays only a nil comparison per task.
+	o := obs.From(ctx)
+	var busy atomic.Int64
+	poolStart := time.Now()
+	run := func(body func(context.Context, int) error, i int) error {
+		if o == nil {
+			return runIsolated(cctx, body, i)
+		}
+		t0 := time.Now()
+		err := runIsolated(cctx, body, i)
+		d := time.Since(t0).Nanoseconds()
+		busy.Add(d)
+		o.CountV("par.tasks", 1)
+		o.HistV("par.task_ns", d)
+		return err
+	}
+	finishPool := func() {
+		if o == nil {
+			return
+		}
+		o.HistV("par.pool.workers", int64(w))
+		if wall := time.Since(poolStart).Nanoseconds(); wall > 0 {
+			o.HistV("par.pool.utilization_bp", busy.Load()*10000/(wall*int64(w)))
+		}
+	}
+
 	if w <= 1 {
 		body := newWorker(0)
 		for i := 0; i < n; i++ {
 			if cctx.Err() != nil {
 				break
 			}
-			if err := runIsolated(cctx, body, i); err != nil {
+			if err := run(body, i); err != nil {
 				errs[i] = err
 				cancel()
 			}
 		}
+		finishPool()
 		return pickError(ctx, errs)
 	}
 
@@ -151,7 +182,7 @@ func ForEachWorkerCtx(ctx context.Context, n, workers int, newWorker func(worker
 				if i >= n {
 					return
 				}
-				if err := runIsolated(cctx, body, i); err != nil {
+				if err := run(body, i); err != nil {
 					errs[i] = err
 					cancel()
 				}
@@ -159,6 +190,7 @@ func ForEachWorkerCtx(ctx context.Context, n, workers int, newWorker func(worker
 		}(k)
 	}
 	wg.Wait()
+	finishPool()
 	return pickError(ctx, errs)
 }
 

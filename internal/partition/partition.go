@@ -20,6 +20,7 @@ import (
 	"wcet/internal/cfg"
 	"wcet/internal/fail"
 	"wcet/internal/faults"
+	"wcet/internal/obs"
 	"wcet/internal/par"
 )
 
@@ -230,6 +231,7 @@ func SweepCtx(ctx context.Context, g *cfg.Graph, bounds []cfg.Count, workers int
 	if err != nil {
 		return nil, err
 	}
+	o := obs.From(ctx)
 	out := make([]Point, len(bounds))
 	err = par.ForEachCtx(ctx, len(bounds), w, func(ctx context.Context, i int) error {
 		if ferr := faults.Fire(ctx, "partition.point", i); ferr != nil {
@@ -237,6 +239,10 @@ func SweepCtx(ctx context.Context, g *cfg.Graph, bounds []cfg.Count, workers int
 		}
 		plan := Partition(g, tree, bounds[i])
 		out[i] = Point{Bound: bounds[i], IP: plan.IP, IPFused: plan.IPFused(), M: plan.M}
+		// The point series is indexed by bound position, so the gauge's
+		// logical index makes the last bound's ip win deterministically.
+		o.Count("partition.sweep.points", 1)
+		o.Set("partition.sweep.last_ip", int64(i), int64(plan.IP))
 		return nil
 	})
 	if err != nil {

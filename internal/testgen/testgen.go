@@ -16,6 +16,7 @@ import (
 	"wcet/internal/ga"
 	"wcet/internal/interp"
 	"wcet/internal/mc"
+	"wcet/internal/obs"
 	"wcet/internal/opt"
 	"wcet/internal/par"
 	"wcet/internal/paths"
@@ -68,6 +69,13 @@ type PathResult struct {
 }
 
 // Report aggregates a generation run.
+//
+// The roll-up fields (TotalGAEvals, TotalMCSteps, PeakMCNodes,
+// HeuristicShare) are views of the same single accumulation that feeds the
+// observability registry (testgen.ga.evaluations, testgen.mc.steps,
+// testgen.mc.peak_nodes, testgen.heuristic_share_bp): both are written
+// from one merge pass in GenerateCtx, so the report and a metrics snapshot
+// taken from the same run can never disagree.
 type Report struct {
 	Results []PathResult
 	// HeuristicShare is the fraction of feasible paths covered by the GA —
@@ -163,6 +171,7 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 // analysis continues — degrading the final report is the caller's job.
 func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, conf Config) (*Report, error) {
 	workers := par.Workers(conf.Workers)
+	o := obs.From(ctx)
 	rep := &Report{}
 	n := len(targets)
 	keys := make([]string, n)
@@ -174,8 +183,9 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	// every candidate a GA evaluates is checked against the open targets.
 	board := newGABoard(keys)
 	if !conf.SkipGA {
-		err := par.ForEachWorkerCtx(ctx, n, workers, func(int) func(context.Context, int) error {
+		err := par.ForEachWorkerCtx(ctx, n, workers, func(worker int) func(context.Context, int) error {
 			m := interp.New(gen.File, gen.M.Opt)
+			ow := o.Worker(worker)
 			return func(ctx context.Context, i int) error {
 				if ferr := faults.Fire(ctx, "testgen.search", i); ferr != nil {
 					return fail.From("testgen", ferr)
@@ -183,7 +193,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				if board.trySkip(i) {
 					return nil
 				}
-				gen.searchTarget(ctx, m, board, targets, i, conf)
+				gen.searchTarget(ctx, m, board, targets, i, conf, ow)
 				return nil
 			}
 		})
@@ -193,6 +203,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	}
 	covered := board.counted
 	rep.TotalGAEvals = board.evals
+	o.Progressf("testgen: GA covered %d/%d targets (%d counted evaluations)",
+		len(covered), n, board.evals)
 
 	// Stage 2: model checking for the residue.
 	results := make([]PathResult, n)
@@ -210,11 +222,18 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 		}
 		residue = append(residue, i)
 	}
-	merr := par.ForEachWorkerCtx(ctx, len(residue), workers, func(int) func(context.Context, int) error {
+	o.Progressf("testgen: model checking %d residue paths", len(residue))
+	merr := par.ForEachWorkerCtx(ctx, len(residue), workers, func(worker int) func(context.Context, int) error {
 		m := interp.New(gen.File, gen.M.Opt)
+		ow := o.Worker(worker)
 		return func(ctx context.Context, k int) error {
 			i := residue[k]
 			pr := &results[i]
+			// The residue set and each call's outcome are pure functions of
+			// program + config, so the per-path span is deterministic; its
+			// logical key nests it under the testgen stage span.
+			sp := ow.Span("testgen", "mc.path", "30/testgen/mc/"+keys[i],
+				"path", keys[i])
 			var res *mc.Result
 			var env interp.Env
 			err := faults.Fire(ctx, "testgen.mc", i)
@@ -230,6 +249,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				}
 				pr.Verdict = Unknown
 				pr.Err = fail.Attribute(err, "testgen", keys[i])
+				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				return nil
 			}
 			pr.MCStats = res.Stats
@@ -239,6 +259,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			} else {
 				pr.Verdict = Infeasible
 			}
+			sp.End("verdict", pr.Verdict,
+				"steps", res.Stats.Steps, "peak-nodes", res.Stats.PeakNodes)
 			return nil
 		}
 	})
@@ -246,10 +268,14 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 		return nil, fail.Attribute(merr, "testgen", "")
 	}
 
-	// Deterministic merge in target order.
+	// Deterministic merge in target order. This single pass feeds both the
+	// Report roll-ups and the metrics registry, so the two views agree by
+	// construction.
 	heuristicHits := 0
 	feasible := 0
+	var byVerdict [4]int
 	for i := range results {
+		byVerdict[results[i].Verdict]++
 		switch results[i].Verdict {
 		case FoundByHeuristic:
 			heuristicHits++
@@ -266,6 +292,16 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	if feasible > 0 {
 		rep.HeuristicShare = float64(heuristicHits) / float64(feasible)
 	}
+	if o != nil {
+		o.Count("testgen.ga.evaluations", int64(rep.TotalGAEvals))
+		o.Count("testgen.mc.steps", int64(rep.TotalMCSteps))
+		o.SetMax("testgen.mc.peak_nodes", int64(rep.PeakMCNodes))
+		o.Count("testgen.paths.heuristic", int64(byVerdict[FoundByHeuristic]))
+		o.Count("testgen.paths.model_checker", int64(byVerdict[FoundByModelChecker]))
+		o.Count("testgen.paths.infeasible", int64(byVerdict[Infeasible]))
+		o.Count("testgen.paths.unknown", int64(byVerdict[Unknown]))
+		o.Set("testgen.heuristic_share_bp", 0, int64(rep.HeuristicShare*10000))
+	}
 	return rep, nil
 }
 
@@ -277,10 +313,11 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 // GenerateCtx abandons the whole run on cancellation, so no timing-
 // dependent outcome ever reaches a returned Report.
 func (gen *Generator) searchTarget(ctx context.Context, m *interp.Machine, board *gaBoard,
-	targets []paths.Path, i int, conf Config) {
+	targets []paths.Path, i int, conf Config, ow *obs.Observer) {
 
 	p := targets[i]
 	gaConf := conf.GA
+	gaConf.Obs = ow
 	gaConf.Seed = SeedFor(conf.GA.Seed, board.keys[i])
 	gaConf.Stop = func() bool { return ctx.Err() != nil }
 	// Targets already covered by decided counted searches keep their board

@@ -46,6 +46,7 @@ import (
 	"wcet/internal/fail"
 	"wcet/internal/ga"
 	"wcet/internal/mc"
+	"wcet/internal/obs"
 	"wcet/internal/testgen"
 )
 
@@ -77,6 +78,21 @@ type TestGenConfig = testgen.Config
 
 // MCOptions bound individual model-checker runs.
 type MCOptions = mc.Options
+
+// Observer is the observability session threaded through an analysis via
+// Options.Obs: stage spans, a metrics registry with deterministic
+// aggregation, and progress output. nil disables observation (the
+// default); see NewObserver.
+type Observer = obs.Observer
+
+// ObserverConfig configures NewObserver.
+type ObserverConfig = obs.Config
+
+// NewObserver builds an enabled observation session. After the analysis,
+// export with Observer.Trace().WriteChrome (chrome://tracing format),
+// Observer.Metrics().WriteSnapshotAll (full metrics JSON), or the
+// canonical variants whose bytes are identical for every Workers value.
+func NewObserver(c ObserverConfig) *Observer { return obs.New(c) }
 
 // Verdict classifies per-path generation outcomes.
 type Verdict = testgen.Verdict

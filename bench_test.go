@@ -11,6 +11,7 @@ package wcet
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"wcet/internal/experiments"
 	"wcet/internal/ga"
 	"wcet/internal/gen"
+	"wcet/internal/model"
 	"wcet/internal/partition"
 	"wcet/internal/testgen"
 )
@@ -211,6 +213,58 @@ func BenchmarkObserverOverhead(b *testing.B) {
 		perOp := time.Since(start) / time.Duration(b.N)
 		b.ReportMetric((perOp.Seconds()/disabled.Seconds()-1)*100, "overhead-%")
 	})
+}
+
+// BenchmarkJournalOverhead measures the run journal's cost on the Section 4
+// wiper pipeline: the identical analysis with journaling off and on, using
+// a fresh journal file per iteration so every unit of work is appended and
+// none replayed — the worst case for write overhead. The two variants run
+// interleaved (plain, journaled, plain, journaled, …) so slow drift on a
+// shared host cancels out of the ratio. The overhead-% metric is the
+// journaled runs' wall time over the plain runs', minus one; the journal is
+// an OS-buffered append-only log, so crash safety must cost under 3%.
+func BenchmarkJournalOverhead(b *testing.B) {
+	src := model.Wiper().Emit("wiper_control")
+	run := func(j *Journal) {
+		_, err := Analyze(src, Options{
+			FuncName:   "wiper_control",
+			Bound:      8,
+			Exhaustive: true,
+			Journal:    j,
+			TestGen: testgen.Config{
+				GA:       ga.Config{Seed: 2005, Pop: 48, MaxGens: 80, Stagnation: 20},
+				Optimise: true,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	dir := b.TempDir()
+	journals := 0
+	runJournaled := func() {
+		journals++
+		j, err := OpenJournal(filepath.Join(dir, fmt.Sprintf("bench-%d.journal", journals)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		run(j)
+	}
+	run(nil) // warm-up: first run pays parser/GA cache misses
+	var plain, journaled time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		run(nil)
+		t1 := time.Now()
+		runJournaled()
+		plain += t1.Sub(t0)
+		journaled += time.Since(t1)
+	}
+	b.ReportMetric(float64(plain.Nanoseconds())/float64(b.N), "plain-ns/op")
+	b.ReportMetric(float64(journaled.Nanoseconds())/float64(b.N), "journal-ns/op")
+	b.ReportMetric((journaled.Seconds()/plain.Seconds()-1)*100, "overhead-%")
 }
 
 // BenchmarkGeneralPartitioning is the ablation for the paper's announced

@@ -2,21 +2,29 @@
 // a C source file:
 //
 //	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d]
-//	     [-v] [-trace file] [-metrics file] [-pprof addr] file.c
+//	     [-journal file] [-resume] [-v] [-trace file] [-metrics file] [-pprof addr] file.c
 //
 // The analysis report goes to stdout; diagnostics, errors and -v progress go
 // to stderr, so results stay pipeable. -trace writes a Chrome trace-event
 // file (load in chrome://tracing or https://ui.perfetto.dev), -metrics
 // writes the metrics registry as JSON, and -pprof serves net/http/pprof on
 // the given address for live CPU/heap profiling. Trace and metrics files are
-// written even when the analysis fails, so a degraded run can be diagnosed.
+// written even when the analysis fails or panics, so a degraded run can be
+// diagnosed.
+//
+// -journal makes the run durable: every completed unit of work is appended
+// to the journal file before the pipeline moves on, so a run killed at any
+// point can be re-invoked with -resume to replay the finished units and
+// converge on the identical report. Without -resume a pre-existing journal
+// is discarded for a clean start.
 //
 // Exit codes:
 //
 //	0  analysis completed with an exact bound
 //	1  usage error (bad flags or arguments)
-//	2  parse, semantic or infrastructure error
+//	2  parse, semantic or infrastructure error, or an escaped panic
 //	3  analysis interrupted (timeout/cancellation) or bound degraded/unavailable
+//	4  analysis completed with an exact bound, partly replayed from a journal
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/debug"
 
 	"wcet"
 )
@@ -37,11 +46,21 @@ const (
 	exitUsage    = 1
 	exitError    = 2
 	exitDegraded = 3
+	exitResumed  = 4
 )
 
 func main() { os.Exit(run()) }
 
-func run() int {
+func run() (code int) {
+	// Catch any panic that escapes the pipeline's isolation so the exit
+	// code stays meaningful — and, because this defer is registered first,
+	// the trace/metrics exports below it still run during the unwind.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "wcet: panic: %v\n%s", r, debug.Stack())
+			code = exitError
+		}
+	}()
 	fs := flag.NewFlagSet("wcet", flag.ContinueOnError)
 	funcName := fs.String("func", "", "function to analyse (default: first in file)")
 	bound := fs.Int64("bound", 8, "path bound b: segments with at most b paths are measured whole")
@@ -50,6 +69,8 @@ func run() int {
 	workers := fs.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial); results are identical for every value")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole analysis (0 = none)")
 	mcTimeout := fs.Duration("mc-timeout", 0, "wall-clock budget per model-checker call (0 = none); an expired call degrades its path instead of failing the run")
+	journalFile := fs.String("journal", "", "append completed work units to this crash-safe journal; a killed run can be resumed with -resume")
+	resume := fs.Bool("resume", false, "replay finished units from the -journal file instead of discarding them")
 	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event file of the pipeline stages")
 	metricsFile := fs.String("metrics", "", "write the metrics registry (counters, gauges, histograms) as JSON")
@@ -65,10 +86,28 @@ func run() int {
 		fs.Usage()
 		return exitUsage
 	}
+	if *resume && *journalFile == "" {
+		fmt.Fprintln(os.Stderr, "wcet: -resume requires -journal")
+		return exitUsage
+	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wcet:", err)
 		return exitError
+	}
+	var jnl *wcet.Journal
+	if *journalFile != "" {
+		if jnl, err = wcet.OpenJournal(*journalFile); err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
+		}
+		defer jnl.Close()
+		if !*resume {
+			if err := jnl.Reset(); err != nil {
+				fmt.Fprintln(os.Stderr, "wcet:", err)
+				return exitError
+			}
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -119,6 +158,7 @@ func run() int {
 		Workers:    *workers,
 		MCTimeout:  *mcTimeout,
 		Obs:        ob,
+		Journal:    jnl,
 		TestGen: wcet.TestGenConfig{
 			GA:       wcet.GAConfig{Seed: *seed},
 			Optimise: true,
@@ -138,6 +178,9 @@ func run() int {
 	fmt.Printf("instrumentation points : %d (fused: %d)\n", report.Plan.IP, report.Plan.IPFused())
 	fmt.Printf("measurements           : %s\n", report.Plan.M)
 	fmt.Printf("test data              : %s\n", report.TestGen.Summary())
+	if report.ResumedUnits > 0 {
+		fmt.Printf("resumed from journal   : %d work units replayed\n", report.ResumedUnits)
+	}
 	fmt.Printf("infeasible paths       : %d\n", report.InfeasiblePaths)
 	fmt.Printf("soundness              : %s\n", report.Soundness)
 	if report.WCET >= 0 {
@@ -160,6 +203,9 @@ func run() int {
 	}
 	if report.Soundness != wcet.BoundExact {
 		return exitDegraded
+	}
+	if report.ResumedUnits > 0 {
+		return exitResumed
 	}
 	return exitOK
 }

@@ -128,11 +128,11 @@ func (m *rManager) cof(f rRef, level int32) (lo, hi rRef) {
 	return n.lo, n.hi
 }
 
-func (m *rManager) Not(f rRef) rRef      { return m.ITE(f, rFalse, rTrue) }
-func (m *rManager) And(f, g rRef) rRef   { return m.ITE(f, g, rFalse) }
-func (m *rManager) Or(f, g rRef) rRef    { return m.ITE(f, rTrue, g) }
-func (m *rManager) Xor(f, g rRef) rRef   { return m.ITE(f, m.Not(g), g) }
-func (m *rManager) Iff(f, g rRef) rRef   { return m.ITE(f, g, m.Not(g)) }
+func (m *rManager) Not(f rRef) rRef        { return m.ITE(f, rFalse, rTrue) }
+func (m *rManager) And(f, g rRef) rRef     { return m.ITE(f, g, rFalse) }
+func (m *rManager) Or(f, g rRef) rRef      { return m.ITE(f, rTrue, g) }
+func (m *rManager) Xor(f, g rRef) rRef     { return m.ITE(f, m.Not(g), g) }
+func (m *rManager) Iff(f, g rRef) rRef     { return m.ITE(f, g, m.Not(g)) }
 func (m *rManager) Implies(f, g rRef) rRef { return m.ITE(f, g, rTrue) }
 
 func (m *rManager) Cube(vars []int) int {

@@ -105,6 +105,20 @@ func (c Count) String() string {
 	return c.Int().String()
 }
 
+// ParseCount parses a String rendering back into a Count — "inf" or a
+// decimal integer. It is the inverse needed to round-trip counts through a
+// run journal.
+func ParseCount(s string) (Count, bool) {
+	if s == "inf" {
+		return Inf(), true
+	}
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok || v.Sign() < 0 {
+		return Count{}, false
+	}
+	return Count{v: v}, true
+}
+
 // GobEncodeText is a tiny helper for reports.
 func (c Count) Format() string { return c.String() }
 

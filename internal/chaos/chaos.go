@@ -1,0 +1,237 @@
+// Package chaos is the pipeline's crash-and-recovery soak harness: it runs
+// the full analysis under seed-driven fault campaigns that combine injected
+// faults (transient infrastructure failures, stalls, one-shot panics) with
+// repeated mid-flight kills of the process, then asserts the durability
+// contract — a run that was interrupted any number of times and resumed
+// from its journal produces a report byte-identical to an uninterrupted
+// clean run.
+//
+// A "kill" is modelled in-process: the journal's append hook cancels the
+// run's context after a chosen number of durable appends, which is exactly
+// the state a SIGKILL leaves behind (everything appended so far is on disk,
+// everything in flight is lost). Optional torn writes chop bytes off the
+// journal tail between lives, exercising the torn-frame recovery path.
+//
+// Fault rules split into two classes with different lifecycles:
+//
+//   - Heal rules (Config.Rules) are armed identically in the reference run
+//     and in every chaos life. They must be report-preserving: transient
+//     failures the retry policy heals, stalls that complete, or persistent
+//     failures that land in the degradation ledger — all of which render
+//     identically whether the unit ran once or was recomputed after a kill,
+//     because each life arms a fresh injector and unit outcomes are pure
+//     functions of (unit, attempt).
+//
+//   - Crash rules (Config.Crash) model transient faults that take the whole
+//     process down (injected panics). Each fires in at most one life,
+//     aborting it, and is removed afterwards — the reboot clears the fault.
+//     They are excluded from the reference run: an aborted life journals
+//     nothing for the exploding unit, so the converged report must not
+//     carry any trace of it. Crash rules need an explicit Index (not -1) so
+//     the harness can tell from the fired log which rule to retire.
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/core"
+	"wcet/internal/fail"
+	"wcet/internal/faults"
+	"wcet/internal/journal"
+)
+
+// Config parameterises one soak campaign. The same Config (and Seed) always
+// replays the same campaign: kill points, torn-write sizes and fault
+// schedules are all drawn from the seeded generator or from the injectors'
+// deterministic matching.
+type Config struct {
+	// Seed drives every random draw of the campaign.
+	Seed int64
+	// Kills is the number of mid-flight kills to attempt. A life may finish
+	// before its kill point is reached; the campaign then converges early
+	// and Result.Kills reports what actually happened.
+	Kills int
+	// KillSpread bounds how many fresh journal appends a life is allowed
+	// before its kill fires: 1 + rand.Intn(KillSpread). Small values kill
+	// early (more lives re-execute the same units), large values let lives
+	// run long. Default 6.
+	KillSpread int
+	// Rules are the report-preserving heal rules, armed fresh each life and
+	// in the reference run.
+	Rules []faults.Rule
+	// Crash are one-shot process-killing rules (see package comment).
+	Crash []faults.Rule
+	// TornWrites, when > 0, chops 1..TornWrites bytes off the journal tail
+	// after every aborted life, simulating a torn final frame.
+	TornWrites int
+	// JournalPath is the journal file the campaign lives in. Required.
+	JournalPath string
+}
+
+// Result is the campaign outcome.
+type Result struct {
+	// Reference is the canonical rendering of the uninterrupted clean run.
+	Reference []byte
+	// Final is the canonical rendering of the report the resumed run
+	// converged to.
+	Final []byte
+	// Identical reports bytes.Equal(Reference, Final) — the durability
+	// contract.
+	Identical bool
+	// Lives is the total number of analysis attempts, including the final
+	// successful one.
+	Lives int
+	// Kills counts lives ended by the kill hook.
+	Kills int
+	// Crashes counts lives ended by an injected panic.
+	Crashes int
+	// ResumedUnits is the journal-replay count of the final, successful
+	// life — evidence that the convergence actually resumed rather than
+	// recomputed everything.
+	ResumedUnits int
+}
+
+// Soak runs one campaign over the given analysis target. opt.Journal must
+// be nil: the harness owns journal placement.
+func Soak(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt core.Options, c Config) (*Result, error) {
+	if opt.Journal != nil {
+		return nil, fmt.Errorf("chaos: opt.Journal must be nil (the harness owns the journal)")
+	}
+	if c.JournalPath == "" {
+		return nil, fmt.Errorf("chaos: Config.JournalPath is required")
+	}
+	for _, r := range c.Crash {
+		if r.Index < 0 {
+			return nil, fmt.Errorf("chaos: crash rule at %s needs an explicit index", r.Site)
+		}
+	}
+	spread := c.KillSpread
+	if spread <= 0 {
+		spread = 6
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	res := &Result{}
+
+	// Reference: the clean, uninterrupted run under the heal rules only.
+	refRep, err := core.AnalyzeGraphCtx(
+		faults.With(context.Background(), faults.New(c.Rules...)),
+		file, fn, g, opt)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: reference run failed: %w", err)
+	}
+	if res.Reference, err = canonical(refRep); err != nil {
+		return nil, err
+	}
+
+	pending := append([]faults.Rule(nil), c.Crash...)
+	maxLives := c.Kills + len(c.Crash) + 4
+	for {
+		res.Lives++
+		if res.Lives > maxLives {
+			return nil, fmt.Errorf("chaos: campaign did not converge after %d lives", maxLives)
+		}
+		rep, inj, err := runLife(file, fn, g, opt, c, pending, rng, res.Kills < c.Kills, spread)
+		pending = retireFired(pending, inj)
+		if err == nil {
+			res.ResumedUnits = rep.ResumedUnits
+			if res.Final, err = canonical(rep); err != nil {
+				return nil, err
+			}
+			res.Identical = bytes.Equal(res.Reference, res.Final)
+			return res, nil
+		}
+		switch {
+		case errors.Is(err, fail.ErrCancelled):
+			res.Kills++
+		case errors.Is(err, fail.ErrWorkerPanic):
+			res.Crashes++
+		default:
+			return nil, fmt.Errorf("chaos: life %d died of an unexpected cause: %w", res.Lives, err)
+		}
+		if c.TornWrites > 0 {
+			if err := tearTail(c.JournalPath, 1+rng.Intn(c.TornWrites)); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// runLife executes one analysis attempt against the campaign journal, with
+// a fresh injector and, when armed, a kill hook that cancels the run after
+// a seeded number of fresh appends.
+func runLife(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt core.Options,
+	c Config, pending []faults.Rule, rng *rand.Rand, arm bool, spread int) (*core.Report, *faults.Injector, error) {
+	j, err := journal.Open(c.JournalPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: reopening journal: %w", err)
+	}
+	defer j.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if arm {
+		// The hook runs after the append is durable, so every killed life
+		// still makes progress: at least one fresh record survives it.
+		killAt := j.Len() + 1 + rng.Intn(spread)
+		j.SetAppendHook(func(total int) {
+			if total >= killAt {
+				cancel()
+			}
+		})
+	}
+	inj := faults.New(append(append([]faults.Rule(nil), c.Rules...), pending...)...)
+	o := opt
+	o.Journal = j
+	rep, err := core.AnalyzeGraphCtx(faults.With(ctx, inj), file, fn, g, o)
+	return rep, inj, err
+}
+
+// retireFired drops crash rules whose (site, index) appears in the fired
+// log — the transient fault took its one life and is gone.
+func retireFired(pending []faults.Rule, inj *faults.Injector) []faults.Rule {
+	if len(pending) == 0 || inj == nil {
+		return pending
+	}
+	fired := map[string]bool{}
+	for _, f := range inj.Fired() {
+		fired[f] = true
+	}
+	var out []faults.Rule
+	for _, r := range pending {
+		if !fired[fmt.Sprintf("%s#%d:%s", r.Site, r.Index, r.Mode)] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// tearTail truncates the journal file by n bytes (clamped at zero),
+// simulating a torn final write.
+func tearTail(path string, n int) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("chaos: torn write: %w", err)
+	}
+	size := st.Size() - int64(n)
+	if size < 0 {
+		size = 0
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("chaos: torn write: %w", err)
+	}
+	return nil
+}
+
+func canonical(rep *core.Report) ([]byte, error) {
+	var b bytes.Buffer
+	if err := rep.WriteCanonical(&b); err != nil {
+		return nil, fmt.Errorf("chaos: rendering report: %w", err)
+	}
+	return b.Bytes(), nil
+}

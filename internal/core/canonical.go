@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"wcet/internal/interp"
+)
+
+// WriteCanonical renders the report's complete deterministic content in a
+// fixed order — the byte-for-byte identity the durability guarantee is
+// stated over: for a given (program, options), the canonical rendering is
+// identical across worker counts and across any number of kill/resume
+// cycles. Volatile fields are excluded by construction: wall-clock
+// durations (mc.Stats.Duration) and ResumedUnits (which distinguishes a
+// resumed run from a clean one and nothing else).
+func (r *Report) WriteCanonical(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "function %s\n", r.Fn.Name)
+	fmt.Fprintf(&b, "plan units=%d ip=%d ip-fused=%d m=%s\n",
+		len(r.Plan.Units), r.Plan.IP, r.Plan.IPFused(), r.Plan.M)
+
+	fmt.Fprintf(&b, "testgen %s\n", r.TestGen.Summary())
+	for _, pr := range r.TestGen.Results {
+		fmt.Fprintf(&b, "path %s verdict=%s", pr.Path.Key(), pr.Verdict)
+		if pr.Env != nil {
+			fmt.Fprintf(&b, " env=[%s]", canonicalEnv(pr.Env))
+		}
+		s := pr.MCStats
+		if s.Steps != 0 || s.PeakNodes != 0 || s.StateBits != 0 {
+			fmt.Fprintf(&b, " mc=[steps=%d peak-nodes=%d mem=%d states=%g bits=%d]",
+				s.Steps, s.PeakNodes, s.MemoryBytes, s.States, s.StateBits)
+		}
+		if pr.Err != nil {
+			fmt.Fprintf(&b, " cause=%q", pr.Err.Error())
+		}
+		b.WriteByte('\n')
+		for _, a := range pr.Attempts {
+			fmt.Fprintf(&b, "  attempt-history %s\n", a)
+		}
+	}
+
+	fmt.Fprintf(&b, "measurement runs=%d\n", r.Measurement.Runs)
+	for i, ut := range r.Measurement.Times {
+		fmt.Fprintf(&b, "unit %d max=%d samples=%d", i, ut.Max, ut.Samples)
+		if len(ut.PerPath) > 0 {
+			keys := make([]string, 0, len(ut.PerPath))
+			for k := range ut.PerPath {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%d", k, ut.PerPath[k])
+			}
+		}
+		b.WriteByte('\n')
+	}
+
+	fmt.Fprintf(&b, "wcet %d soundness=%s exhaustive=%d infeasible=%d\n",
+		r.WCET, r.Soundness, r.ExhaustiveWCET, r.InfeasiblePaths)
+	fmt.Fprintf(&b, "critical %v degraded-units %v\n", r.Critical, r.DegradedUnits)
+	fmt.Fprintf(&b, "summary:\n%s\n", r.Summary())
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// canonicalEnv renders an environment as sorted name=value pairs.
+func canonicalEnv(env interp.Env) string {
+	pairs := make([]string, 0, len(env))
+	for d, v := range env {
+		pairs = append(pairs, fmt.Sprintf("%s=%d", d.Name, v))
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, " ")
+}

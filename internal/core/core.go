@@ -32,6 +32,7 @@ import (
 	"wcet/internal/codegen"
 	"wcet/internal/fail"
 	"wcet/internal/interp"
+	"wcet/internal/journal"
 	"wcet/internal/measure"
 	"wcet/internal/obs"
 	"wcet/internal/partition"
@@ -75,6 +76,16 @@ type Options struct {
 	// registry and trace. Deterministic exports (canonical snapshot and
 	// event stream) are byte-identical for every Workers value.
 	Obs *obs.Observer
+	// Journal, when set, makes the run durable: every completed unit of
+	// work (per-path generation verdict, per-vector measurement) is
+	// appended to the journal as it finishes, and a later run over the same
+	// program and options resumes by replaying journaled units instead of
+	// recomputing them. The journal is bound to a fingerprint of (program,
+	// deterministic options) — a mismatch resets it and runs clean — and
+	// the final Report is byte-identical (see Report.WriteCanonical)
+	// whether the analysis ran in one shot or was killed and resumed any
+	// number of times, at any worker count. nil disables journaling.
+	Journal *journal.Journal
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +144,9 @@ type Degradation struct {
 	// Resolution is "exhaustive-fallback" when the exhaustive input sweep
 	// restored the affected units' coverage, "unresolved" otherwise.
 	Resolution string
+	// Attempts is the retry/failover history for the path, when it needed
+	// more than one attempt before landing in the ledger.
+	Attempts []string
 }
 
 // Report is the complete analysis result.
@@ -162,6 +176,11 @@ type Report struct {
 	ExhaustiveWCET int64
 	// InfeasiblePaths counts targets proven unreachable.
 	InfeasiblePaths int
+	// ResumedUnits counts work units replayed from the run journal instead
+	// of recomputed (0 for clean or un-journaled runs). It is volatile by
+	// design — a resumed run and a clean run differ here and nowhere else —
+	// so WriteCanonical excludes it.
+	ResumedUnits int
 }
 
 // Overestimate reports the bound's relative overestimation against the
@@ -197,6 +216,9 @@ func (r *Report) Summary() string {
 			}
 			fmt.Fprintf(&b, "\n  path %-24s units %v  %-20s cause: %s",
 				d.PathKey, d.Units, d.Resolution, cause)
+			for _, a := range d.Attempts {
+				fmt.Fprintf(&b, "\n      %s", a)
+			}
 		}
 	}
 	return b.String()
@@ -263,6 +285,32 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 	ctx = obs.With(ctx, o)
 	rep := &Report{File: file, Fn: fn, G: g, ExhaustiveWCET: -1}
 
+	// The generator configuration is resolved up front: the journal
+	// fingerprint must digest the exact configuration the stages will see.
+	tgConf := opt.TestGen
+	tgConf.Optimise = true
+	if tgConf.Workers == 0 {
+		tgConf.Workers = opt.Workers
+	}
+	if tgConf.MC.Timeout == 0 {
+		tgConf.MC.Timeout = opt.MCTimeout
+	}
+
+	// Durable runs: bind the journal to this (program, options) identity
+	// and thread it through the context like the observer and the fault
+	// injector. A fingerprint mismatch resets the journal — resuming under
+	// changed options would splice two different analyses into one report.
+	if j := opt.Journal; j != nil {
+		resumable, err := j.Bind(fingerprint(file, fn, g, opt, tgConf))
+		if err != nil {
+			return nil, fail.Infra("core", err)
+		}
+		ctx = journal.With(ctx, j)
+		o.Count("journal.resumable_units", int64(resumable))
+		o.Progressf("journal: %s bound, %d completed unit(s) available for resume",
+			j.Path(), resumable)
+	}
+
 	// 1. Partition.
 	sp := o.Span("stage", "partition", "10/partition", "bound", opt.Bound)
 	plan, err := partition.PartitionBound(g, opt.Bound)
@@ -290,14 +338,6 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 	// optimisations: the naive translation exists for the Table 2
 	// comparison, not for production analyses.
 	gen := testgen.New(file, fn, g)
-	tgConf := opt.TestGen
-	tgConf.Optimise = true
-	if tgConf.Workers == 0 {
-		tgConf.Workers = opt.Workers
-	}
-	if tgConf.MC.Timeout == 0 {
-		tgConf.MC.Timeout = opt.MCTimeout
-	}
 	sp = o.Span("stage", "testgen", "30/testgen", "targets", len(targets))
 	rep.TestGen, err = gen.GenerateCtx(ctx, targets, tgConf)
 	if err != nil {
@@ -320,6 +360,7 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 				Units:      owners[i],
 				Cause:      r.Err,
 				Resolution: "unresolved",
+				Attempts:   r.Attempts,
 			})
 			for _, u := range owners[i] {
 				degradedUnits[u] = true
@@ -337,7 +378,8 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 	sp.End()
 	vm := sim.New(img, opt.SimOptions)
 	sp = o.Span("stage", "measure", "50/measure", "vectors", len(envs))
-	rep.Measurement, err = measure.CampaignCtx(ctx, rep.Plan, vm, envs, opt.Workers)
+	rep.Measurement, err = measure.CampaignTagged(ctx, "campaign", rep.Plan, vm, envs,
+		opt.Workers, tgConf.Retry)
 	if err != nil {
 		return nil, err
 	}
@@ -354,11 +396,12 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 		if !enumerable {
 			rep.Soundness = BoundUnavailable
 			rep.WCET = -1
-			finishObservation(o, rep)
+			finishObservation(o, opt.Journal, rep)
 			return rep, nil
 		}
 		sp = o.Span("stage", "fallback", "60/fallback", "vectors", len(exhaustiveEnvs))
-		fallback, err := measure.CampaignCtx(ctx, rep.Plan, vm, exhaustiveEnvs, opt.Workers)
+		fallback, err := measure.CampaignTagged(ctx, "fallback", rep.Plan, vm, exhaustiveEnvs,
+			opt.Workers, tgConf.Retry)
 		if err != nil {
 			return nil, err
 		}
@@ -385,7 +428,8 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 	// 6. Optional exhaustive ground truth.
 	if opt.Exhaustive && enumerable {
 		sp = o.Span("stage", "exhaustive", "80/exhaustive", "vectors", len(exhaustiveEnvs))
-		exh, err := measure.ExhaustiveMaxCtx(ctx, vm, exhaustiveEnvs, opt.Workers)
+		exh, err := measure.ExhaustiveMaxTagged(ctx, "exhaustive", vm, exhaustiveEnvs,
+			opt.Workers, tgConf.Retry)
 		if err != nil {
 			return nil, err
 		}
@@ -393,20 +437,25 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 		sp.End("max-cycles", exh)
 		o.Set("measure.exhaustive.wcet_cycles", 0, exh)
 	}
-	finishObservation(o, rep)
+	finishObservation(o, opt.Journal, rep)
 	o.Progressf("schema: WCET=%d cycles, soundness=%s", rep.WCET, rep.Soundness)
 	return rep, nil
 }
 
 // finishObservation records the verdict-level metrics and the degradation
-// ledger into the observation session. Ledger entries become deterministic
-// instant events — one per unresolved path, keyed by path key and carrying
-// the attributed units, resolution and cause — so a degraded run is
-// diagnosable from the trace alone. Called exactly once per analysis, after
-// every Resolution is final.
-func finishObservation(o *obs.Observer, rep *Report) {
+// ledger into the observation session, and closes out the run journal's
+// resume accounting. Ledger entries become deterministic instant events —
+// one per unresolved path, keyed by path key and carrying the attributed
+// units, resolution and cause — so a degraded run is diagnosable from the
+// trace alone. Called exactly once per analysis, after every Resolution is
+// final.
+func finishObservation(o *obs.Observer, j *journal.Journal, rep *Report) {
+	rep.ResumedUnits = j.Hits()
 	if o == nil {
 		return
+	}
+	if j != nil {
+		o.Count("journal.replayed_units", int64(rep.ResumedUnits))
 	}
 	o.Set("schema.wcet_cycles", 0, rep.WCET)
 	o.Set("core.soundness", 0, int64(rep.Soundness))

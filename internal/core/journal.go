@@ -1,0 +1,46 @@
+// Run-journal binding: the fingerprint that ties a journal to one
+// (program, options) identity, so a resumed analysis never replays records
+// a different analysis produced.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/testgen"
+)
+
+// fingerprint digests everything a journaled unit's outcome is a function
+// of: the program (canonically printed), the analysed function, and every
+// deterministic option — partition bound, generator configuration (GA
+// scalars, model-checker budgets, retry policy, failover cap), exhaustive
+// settings and the simulator cost model. Workers is deliberately excluded:
+// results are worker-count invariant by construction, so a run started
+// with -workers 8 may resume with -workers 1 and vice versa. Function
+// fields (Stop, OnTrace, Obs) are excluded for the same reason they are
+// banned from reports: they carry no deterministic identity.
+func fingerprint(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options, tg testgen.Config) string {
+	h := fnv.New64a()
+	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
+	put("wcet-journal-v1\x00")
+	io.WriteString(h, ast.Print(file))
+	put("\x00fn=%s blocks=%d\x00", fn.Name, g.NumNodes())
+	put("bound=%d exhaustive=%v maxexh=%d mctimeout=%d\x00",
+		opt.Bound, opt.Exhaustive, opt.MaxExhaustive, opt.MCTimeout)
+	put("ga seed=%d pop=%d gens=%d stag=%d mut=%g cross=%g tour=%d maxeval=%d\x00",
+		tg.GA.Seed, tg.GA.Pop, tg.GA.MaxGens, tg.GA.Stagnation,
+		tg.GA.MutRate, tg.GA.CrossRate, tg.GA.Tournament, tg.GA.MaxEvaluations)
+	put("tg skipga=%v skipmc=%v optimise=%v failover=%d\x00",
+		tg.SkipGA, tg.SkipMC, tg.Optimise, tg.FailoverMaxStates)
+	put("mc steps=%d states=%d nodes=%d timeout=%d\x00",
+		tg.MC.MaxSteps, tg.MC.MaxStates, tg.MC.MaxNodes, tg.MC.Timeout)
+	put("retry attempts=%d backoff=%d\x00", tg.Retry.MaxAttempts, tg.Retry.BackoffBase)
+	put("sim maxinstr=%d costs=%v\x00", opt.SimOptions.MaxInstructions, opt.SimOptions.Costs != nil)
+	if c := opt.SimOptions.Costs; c != nil {
+		put("taken=%d nottaken=%d extdefault=%d\x00", c.BranchTaken, c.BranchNotTaken, c.ExtDefault)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -169,3 +169,62 @@ func Interrupted(err error) bool {
 	return errors.Is(err, ErrBudgetExceeded) || errors.Is(err, ErrCancelled) ||
 		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
+
+// ---------------------------------------------------------------------------
+// Journal replay: a degradation cause that crossed a process boundary.
+
+// Kind labels, the serialized form of the sentinels in a run journal.
+const (
+	KindBudget = "budget"
+	KindCancel = "cancelled"
+	KindPanic  = "panic"
+	KindInfra  = "infra"
+)
+
+// KindLabel classifies err into its serializable kind label ("" for nil or
+// foreign errors, which the taxonomy would have wrapped as infra anyway).
+func KindLabel(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBudgetExceeded):
+		return KindBudget
+	case errors.Is(err, ErrCancelled):
+		return KindCancel
+	case errors.Is(err, ErrWorkerPanic):
+		return KindPanic
+	default:
+		return KindInfra
+	}
+}
+
+// replayed is an error reconstructed from a journal record: it renders the
+// exact string the original run produced and still matches its sentinel
+// kind under errors.Is, so a resumed report is byte-identical to — and
+// programmatically indistinguishable from — the uninterrupted one.
+type replayed struct {
+	kind error
+	msg  string
+}
+
+func (r *replayed) Error() string        { return r.msg }
+func (r *replayed) Is(target error) bool { return target == r.kind }
+
+// Replayed reconstructs a journaled cause from its kind label and rendered
+// message. Unknown labels conservatively map to ErrInfrastructure; a nil
+// is returned for an empty label (no cause was journaled).
+func Replayed(kind, msg string) error {
+	if kind == "" {
+		return nil
+	}
+	sentinel := ErrInfrastructure
+	switch kind {
+	case KindBudget:
+		sentinel = ErrBudgetExceeded
+	case KindCancel:
+		sentinel = ErrCancelled
+	case KindPanic:
+		sentinel = ErrWorkerPanic
+	}
+	return &replayed{kind: sentinel, msg: msg}
+}

@@ -14,13 +14,20 @@
 //
 // Instrumented sites:
 //
-//	"testgen.search"  — one GA search; index = target position
-//	"testgen.mc"      — one residue model-checker call; index = target position
+//	"testgen.search"  — one GA search attempt; index = target position
+//	"testgen.mc"      — one residue model-checker attempt; index = target position
+//	"testgen.failover" — entry of an explicit-engine failover; index = target position
 //	"mc.check"        — entry of a symbolic model-checker run; index 0
 //	"mc.step"         — one symbolic BFS iteration; index = step number
-//	"measure.run"     — one simulator replay; index = vector position
-//	"measure.exhaustive" — one exhaustive-sweep replay; index = vector position
+//	"measure.campaign" — entry of a measurement campaign; index 0
+//	"measure.run"     — one simulator replay attempt; index = vector position
+//	"measure.exhaustive" — one exhaustive-sweep replay attempt; index = vector position
 //	"partition.point" — one sweep sample; index = bound position
+//
+// Sites that sit inside a retry loop (the per-attempt ones above) are
+// re-consulted on every attempt; rules with MaxFires model transient
+// faults that the retry policy heals, rules without it model persistent
+// ones that exhaust the attempt budget.
 package faults
 
 import (
@@ -80,6 +87,12 @@ type Rule struct {
 	Prob float64
 	// Seed drives the probabilistic draw.
 	Seed int64
+	// MaxFires, when > 0, bounds how many times the rule fires per
+	// (site, index) pair — the transient-fault model: the first MaxFires
+	// calls at a pair fail, later calls (the retry policy's subsequent
+	// attempts) succeed. Counting per pair, never globally, keeps firing
+	// independent of goroutine scheduling and worker count.
+	MaxFires int
 }
 
 // PanicValue is the value injected panics carry, so tests can recognise
@@ -98,11 +111,19 @@ type Injector struct {
 	mu    sync.Mutex
 	rules []Rule
 	log   []string
+	// fires counts firings per rule and (site, index) pair, for MaxFires.
+	fires map[fireKey]int
+}
+
+type fireKey struct {
+	rule  int
+	site  string
+	index int
 }
 
 // New builds an injector with the given rules armed.
 func New(rules ...Rule) *Injector {
-	return &Injector{rules: rules}
+	return &Injector{rules: rules, fires: map[fireKey]int{}}
 }
 
 // Fired returns the sorted log of injections that fired, as
@@ -116,23 +137,32 @@ func (in *Injector) Fired() []string {
 	return out
 }
 
-// match finds the first armed rule covering (site, index).
+// match finds the first armed rule covering (site, index), consuming one
+// firing from rules bounded by MaxFires.
 func (in *Injector) match(site string, index int) (Rule, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	for _, r := range in.rules {
+	for ri, r := range in.rules {
 		if r.Site != site {
 			continue
 		}
+		covers := false
 		if r.Prob > 0 {
-			if draw(r.Seed, site, index) < r.Prob {
-				return r, true
-			}
+			covers = draw(r.Seed, site, index) < r.Prob
+		} else {
+			covers = r.Index == -1 || r.Index == index
+		}
+		if !covers {
 			continue
 		}
-		if r.Index == -1 || r.Index == index {
-			return r, true
+		if r.MaxFires > 0 {
+			k := fireKey{rule: ri, site: site, index: index}
+			if in.fires[k] >= r.MaxFires {
+				continue // transient fault already consumed at this pair
+			}
+			in.fires[k]++
 		}
+		return r, true
 	}
 	return Rule{}, false
 }

@@ -113,3 +113,23 @@ func TestFiredLogIsSortedAndLabelled(t *testing.T) {
 		t.Errorf("Fired() = %v, want %v", got, want)
 	}
 }
+
+func TestMaxFiresModelsTransientFaults(t *testing.T) {
+	in := New(Rule{Site: "measure.run", Index: -1, MaxFires: 2})
+	ctx := With(context.Background(), in)
+	// Each (site, index) pair gets its own budget of 2 firings: attempts 1
+	// and 2 fail, attempt 3 succeeds — independently per pair.
+	for _, index := range []int{0, 1} {
+		for attempt := 1; attempt <= 2; attempt++ {
+			if err := Fire(ctx, "measure.run", index); err == nil {
+				t.Errorf("index %d attempt %d: transient fault did not fire", index, attempt)
+			}
+		}
+		if err := Fire(ctx, "measure.run", index); err != nil {
+			t.Errorf("index %d attempt 3: fault still firing after MaxFires: %v", index, err)
+		}
+	}
+	if got := len(in.Fired()); got != 4 {
+		t.Errorf("fired %d times, want 4 (2 per pair)", got)
+	}
+}

@@ -1,0 +1,336 @@
+// Package journal is the durable run journal behind crash-safe analyses:
+// an append-only, content-addressed record store that survives SIGKILL,
+// torn writes and process crashes, so a resumed analysis can skip every
+// unit of work a previous attempt already completed.
+//
+// # Format
+//
+// The on-disk file is a sequence of CRC-framed records:
+//
+//	frame   := length(uint32 LE) crc32(uint32 LE, IEEE over payload) payload
+//	payload := keyLen(uvarint) key value
+//
+// Appends are atomic with respect to the in-process writer (a mutex) but
+// the file itself makes no atomicity assumption: a crash can leave a torn
+// final frame. Open tolerates that by scanning frames from the start and
+// truncating the file at the first bad frame — short header, implausible
+// length, or CRC mismatch — so a journal is always readable up to its last
+// intact record and appendable from there.
+//
+// # Content addressing
+//
+// Records are keyed by logical unit identity (a target path key, a
+// campaign-tagged vector index, a sweep bound), never by position: replays
+// load records into a map and duplicate appends of a key are idempotent —
+// the first intact record wins, which is safe because every journaled unit
+// is a pure function of (program, options fingerprint, key). The
+// fingerprint itself is a reserved record written by Bind: reopening a
+// journal against a different program or configuration resets it to empty
+// instead of silently reusing stale results.
+//
+// All methods are nil-receiver safe, so pipeline stages journal
+// unconditionally and an un-journaled run pays one nil check per site.
+package journal
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// fingerprintKey is the reserved key binding a journal to one (program,
+// options) identity. It starts with a NUL so no stage key can collide.
+const fingerprintKey = "\x00fingerprint"
+
+// maxFrame bounds a frame payload; a length field beyond it marks a torn
+// or corrupted frame rather than a huge record.
+const maxFrame = 1 << 28
+
+// Journal is one open run journal. The zero value and the nil pointer are
+// inert: every method on a nil *Journal is a no-op, so call sites thread a
+// possibly-absent journal without branching.
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	records map[string][]byte
+	// appended counts frames written by this process (not replayed ones);
+	// hits counts Get calls that found a record — the resumed-unit count.
+	appended int
+	hits     int
+	// appendHook, when set, observes every successful append with the
+	// running appended count. The chaos harness uses it to kill a run after
+	// a chosen amount of progress. Called with the journal lock held: the
+	// hook must not call back into the Journal.
+	appendHook func(total int)
+}
+
+// Open opens (or creates) the journal at path, replays every intact frame
+// into memory, and truncates any torn tail so subsequent appends start at
+// a clean frame boundary.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{path: path, f: f, records: map[string][]byte{}}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// replay scans frames from the start of the file, loading the first intact
+// record for each key and truncating at the first bad frame.
+func (j *Journal) replay() error {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	good := 0
+	for good < len(data) {
+		rest := data[good:]
+		if len(rest) < 8 {
+			break // torn header
+		}
+		length := binary.LittleEndian.Uint32(rest[:4])
+		if length == 0 || length > maxFrame || int(length) > len(rest)-8 {
+			break // implausible or torn length
+		}
+		payload := rest[8 : 8+int(length)]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(rest[4:8]) {
+			break // corrupted payload
+		}
+		key, val, ok := splitPayload(payload)
+		if !ok {
+			break
+		}
+		if _, dup := j.records[key]; !dup {
+			// First intact record wins: records are content-addressed, so a
+			// duplicate append of the same key carries the same content.
+			j.records[key] = val
+		}
+		good += 8 + int(length)
+	}
+	if good < len(data) {
+		if err := j.f.Truncate(int64(good)); err != nil {
+			return fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(int64(good), 0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+func splitPayload(payload []byte) (key string, val []byte, ok bool) {
+	klen, n := binary.Uvarint(payload)
+	if n <= 0 || int(klen) > len(payload)-n {
+		return "", nil, false
+	}
+	key = string(payload[n : n+int(klen)])
+	return key, payload[n+int(klen):], true
+}
+
+// Close releases the underlying file. Records already appended stay on
+// disk; the journal must not be used afterwards.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// Path returns the journal's file path ("" for a nil journal).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Len reports the number of stage records available for resume (the
+// fingerprint record is excluded).
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := len(j.records)
+	if _, ok := j.records[fingerprintKey]; ok {
+		n--
+	}
+	return n
+}
+
+// Hits reports how many Get calls found a journaled record since Open —
+// the number of work units this process resumed instead of recomputing.
+func (j *Journal) Hits() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.hits
+}
+
+// Bind ties the journal to one (program, options) fingerprint. A journal
+// already bound to the same fingerprint keeps its records and returns how
+// many are available for resume; a fingerprint mismatch — the journal was
+// written by a different program or configuration — resets the journal to
+// empty and starts a clean run, because replaying records that a different
+// analysis produced would silently corrupt the report.
+func (j *Journal) Bind(fingerprint string) (resumable int, err error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, ok := j.records[fingerprintKey]; ok {
+		if string(prev) == fingerprint {
+			n := len(j.records) - 1
+			return n, nil
+		}
+		if err := j.resetLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if err := j.appendLocked(fingerprintKey, []byte(fingerprint)); err != nil {
+		return 0, err
+	}
+	return 0, nil
+}
+
+// Reset drops every record and truncates the file to empty.
+func (j *Journal) Reset() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.resetLocked()
+}
+
+func (j *Journal) resetLocked() error {
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.records = map[string][]byte{}
+	return nil
+}
+
+// Get returns the journaled value for key, if any. A hit counts toward
+// Hits — it means one unit of work will be replayed, not redone.
+func (j *Journal) Get(key string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.records[key]
+	if ok {
+		j.hits++
+	}
+	return v, ok
+}
+
+// Put appends one record. Appending a key that is already journaled is a
+// no-op (records are content-addressed; the first write wins), so resumed
+// runs may re-put replayed units without growing the file.
+func (j *Journal) Put(key string, val []byte) error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, dup := j.records[key]; dup {
+		return nil
+	}
+	return j.appendLocked(key, val)
+}
+
+func (j *Journal) appendLocked(key string, val []byte) error {
+	// One frame, one write: header and payload go down in a single syscall,
+	// which halves the append cost and shrinks the torn-tail window to a
+	// single partial write.
+	frame := make([]byte, 8, 8+binary.MaxVarintLen64+len(key)+len(val))
+	var kl [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(kl[:], uint64(len(key)))
+	frame = append(frame, kl[:n]...)
+	frame = append(frame, key...)
+	frame = append(frame, val...)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(frame)-8))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	if _, err := j.f.Write(frame); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.records[key] = val
+	j.appended++
+	if j.appendHook != nil {
+		j.appendHook(j.appended)
+	}
+	return nil
+}
+
+// PutJSON journals v under key using a deterministic JSON encoding
+// (encoding/json sorts map keys).
+func (j *Journal) PutJSON(key string, v any) error {
+	if j == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encoding %q: %w", key, err)
+	}
+	return j.Put(key, data)
+}
+
+// GetJSON decodes the journaled value for key into v, reporting whether a
+// record existed and decoded cleanly. A record that fails to decode is
+// treated as absent — the unit is recomputed rather than trusted.
+func (j *Journal) GetJSON(key string, v any) bool {
+	data, ok := j.Get(key)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// SetAppendHook installs a test hook observing every append with the
+// running per-process append count. The chaos soak harness uses it to
+// cancel a run after a chosen amount of durable progress. The hook runs
+// with the journal lock held and must not call back into the Journal.
+func (j *Journal) SetAppendHook(hook func(total int)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.appendHook = hook
+	j.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Context plumbing — the journal rides the analysis context exactly like
+// the fault injector and the observer, so stage signatures stay unchanged.
+
+type ctxKey struct{}
+
+// With attaches a journal to the context; nil detaches.
+func With(ctx context.Context, j *Journal) context.Context {
+	return context.WithValue(ctx, ctxKey{}, j)
+}
+
+// From retrieves the context's journal, or nil.
+func From(ctx context.Context) *Journal {
+	j, _ := ctx.Value(ctxKey{}).(*Journal)
+	return j
+}

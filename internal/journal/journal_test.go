@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openT(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	if n, err := j.Bind("fp-1"); err != nil || n != 0 {
+		t.Fatalf("Bind on fresh journal = (%d, %v), want (0, nil)", n, err)
+	}
+	if err := j.Put("tg/a", []byte("verdict-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.PutJSON("meas/campaign/0", map[string]int{"total": 42}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	r := openT(t, path)
+	if n, err := r.Bind("fp-1"); err != nil || n != 2 {
+		t.Fatalf("Bind on reopen = (%d, %v), want (2, nil)", n, err)
+	}
+	if v, ok := r.Get("tg/a"); !ok || string(v) != "verdict-a" {
+		t.Errorf("Get(tg/a) = (%q, %v), want (verdict-a, true)", v, ok)
+	}
+	var m map[string]int
+	if !r.GetJSON("meas/campaign/0", &m) || m["total"] != 42 {
+		t.Errorf("GetJSON(meas/campaign/0) = (%v), want total=42", m)
+	}
+	if r.Hits() != 2 {
+		t.Errorf("Hits = %d, want 2", r.Hits())
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: every proper prefix
+// of the file must reopen cleanly, keeping exactly the records whose
+// frames are intact and truncating the rest.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.Bind("fp")
+	j.Put("a", []byte("alpha"))
+	j.Put("b", []byte("beta"))
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		p := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(p)
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		// Whatever survived must be a prefix of the intact record sequence,
+		// and appending must work from the truncated boundary.
+		if _, ok := r.Get("b"); ok {
+			if _, ok := r.Get("a"); !ok {
+				t.Errorf("cut=%d: record b survived without record a", cut)
+			}
+		}
+		if err := r.Put("c", []byte("gamma")); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		r.Close()
+		rr := openT(t, p)
+		if v, ok := rr.Get("c"); !ok || string(v) != "gamma" {
+			t.Errorf("cut=%d: post-truncation append lost: (%q, %v)", cut, v, ok)
+		}
+		if st, _ := os.Stat(p); st.Size() < 8 && cut >= len(full) {
+			t.Errorf("cut=%d: file unexpectedly empty", cut)
+		}
+	}
+}
+
+// TestCorruptedFrameDropsTail flips bytes inside a frame's payload and
+// header: the CRC must reject the frame, and everything after it — intact
+// or not — is discarded, because frame boundaries downstream of a corrupt
+// length cannot be trusted.
+func TestCorruptedFrameDropsTail(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, base)
+	j.Put("a", []byte("alpha"))
+	j.Put("b", []byte("beta"))
+	j.Put("c", []byte("gamma"))
+	j.Close()
+	full, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for flip := 0; flip < len(full); flip++ {
+		p := filepath.Join(t.TempDir(), "flip.journal")
+		mut := append([]byte(nil), full...)
+		mut[flip] ^= 0xFF
+		if err := os.WriteFile(p, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(p)
+		if err != nil {
+			t.Fatalf("flip=%d: Open: %v", flip, err)
+		}
+		// The mutated journal must never serve a value that differs from
+		// what was written: a record is either intact or absent.
+		for key, want := range map[string]string{"a": "alpha", "b": "beta", "c": "gamma"} {
+			if v, ok := r.Get(key); ok && string(v) != want {
+				t.Errorf("flip=%d: Get(%s) = %q, corrupted value served", flip, key, v)
+			}
+		}
+		r.Close()
+	}
+}
+
+// TestDuplicatePutIdempotent: re-putting a journaled key must not grow the
+// file, and replay must keep a single deterministic value.
+func TestDuplicatePutIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.Put("k", []byte("first"))
+	size1, _ := os.Stat(path)
+	j.Put("k", []byte("second"))
+	size2, _ := os.Stat(path)
+	if size1.Size() != size2.Size() {
+		t.Errorf("duplicate Put grew the file: %d -> %d bytes", size1.Size(), size2.Size())
+	}
+	if v, _ := j.Get("k"); string(v) != "first" {
+		t.Errorf("duplicate Put overwrote value: %q", v)
+	}
+	j.Close()
+
+	// Even a journal holding literal duplicate frames (crash between the
+	// in-memory check and a concurrent writer's append, or a hand-merged
+	// file) replays first-record-wins.
+	full, _ := os.ReadFile(path)
+	dup := append(append([]byte(nil), full...), full...)
+	p2 := filepath.Join(t.TempDir(), "dup.journal")
+	os.WriteFile(p2, dup, 0o644)
+	r := openT(t, p2)
+	if v, ok := r.Get("k"); !ok || string(v) != "first" {
+		t.Errorf("duplicate frames: Get(k) = (%q, %v), want (first, true)", v, ok)
+	}
+	if r.Len() != 1 {
+		t.Errorf("duplicate frames: Len = %d, want 1", r.Len())
+	}
+}
+
+// TestFingerprintMismatchForcesCleanRun: a journal written under one
+// (program, options) identity must not leak records into a run with a
+// different identity.
+func TestFingerprintMismatchForcesCleanRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.Bind("fp-old")
+	j.Put("tg/a", []byte("stale"))
+	j.Close()
+
+	r := openT(t, path)
+	n, err := r.Bind("fp-new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("Bind after fingerprint change = %d resumable records, want 0", n)
+	}
+	if _, ok := r.Get("tg/a"); ok {
+		t.Error("stale record survived a fingerprint mismatch")
+	}
+	r.Put("tg/a", []byte("fresh"))
+	r.Close()
+
+	rr := openT(t, path)
+	if n, err := rr.Bind("fp-new"); err != nil || n != 1 {
+		t.Fatalf("rebind = (%d, %v), want (1, nil)", n, err)
+	}
+	if v, _ := rr.Get("tg/a"); string(v) != "fresh" {
+		t.Errorf("Get after reset+rewrite = %q, want fresh", v)
+	}
+}
+
+func TestNilJournalIsInert(t *testing.T) {
+	var j *Journal
+	if err := j.Put("k", []byte("v")); err != nil {
+		t.Errorf("nil Put: %v", err)
+	}
+	if _, ok := j.Get("k"); ok {
+		t.Error("nil Get returned a record")
+	}
+	if n, err := j.Bind("fp"); n != 0 || err != nil {
+		t.Errorf("nil Bind = (%d, %v)", n, err)
+	}
+	if j.Len() != 0 || j.Hits() != 0 || j.Path() != "" {
+		t.Error("nil accessors not inert")
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}
+
+func TestAppendHookObservesProgress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	var seen []int
+	j.SetAppendHook(func(n int) { seen = append(seen, n) })
+	j.Put("a", nil)
+	j.Put("b", nil)
+	j.Put("a", nil) // duplicate: no append, no hook
+	if !bytes.Equal([]byte{byte(len(seen))}, []byte{2}) || seen[0] != 1 || seen[1] != 2 {
+		t.Errorf("hook saw %v, want [1 2]", seen)
+	}
+}

@@ -10,17 +10,32 @@ package measure
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
 	"wcet/internal/fail"
 	"wcet/internal/faults"
 	"wcet/internal/interp"
+	"wcet/internal/journal"
 	"wcet/internal/obs"
 	"wcet/internal/par"
 	"wcet/internal/partition"
+	"wcet/internal/retry"
 	"wcet/internal/sim"
 )
+
+// traceRecord is the journaled form of one simulator replay: the block
+// events and total that Observe folds, nothing more. Replaying a record
+// reproduces the identical accumulator contribution without touching the
+// simulator.
+type traceRecord struct {
+	Events []sim.BlockEvent
+	Total  int64
+}
+
+// measKey addresses one vector of a tagged campaign in the run journal.
+func measKey(tag string, i int) string { return "meas/" + tag + "/" + strconv.Itoa(i) }
 
 // UnitTime aggregates observations for one plan unit.
 type UnitTime struct {
@@ -78,8 +93,27 @@ func Campaign(plan *partition.Plan, vm *sim.VM, data []interp.Env, workers ...in
 // pool joins every worker before returning, so a failed campaign leaks no
 // goroutines.
 func CampaignCtx(ctx context.Context, plan *partition.Plan, vm *sim.VM, data []interp.Env, workers int) (*Result, error) {
+	return CampaignTagged(ctx, "", plan, vm, data, workers, retry.Policy{})
+}
+
+// CampaignTagged is CampaignCtx with durability: a non-empty tag names the
+// campaign in the run journal ("meas/<tag>/<vector>"), so each finished
+// replay is one durable unit — an interrupted campaign resumes by folding
+// journaled traces instead of re-running the simulator, with identical
+// accumulator contributions and metrics. Transient per-vector failures
+// retry under pol; a vector that exhausts its attempts fails the campaign
+// with the same lowest-index-wins attribution as before.
+func CampaignTagged(ctx context.Context, tag string, plan *partition.Plan, vm *sim.VM,
+	data []interp.Env, workers int, pol retry.Policy) (*Result, error) {
+
+	// The campaign-entry site exists so tests can stall or fail the stage
+	// as a whole (index 0), not just individual replays.
+	if ferr := faults.Fire(ctx, "measure.campaign", 0); ferr != nil {
+		return nil, fail.Attribute(fail.From("measure", ferr), "measure", "")
+	}
 	w := par.Workers(workers)
 	o := obs.From(ctx)
+	j := journal.From(ctx)
 	accs := make([]*Result, w)
 	err := par.ForEachWorkerCtx(ctx, len(data), w, func(worker int) func(context.Context, int) error {
 		wvm := vm.Clone()
@@ -87,20 +121,42 @@ func CampaignCtx(ctx context.Context, plan *partition.Plan, vm *sim.VM, data []i
 		accs[worker] = acc
 		ow := o.Worker(worker)
 		return func(ctx context.Context, i int) error {
-			if ferr := faults.Fire(ctx, "measure.run", i); ferr != nil {
-				return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
+			observe := func(tr *sim.Trace) {
+				acc.Runs++
+				acc.Observe(tr)
+				// The vector set and each run's cycle count are deterministic;
+				// histogram buckets fold commutatively across workers.
+				ow.Count("measure.runs", 1)
+				ow.Hist("measure.cycles", tr.Total)
 			}
-			tr, err := wvm.Run(data[i].Clone())
+			if tag != "" {
+				var rec traceRecord
+				if j.GetJSON(measKey(tag, i), &rec) {
+					observe(&sim.Trace{Events: rec.Events, Total: rec.Total})
+					o.Count("measure.journal.replayed", 1)
+					return nil
+				}
+			}
+			var tr *sim.Trace
+			_, err := retry.Do(ctx, pol, func(attempt int) error {
+				if ferr := faults.Fire(ctx, "measure.run", i); ferr != nil {
+					return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
+				}
+				var rerr error
+				tr, rerr = wvm.Run(data[i].Clone())
+				if rerr != nil {
+					return fail.Attribute(fail.Infra("measure", fmt.Errorf("run failed: %w", rerr)),
+						"measure", vectorPath(i))
+				}
+				return nil
+			})
 			if err != nil {
-				return fail.Attribute(fail.Infra("measure", fmt.Errorf("run failed: %w", err)),
-					"measure", vectorPath(i))
+				return err
 			}
-			acc.Runs++
-			acc.Observe(tr)
-			// The vector set and each run's cycle count are deterministic;
-			// histogram buckets fold commutatively across workers.
-			ow.Count("measure.runs", 1)
-			ow.Hist("measure.cycles", tr.Total)
+			if tag != "" {
+				_ = j.PutJSON(measKey(tag, i), &traceRecord{Events: tr.Events, Total: tr.Total})
+			}
+			observe(tr)
 			return nil
 		}
 	})
@@ -226,8 +282,18 @@ func ExhaustiveMax(vm *sim.VM, data []interp.Env, workers ...int) (int64, error)
 // ExhaustiveMaxCtx is ExhaustiveMax under a context, with the same
 // cancellation, attribution and panic-isolation contract as CampaignCtx.
 func ExhaustiveMaxCtx(ctx context.Context, vm *sim.VM, data []interp.Env, workers int) (int64, error) {
+	return ExhaustiveMaxTagged(ctx, "", vm, data, workers, retry.Policy{})
+}
+
+// ExhaustiveMaxTagged is ExhaustiveMaxCtx with durability and retry, the
+// exhaustive-sweep counterpart of CampaignTagged. Only each run's total is
+// journaled — the end-to-end maximum needs nothing else.
+func ExhaustiveMaxTagged(ctx context.Context, tag string, vm *sim.VM,
+	data []interp.Env, workers int, pol retry.Policy) (int64, error) {
+
 	w := par.Workers(workers)
 	o := obs.From(ctx)
+	j := journal.From(ctx)
 	maxes := make([]int64, w)
 	for i := range maxes {
 		maxes[i] = -1
@@ -236,19 +302,41 @@ func ExhaustiveMaxCtx(ctx context.Context, vm *sim.VM, data []interp.Env, worker
 		wvm := vm.Clone()
 		ow := o.Worker(worker)
 		return func(ctx context.Context, i int) error {
-			if ferr := faults.Fire(ctx, "measure.exhaustive", i); ferr != nil {
-				return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
+			observe := func(total int64) {
+				if total > maxes[worker] {
+					maxes[worker] = total
+				}
+				ow.Count("measure.exhaustive.runs", 1)
+				ow.Hist("measure.exhaustive.cycles", total)
 			}
-			tr, err := wvm.Run(data[i].Clone())
+			if tag != "" {
+				var total int64
+				if j.GetJSON(measKey(tag, i), &total) {
+					observe(total)
+					o.Count("measure.journal.replayed", 1)
+					return nil
+				}
+			}
+			var tr *sim.Trace
+			_, err := retry.Do(ctx, pol, func(attempt int) error {
+				if ferr := faults.Fire(ctx, "measure.exhaustive", i); ferr != nil {
+					return fail.Attribute(fail.From("measure", ferr), "measure", vectorPath(i))
+				}
+				var rerr error
+				tr, rerr = wvm.Run(data[i].Clone())
+				if rerr != nil {
+					return fail.Attribute(fail.Infra("measure", fmt.Errorf("run failed: %w", rerr)),
+						"measure", vectorPath(i))
+				}
+				return nil
+			})
 			if err != nil {
-				return fail.Attribute(fail.Infra("measure", fmt.Errorf("run failed: %w", err)),
-					"measure", vectorPath(i))
+				return err
 			}
-			if tr.Total > maxes[worker] {
-				maxes[worker] = tr.Total
+			if tag != "" {
+				_ = j.PutJSON(measKey(tag, i), tr.Total)
 			}
-			ow.Count("measure.exhaustive.runs", 1)
-			ow.Hist("measure.exhaustive.cycles", tr.Total)
+			observe(tr.Total)
 			return nil
 		}
 	})

@@ -3,6 +3,8 @@ package measure
 import (
 	"context"
 	"errors"
+	"path/filepath"
+	"reflect"
 	"runtime"
 	"strings"
 	"testing"
@@ -10,7 +12,9 @@ import (
 
 	"wcet/internal/fail"
 	"wcet/internal/faults"
+	"wcet/internal/journal"
 	"wcet/internal/partition"
+	"wcet/internal/retry"
 )
 
 func (fx *fixture) planAndInputs(t *testing.T) (*partition.Plan, []InputVar) {
@@ -101,6 +105,120 @@ func TestExhaustiveInjectedFault(t *testing.T) {
 	if _, err := ExhaustiveMaxCtx(ctx, fx.vm, fx.allInputs(t), 2); err == nil ||
 		!strings.Contains(err.Error(), "vector 0") {
 		t.Errorf("exhaustive fault: got %v, want vector-0 attribution", err)
+	}
+}
+
+// TestCampaignStallThatCompletesIsInvisible pins the stall site for the
+// measurement stage: a short stall at campaign entry delays the campaign
+// but must not change its result in any way.
+func TestCampaignStallThatCompletesIsInvisible(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	plan, _ := fx.planAndInputs(t)
+	data := fx.allInputs(t)
+	clean, err := CampaignCtx(context.Background(), plan, fx.vm, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := faults.With(context.Background(), faults.New(
+		faults.Rule{Site: "measure.campaign", Index: 0, Mode: faults.Stall, Delay: time.Millisecond}))
+	stalled, err := CampaignCtx(ctx, plan, fx.vm, data, 4)
+	if err != nil {
+		t.Fatalf("completed stall must be invisible: %v", err)
+	}
+	if !reflect.DeepEqual(clean, stalled) {
+		t.Error("stall that completed changed the campaign result")
+	}
+}
+
+// TestCampaignStallExpiredDeadlineIsBudget: a stalled campaign entry whose
+// context deadline expires must surface as a spent budget, the signature
+// deadline-driven callers (and the retry policy) key on.
+func TestCampaignStallExpiredDeadlineIsBudget(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	plan, _ := fx.planAndInputs(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	ctx = faults.With(ctx, faults.New(
+		faults.Rule{Site: "measure.campaign", Index: 0, Mode: faults.Stall, Delay: 10 * time.Second}))
+	_, err := CampaignCtx(ctx, plan, fx.vm, fx.allInputs(t), 4)
+	if !errors.Is(err, fail.ErrBudgetExceeded) {
+		t.Errorf("stalled campaign past its deadline: got %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestCampaignJournalResumeSkipsSimulator: a journaled campaign replayed
+// into a fresh run reproduces the identical result without touching the
+// simulator — pinned by arming a fault at every replay site: if any
+// simulator run happened, the campaign would fail.
+func TestCampaignJournalResumeSkipsSimulator(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	plan, _ := fx.planAndInputs(t)
+	data := fx.allInputs(t)
+	j, err := journal.Open(filepath.Join(t.TempDir(), "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	jctx := journal.With(context.Background(), j)
+	first, err := CampaignTagged(jctx, "t", plan, fx.vm, data, 4, retry.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := faults.With(jctx, faults.New(faults.Rule{Site: "measure.run", Index: -1}))
+	resumed, err := CampaignTagged(rctx, "t", plan, fx.vm, data, 4, retry.Policy{})
+	if err != nil {
+		t.Fatalf("replayed campaign ran the simulator: %v", err)
+	}
+	if !reflect.DeepEqual(first, resumed) {
+		t.Error("replayed campaign result differs from the original")
+	}
+}
+
+// TestExhaustiveJournalResumeSkipsSimulator is the exhaustive-sweep
+// counterpart.
+func TestExhaustiveJournalResumeSkipsSimulator(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	data := fx.allInputs(t)
+	j, err := journal.Open(filepath.Join(t.TempDir(), "j"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	jctx := journal.With(context.Background(), j)
+	first, err := ExhaustiveMaxTagged(jctx, "x", fx.vm, data, 4, retry.Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rctx := faults.With(jctx, faults.New(faults.Rule{Site: "measure.exhaustive", Index: -1}))
+	resumed, err := ExhaustiveMaxTagged(rctx, "x", fx.vm, data, 4, retry.Policy{})
+	if err != nil {
+		t.Fatalf("replayed sweep ran the simulator: %v", err)
+	}
+	if first != resumed {
+		t.Errorf("replayed exhaustive max %d != original %d", resumed, first)
+	}
+}
+
+// TestCampaignTransientFaultHealedByRetry: a MaxFires-bounded infrastructure
+// fault on one vector is retried and the campaign result matches a clean
+// run exactly.
+func TestCampaignTransientFaultHealedByRetry(t *testing.T) {
+	fx := setup(t, measSrc, "f")
+	plan, _ := fx.planAndInputs(t)
+	data := fx.allInputs(t)
+	clean, err := CampaignCtx(context.Background(), plan, fx.vm, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := faults.With(context.Background(), faults.New(
+		faults.Rule{Site: "measure.run", Index: 2, MaxFires: 2,
+			Err: fail.Infra("measure", errors.New("injected transient"))}))
+	healed, err := CampaignTagged(ctx, "", plan, fx.vm, data, 4, retry.Policy{})
+	if err != nil {
+		t.Fatalf("transient fault within the attempt budget must heal: %v", err)
+	}
+	if !reflect.DeepEqual(clean, healed) {
+		t.Error("healed campaign result differs from clean run")
 	}
 }
 

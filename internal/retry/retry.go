@@ -1,0 +1,154 @@
+// Package retry is the pipeline's deterministic retry policy, driven by
+// the internal/fail error taxonomy.
+//
+// A long-running analysis meets two different kinds of per-unit failure.
+// Transient ones — an infrastructure fault (a flaky simulator run, an
+// injected chaos fault) or a stalled call that tripped its own wall-clock
+// timeout — may succeed on a second attempt, so they retry up to a bounded
+// attempt budget. Deterministic ones cannot: a model-checker step, state or
+// node budget produces the same exhaustion on every attempt (the caller may
+// instead fail over to a different engine), an infeasibility proof is a
+// result rather than a failure, and cancellation means the caller withdrew
+// the request. Retrying those would burn time without changing the outcome,
+// so the policy refuses.
+//
+// Backoff is logical, not wall-clock: each attempt records how many
+// logical ticks of backoff preceded it, but Do never sleeps. Sleeping
+// would make attempt timing — and therefore any timing-adjacent outcome —
+// depend on the scheduler, which is exactly what the pipeline's
+// determinism guarantee forbids; the recorded ticks preserve the policy's
+// shape (exponential, bounded) for ledgers, logs and tests. The attempt
+// history is part of the degradation ledger, so two runs (at any worker
+// count, killed and resumed any number of times) render identical
+// histories for identical failures.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"wcet/internal/fail"
+)
+
+// Policy bounds the retry loop for one unit of work.
+type Policy struct {
+	// MaxAttempts is the total attempt budget per unit, first try included
+	// (default 3). 1 disables retrying. Negative clamps to 1.
+	MaxAttempts int
+	// BackoffBase is the logical backoff before the second attempt
+	// (default 1 tick); it doubles per further attempt.
+	BackoffBase int
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 1
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 1
+	}
+	return p
+}
+
+// Attempts returns the policy's effective attempt budget.
+func (p Policy) Attempts() int { return p.withDefaults().MaxAttempts }
+
+// Backoff returns the logical ticks of backoff preceding the given
+// (1-based) attempt: 0 before the first, BackoffBase·2^(n-2) after.
+func (p Policy) Backoff(attempt int) int {
+	p = p.withDefaults()
+	if attempt <= 1 {
+		return 0
+	}
+	return p.BackoffBase << (attempt - 2)
+}
+
+// Attempt records one try of a unit of work for the attempt history.
+type Attempt struct {
+	// N is the 1-based attempt number.
+	N int
+	// Backoff is the logical backoff (ticks) that preceded this attempt.
+	Backoff int
+	// Err is the attempt's outcome (nil on success).
+	Err error
+}
+
+// String renders one history line, deterministically.
+func (a Attempt) String() string {
+	out := fmt.Sprintf("attempt %d", a.N)
+	if a.Backoff > 0 {
+		out += fmt.Sprintf(" (backoff %d)", a.Backoff)
+	}
+	if a.Err == nil {
+		return out + ": ok"
+	}
+	return out + ": " + a.Err.Error()
+}
+
+// History renders an attempt slice as ledger-ready lines.
+func History(attempts []Attempt) []string {
+	if len(attempts) == 0 {
+		return nil
+	}
+	out := make([]string, len(attempts))
+	for i, a := range attempts {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// Retryable reports whether another attempt at the same operation could
+// plausibly succeed:
+//
+//   - infrastructure failures retry — they cover the transient class
+//     (simulator flakes, injected faults);
+//   - a wall-clock expiry (ErrBudgetExceeded wrapping DeadlineExceeded) is
+//     the signature of a stalled call and retries — the stall, not the
+//     work, consumed the budget;
+//   - deterministic budgets (step/state/node/evaluation caps), cancellation
+//     and worker panics never retry.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, fail.ErrCancelled) || errors.Is(err, fail.ErrWorkerPanic) {
+		return false
+	}
+	if errors.Is(err, fail.ErrInfrastructure) {
+		return true
+	}
+	return errors.Is(err, fail.ErrBudgetExceeded) && errors.Is(err, context.DeadlineExceeded)
+}
+
+// Do runs op under the policy: attempts are numbered from 1, a nil return
+// stops with success, a non-retryable error stops immediately, and a
+// retryable error consumes attempts until the budget is spent. The parent
+// context is consulted between attempts so a cancelled run never keeps
+// retrying; a retryable per-call deadline expiry is distinguished from a
+// parent expiry by the ctx check, not by the error.
+//
+// The returned history always contains every attempt made, and the error
+// is the last attempt's (nil on success) — deterministic for
+// deterministic ops, which injected faults are by construction.
+func Do(ctx context.Context, p Policy, op func(attempt int) error) ([]Attempt, error) {
+	p = p.withDefaults()
+	var history []Attempt
+	for n := 1; n <= p.MaxAttempts; n++ {
+		if cerr := fail.Context("", ctx.Err()); cerr != nil {
+			return history, cerr
+		}
+		err := op(n)
+		history = append(history, Attempt{N: n, Backoff: p.Backoff(n), Err: err})
+		if err == nil {
+			return history, nil
+		}
+		if !Retryable(err) || n == p.MaxAttempts {
+			return history, err
+		}
+	}
+	return history, nil // unreachable: the loop always returns
+}

@@ -1,0 +1,135 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"wcet/internal/fail"
+)
+
+func TestDoStopsOnSuccess(t *testing.T) {
+	calls := 0
+	hist, err := Do(context.Background(), Policy{}, func(n int) error {
+		calls++
+		if n < 2 {
+			return fail.Infra("mc", fmt.Errorf("transient"))
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("got (calls=%d, %v), want success on attempt 2", calls, err)
+	}
+	want := []string{
+		"attempt 1: mc: infrastructure failure: transient",
+		"attempt 2 (backoff 1): ok",
+	}
+	got := History(hist)
+	if len(got) != len(want) {
+		t.Fatalf("history = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("history[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDoNeverRetriesDeterministicBudgets(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"step budget", fail.Budget("mc", "step budget exhausted after 10 steps")},
+		{"cancelled", fail.Cancelled("testgen", context.Canceled)},
+		{"panic", fail.Panic("measure", "boom", nil)},
+	}
+	for _, c := range cases {
+		calls := 0
+		_, err := Do(context.Background(), Policy{MaxAttempts: 5}, func(int) error {
+			calls++
+			return c.err
+		})
+		if calls != 1 {
+			t.Errorf("%s: %d attempts, want 1 (non-retryable)", c.name, calls)
+		}
+		if !errors.Is(err, c.err.(*fail.Error).Kind) {
+			t.Errorf("%s: error kind lost: %v", c.name, err)
+		}
+	}
+}
+
+func TestDoRetriesStallSignature(t *testing.T) {
+	// A per-call wall-clock expiry (budget wrapping DeadlineExceeded) is
+	// the stall signature and retries.
+	stall := fail.Context("mc", context.DeadlineExceeded)
+	calls := 0
+	_, err := Do(context.Background(), Policy{MaxAttempts: 3}, func(int) error {
+		calls++
+		return stall
+	})
+	if calls != 3 {
+		t.Errorf("stall: %d attempts, want 3", calls)
+	}
+	if !errors.Is(err, fail.ErrBudgetExceeded) {
+		t.Errorf("exhausted stall retries: %v, want budget kind preserved", err)
+	}
+}
+
+func TestDoExhaustsAttemptsDeterministically(t *testing.T) {
+	run := func() ([]string, error) {
+		var calls []int
+		hist, err := Do(context.Background(), Policy{MaxAttempts: 4, BackoffBase: 2},
+			func(n int) error {
+				calls = append(calls, n)
+				return fail.Infra("measure", fmt.Errorf("flake %d", n))
+			})
+		return History(hist), err
+	}
+	h1, e1 := run()
+	h2, e2 := run()
+	if len(h1) != 4 {
+		t.Fatalf("history length = %d, want 4", len(h1))
+	}
+	if h1[3] != "attempt 4 (backoff 8): measure: infrastructure failure: flake 4" {
+		t.Errorf("final line = %q", h1[3])
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Errorf("history differs across runs at %d: %q vs %q", i, h1[i], h2[i])
+		}
+	}
+	if e1.Error() != e2.Error() {
+		t.Errorf("exhaustion error differs: %q vs %q", e1, e2)
+	}
+}
+
+func TestDoHonoursParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := Do(ctx, Policy{MaxAttempts: 5}, func(int) error {
+		calls++
+		cancel()
+		return fail.Infra("mc", fmt.Errorf("transient"))
+	})
+	if calls != 1 {
+		t.Errorf("%d attempts after parent cancel, want 1", calls)
+	}
+	if !errors.Is(err, fail.ErrCancelled) {
+		t.Errorf("got %v, want ErrCancelled from the parent context", err)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BackoffBase: 3}
+	want := []int{0, 3, 6, 12, 24}
+	for i, w := range want {
+		if got := p.Backoff(i + 1); got != w {
+			t.Errorf("Backoff(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+	if Retryable(nil) {
+		t.Error("nil error must not be retryable")
+	}
+}

@@ -2,6 +2,7 @@ package testgen
 
 import (
 	"encoding/binary"
+	"fmt"
 	"hash/fnv"
 	"io"
 	"sync"
@@ -35,6 +36,18 @@ func SeedFor(base int64, pathKey string) int64 {
 	return int64(z)
 }
 
+// SeedForAttempt derives the GA seed for one retry attempt at a target.
+// Attempt 1 (and anything below) is exactly SeedFor — a run that never
+// retries produces bit-identical seeds to the pre-retry pipeline — and
+// later attempts salt the path key so a healed transient failure explores a
+// fresh, but still fully deterministic, stream.
+func SeedForAttempt(base int64, pathKey string, attempt int) int64 {
+	if attempt <= 1 {
+		return SeedFor(base, pathKey)
+	}
+	return SeedFor(base, fmt.Sprintf("%s\x00attempt=%d", pathKey, attempt))
+}
+
 // gaOutcome is one target's finished (or skipped) GA search. A search is
 // speculative: whether it counts is decided by the board's fold, not by the
 // worker that ran it.
@@ -47,6 +60,11 @@ type gaOutcome struct {
 	// cover holds the first covering assignment the search's candidate
 	// traces produced for each target key (incidental coverage).
 	cover map[string]interp.Env
+	// attempts is the retry history when the search needed more than one
+	// attempt (nil otherwise). It surfaces in PathResult.Attempts only when
+	// the search counts, because discarded speculative work — and therefore
+	// its history — is schedule-dependent.
+	attempts []string
 }
 
 // gaBoard folds speculative per-target GA searches into the canonical
@@ -73,6 +91,11 @@ type gaBoard struct {
 	counted map[string]interp.Env
 	// evals sums evaluations over counted searches only.
 	evals int
+	// attempts maps a target key to its counted search's retry history.
+	// Only counted searches contribute — whether a discarded speculative
+	// search ran at all depends on scheduling, so recording its history
+	// would leak the schedule into the report.
+	attempts map[string][]string
 }
 
 func newGABoard(keys []string) *gaBoard {
@@ -80,7 +103,15 @@ func newGABoard(keys []string) *gaBoard {
 		keys:     keys,
 		outcomes: make([]*gaOutcome, len(keys)),
 		counted:  map[string]interp.Env{},
+		attempts: map[string][]string{},
 	}
+}
+
+// attemptsFor returns the counted retry history for a target key, if any.
+func (b *gaBoard) attemptsFor(key string) []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.attempts[key]
 }
 
 // snapshot returns the keys currently covered by decided, counted searches.
@@ -140,5 +171,8 @@ func (b *gaBoard) advanceLocked() {
 			}
 		}
 		b.evals += o.evals
+		if len(o.attempts) > 0 {
+			b.attempts[key] = o.attempts
+		}
 	}
 }

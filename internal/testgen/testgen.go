@@ -6,8 +6,10 @@ package testgen
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"wcet/internal/bdd"
 	"wcet/internal/c2m"
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
@@ -15,11 +17,13 @@ import (
 	"wcet/internal/faults"
 	"wcet/internal/ga"
 	"wcet/internal/interp"
+	"wcet/internal/journal"
 	"wcet/internal/mc"
 	"wcet/internal/obs"
 	"wcet/internal/opt"
 	"wcet/internal/par"
 	"wcet/internal/paths"
+	"wcet/internal/retry"
 	"wcet/internal/tsys"
 )
 
@@ -66,6 +70,13 @@ type PathResult struct {
 	MCStats       mc.Stats
 	// Err records a model-checker failure (Verdict == Unknown).
 	Err error
+	// Attempts is the retry/failover history when this path needed more
+	// than one attempt (nil for the common first-try case): the GA stage's
+	// counted search history, the model-checker stage's per-attempt
+	// outcomes, and any engine failover, in that order. The history is a
+	// pure function of program + config, identical across worker counts and
+	// across kill/resume cycles.
+	Attempts []string
 }
 
 // Report aggregates a generation run.
@@ -112,6 +123,28 @@ type Config struct {
 	MC mc.Options
 	// Base provides values for non-input variables at function entry.
 	Base interp.Env
+	// Retry bounds per-unit retrying of transient failures (infrastructure
+	// errors, per-call stalls). The zero value retries up to 3 attempts with
+	// logical backoff; deterministic budgets, infeasibility proofs and
+	// cancellation never retry. See internal/retry.
+	Retry retry.Policy
+	// FailoverMaxStates caps the input-space size up to which a symbolic
+	// run that exhausted its BDD node budget fails over to the explicit
+	// engine (which enumerates initial states exactly, so it is immune to
+	// BDD blow-up but exponential in input bits). 0 selects the default
+	// 65536 states; negative disables failover.
+	FailoverMaxStates int
+}
+
+// failoverMax resolves the effective failover input-space cap.
+func (c Config) failoverMax() float64 {
+	if c.FailoverMaxStates < 0 {
+		return 0
+	}
+	if c.FailoverMaxStates == 0 {
+		return 1 << 16
+	}
+	return float64(c.FailoverMaxStates)
 }
 
 // Generator owns the analysed function.
@@ -172,6 +205,7 @@ func (gen *Generator) Generate(targets []paths.Path, conf Config) (*Report, erro
 func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, conf Config) (*Report, error) {
 	workers := par.Workers(conf.Workers)
 	o := obs.From(ctx)
+	j := journal.From(ctx)
 	rep := &Report{}
 	n := len(targets)
 	keys := make([]string, n)
@@ -181,19 +215,62 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 
 	// Stage 1: heuristic search. Covered paths accumulate incidentally:
 	// every candidate a GA evaluates is checked against the open targets.
+	// Each search is one durable unit: a journaled outcome replays into the
+	// coverage fold without re-running (the fold discards superseded
+	// outcomes identically either way, so replay order cannot matter), a
+	// transient failure retries with a per-attempt seed, and an exhausted
+	// attempt budget degrades the one target — it simply gets no heuristic
+	// coverage and falls through to the model checker — instead of
+	// aborting the run.
 	board := newGABoard(keys)
 	if !conf.SkipGA {
 		err := par.ForEachWorkerCtx(ctx, n, workers, func(worker int) func(context.Context, int) error {
 			m := interp.New(gen.File, gen.M.Opt)
 			ow := o.Worker(worker)
 			return func(ctx context.Context, i int) error {
-				if ferr := faults.Fire(ctx, "testgen.search", i); ferr != nil {
-					return fail.From("testgen", ferr)
-				}
-				if board.trySkip(i) {
+				if rec, ok := loadGA(j, keys[i]); ok {
+					board.deliver(i, gen.unpackGA(rec))
+					o.Count("testgen.journal.replayed", 1)
 					return nil
 				}
-				gen.searchTarget(ctx, m, board, targets, i, conf, ow)
+				skipped := false
+				var outcome *gaOutcome
+				// The fault site fires before the skip check on every
+				// attempt: whether index i is consulted must not depend on
+				// the (schedule-dependent) incidental-coverage fast path.
+				attempts, err := retry.Do(ctx, conf.Retry, func(attempt int) error {
+					if ferr := faults.Fire(ctx, "testgen.search", i); ferr != nil {
+						return fail.From("testgen", ferr)
+					}
+					if board.trySkip(i) {
+						skipped = true
+						return nil
+					}
+					outcome = gen.searchTarget(ctx, m, board, targets, i, attempt, conf, ow)
+					return nil
+				})
+				if err != nil {
+					if ctx.Err() != nil {
+						return fail.Context("testgen", ctx.Err())
+					}
+					outcome = &gaOutcome{}
+				}
+				// A context that died mid-search truncates the GA via its Stop
+				// hook, making the outcome timing-dependent. It must not reach
+				// the journal (or the board): abandon it as cancelled in-flight
+				// work — the resumed run re-searches from scratch.
+				if ctx.Err() != nil {
+					return fail.Context("testgen", ctx.Err())
+				}
+				if skipped {
+					saveGA(j, keys[i], &gaRecord{})
+					return nil
+				}
+				if len(attempts) > 1 {
+					outcome.attempts = retry.History(attempts)
+				}
+				saveGA(j, keys[i], gen.packGA(outcome))
+				board.deliver(i, outcome)
 				return nil
 			}
 		})
@@ -206,11 +283,14 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	o.Progressf("testgen: GA covered %d/%d targets (%d counted evaluations)",
 		len(covered), n, board.evals)
 
-	// Stage 2: model checking for the residue.
+	// Stage 2: model checking for the residue. Each residue path is one
+	// durable unit with a retry loop (transient failures only), a
+	// symbolic→explicit engine failover for BDD node-budget blow-ups on
+	// small input spaces, and a journal record replayed on resume.
 	results := make([]PathResult, n)
 	var residue []int
 	for i, p := range targets {
-		results[i] = PathResult{Path: p}
+		results[i] = PathResult{Path: p, Attempts: board.attemptsFor(keys[i])}
 		if env, ok := covered[keys[i]]; ok {
 			results[i].Verdict = FoundByHeuristic
 			results[i].Env = env
@@ -234,11 +314,57 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			// logical key nests it under the testgen stage span.
 			sp := ow.Span("testgen", "mc.path", "30/testgen/mc/"+keys[i],
 				"path", keys[i])
+			if rec, ok := loadTG(j, keys[i]); ok {
+				pr.Verdict = Verdict(rec.Verdict)
+				pr.Env = unpackEnv(rec.Env, gen.declByName())
+				pr.MCStats = rec.stats()
+				pr.Attempts = rec.Attempts
+				pr.Err = fail.Replayed(rec.CauseKind, rec.CauseMsg)
+				o.Count("testgen.journal.replayed", 1)
+				if pr.Err != nil {
+					sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
+				} else {
+					sp.End("verdict", pr.Verdict,
+						"steps", pr.MCStats.Steps, "peak-nodes", pr.MCStats.PeakNodes)
+				}
+				return nil
+			}
 			var res *mc.Result
 			var env interp.Env
-			err := faults.Fire(ctx, "testgen.mc", i)
-			if err == nil {
-				res, env, err = gen.checkPathCtx(ctx, m, targets[i], conf)
+			attempts, err := retry.Do(ctx, conf.Retry, func(attempt int) error {
+				if ferr := faults.Fire(ctx, "testgen.mc", i); ferr != nil {
+					return fail.From("testgen", ferr)
+				}
+				var aerr error
+				res, env, aerr = gen.checkPathCtx(ctx, m, targets[i], conf)
+				return aerr
+			})
+			history := retry.History(attempts)
+			// Failover: a BDD node budget is deterministic — retrying the
+			// symbolic engine reproduces the blow-up — but a small input
+			// space can be enumerated exactly by the explicit engine.
+			var lim *bdd.LimitError
+			if err != nil && ctx.Err() == nil && errors.As(err, &lim) {
+				if low, lerr := gen.lowerPath(targets[i], conf); lerr == nil {
+					if space := inputSpace(low.Model); space <= conf.failoverMax() {
+						history = append(history,
+							fmt.Sprintf("failover: explicit engine (%.0f initial states)", space))
+						o.Count("testgen.failover.explicit", 1)
+						if ferr := faults.Fire(ctx, "testgen.failover", i); ferr != nil {
+							err = fail.From("testgen", ferr)
+						} else if xres, xerr := mc.CheckExplicitCtx(ctx, low.Model, conf.MC); xerr != nil {
+							err = xerr
+						} else {
+							res, env, err = xres, nil, nil
+							if xres.Reachable {
+								env, err = gen.witnessEnv(m, low, targets[i], xres.Witness, conf)
+							}
+						}
+					}
+				}
+			}
+			if len(history) > 1 {
+				pr.Attempts = append(pr.Attempts, history...)
 			}
 			if err != nil {
 				// Root-context cancellation unwinds the whole run; any
@@ -249,6 +375,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				}
 				pr.Verdict = Unknown
 				pr.Err = fail.Attribute(err, "testgen", keys[i])
+				saveTG(j, keys[i], packTG(gen, pr, fail.KindLabel(pr.Err), pr.Err.Error()))
 				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				return nil
 			}
@@ -259,6 +386,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			} else {
 				pr.Verdict = Infeasible
 			}
+			saveTG(j, keys[i], packTG(gen, pr, "", ""))
 			sp.End("verdict", pr.Verdict,
 				"steps", res.Stats.Steps, "peak-nodes", res.Stats.PeakNodes)
 			return nil
@@ -273,9 +401,13 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	// construction.
 	heuristicHits := 0
 	feasible := 0
+	retried := 0
 	var byVerdict [4]int
 	for i := range results {
 		byVerdict[results[i].Verdict]++
+		if len(results[i].Attempts) > 0 {
+			retried++
+		}
 		switch results[i].Verdict {
 		case FoundByHeuristic:
 			heuristicHits++
@@ -300,25 +432,28 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 		o.Count("testgen.paths.model_checker", int64(byVerdict[FoundByModelChecker]))
 		o.Count("testgen.paths.infeasible", int64(byVerdict[Infeasible]))
 		o.Count("testgen.paths.unknown", int64(byVerdict[Unknown]))
+		o.Count("testgen.paths.retried", int64(retried))
 		o.Set("testgen.heuristic_share_bp", 0, int64(rep.HeuristicShare*10000))
 	}
 	return rep, nil
 }
 
-// searchTarget runs one speculative GA search on a worker-private machine.
+// searchTarget runs one speculative GA search on a worker-private machine
+// and returns its outcome; the caller decides delivery (and journaling).
 // Incidental coverage is collected into the outcome — never into shared
-// state — so the search is a pure function of (target, seed) and the board
-// can fold it deterministically. The context only feeds the search's Stop
-// hook: cancellation cuts the search short, which is observable — but
-// GenerateCtx abandons the whole run on cancellation, so no timing-
-// dependent outcome ever reaches a returned Report.
+// state — so the search is a pure function of (target, attempt seed) and
+// the board can fold it deterministically. The context only feeds the
+// search's Stop hook: cancellation cuts the search short, which is
+// observable — the caller must abandon (never journal or deliver) an
+// outcome produced under a dead context, so no timing-dependent result
+// ever reaches a returned Report or a resumed run.
 func (gen *Generator) searchTarget(ctx context.Context, m *interp.Machine, board *gaBoard,
-	targets []paths.Path, i int, conf Config, ow *obs.Observer) {
+	targets []paths.Path, i, attempt int, conf Config, ow *obs.Observer) *gaOutcome {
 
 	p := targets[i]
 	gaConf := conf.GA
 	gaConf.Obs = ow
-	gaConf.Seed = SeedFor(conf.GA.Seed, board.keys[i])
+	gaConf.Seed = SeedForAttempt(conf.GA.Seed, board.keys[i], attempt)
 	gaConf.Stop = func() bool { return ctx.Err() != nil }
 	// Targets already covered by decided counted searches keep their board
 	// environment no matter what this search observes; skip their checks.
@@ -348,7 +483,7 @@ func (gen *Generator) searchTarget(ctx context.Context, m *interp.Machine, board
 		o.found = true
 		o.env = env
 	}
-	board.deliver(i, o)
+	return o
 }
 
 // CheckPath runs the model checker for one path and maps the witness back
@@ -362,9 +497,33 @@ func (gen *Generator) CheckPath(p paths.Path, conf Config) (*mc.Result, interp.E
 // context bounding the model-checker call (together with conf.MC's step,
 // node and per-call timeout budgets).
 func (gen *Generator) checkPathCtx(ctx context.Context, m *interp.Machine, p paths.Path, conf Config) (*mc.Result, interp.Env, error) {
-	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
+	low, err := gen.lowerPath(p, conf)
 	if err != nil {
 		return nil, nil, err
+	}
+	res, err := mc.CheckSymbolicCtx(ctx, low.Model, conf.MC)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Reachable {
+		return res, nil, nil
+	}
+	env, err := gen.witnessEnv(m, low, p, res.Witness, conf)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, env, nil
+}
+
+// lowerPath builds the checked model for one path: lowering, the sound
+// variable-initialisation pinning, and (optionally) the Section 3.2
+// optimisation pipeline. The result is a pure function of program + config,
+// so the symbolic engine and an explicit-engine failover check the same
+// model.
+func (gen *Generator) lowerPath(p paths.Path, conf Config) (*c2m.Result, error) {
+	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
+	if err != nil {
+		return nil, err
 	}
 	model := low.Model
 	// Pin non-inputs so model semantics match the interpreter's
@@ -385,28 +544,56 @@ func (gen *Generator) checkPathCtx(ctx context.Context, m *interp.Machine, p pat
 	if conf.Optimise {
 		opt.All(model)
 	}
-	res, err := mc.CheckSymbolicCtx(ctx, model, conf.MC)
-	if err != nil {
-		return nil, nil, err
-	}
-	if !res.Reachable {
-		return res, nil, nil
-	}
+	return low, nil
+}
+
+// witnessEnv maps a trap-reaching witness back to an interpreter
+// environment and validates it by replay: the witness must actually cover
+// the path, whichever engine produced it.
+func (gen *Generator) witnessEnv(m *interp.Machine, low *c2m.Result, p paths.Path,
+	witness map[tsys.VarID]int64, conf Config) (interp.Env, error) {
+
 	env := conf.Base.Clone()
-	for id, val := range res.Witness {
+	for id, val := range witness {
 		if d := low.DeclOf[id]; d != nil {
 			env[d] = val
 		}
 	}
-	// Validate by replay: the witness must actually cover the path.
 	tr, err := m.Run(gen.G, env.Clone())
 	if err != nil {
-		return nil, nil, fmt.Errorf("testgen: witness replay failed: %w", err)
+		return nil, fmt.Errorf("testgen: witness replay failed: %w", err)
 	}
 	if !paths.Covers(gen.G, tr, p) {
-		return nil, nil, fmt.Errorf("testgen: witness does not cover path %s", p.Key())
+		return nil, fmt.Errorf("testgen: witness does not cover path %s", p.Key())
 	}
-	return res, env, nil
+	return env, nil
+}
+
+// inputSpace sizes a model's initial state space: the product of the free
+// (non-pinned) variables' domains. It decides whether an explicit-engine
+// failover is tractable.
+func inputSpace(model *tsys.Model) float64 {
+	total := 1.0
+	for _, v := range model.Vars {
+		if v.Init == tsys.InitConst {
+			continue
+		}
+		var lo, hi int64
+		switch {
+		case v.HasRange:
+			lo, hi = v.Lo, v.Hi
+		case v.Signed:
+			hi = int64(1)<<uint(v.Bits-1) - 1
+			lo = -hi - 1
+		default:
+			lo, hi = 0, int64(1)<<uint(v.Bits)-1
+		}
+		total *= float64(hi-lo) + 1
+		if total > 1e18 {
+			return total
+		}
+	}
+	return total
 }
 
 // Summary renders the report compactly.

@@ -45,6 +45,7 @@ import (
 	"wcet/internal/core"
 	"wcet/internal/fail"
 	"wcet/internal/ga"
+	"wcet/internal/journal"
 	"wcet/internal/mc"
 	"wcet/internal/obs"
 	"wcet/internal/testgen"
@@ -93,6 +94,21 @@ type ObserverConfig = obs.Config
 // Observer.Metrics().WriteSnapshotAll (full metrics JSON), or the
 // canonical variants whose bytes are identical for every Workers value.
 func NewObserver(c ObserverConfig) *Observer { return obs.New(c) }
+
+// Journal is the crash-safe run journal threaded through an analysis via
+// Options.Journal: every completed unit of work (GA search, model-checker
+// verdict, measurement, partition point) is appended durably before the
+// pipeline moves on, so a killed run resumed against the same journal
+// replays finished units and converges to a report byte-identical to an
+// uninterrupted run — at any worker count. nil disables journaling (the
+// default); see OpenJournal.
+type Journal = journal.Journal
+
+// OpenJournal opens (or creates) the run journal at path, recovering
+// cleanly from a torn tail left by a crash mid-append. Close it after the
+// analysis; to discard a previous run's records instead of resuming them,
+// call Reset before analysing.
+func OpenJournal(path string) (*Journal, error) { return journal.Open(path) }
 
 // Verdict classifies per-path generation outcomes.
 type Verdict = testgen.Verdict

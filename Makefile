@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help build test vet race check check-faults check-obs check-chaos lint-prints bench bench-parallel bench-bdd bench-obs bench-journal clean
+.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic clean
 
 help:
 	@echo "make build         - compile all packages"
@@ -17,12 +17,14 @@ help:
 	@echo "make check-faults  - fault-injection & resilience suites under -race"
 	@echo "make check-obs     - observability determinism suites under -race"
 	@echo "make check-chaos   - durability suites & chaos soak (kill/resume) under -race"
+	@echo "make check-symbolic- symbolic-lever property & differential suites under -race"
 	@echo "make lint-prints   - fail on stray stdout writes inside internal/"
 	@echo "make bench         - regenerate every table and figure"
 	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
 	@echo "make bench-bdd     - BDD kernel benchmarks -> BENCH_2.json"
 	@echo "make bench-obs     - observer overhead benchmarks -> BENCH_3.json"
 	@echo "make bench-journal - journal overhead benchmarks -> BENCH_4.json"
+	@echo "make bench-symbolic- symbolic lever A/B benchmarks -> BENCH_5.json"
 
 build:
 	$(GO) build ./...
@@ -36,7 +38,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race check-chaos
+check: build vet test race check-chaos check-symbolic
 
 # check-faults re-runs the resilience surface with the race detector on:
 # the fail/faults/par unit suites plus every stage's injected-fault,
@@ -71,6 +73,17 @@ check-chaos:
 		-run 'Journal|Resume|Retr|Failover|Soak|Kill|Stall|Heal' \
 		./internal/testgen ./internal/measure ./internal/partition \
 		./internal/core ./internal/experiments
+
+# check-symbolic drives the symbolic-speed levers' correctness surface
+# under the race detector: the BDD kernel's property suites (including
+# reordering), the mc differential suites (sliced vs unsliced, reordered vs
+# static, pooled vs fresh, order handoff), the slicing pass's unit tests,
+# and the end-to-end lever determinism pins on the wiper study.
+check-symbolic:
+	$(GO) test -race -count 1 ./internal/bdd ./internal/opt
+	$(GO) test -race -count 1 \
+		-run 'Sliced|Slice|Reorder|Pooled|OrderBook|Lever' \
+		./internal/mc ./internal/experiments
 
 # lint-prints guards the stdout/stderr contract: library code under
 # internal/ must never print — results belong to the cmd tools' stdout,
@@ -119,6 +132,16 @@ bench-obs:
 bench-journal:
 	$(GO) test -run '^$$' -bench JournalOverhead -benchtime 20x . \
 	| $(GO) run ./cmd/benchlog -out BENCH_4.json
+
+# bench-symbolic measures the raw-symbolic-speed work: the interleaved
+# lever A/B on the unoptimised Table 2 model (before = all levers off,
+# after = the default engine, timed back to back each iteration) plus the
+# end-to-end Table 2 and hybrid test-generation benchmarks, appended to
+# BENCH_5.json. The file's first entries are the pre-lever baselines.
+bench-symbolic:
+	( $(GO) test -run '^$$' -bench SymbolicLevers -benchtime 3x . ; \
+	  $(GO) test -run '^$$' -bench 'Table2$$|HybridTestGen$$' -benchtime 3x . ) \
+	| $(GO) run ./cmd/benchlog -out BENCH_5.json
 
 clean:
 	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"wcet/internal/experiments"
 	"wcet/internal/ga"
 	"wcet/internal/gen"
+	"wcet/internal/mc"
 	"wcet/internal/model"
 	"wcet/internal/partition"
 	"wcet/internal/testgen"
@@ -176,6 +177,43 @@ func BenchmarkHybridTestGen(b *testing.B) {
 	b.ReportMetric(share*100, "heuristic-share-%")
 	b.ReportMetric(float64(gaEvals), "ga-evals")
 	b.ReportMetric(float64(mcSteps), "mc-steps")
+}
+
+// BenchmarkSymbolicLevers is the interleaved A/B for the three symbolic
+// speed levers — per-trap slicing, dynamic variable reordering and manager
+// pooling — on the heaviest query of the evaluation, the unoptimised
+// Table 2 model. Each iteration times the before configuration (all levers
+// off, the previous engine) and the after configuration (all levers on,
+// the default) back to back, so machine drift hits both sides equally.
+// speedup-x is before over after.
+func BenchmarkSymbolicLevers(b *testing.B) {
+	m, err := experiments.Table2UnoptModel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	check := func(o mc.Options) {
+		res, err := mc.CheckSymbolic(m, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Reachable {
+			b.Fatal("table 2 target unreachable")
+		}
+	}
+	check(mc.Options{MaxSteps: 5000}) // warm-up: pays cache misses once
+	var before, after time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		check(mc.Options{MaxSteps: 5000, NoSlice: true, NoReorder: true, NoPool: true})
+		t1 := time.Now()
+		check(mc.Options{MaxSteps: 5000})
+		before += t1.Sub(t0)
+		after += time.Since(t1)
+	}
+	b.ReportMetric(float64(before.Milliseconds())/float64(b.N), "before-ms/op")
+	b.ReportMetric(float64(after.Milliseconds())/float64(b.N), "after-ms/op")
+	b.ReportMetric(before.Seconds()/after.Seconds(), "speedup-x")
 }
 
 // BenchmarkObserverOverhead measures the observability layer's cost on the

@@ -69,6 +69,9 @@ func run() (code int) {
 	workers := fs.Int("workers", 0, "parallel analysis workers (0 = one per CPU, 1 = serial); results are identical for every value")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole analysis (0 = none)")
 	mcTimeout := fs.Duration("mc-timeout", 0, "wall-clock budget per model-checker call (0 = none); an expired call degrades its path instead of failing the run")
+	noSlice := fs.Bool("no-slice", false, "disable the per-trap program slice before model checking (A/B baseline)")
+	noReorder := fs.Bool("no-reorder", false, "disable dynamic BDD variable reordering in the symbolic engine (A/B baseline)")
+	noPool := fs.Bool("no-pool", false, "allocate a fresh BDD manager per model-checker call instead of pooling (A/B baseline)")
 	journalFile := fs.String("journal", "", "append completed work units to this crash-safe journal; a killed run can be resumed with -resume")
 	resume := fs.Bool("resume", false, "replay finished units from the -journal file instead of discarding them")
 	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
@@ -162,6 +165,11 @@ func run() (code int) {
 		TestGen: wcet.TestGenConfig{
 			GA:       wcet.GAConfig{Seed: *seed},
 			Optimise: true,
+			MC: wcet.MCOptions{
+				NoSlice:   *noSlice,
+				NoReorder: *noReorder,
+				NoPool:    *noPool,
+			},
 		},
 	})
 	if err != nil {

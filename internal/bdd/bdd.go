@@ -15,12 +15,20 @@
 //
 // Hash consing and the ite/quant/perm operation caches use open-addressed
 // tables over packed integer keys (see tables.go); MemoryBytes reports the
-// exact backing-array footprint of all of them.
+// exact backing-array footprint of all of them, while Footprint reports a
+// deterministic logical size independent of recycled capacities.
+//
+// The variable order is dynamic: node levels (order positions) are
+// decoupled from variable indices through a var↔level indirection, so the
+// public API always speaks variable indices while Reorder (reorder.go) is
+// free to sift levels around. Reset re-arms a manager for a fresh session
+// without freeing its backing arrays, and Pool (pool.go) recycles managers
+// across model-checker queries.
 //
 // A Manager is not safe for concurrent use: the unique table and operation
 // caches mutate on every operation. All state is per-Manager — the package
 // has no mutable package-level state — so concurrent model-checker runs
-// simply build one fresh Manager each, which is what mc.CheckSymbolic does.
+// use one Manager each, leased from a Pool.
 package bdd
 
 import (
@@ -41,7 +49,7 @@ const (
 
 const terminalLevel = int32(1 << 30)
 
-// node is one decision node: branch variable (order position) and the two
+// node is one decision node: branch level (order position) and the two
 // cofactor edges. The stored lo edge is never complemented (canonical
 // form); terminals use terminalLevel.
 type node struct {
@@ -61,17 +69,24 @@ type Manager struct {
 	perm   cache
 	nvars  int
 	limit  int   // node budget; 0 = unlimited
-	varRef []Ref // interned single-variable functions
+	peak   int   // high-water node count of past reorder epochs (see PeakNodes)
+	varRef []Ref // interned single-variable functions, indexed by variable
 	cubes  []cube
-	perms  [][]int32
+	perms  [][]int32 // registered renamings, old variable → new variable
+
+	// The dynamic order: var2level[v] is the order position of variable v,
+	// level2var its inverse. node.level stores positions, the public API
+	// speaks variable indices.
+	var2level []int32
+	level2var []int32
 }
 
 // LimitError is the value a node-budgeted manager panics with when an
 // operation would grow the table past the limit (see SetNodeLimit). The
 // recursive kernel has no error returns, so the budget unwinds as a typed
 // panic that the caller recovers at its API boundary — the model checker
-// converts it into a structured budget-exceeded error and discards the
-// manager.
+// converts it into a structured budget-exceeded error and resets the
+// manager before its next lease.
 type LimitError struct {
 	Nodes, Limit int
 }
@@ -82,7 +97,7 @@ func (e *LimitError) Error() string {
 
 // SetNodeLimit arms a node budget: any operation growing the table past n
 // nodes panics with *LimitError. n <= 0 disables the budget. Callers that
-// set a limit must recover at their boundary and abandon the manager.
+// set a limit must recover at their boundary and reset the manager.
 func (m *Manager) SetNodeLimit(n int) {
 	if n < 0 {
 		n = 0
@@ -90,52 +105,234 @@ func (m *Manager) SetNodeLimit(n int) {
 	m.limit = n
 }
 
-// cube is a registered quantification variable set.
+// cube is a registered quantification variable set. The variable indices
+// are the durable form; member is the level-indexed view the inner loops
+// test, recomputed whenever the order changes.
 type cube struct {
+	vars   []int32
 	member []bool // indexed by level
 }
 
 // New creates a manager for n variables (order = index order).
 func New(n int) *Manager {
-	m := &Manager{nvars: n}
-	m.nodes = make([]node, 1, 256)
-	m.nodes[0] = node{level: terminalLevel}
-	m.unique.init(1 << 10)
-	m.ite.init(1 << 11)
-	m.quant.init(1 << 9)
-	m.perm.init(1 << 9)
-	m.varRef = make([]Ref, n)
-	for i := 0; i < n; i++ {
-		m.varRef[i] = m.mk(int32(i), False, True)
-	}
+	m := &Manager{}
+	m.setup(n)
 	return m
+}
+
+// Reset re-arms the manager for a fresh session over n variables: identity
+// order, empty tables, no node limit. Backing arrays are recycled when
+// their capacity suits the previous session's population and right-sized
+// otherwise, so a pooled manager neither reallocates between similar
+// queries nor stays bloated after one oversized query. The reset manager
+// is observationally identical to New(n) — recycled capacities are
+// invisible to everything except MemoryBytes, which is why the model
+// checker's deterministic statistics use Footprint instead.
+func (m *Manager) Reset(n int) {
+	m.setup(n)
+}
+
+func (m *Manager) setup(n int) {
+	m.nvars = n
+	m.limit = 0
+	m.peak = 0
+	prev := len(m.nodes) // previous session's population sizes the tables
+	if prev == 0 {
+		prev = 1
+	}
+	if cap(m.nodes) == 0 || cap(m.nodes) > 8*(prev+1) {
+		m.nodes = make([]node, 1, nodesCap(prev))
+	} else {
+		m.nodes = m.nodes[:1]
+	}
+	m.nodes[0] = node{level: terminalLevel}
+	m.unique.reset(prev)
+	m.ite.reset(1 << 11)
+	m.quant.reset(1 << 9)
+	m.perm.reset(1 << 9)
+	m.cubes = m.cubes[:0]
+	m.perms = m.perms[:0]
+	m.var2level = resizeInt32(m.var2level, n)
+	m.level2var = resizeInt32(m.level2var, n)
+	for i := 0; i < n; i++ {
+		m.var2level[i] = int32(i)
+		m.level2var[i] = int32(i)
+	}
+	m.internVars()
+}
+
+// nodesCap sizes a fresh node array from the previous session's node count.
+func nodesCap(prev int) int {
+	c := 256
+	for c < 2*prev {
+		c *= 2
+	}
+	return c
+}
+
+func resizeInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+// internVars (re)creates the single-variable functions under the current
+// order. Only valid while the node table holds nothing but the terminal
+// and previously interned variables.
+func (m *Manager) internVars() {
+	if cap(m.varRef) >= m.nvars {
+		m.varRef = m.varRef[:m.nvars]
+	} else {
+		m.varRef = make([]Ref, m.nvars)
+	}
+	for i := 0; i < m.nvars; i++ {
+		m.varRef[i] = m.mk(m.var2level[i], False, True)
+	}
+}
+
+// SetOrder installs a variable order (order[v] = level) on a manager that
+// holds no functions yet — fresh from New or Reset. It is how a learned
+// order from a previous query seeds the next one. The slice is copied;
+// a nil order keeps the identity. Panics if order is not a permutation of
+// the manager's levels or if user nodes already exist.
+func (m *Manager) SetOrder(order []int32) {
+	if order == nil {
+		return
+	}
+	if len(m.nodes) != 1+m.nvars {
+		panic("bdd: SetOrder on a manager that already holds functions")
+	}
+	if len(order) != m.nvars {
+		panic(fmt.Sprintf("bdd: SetOrder with %d levels for %d variables", len(order), m.nvars))
+	}
+	for i := range m.level2var {
+		m.level2var[i] = -1
+	}
+	for v, l := range order {
+		if l < 0 || int(l) >= m.nvars || m.level2var[l] != -1 {
+			panic("bdd: SetOrder order is not a permutation")
+		}
+		m.var2level[v] = l
+		m.level2var[l] = int32(v)
+	}
+	// Drop the identity-order variable nodes and re-intern under the new
+	// levels; the unique table keeps its capacity (a pooled manager's warm
+	// table must survive an order seed) and only forgets the old entries.
+	m.nodes = m.nodes[:1]
+	clear(m.unique.slots)
+	m.internVars()
+}
+
+// CurrentOrder returns a copy of the current variable order as a
+// var → level mapping, suitable for SetOrder on another manager.
+func (m *Manager) CurrentOrder() []int32 {
+	return append([]int32(nil), m.var2level...)
 }
 
 // NumVars reports the variable count.
 func (m *Manager) NumVars() int { return m.nvars }
 
-// NodeCount reports the number of live nodes ever created (the manager does
-// not garbage-collect; this is also the peak). With complement edges a
-// function and its negation share all their nodes, so counts are lower than
-// a two-terminal representation's — up to 2× on negation-heavy formulas
-// such as parity.
+// NodeCount reports the number of live nodes in the current table. Without
+// reordering this only grows (the manager does not garbage-collect);
+// Reorder rebuilds the table smaller, so the session high-water mark is
+// PeakNodes. With complement edges a function and its negation share all
+// their nodes, so counts are lower than a two-terminal representation's —
+// up to 2× on negation-heavy formulas such as parity.
 func (m *Manager) NodeCount() int { return len(m.nodes) }
+
+// PeakNodes reports the session's high-water node count: the largest table
+// the manager held since New/Reset, across reorder shrinks. This is the
+// paper's Table 2 "memory" driver and is deterministic — a pure function
+// of the operation sequence.
+func (m *Manager) PeakNodes() int {
+	if len(m.nodes) > m.peak {
+		return len(m.nodes)
+	}
+	return m.peak
+}
 
 // MemoryBytes reports the exact memory footprint of the node array, the
 // unique table, the operation caches, and the registered cubes and
-// permutations, computed from their backing-array capacities.
+// permutations, computed from their backing-array capacities. On a pooled
+// manager capacities depend on what earlier leases did, so this figure is
+// volatile; deterministic statistics use Footprint.
 func (m *Manager) MemoryBytes() int64 {
 	b := int64(cap(m.nodes)) * nodeBytes
 	b += int64(len(m.unique.slots)) * 4
 	b += m.ite.memoryBytes() + m.quant.memoryBytes() + m.perm.memoryBytes()
 	b += int64(cap(m.varRef)) * 4
 	for _, c := range m.cubes {
-		b += int64(len(c.member))
+		b += int64(len(c.member)) + int64(len(c.vars))*4
 	}
 	for _, p := range m.perms {
 		b += int64(len(p)) * 4
 	}
 	return b
+}
+
+// Footprint reports the logical working-set size: the bytes the manager's
+// live contents would occupy in right-sized tables (tableCap of the live
+// populations), ignoring recycled-capacity slack. Unlike MemoryBytes it is
+// a pure function of the operation sequence since New/Reset — identical
+// whether the manager is fresh or pooled — so it can feed canonical
+// reports.
+func (m *Manager) Footprint() int64 {
+	b := int64(m.PeakNodes()) * nodeBytes
+	b += int64(tableCap(m.PeakNodes(), 1<<10)) * 4
+	b += int64(tableCap(m.ite.used, 1<<11)) * 16
+	b += int64(tableCap(m.quant.used, 1<<9)) * 16
+	b += int64(tableCap(m.perm.used, 1<<9)) * 16
+	b += int64(len(m.varRef)) * 4
+	for _, c := range m.cubes {
+		b += int64(len(c.member)) + int64(len(c.vars))*4
+	}
+	for _, p := range m.perms {
+		b += int64(len(p)) * 4
+	}
+	return b
+}
+
+// Health is a snapshot of the kernel's internal efficiency counters. The
+// tallies are lifetime totals that survive Reset (a recycled manager keeps
+// accumulating); delimit one lease or query by snapshotting before and
+// after and calling Sub. They are exported to observability as volatile
+// metrics, since a pooled manager's lifetime spans a scheduling-dependent
+// sequence of queries.
+type Health struct {
+	UniqueRehashes int64 // unique-table growth events
+	ITELookups     int64 // ite-cache probes…
+	ITEHits        int64 // …and hits
+	QuantLookups   int64
+	QuantHits      int64
+	PermLookups    int64
+	PermHits       int64
+}
+
+// Health returns the current kernel-health counters.
+func (m *Manager) Health() Health {
+	return Health{
+		UniqueRehashes: m.unique.rehashes,
+		ITELookups:     m.ite.lookups,
+		ITEHits:        m.ite.hits,
+		QuantLookups:   m.quant.lookups,
+		QuantHits:      m.quant.hits,
+		PermLookups:    m.perm.lookups,
+		PermHits:       m.perm.hits,
+	}
+}
+
+// Sub subtracts an earlier snapshot, giving the counters of one span.
+func (h Health) Sub(o Health) Health {
+	return Health{
+		UniqueRehashes: h.UniqueRehashes - o.UniqueRehashes,
+		ITELookups:     h.ITELookups - o.ITELookups,
+		ITEHits:        h.ITEHits - o.ITEHits,
+		QuantLookups:   h.QuantLookups - o.QuantLookups,
+		QuantHits:      h.QuantHits - o.QuantHits,
+		PermLookups:    h.PermLookups - o.PermLookups,
+		PermHits:       h.PermHits - o.PermHits,
+	}
 }
 
 // level of the node a handle points at (complement flag ignored).
@@ -315,13 +512,30 @@ func (m *Manager) OrN(fs ...Ref) Ref {
 // Quantification
 
 // Cube registers a set of variables for quantification and returns its id.
+// Cubes survive reorders: the variable set is durable, the level view is
+// recomputed when the order changes.
 func (m *Manager) Cube(vars []int) int {
-	member := make([]bool, m.nvars)
-	for _, v := range vars {
-		member[v] = true
+	c := cube{vars: make([]int32, len(vars))}
+	for i, v := range vars {
+		c.vars[i] = int32(v)
 	}
-	m.cubes = append(m.cubes, cube{member: member})
+	c.member = m.cubeLevels(c.vars, nil)
+	m.cubes = append(m.cubes, c)
 	return len(m.cubes) - 1
+}
+
+// cubeLevels builds the level-indexed membership view of a variable set.
+func (m *Manager) cubeLevels(vars []int32, member []bool) []bool {
+	if cap(member) >= m.nvars {
+		member = member[:m.nvars]
+		clear(member)
+	} else {
+		member = make([]bool, m.nvars)
+	}
+	for _, v := range vars {
+		member[m.var2level[v]] = true
+	}
+	return member
 }
 
 // Exists quantifies the cube's variables existentially out of f.
@@ -387,7 +601,8 @@ func (m *Manager) andExists(f, g Ref, cubeID int) Ref {
 // Permutation registers a variable renaming (old index → new index) and
 // returns its id. Unlisted variables map to themselves. (The map range
 // below only scatters into distinct slice slots, so iteration order cannot
-// influence the registered permutation.)
+// influence the registered permutation.) Permutations are stored over
+// variable indices, so they survive reorders unchanged.
 func (m *Manager) Permutation(mapping map[int]int) int {
 	perm := make([]int32, m.nvars)
 	for i := range perm {
@@ -419,7 +634,7 @@ func (m *Manager) rename(f Ref, permID int) Ref {
 	n := m.nodes[fr>>1]
 	lo := m.rename(n.lo, permID)
 	hi := m.rename(n.hi, permID)
-	v := m.perms[permID][n.level]
+	v := m.perms[permID][m.level2var[n.level]]
 	// Rebuild with ITE on the renamed variable to restore ordering.
 	r := m.ITE(m.Var(int(v)), hi, lo)
 	m.perm.put(key, 0, r)
@@ -444,10 +659,10 @@ func (m *Manager) SatOne(f Ref) (assign []int8, ok bool) {
 		c := f & 1
 		lo, hi := n.lo^c, n.hi^c
 		if hi != False {
-			assign[n.level] = 1
+			assign[m.level2var[n.level]] = 1
 			f = hi
 		} else {
-			assign[n.level] = 0
+			assign[m.level2var[n.level]] = 0
 			f = lo
 		}
 	}
@@ -485,7 +700,8 @@ func (m *Manager) SatCount(f Ref) float64 {
 	return count(f) * pow2(int(top))
 }
 
-// gap counts the skipped variables between a node and its child.
+// gap counts the skipped levels between a node and its child; since levels
+// biject onto variables, skipped levels are skipped variables.
 func (m *Manager) gap(level int32, child Ref) int {
 	cl := m.level(child)
 	if cl == terminalLevel {
@@ -514,7 +730,7 @@ func (m *Manager) Support(f Ref) []int {
 		}
 		seen[idx] = true
 		n := &m.nodes[idx]
-		vars[int(n.level)] = true
+		vars[int(m.level2var[n.level])] = true
 		walk(n.lo)
 		walk(n.hi)
 	}
@@ -527,12 +743,12 @@ func (m *Manager) Support(f Ref) []int {
 	return out
 }
 
-// Eval evaluates f under a total assignment.
+// Eval evaluates f under a total assignment (indexed by variable).
 func (m *Manager) Eval(f Ref, assign []bool) bool {
 	for f>>1 != 0 {
 		n := &m.nodes[f>>1]
 		c := f & 1
-		if assign[n.level] {
+		if assign[m.level2var[n.level]] {
 			f = n.hi ^ c
 		} else {
 			f = n.lo ^ c

@@ -1,0 +1,45 @@
+package bdd
+
+import "sync"
+
+// Pool recycles managers across model-checker queries. A fresh manager's
+// dominant startup cost is not allocation itself but the growth churn that
+// follows — every query re-grows the unique table and operation caches
+// from their seed sizes through a ladder of rehash/copy cycles. A pooled
+// manager keeps the backing arrays of its previous lease (right-sized by
+// Reset's adaptive policy), so a steady stream of similar queries runs
+// entirely without table growth.
+//
+// Get returns a manager observationally identical to New(n): everything a
+// query can compute from it — verdicts, node counts, Footprint — is
+// independent of which (if any) previous leases warmed it. Only
+// MemoryBytes sees the recycled capacities, which is why it is classified
+// volatile in observability. A manager abandoned after a LimitError panic
+// may be Put back: Reset only consults array lengths and capacities, both
+// of which stay consistent because mkRaw checks the budget before
+// mutating.
+//
+// The zero Pool is ready to use. Pools are safe for concurrent use; the
+// managers leased from them remain single-threaded.
+type Pool struct {
+	p sync.Pool
+}
+
+// Get leases a manager for n variables, recycling a previous one when
+// available.
+func (p *Pool) Get(n int) *Manager {
+	if v := p.p.Get(); v != nil {
+		m := v.(*Manager)
+		m.Reset(n)
+		return m
+	}
+	return New(n)
+}
+
+// Put returns a manager to the pool. The caller must drop every Ref into
+// it first; the next Get resets all tables.
+func (p *Pool) Put(m *Manager) {
+	if m != nil {
+		p.p.Put(m)
+	}
+}

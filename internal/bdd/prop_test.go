@@ -232,7 +232,7 @@ func TestMemoryBytesExact(t *testing.T) {
 		int64(len(m.perm.entries))*16 +
 		int64(cap(m.varRef))*4
 	for _, c := range m.cubes {
-		want += int64(len(c.member))
+		want += int64(len(c.member)) + int64(len(c.vars))*4
 	}
 	for _, p := range m.perms {
 		want += int64(len(p)) * 4

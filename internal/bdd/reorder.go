@@ -1,0 +1,492 @@
+package bdd
+
+// Dynamic variable reordering by sifting (Rudell 1993), specialised to the
+// model checker's interleaved encoding: variables form (current, next)
+// pairs 2k/2k+1 that must stay adjacent, so the unit of movement is the
+// pair — a "block" of two levels — and a block swap is four adjacent
+// single-level swaps.
+//
+// Sifting runs on a private scratch graph extracted from the caller's live
+// roots, not on the manager itself: the manager has no reference counts
+// (it never garbage-collects), while level swaps need to know when a node
+// dies, and an in-place swap without refcounts can leave dead nodes
+// aliasing live triples, breaking canonicity. The scratch graph carries
+// refcounts, per-level node lists and per-level unique maps; after sifting
+// finds a better order, the manager is rebuilt bottom-up from the scratch
+// graph (one pass, no ITE) and every root handle is remapped in place.
+//
+// The single-level swap mirrors CUDD's cuddSwapInPlace under this
+// package's "lo edge regular" convention (CUDD's is "then arc regular"):
+// when variable x at level l swaps with y at l+1, an x-node that depends
+// on y is rewritten in place to test y, its two new children interned at
+// l+1. The new lo child is built from lo-arc chains only — which the
+// canonical form keeps regular — so the rewritten node's lo edge is
+// regular by construction, and in-place rewriting preserves every parent
+// handle. Rewritten nodes cannot collide with moved-up y-nodes: a
+// collision would mean two distinct nodes of the source graph computed the
+// same function, which canonicity rules out.
+//
+// Everything here is deterministic: level lists are walked in insertion
+// order, per-level maps are only ever probed (never iterated), and block
+// candidates are sorted with explicit tie-breaks — so a reorder is a pure
+// function of the live graph, and the model checker's node statistics stay
+// identical across worker counts.
+
+// Sifting bounds. Candidate blocks are the heaviest pairs; a travelling
+// block abandons a direction when the graph grows past siftMaxGrowth times
+// the best size seen; the final order is applied only when it shrinks the
+// graph by at least siftMinGainPct percent.
+const (
+	siftMaxBlocks  = 16
+	siftMaxGrowth  = 1.25
+	siftMinGainPct = 5
+	// siftWindow bounds how far a block travels from its start position in
+	// each direction. Full-travel sifting visits every position — O(blocks)
+	// swaps per candidate — which on mid-sized graphs costs more than the
+	// order improvement returns; a window keeps a round's cost proportional
+	// to the window while still capturing the adjacent-dependency wins that
+	// dominate real gains.
+	siftWindow = 8
+)
+
+// snode is one scratch node. Children are refs in the manager's handle
+// format (index<<1 | complement, index 0 = terminal). Free-listed nodes
+// have va == -1 and reuse next as the free link.
+type snode struct {
+	va         int32 // variable index
+	lo, hi     Ref
+	ref        int32 // reference count (graph edges + root pins)
+	prev, next int32 // doubly-linked level list (-1 = none)
+}
+
+// sgraph is the scratch reordering graph.
+type sgraph struct {
+	nodes     []snode
+	head      []int32            // level → first live node, -1 = empty
+	count     []int32            // level → live node count
+	uniq      []map[uint64]int32 // level → (lo,hi) key → node index
+	free      int32              // free-list head, -1 = none
+	total     int                // live nodes, terminal excluded
+	var2level []int32
+	level2var []int32
+	sroots    []Ref // scratch refs of the caller's roots, in order
+}
+
+func childKey(lo, hi Ref) uint64 {
+	return uint64(uint32(lo))<<32 | uint64(uint32(hi))
+}
+
+// levelOf returns the current level of a live scratch node.
+func (s *sgraph) levelOf(i int32) int32 { return s.var2level[s.nodes[i].va] }
+
+// newSgraph extracts the subgraph reachable from roots. Terminal-only
+// roots are fine; the terminal is index 0 with an unexpirable refcount.
+func newSgraph(m *Manager, roots []*Ref) *sgraph {
+	s := &sgraph{
+		nodes:     make([]snode, 1, len(m.nodes)),
+		head:      make([]int32, m.nvars),
+		count:     make([]int32, m.nvars),
+		uniq:      make([]map[uint64]int32, m.nvars),
+		free:      -1,
+		var2level: append([]int32(nil), m.var2level...),
+		level2var: append([]int32(nil), m.level2var...),
+	}
+	s.nodes[0] = snode{va: -1, ref: 1 << 30, prev: -1, next: -1}
+	for i := range s.head {
+		s.head[i] = -1
+	}
+	memo := make([]int32, len(m.nodes)) // manager index → scratch index
+	var conv func(r Ref) Ref
+	conv = func(r Ref) Ref {
+		idx := r >> 1
+		c := r & 1
+		if idx == 0 {
+			return c
+		}
+		if si := memo[idx]; si != 0 {
+			return Ref(si)<<1 | c
+		}
+		n := m.nodes[idx]
+		lo := conv(n.lo)
+		hi := conv(n.hi)
+		va := m.level2var[n.level]
+		si := s.alloc(va, lo, hi)
+		s.link(n.level, si)
+		s.uniqAt(n.level)[childKey(lo, hi)] = si
+		memo[idx] = si
+		return Ref(si)<<1 | c
+	}
+	for _, rp := range roots {
+		sr := conv(*rp)
+		s.nodes[sr>>1].ref++ // pin
+		s.sroots = append(s.sroots, sr)
+	}
+	return s
+}
+
+func (s *sgraph) uniqAt(level int32) map[uint64]int32 {
+	if s.uniq[level] == nil {
+		s.uniq[level] = map[uint64]int32{}
+	}
+	return s.uniq[level]
+}
+
+// alloc creates a live node (refcount 0 — the caller links it) and
+// increments its children. It does not touch lists or unique maps.
+func (s *sgraph) alloc(va int32, lo, hi Ref) int32 {
+	var i int32
+	if s.free >= 0 {
+		i = s.free
+		s.free = s.nodes[i].next
+		s.nodes[i] = snode{va: va, lo: lo, hi: hi}
+	} else {
+		i = int32(len(s.nodes))
+		s.nodes = append(s.nodes, snode{va: va, lo: lo, hi: hi})
+	}
+	s.nodes[lo>>1].ref++
+	s.nodes[hi>>1].ref++
+	s.total++
+	return i
+}
+
+// link prepends a node to a level list.
+func (s *sgraph) link(level int32, i int32) {
+	n := &s.nodes[i]
+	n.prev = -1
+	n.next = s.head[level]
+	if n.next >= 0 {
+		s.nodes[n.next].prev = i
+	}
+	s.head[level] = i
+	s.count[level]++
+}
+
+// unlink removes a node from a level list.
+func (s *sgraph) unlink(level int32, i int32) {
+	n := &s.nodes[i]
+	if n.prev >= 0 {
+		s.nodes[n.prev].next = n.next
+	} else {
+		s.head[level] = n.next
+	}
+	if n.next >= 0 {
+		s.nodes[n.next].prev = n.prev
+	}
+	s.count[level]--
+}
+
+// decRef drops one reference; a node dying at refcount zero is removed
+// from its level and its children are dropped recursively.
+func (s *sgraph) decRef(r Ref) {
+	i := r >> 1
+	if i == 0 {
+		return
+	}
+	n := &s.nodes[i]
+	n.ref--
+	if n.ref > 0 {
+		return
+	}
+	level := s.levelOf(int32(i))
+	s.unlink(level, int32(i))
+	delete(s.uniq[level], childKey(n.lo, n.hi))
+	lo, hi := n.lo, n.hi
+	n.va = -1
+	n.next = s.free
+	s.free = int32(i)
+	s.total--
+	s.decRef(lo)
+	s.decRef(hi)
+}
+
+// mkAt interns (va, lo, hi) at the given level, folding a complemented lo
+// into the result polarity. The caller owns the returned reference.
+func (s *sgraph) mkAt(level int32, va int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	var c Ref
+	if lo&1 != 0 {
+		lo ^= 1
+		hi ^= 1
+		c = 1
+	}
+	u := s.uniqAt(level)
+	key := childKey(lo, hi)
+	if i, ok := u[key]; ok {
+		return Ref(i)<<1 | c
+	}
+	i := s.alloc(va, lo, hi)
+	s.link(level, i)
+	u[key] = i
+	return Ref(i)<<1 | c
+}
+
+// cofactorsAt splits a child reference at the given level.
+func (s *sgraph) cofactorsAt(r Ref, level int32) (lo, hi Ref) {
+	n := &s.nodes[r>>1]
+	if r>>1 == 0 || s.var2level[n.va] != level {
+		return r, r
+	}
+	c := r & 1
+	return n.lo ^ c, n.hi ^ c
+}
+
+// swapLevel exchanges the variables at levels l and l+1 in place.
+func (s *sgraph) swapLevel(l int32) {
+	xv := s.level2var[l]
+	yv := s.level2var[l+1]
+	// Detach the x list; y-nodes move up wholesale — their children live
+	// strictly below l+1, so neither structure nor unique keys change.
+	xh := s.head[l]
+	s.head[l] = s.head[l+1]
+	s.head[l+1] = -1
+	s.count[l] = s.count[l+1]
+	s.count[l+1] = 0
+	uy := s.uniq[l+1]
+	ux := s.uniq[l]
+	if ux != nil {
+		clear(ux)
+	}
+	s.uniq[l] = uy
+	s.uniq[l+1] = ux
+	// From here on every level computation uses the swapped mapping.
+	s.var2level[xv] = l + 1
+	s.var2level[yv] = l
+	s.level2var[l] = yv
+	s.level2var[l+1] = xv
+
+	// Pass 1: sink every x-node independent of y to level l+1 first, so
+	// that pass 2's mkAt finds them in the level's unique map and shares
+	// them. Interleaving the passes would let mkAt intern a fresh node whose
+	// triple a later-sinking sibling then duplicates — two live nodes with
+	// one triple, canonicity gone. Interacting nodes are parked on a
+	// temporary list threaded through next.
+	rewrite := int32(-1)
+	for i := xh; i >= 0; {
+		next := s.nodes[i].next
+		n := &s.nodes[i]
+		lo, hi := n.lo, n.hi
+		loY := lo>>1 != 0 && s.levelOf(int32(lo>>1)) == l
+		hiY := hi>>1 != 0 && s.levelOf(int32(hi>>1)) == l
+		if !loY && !hiY {
+			s.link(l+1, i)
+			s.uniqAt(l + 1)[childKey(lo, hi)] = i
+		} else {
+			n.next = rewrite
+			rewrite = i
+		}
+		i = next
+	}
+	// Pass 2: f = ite(y, ite(x,f11,f01), ite(x,f10,f00)) — rebuild each
+	// interacting node in place testing y first. The lo-cofactor chain
+	// (f00, f10) only follows stored-regular lo arcs into mkAt's lo
+	// argument, so newLo comes out regular and the in-place rewrite keeps
+	// the canonical form.
+	for i := rewrite; i >= 0; {
+		next := s.nodes[i].next
+		n := &s.nodes[i]
+		lo, hi := n.lo, n.hi
+		f00, f01 := s.cofactorsAt(lo, l)
+		f10, f11 := s.cofactorsAt(hi, l)
+		newLo := s.mkAt(l+1, xv, f00, f10)
+		newHi := s.mkAt(l+1, xv, f01, f11)
+		s.nodes[newLo>>1].ref++
+		s.nodes[newHi>>1].ref++
+		// n may have been invalidated by appends inside mkAt.
+		n = &s.nodes[i]
+		n.va = yv
+		n.lo = newLo
+		n.hi = newHi
+		s.link(l, i)
+		u := s.uniqAt(l)
+		key := childKey(newLo, newHi)
+		if _, ok := u[key]; ok {
+			panic("bdd: reorder produced a duplicate node — canonicity violated")
+		}
+		u[key] = i
+		s.decRef(lo)
+		s.decRef(hi)
+		i = next
+	}
+}
+
+// swapBlock exchanges the adjacent variable pairs at block positions p and
+// p+1 (levels 2p..2p+3) with four single-level swaps, preserving the
+// within-pair order.
+func (s *sgraph) swapBlock(p int32) {
+	l := 2 * p
+	s.swapLevel(l + 1)
+	s.swapLevel(l)
+	s.swapLevel(l + 2)
+	s.swapLevel(l + 1)
+}
+
+// blockWeight is the live node population of the pair at block position p.
+func (s *sgraph) blockWeight(p int32) int32 {
+	return s.count[2*p] + s.count[2*p+1]
+}
+
+// Reorder sifts the variable order toward a smaller graph and, on success,
+// rebuilds the manager under the new order, remapping every *root in
+// place. Variables are moved as interleaved (2k, 2k+1) pairs — the model
+// checker's current/next encoding — so the relational-product structure
+// survives. Only the functions reachable from roots survive a rebuild;
+// they are the caller's full live set by contract. Returns whether a new
+// order was applied (false: the manager is untouched).
+func (m *Manager) Reorder(roots []*Ref) bool {
+	if m.nvars < 4 || m.nvars%2 != 0 {
+		return false
+	}
+	// Pair alignment: var 2k sits on an even level directly above 2k+1.
+	// Guaranteed by New/Reset and preserved by block swaps; an arbitrary
+	// SetOrder could break it, in which case sifting does not apply.
+	for k := 0; k < m.nvars/2; k++ {
+		le := m.var2level[2*k]
+		if le%2 != 0 || m.var2level[2*k+1] != le+1 {
+			return false
+		}
+	}
+	s := newSgraph(m, roots)
+	orig := s.total
+	if orig == 0 {
+		return false
+	}
+	nblocks := int32(m.nvars / 2)
+
+	// Candidate blocks, heaviest first (ties: lower variable pair first).
+	cand := make([]int32, 0, nblocks)
+	for k := int32(0); k < nblocks; k++ {
+		if s.blockWeight(s.var2level[2*k]/2) > 0 {
+			cand = append(cand, k)
+		}
+	}
+	weight := func(k int32) int32 { return s.blockWeight(s.var2level[2*k] / 2) }
+	sortInt32(cand, func(a, b int32) bool {
+		wa, wb := weight(a), weight(b)
+		if wa != wb {
+			return wa > wb
+		}
+		return a < b
+	})
+	if len(cand) > siftMaxBlocks {
+		cand = cand[:siftMaxBlocks]
+	}
+
+	for _, k := range cand {
+		s.siftBlock(k, nblocks)
+	}
+
+	if s.total > orig-max(1, orig*siftMinGainPct/100) {
+		return false // not worth a rebuild; keep the manager untouched
+	}
+	m.applyOrder(s, roots)
+	return true
+}
+
+// siftBlock moves variable pair k through the block positions within
+// siftWindow of its start and settles it at the best one seen, bounding
+// intermediate growth.
+func (s *sgraph) siftBlock(k, nblocks int32) {
+	pos := s.var2level[2*k] / 2
+	lo := max(int32(0), pos-siftWindow)
+	hi := min(nblocks-1, pos+siftWindow)
+	best, bestTotal := pos, s.total
+	grown := func() bool {
+		return float64(s.total) > siftMaxGrowth*float64(bestTotal)
+	}
+	// Travel toward the nearer window edge first — fewer swaps before the
+	// bound can cut the trip short.
+	downFirst := hi-pos <= pos-lo
+	for pass := 0; pass < 2; pass++ {
+		if downFirst == (pass == 0) {
+			for pos < hi {
+				s.swapBlock(pos)
+				pos++
+				if s.total < bestTotal {
+					best, bestTotal = pos, s.total
+				}
+				if grown() {
+					break
+				}
+			}
+		} else {
+			for pos > lo {
+				s.swapBlock(pos - 1)
+				pos--
+				if s.total < bestTotal {
+					best, bestTotal = pos, s.total
+				}
+				if grown() {
+					break
+				}
+			}
+		}
+	}
+	for pos < best {
+		s.swapBlock(pos)
+		pos++
+	}
+	for pos > best {
+		s.swapBlock(pos - 1)
+		pos--
+	}
+}
+
+// applyOrder rebuilds the manager from the sifted scratch graph: fresh
+// tables under the new order, cubes' level views recomputed, registered
+// permutations untouched (they are variable-based), and every root handle
+// rewritten to the rebuilt function.
+func (m *Manager) applyOrder(s *sgraph, roots []*Ref) {
+	if len(m.nodes) > m.peak {
+		m.peak = len(m.nodes)
+	}
+	limit := m.limit // survive the rebuild; s.total < current count ≤ limit
+	m.nodes = m.nodes[:1]
+	m.unique.reset(s.total + m.nvars + 1)
+	m.ite.reset(1 << 11)
+	m.quant.reset(1 << 9)
+	m.perm.reset(1 << 9)
+	copy(m.var2level, s.var2level)
+	copy(m.level2var, s.level2var)
+	m.internVars()
+	for i := range m.cubes {
+		m.cubes[i].member = m.cubeLevels(m.cubes[i].vars, m.cubes[i].member)
+	}
+	m.limit = limit
+
+	memo := make([]Ref, len(s.nodes))
+	for i := range memo {
+		memo[i] = -1
+	}
+	memo[0] = True
+	var conv func(r Ref) Ref
+	conv = func(r Ref) Ref {
+		idx := r >> 1
+		c := r & 1
+		if memo[idx] >= 0 {
+			return memo[idx] ^ c
+		}
+		n := s.nodes[idx]
+		lo := conv(n.lo)
+		hi := conv(n.hi)
+		// Scratch lo edges are regular, so mk cannot fold a complement
+		// here and the memoised handle is the node's regular polarity.
+		nr := m.mk(m.var2level[n.va], lo, hi)
+		memo[idx] = nr
+		return nr ^ c
+	}
+	for i, rp := range roots {
+		*rp = conv(s.sroots[i])
+	}
+}
+
+// sortInt32 is insertion sort over a small candidate slice (deterministic,
+// no allocation).
+func sortInt32(s []int32, less func(a, b int32) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// truthTable snapshots f over all 2^nvars assignments.
+func truthTable(m *Manager, f Ref, nvars int) []bool {
+	out := make([]bool, 1<<nvars)
+	assign := make([]bool, nvars)
+	for bits := range out {
+		for i := range assign {
+			assign[i] = bits>>i&1 == 1
+		}
+		out[bits] = m.Eval(f, assign)
+	}
+	return out
+}
+
+// buildRandomRoots drives a manager through a random op tape and returns the
+// surviving functions. Deterministic given the seed.
+func buildRandomRoots(m *Manager, seed int64, nvars, steps int) []Ref {
+	rng := rand.New(rand.NewSource(seed))
+	cubeID := m.Cube([]int{0, 3})
+	permID := m.Permutation(map[int]int{0: 2, 2: 0, 1: 3, 3: 1})
+	pool := []Ref{True, False}
+	for v := 0; v < nvars; v++ {
+		pool = append(pool, m.Var(v), m.NVar(v))
+	}
+	for i := 0; i < steps; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		c := pool[rng.Intn(len(pool))]
+		var f Ref
+		switch rng.Intn(6) {
+		case 0:
+			f = m.And(a, b)
+		case 1:
+			f = m.Or(a, b)
+		case 2:
+			f = m.Xor(a, b)
+		case 3:
+			f = m.ITE(a, b, c)
+		case 4:
+			f = m.AndExists(a, b, cubeID)
+		case 5:
+			f = m.Rename(a, permID)
+		}
+		pool = append(pool, f)
+	}
+	return pool[len(pool)-8:]
+}
+
+// TestReorderPreservesSemantics: whatever order sifting settles on, every
+// root must denote the same boolean function, and the pair-alignment
+// invariant must survive so a later reorder still applies.
+func TestReorderPreservesSemantics(t *testing.T) {
+	const nvars = 8
+	for seed := int64(1); seed <= 20; seed++ {
+		m := New(nvars)
+		roots := buildRandomRoots(m, seed, nvars, 50)
+		before := make([][]bool, len(roots))
+		counts := make([]float64, len(roots))
+		for i, f := range roots {
+			before[i] = truthTable(m, f, nvars)
+			counts[i] = m.SatCount(f)
+		}
+		ptrs := make([]*Ref, len(roots))
+		for i := range roots {
+			ptrs[i] = &roots[i]
+		}
+		applied := m.Reorder(ptrs)
+		for i, f := range roots {
+			after := truthTable(m, f, nvars)
+			for bits := range after {
+				if after[bits] != before[i][bits] {
+					t.Fatalf("seed %d (applied=%v): root %d changed at assignment %b",
+						seed, applied, i, bits)
+				}
+			}
+			if got := m.SatCount(f); math.Abs(got-counts[i]) > 0.5 {
+				t.Fatalf("seed %d: root %d SatCount %v, was %v", seed, i, got, counts[i])
+			}
+		}
+		for k := 0; k < nvars/2; k++ {
+			le := m.var2level[2*k]
+			if le%2 != 0 || m.var2level[2*k+1] != le+1 {
+				t.Fatalf("seed %d: pair %d broke alignment: levels %d,%d",
+					seed, k, le, m.var2level[2*k+1])
+			}
+		}
+		// The rebuilt manager must still be a working kernel: combine the
+		// roots and cross-check against a fresh manager under the new order.
+		comb := m.AndN(m.Or(roots[0], roots[1]), m.Xor(roots[2], roots[3]))
+		fresh := New(nvars)
+		fresh.SetOrder(m.CurrentOrder())
+		froots := buildRandomRoots(fresh, seed, nvars, 50)
+		fcomb := fresh.AndN(fresh.Or(froots[0], froots[1]), fresh.Xor(froots[2], froots[3]))
+		ct, ft := truthTable(m, comb, nvars), truthTable(fresh, fcomb, nvars)
+		for bits := range ct {
+			if ct[bits] != ft[bits] {
+				t.Fatalf("seed %d: post-reorder ops diverge from fresh manager at %b", seed, bits)
+			}
+		}
+	}
+}
+
+// TestReorderShrinksMismatchedPairs forces the classic win: an OR of
+// conjunctions whose operands sit in distant pairs is exponential under the
+// default order and linear once sifting moves matching pairs together.
+func TestReorderShrinksMismatchedPairs(t *testing.T) {
+	const nvars = 16 // 8 pairs
+	m := New(nvars)
+	f := False
+	for k := 0; k < 4; k++ {
+		f = m.Or(f, m.And(m.Var(2*k), m.Var(2*(k+4))))
+	}
+	before := m.NodeCount()
+	tt := truthTable(m, f, nvars)
+	if !m.Reorder([]*Ref{&f}) {
+		t.Fatalf("Reorder found no gain on a %d-node mismatched-pair function", before)
+	}
+	if m.NodeCount() >= before {
+		t.Fatalf("Reorder applied but node count did not shrink: %d -> %d", before, m.NodeCount())
+	}
+	if m.PeakNodes() < before {
+		t.Errorf("PeakNodes %d lost the pre-reorder high water %d", m.PeakNodes(), before)
+	}
+	after := truthTable(m, f, nvars)
+	for bits := range after {
+		if after[bits] != tt[bits] {
+			t.Fatalf("reorder changed the function at assignment %b", bits)
+		}
+	}
+}
+
+// TestReorderDeterministic: the sifted order is a pure function of the live
+// graph — two managers driven through the same tape reorder identically.
+func TestReorderDeterministic(t *testing.T) {
+	run := func() ([]int32, int) {
+		m := New(8)
+		roots := buildRandomRoots(m, 77, 8, 60)
+		ptrs := make([]*Ref, len(roots))
+		for i := range roots {
+			ptrs[i] = &roots[i]
+		}
+		m.Reorder(ptrs)
+		return m.CurrentOrder(), m.NodeCount()
+	}
+	o1, n1 := run()
+	o2, n2 := run()
+	if n1 != n2 {
+		t.Fatalf("node counts diverge: %d vs %d", n1, n2)
+	}
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatalf("orders diverge: %v vs %v", o1, o2)
+		}
+	}
+}
+
+// TestResetMatchesNew: a reset manager must be observationally identical to
+// a fresh one — same node counts, same Footprint, same functions — no matter
+// what the previous lease did to its tables.
+func TestResetMatchesNew(t *testing.T) {
+	recycled := New(4)
+	buildRandomRoots(recycled, 5, 4, 200) // warm (and bloat) the tables
+	recycled.Reset(8)
+
+	fresh := New(8)
+	r1 := buildRandomRoots(recycled, 9, 8, 80)
+	r2 := buildRandomRoots(fresh, 9, 8, 80)
+	if recycled.NodeCount() != fresh.NodeCount() {
+		t.Errorf("NodeCount diverges: reset %d, fresh %d", recycled.NodeCount(), fresh.NodeCount())
+	}
+	if recycled.PeakNodes() != fresh.PeakNodes() {
+		t.Errorf("PeakNodes diverges: reset %d, fresh %d", recycled.PeakNodes(), fresh.PeakNodes())
+	}
+	if recycled.Footprint() != fresh.Footprint() {
+		t.Errorf("Footprint diverges: reset %d, fresh %d", recycled.Footprint(), fresh.Footprint())
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("root %d handle diverges: %d vs %d — hash consing not deterministic",
+				i, r1[i], r2[i])
+		}
+	}
+}
+
+// TestPoolRoundTrip: managers leased from a pool behave like New, including
+// after a LimitError abandon.
+func TestPoolRoundTrip(t *testing.T) {
+	var p Pool
+	m := p.Get(6)
+	buildRandomRoots(m, 3, 6, 100)
+	p.Put(m)
+
+	m2 := p.Get(6)
+	fresh := New(6)
+	a := buildRandomRoots(m2, 4, 6, 60)
+	b := buildRandomRoots(fresh, 4, 6, 60)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pooled manager diverges from fresh at root %d", i)
+		}
+	}
+
+	// Abandon after a budget panic, then reuse.
+	m2.SetNodeLimit(m2.NodeCount() + 2)
+	func() {
+		defer func() {
+			if _, ok := recover().(*LimitError); !ok {
+				t.Fatal("expected LimitError panic")
+			}
+		}()
+		for i := 0; ; i++ {
+			buildRandomRoots(m2, int64(i), 6, 50)
+		}
+	}()
+	p.Put(m2)
+	m3 := p.Get(6)
+	c := buildRandomRoots(m3, 4, 6, 60)
+	for i := range c {
+		if c[i] != b[i] {
+			t.Fatalf("post-limit pooled manager diverges at root %d", i)
+		}
+	}
+}
+
+// TestSetOrderRoundTrip: a learned order seeds an empty manager and comes
+// back unchanged from CurrentOrder; semantics are order-independent.
+func TestSetOrderRoundTrip(t *testing.T) {
+	order := []int32{4, 5, 0, 1, 2, 3} // pairs (0,1)->(2,3)->... shuffled by pair
+	m := New(6)
+	m.SetOrder(order)
+	got := m.CurrentOrder()
+	for i := range order {
+		if got[i] != order[i] {
+			t.Fatalf("CurrentOrder = %v, want %v", got, order)
+		}
+	}
+	ident := New(6)
+	f := m.Or(m.And(m.Var(0), m.NVar(3)), m.Xor(m.Var(4), m.Var(5)))
+	g := ident.Or(ident.And(ident.Var(0), ident.NVar(3)), ident.Xor(ident.Var(4), ident.Var(5)))
+	tf, tg := truthTable(m, f, 6), truthTable(ident, g, 6)
+	for bits := range tf {
+		if tf[bits] != tg[bits] {
+			t.Fatalf("SetOrder changed semantics at assignment %b", bits)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetOrder on a non-empty manager must panic")
+		}
+	}()
+	m.SetOrder([]int32{0, 1, 2, 3, 4, 5})
+}

@@ -12,9 +12,12 @@ package bdd
 // Both use power-of-two capacities with a 3/4 load-factor rehash. Tables
 // are per-Manager and single-threaded (each parallel model-checker worker
 // builds a fresh Manager), so there is no locking anywhere.
-
-// refNone marks an empty cache slot; it is not a valid Ref.
-const refNone = Ref(-1)
+//
+// An empty cache slot is the zero value: legitimate cache keys are never
+// zero (every packed key contains at least one regular non-terminal
+// reference, which is ≥ 2), so initialisation and reset are a memclr
+// rather than a sentinel-filling loop — measurable on the profile, since
+// the caches are the largest arrays the kernel touches.
 
 // hash3 mixes a (level, lo, hi) node triple.
 func hash3(level int32, lo, hi Ref) uint32 {
@@ -39,13 +42,27 @@ func mix(key uint64, aux uint32) uint32 {
 
 // uniqueTable is the hash-consing index over the manager's node array.
 type uniqueTable struct {
-	slots []int32 // node index; 0 = empty (the terminal is never interned)
-	mask  uint32
+	slots    []int32 // node index; 0 = empty (the terminal is never interned)
+	mask     uint32
+	rehashes int64 // lifetime growth count (kernel-health metric)
 }
 
 func (t *uniqueTable) init(capacity int) {
 	t.slots = make([]int32, capacity)
 	t.mask = uint32(capacity - 1)
+}
+
+// reset empties the table, reusing the backing array when its capacity
+// matches the expected population and reallocating a right-sized one
+// otherwise (a pooled manager must not make a small query clear — or keep
+// resident — the giant table of a previous big query).
+func (t *uniqueTable) reset(expect int) {
+	want := tableCap(expect, 1<<10)
+	if len(t.slots) == want {
+		clear(t.slots)
+		return
+	}
+	t.init(want)
 }
 
 // lookup finds the node with the given triple, or the slot to insert at.
@@ -67,6 +84,7 @@ func (t *uniqueTable) lookup(nodes []node, level int32, lo, hi Ref) (idx int32, 
 
 // rehash rebuilds the table at double capacity from the node array.
 func (t *uniqueTable) rehash(nodes []node) {
+	t.rehashes++
 	t.init(2 * len(t.slots))
 	for i := 1; i < len(nodes); i++ {
 		n := &nodes[i]
@@ -79,7 +97,8 @@ func (t *uniqueTable) rehash(nodes []node) {
 }
 
 // centry is one operation-cache slot: a packed 64-bit key, a 32-bit
-// auxiliary key component, and the cached result.
+// auxiliary key component, and the cached result. The zero value marks an
+// empty slot (valid keys are never zero).
 type centry struct {
 	key uint64
 	aux uint32
@@ -92,25 +111,39 @@ type cache struct {
 	entries []centry
 	mask    uint32
 	used    int
+	hits    int64 // lifetime hit/lookup tallies (kernel-health metric)
+	lookups int64
 }
 
 func (c *cache) init(capacity int) {
 	c.entries = make([]centry, capacity)
-	for i := range c.entries {
-		c.entries[i].val = refNone
-	}
 	c.mask = uint32(capacity - 1)
 	c.used = 0
 }
 
+// reset empties the cache, reusing or right-sizing the backing array the
+// same way uniqueTable.reset does. Population is measured by used entries,
+// not capacity, so a pooled manager shrinks back after an oversized query.
+func (c *cache) reset(base int) {
+	want := tableCap(c.used, base)
+	if len(c.entries) == want {
+		clear(c.entries)
+		c.used = 0
+		return
+	}
+	c.init(want)
+}
+
 func (c *cache) get(key uint64, aux uint32) (Ref, bool) {
+	c.lookups++
 	h := mix(key, aux) & c.mask
 	for {
 		e := &c.entries[h]
-		if e.val == refNone {
+		if e.key == 0 {
 			return 0, false
 		}
 		if e.key == key && e.aux == aux {
+			c.hits++
 			return e.val, true
 		}
 		h = (h + 1) & c.mask
@@ -124,7 +157,7 @@ func (c *cache) put(key uint64, aux uint32, val Ref) {
 	h := mix(key, aux) & c.mask
 	for {
 		e := &c.entries[h]
-		if e.val == refNone {
+		if e.key == 0 {
 			*e = centry{key: key, aux: aux, val: val}
 			c.used++
 			return
@@ -139,21 +172,35 @@ func (c *cache) put(key uint64, aux uint32, val Ref) {
 
 func (c *cache) grow() {
 	old := c.entries
+	used := c.used
 	c.init(2 * len(old))
 	for _, e := range old {
-		if e.val == refNone {
+		if e.key == 0 {
 			continue
 		}
 		h := mix(e.key, e.aux) & c.mask
-		for c.entries[h].val != refNone {
+		for c.entries[h].key != 0 {
 			h = (h + 1) & c.mask
 		}
 		c.entries[h] = e
-		c.used++
 	}
+	c.used = used
 }
 
 // memoryBytes is the exact backing-array footprint (16 bytes per slot).
 func (c *cache) memoryBytes() int64 {
 	return int64(len(c.entries)) * 16
+}
+
+// tableCap picks the power-of-two capacity for a table expected to hold n
+// entries: the smallest power of two keeping the load factor under 3/4,
+// with head-room for a same-sized session to run without growing, floored
+// at base. Reset uses it both to decide whether a recycled array fits and
+// to right-size a fresh one.
+func tableCap(n, base int) int {
+	want := base
+	for want < 4*n/3+1 {
+		want *= 2
+	}
+	return want
 }

@@ -146,7 +146,10 @@ type Table2Row struct {
 	// PeakNodes is the BDD node count after the run — the raw size of the
 	// symbolic state-space representation, independent of table overhead.
 	PeakNodes int
-	// StateBits is the encoded state-vector width.
+	// StateBits is the state-vector width the configuration's passes
+	// produce — measured on the lowered model itself, because the symbolic
+	// engine's own per-trap slice (which runs inside every check) would
+	// otherwise mask the differences this table exists to show.
 	StateBits int
 	// Reachable confirms every configuration agrees on the verdict.
 	Reachable bool
@@ -195,6 +198,7 @@ func Table2() ([]Table2Row, error) {
 			return nil, err
 		}
 		cf.passes(low.Model)
+		bits := low.Model.StateBits()
 		res, err := mc.CheckSymbolic(low.Model, mc.Options{MaxSteps: 5000})
 		if err != nil {
 			return nil, fmt.Errorf("table2 %q: %w", cf.name, err)
@@ -205,11 +209,38 @@ func Table2() ([]Table2Row, error) {
 			MemoryKB:  res.Stats.MemoryBytes / 1024,
 			Steps:     res.Stats.Steps,
 			PeakNodes: res.Stats.PeakNodes,
-			StateBits: res.Stats.StateBits,
+			StateBits: bits,
 			Reachable: res.Reachable,
 		})
 	}
 	return rows, nil
+}
+
+// Table2UnoptModel lowers the Table 2 evaluation program's fixed target
+// path with no optimisation pass applied — the heaviest symbolic workload
+// in the evaluation, exported so the lever A/B benchmark can drive the
+// model checker on it directly.
+func Table2UnoptModel() (*tsys.Model, error) {
+	file, err := parser.ParseFile("table2.c", Table2Source)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sem.Check(file); err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(file.Func("control"))
+	if err != nil {
+		return nil, err
+	}
+	target, err := pickTargetPath(file, g)
+	if err != nil {
+		return nil, err
+	}
+	low, err := c2m.LowerPath(g, c2m.Options{NaiveWidths: true}, target)
+	if err != nil {
+		return nil, err
+	}
+	return low.Model, nil
 }
 
 // pickTargetPath derives the fixed Table 2 target from a concrete run of

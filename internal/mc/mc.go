@@ -9,10 +9,13 @@
 // symbolic engine on small models. Both report the metrics of the paper's
 // Table 2: wall time, memory footprint, and steps (BFS iterations).
 //
-// The package keeps no mutable package-level state: every check builds its
-// own engine state (CheckSymbolic allocates a fresh BDD manager per call,
-// since managers are not goroutine-safe) and returns its Stats by value in
-// the Result, so independent checks may run concurrently.
+// Engine state is per-query: every check builds its own encoding and BDD
+// manager (managers are not goroutine-safe) and returns its Stats by value
+// in the Result, so independent checks may run concurrently. The only
+// package-level state is a sync.Pool of recycled managers (see query.go),
+// which is concurrency-safe and — because a reset manager is
+// observationally identical to a fresh one — invisible to results and
+// deterministic statistics.
 package mc
 
 import (
@@ -26,11 +29,20 @@ type Stats struct {
 	// Steps counts breadth-first iterations until the trap was hit or the
 	// fixpoint was reached — the paper's "steps" column.
 	Steps int
-	// PeakNodes is the BDD node count after the run (symbolic engine).
+	// PeakNodes is the BDD table's high-water node count over the run
+	// (symbolic engine). Dynamic reordering can shrink the live table
+	// mid-run; the peak keeps the paper's "memory" meaning.
 	PeakNodes int
-	// MemoryBytes estimates the working-set size: BDD tables for the
-	// symbolic engine, the state set for the explicit engine.
+	// MemoryBytes is the working-set size: the deterministic logical
+	// footprint of the BDD tables for the symbolic engine (bdd.Footprint —
+	// a pooled manager's exact capacities are volatile), the state set for
+	// the explicit engine.
 	MemoryBytes int64
+	// Reorders counts the dynamic variable reorders the symbolic engine
+	// applied — sifting rounds that found a better order (zero when
+	// reordering is disabled, never triggered, or — typically after an
+	// order-book seed — found nothing to improve).
+	Reorders int
 	// Duration is the wall-clock simulation time.
 	Duration time.Duration
 	// States is the number of distinct reachable states visited (explicit)
@@ -71,6 +83,30 @@ type Options struct {
 	// fail.ErrBudgetExceeded; the paper's model-checker runs "may take
 	// minutes to hours", so production pipelines set this per path.
 	Timeout time.Duration
+	// NoSlice disables the per-trap program slice the symbolic engine
+	// applies before encoding: with it set, the model is checked exactly as
+	// given. The slice (opt.SliceTrap on a private clone) removes variables
+	// and transitions that cannot influence trap reachability, so it never
+	// changes the verdict; witnesses then omit sliced-away inputs, whose
+	// every value extends a trap-reaching run. The flag exists for A/B
+	// baselines and for checking a model verbatim.
+	NoSlice bool
+	// NoReorder disables dynamic variable reordering in the symbolic
+	// engine: the build-time interleaved order is kept for the whole query.
+	NoReorder bool
+	// NoPool makes the symbolic engine allocate a fresh BDD manager instead
+	// of leasing one from the shared pool. Results and deterministic stats
+	// are identical either way; the flag exists for A/B benchmarks and for
+	// bisecting kernel issues.
+	NoPool bool
+	// Orders, when non-nil, is a learned-order book: a successful query
+	// records its final variable order under the model's structural
+	// fingerprint, and a later query for an identical model seeds its
+	// manager with that order instead of rediscovering it. Share a book
+	// only across sequential queries — seeding changes a query's node
+	// counts, so a book shared across concurrently-checked models would
+	// make canonical statistics depend on scheduling.
+	Orders *OrderBook
 }
 
 func (o Options) withDefaults() Options {

@@ -3,14 +3,10 @@ package mc
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"wcet/internal/bdd"
 	"wcet/internal/bv"
 	"wcet/internal/cc/token"
-	"wcet/internal/fail"
-	"wcet/internal/faults"
-	"wcet/internal/obs"
 	"wcet/internal/tsys"
 )
 
@@ -40,7 +36,9 @@ type encoding struct {
 	c2n      int // permutation current→next
 }
 
-func newEncoding(model *tsys.Model) *encoding {
+// newEncoding lays out the model and obtains its manager through acquire,
+// so the caller decides between a fresh bdd.New and a pooled lease.
+func newEncoding(model *tsys.Model, acquire func(nvars int) *bdd.Manager) *encoding {
 	e := &encoding{model: model}
 	e.locBits = model.LocBits()
 	e.locBase = 0
@@ -62,7 +60,7 @@ func newEncoding(model *tsys.Model) *encoding {
 		}
 	}
 	e.nbits = n
-	e.m = bdd.New(2 * n)
+	e.m = acquire(2 * n)
 
 	cur := make([]int, n)
 	next := make([]int, n)
@@ -408,119 +406,13 @@ func CheckSymbolic(model *tsys.Model, opt Options) (*Result, error) {
 }
 
 // CheckSymbolicCtx is CheckSymbolic with cooperative cancellation and
-// budget enforcement. The engine checks the context between breadth-first
-// iterations, bounds the BDD table at opt.MaxNodes and the iteration count
-// at opt.MaxSteps, and bounds its own wall clock at opt.Timeout. Every
-// bound violation returns a structured fail.ErrBudgetExceeded (a truncated
-// search must never masquerade as a proof of infeasibility); cancellation
-// returns fail.ErrCancelled.
-func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (res *Result, err error) {
-	opt = opt.withDefaults()
-	if opt.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
-		defer cancel()
-	}
-	start := time.Now()
-	o := obs.From(ctx)
-	o.Count("mc.calls", 1)
-	msp := o.SpanV("mc", "mc.symbolic")
-	if model.Trap == tsys.NoLoc {
-		return nil, fail.Infra("mc", fmt.Errorf("model has no trap location"))
-	}
-	if ferr := faults.Fire(ctx, "mc.check", 0); ferr != nil {
-		return nil, fail.From("mc", ferr)
-	}
-	// The BDD kernel reports an exhausted node budget as a typed panic
-	// (its recursive operations have no error returns); translate it here
-	// and abandon the manager.
-	defer func() {
-		if r := recover(); r != nil {
-			le, ok := r.(*bdd.LimitError)
-			if !ok {
-				panic(r)
-			}
-			o.Count("mc.budget_exhausted", 1)
-			res, err = nil, &fail.Error{Kind: fail.ErrBudgetExceeded, Stage: "mc",
-				Msg: "BDD node budget exhausted", Cause: le}
-		}
-	}()
-	e := newEncoding(model)
-	m := e.m
-	m.SetNodeLimit(opt.MaxNodes)
-
-	rels := make([]bdd.Ref, 0, len(model.Edges))
-	for _, ed := range model.Edges {
-		r, err := e.edgeRelation(ed)
-		if err != nil {
-			return nil, err
-		}
-		if r != bdd.False {
-			rels = append(rels, r)
-		}
-	}
-	trap := e.locEquals(model.Trap, false)
-	init := e.initSet()
-
-	res = &Result{}
-	reached := init
-	frontier := init
-	var rings []bdd.Ref
-	rings = append(rings, frontier)
-	hit := m.And(frontier, trap) != bdd.False
-
-	for !hit && frontier != bdd.False && res.Stats.Steps < opt.MaxSteps {
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, fail.Context("mc", cerr)
-		}
-		if ferr := faults.Fire(ctx, "mc.step", res.Stats.Steps); ferr != nil {
-			return nil, fail.From("mc", ferr)
-		}
-		res.Stats.Steps++
-		next := bdd.False
-		for _, rel := range rels {
-			img := m.AndExists(frontier, rel, e.curCube)
-			next = m.Or(next, img)
-		}
-		nextCur := m.Rename(next, e.n2c)
-		frontier = m.And(nextCur, m.Not(reached))
-		reached = m.Or(reached, frontier)
-		rings = append(rings, frontier)
-		if m.And(frontier, trap) != bdd.False {
-			hit = true
-		}
-	}
-	if !hit && frontier != bdd.False {
-		// The step budget ran out with states still unexplored: no verdict.
-		o.Count("mc.budget_exhausted", 1)
-		return nil, fail.Budget("mc", "step budget exhausted after %d steps", res.Stats.Steps)
-	}
-
-	res.Stats.PeakNodes = m.NodeCount()
-	res.Stats.MemoryBytes = m.MemoryBytes()
-	res.Stats.StateBits = e.nbits
-	// SatCount ranges over 2n BDD variables while `reached` constrains only
-	// the n current-state bits: divide out the free next-state bits.
-	res.Stats.States = m.SatCount(reached) / pow2f(e.nbits)
-
-	if hit {
-		res.Reachable = true
-		w, err := e.extractWitness(m, rels, rings, trap)
-		if err != nil {
-			return nil, err
-		}
-		res.Witness = w
-	}
-	res.Stats.Duration = time.Since(start)
-	// Steps, peak nodes and state bits are pure functions of model + options
-	// (one fresh manager per call), so they feed deterministic series; the
-	// duration is wall clock and stays volatile.
-	o.Count("mc.steps", int64(res.Stats.Steps))
-	o.SetMax("mc.peak_nodes", int64(res.Stats.PeakNodes))
-	o.Hist("mc.state_bits", int64(e.nbits))
-	o.HistV("mc.duration_ns", res.Stats.Duration.Nanoseconds())
-	msp.End("steps", res.Stats.Steps, "reachable", res.Reachable)
-	return res, nil
+// budget enforcement: a one-shot query. Callers that retry the same model
+// should hold a SymbolicQuery instead, which keeps the lowered encoding
+// across attempts.
+func CheckSymbolicCtx(ctx context.Context, model *tsys.Model, opt Options) (*Result, error) {
+	q := NewSymbolicQuery(model, opt)
+	defer q.Close()
+	return q.CheckCtx(ctx)
 }
 
 func pow2f(n int) float64 {
@@ -562,7 +454,10 @@ func (e *encoding) extractWitness(m *bdd.Manager, rels []bdd.Ref, rings []bdd.Re
 	// state is a full assignment of the current-state bits at step 0.
 	out := map[tsys.VarID]int64{}
 	for id, v := range e.model.Vars {
-		if !v.Input {
+		// Inputs sliced to zero width (opt.SliceTrap) have no bits to read
+		// and no influence on the verdict: any value extends the witness,
+		// so the caller fills them from its base environment.
+		if !v.Input || v.Bits == 0 {
 			continue
 		}
 		out[tsys.VarID(id)] = e.readVar(state, tsys.VarID(id))

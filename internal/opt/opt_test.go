@@ -1,4 +1,4 @@
-package opt
+package opt_test
 
 import (
 	"testing"
@@ -9,6 +9,7 @@ import (
 	"wcet/internal/cc/sem"
 	"wcet/internal/cfg"
 	"wcet/internal/mc"
+	"wcet/internal/opt"
 	"wcet/internal/paths"
 	"wcet/internal/tsys"
 )
@@ -65,7 +66,7 @@ int f(void) {
 func TestVarInit(t *testing.T) {
 	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
 	freeBefore := countFree(m)
-	st := VarInit(m)
+	st := opt.VarInit(m)
 	if countFree(m) != inputCount(m) {
 		t.Errorf("after VarInit, free vars = %d, want only the %d inputs", countFree(m), inputCount(m))
 	}
@@ -99,9 +100,9 @@ func inputCount(m *tsys.Model) int {
 
 func TestRangeAnalysisShrinksWidths(t *testing.T) {
 	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
-	VarInit(m) // pin non-inputs so intervals are seeded tightly
+	opt.VarInit(m) // pin non-inputs so intervals are seeded tightly
 	bitsBefore := m.StateBits()
-	st := RangeAnalysis(m)
+	st := opt.RangeAnalysis(m)
 	if st.BitsAfter >= bitsBefore {
 		t.Fatalf("range analysis did not shrink state bits: %d → %d", bitsBefore, st.BitsAfter)
 	}
@@ -129,7 +130,7 @@ func TestRangeAnalysisShrinksWidths(t *testing.T) {
 
 func TestReverseCSEInlinesTemp(t *testing.T) {
 	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
-	st := ReverseCSE(m)
+	st := opt.ReverseCSE(m)
 	// t1 is assigned once and read once right after: it must be gone.
 	for _, v := range m.Vars {
 		if v.Name == "t1" && v.Bits != 0 {
@@ -140,7 +141,7 @@ func TestReverseCSEInlinesTemp(t *testing.T) {
 
 func TestLiveVarsRemovesUnused(t *testing.T) {
 	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
-	LiveVars(m)
+	opt.LiveVars(m)
 	for _, v := range m.Vars {
 		if v.Name == "unused" && v.Bits != 0 {
 			t.Error("unused variable survived LiveVars")
@@ -151,7 +152,7 @@ func TestLiveVarsRemovesUnused(t *testing.T) {
 func TestDeadElimDropsNonControlFlow(t *testing.T) {
 	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
 	edgesBefore := len(m.Edges)
-	st := DeadElim(m)
+	st := opt.DeadElim(m)
 	// dbg feeds no guard: its assignment and bits must be gone.
 	for _, v := range m.Vars {
 		if v.Name == "dbg" && v.Bits != 0 {
@@ -183,7 +184,7 @@ int f(void) {
 }`
 	m, _, _, _ := lowerSrc(t, src, "f", true)
 	edgesBefore := len(m.Edges)
-	st := Concat(m)
+	st := opt.Concat(m)
 	if st.EdgesAfter >= edgesBefore {
 		t.Errorf("Concat merged nothing: %s", st.Detail)
 	}
@@ -213,7 +214,7 @@ int f(void) {
 	_ = low
 	_ = g
 	_ = file
-	Concat(m)
+	opt.Concat(m)
 	// y = x*2 reads x written by the previous statement: they must not be
 	// merged into one parallel step.
 	for _, e := range m.Edges {
@@ -284,9 +285,9 @@ int f(void) {
 		// The baseline leaves non-inputs free, which over-approximates
 		// feasibility; pin them for a fair comparison (VarInit is part of
 		// the sound pipeline).
-		VarInit(baseline)
+		opt.VarInit(baseline)
 		optd := baseline.Clone()
-		All(optd)
+		opt.All(optd)
 
 		rb, err := mc.CheckSymbolic(baseline, mc.Options{})
 		if err != nil {
@@ -310,7 +311,7 @@ int f(void) {
 func TestAllPipelineStats(t *testing.T) {
 	m, _, _, _ := lowerSrc(t, optSrc, "f", true)
 	before := m.StateBits()
-	stats := All(m)
+	stats := opt.All(m)
 	if len(stats) != 6 {
 		t.Fatalf("pipeline ran %d passes, want 6", len(stats))
 	}

@@ -1,0 +1,113 @@
+package opt
+
+import (
+	"fmt"
+
+	"wcet/internal/tsys"
+)
+
+// SliceTrap specialises a model to one reachability query: it removes every
+// transition and state variable that cannot influence whether the trap
+// location is reached. Unlike the Section 3.2 pipeline — which preserves the
+// model's full observable behaviour and therefore spares inputs — the slice
+// is only valid for the single query "is Trap reachable, and with which
+// initial input values", which is exactly what the hybrid generator asks per
+// path. It runs per query, after the general pipeline, and composes with it.
+//
+// Two reductions:
+//
+//   - Transition slice: an edge whose target cannot reach the trap can never
+//     lie on a trap-reaching run; it is dropped (as are edges leaving the
+//     trap itself — the query stops there). Reachability of the trap is
+//     untouched because every prefix of a trap-reaching run survives.
+//
+//   - Variable slice: relevance is seeded by the guards of the surviving
+//     edges and closed under the data dependencies of their assignments —
+//     DeadElim's closure, but restricted to the sliced edge set. Everything
+//     else is cut to zero width, including input variables: an input no
+//     surviving guard (transitively) depends on cannot change the verdict,
+//     and any initial value of it extends a witness. Witness extraction
+//     skips zero-width inputs; the generator fills them from the base
+//     environment and validates the result by replay.
+//
+// Dropping a variable from the state vector removes its two BDD levels and
+// its identity next-state constraint from every transition relation — for
+// the unoptimised translations of Table 2 this is the bulk of the state
+// bits, since every dbg/unused chain keeps its width until here.
+func SliceTrap(m *tsys.Model) PassStats {
+	return statsFor("TrapSlice", m, func() string {
+		if m.Trap == tsys.NoLoc {
+			return "no trap; skipped"
+		}
+		// Backward reachability to the trap over the location graph.
+		canReach := map[tsys.Loc]bool{m.Trap: true}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range m.Edges {
+				if canReach[e.To] && !canReach[e.From] && e.From != m.Trap {
+					canReach[e.From] = true
+					changed = true
+				}
+			}
+		}
+		var kept []*tsys.Edge
+		droppedEdges := 0
+		for _, e := range m.Edges {
+			if canReach[e.To] && e.From != m.Trap {
+				kept = append(kept, e)
+			} else {
+				droppedEdges++
+			}
+		}
+		m.Edges = kept
+
+		// Relevance closure over the surviving edges.
+		relevant := map[tsys.VarID]bool{}
+		for _, e := range m.Edges {
+			if e.Guard != nil {
+				tsys.ReadVars(e.Guard, relevant)
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, e := range m.Edges {
+				for _, a := range e.Assigns {
+					if !relevant[a.Var] {
+						continue
+					}
+					before := len(relevant)
+					tsys.ReadVars(a.RHS, relevant)
+					if len(relevant) != before {
+						changed = true
+					}
+				}
+			}
+		}
+		for _, e := range m.Edges {
+			var keepAssigns []tsys.Assign
+			for _, a := range e.Assigns {
+				if relevant[a.Var] {
+					keepAssigns = append(keepAssigns, a)
+				}
+			}
+			e.Assigns = keepAssigns
+		}
+		droppedVars, droppedInputs := 0, 0
+		for _, v := range m.Vars {
+			if relevant[v.ID] || v.Bits == 0 {
+				continue
+			}
+			if v.Input {
+				droppedInputs++
+			}
+			droppedVars++
+			v.Bits = 0
+			v.Init = tsys.InitConst
+			v.InitVal = 0
+			v.HasRange = false
+		}
+		Contract(m)
+		return fmt.Sprintf("dropped %d edges, %d variables (%d inputs)",
+			droppedEdges, droppedVars, droppedInputs)
+	})
+}

@@ -95,8 +95,9 @@ type Report struct {
 	TotalGAEvals   int
 	TotalMCSteps   int
 	// PeakMCNodes is the largest BDD node count any single model-checker
-	// call reached (each call owns a fresh manager, so the per-call peaks
-	// are independent and their max is worker-count invariant).
+	// call reached (each call's manager is fresh or reset-to-fresh, so the
+	// per-call peaks are independent and their max is worker-count
+	// invariant).
 	PeakMCNodes int
 }
 
@@ -108,9 +109,9 @@ type Config struct {
 	GA ga.Config
 	// Workers bounds the generator's fan-out: GA searches and
 	// model-checker calls run on up to Workers goroutines, each with its
-	// own interpreter machine (model-checker runs already build a fresh
-	// BDD manager per call). 0 (the default) uses one worker per CPU,
-	// 1 runs serially. The Report is identical for every value.
+	// own interpreter machine (model-checker runs lease private, pooled
+	// BDD managers). 0 (the default) uses one worker per CPU, 1 runs
+	// serially. The Report is identical for every value.
 	Workers int
 	// SkipGA jumps straight to the model checker (for comparison runs).
 	SkipGA bool
@@ -119,7 +120,9 @@ type Config struct {
 	// Optimise runs the Section 3.2 pipeline on every path model before
 	// checking (recommended; off reproduces the naive translator).
 	Optimise bool
-	// MC bounds each model-checker run.
+	// MC bounds each model-checker run. MC.NoSlice, MC.NoReorder and
+	// MC.NoPool are the symbolic engine's A/B levers; they default to off
+	// (all levers enabled).
 	MC mc.Options
 	// Base provides values for non-input variables at function entry.
 	Base interp.Env
@@ -329,6 +332,25 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				}
 				return nil
 			}
+			// Lower once per unit: the checked model is a pure function of
+			// program + config, identical across retry attempts, so the
+			// attempt loop must not pay the lowering and optimisation
+			// pipeline again. The symbolic query likewise persists across
+			// attempts (its expensive state builds lazily on first use and
+			// is dropped on failure, so retries stay deterministic).
+			low, lerr := gen.lowerPath(targets[i], conf)
+			if lerr != nil {
+				if ctx.Err() != nil {
+					return fail.Context("testgen", ctx.Err())
+				}
+				pr.Verdict = Unknown
+				pr.Err = fail.Attribute(lerr, "testgen", keys[i])
+				saveTG(j, keys[i], packTG(gen, pr, fail.KindLabel(pr.Err), pr.Err.Error()))
+				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
+				return nil
+			}
+			q := mc.NewSymbolicQuery(low.Model, conf.MC)
+			defer q.Close()
 			var res *mc.Result
 			var env interp.Env
 			attempts, err := retry.Do(ctx, conf.Retry, func(attempt int) error {
@@ -336,29 +358,35 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 					return fail.From("testgen", ferr)
 				}
 				var aerr error
-				res, env, aerr = gen.checkPathCtx(ctx, m, targets[i], conf)
+				res, aerr = q.CheckCtx(ctx)
+				if aerr != nil {
+					return aerr
+				}
+				env = nil
+				if res.Reachable {
+					env, aerr = gen.witnessEnv(m, low, targets[i], res.Witness, conf)
+				}
 				return aerr
 			})
 			history := retry.History(attempts)
 			// Failover: a BDD node budget is deterministic — retrying the
 			// symbolic engine reproduces the blow-up — but a small input
-			// space can be enumerated exactly by the explicit engine.
+			// space can be enumerated exactly by the explicit engine, which
+			// checks the very model the symbolic engine just gave up on.
 			var lim *bdd.LimitError
 			if err != nil && ctx.Err() == nil && errors.As(err, &lim) {
-				if low, lerr := gen.lowerPath(targets[i], conf); lerr == nil {
-					if space := inputSpace(low.Model); space <= conf.failoverMax() {
-						history = append(history,
-							fmt.Sprintf("failover: explicit engine (%.0f initial states)", space))
-						o.Count("testgen.failover.explicit", 1)
-						if ferr := faults.Fire(ctx, "testgen.failover", i); ferr != nil {
-							err = fail.From("testgen", ferr)
-						} else if xres, xerr := mc.CheckExplicitCtx(ctx, low.Model, conf.MC); xerr != nil {
-							err = xerr
-						} else {
-							res, env, err = xres, nil, nil
-							if xres.Reachable {
-								env, err = gen.witnessEnv(m, low, targets[i], xres.Witness, conf)
-							}
+				if space := inputSpace(low.Model); space <= conf.failoverMax() {
+					history = append(history,
+						fmt.Sprintf("failover: explicit engine (%.0f initial states)", space))
+					o.Count("testgen.failover.explicit", 1)
+					if ferr := faults.Fire(ctx, "testgen.failover", i); ferr != nil {
+						err = fail.From("testgen", ferr)
+					} else if xres, xerr := mc.CheckExplicitCtx(ctx, low.Model, conf.MC); xerr != nil {
+						err = xerr
+					} else {
+						res, env, err = xres, nil, nil
+						if xres.Reachable {
+							env, err = gen.witnessEnv(m, low, targets[i], xres.Witness, conf)
 						}
 					}
 				}
@@ -516,10 +544,11 @@ func (gen *Generator) checkPathCtx(ctx context.Context, m *interp.Machine, p pat
 }
 
 // lowerPath builds the checked model for one path: lowering, the sound
-// variable-initialisation pinning, and (optionally) the Section 3.2
-// optimisation pipeline. The result is a pure function of program + config,
+// variable-initialisation pinning, and the Section 3.2 optimisation
+// pipeline (optional). The result is a pure function of program + config,
 // so the symbolic engine and an explicit-engine failover check the same
-// model.
+// model; the per-trap program slice is the symbolic engine's own
+// query-level step (mc.Options.NoSlice disables it).
 func (gen *Generator) lowerPath(p paths.Path, conf Config) (*c2m.Result, error) {
 	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
 	if err != nil {

@@ -446,6 +446,94 @@ func boolInt(c bool) int64 {
 	return 0
 }
 
+// ---------------------------------------------------------------------------
+// Structural fingerprint
+
+// Fingerprint hashes the model's checkable structure — variables (width,
+// signedness, initialisation, ranges), locations, and edges with their full
+// guard and assignment expressions — into a 64-bit FNV-1a digest. Two models
+// with equal fingerprints pose the same symbolic query, so the fingerprint
+// keys caches of query-derived artifacts such as learned BDD variable
+// orders (mc.OrderBook). Names are excluded: they do not influence the
+// encoding.
+func (m *Model) Fingerprint() uint64 {
+	h := fnvOffset
+	h = fnvInt(h, int64(m.NLocs))
+	h = fnvInt(h, int64(m.Init))
+	h = fnvInt(h, int64(m.Trap))
+	h = fnvInt(h, int64(len(m.Vars)))
+	for _, v := range m.Vars {
+		h = fnvInt(h, int64(v.Bits))
+		h = fnvBool(h, v.Signed)
+		h = fnvInt(h, int64(v.Init))
+		h = fnvInt(h, v.InitVal)
+		h = fnvBool(h, v.Input)
+		h = fnvBool(h, v.HasRange)
+		if v.HasRange {
+			h = fnvInt(h, v.Lo)
+			h = fnvInt(h, v.Hi)
+		}
+	}
+	h = fnvInt(h, int64(len(m.Edges)))
+	for _, e := range m.Edges {
+		h = fnvInt(h, int64(e.From))
+		h = fnvInt(h, int64(e.To))
+		h = fnvExpr(h, e.Guard)
+		h = fnvInt(h, int64(len(e.Assigns)))
+		for _, a := range e.Assigns {
+			h = fnvInt(h, int64(a.Var))
+			h = fnvExpr(h, a.RHS)
+		}
+	}
+	return h
+}
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvInt(h uint64, v int64) uint64 {
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(u>>(8*i)))
+	}
+	return h
+}
+
+func fnvBool(h uint64, b bool) uint64 {
+	if b {
+		return fnvByte(h, 1)
+	}
+	return fnvByte(h, 0)
+}
+
+// fnvExpr folds an expression tree into the digest with per-kind tags, so
+// structurally different trees cannot collide by flattening alike.
+func fnvExpr(h uint64, e Expr) uint64 {
+	switch x := e.(type) {
+	case nil:
+		return fnvByte(h, 0)
+	case *Const:
+		return fnvInt(fnvByte(h, 1), x.Val)
+	case *Ref:
+		return fnvInt(fnvByte(h, 2), int64(x.Var))
+	case *Un:
+		return fnvExpr(fnvInt(fnvByte(h, 3), int64(x.Op)), x.X)
+	case *Bin:
+		h = fnvInt(fnvByte(h, 4), int64(x.Op))
+		return fnvExpr(fnvExpr(h, x.X), x.Y)
+	case *CondE:
+		return fnvExpr(fnvExpr(fnvExpr(fnvByte(h, 5), x.C), x.T), x.F)
+	case *CastE:
+		h = fnvBool(fnvInt(fnvByte(h, 6), int64(x.Bits)), x.Signed)
+		return fnvExpr(h, x.X)
+	}
+	return fnvByte(h, 255)
+}
+
 // TruncateBits wraps v to a two's-complement width.
 func TruncateBits(v int64, bits int, signed bool) int64 {
 	if bits <= 0 || bits >= 64 {

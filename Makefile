@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic clean
+.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache clean
 
 help:
 	@echo "make build         - compile all packages"
@@ -18,6 +18,7 @@ help:
 	@echo "make check-obs     - observability determinism suites under -race"
 	@echo "make check-chaos   - durability suites & chaos soak (kill/resume) under -race"
 	@echo "make check-symbolic- symbolic-lever property & differential suites under -race"
+	@echo "make check-cache   - verdict-cache & fingerprint-coverage suites under -race"
 	@echo "make lint-prints   - fail on stray stdout writes inside internal/"
 	@echo "make bench         - regenerate every table and figure"
 	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
@@ -25,6 +26,7 @@ help:
 	@echo "make bench-obs     - observer overhead benchmarks -> BENCH_3.json"
 	@echo "make bench-journal - journal overhead benchmarks -> BENCH_4.json"
 	@echo "make bench-symbolic- symbolic lever A/B benchmarks -> BENCH_5.json"
+	@echo "make bench-cache   - cold vs warm verdict-cache A/B -> BENCH_6.json"
 
 build:
 	$(GO) build ./...
@@ -38,7 +40,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race check-chaos check-symbolic
+check: build vet test race check-chaos check-symbolic check-cache
 
 # check-faults re-runs the resilience surface with the race detector on:
 # the fail/faults/par unit suites plus every stage's injected-fault,
@@ -84,6 +86,21 @@ check-symbolic:
 	$(GO) test -race -count 1 \
 		-run 'Sliced|Slice|Reorder|Pooled|OrderBook|Lever' \
 		./internal/mc ./internal/experiments
+
+# check-cache drives the incremental re-analysis surface under the race
+# detector: the vcache store's own suite (concurrent put/get included),
+# the generator's cache semantics tests (warm-run identity, cross-edit
+# hit survival, journal-beats-cache precedence, budget-keyed degraded
+# verdicts, OrderBook bypass, poisoned-env fail-closed), the journal
+# fingerprint regression and reflection field-coverage tests that pin
+# every option field into a fingerprint or an explicit exemption, and
+# the wiper warm-cache byte-identity acceptance test.
+check-cache:
+	$(GO) test -race -count 1 ./internal/vcache
+	$(GO) test -race -count 1 \
+		-run 'VCache|Fingerprint|LeverFlip|WarmCache' \
+		./internal/testgen ./internal/journal ./internal/tsys \
+		./internal/core ./internal/experiments
 
 # lint-prints guards the stdout/stderr contract: library code under
 # internal/ must never print — results belong to the cmd tools' stdout,
@@ -142,6 +159,17 @@ bench-symbolic:
 	( $(GO) test -run '^$$' -bench SymbolicLevers -benchtime 3x . ; \
 	  $(GO) test -run '^$$' -bench 'Table2$$|HybridTestGen$$' -benchtime 3x . ) \
 	| $(GO) run ./cmd/benchlog -out BENCH_5.json
+
+# bench-cache measures what the persistent verdict cache buys: an
+# interleaved cold-vs-warm A/B on the wiper chart after a one-line edit
+# (cold = empty store, warm = store populated by a pre-edit run, timed
+# back to back each iteration from fresh copies of the same seed store),
+# appended to BENCH_6.json. The speedup-x metric must stay >= 5; the
+# benchmark itself asserts the cached and clean canonical reports are
+# byte-identical.
+bench-cache:
+	$(GO) test -run '^$$' -bench VerdictCacheColdWarm -benchtime 3x . \
+	| $(GO) run ./cmd/benchlog -out BENCH_6.json
 
 clean:
 	$(GO) clean ./...

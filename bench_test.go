@@ -10,9 +10,12 @@ package wcet
 // reprints the evaluation. EXPERIMENTS.md records paper-vs-measured.
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -433,6 +436,121 @@ func serialBaseline(b *testing.B, op func()) time.Duration {
 	start := time.Now()
 	op()
 	return time.Since(start)
+}
+
+// BenchmarkVerdictCacheColdWarm measures what the persistent verdict cache
+// buys on the edit-analyze loop it exists for: the Section 4 wiper program
+// is analysed once to populate a store, one CFG region's straight-line
+// code is edited (the POSTWASH self-loop arm's pump command — an output
+// assignment, never read back into control flow), and the edited program
+// is re-analysed cold (no cache) and warm (against a fresh copy of the
+// pre-edit store) back to back, so machine drift hits both legs equally.
+//
+// An output-assignment edit is the per-trap slice's target case: the slice
+// zero-widths trap-irrelevant variables out of every query, so each path's
+// key is unchanged and every verdict replays. A guard edit instead misses
+// on exactly the paths whose sliced query can see it — the partial-hit
+// regime internal/testgen's TestVCacheHitsSurviveEdit pins down.
+//
+// SkipGA makes the run model-checker dominated — the stage the cache
+// memoizes; stage-1 GA keys digest the whole program and miss across any
+// edit by design. Every warm leg starts from a byte-copy of the pre-edit
+// store so it always measures the first-analysis-after-the-edit case, and
+// its report must be byte-identical (WriteCanonical) to the cold leg's.
+// speedup-x is cold over warm; the bar is 5x.
+func BenchmarkVerdictCacheColdWarm(b *testing.B) {
+	srcA := model.Wiper().Emit("wiper_control")
+	const arm = "        } else {\n            next_state = 7;\n            motor = 1;\n            pump = 0;\n        }"
+	if strings.Count(srcA, arm) != 1 {
+		b.Fatalf("POSTWASH self-loop arm not unique in the wiper source")
+	}
+	srcB := strings.Replace(srcA, arm, strings.Replace(arm, "pump = 0;", "pump = 2;", 1), 1)
+	run := func(src string, vc *Cache) *Report {
+		rep, err := Analyze(src, Options{
+			FuncName: "wiper_control",
+			Bound:    8,
+			Cache:    vc,
+			TestGen:  testgen.Config{SkipGA: true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	dir := b.TempDir()
+	seedDir := filepath.Join(dir, "seed")
+	vc, err := OpenCache(seedDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run(srcA, vc) // populate: the pre-edit analysis, untimed
+	canonical := func(rep *Report) []byte {
+		var buf bytes.Buffer
+		if err := rep.WriteCanonical(&buf); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	run(srcB, nil) // warm-up: pays parser cache misses once
+	copies := 0
+	warmStore := func() *Cache {
+		copies++
+		dst := filepath.Join(dir, fmt.Sprintf("warm-%d", copies))
+		if err := copyTree(seedDir, dst); err != nil {
+			b.Fatal(err)
+		}
+		c, err := OpenCache(dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	var cold, warm time.Duration
+	var cachedUnits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wc := warmStore() // untimed: measured legs see only analysis cost
+		t0 := time.Now()
+		coldRep := run(srcB, nil)
+		t1 := time.Now()
+		warmRep := run(srcB, wc)
+		warm += time.Since(t1)
+		cold += t1.Sub(t0)
+		if !bytes.Equal(canonical(coldRep), canonical(warmRep)) {
+			b.Fatal("warm-cache report diverges from the cold report")
+		}
+		if warmRep.CachedUnits == 0 {
+			b.Fatal("warm run replayed nothing from the verdict store")
+		}
+		cachedUnits = warmRep.CachedUnits
+	}
+	b.ReportMetric(float64(cold.Milliseconds())/float64(b.N), "cold-ms/op")
+	b.ReportMetric(float64(warm.Milliseconds())/float64(b.N), "warm-ms/op")
+	b.ReportMetric(cold.Seconds()/warm.Seconds(), "speedup-x")
+	b.ReportMetric(float64(cachedUnits), "cached-units")
+}
+
+// copyTree byte-copies a directory tree — fresh verdict-store snapshots for
+// the warm benchmark legs.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
 }
 
 func sizeName(branches int) string {

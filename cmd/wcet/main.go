@@ -2,7 +2,8 @@
 // a C source file:
 //
 //	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d]
-//	     [-journal file] [-resume] [-v] [-trace file] [-metrics file] [-pprof addr] file.c
+//	     [-journal file] [-resume] [-cache dir] [-watch]
+//	     [-v] [-trace file] [-metrics file] [-pprof addr] file.c
 //
 // The analysis report goes to stdout; diagnostics, errors and -v progress go
 // to stderr, so results stay pipeable. -trace writes a Chrome trace-event
@@ -18,6 +19,21 @@
 // converge on the identical report. Without -resume a pre-existing journal
 // is discarded for a clean start.
 //
+// -cache makes re-analysis incremental: per-path model-checker verdicts and
+// GA outcomes are memoized in the given directory under content-addressed
+// keys. The model-checker keys digest the optimized, per-trap-sliced
+// transition system, so after an edit only the paths whose sliced query the
+// edit actually touched are re-proved — everything else is served from the
+// cache, and the report is byte-for-byte what a clean run would produce.
+// The report says how many verdicts were served from cache versus
+// re-proved; -v marks each cached path verdict.
+//
+// -watch re-runs the analysis whenever the source file changes (polled;
+// ctrl-c stops). Combined with -cache this is an edit-analyze loop where
+// each iteration re-proves only the regions the edit touched. -watch is
+// incompatible with -journal: a journal is bound to one program identity,
+// which is exactly what an edit changes.
+//
 // Exit codes:
 //
 //	0  analysis completed with an exact bound
@@ -25,9 +41,13 @@
 //	2  parse, semantic or infrastructure error, or an escaped panic
 //	3  analysis interrupted (timeout/cancellation) or bound degraded/unavailable
 //	4  analysis completed with an exact bound, partly replayed from a journal
+//
+// In -watch mode the process runs until interrupted and exits with the code
+// of the last completed analysis.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -37,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime/debug"
+	"time"
 
 	"wcet"
 )
@@ -74,6 +95,8 @@ func run() (code int) {
 	noPool := fs.Bool("no-pool", false, "allocate a fresh BDD manager per model-checker call instead of pooling (A/B baseline)")
 	journalFile := fs.String("journal", "", "append completed work units to this crash-safe journal; a killed run can be resumed with -resume")
 	resume := fs.Bool("resume", false, "replay finished units from the -journal file instead of discarding them")
+	cacheDir := fs.String("cache", "", "memoize per-path verdicts in this directory; later runs (of this or an edited program) replay verdicts whose sliced query is unchanged")
+	watch := fs.Bool("watch", false, "re-run the analysis whenever the source file changes (best with -cache)")
 	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event file of the pipeline stages")
 	metricsFile := fs.String("metrics", "", "write the metrics registry (counters, gauges, histograms) as JSON")
@@ -93,7 +116,12 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "wcet: -resume requires -journal")
 		return exitUsage
 	}
-	src, err := os.ReadFile(fs.Arg(0))
+	if *watch && *journalFile != "" {
+		fmt.Fprintln(os.Stderr, "wcet: -watch is incompatible with -journal (a journal is bound to one program identity)")
+		return exitUsage
+	}
+	srcPath := fs.Arg(0)
+	src, err := os.ReadFile(srcPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wcet:", err)
 		return exitError
@@ -110,6 +138,13 @@ func run() (code int) {
 				fmt.Fprintln(os.Stderr, "wcet:", err)
 				return exitError
 			}
+		}
+	}
+	var cache *wcet.Cache
+	if *cacheDir != "" {
+		if cache, err = wcet.OpenCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
 		}
 	}
 
@@ -129,7 +164,8 @@ func run() (code int) {
 		ob = wcet.NewObserver(cfg)
 	}
 	// Export observability even when the analysis errors out: a trace of a
-	// degraded or interrupted run is exactly when you want one.
+	// degraded or interrupted run is exactly when you want one. In -watch
+	// mode the exports accumulate every iteration.
 	defer func() {
 		if ob == nil {
 			return
@@ -154,40 +190,89 @@ func run() (code int) {
 		defer cancel()
 	}
 
-	report, err := wcet.AnalyzeCtx(ctx, string(src), wcet.Options{
-		FuncName:   *funcName,
-		Bound:      *bound,
-		Exhaustive: *exhaustive,
-		Workers:    *workers,
-		MCTimeout:  *mcTimeout,
-		Obs:        ob,
-		Journal:    jnl,
-		TestGen: wcet.TestGenConfig{
-			GA:       wcet.GAConfig{Seed: *seed},
-			Optimise: true,
-			MC: wcet.MCOptions{
-				NoSlice:   *noSlice,
-				NoReorder: *noReorder,
-				NoPool:    *noPool,
+	analyzeOnce := func(text string) int {
+		report, err := wcet.AnalyzeCtx(ctx, text, wcet.Options{
+			FuncName:   *funcName,
+			Bound:      *bound,
+			Exhaustive: *exhaustive,
+			Workers:    *workers,
+			MCTimeout:  *mcTimeout,
+			Obs:        ob,
+			Journal:    jnl,
+			Cache:      cache,
+			TestGen: wcet.TestGenConfig{
+				GA:       wcet.GAConfig{Seed: *seed},
+				Optimise: true,
+				MC: wcet.MCOptions{
+					NoSlice:   *noSlice,
+					NoReorder: *noReorder,
+					NoPool:    *noPool,
+				},
 			},
-		},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wcet:", err)
-		if wcet.Interrupted(err) {
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			if wcet.Interrupted(err) {
+				return exitDegraded
+			}
+			return exitError
+		}
+		printReport(report, *bound, cache != nil, *verbose)
+		if report.Soundness != wcet.BoundExact {
 			return exitDegraded
 		}
-		return exitError
+		if report.ResumedUnits > 0 {
+			return exitResumed
+		}
+		return exitOK
 	}
 
+	if !*watch {
+		return analyzeOnce(string(src))
+	}
+	for {
+		code = analyzeOnce(string(src))
+		if ctx.Err() != nil {
+			return code
+		}
+		fmt.Fprintf(os.Stderr, "wcet: watching %s for changes (ctrl-c to stop)\n", srcPath)
+		next, ok := waitForChange(ctx, srcPath, src)
+		if !ok {
+			return code
+		}
+		src = next
+		fmt.Printf("\n--- %s changed, re-analysing ---\n", srcPath)
+	}
+}
+
+// printReport renders the analysis report to stdout.
+func printReport(report *wcet.Report, bound int64, cached, verbose bool) {
 	fmt.Printf("function               : %s\n", report.Fn.Name)
 	fmt.Printf("basic blocks           : %d\n", report.G.NumNodes())
-	fmt.Printf("path bound b           : %d\n", *bound)
+	fmt.Printf("path bound b           : %d\n", bound)
 	fmt.Printf("instrumentation points : %d (fused: %d)\n", report.Plan.IP, report.Plan.IPFused())
 	fmt.Printf("measurements           : %s\n", report.Plan.M)
 	fmt.Printf("test data              : %s\n", report.TestGen.Summary())
 	if report.ResumedUnits > 0 {
 		fmt.Printf("resumed from journal   : %d work units replayed\n", report.ResumedUnits)
+	}
+	if cached {
+		// The cache's headline split: how much of the expensive stage this
+		// run avoided. Re-proved counts every model-checker verdict computed
+		// fresh — after an edit, exactly the paths whose sliced query the
+		// edit touched.
+		replayed, reproved := 0, 0
+		for _, r := range report.TestGen.Results {
+			if r.Verdict == wcet.FoundByHeuristic {
+				continue
+			}
+			if r.Cached {
+				replayed++
+			} else {
+				reproved++
+			}
+		}
+		fmt.Printf("model-checker verdicts : %d served from cache, %d re-proved\n", replayed, reproved)
 	}
 	fmt.Printf("infeasible paths       : %d\n", report.InfeasiblePaths)
 	fmt.Printf("soundness              : %s\n", report.Soundness)
@@ -203,19 +288,38 @@ func run() (code int) {
 	if len(report.Degradations) > 0 {
 		fmt.Println(report.Summary())
 	}
-	if *verbose {
+	if verbose {
 		fmt.Println("\nper-path verdicts:")
 		for _, r := range report.TestGen.Results {
-			fmt.Printf("  %-14s %s\n", r.Verdict, r.Path.Key())
+			tag := ""
+			if r.Cached {
+				tag = "  [cached]"
+			}
+			fmt.Printf("  %-14s %s%s\n", r.Verdict, r.Path.Key(), tag)
 		}
 	}
-	if report.Soundness != wcet.BoundExact {
-		return exitDegraded
+}
+
+// waitForChange polls path until its content differs from prev, returning
+// the new content. ok is false when the context ended first. Polling keeps
+// the watcher portable; 300ms is far below human edit latency.
+func waitForChange(ctx context.Context, path string, prev []byte) (next []byte, ok bool) {
+	tick := time.NewTicker(300 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case <-tick.C:
+			// A transiently unreadable file (editor mid-save) is retried on
+			// the next tick; an empty save is a real change like any other.
+			data, err := os.ReadFile(path)
+			if err != nil || bytes.Equal(data, prev) {
+				continue
+			}
+			return data, true
+		}
 	}
-	if report.ResumedUnits > 0 {
-		return exitResumed
-	}
-	return exitOK
 }
 
 // writeTo creates path and streams one export into it.

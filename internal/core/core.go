@@ -40,6 +40,7 @@ import (
 	"wcet/internal/schema"
 	"wcet/internal/sim"
 	"wcet/internal/testgen"
+	"wcet/internal/vcache"
 )
 
 // Options configure an analysis.
@@ -86,6 +87,16 @@ type Options struct {
 	// whether the analysis ran in one shot or was killed and resumed any
 	// number of times, at any worker count. nil disables journaling.
 	Journal *journal.Journal
+	// Cache, when set, makes re-analysis incremental: per-path
+	// model-checker verdicts and GA outcomes are memoized in the persistent
+	// verdict store under content-addressed keys, so a later run — of this
+	// program or an edited one — replays every verdict whose sliced query
+	// the edit left untouched instead of re-proving it. The journal stays
+	// authoritative for a resumed run (journal replay wins over cache, and
+	// journaled units are copied into the cache); a warm run's Report is
+	// byte-identical (WriteCanonical) to a clean run's at any worker count.
+	// nil disables caching.
+	Cache *vcache.Store
 }
 
 func (o Options) withDefaults() Options {
@@ -181,6 +192,11 @@ type Report struct {
 	// design — a resumed run and a clean run differ here and nowhere else —
 	// so WriteCanonical excludes it.
 	ResumedUnits int
+	// CachedUnits counts work units served from the persistent verdict
+	// cache instead of recomputed (0 for cold or un-cached runs). Like
+	// ResumedUnits it is volatile across cache states — and deterministic
+	// given a fixed one — so WriteCanonical excludes it.
+	CachedUnits int
 }
 
 // Overestimate reports the bound's relative overestimation against the
@@ -311,6 +327,17 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 			j.Path(), resumable)
 	}
 
+	// Incremental runs: thread the persistent verdict cache through the
+	// context like the journal. Traffic is exported as this run's delta, so
+	// a long-lived store serving many analyses still yields per-run
+	// hit/miss/byte counts (deterministic given the store's state at bind).
+	var cache0 vcache.Counters
+	if vc := opt.Cache; vc != nil {
+		cache0 = vc.Counters()
+		ctx = vcache.With(ctx, vc)
+		o.Progressf("vcache: %s attached (%d record(s) on disk)", vc.Dir(), vc.Len())
+	}
+
 	// 1. Partition.
 	sp := o.Span("stage", "partition", "10/partition", "bound", opt.Bound)
 	plan, err := partition.PartitionBound(g, opt.Bound)
@@ -396,7 +423,7 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 		if !enumerable {
 			rep.Soundness = BoundUnavailable
 			rep.WCET = -1
-			finishObservation(o, opt.Journal, rep)
+			finishObservation(o, opt, rep, cache0)
 			return rep, nil
 		}
 		sp = o.Span("stage", "fallback", "60/fallback", "vectors", len(exhaustiveEnvs))
@@ -437,25 +464,42 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 		sp.End("max-cycles", exh)
 		o.Set("measure.exhaustive.wcet_cycles", 0, exh)
 	}
-	finishObservation(o, opt.Journal, rep)
+	finishObservation(o, opt, rep, cache0)
 	o.Progressf("schema: WCET=%d cycles, soundness=%s", rep.WCET, rep.Soundness)
 	return rep, nil
 }
 
 // finishObservation records the verdict-level metrics and the degradation
 // ledger into the observation session, and closes out the run journal's
-// resume accounting. Ledger entries become deterministic instant events —
-// one per unresolved path, keyed by path key and carrying the attributed
-// units, resolution and cause — so a degraded run is diagnosable from the
-// trace alone. Called exactly once per analysis, after every Resolution is
-// final.
-func finishObservation(o *obs.Observer, j *journal.Journal, rep *Report) {
+// resume accounting and the verdict cache's traffic accounting. Ledger
+// entries become deterministic instant events — one per unresolved path,
+// keyed by path key and carrying the attributed units, resolution and
+// cause — so a degraded run is diagnosable from the trace alone. Called
+// exactly once per analysis, after every Resolution is final.
+func finishObservation(o *obs.Observer, opt Options, rep *Report, cache0 vcache.Counters) {
+	j := opt.Journal
 	rep.ResumedUnits = j.Hits()
+	if rep.TestGen != nil {
+		rep.CachedUnits = rep.TestGen.CachedUnits
+	}
 	if o == nil {
 		return
 	}
 	if j != nil {
 		o.Count("journal.replayed_units", int64(rep.ResumedUnits))
+	}
+	if opt.Cache != nil {
+		// Hits, misses and read bytes are deterministic given the cache
+		// state at bind (the generator probes once per distinct key, against
+		// pre-run state). Written bytes are volatile: a GA target covered
+		// incidentally stores a slim skip record, and whether that happens
+		// before its own search runs depends on worker scheduling.
+		d := opt.Cache.Counters().Sub(cache0)
+		o.Count("vcache.hits", d.Hits)
+		o.Count("vcache.misses", d.Misses)
+		o.Count("vcache.bytes_read", d.BytesRead)
+		o.CountV("vcache.bytes_written", d.BytesWritten)
+		o.Count("vcache.replayed_units", int64(rep.CachedUnits))
 	}
 	o.Set("schema.wcet_cycles", 0, rep.WCET)
 	o.Set("core.soundness", 0, int64(rep.Soundness))

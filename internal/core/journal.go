@@ -7,25 +7,39 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
 
 	"wcet/internal/cc/ast"
 	"wcet/internal/cfg"
+	"wcet/internal/isa"
 	"wcet/internal/testgen"
 )
 
 // fingerprint digests everything a journaled unit's outcome is a function
 // of: the program (canonically printed), the analysed function, and every
 // deterministic option — partition bound, generator configuration (GA
-// scalars, model-checker budgets, retry policy, failover cap), exhaustive
-// settings and the simulator cost model. Workers is deliberately excluded:
-// results are worker-count invariant by construction, so a run started
-// with -workers 8 may resume with -workers 1 and vice versa. Function
-// fields (Stop, OnTrace, Obs) are excluded for the same reason they are
-// banned from reports: they carry no deterministic identity.
+// scalars, model-checker budgets and symbolic-engine levers, base
+// environment, retry policy, failover cap), exhaustive settings and the
+// full simulator cost model. Workers is deliberately excluded: results are
+// worker-count invariant by construction, so a run started with -workers 8
+// may resume with -workers 1 and vice versa. Function fields (Stop,
+// OnTrace, Obs) are excluded for the same reason they are banned from
+// reports: they carry no deterministic identity. An attached mc.OrderBook
+// is digested by presence only — its learned contents are mutable
+// in-process state that cannot define a stable identity, but a run with a
+// book must never splice with one without (learned orders change node
+// statistics).
+//
+// Version history: v1 omitted the symbolic levers (NoSlice/NoReorder/
+// NoPool), the base environment, the order-book presence and the cost
+// model's per-op and per-external maps — each a latent splice: a resume
+// across those settings would merge runs with different degradation
+// ledgers or measurements. v2 closes the class; the reflection-based
+// coverage test (fingerprint_coverage_test.go) keeps it closed.
 func fingerprint(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options, tg testgen.Config) string {
 	h := fnv.New64a()
 	put := func(format string, args ...any) { fmt.Fprintf(h, format, args...) }
-	put("wcet-journal-v1\x00")
+	put("wcet-journal-v2\x00")
 	io.WriteString(h, ast.Print(file))
 	put("\x00fn=%s blocks=%d\x00", fn.Name, g.NumNodes())
 	put("bound=%d exhaustive=%v maxexh=%d mctimeout=%d\x00",
@@ -35,12 +49,43 @@ func fingerprint(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options, tg
 		tg.GA.MutRate, tg.GA.CrossRate, tg.GA.Tournament, tg.GA.MaxEvaluations)
 	put("tg skipga=%v skipmc=%v optimise=%v failover=%d\x00",
 		tg.SkipGA, tg.SkipMC, tg.Optimise, tg.FailoverMaxStates)
-	put("mc steps=%d states=%d nodes=%d timeout=%d\x00",
-		tg.MC.MaxSteps, tg.MC.MaxStates, tg.MC.MaxNodes, tg.MC.Timeout)
+	put("mc steps=%d states=%d nodes=%d timeout=%d noslice=%v noreorder=%v nopool=%v orders=%v\x00",
+		tg.MC.MaxSteps, tg.MC.MaxStates, tg.MC.MaxNodes, tg.MC.Timeout,
+		tg.MC.NoSlice, tg.MC.NoReorder, tg.MC.NoPool, tg.MC.Orders != nil)
+	// The base environment pins non-input initial values in every checked
+	// model and seeds every recorded environment; serialized by name like
+	// the journal codec's environments.
+	names := make([]string, 0, len(tg.Base))
+	vals := make(map[string]int64, len(tg.Base))
+	for d, v := range tg.Base {
+		names = append(names, d.Name)
+		vals[d.Name] = v
+	}
+	sort.Strings(names)
+	put("base n=%d\x00", len(names))
+	for _, n := range names {
+		put("%s=%d\x00", n, vals[n])
+	}
 	put("retry attempts=%d backoff=%d\x00", tg.Retry.MaxAttempts, tg.Retry.BackoffBase)
 	put("sim maxinstr=%d costs=%v\x00", opt.SimOptions.MaxInstructions, opt.SimOptions.Costs != nil)
 	if c := opt.SimOptions.Costs; c != nil {
 		put("taken=%d nottaken=%d extdefault=%d\x00", c.BranchTaken, c.BranchNotTaken, c.ExtDefault)
+		ops := make([]int, 0, len(c.Costs))
+		for op := range c.Costs {
+			ops = append(ops, int(op))
+		}
+		sort.Ints(ops)
+		for _, op := range ops {
+			put("op%d=%d\x00", op, c.Costs[isa.Op(op)])
+		}
+		exts := make([]int, 0, len(c.ExtCost))
+		for id := range c.ExtCost {
+			exts = append(exts, id)
+		}
+		sort.Ints(exts)
+		for _, id := range exts {
+			put("ext%d=%d\x00", id, c.ExtCost[id])
+		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -1,0 +1,76 @@
+package core
+
+// Regression for the journal-splice bug: the v1 fingerprint omitted the
+// symbolic engine's A/B levers, so a journal written with slicing enabled
+// would happily resume a -no-slice run — splicing verdicts produced under
+// different engine configurations into one report. The levers are part of
+// the v2 fingerprint; flipping any of them must reset the journal and run
+// clean.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"wcet/internal/ga"
+	"wcet/internal/journal"
+	"wcet/internal/testgen"
+)
+
+func runJournaled(t *testing.T, jpath string, mutate func(*Options)) *Report {
+	t.Helper()
+	j, err := journal.Open(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	opt := Options{
+		Journal: j,
+		TestGen: testgen.Config{
+			GA:       ga.Config{Seed: 5, Pop: 32, MaxGens: 40, Stagnation: 10},
+			Optimise: true,
+		},
+	}
+	if mutate != nil {
+		mutate(&opt)
+	}
+	rep, err := Analyze(coreSrc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestJournalLeverFlipRunsClean(t *testing.T) {
+	levers := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"no-slice", func(o *Options) { o.TestGen.MC.NoSlice = true }},
+		{"no-reorder", func(o *Options) { o.TestGen.MC.NoReorder = true }},
+		{"no-pool", func(o *Options) { o.TestGen.MC.NoPool = true }},
+	}
+	for _, lv := range levers {
+		t.Run(lv.name, func(t *testing.T) {
+			jpath := filepath.Join(t.TempDir(), "run.journal")
+			first := runJournaled(t, jpath, nil)
+			if first.ResumedUnits != 0 {
+				t.Fatalf("fresh journal replayed %d units", first.ResumedUnits)
+			}
+
+			// Same program, same journal, one lever flipped: the fingerprint
+			// must mismatch, resetting the journal to a clean run.
+			flipped := runJournaled(t, jpath, lv.mutate)
+			if flipped.ResumedUnits != 0 {
+				t.Fatalf("journal written with default levers resumed %d unit(s) under -%s",
+					flipped.ResumedUnits, lv.name)
+			}
+
+			// Control: without the flip the journal resumes, proving the
+			// clean run above was the fingerprint's doing, not an accident.
+			resumed := runJournaled(t, jpath, lv.mutate)
+			if resumed.ResumedUnits == 0 {
+				t.Fatal("control resume under unchanged options replayed nothing")
+			}
+		})
+	}
+}

@@ -36,18 +36,63 @@ func confirmWitness(t *testing.T, trial int, m *tsys.Model, witness map[tsys.Var
 	}
 }
 
+// confirmWitnessZeroed replays a sliced witness on the unsliced model with
+// every input the witness omits pinned to a concrete value — zero, or the
+// range floor when zero lies outside the declared range — instead of left
+// free. The slice's soundness argument is that *every* value of an
+// irrelevant input extends a trap-reaching run, so the most degenerate
+// assignment must work too; this is the property the verdict cache leans
+// on when it serves a sliced verdict across a program edit. Returns how
+// many inputs the witness omitted.
+func confirmWitnessZeroed(t *testing.T, trial int, m *tsys.Model, witness map[tsys.VarID]int64) int {
+	t.Helper()
+	pinned := m.Clone()
+	omitted := 0
+	for _, v := range pinned.Vars {
+		if _, ok := witness[v.ID]; ok || !v.Input {
+			continue
+		}
+		omitted++
+		val := int64(0)
+		if v.HasRange && (v.Lo > 0 || v.Hi < 0) {
+			val = v.Lo
+		}
+		v.Input = false
+		v.Init = tsys.InitConst
+		v.InitVal = val
+	}
+	for id, val := range witness {
+		v := pinned.Vars[id]
+		v.Input = false
+		v.Init = tsys.InitConst
+		v.InitVal = val
+	}
+	if omitted == 0 {
+		return 0
+	}
+	rep, err := CheckExplicit(pinned, Options{})
+	if err != nil {
+		t.Fatalf("trial %d: zeroed witness replay: %v", trial, err)
+	}
+	if !rep.Reachable {
+		t.Fatalf("trial %d: witness %v with omitted inputs zeroed does not reach the trap on\n%s",
+			trial, witness, m)
+	}
+	return omitted
+}
+
 // TestSlicedVsUnslicedAgree: the symbolic engine's built-in per-trap slice
 // must preserve the verdict of every random model, and a sliced witness —
 // which omits sliced-away inputs — must still drive the *unsliced* model
-// into the trap (any value of an irrelevant input extends it; the explicit
-// check leaves them free).
+// into the trap, both with the irrelevant inputs left free (any value
+// extends the run) and with them pinned to zero.
 func TestSlicedVsUnslicedAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260807))
 	trials := 80
 	if testing.Short() {
 		trials = 20
 	}
-	reachable, shrunk := 0, 0
+	reachable, shrunk, omittedInputs := 0, 0, 0
 	for trial := 0; trial < trials; trial++ {
 		m := randModel(rng)
 		probe := m.Clone()
@@ -72,12 +117,16 @@ func TestSlicedVsUnslicedAgree(t *testing.T) {
 		}
 		reachable++
 		confirmWitness(t, trial, m, sres.Witness)
+		omittedInputs += confirmWitnessZeroed(t, trial, m, sres.Witness)
 	}
 	if reachable == 0 {
 		t.Error("no random model had a reachable trap; nothing was tested")
 	}
 	if shrunk == 0 {
 		t.Error("the slice never removed anything; the pass is not being exercised")
+	}
+	if omittedInputs == 0 {
+		t.Error("no reachable trial had a sliced-away input; the zeroed replay is not being exercised")
 	}
 }
 

@@ -476,7 +476,103 @@ func DeadElim(m *tsys.Model) PassStats {
 // Contract removes no-op transitions (no guard, no assignments) whose
 // source has exactly one outgoing edge, rerouting predecessors directly to
 // the target, then renumbers locations.
+//
+// The contraction is computed in one pass: every contractible location has
+// a unique no-op successor, so the rerouting every predecessor ultimately
+// receives is the transitive chase through those successors. Chasing with
+// memoization replaces the former remove-one-victim-and-rescan fixpoint —
+// which rebuilt an out-edge map per victim and dominated the per-path
+// lowering profile — with O(E) slice walks. A cycle of no-op transitions
+// cannot be chased to a fixed endpoint; that (structurally degenerate, and
+// absent from lowered path models) case falls back to the fixpoint, whose
+// one-at-a-time order defines the result.
 func Contract(m *tsys.Model) {
+	n := locSpan(m)
+	outdeg := make([]int, n)
+	for _, e := range m.Edges {
+		outdeg[e.From]++
+	}
+	next := make([]tsys.Loc, n)
+	hasNext := make([]bool, n)
+	for _, e := range m.Edges {
+		if e.Guard == nil && len(e.Assigns) == 0 && e.From != e.To &&
+			outdeg[e.From] == 1 && e.From != m.Trap {
+			next[e.From], hasNext[e.From] = e.To, true
+		}
+	}
+	const (
+		unresolved = uint8(iota)
+		inProgress
+		resolved
+	)
+	state := make([]uint8, n)
+	final := make([]tsys.Loc, n)
+	cyclic := false
+	var resolve func(l tsys.Loc) tsys.Loc
+	resolve = func(l tsys.Loc) tsys.Loc {
+		if !hasNext[l] {
+			return l
+		}
+		switch state[l] {
+		case resolved:
+			return final[l]
+		case inProgress:
+			cyclic = true
+			return l
+		}
+		state[l] = inProgress
+		f := resolve(next[l])
+		state[l] = resolved
+		final[l] = f
+		return f
+	}
+	for l := 0; l < n; l++ {
+		resolve(tsys.Loc(l))
+	}
+	if cyclic {
+		contractFixpoint(m)
+		return
+	}
+	// Reroute every surviving edge through the chase and drop the no-op
+	// edges themselves — their sources are bypassed and CompactLocs would
+	// discard them as unreachable anyway.
+	kept := m.Edges[:0]
+	for _, e := range m.Edges {
+		if hasNext[e.From] {
+			continue
+		}
+		e.To = resolve(e.To)
+		kept = append(kept, e)
+	}
+	m.Edges = kept
+	m.Init = resolve(m.Init)
+	CompactLocs(m)
+}
+
+// locSpan returns an exclusive upper bound on the location values in use,
+// for slice-indexed per-location tables.
+func locSpan(m *tsys.Model) int {
+	n := m.NLocs
+	for _, e := range m.Edges {
+		if int(e.From) >= n {
+			n = int(e.From) + 1
+		}
+		if int(e.To) >= n {
+			n = int(e.To) + 1
+		}
+	}
+	if m.Trap != tsys.NoLoc && int(m.Trap) >= n {
+		n = int(m.Trap) + 1
+	}
+	if int(m.Init) >= n {
+		n = int(m.Init) + 1
+	}
+	return n
+}
+
+// contractFixpoint is the one-victim-at-a-time contraction; its scan order
+// defines Contract's result when no-op transitions form a cycle.
+func contractFixpoint(m *tsys.Model) {
 	for {
 		outEdges := map[tsys.Loc][]*tsys.Edge{}
 		for _, e := range m.Edges {
@@ -516,13 +612,34 @@ func removeEdge(m *tsys.Model, victim *tsys.Edge) {
 }
 
 // CompactLocs renumbers locations reachable from Init (keeping the trap),
-// shrinking the location-register width after structural passes.
+// shrinking the location-register width after structural passes. The BFS
+// and the renumbering run over slice-indexed tables: this sits on the hot
+// per-path lowering-and-slicing path, where map-backed sets dominated the
+// profile.
 func CompactLocs(m *tsys.Model) {
-	out := m.OutEdges()
-	seen := map[tsys.Loc]bool{m.Init: true}
-	order := []tsys.Loc{m.Init}
+	n := locSpan(m)
+	// Out-adjacency as a bucketed CSR layout: one count pass, one fill pass.
+	counts := make([]int, n+1)
+	for _, e := range m.Edges {
+		counts[e.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	adj := make([]*tsys.Edge, len(m.Edges))
+	fill := make([]int, n)
+	copy(fill, counts[:n])
+	for _, e := range m.Edges {
+		adj[fill[e.From]] = e
+		fill[e.From]++
+	}
+	seen := make([]bool, n)
+	seen[m.Init] = true
+	order := make([]tsys.Loc, 1, n)
+	order[0] = m.Init
 	for i := 0; i < len(order); i++ {
-		for _, e := range out[order[i]] {
+		l := order[i]
+		for _, e := range adj[counts[l]:counts[l+1]] {
 			if !seen[e.To] {
 				seen[e.To] = true
 				order = append(order, e.To)
@@ -533,11 +650,11 @@ func CompactLocs(m *tsys.Model) {
 		seen[m.Trap] = true
 		order = append(order, m.Trap)
 	}
-	remap := map[tsys.Loc]tsys.Loc{}
+	remap := make([]tsys.Loc, n)
 	for i, l := range order {
 		remap[l] = tsys.Loc(i)
 	}
-	var kept []*tsys.Edge
+	kept := m.Edges[:0]
 	for _, e := range m.Edges {
 		if !seen[e.From] {
 			continue // unreachable

@@ -25,6 +25,7 @@ import (
 	"wcet/internal/paths"
 	"wcet/internal/retry"
 	"wcet/internal/tsys"
+	"wcet/internal/vcache"
 )
 
 // Verdict classifies one target path after generation.
@@ -77,6 +78,11 @@ type PathResult struct {
 	// pure function of program + config, identical across worker counts and
 	// across kill/resume cycles.
 	Attempts []string
+	// Cached marks a stage-2 verdict served from the persistent verdict
+	// cache instead of re-proved this run. Like Report.CachedUnits it is
+	// volatile by design — a warm run and a clean run differ here and in
+	// no deterministic field — so canonical exports exclude it.
+	Cached bool
 }
 
 // Report aggregates a generation run.
@@ -99,6 +105,12 @@ type Report struct {
 	// per-call peaks are independent and their max is worker-count
 	// invariant).
 	PeakMCNodes int
+	// CachedUnits counts work units (GA searches and model-checker
+	// verdicts) replayed from the persistent verdict cache instead of
+	// recomputed — the cross-run analogue of the journal's resumed units.
+	// Deterministic given a fixed cache state, volatile across cache
+	// states, so canonical exports exclude it.
+	CachedUnits int
 }
 
 // Config tunes the hybrid driver.
@@ -209,6 +221,14 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	workers := par.Workers(conf.Workers)
 	o := obs.From(ctx)
 	j := journal.From(ctx)
+	vc := vcache.From(ctx)
+	// The persistent cache only sees pure runs: an attached order book
+	// makes node statistics depend on learned state, and an active fault
+	// injector makes attempt histories depend on injected failures —
+	// either would store records that are not functions of their keys.
+	if !conf.cacheable() || faults.From(ctx) != nil {
+		vc = nil
+	}
 	rep := &Report{}
 	n := len(targets)
 	keys := make([]string, n)
@@ -226,6 +246,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	// coverage and falls through to the model checker — instead of
 	// aborting the run.
 	board := newGABoard(keys)
+	gaKeys := gen.gaCacheKeys(vc, keys, conf)
+	cachedGA := make([]bool, n)
 	if !conf.SkipGA {
 		err := par.ForEachWorkerCtx(ctx, n, workers, func(worker int) func(context.Context, int) error {
 			m := interp.New(gen.File, gen.M.Opt)
@@ -234,7 +256,23 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				if rec, ok := loadGA(j, keys[i]); ok {
 					board.deliver(i, gen.unpackGA(rec))
 					o.Count("testgen.journal.replayed", 1)
+					// The journal is authoritative for this run; copy the
+					// replayed unit into the cache so the next run hits.
+					if gaKeys != nil {
+						storeGAVC(vc, gaKeys[i], rec)
+					}
 					return nil
+				}
+				if gaKeys != nil {
+					if rec, ok := loadGAVC(vc, gaKeys[i]); ok {
+						// Journal the cache hit too: the run stays resumable,
+						// and on resume the journal (checked first) wins.
+						saveGA(j, keys[i], rec)
+						board.deliver(i, gen.unpackGA(rec))
+						cachedGA[i] = true
+						o.Count("testgen.vcache.replayed", 1)
+						return nil
+					}
 				}
 				skipped := false
 				var outcome *gaOutcome
@@ -267,12 +305,19 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				}
 				if skipped {
 					saveGA(j, keys[i], &gaRecord{})
+					if gaKeys != nil {
+						storeGAVC(vc, gaKeys[i], &gaRecord{})
+					}
 					return nil
 				}
 				if len(attempts) > 1 {
 					outcome.attempts = retry.History(attempts)
 				}
-				saveGA(j, keys[i], gen.packGA(outcome))
+				rec := gen.packGA(outcome)
+				saveGA(j, keys[i], rec)
+				if gaKeys != nil {
+					storeGAVC(vc, gaKeys[i], rec)
+				}
 				board.deliver(i, outcome)
 				return nil
 			}
@@ -306,6 +351,50 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 		residue = append(residue, i)
 	}
 	o.Progressf("testgen: model checking %d residue paths", len(residue))
+	// Prepass (cache attached): lower every residue path once, in residue
+	// order, and probe the store exactly once per distinct cache key —
+	// against its pre-run state. Hits are therefore a pure function of
+	// (program, configuration, cache state at bind), never of worker
+	// scheduling: a record this run stores is invisible to this run, and
+	// when two residue paths slice to the identical query only the first
+	// owns the key (probes it, stores it) — a duplicate shares the owner's
+	// probe result, or proves itself exactly as it would without a cache.
+	// The prepass stops at lowerQuery — the sliced, unoptimised query the
+	// key digests — so a hit never pays the optimisation pipeline; the
+	// worker optimises only the models it actually has to prove.
+	var (
+		lows      []*c2m.Result
+		lowErrs   []error
+		ckeys     []vcache.Key
+		cachedRec []*tgRecord
+		ownsKey   []bool
+	)
+	if vc != nil {
+		lows = make([]*c2m.Result, len(residue))
+		lowErrs = make([]error, len(residue))
+		ckeys = make([]vcache.Key, len(residue))
+		cachedRec = make([]*tgRecord, len(residue))
+		ownsKey = make([]bool, len(residue))
+		owner := map[vcache.Key]int{}
+		for k, i := range residue {
+			low, err := gen.lowerQuery(targets[i], conf)
+			if err != nil {
+				lowErrs[k] = err
+				continue
+			}
+			lows[k] = low
+			ckeys[k] = gen.mcCacheKey(low, conf)
+			if first, seen := owner[ckeys[k]]; seen {
+				cachedRec[k] = cachedRec[first]
+				continue
+			}
+			owner[ckeys[k]] = k
+			ownsKey[k] = true
+			if rec, ok := loadTGVC(vc, ckeys[k]); ok {
+				cachedRec[k] = rec
+			}
+		}
+	}
 	merr := par.ForEachWorkerCtx(ctx, len(residue), workers, func(worker int) func(context.Context, int) error {
 		m := interp.New(gen.File, gen.M.Opt)
 		ow := o.Worker(worker)
@@ -324,6 +413,11 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				pr.Attempts = rec.Attempts
 				pr.Err = fail.Replayed(rec.CauseKind, rec.CauseMsg)
 				o.Count("testgen.journal.replayed", 1)
+				// Journal replay wins over the cache, and feeds it (first
+				// owner of the key only, so duplicate queries write once).
+				if vc != nil && ownsKey[k] && lows[k] != nil {
+					storeTGVC(vc, ckeys[k], rec)
+				}
 				if pr.Err != nil {
 					sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				} else {
@@ -337,8 +431,15 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			// attempt loop must not pay the lowering and optimisation
 			// pipeline again. The symbolic query likewise persists across
 			// attempts (its expensive state builds lazily on first use and
-			// is dropped on failure, so retries stay deterministic).
-			low, lerr := gen.lowerPath(targets[i], conf)
+			// is dropped on failure, so retries stay deterministic). With a
+			// cache attached the prepass already lowered this unit.
+			var low *c2m.Result
+			var lerr error
+			if vc != nil {
+				low, lerr = lows[k], lowErrs[k]
+			} else {
+				low, lerr = gen.lowerPath(targets[i], conf)
+			}
 			if lerr != nil {
 				if ctx.Err() != nil {
 					return fail.Context("testgen", ctx.Err())
@@ -348,6 +449,38 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				saveTG(j, keys[i], packTG(gen, pr, fail.KindLabel(pr.Err), pr.Err.Error()))
 				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				return nil
+			}
+			if vc != nil {
+				if rec := cachedRec[k]; rec != nil {
+					env := unpackEnv(rec.Env, gen.declByName())
+					// A cached Found verdict may cross program edits (its
+					// sliced query was identical); re-validate the concrete
+					// environment on the current program exactly like a
+					// fresh witness, failing closed into a recompute.
+					if rec.Verdict != int(FoundByModelChecker) || gen.validEnv(m, targets[i], env) {
+						pr.Verdict = Verdict(rec.Verdict)
+						pr.Env = env
+						pr.MCStats = rec.stats()
+						pr.Attempts = rec.Attempts
+						pr.Err = fail.Replayed(rec.CauseKind, rec.CauseMsg)
+						pr.Cached = true
+						saveTG(j, keys[i], rec)
+						o.Count("testgen.vcache.replayed", 1)
+						if pr.Err != nil {
+							sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
+						} else {
+							sp.End("verdict", pr.Verdict,
+								"steps", pr.MCStats.Steps, "peak-nodes", pr.MCStats.PeakNodes)
+						}
+						return nil
+					}
+				}
+			}
+			// With a cache attached the prepass stopped at lowerQuery; this
+			// model must be proved after all, so it pays the optimisation
+			// pipeline now — exactly what lowerPath would have produced.
+			if vc != nil && conf.Optimise {
+				opt.All(low.Model)
 			}
 			q := mc.NewSymbolicQuery(low.Model, conf.MC)
 			defer q.Close()
@@ -403,7 +536,11 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				}
 				pr.Verdict = Unknown
 				pr.Err = fail.Attribute(err, "testgen", keys[i])
-				saveTG(j, keys[i], packTG(gen, pr, fail.KindLabel(pr.Err), pr.Err.Error()))
+				rec := packTG(gen, pr, fail.KindLabel(pr.Err), pr.Err.Error())
+				saveTG(j, keys[i], rec)
+				if vc != nil && ownsKey[k] {
+					storeTGVC(vc, ckeys[k], rec)
+				}
 				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				return nil
 			}
@@ -414,7 +551,11 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			} else {
 				pr.Verdict = Infeasible
 			}
-			saveTG(j, keys[i], packTG(gen, pr, "", ""))
+			rec := packTG(gen, pr, "", "")
+			saveTG(j, keys[i], rec)
+			if vc != nil && ownsKey[k] {
+				storeTGVC(vc, ckeys[k], rec)
+			}
 			sp.End("verdict", pr.Verdict,
 				"steps", res.Stats.Steps, "peak-nodes", res.Stats.PeakNodes)
 			return nil
@@ -430,9 +571,17 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	heuristicHits := 0
 	feasible := 0
 	retried := 0
+	for _, c := range cachedGA {
+		if c {
+			rep.CachedUnits++
+		}
+	}
 	var byVerdict [4]int
 	for i := range results {
 		byVerdict[results[i].Verdict]++
+		if results[i].Cached {
+			rep.CachedUnits++
+		}
 		if len(results[i].Attempts) > 0 {
 			retried++
 		}
@@ -543,13 +692,18 @@ func (gen *Generator) checkPathCtx(ctx context.Context, m *interp.Machine, p pat
 	return res, env, nil
 }
 
-// lowerPath builds the checked model for one path: lowering, the sound
-// variable-initialisation pinning, and the Section 3.2 optimisation
-// pipeline (optional). The result is a pure function of program + config,
-// so the symbolic engine and an explicit-engine failover check the same
-// model; the per-trap program slice is the symbolic engine's own
-// query-level step (mc.Options.NoSlice disables it).
-func (gen *Generator) lowerPath(p paths.Path, conf Config) (*c2m.Result, error) {
+// lowerQuery builds the per-path query up to — but not including — the
+// Section 3.2 optimisation pipeline: lowering, the sound
+// variable-initialisation pinning, and (unless mc.Options.NoSlice) the
+// per-trap program slice. The sliced-but-unoptimised model this returns is
+// the verdict cache's key content: every downstream transformation — the
+// optimisation pipeline, the engine's own idempotent re-slice — is a
+// deterministic function of it plus config fields digested alongside the
+// model, so a cached verdict's statistics are a pure function of the key.
+// Crucially it costs a small fraction of the optimisation pipeline, which
+// is what lets a warm run compute every path's key and still come out far
+// ahead of re-proving.
+func (gen *Generator) lowerQuery(p paths.Path, conf Config) (*c2m.Result, error) {
 	low, err := c2m.LowerPath(gen.G, c2m.Options{NaiveWidths: !conf.Optimise}, p)
 	if err != nil {
 		return nil, err
@@ -570,8 +724,26 @@ func (gen *Generator) lowerPath(p paths.Path, conf Config) (*c2m.Result, error) 
 			}
 		}
 	}
+	if !conf.MC.NoSlice {
+		opt.SliceTrap(model)
+	}
+	return low, nil
+}
+
+// lowerPath builds the checked model for one path: lowerQuery plus the
+// Section 3.2 optimisation pipeline (optional). The result is a pure
+// function of program + config, so the symbolic engine and an
+// explicit-engine failover check the same model. Slicing before optimising
+// means the expensive passes only see the trap-relevant fragment — and a
+// verdict-cache hit, which is keyed on the lowerQuery model, skips the
+// pipeline entirely.
+func (gen *Generator) lowerPath(p paths.Path, conf Config) (*c2m.Result, error) {
+	low, err := gen.lowerQuery(p, conf)
+	if err != nil {
+		return nil, err
+	}
 	if conf.Optimise {
-		opt.All(model)
+		opt.All(low.Model)
 	}
 	return low, nil
 }

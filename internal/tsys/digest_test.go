@@ -1,0 +1,115 @@
+package tsys
+
+import (
+	"bytes"
+	"testing"
+
+	"wcet/internal/cc/token"
+)
+
+// digestModel builds a small two-location model with a guard, an
+// assignment chain and a ranged input — every structural feature the
+// digest must cover.
+func digestModel() *Model {
+	m := &Model{Name: "d"}
+	x := m.NewVar("x", 8, false)
+	x.Input = true
+	x.HasRange, x.Lo, x.Hi = true, 0, 9
+	y := m.NewVar("y", 16, true)
+	y.Init = InitConst
+	y.InitVal = 3
+	l0 := m.NewLoc()
+	l1 := m.NewLoc()
+	m.Init, m.Trap = l0, l1
+	m.AddEdge(&Edge{From: l0, To: l1,
+		Guard: &Bin{Op: token.LT, X: &Ref{Var: x.ID}, Y: &Const{Val: 5}},
+		Assigns: []Assign{{Var: y.ID, RHS: &CondE{
+			C: &Ref{Var: x.ID},
+			T: &Un{Op: token.MINUS, X: &Ref{Var: y.ID}},
+			F: &CastE{Bits: 8, Signed: false, X: &Const{Val: 1}},
+		}}}})
+	return m
+}
+
+func digestOf(m *Model) []byte {
+	var b bytes.Buffer
+	m.WriteDigest(&b)
+	return b.Bytes()
+}
+
+func TestWriteDigestDeterministic(t *testing.T) {
+	a, b := digestOf(digestModel()), digestOf(digestModel())
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical models produced different digests")
+	}
+	if len(a) == 0 {
+		t.Fatal("empty digest")
+	}
+}
+
+func TestWriteDigestIgnoresNames(t *testing.T) {
+	m := digestModel()
+	ren := digestModel()
+	ren.Name = "renamed"
+	for _, v := range ren.Vars {
+		v.Name = v.Name + "_r"
+	}
+	if !bytes.Equal(digestOf(m), digestOf(ren)) {
+		t.Fatal("renaming variables changed the digest; names must be excluded")
+	}
+}
+
+// TestWriteDigestCoversStructure mutates every structural dimension and
+// requires each mutation to move the digest — the cache-key analogue of
+// the Fingerprint contract.
+func TestWriteDigestCoversStructure(t *testing.T) {
+	base := digestOf(digestModel())
+	mutations := map[string]func(m *Model){
+		"trap":        func(m *Model) { m.Trap = m.Init },
+		"init-loc":    func(m *Model) { m.Init = m.Trap },
+		"nlocs":       func(m *Model) { m.NewLoc() },
+		"var-bits":    func(m *Model) { m.Vars[0].Bits = 9 },
+		"var-signed":  func(m *Model) { m.Vars[0].Signed = !m.Vars[0].Signed },
+		"var-init":    func(m *Model) { m.Vars[1].InitVal = 4 },
+		"var-input":   func(m *Model) { m.Vars[1].Input = true },
+		"var-range":   func(m *Model) { m.Vars[0].Hi = 10 },
+		"var-norange": func(m *Model) { m.Vars[0].HasRange = false },
+		"new-var":     func(m *Model) { m.NewVar("z", 1, false) },
+		"edge-target": func(m *Model) { m.Edges[0].To = m.Edges[0].From },
+		"guard-op": func(m *Model) {
+			g := m.Edges[0].Guard.(*Bin)
+			m.Edges[0].Guard = &Bin{Op: token.GT, X: g.X, Y: g.Y}
+		},
+		"guard-const": func(m *Model) {
+			g := m.Edges[0].Guard.(*Bin)
+			m.Edges[0].Guard = &Bin{Op: g.Op, X: g.X, Y: &Const{Val: 6}}
+		},
+		"guard-nil":   func(m *Model) { m.Edges[0].Guard = nil },
+		"assign-rhs":  func(m *Model) { m.Edges[0].Assigns[0].RHS = &Const{Val: 0} },
+		"assign-var":  func(m *Model) { m.Edges[0].Assigns[0].Var = 0 },
+		"assign-gone": func(m *Model) { m.Edges[0].Assigns = nil },
+		"new-edge":    func(m *Model) { m.AddEdge(&Edge{From: m.Trap, To: m.Init}) },
+	}
+	for name, mutate := range mutations {
+		m := digestModel()
+		mutate(m)
+		if bytes.Equal(base, digestOf(m)) {
+			t.Errorf("mutation %q did not change the digest", name)
+		}
+	}
+}
+
+// TestWriteDigestAgreesWithFingerprint: whenever the 64-bit fingerprints of
+// two models differ, the canonical digests must differ too (the digest is
+// at least as discriminating as the fingerprint).
+func TestWriteDigestAgreesWithFingerprint(t *testing.T) {
+	a := digestModel()
+	b := digestModel()
+	b.Vars[0].Bits = 12
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("test premise broken: fingerprints equal")
+	}
+	if bytes.Equal(digestOf(a), digestOf(b)) {
+		t.Fatal("digests equal where fingerprints differ")
+	}
+}

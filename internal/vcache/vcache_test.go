@@ -1,0 +1,229 @@
+package vcache
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type rec struct {
+	Verdict int
+	Env     map[string]int64
+}
+
+func key(parts ...string) Key {
+	h := NewKey("test-v1")
+	for _, p := range parts {
+		h.Str(p)
+	}
+	return h.Sum()
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("a")
+	in := rec{Verdict: 2, Env: map[string]int64{"x": 7}}
+	var out rec
+	if s.Get(k, &out) {
+		t.Fatal("hit on an empty store")
+	}
+	if err := s.Put(k, in); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Get(k, &out) {
+		t.Fatal("miss after Put")
+	}
+	if out.Verdict != in.Verdict || out.Env["x"] != 7 {
+		t.Fatalf("round trip mangled the record: %+v", out)
+	}
+	c := s.Counters()
+	if c.Hits != 1 || c.Misses != 1 || c.BytesWritten == 0 || c.BytesRead == 0 {
+		t.Fatalf("counters off: %+v", c)
+	}
+}
+
+func TestStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("persist"), rec{Verdict: 1}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	if !again.Get(key("persist"), &out) || out.Verdict != 1 {
+		t.Fatal("record did not survive a reopen")
+	}
+	if again.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", again.Len())
+	}
+}
+
+func TestStoreFirstWriteWins(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("dup")
+	if err := s.Put(k, rec{Verdict: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, rec{Verdict: 9}); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	s.Get(k, &out)
+	if out.Verdict != 1 {
+		t.Fatalf("second Put overwrote the record: verdict %d", out.Verdict)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestStoreVersionMismatchResets(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("old"), rec{Verdict: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "VERSION"), []byte("ancient\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	if fresh.Get(key("old"), &out) {
+		t.Fatal("stale-format record survived a version reset")
+	}
+	if data, _ := os.ReadFile(filepath.Join(dir, "VERSION")); string(data) != Version {
+		t.Fatalf("VERSION not rewritten: %q", data)
+	}
+}
+
+func TestStoreCorruptRecordIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("corrupt")
+	if err := s.Put(k, rec{Verdict: 3}); err != nil {
+		t.Fatal(err)
+	}
+	name := k.String()
+	path := filepath.Join(dir, "objects", name[:2], name[2:])
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	if s.Get(k, &out) {
+		t.Fatal("corrupted record decoded as a hit")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	var out rec
+	if s.Get(key("x"), &out) {
+		t.Fatal("nil store hit")
+	}
+	if err := s.Put(key("x"), rec{}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Dir() != "" || (s.Counters() != Counters{}) {
+		t.Fatal("nil store not inert")
+	}
+}
+
+func TestHasherDiscriminates(t *testing.T) {
+	if key("ab", "c") == key("a", "bc") {
+		t.Fatal("length prefixing failed: concatenation collision")
+	}
+	a := NewKey("v1")
+	a.Int(1)
+	b := NewKey("v1")
+	b.Bool(true)
+	if a.Sum() == b.Sum() {
+		t.Fatal("typed encodings collide")
+	}
+	v1 := NewKey("v1")
+	v2 := NewKey("v2")
+	if v1.Sum() == v2.Sum() {
+		t.Fatal("version tag not folded")
+	}
+	f1 := NewKey("v1")
+	f1.Float(1.5)
+	f2 := NewKey("v1")
+	f2.Float(1.25)
+	if f1.Sum() == f2.Sum() {
+		t.Fatal("floats not folded")
+	}
+}
+
+func TestCountersSub(t *testing.T) {
+	a := Counters{Hits: 5, Misses: 3, BytesRead: 100, BytesWritten: 40}
+	b := Counters{Hits: 2, Misses: 1, BytesRead: 60, BytesWritten: 40}
+	d := a.Sub(b)
+	if d.Hits != 3 || d.Misses != 2 || d.BytesRead != 40 || d.BytesWritten != 0 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := key("shared", string(rune('0'+i)))
+				s.Put(k, rec{Verdict: i})
+				var out rec
+				if s.Get(k, &out) && out.Verdict != i {
+					t.Errorf("worker %d read torn record for %d: %+v", w, i, out)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", s.Len())
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context carried a store")
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := With(context.Background(), s)
+	if From(ctx) != s {
+		t.Fatal("store did not ride the context")
+	}
+	if From(With(ctx, nil)) != nil {
+		t.Fatal("nil With did not detach")
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"wcet/internal/mc"
 	"wcet/internal/obs"
 	"wcet/internal/testgen"
+	"wcet/internal/vcache"
 )
 
 // Options configure an analysis; the zero value uses sensible defaults
@@ -109,6 +110,25 @@ type Journal = journal.Journal
 // analysis; to discard a previous run's records instead of resuming them,
 // call Reset before analysing.
 func OpenJournal(path string) (*Journal, error) { return journal.Open(path) }
+
+// Cache is the persistent verdict store threaded through an analysis via
+// Options.Cache: per-path model-checker verdicts and GA outcomes are
+// memoized on disk under content-addressed keys, so re-analysing a program
+// — or an edited version of it — replays every verdict whose underlying
+// query the edit left untouched instead of re-proving it. The model-checker
+// keys digest the optimized, per-trap-sliced transition system, so an edit
+// in one CFG region leaves the other regions' verdicts servable from cache.
+// A warm run's Report is byte-identical (Report.WriteCanonical) to a clean
+// run's; Report.CachedUnits says how much was replayed. nil disables
+// caching (the default); see OpenCache.
+type Cache = vcache.Store
+
+// OpenCache opens (or creates) the verdict store rooted at dir. The store
+// is safe for concurrent use and survives crashes (records are written
+// atomically); a store written by an incompatible format version is reset
+// to empty. Share one directory across runs — and across programs — to make
+// every analysis incremental.
+func OpenCache(dir string) (*Cache, error) { return vcache.Open(dir) }
 
 // Verdict classifies per-path generation outcomes.
 type Verdict = testgen.Verdict

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache clean
+.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache check-dist lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache bench-dist clean
 
 help:
 	@echo "make build         - compile all packages"
@@ -19,6 +19,7 @@ help:
 	@echo "make check-chaos   - durability suites & chaos soak (kill/resume) under -race"
 	@echo "make check-symbolic- symbolic-lever property & differential suites under -race"
 	@echo "make check-cache   - verdict-cache & fingerprint-coverage suites under -race"
+	@echo "make check-dist    - distributed ledger & multi-process chaos suites under -race"
 	@echo "make lint-prints   - fail on stray stdout writes inside internal/"
 	@echo "make bench         - regenerate every table and figure"
 	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
@@ -27,6 +28,7 @@ help:
 	@echo "make bench-journal - journal overhead benchmarks -> BENCH_4.json"
 	@echo "make bench-symbolic- symbolic lever A/B benchmarks -> BENCH_5.json"
 	@echo "make bench-cache   - cold vs warm verdict-cache A/B -> BENCH_6.json"
+	@echo "make bench-dist    - single-process vs distributed A/B -> BENCH_7.json"
 
 build:
 	$(GO) build ./...
@@ -40,7 +42,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race check-chaos check-symbolic check-cache
+check: build vet test race check-chaos check-symbolic check-cache check-dist
 
 # check-faults re-runs the resilience surface with the race detector on:
 # the fail/faults/par unit suites plus every stage's injected-fault,
@@ -101,6 +103,17 @@ check-cache:
 		-run 'VCache|Fingerprint|LeverFlip|WarmCache' \
 		./internal/testgen ./internal/journal ./internal/tsys \
 		./internal/core ./internal/experiments
+
+# check-dist drives the distributed work ledger under the race detector:
+# the ledger package's own suite (spec round-trip and option-surface
+# coverage, merge shuffle determinism, worker-death reclamation,
+# coordinator restart, repeated-death quarantine), the multi-process chaos
+# acceptance (real SIGKILLed worker processes, a SIGKILLed and restarted
+# coordinator, byte-identity against the single-process reference), and
+# the wcet CLI's distributed smoke tests including the exit-code contract.
+check-dist:
+	$(GO) test -race -count 1 ./internal/ledger ./cmd/wcet
+	$(GO) test -race -count 1 -run 'Dist' ./internal/chaos
 
 # lint-prints guards the stdout/stderr contract: library code under
 # internal/ must never print — results belong to the cmd tools' stdout,
@@ -170,6 +183,16 @@ bench-symbolic:
 bench-cache:
 	$(GO) test -run '^$$' -bench VerdictCacheColdWarm -benchtime 3x . \
 	| $(GO) run ./cmd/benchlog -out BENCH_6.json
+
+# bench-dist measures what distribution costs at case-study scale: the
+# interleaved single-process vs 4-worker A/B on the wiper pipeline (fresh
+# journals per iteration, byte-identity asserted every iteration),
+# appended to BENCH_7.json. At this workload size the coordination
+# overhead dominates, so the speedup metric is a regression canary for
+# that overhead rather than a >1 claim.
+bench-dist:
+	$(GO) test -run '^$$' -bench Distributed -benchtime 3x . \
+	| $(GO) run ./cmd/benchlog -out BENCH_7.json
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@ package wcet
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -306,6 +307,95 @@ func BenchmarkJournalOverhead(b *testing.B) {
 	b.ReportMetric(float64(plain.Nanoseconds())/float64(b.N), "plain-ns/op")
 	b.ReportMetric(float64(journaled.Nanoseconds())/float64(b.N), "journal-ns/op")
 	b.ReportMetric((journaled.Seconds()/plain.Seconds()-1)*100, "overhead-%")
+}
+
+// BenchmarkDistributed is the interleaved A/B for the distributed work
+// ledger on the Section 4 wiper pipeline: a single-process journaled run
+// versus a 4-worker distributed run (in-process workers via the default
+// launcher, a fresh journal per iteration so every unit is computed, none
+// replayed), timed back to back so machine drift hits both legs equally.
+// Both legs pay journal appends, so the ratio isolates the coordination
+// cost — per-round frontier planning, leasing, merging, scoped replay
+// passes — against the fan-out win. At wiper scale (a ~90ms pipeline) the
+// coordination dominates and speedup sits well below 1: the ledger buys
+// fault tolerance for long runs, not latency for short ones. The metric
+// is a regression canary for that overhead, not a >1 claim. Each
+// iteration also asserts the two canonical reports are byte-identical,
+// the ledger's core guarantee.
+func BenchmarkDistributed(b *testing.B) {
+	src := model.Wiper().Emit("wiper_control")
+	opt := Options{
+		FuncName:   "wiper_control",
+		Bound:      8,
+		Exhaustive: true,
+		TestGen: testgen.Config{
+			GA:       ga.Config{Seed: 2005, Pop: 48, MaxGens: 80, Stagnation: 20},
+			Optimise: true,
+		},
+	}
+	spec, err := NewLedgerSpec(src, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	canonical := func(rep *Report) []byte {
+		var buf bytes.Buffer
+		if err := rep.WriteCanonical(&buf); err != nil {
+			b.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	dir := b.TempDir()
+	iter := 0
+	single := func() *Report {
+		j, err := OpenJournal(filepath.Join(dir, fmt.Sprintf("single-%d.journal", iter)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		o := opt
+		o.Journal = j
+		rep, err := Analyze(src, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	distributed := func() *Report {
+		res, err := Distribute(context.Background(), spec, LedgerConfig{
+			JournalPath: filepath.Join(dir, fmt.Sprintf("dist-%d.journal", iter)),
+			Workers:     4,
+			// The default 25ms lease poll is tuned for long multi-process
+			// runs; at benchmark scale it would drown the coordination cost
+			// in idle sleeps.
+			PollInterval: 2 * time.Millisecond,
+			LeaseTicks:   2500,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Quarantined) != 0 {
+			b.Fatalf("healthy benchmark run quarantined %v", res.Quarantined)
+		}
+		return res.Report
+	}
+	single() // warm-up: first run pays parser/GA cache misses
+	var singleT, distT time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter++
+		t0 := time.Now()
+		repS := single()
+		t1 := time.Now()
+		repD := distributed()
+		distT += time.Since(t1)
+		singleT += t1.Sub(t0)
+		if !bytes.Equal(canonical(repS), canonical(repD)) {
+			b.Fatal("distributed report diverges from the single-process report")
+		}
+	}
+	b.ReportMetric(float64(singleT.Milliseconds())/float64(b.N), "single-ms/op")
+	b.ReportMetric(float64(distT.Milliseconds())/float64(b.N), "dist-ms/op")
+	b.ReportMetric(singleT.Seconds()/distT.Seconds(), "speedup")
 }
 
 // BenchmarkGeneralPartitioning is the ablation for the paper's announced

@@ -2,7 +2,7 @@
 // a C source file:
 //
 //	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d]
-//	     [-journal file] [-resume] [-cache dir] [-watch]
+//	     [-journal file] [-resume] [-distribute n] [-cache dir] [-watch]
 //	     [-v] [-trace file] [-metrics file] [-pprof addr] file.c
 //
 // The analysis report goes to stdout; diagnostics, errors and -v progress go
@@ -28,6 +28,20 @@
 // The report says how many verdicts were served from cache versus
 // re-proved; -v marks each cached path verdict.
 //
+// -distribute n runs the analysis as n worker processes under a
+// fault-tolerant coordinator (requires -journal: the journal file is the
+// shared work ledger). The coordinator leases unresolved work units to
+// workers, harvests completed records from their journals — first write
+// wins — and assembles the report from the canonical journal, so the
+// result is byte-identical to a single-process run. Workers may be killed
+// at any instant (their leases are reclaimed and re-assigned); killing
+// the coordinator and re-invoking the same command resumes the run like
+// -resume. A unit that repeatedly kills its workers is quarantined into
+// the degradation ledger instead of hanging the run. -distribute is
+// incompatible with -watch and -cache (the journal is the only shared
+// store). The hidden -ledger-worker flag is the worker entry point the
+// coordinator spawns; it is not meant for interactive use.
+//
 // -watch re-runs the analysis whenever the source file changes (polled;
 // ctrl-c stops). Combined with -cache this is an edit-analyze loop where
 // each iteration re-proves only the regions the edit touched. -watch is
@@ -41,7 +55,10 @@
 //	2  parse, semantic or infrastructure error, or an escaped panic
 //	3  analysis interrupted (timeout/cancellation) or bound degraded/unavailable
 //	4  analysis completed with an exact bound, partly replayed from a journal
+//	5  distributed run completed, but work units that repeatedly killed
+//	   their workers were quarantined — the bound is degraded or unavailable
 //
+// When several codes apply the most severe wins: 5 over 3 over 4 over 0.
 // In -watch mode the process runs until interrupted and exits with the code
 // of the last completed analysis.
 package main
@@ -63,16 +80,17 @@ import (
 )
 
 const (
-	exitOK       = 0
-	exitUsage    = 1
-	exitError    = 2
-	exitDegraded = 3
-	exitResumed  = 4
+	exitOK          = 0
+	exitUsage       = 1
+	exitError       = 2
+	exitDegraded    = 3
+	exitResumed     = 4
+	exitQuarantined = 5
 )
 
-func main() { os.Exit(run()) }
+func main() { os.Exit(run(os.Args[1:])) }
 
-func run() (code int) {
+func run(args []string) (code int) {
 	// Catch any panic that escapes the pipeline's isolation so the exit
 	// code stays meaningful — and, because this defer is registered first,
 	// the trace/metrics exports below it still run during the unwind.
@@ -96,6 +114,8 @@ func run() (code int) {
 	journalFile := fs.String("journal", "", "append completed work units to this crash-safe journal; a killed run can be resumed with -resume")
 	resume := fs.Bool("resume", false, "replay finished units from the -journal file instead of discarding them")
 	cacheDir := fs.String("cache", "", "memoize per-path verdicts in this directory; later runs (of this or an edited program) replay verdicts whose sliced query is unchanged")
+	distribute := fs.Int("distribute", 0, "run the analysis across this many worker processes under a fault-tolerant coordinator (requires -journal)")
+	ledgerWorker := fs.String("ledger-worker", "", "internal: run one distributed-worker assignment file and exit (spawned by -distribute)")
 	watch := fs.Bool("watch", false, "re-run the analysis whenever the source file changes (best with -cache)")
 	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event file of the pipeline stages")
@@ -105,8 +125,19 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "usage: wcet [flags] file.c")
 		fs.PrintDefaults()
 	}
-	if err := fs.Parse(os.Args[1:]); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return exitUsage
+	}
+	if *ledgerWorker != "" {
+		// Worker mode: the whole process is one leased shard. Signals still
+		// cancel cleanly; everything already journaled survives regardless.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := wcet.LedgerWorker(ctx, *ledgerWorker); err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
+		}
+		return exitOK
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -120,6 +151,19 @@ func run() (code int) {
 		fmt.Fprintln(os.Stderr, "wcet: -watch is incompatible with -journal (a journal is bound to one program identity)")
 		return exitUsage
 	}
+	if *distribute > 0 {
+		switch {
+		case *journalFile == "":
+			fmt.Fprintln(os.Stderr, "wcet: -distribute requires -journal (the journal file is the shared work ledger)")
+			return exitUsage
+		case *watch:
+			fmt.Fprintln(os.Stderr, "wcet: -distribute is incompatible with -watch")
+			return exitUsage
+		case *cacheDir != "":
+			fmt.Fprintln(os.Stderr, "wcet: -distribute is incompatible with -cache (the journal is the only store shared with workers)")
+			return exitUsage
+		}
+	}
 	srcPath := fs.Arg(0)
 	src, err := os.ReadFile(srcPath)
 	if err != nil {
@@ -127,17 +171,27 @@ func run() (code int) {
 		return exitError
 	}
 	var jnl *wcet.Journal
+	var resumedPrior bool
 	if *journalFile != "" {
 		if jnl, err = wcet.OpenJournal(*journalFile); err != nil {
 			fmt.Fprintln(os.Stderr, "wcet:", err)
 			return exitError
 		}
-		defer jnl.Close()
 		if !*resume {
 			if err := jnl.Reset(); err != nil {
+				jnl.Close()
 				fmt.Fprintln(os.Stderr, "wcet:", err)
 				return exitError
 			}
+		}
+		resumedPrior = jnl.Len() > 0
+		if *distribute > 0 {
+			// The coordinator opens (and locks) the canonical journal itself;
+			// this handle only applied the reset-unless-resume policy.
+			jnl.Close()
+			jnl = nil
+		} else {
+			defer jnl.Close()
 		}
 	}
 	var cache *wcet.Cache
@@ -190,16 +244,13 @@ func run() (code int) {
 		defer cancel()
 	}
 
-	analyzeOnce := func(text string) int {
-		report, err := wcet.AnalyzeCtx(ctx, text, wcet.Options{
+	baseOptions := func() wcet.Options {
+		return wcet.Options{
 			FuncName:   *funcName,
 			Bound:      *bound,
 			Exhaustive: *exhaustive,
 			Workers:    *workers,
 			MCTimeout:  *mcTimeout,
-			Obs:        ob,
-			Journal:    jnl,
-			Cache:      cache,
 			TestGen: wcet.TestGenConfig{
 				GA:       wcet.GAConfig{Seed: *seed},
 				Optimise: true,
@@ -209,7 +260,47 @@ func run() (code int) {
 					NoPool:    *noPool,
 				},
 			},
+		}
+	}
+
+	if *distribute > 0 {
+		spec, err := wcet.NewLedgerSpec(string(src), baseOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
+		}
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
+		}
+		res, err := wcet.Distribute(ctx, spec, wcet.LedgerConfig{
+			JournalPath: *journalFile,
+			Workers:     *distribute,
+			Launcher:    wcet.ProcessLauncher(self, "-ledger-worker"),
+			Obs:         ob,
 		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			if wcet.Interrupted(err) {
+				return exitDegraded
+			}
+			return exitError
+		}
+		printReport(res.Report, *bound, false, *verbose)
+		if len(res.Quarantined) > 0 {
+			fmt.Fprintf(os.Stderr, "wcet: %d work unit(s) quarantined after repeatedly killing their workers: %v\n",
+				len(res.Quarantined), res.Quarantined)
+		}
+		return distExitCode(res, resumedPrior)
+	}
+
+	analyzeOnce := func(text string) int {
+		opt := baseOptions()
+		opt.Obs = ob
+		opt.Journal = jnl
+		opt.Cache = cache
+		report, err := wcet.AnalyzeCtx(ctx, text, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wcet:", err)
 			if wcet.Interrupted(err) {
@@ -243,6 +334,22 @@ func run() (code int) {
 		src = next
 		fmt.Printf("\n--- %s changed, re-analysing ---\n", srcPath)
 	}
+}
+
+// distExitCode maps a distributed run's outcome to the exit-code contract;
+// when several codes apply the most severe wins: 5 over 3 over 4 over 0.
+// resumedPrior distinguishes "resumed an earlier invocation's journal" from
+// the assembly replay every distributed run performs over its own records.
+func distExitCode(res *wcet.LedgerResult, resumedPrior bool) int {
+	switch {
+	case len(res.Quarantined) > 0:
+		return exitQuarantined
+	case res.Report.Soundness != wcet.BoundExact:
+		return exitDegraded
+	case resumedPrior:
+		return exitResumed
+	}
+	return exitOK
 }
 
 // printReport renders the analysis report to stdout.

@@ -179,7 +179,7 @@ func runLife(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt core.Options,
 		// The hook runs after the append is durable, so every killed life
 		// still makes progress: at least one fresh record survives it.
 		killAt := j.Len() + 1 + rng.Intn(spread)
-		j.SetAppendHook(func(total int) {
+		j.SetAppendHook(func(_ string, total int) {
 			if total >= killAt {
 				cancel()
 			}

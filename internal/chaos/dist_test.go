@@ -1,0 +1,335 @@
+package chaos
+
+// Multi-process distributed chaos: the ledger's coordinator/worker
+// protocol under real SIGKILL. The test binary re-execs itself in two
+// roles, dispatched by TestMain before the test framework parses flags:
+//
+//	CHAOS_LEDGER_WORKER=1  — run one ledger worker on the assignment file
+//	                         passed as the last argument; when
+//	                         CHAOS_KILL_AFTER=N is set, SIGKILL our own
+//	                         process the moment the Nth record is durable.
+//	CHAOS_LEDGER_COORD=1   — run a whole distributed coordinator (spec
+//	                         from CHAOS_SPEC_FILE, canonical journal at
+//	                         CHAOS_JOURNAL), spawning workers via the
+//	                         worker role with a kill schedule from
+//	                         CHAOS_KILL_SCHEDULE. The parent test SIGKILLs
+//	                         this process mid-run to model a coordinator
+//	                         crash.
+//
+// The worker role is checked first: a worker spawned by the coordinator
+// role inherits the coordinator's environment and carries both flags.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"wcet/internal/core"
+	"wcet/internal/faults"
+	"wcet/internal/journal"
+	"wcet/internal/ledger"
+	"wcet/internal/model"
+)
+
+func TestMain(m *testing.M) {
+	switch {
+	case os.Getenv("CHAOS_LEDGER_WORKER") == "1":
+		os.Exit(distWorkerMain())
+	case os.Getenv("CHAOS_LEDGER_COORD") == "1":
+		os.Exit(distCoordMain())
+	}
+	os.Exit(m.Run())
+}
+
+// distWorkerMain is the re-exec worker role: a real ledger worker process
+// that optionally SIGKILLs itself after N durable appends — the genuine
+// kill-anywhere case, not a modelled one.
+func distWorkerMain() int {
+	assignment := os.Args[len(os.Args)-1]
+	var opts ledger.WorkerOptions
+	if n, err := strconv.Atoi(os.Getenv("CHAOS_KILL_AFTER")); err == nil && n > 0 {
+		opts.AppendHook = func(_ string, total int) {
+			if total >= n {
+				_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	if err := ledger.RunWorker(context.Background(), assignment, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos worker:", err)
+		return 1
+	}
+	return 0
+}
+
+// distCoordMain is the re-exec coordinator role, so the parent test can
+// SIGKILL an entire distributed run (coordinator included) from outside.
+func distCoordMain() int {
+	data, err := os.ReadFile(os.Getenv("CHAOS_SPEC_FILE"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos coord:", err)
+		return 1
+	}
+	var spec ledger.Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos coord:", err)
+		return 1
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos coord:", err)
+		return 1
+	}
+	cfg := ledger.Config{
+		JournalPath:  os.Getenv("CHAOS_JOURNAL"),
+		Workers:      4,
+		PollInterval: 10 * time.Millisecond,
+		LeaseTicks:   1000,
+		Launcher: &ledger.ProcLauncher{
+			Command: []string{self},
+			Env:     killScheduleEnv(os.Getenv("CHAOS_KILL_SCHEDULE")),
+		},
+	}
+	if _, err := ledger.Run(context.Background(), spec, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos coord:", err)
+		return 1
+	}
+	return 0
+}
+
+// killScheduleEnv builds a ProcLauncher env hook that doles the comma-
+// separated append counts out to the first spawned workers, one each;
+// later spawns run unkilled.
+func killScheduleEnv(schedule string) func(string) []string {
+	var mu sync.Mutex
+	var pending []string
+	if schedule != "" {
+		pending = strings.Split(schedule, ",")
+	}
+	return func(string) []string {
+		env := []string{"CHAOS_LEDGER_WORKER=1"}
+		mu.Lock()
+		if len(pending) > 0 {
+			env = append(env, "CHAOS_KILL_AFTER="+pending[0])
+			pending = pending[1:]
+		}
+		mu.Unlock()
+		return env
+	}
+}
+
+func distWiperOptions() core.Options {
+	opt := wiperOptions(0)
+	opt.FuncName = "wiper_control"
+	return opt
+}
+
+// healRules is the fault campaign armed identically in the reference run
+// and in every worker process: a transient search failure the retry
+// policy heals. Unit records are pure per (unit, attempt), so the healed
+// attempt history renders identically however often the unit's worker was
+// killed and re-leased.
+func healRules() []faults.Rule {
+	return []faults.Rule{{Site: "testgen.search", Index: 1, MaxFires: 2}}
+}
+
+func healFaultRules() []ledger.FaultRule {
+	return []ledger.FaultRule{{Site: "testgen.search", Index: 1, Mode: "fail", MaxFires: 2}}
+}
+
+// TestDistSoakKillEverywhereByteIdentical is the distributed chaos
+// acceptance on the wiper case study: a 4-worker run under fault
+// injection, with workers SIGKILLed at three distinct progress points
+// (after 1, 3 and 2 durable appends) and the coordinator process itself
+// SIGKILLed mid-run and restarted, must converge to a canonical report
+// byte-identical to the single-process reference.
+func TestDistSoakKillEverywhereByteIdentical(t *testing.T) {
+	file, fn, g := wiper(t)
+	opt := distWiperOptions()
+
+	ref, err := core.AnalyzeGraphCtx(
+		faults.With(context.Background(), faults.New(healRules()...)),
+		file, fn, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := canonical(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := ledger.SpecFor(model.Wiper().Emit("wiper_control"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = healFaultRules()
+
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.journal")
+	specPath := filepath.Join(dir, "spec.json")
+	data, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a whole coordinator process, workers being SIGKILLed after
+	// 1 and 3 appends. Its own process group so the coordinator kill takes
+	// the surviving workers down too — their journals stay on disk for the
+	// restarted coordinator to harvest.
+	coord := exec.Command(self)
+	coord.Env = append(os.Environ(),
+		"CHAOS_LEDGER_COORD=1",
+		"CHAOS_SPEC_FILE="+specPath,
+		"CHAOS_JOURNAL="+jpath,
+		"CHAOS_KILL_SCHEDULE=1,3",
+	)
+	coord.Stdout = os.Stderr
+	coord.Stderr = os.Stderr
+	coord.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for durable progress in the canonical journal — at least the
+	// records harvested from the two killed workers — then SIGKILL the
+	// whole coordinator group mid-run.
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if records, _, err := journal.ReadFile(jpath); err == nil && len(records) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = syscall.Kill(-coord.Process.Pid, syscall.SIGKILL)
+			t.Fatal("coordinator made no mergeable progress within the deadline")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := syscall.Kill(-coord.Process.Pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.Wait()
+	preRecords, _, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatalf("canonical journal unreadable after coordinator kill: %v", err)
+	}
+	if len(preRecords) == 0 {
+		t.Fatal("no durable progress survived the coordinator kill")
+	}
+
+	// Phase 2: restart the coordinator in-process on the same journal and
+	// work dir, with one more worker SIGKILL (after 2 appends). It must
+	// harvest phase 1's worker journals and converge.
+	cfg := ledger.Config{
+		JournalPath:  jpath,
+		Workers:      4,
+		PollInterval: 10 * time.Millisecond,
+		LeaseTicks:   1000,
+		Launcher: &ledger.ProcLauncher{
+			Command: []string{self},
+			Env:     killScheduleEnv("2"),
+		},
+	}
+	res, err := ledger.Run(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("single kills must never quarantine, got %v", res.Quarantined)
+	}
+	if res.Report.ResumedUnits == 0 {
+		t.Error("restarted coordinator resumed nothing from phase 1")
+	}
+	got, err := canonical(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("distributed chaos run diverged from single-process reference:\n--- reference\n%s\n--- distributed\n%s", want, got)
+	}
+}
+
+// TestDistStallQuarantineUnavailable: a unit whose model-checker call
+// stalls forever wedges every worker process it is leased to; the lease
+// expires, the coordinator SIGKILLs the real process, re-leases the unit
+// solo, and after the second death quarantines it as an unresolved unit —
+// the run terminates with a BoundUnavailable report instead of hanging.
+func TestDistStallQuarantineUnavailable(t *testing.T) {
+	const stepSrc = `
+/*@ input */ /*@ range 0 2 */ int sel;
+/*@ input */ /*@ range 0 20 */ char x;
+int r;
+void step(void) {
+    r = 0;
+    switch (sel) {
+    case 0:
+        if (x > 10) { r = 1; } else { r = 2; }
+        break;
+    case 1:
+        r = x * 2;
+        r = r + 1;
+        break;
+    default:
+        r = 9;
+        break;
+    }
+}
+`
+	opt := core.Options{
+		FuncName:      "step",
+		Bound:         8,
+		MaxExhaustive: 10, // 63 vectors: too many to enumerate, so no fallback
+	}
+	opt.TestGen.SkipGA = true
+	opt.TestGen.GA.Seed = 5
+	spec, err := ledger.SpecFor(stepSrc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Faults = []ledger.FaultRule{
+		{Site: "testgen.mc", Index: 0, Mode: "stall", Delay: 5 * time.Minute},
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := ledger.Config{
+		JournalPath:   filepath.Join(dir, "run.journal"),
+		Workers:       2,
+		PollInterval:  5 * time.Millisecond,
+		LeaseTicks:    60, // stalled workers are killed after ~300ms of silence
+		MaxFatalities: 2,
+		Launcher: &ledger.ProcLauncher{
+			Command: []string{self},
+			Env:     killScheduleEnv(""),
+		},
+	}
+	res, err := ledger.Run(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 1 || !strings.HasPrefix(res.Quarantined[0], "tg/") {
+		t.Fatalf("quarantined = %v, want exactly one tg/ unit", res.Quarantined)
+	}
+	if res.Reclaimed < 2 {
+		t.Errorf("reclaimed = %d, want >= 2 (the poisoned unit must be reclaimed once per death)", res.Reclaimed)
+	}
+	if res.Report.Soundness != core.BoundUnavailable {
+		t.Errorf("soundness = %v, want BoundUnavailable", res.Report.Soundness)
+	}
+}

@@ -109,6 +109,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// resolvedTestGen is the generator configuration the stages actually see:
+// the Section 3.2 optimisations always on, worker count and per-call
+// model-checker timeout filled from the top-level options. The journal
+// fingerprint digests exactly this resolved form, so every consumer
+// (analysis, frontier planning, distributed workers) must resolve the same
+// way.
+func (o Options) resolvedTestGen() testgen.Config {
+	tg := o.TestGen
+	tg.Optimise = true
+	if tg.Workers == 0 {
+		tg.Workers = o.Workers
+	}
+	if tg.MC.Timeout == 0 {
+		tg.MC.Timeout = o.MCTimeout
+	}
+	return tg
+}
+
 // Soundness classifies how much trust the computed WCET bound deserves.
 type Soundness int
 
@@ -249,31 +267,42 @@ func Analyze(src string, opt Options) (*Report, error) {
 // deadline expire) unwinds every stage cooperatively and returns a
 // structured fail.ErrCancelled / fail.ErrBudgetExceeded.
 func AnalyzeCtx(ctx context.Context, src string, opt Options) (*Report, error) {
-	opt = opt.withDefaults()
 	sp := opt.Obs.Span("stage", "frontend", "00/frontend")
-	file, err := parser.ParseFile("input.c", src)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := sem.Check(file); err != nil {
-		return nil, err
-	}
-	var fn *ast.FuncDecl
-	if opt.FuncName == "" {
-		if len(file.Funcs) == 0 {
-			return nil, fmt.Errorf("core: no function to analyse")
-		}
-		fn = file.Funcs[0]
-	} else if fn = file.Func(opt.FuncName); fn == nil {
-		return nil, fmt.Errorf("core: function %q not found", opt.FuncName)
-	}
-	g, err := cfg.Build(fn)
+	file, fn, g, err := Frontend(src, opt.FuncName)
 	if err != nil {
 		return nil, err
 	}
 	sp.End("func", fn.Name, "blocks", g.NumNodes())
 	opt.Obs.Progressf("frontend: parsed %s (%d blocks)", fn.Name, g.NumNodes())
 	return AnalyzeGraphCtx(ctx, file, fn, g, opt)
+}
+
+// Frontend runs the analysis front end alone: parse, semantic check,
+// function selection (funcName, "" = first) and CFG construction. The
+// distributed coordinator and its workers use it to agree on the analysed
+// graph before any pipeline stage runs.
+func Frontend(src, funcName string) (*ast.File, *ast.FuncDecl, *cfg.Graph, error) {
+	file, err := parser.ParseFile("input.c", src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err := sem.Check(file); err != nil {
+		return nil, nil, nil, err
+	}
+	var fn *ast.FuncDecl
+	if funcName == "" {
+		if len(file.Funcs) == 0 {
+			return nil, nil, nil, fmt.Errorf("core: no function to analyse")
+		}
+		fn = file.Funcs[0]
+	} else if fn = file.Func(funcName); fn == nil {
+		return nil, nil, nil, fmt.Errorf("core: function %q not found", funcName)
+	}
+	g, err := cfg.Build(fn)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return file, fn, g, nil
 }
 
 // AnalyzeGraph runs the pipeline on a prebuilt CFG.
@@ -303,14 +332,7 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 
 	// The generator configuration is resolved up front: the journal
 	// fingerprint must digest the exact configuration the stages will see.
-	tgConf := opt.TestGen
-	tgConf.Optimise = true
-	if tgConf.Workers == 0 {
-		tgConf.Workers = opt.Workers
-	}
-	if tgConf.MC.Timeout == 0 {
-		tgConf.MC.Timeout = opt.MCTimeout
-	}
+	tgConf := opt.resolvedTestGen()
 
 	// Durable runs: bind the journal to this (program, options) identity
 	// and thread it through the context like the observer and the fault

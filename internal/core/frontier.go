@@ -1,0 +1,101 @@
+// Frontier planning for distributed runs: given the canonical run journal,
+// compute which pipeline stage is the first with unresolved unit keys —
+// and exactly which keys — so a coordinator can lease them out to worker
+// processes. The frontier is a pure function of (program, options, journal
+// records): every read is non-hit-counting, so planning never inflates the
+// resumed-unit accounting of the run that eventually assembles the report.
+package core
+
+import (
+	"fmt"
+
+	"wcet/internal/cc/ast"
+	"wcet/internal/cfg"
+	"wcet/internal/fail"
+	"wcet/internal/measure"
+	"wcet/internal/partition"
+	"wcet/internal/testgen"
+)
+
+// Frontier stages, in pipeline order. The frontier always names the first
+// stage with missing unit keys: a later stage's keys are not even
+// enumerable until the earlier stages' records exist (the campaign's
+// vector count depends on every generation verdict).
+const (
+	StageGA         = "ga"
+	StageMC         = "mc"
+	StageCampaign   = "campaign"
+	StageFallback   = "fallback"
+	StageExhaustive = "exhaustive"
+	StageDone       = "done"
+)
+
+// Frontier is the distributed run's current work front.
+type Frontier struct {
+	// Stage is the first pipeline stage with unresolved units (StageDone
+	// when the journal already holds every record the report needs).
+	Stage string
+	// Keys lists the stage's missing unit keys in deterministic pipeline
+	// order (empty for StageDone).
+	Keys []string
+}
+
+// FingerprintOf exposes the journal-binding fingerprint of an analysis,
+// so a coordinator and its workers can verify they agree on the identity
+// before sharing records.
+func FingerprintOf(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) string {
+	opt = opt.withDefaults()
+	return fingerprint(file, fn, g, opt, opt.resolvedTestGen())
+}
+
+// FrontierOf computes the work frontier of a journaled analysis. It
+// requires opt.Journal, binds it to the analysis fingerprint (idempotent —
+// a mismatch resets the journal exactly like AnalyzeGraphCtx would), and
+// reads records without counting resume hits.
+func FrontierOf(file *ast.File, fn *ast.FuncDecl, g *cfg.Graph, opt Options) (*Frontier, error) {
+	opt = opt.withDefaults()
+	j := opt.Journal
+	if j == nil {
+		return nil, fmt.Errorf("core: FrontierOf requires Options.Journal")
+	}
+	tgConf := opt.resolvedTestGen()
+	if _, err := j.Bind(fingerprint(file, fn, g, opt, tgConf)); err != nil {
+		return nil, fail.Infra("core", err)
+	}
+	plan, err := partition.PartitionBound(g, opt.Bound)
+	if err != nil {
+		return nil, err
+	}
+	targets, _, err := planTargets(g, plan)
+	if err != nil {
+		return nil, err
+	}
+	gen := testgen.New(file, fn, g)
+	prog := gen.Progress(j, targets, tgConf)
+	if len(prog.MissingGA) > 0 {
+		return &Frontier{Stage: StageGA, Keys: prog.MissingGA}, nil
+	}
+	if len(prog.MissingMC) > 0 {
+		return &Frontier{Stage: StageMC, Keys: prog.MissingMC}, nil
+	}
+	if keys := measure.MissingKeys(j, "campaign", len(prog.Envs)); len(keys) > 0 {
+		return &Frontier{Stage: StageCampaign, Keys: keys}, nil
+	}
+	exhaustiveEnvs, enumerable := enumerateAll(gen, tgConf.Base, opt.MaxExhaustive)
+	if prog.Unknown {
+		if !enumerable {
+			// Unavailable bound: the pipeline stops right after the campaign,
+			// so there is nothing left to distribute.
+			return &Frontier{Stage: StageDone}, nil
+		}
+		if keys := measure.MissingKeys(j, "fallback", len(exhaustiveEnvs)); len(keys) > 0 {
+			return &Frontier{Stage: StageFallback, Keys: keys}, nil
+		}
+	}
+	if opt.Exhaustive && enumerable {
+		if keys := measure.MissingKeys(j, "exhaustive", len(exhaustiveEnvs)); len(keys) > 0 {
+			return &Frontier{Stage: StageExhaustive, Keys: keys}, nil
+		}
+	}
+	return &Frontier{Stage: StageDone}, nil
+}

@@ -43,7 +43,7 @@ func runJournaled(t *testing.T, workers int, path string, killAt int, rules ...f
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	if killAt > 0 {
-		j.SetAppendHook(func(total int) {
+		j.SetAppendHook(func(_ string, total int) {
 			if total >= killAt {
 				cancel()
 			}

@@ -1,0 +1,194 @@
+package journal
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Two Opens of one path must conflict — the advisory lock is what keeps a
+// coordinator and a stray worker from interleaving frames into one file.
+func TestOpenLockedTwice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	if err := j.Put("tg/a", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	second, err := Open(path)
+	if err == nil {
+		second.Close()
+		t.Fatal("second Open of a locked journal succeeded, want ErrLocked")
+	}
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open error = %v, want ErrLocked", err)
+	}
+	// Closing the first handle releases the lock.
+	j.Close()
+	third, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open after Close = %v, want success", err)
+	}
+	defer third.Close()
+	if v, ok := third.Get("tg/a"); !ok || string(v) != "v" {
+		t.Fatalf("record lost across lock cycle: (%q, %v)", v, ok)
+	}
+}
+
+func TestSyncMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.SetSync(true)
+	if err := j.Put("tg/a", []byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	j.SetSync(false)
+	if err := j.Put("tg/b", []byte("unsynced")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	r := openT(t, path)
+	for k, want := range map[string]string{"tg/a": "synced", "tg/b": "unsynced"} {
+		if v, ok := r.Get(k); !ok || string(v) != want {
+			t.Errorf("Get(%s) = (%q, %v), want %q", k, v, ok, want)
+		}
+	}
+	// Nil journal: no-op.
+	(*Journal)(nil).SetSync(true)
+}
+
+// Has/Peek/PeekJSON are planning reads: they must not inflate Hits, which
+// feeds Report.ResumedUnits.
+func TestPeekDoesNotCountHits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	if err := j.PutJSON("tg/a", map[string]int{"v": 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Has("tg/a") || j.Has("tg/b") {
+		t.Error("Has answered wrong")
+	}
+	if v, ok := j.Peek("tg/a"); !ok || len(v) == 0 {
+		t.Error("Peek missed an existing record")
+	}
+	var m map[string]int
+	if !j.PeekJSON("tg/a", &m) || m["v"] != 7 {
+		t.Errorf("PeekJSON = %v, want v=7", m)
+	}
+	if j.Hits() != 0 {
+		t.Errorf("Hits after planning reads = %d, want 0", j.Hits())
+	}
+	if _, ok := j.Get("tg/a"); !ok || j.Hits() != 1 {
+		t.Errorf("Get should count exactly one hit, got %d", j.Hits())
+	}
+	if fp, ok := j.Fingerprint(); ok || fp != "" {
+		t.Errorf("Fingerprint on unbound journal = (%q, %v), want absent", fp, ok)
+	}
+	if _, err := j.Bind("fp-x"); err != nil {
+		t.Fatal(err)
+	}
+	if fp, ok := j.Fingerprint(); !ok || fp != "fp-x" {
+		t.Errorf("Fingerprint = (%q, %v), want fp-x", fp, ok)
+	}
+	if j.Appended() != 2 {
+		t.Errorf("Appended = %d, want 2 (one record + fingerprint)", j.Appended())
+	}
+}
+
+// ReadFile snapshots a journal another handle holds locked, stops at a
+// torn tail, and splits out the fingerprint.
+func TestReadFileSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	if _, err := j.Bind("fp-snap"); err != nil {
+		t.Fatal(err)
+	}
+	j.Put("tg/a", []byte("va"))
+	j.Put("tg/b", []byte("vb"))
+
+	// Locked by j — ReadFile must still work.
+	recs, fp, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != "fp-snap" {
+		t.Errorf("fingerprint = %q, want fp-snap", fp)
+	}
+	if len(recs) != 2 || string(recs["tg/a"]) != "va" || string(recs["tg/b"]) != "vb" {
+		t.Errorf("records = %v", recs)
+	}
+	j.Close()
+
+	// Torn tail: the snapshot ends at the last intact frame.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 1, 2}) // length=9 but only 2 payload bytes
+	f.Close()
+	recs, fp, err = ReadFile(path)
+	if err != nil || fp != "fp-snap" || len(recs) != 2 {
+		t.Errorf("ReadFile with torn tail = (%d recs, %q, %v), want (2, fp-snap, nil)", len(recs), fp, err)
+	}
+}
+
+func TestScopeLifecycle(t *testing.T) {
+	s := NewScope([]string{"ga/a", "ga/b", "ga/a"}) // duplicate collapses
+	if !s.Owns("ga/a") || s.Owns("tg/x") {
+		t.Error("ownership wrong")
+	}
+	if s.Drained() {
+		t.Error("fresh scope reports drained")
+	}
+	fired := 0
+	s.OnDrained(func() { fired++ })
+	s.Complete("tg/x") // unowned: ignored
+	s.Complete("ga/a")
+	s.Complete("ga/a") // repeat: ignored
+	if got := s.Remaining(); len(got) != 1 || got[0] != "ga/b" {
+		t.Errorf("Remaining = %v, want [ga/b]", got)
+	}
+	if fired != 0 {
+		t.Error("drained early")
+	}
+	s.Complete("ga/b")
+	if fired != 1 || !s.Drained() {
+		t.Errorf("fired=%d drained=%v, want 1/true", fired, s.Drained())
+	}
+	// Registering on an already-drained scope fires immediately.
+	s.OnDrained(func() { fired++ })
+	if fired != 2 {
+		t.Errorf("late OnDrained fired=%d, want 2", fired)
+	}
+
+	// Nil scope: unscoped semantics.
+	var nilScope *Scope
+	if !nilScope.Owns("anything") {
+		t.Error("nil scope must own everything")
+	}
+	if nilScope.Drained() {
+		t.Error("nil scope must never drain")
+	}
+	nilScope.Complete("anything")
+	if nilScope.Remaining() != nil {
+		t.Error("nil scope Remaining should be nil")
+	}
+
+	// Context plumbing.
+	ctx := WithScope(context.Background(), s)
+	if ScopeFrom(ctx) != s {
+		t.Error("scope lost in context")
+	}
+	if ScopeFrom(context.Background()) != nil {
+		t.Error("empty context should yield nil scope")
+	}
+
+	// An empty scope is drained from birth; OnDrained fires at once.
+	empty := NewScope(nil)
+	immediate := false
+	empty.OnDrained(func() { immediate = true })
+	if !immediate || !empty.Drained() {
+		t.Error("empty scope must drain immediately")
+	}
+}

@@ -28,6 +28,23 @@
 // journal against a different program or configuration resets it to empty
 // instead of silently reusing stale results.
 //
+// # Durability and multi-process safety
+//
+// Open takes an exclusive advisory lock (flock) on the journal file for the
+// life of the handle, so two processes can never interleave frames into one
+// file; a second Open of a locked path fails with ErrLocked. The lock is
+// per open file description: a second Open in the same process conflicts
+// too, which is deliberate — one journal file has exactly one writer.
+// ReadFile is the lock-free complement for readers that can tolerate a
+// snapshot (the distributed coordinator merging a dead worker's journal).
+//
+// By default appends reach the operating system (a write syscall) but are
+// not fsynced: a record is durable against the process dying — SIGKILL,
+// panic, torn final write — the moment Put returns, but an ill-timed power
+// loss or kernel crash can still lose recently appended frames. Callers
+// that need power-loss durability (the distributed ledger's merge of
+// completion records) opt in with SetSync, which fsyncs after every append.
+//
 // All methods are nil-receiver safe, so pipeline stages journal
 // unconditionally and an un-journaled run pays one nil check per site.
 package journal
@@ -36,11 +53,16 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"sync"
 )
+
+// ErrLocked reports that the journal file is already open — by another
+// process, or by another handle in this one. Matched with errors.Is.
+var ErrLocked = errors.New("journal file locked by another process")
 
 // fingerprintKey is the reserved key binding a journal to one (program,
 // options) identity. It starts with a NUL so no stage key can collide.
@@ -58,24 +80,36 @@ type Journal struct {
 	path    string
 	f       *os.File
 	records map[string][]byte
+	// sync, when set, fsyncs after every append (see SetSync).
+	sync bool
 	// appended counts frames written by this process (not replayed ones);
 	// hits counts Get calls that found a record — the resumed-unit count.
 	appended int
 	hits     int
-	// appendHook, when set, observes every successful append with the
-	// running appended count. The chaos harness uses it to kill a run after
-	// a chosen amount of progress. Called with the journal lock held: the
-	// hook must not call back into the Journal.
-	appendHook func(total int)
+	// appendHook, when set, observes every successful append with the key
+	// just written and the running appended count. The chaos harness uses
+	// it to kill a run after a chosen amount of progress; distributed
+	// workers use it to detect when their assigned units have drained.
+	// Called with the journal lock held: the hook must not call back into
+	// the Journal.
+	appendHook func(key string, total int)
 }
 
-// Open opens (or creates) the journal at path, replays every intact frame
-// into memory, and truncates any torn tail so subsequent appends start at
-// a clean frame boundary.
+// Open opens (or creates) the journal at path, takes an exclusive advisory
+// lock on it (failing with ErrLocked if another handle holds it), replays
+// every intact frame into memory, and truncates any torn tail so
+// subsequent appends start at a clean frame boundary.
 func Open(path string) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		if errors.Is(err, ErrLocked) {
+			return nil, fmt.Errorf("journal: %s: %w", path, ErrLocked)
+		}
+		return nil, fmt.Errorf("journal: locking %s: %w", path, err)
 	}
 	j := &Journal{path: path, f: f, records: map[string][]byte{}}
 	if err := j.replay(); err != nil {
@@ -92,7 +126,28 @@ func (j *Journal) replay() error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	good := 0
+	good := scanFrames(data, func(key string, val []byte) {
+		if _, dup := j.records[key]; !dup {
+			// First intact record wins: records are content-addressed, so a
+			// duplicate append of the same key carries the same content.
+			j.records[key] = val
+		}
+	})
+	if good < len(data) {
+		if err := j.f.Truncate(int64(good)); err != nil {
+			return fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := j.f.Seek(int64(good), 0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// scanFrames walks the framed records in data, calling visit for each
+// intact one in file order, and returns the byte offset of the first bad
+// frame (== len(data) for a clean file).
+func scanFrames(data []byte, visit func(key string, val []byte)) (good int) {
 	for good < len(data) {
 		rest := data[good:]
 		if len(rest) < 8 {
@@ -110,22 +165,33 @@ func (j *Journal) replay() error {
 		if !ok {
 			break
 		}
-		if _, dup := j.records[key]; !dup {
-			// First intact record wins: records are content-addressed, so a
-			// duplicate append of the same key carries the same content.
-			j.records[key] = val
-		}
+		visit(key, val)
 		good += 8 + int(length)
 	}
-	if good < len(data) {
-		if err := j.f.Truncate(int64(good)); err != nil {
-			return fmt.Errorf("journal: truncating torn tail: %w", err)
+	return good
+}
+
+// ReadFile loads a snapshot of the journal file at path without locking or
+// modifying it: every intact frame up to the first bad one, first write
+// wins, with the fingerprint record split out. The distributed coordinator
+// uses it to harvest records from a dead (or still-running) worker's
+// journal — a torn tail simply ends the snapshot early.
+func ReadFile(path string) (records map[string][]byte, fingerprint string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("journal: %w", err)
+	}
+	records = map[string][]byte{}
+	scanFrames(data, func(key string, val []byte) {
+		if _, dup := records[key]; !dup {
+			records[key] = val
 		}
+	})
+	if fp, ok := records[fingerprintKey]; ok {
+		fingerprint = string(fp)
+		delete(records, fingerprintKey)
 	}
-	if _, err := j.f.Seek(int64(good), 0); err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	return nil
+	return records, fingerprint, nil
 }
 
 func splitPayload(payload []byte) (key string, val []byte, ok bool) {
@@ -137,8 +203,9 @@ func splitPayload(payload []byte) (key string, val []byte, ok bool) {
 	return key, payload[n+int(klen):], true
 }
 
-// Close releases the underlying file. Records already appended stay on
-// disk; the journal must not be used afterwards.
+// Close releases the underlying file (and with it the advisory lock).
+// Records already appended stay on disk; the journal must not be used
+// afterwards.
 func (j *Journal) Close() error {
 	if j == nil || j.f == nil {
 		return nil
@@ -178,6 +245,28 @@ func (j *Journal) Hits() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.hits
+}
+
+// Appended reports how many frames this process has written since Open.
+func (j *Journal) Appended() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Fingerprint returns the identity the journal is bound to, if Bind (here
+// or in a previous run) has recorded one.
+func (j *Journal) Fingerprint() (string, bool) {
+	if j == nil {
+		return "", false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	fp, ok := j.records[fingerprintKey]
+	return string(fp), ok
 }
 
 // Bind ties the journal to one (program, options) fingerprint. A journal
@@ -243,6 +332,40 @@ func (j *Journal) Get(key string) ([]byte, bool) {
 	return v, ok
 }
 
+// Has reports whether key is journaled, without counting a resume hit.
+// Planning reads (the distributed frontier, merge bookkeeping) use it so
+// Report.ResumedUnits keeps meaning "units replayed instead of computed".
+func (j *Journal) Has(key string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.records[key]
+	return ok
+}
+
+// Peek returns the journaled value for key without counting a resume hit.
+func (j *Journal) Peek(key string) ([]byte, bool) {
+	if j == nil {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.records[key]
+	return v, ok
+}
+
+// PeekJSON decodes the journaled value for key into v without counting a
+// resume hit; a record that fails to decode is treated as absent.
+func (j *Journal) PeekJSON(key string, v any) bool {
+	data, ok := j.Peek(key)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
 // Put appends one record. Appending a key that is already journaled is a
 // no-op (records are content-addressed; the first write wins), so resumed
 // runs may re-put replayed units without growing the file.
@@ -273,10 +396,15 @@ func (j *Journal) appendLocked(key string, val []byte) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+	}
 	j.records[key] = val
 	j.appended++
 	if j.appendHook != nil {
-		j.appendHook(j.appended)
+		j.appendHook(key, j.appended)
 	}
 	return nil
 }
@@ -305,11 +433,26 @@ func (j *Journal) GetJSON(key string, v any) bool {
 	return json.Unmarshal(data, v) == nil
 }
 
-// SetAppendHook installs a test hook observing every append with the
-// running per-process append count. The chaos soak harness uses it to
-// cancel a run after a chosen amount of durable progress. The hook runs
-// with the journal lock held and must not call back into the Journal.
-func (j *Journal) SetAppendHook(hook func(total int)) {
+// SetSync toggles power-loss durability: when on, every append is followed
+// by an fsync before Put returns. The default (off) is durable against the
+// process dying but not against the machine dying — see the package
+// comment. The distributed coordinator turns it on while merging worker
+// completion records into the canonical journal.
+func (j *Journal) SetSync(on bool) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.sync = on
+	j.mu.Unlock()
+}
+
+// SetAppendHook installs a hook observing every append with the key just
+// written and the running per-process append count. The chaos soak harness
+// uses it to cancel a run after a chosen amount of durable progress;
+// distributed workers use it to complete Scope units. The hook runs with
+// the journal lock held and must not call back into the Journal.
+func (j *Journal) SetAppendHook(hook func(key string, total int)) {
 	if j == nil {
 		return
 	}

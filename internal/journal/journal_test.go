@@ -219,7 +219,7 @@ func TestAppendHookObservesProgress(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.journal")
 	j := openT(t, path)
 	var seen []int
-	j.SetAppendHook(func(n int) { seen = append(seen, n) })
+	j.SetAppendHook(func(_ string, n int) { seen = append(seen, n) })
 	j.Put("a", nil)
 	j.Put("b", nil)
 	j.Put("a", nil) // duplicate: no append, no hook

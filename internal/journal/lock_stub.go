@@ -1,0 +1,7 @@
+//go:build !unix
+
+package journal
+
+// lockFile is a no-op where flock is unavailable: single-process safety
+// still holds (the in-process mutex), multi-process exclusion does not.
+func lockFile(f interface{ Fd() uintptr }) error { return nil }

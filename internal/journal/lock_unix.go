@@ -1,0 +1,28 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on f for the life
+// of its open file description. flock conflicts are reported as ErrLocked
+// — including a second Open of the same path inside one process, since
+// each Open creates a fresh description.
+func lockFile(f interface{ Fd() uintptr }) error {
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, syscall.EINTR) {
+			continue
+		}
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return ErrLocked
+		}
+		return err
+	}
+}

@@ -1,0 +1,126 @@
+// Scope restricts a journaled pipeline run to an assigned subset of unit
+// keys. A distributed worker owns only the keys its lease granted: stages
+// consult the context's Scope before computing a unit, skip unowned ones
+// entirely (they belong to sibling workers), and the Scope reports when
+// every owned unit has a durable journal record — the worker's cue to stop
+// instead of running the pipeline to the end.
+
+package journal
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Scope is the set of unit keys one worker owns, with drain tracking. A
+// nil *Scope means "unscoped": every key is owned and the scope is never
+// drained early — exactly the single-process behaviour.
+type Scope struct {
+	// owned is immutable after NewScope, so Owns is lock-free.
+	owned map[string]bool
+
+	mu        sync.Mutex
+	completed map[string]bool
+	remaining int
+	onDrained func()
+}
+
+// NewScope builds a scope owning exactly keys (duplicates collapse).
+func NewScope(keys []string) *Scope {
+	s := &Scope{owned: map[string]bool{}, completed: map[string]bool{}}
+	for _, k := range keys {
+		s.owned[k] = true
+	}
+	s.remaining = len(s.owned)
+	return s
+}
+
+// Owns reports whether key is this worker's to compute. Nil-safe: an
+// unscoped run owns everything.
+func (s *Scope) Owns(key string) bool {
+	if s == nil {
+		return true
+	}
+	return s.owned[key]
+}
+
+// Complete marks key's unit durably journaled. Unowned keys and repeats
+// are ignored. When the last owned unit completes, the OnDrained callback
+// (if any) fires once, outside the scope lock.
+func (s *Scope) Complete(key string) {
+	if s == nil || !s.owned[key] {
+		return
+	}
+	s.mu.Lock()
+	if s.completed[key] {
+		s.mu.Unlock()
+		return
+	}
+	s.completed[key] = true
+	s.remaining--
+	fire := s.remaining == 0
+	fn := s.onDrained
+	s.mu.Unlock()
+	if fire && fn != nil {
+		fn()
+	}
+}
+
+// Drained reports whether every owned unit has completed. Nil-safe: an
+// unscoped run is never drained (the pipeline runs to its natural end).
+func (s *Scope) Drained() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remaining == 0
+}
+
+// Remaining returns the owned keys not yet completed, sorted.
+func (s *Scope) Remaining() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.owned {
+		if !s.completed[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OnDrained registers fn to run once when the last owned unit completes;
+// if the scope is already drained it fires immediately. Workers use it to
+// cancel their pipeline context the moment their lease is fulfilled.
+func (s *Scope) OnDrained(fn func()) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.remaining == 0 {
+		s.mu.Unlock()
+		fn()
+		return
+	}
+	s.onDrained = fn
+	s.mu.Unlock()
+}
+
+type scopeCtxKey struct{}
+
+// WithScope attaches a worker scope to the context; nil detaches.
+func WithScope(ctx context.Context, s *Scope) context.Context {
+	return context.WithValue(ctx, scopeCtxKey{}, s)
+}
+
+// ScopeFrom retrieves the context's scope, or nil (unscoped).
+func ScopeFrom(ctx context.Context) *Scope {
+	s, _ := ctx.Value(scopeCtxKey{}).(*Scope)
+	return s
+}

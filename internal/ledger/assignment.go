@@ -1,0 +1,61 @@
+package ledger
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Assignment is one worker's lease, written to disk as JSON: the units it
+// owns, the private journal it must append to, and the full analysis spec
+// so the worker is self-contained — a worker process needs nothing but
+// the assignment path to do its job (which is what makes workers
+// kill-anywhere: no in-memory handshake exists to lose).
+type Assignment struct {
+	// ID names the lease ("r003-w01") for logs and journal filenames.
+	ID string
+	// Fingerprint is the canonical journal's binding fingerprint; the
+	// worker refuses the lease if its own option reconstruction disagrees
+	// (a version-skewed binary would otherwise poison the merge).
+	Fingerprint string
+	// Keys are the unit keys this worker owns, in pipeline order.
+	Keys []string
+	// Journal is the worker's private journal path, pre-seeded by the
+	// coordinator with a copy of the canonical records.
+	Journal string
+	// Spec is the complete analysis description.
+	Spec Spec
+}
+
+// WriteAssignment persists a to path (atomically: temp file + rename, so
+// a worker never reads a torn assignment).
+func WriteAssignment(path string, a *Assignment) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ledger: encode assignment: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadAssignment loads an assignment written by WriteAssignment.
+func ReadAssignment(path string) (*Assignment, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Assignment
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("ledger: decode assignment %s: %w", path, err)
+	}
+	if len(a.Keys) == 0 {
+		return nil, fmt.Errorf("ledger: assignment %s leases no keys", path)
+	}
+	if a.Journal == "" {
+		return nil, fmt.Errorf("ledger: assignment %s names no worker journal", path)
+	}
+	return &a, nil
+}

@@ -1,0 +1,143 @@
+package ledger
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"sync"
+	"syscall"
+)
+
+// Launcher starts workers on behalf of the coordinator. Two
+// implementations ship: GoLauncher (goroutine workers — cheap, hermetic,
+// the default) and ProcLauncher (real processes — genuine SIGKILL
+// semantics, what the chaos suites and the CLI use). The coordinator is
+// indifferent: it observes workers only through their journal files and
+// the Handle, which is exactly the information that survives a worker
+// being killed at any instant.
+type Launcher interface {
+	// Start launches one worker on the given assignment file. The context
+	// bounds the worker's analysis work (process launchers may ignore it;
+	// the coordinator kills explicitly).
+	Start(ctx context.Context, assignmentPath string) (Handle, error)
+}
+
+// Handle tracks one launched worker.
+type Handle interface {
+	// Done reports whether the worker has exited, and with what error
+	// (nil = clean exit with all owned units journaled). It never blocks.
+	Done() (bool, error)
+	// Kill terminates the worker immediately (SIGKILL for processes,
+	// context cancellation for goroutines). Idempotent.
+	Kill()
+}
+
+// ProcLauncher launches workers as separate OS processes running this
+// binary (or Command) with the assignment path appended. Crash isolation
+// is real: a worker taking SIGKILL, segfaulting, or being OOM-killed
+// cannot corrupt the coordinator, and its journal survives to be
+// harvested.
+type ProcLauncher struct {
+	// Command is the worker argv prefix; the assignment path is appended.
+	// Default: [<this executable>, "-ledger-worker"].
+	Command []string
+	// Env, when set, returns extra environment entries for each spawn (on
+	// top of the parent's environment) — the chaos suites' lever for
+	// handing each worker its own kill schedule.
+	Env func(assignmentPath string) []string
+}
+
+// Start implements Launcher.
+func (p *ProcLauncher) Start(ctx context.Context, assignmentPath string) (Handle, error) {
+	argv := p.Command
+	if len(argv) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("ledger: locate worker binary: %w", err)
+		}
+		argv = []string{self, "-ledger-worker"}
+	}
+	cmd := exec.Command(argv[0], append(argv[1:], assignmentPath)...)
+	cmd.Env = os.Environ()
+	if p.Env != nil {
+		cmd.Env = append(cmd.Env, p.Env(assignmentPath)...)
+	}
+	cmd.Stdout = os.Stderr // worker diagnostics must not pollute coordinator stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("ledger: spawn worker: %w", err)
+	}
+	h := &procHandle{pid: cmd.Process.Pid, done: make(chan struct{})}
+	go func() {
+		h.err = cmd.Wait()
+		close(h.done)
+	}()
+	return h, nil
+}
+
+type procHandle struct {
+	pid  int
+	done chan struct{}
+	err  error
+	kill sync.Once
+}
+
+func (h *procHandle) Done() (bool, error) {
+	select {
+	case <-h.done:
+		return true, h.err
+	default:
+		return false, nil
+	}
+}
+
+func (h *procHandle) Kill() {
+	h.kill.Do(func() { _ = syscall.Kill(h.pid, syscall.SIGKILL) })
+}
+
+// GoLauncher runs workers as goroutines inside the coordinator process.
+// The protocol is identical — each worker still reads its assignment file
+// and writes its private journal — but Kill is cooperative (context
+// cancellation), so it models stalls and cancellations, not SIGKILL.
+// It is the default because it needs no re-exec plumbing in the host
+// binary, and it is what the deterministic tests and benchmarks use.
+type GoLauncher struct {
+	// Hook, when set, builds each worker's journal append hook and is
+	// handed that worker's kill switch — the chaos lever: a hook that
+	// calls kill after N appends dies at a durable point, leaving exactly
+	// the journal state a SIGKILL right after the append would leave.
+	Hook func(assignmentPath string, kill func()) func(key string, total int)
+}
+
+// Start implements Launcher.
+func (g *GoLauncher) Start(ctx context.Context, assignmentPath string) (Handle, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	h := &goHandle{cancel: cancel, done: make(chan struct{})}
+	var opts WorkerOptions
+	if g.Hook != nil {
+		opts.AppendHook = g.Hook(assignmentPath, cancel)
+	}
+	go func() {
+		h.err = RunWorker(ctx, assignmentPath, opts)
+		close(h.done)
+	}()
+	return h, nil
+}
+
+type goHandle struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	err    error
+}
+
+func (h *goHandle) Done() (bool, error) {
+	select {
+	case <-h.done:
+		return true, h.err
+	default:
+		return false, nil
+	}
+}
+
+func (h *goHandle) Kill() { h.cancel() }

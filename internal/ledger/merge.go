@@ -1,0 +1,47 @@
+package ledger
+
+import (
+	"fmt"
+	"sort"
+
+	"wcet/internal/journal"
+)
+
+// Merge folds a worker journal's records for the given keys into the
+// canonical journal, first write wins: keys the canonical journal already
+// holds are skipped, so merging is idempotent and — because every record
+// is a pure function of (program, fingerprint, key) — commutative across
+// merge orders and duplicated work. Keys are merged in sorted order and
+// completion records are fsynced (journal.SetSync), making the canonical
+// file's bytes a deterministic function of the record *set*, not of which
+// worker finished first. Returns the number of records merged.
+//
+// The worker journal is read lock-free (journal.ReadFile): the usual
+// caller is harvesting a journal whose writer is dead, and a torn final
+// frame simply truncates the snapshot at the last intact record.
+func Merge(dst *journal.Journal, workerJournal string, keys []string) (int, error) {
+	records, fp, err := journal.ReadFile(workerJournal)
+	if err != nil {
+		return 0, fmt.Errorf("ledger: read worker journal: %w", err)
+	}
+	if want, ok := dst.Fingerprint(); ok && fp != "" && fp != want {
+		return 0, fmt.Errorf("ledger: worker journal %s has fingerprint %s, canonical has %s",
+			workerJournal, short(fp), short(want))
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	dst.SetSync(true)
+	defer dst.SetSync(false)
+	merged := 0
+	for _, k := range sorted {
+		val, ok := records[k]
+		if !ok || dst.Has(k) {
+			continue
+		}
+		if err := dst.Put(k, val); err != nil {
+			return merged, fmt.Errorf("ledger: merge %q: %w", k, err)
+		}
+		merged++
+	}
+	return merged, nil
+}

@@ -37,6 +37,23 @@ type traceRecord struct {
 // measKey addresses one vector of a tagged campaign in the run journal.
 func measKey(tag string, i int) string { return "meas/" + tag + "/" + strconv.Itoa(i) }
 
+// Key exposes the journal key of one tagged campaign vector — the unit
+// identity the distributed ledger leases out.
+func Key(tag string, i int) string { return measKey(tag, i) }
+
+// MissingKeys lists the journal keys of the campaign's un-replayed vectors
+// in vector order, using non-hit-counting reads — the distributed
+// coordinator's frontier probe for a measurement stage over n vectors.
+func MissingKeys(j *journal.Journal, tag string, n int) []string {
+	var missing []string
+	for i := 0; i < n; i++ {
+		if !j.Has(measKey(tag, i)) {
+			missing = append(missing, measKey(tag, i))
+		}
+	}
+	return missing
+}
+
 // UnitTime aggregates observations for one plan unit.
 type UnitTime struct {
 	Unit partition.Unit
@@ -114,6 +131,7 @@ func CampaignTagged(ctx context.Context, tag string, plan *partition.Plan, vm *s
 	w := par.Workers(workers)
 	o := obs.From(ctx)
 	j := journal.From(ctx)
+	scope := journal.ScopeFrom(ctx)
 	accs := make([]*Result, w)
 	err := par.ForEachWorkerCtx(ctx, len(data), w, func(worker int) func(context.Context, int) error {
 		wvm := vm.Clone()
@@ -134,6 +152,13 @@ func CampaignTagged(ctx context.Context, tag string, plan *partition.Plan, vm *s
 				if j.GetJSON(measKey(tag, i), &rec) {
 					observe(&sim.Trace{Events: rec.Events, Total: rec.Total})
 					o.Count("measure.journal.replayed", 1)
+					return nil
+				}
+				if !scope.Owns(measKey(tag, i)) {
+					// A sibling worker's vector: its trace reaches this run, if
+					// at all, only as a merged journal record. The local
+					// accumulator is incomplete, which only matters to reports
+					// assembled here — and a scoped worker's report is discarded.
 					return nil
 				}
 			}
@@ -294,6 +319,7 @@ func ExhaustiveMaxTagged(ctx context.Context, tag string, vm *sim.VM,
 	w := par.Workers(workers)
 	o := obs.From(ctx)
 	j := journal.From(ctx)
+	scope := journal.ScopeFrom(ctx)
 	maxes := make([]int64, w)
 	for i := range maxes {
 		maxes[i] = -1
@@ -314,6 +340,9 @@ func ExhaustiveMaxTagged(ctx context.Context, tag string, vm *sim.VM,
 				if j.GetJSON(measKey(tag, i), &total) {
 					observe(total)
 					o.Count("measure.journal.replayed", 1)
+					return nil
+				}
+				if !scope.Owns(measKey(tag, i)) {
 					return nil
 				}
 			}

@@ -1,0 +1,138 @@
+package testgen
+
+// Distributed planning over the generator's journal records: Progress
+// folds whatever stage-1/stage-2 records a journal already holds into the
+// same coverage decision GenerateCtx would make — without computing
+// anything and without touching the journal's resume accounting — so a
+// coordinator can enumerate exactly the unit keys still unresolved.
+// Quarantine fabricates the degraded record for a unit that repeatedly
+// killed its worker, so the run converges to an attributed `unavailable`
+// entry instead of wedging.
+
+import (
+	"fmt"
+	"strings"
+
+	"wcet/internal/fail"
+	"wcet/internal/interp"
+	"wcet/internal/journal"
+	"wcet/internal/paths"
+)
+
+// Progress is the journal's view of a generation run: which stage-1 and
+// stage-2 unit keys are still missing, and — once none are — the covering
+// environments in target order, exactly as GenerateCtx would emit them.
+type Progress struct {
+	// MissingGA lists "ga/<key>" units with no journal record, in target
+	// order. Non-empty means stage 1 is the frontier.
+	MissingGA []string
+	// MissingMC lists "tg/<key>" units needed (the residue after folding
+	// stage 1) but not journaled, in target order. Meaningful only when
+	// MissingGA is empty.
+	MissingMC []string
+	// Envs are the covering environments in target order (found paths
+	// only), valid only when both missing lists are empty.
+	Envs []interp.Env
+	// Unknown reports whether any resolved target ends Unknown — the
+	// signal that the run will need the exhaustive fallback (or end
+	// unavailable). Valid only when both missing lists are empty.
+	Unknown bool
+}
+
+// Progress folds the journal's records for targets under conf. It uses
+// non-hit-counting reads only, and replays the stage-1 coverage fold so
+// the residue it reports is precisely the set GenerateCtx would model
+// check.
+func (gen *Generator) Progress(j *journal.Journal, targets []paths.Path, conf Config) *Progress {
+	p := &Progress{}
+	n := len(targets)
+	keys := make([]string, n)
+	for i, t := range targets {
+		keys[i] = t.Key()
+	}
+	board := newGABoard(keys)
+	if !conf.SkipGA {
+		recs := make([]*gaRecord, n)
+		for i := range targets {
+			rec, ok := peekGA(j, keys[i])
+			if !ok {
+				p.MissingGA = append(p.MissingGA, "ga/"+keys[i])
+				continue
+			}
+			recs[i] = rec
+		}
+		if len(p.MissingGA) > 0 {
+			return p
+		}
+		for i, rec := range recs {
+			board.deliver(i, gen.unpackGA(rec))
+		}
+	}
+	covered := board.counted
+	decls := gen.declByName()
+	for i := range targets {
+		if env, ok := covered[keys[i]]; ok {
+			p.Envs = append(p.Envs, env)
+			continue
+		}
+		if conf.SkipMC {
+			p.Unknown = true
+			continue
+		}
+		rec, ok := peekTG(j, keys[i])
+		if !ok {
+			p.MissingMC = append(p.MissingMC, "tg/"+keys[i])
+			continue
+		}
+		switch Verdict(rec.Verdict) {
+		case FoundByHeuristic, FoundByModelChecker:
+			p.Envs = append(p.Envs, unpackEnv(rec.Env, decls))
+		case Unknown:
+			p.Unknown = true
+		}
+	}
+	if len(p.MissingMC) > 0 {
+		p.Envs = nil
+	}
+	return p
+}
+
+// Quarantine journals a fabricated degraded record for a generation unit
+// key ("ga/…" or "tg/…") that cannot be computed — its computation
+// repeatedly killed the worker running it. A quarantined GA search
+// contributes nothing to coverage (its target falls through to the model
+// checker); a quarantined model-checker unit becomes an Unknown verdict
+// with an attributed infrastructure cause, landing the path in the
+// degradation ledger. Measurement keys are refused: skipping a measured
+// vector would silently lower per-unit maxima, which is unsound — such a
+// unit must fail the run instead.
+func Quarantine(j *journal.Journal, key, reason string) error {
+	switch {
+	case strings.HasPrefix(key, "ga/"):
+		return j.PutJSON(key, &gaRecord{Attempts: []string{reason}})
+	case strings.HasPrefix(key, "tg/"):
+		return j.PutJSON(key, &tgRecord{
+			Verdict:   int(Unknown),
+			CauseKind: fail.KindInfra,
+			CauseMsg:  reason,
+		})
+	default:
+		return fmt.Errorf("testgen: unit %q cannot be quarantined: dropping it would be unsound", key)
+	}
+}
+
+func peekGA(j *journal.Journal, key string) (*gaRecord, bool) {
+	var r gaRecord
+	if !j.PeekJSON("ga/"+key, &r) {
+		return nil, false
+	}
+	return &r, true
+}
+
+func peekTG(j *journal.Journal, key string) (*tgRecord, bool) {
+	var r tgRecord
+	if !j.PeekJSON("tg/"+key, &r) {
+		return nil, false
+	}
+	return &r, true
+}

@@ -221,6 +221,13 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 	workers := par.Workers(conf.Workers)
 	o := obs.From(ctx)
 	j := journal.From(ctx)
+	// A distributed worker computes only its leased unit keys; everything
+	// else is a sibling's. Scoped runs also disable the incidental-coverage
+	// skip fast path and search with an empty done-snapshot, so every owned
+	// record is the full pure outcome of (target, seed) — the canonical
+	// coverage fold discards exactly the entries a serial run's skip logic
+	// would have, so the merged journal replays to the identical report.
+	scope := journal.ScopeFrom(ctx)
 	vc := vcache.From(ctx)
 	// The persistent cache only sees pure runs: an attached order book
 	// makes node statistics depend on learned state, and an active fault
@@ -263,6 +270,12 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 					}
 					return nil
 				}
+				if !scope.Owns("ga/" + keys[i]) {
+					// A sibling worker's unit: contribute nothing, compute
+					// nothing. The zero outcome keeps the local fold moving.
+					board.deliver(i, &gaOutcome{})
+					return nil
+				}
 				if gaKeys != nil {
 					if rec, ok := loadGAVC(vc, gaKeys[i]); ok {
 						// Journal the cache hit too: the run stays resumable,
@@ -283,11 +296,15 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 					if ferr := faults.Fire(ctx, "testgen.search", i); ferr != nil {
 						return fail.From("testgen", ferr)
 					}
-					if board.trySkip(i) {
+					// Scoped runs never take the skip fast path: the local fold
+					// is a lower bound of the canonical one (unowned outcomes
+					// fold as zero), so a local skip could journal a zero record
+					// where the canonical run needs the full pure outcome.
+					if scope == nil && board.trySkip(i) {
 						skipped = true
 						return nil
 					}
-					outcome = gen.searchTarget(ctx, m, board, targets, i, attempt, conf, ow)
+					outcome = gen.searchTarget(ctx, m, board, targets, i, attempt, conf, ow, scope != nil)
 					return nil
 				})
 				if err != nil {
@@ -424,6 +441,14 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 					sp.End("verdict", pr.Verdict,
 						"steps", pr.MCStats.Steps, "peak-nodes", pr.MCStats.PeakNodes)
 				}
+				return nil
+			}
+			if !scope.Owns("tg/" + keys[i]) {
+				// A sibling's residue unit: leave it locally Unknown without
+				// journaling anything — the owner's record is merged by the
+				// coordinator before any stage that consumes it.
+				pr.Verdict = Unknown
+				sp.End("verdict", pr.Verdict, "cause", "unowned")
 				return nil
 			}
 			// Lower once per unit: the checked model is a pure function of
@@ -624,8 +649,13 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 // observable — the caller must abandon (never journal or deliver) an
 // outcome produced under a dead context, so no timing-dependent result
 // ever reaches a returned Report or a resumed run.
+//
+// pure (distributed workers) records the complete incidental coverage,
+// unfiltered by the local board state: a scoped worker's board folds
+// sibling outcomes as zero, so filtering against it would journal records
+// that depend on which keys this worker happened to own.
 func (gen *Generator) searchTarget(ctx context.Context, m *interp.Machine, board *gaBoard,
-	targets []paths.Path, i, attempt int, conf Config, ow *obs.Observer) *gaOutcome {
+	targets []paths.Path, i, attempt int, conf Config, ow *obs.Observer, pure bool) *gaOutcome {
 
 	p := targets[i]
 	gaConf := conf.GA
@@ -634,7 +664,10 @@ func (gen *Generator) searchTarget(ctx context.Context, m *interp.Machine, board
 	gaConf.Stop = func() bool { return ctx.Err() != nil }
 	// Targets already covered by decided counted searches keep their board
 	// environment no matter what this search observes; skip their checks.
-	done := board.snapshot()
+	var done map[string]bool
+	if !pure {
+		done = board.snapshot()
+	}
 	o := &gaOutcome{cover: map[string]interp.Env{}}
 	gaConf.OnTrace = func(env interp.Env, tr *interp.Trace) {
 		for j, q := range targets {

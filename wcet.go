@@ -33,6 +33,18 @@
 // whether the bound is still exact, safe-but-degraded (an exhaustive input
 // sweep restored coverage), or unavailable. See Report.Summary.
 //
+// # Distributed runs
+//
+// Distribute shards a journaled analysis across worker processes: a
+// coordinator computes the unresolved work frontier, leases unit keys to
+// workers, harvests their journals (first write wins) and assembles the
+// final report from the canonical journal — byte-identical to a
+// single-process run by construction. Workers can be SIGKILLed at any
+// instant and the coordinator itself restarted mid-run; units that
+// repeatedly kill their worker are quarantined into the degradation
+// ledger instead of hanging the run. See NewLedgerSpec, Distribute and
+// LedgerWorker.
+//
 // The building blocks (partitioning sweeps, the model checker, the
 // optimisation passes, the simulator) are exposed through the internal
 // packages for the example programs and benchmarks in this repository; the
@@ -46,6 +58,7 @@ import (
 	"wcet/internal/fail"
 	"wcet/internal/ga"
 	"wcet/internal/journal"
+	"wcet/internal/ledger"
 	"wcet/internal/mc"
 	"wcet/internal/obs"
 	"wcet/internal/testgen"
@@ -160,6 +173,58 @@ var (
 // Interrupted reports whether err is a budget or cancellation stop rather
 // than an infrastructure failure.
 func Interrupted(err error) bool { return fail.Interrupted(err) }
+
+// LedgerSpec is the serializable description of one analysis that a
+// distributed coordinator ships to its worker processes — the source text
+// plus every deterministic option. Build one with NewLedgerSpec.
+type LedgerSpec = ledger.Spec
+
+// LedgerConfig tunes a distributed run: canonical journal path, worker
+// count, how workers are launched, and the lease/quarantine thresholds.
+// The zero value (plus JournalPath) is usable.
+type LedgerConfig = ledger.Config
+
+// LedgerResult is a distributed run's outcome: the assembled report, the
+// quarantined unit keys, and fault-tolerance counters.
+type LedgerResult = ledger.Result
+
+// LedgerLauncher starts distributed workers on behalf of the coordinator;
+// see LedgerConfig.Launcher. The default launches workers as goroutines
+// inside the coordinator process.
+type LedgerLauncher = ledger.Launcher
+
+// ProcessLauncher returns a launcher that starts each worker as a real OS
+// process running argv plus the assignment-file path — crash isolation
+// with genuine SIGKILL semantics. The wcet command uses it with its own
+// binary and the hidden -ledger-worker flag.
+func ProcessLauncher(argv ...string) LedgerLauncher {
+	return &ledger.ProcLauncher{Command: argv}
+}
+
+// NewLedgerSpec builds the distributable spec for analysing src under
+// opt. It errors on options that cannot cross a process boundary (runtime
+// hooks, a custom cost model, an attached journal or cache — the
+// coordinator owns those).
+func NewLedgerSpec(src string, opt Options) (LedgerSpec, error) {
+	return ledger.SpecFor(src, opt)
+}
+
+// Distribute runs the analysis described by spec across worker processes
+// (or goroutines — see LedgerConfig.Launcher). The resulting report is
+// byte-identical (Report.WriteCanonical) to a single-process run: every
+// journaled unit is a pure function of (program, options, unit key), so
+// shard boundaries, worker deaths and merge order cannot change it.
+func Distribute(ctx context.Context, spec LedgerSpec, cfg LedgerConfig) (*LedgerResult, error) {
+	return ledger.Run(ctx, spec, cfg)
+}
+
+// LedgerWorker executes one coordinator-written assignment file to
+// completion — the entry point a worker process calls (the wcet command's
+// hidden -ledger-worker flag). It returns nil exactly when every leased
+// unit has a durable record in the worker's journal.
+func LedgerWorker(ctx context.Context, assignmentPath string) error {
+	return ledger.RunWorker(ctx, assignmentPath, ledger.WorkerOptions{})
+}
 
 // Analyze runs the full hybrid WCET analysis on C source text.
 func Analyze(src string, opt Options) (*Report, error) {

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache check-dist lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache bench-dist clean
+.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache check-dist check-live lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache bench-dist bench-live clean
 
 help:
 	@echo "make build         - compile all packages"
@@ -20,6 +20,7 @@ help:
 	@echo "make check-symbolic- symbolic-lever property & differential suites under -race"
 	@echo "make check-cache   - verdict-cache & fingerprint-coverage suites under -race"
 	@echo "make check-dist    - distributed ledger & multi-process chaos suites under -race"
+	@echo "make check-live    - live telemetry (bus, HTTP surface, fleet, flight) under -race"
 	@echo "make lint-prints   - fail on stray stdout writes inside internal/"
 	@echo "make bench         - regenerate every table and figure"
 	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
@@ -29,6 +30,7 @@ help:
 	@echo "make bench-symbolic- symbolic lever A/B benchmarks -> BENCH_5.json"
 	@echo "make bench-cache   - cold vs warm verdict-cache A/B -> BENCH_6.json"
 	@echo "make bench-dist    - single-process vs distributed A/B -> BENCH_7.json"
+	@echo "make bench-live    - live telemetry surface overhead A/B -> BENCH_8.json"
 
 build:
 	$(GO) build ./...
@@ -42,7 +44,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race check-chaos check-symbolic check-cache check-dist
+check: build vet test race check-chaos check-symbolic check-cache check-dist check-live
 
 # check-faults re-runs the resilience surface with the race detector on:
 # the fail/faults/par unit suites plus every stage's injected-fault,
@@ -114,6 +116,22 @@ check-cache:
 check-dist:
 	$(GO) test -race -count 1 ./internal/ledger ./cmd/wcet
 	$(GO) test -race -count 1 -run 'Dist' ./internal/chaos
+
+# check-live drives the live-telemetry surface under the race detector:
+# the event bus / flight recorder / Prometheus / telemetry-sidecar suites
+# and the HTTP status server's own tests, the journal's concurrent-reader
+# snapshot test, the ledger's fleet-aggregation and heartbeat tests, the
+# backpressure byte-identity acceptance (stalled subscribers and unread
+# SSE consumers shed events, never bytes), and the CLI's -status
+# acceptance drive plus the exports-on-every-exit-code contract.
+check-live:
+	$(GO) test -race -count 1 ./internal/obs ./internal/obs/serve
+	$(GO) test -race -count 1 \
+		-run 'ReadFileConcurrent|MemoryJournal|ReadFleet|Heartbeat|Quarantine' \
+		./internal/journal ./internal/ledger
+	$(GO) test -race -count 1 \
+		-run 'Backpressure|LiveServer|LiveStatus|ExportsWritten' \
+		./internal/experiments ./cmd/wcet
 
 # lint-prints guards the stdout/stderr contract: library code under
 # internal/ must never print — results belong to the cmd tools' stdout,
@@ -193,6 +211,16 @@ bench-cache:
 bench-dist:
 	$(GO) test -run '^$$' -bench Distributed -benchtime 3x . \
 	| $(GO) run ./cmd/benchlog -out BENCH_7.json
+
+# bench-live measures what watching a run costs: the wiper pipeline with a
+# bare observer vs one carrying the full -status surface (running HTTP
+# server plus an SSE subscriber that never reads — the worst-case
+# consumer), timed back to back each iteration with byte-identity
+# asserted. The overhead-% metric must stay under 2%: publishing an event
+# is a mutex acquisition and a ring write, never a blocking send.
+bench-live:
+	$(GO) test -run '^$$' -bench LiveTelemetry -benchtime 20x . \
+	| $(GO) run ./cmd/benchlog -out BENCH_8.json
 
 clean:
 	$(GO) clean ./...

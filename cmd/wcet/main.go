@@ -3,7 +3,7 @@
 //
 //	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d]
 //	     [-journal file] [-resume] [-distribute n] [-cache dir] [-watch]
-//	     [-v] [-trace file] [-metrics file] [-pprof addr] file.c
+//	     [-v] [-trace file] [-metrics file] [-status addr] [-pprof addr] file.c
 //
 // The analysis report goes to stdout; diagnostics, errors and -v progress go
 // to stderr, so results stay pipeable. -trace writes a Chrome trace-event
@@ -42,6 +42,26 @@
 // store). The hidden -ledger-worker flag is the worker entry point the
 // coordinator spawns; it is not meant for interactive use.
 //
+// -status serves live run telemetry over HTTP while the analysis runs:
+// GET /status returns a JSON snapshot (deterministic stage progress
+// recomputed from the journal plus volatile elapsed/bus/fleet counters),
+// GET /metrics the registry in Prometheus text exposition format,
+// GET /events a Server-Sent-Events stream of the structured event bus
+// (stage transitions, unit lifecycle, verdicts, worker spawns/exits), and
+// /debug/pprof the usual profiles. The server is read-only and never
+// perturbs the analysis — a stalled /events consumer drops events instead
+// of stalling the pipeline, and the report is byte-identical with and
+// without -status. With -distribute, /status aggregates the per-worker
+// telemetry sidecars into a fleet view. Try:
+//
+//	wcet -journal run.journal -distribute 4 -status localhost:8080 file.c &
+//	curl -s localhost:8080/status | head
+//	curl -N localhost:8080/events
+//
+// On a panic — and when a distributed run quarantines a unit — the flight
+// recorder (the last events preceding the failure) is dumped to a .crash
+// file next to the journal.
+//
 // -watch re-runs the analysis whenever the source file changes (polled;
 // ctrl-c stops). Combined with -cache this is an edit-analyze loop where
 // each iteration re-proves only the regions the edit touched. -watch is
@@ -73,6 +93,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime/debug"
 	"time"
 
@@ -93,10 +114,20 @@ func main() { os.Exit(run(os.Args[1:])) }
 func run(args []string) (code int) {
 	// Catch any panic that escapes the pipeline's isolation so the exit
 	// code stays meaningful — and, because this defer is registered first,
-	// the trace/metrics exports below it still run during the unwind.
+	// the trace/metrics exports below it still run during the unwind. The
+	// observer and crash path are declared up here so the unwind can dump
+	// the flight recorder (the last events before the panic) next to the
+	// journal.
+	var ob *wcet.Observer
+	var crashPath string
 	defer func() {
 		if r := recover(); r != nil {
 			fmt.Fprintf(os.Stderr, "wcet: panic: %v\n%s", r, debug.Stack())
+			if crashPath != "" {
+				if werr := wcet.WriteCrashFile(crashPath, fmt.Sprintf("panic: %v", r), ob.FlightDump()); werr == nil {
+					fmt.Fprintf(os.Stderr, "wcet: flight recorder dumped to %s\n", crashPath)
+				}
+			}
 			code = exitError
 		}
 	}()
@@ -120,6 +151,8 @@ func run(args []string) (code int) {
 	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event file of the pipeline stages")
 	metricsFile := fs.String("metrics", "", "write the metrics registry (counters, gauges, histograms) as JSON")
+	statusAddr := fs.String("status", "", "serve live run telemetry on this address (e.g. localhost:8080): /status, /metrics, /events, /debug/pprof")
+	statusAddrFile := fs.String("status-addr-file", "", "internal: write the bound -status address to this file (test hook for ephemeral ports)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) during the analysis")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: wcet [flags] file.c")
@@ -209,13 +242,15 @@ func run(args []string) (code int) {
 			}
 		}()
 	}
-	var ob *wcet.Observer
-	if *traceFile != "" || *metricsFile != "" || *verbose {
+	if *traceFile != "" || *metricsFile != "" || *verbose || *statusAddr != "" {
 		cfg := wcet.ObserverConfig{}
 		if *verbose {
 			cfg.Progress = os.Stderr
 		}
 		ob = wcet.NewObserver(cfg)
+	}
+	if *journalFile != "" {
+		crashPath = *journalFile + ".crash"
 	}
 	// Export observability even when the analysis errors out: a trace of a
 	// degraded or interrupted run is exactly when you want one. In -watch
@@ -263,6 +298,35 @@ func run(args []string) (code int) {
 		}
 	}
 
+	if *statusAddr != "" {
+		sc := wcet.StatusConfig{Observer: ob}
+		if *journalFile != "" {
+			stFn, err := wcet.JournalStatus(string(src), baseOptions(), *journalFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wcet:", err)
+				return exitError
+			}
+			sc.Status = stFn
+		}
+		if *distribute > 0 {
+			workDir := filepath.Dir(*journalFile)
+			sc.Fleet = func() []wcet.WorkerStatus { return wcet.FleetStatus(workDir) }
+		}
+		srv, err := wcet.ServeStatus(*statusAddr, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcet: status:", err)
+			return exitError
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "wcet: live status on http://%s/status\n", srv.Addr())
+		if *statusAddrFile != "" {
+			if err := os.WriteFile(*statusAddrFile, []byte(srv.Addr()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "wcet: status:", err)
+				return exitError
+			}
+		}
+	}
+
 	if *distribute > 0 {
 		spec, err := wcet.NewLedgerSpec(string(src), baseOptions())
 		if err != nil {
@@ -275,10 +339,11 @@ func run(args []string) (code int) {
 			return exitError
 		}
 		res, err := wcet.Distribute(ctx, spec, wcet.LedgerConfig{
-			JournalPath: *journalFile,
-			Workers:     *distribute,
-			Launcher:    wcet.ProcessLauncher(self, "-ledger-worker"),
-			Obs:         ob,
+			JournalPath:   *journalFile,
+			Workers:       *distribute,
+			Launcher:      wcet.ProcessLauncher(self, "-ledger-worker"),
+			WorkerVerbose: *verbose,
+			Obs:           ob,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wcet:", err)
@@ -291,6 +356,17 @@ func run(args []string) (code int) {
 		if len(res.Quarantined) > 0 {
 			fmt.Fprintf(os.Stderr, "wcet: %d work unit(s) quarantined after repeatedly killing their workers: %v\n",
 				len(res.Quarantined), res.Quarantined)
+			// The flight dumps are volatile post-mortems: stderr only, so the
+			// stdout report stays byte-identical to an undistributed run.
+			for _, d := range res.Report.Degradations {
+				if len(d.Flight) == 0 {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "wcet: last events before the worker on %s died:\n", d.PathKey)
+				for _, line := range d.Flight {
+					fmt.Fprintf(os.Stderr, "  %s\n", line)
+				}
+			}
 		}
 		return distExitCode(res, resumedPrior)
 	}

@@ -176,6 +176,11 @@ type Degradation struct {
 	// Attempts is the retry/failover history for the path, when it needed
 	// more than one attempt before landing in the ledger.
 	Attempts []string
+	// Flight is the flight-recorder dump harvested from the worker this
+	// path's quarantined unit repeatedly killed (nil outside the ledger's
+	// quarantine path). Volatile diagnostics: rendered by human-facing
+	// views only, excluded from WriteCanonical and Summary.
+	Flight []string
 }
 
 // Report is the complete analysis result.
@@ -410,6 +415,7 @@ func AnalyzeGraphCtx(ctx context.Context, file *ast.File, fn *ast.FuncDecl, g *c
 				Cause:      r.Err,
 				Resolution: "unresolved",
 				Attempts:   r.Attempts,
+				Flight:     r.Flight,
 			})
 			for _, u := range owners[i] {
 				degradedUnits[u] = true
@@ -535,6 +541,8 @@ func finishObservation(o *obs.Observer, opt Options, rep *Report, cache0 vcache.
 		o.Instant("ledger", "degraded", "65/ledger/"+d.PathKey,
 			"path", d.PathKey, "units", fmt.Sprint(d.Units),
 			"resolution", d.Resolution, "cause", cause)
+		o.Emit(obs.BusEvent{Kind: obs.EvDegradation, Unit: d.PathKey,
+			Detail: fmt.Sprintf("resolution=%s cause=%s", d.Resolution, cause)})
 	}
 }
 

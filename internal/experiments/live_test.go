@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"wcet/internal/core"
+	"wcet/internal/obs"
+	"wcet/internal/obs/serve"
+)
+
+// The live-telemetry surface rides the same determinism guarantee as the
+// rest of the observability layer: subscribers — even pathological ones
+// that never drain, and SSE consumers that never read — shed events into
+// the drop-oldest rings instead of perturbing the pipeline, and every
+// canonical export stays byte-identical to an unwatched run.
+
+// TestBackpressureStalledSubscriberDropsEventsNotBytes runs the wiper
+// pipeline with a tiny never-drained bus subscription attached. The
+// subscription must overflow (counted in obs.events_dropped), while the
+// canonical metrics snapshot, the canonical trace, and the report stay
+// byte-identical to the unwatched reference.
+func TestBackpressureStalledSubscriberDropsEventsNotBytes(t *testing.T) {
+	file, fn, g := buildWiperGraph(t)
+	ctx := context.Background()
+	snapRef, linesRef, repRef, _ := observedRun(t, ctx, file, fn, g, 4)
+
+	o := obs.New(obs.Config{})
+	stalled := o.Subscribe(2) // two-event ring, never drained
+	defer stalled.Close()
+	rep, err := core.AnalyzeGraphCtx(ctx, file, fn, g, core.Options{
+		Bound:      8,
+		Exhaustive: true,
+		Workers:    4,
+		Obs:        o,
+		TestGen:    wiperTestGenConfig(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := stalled.Dropped(); got == 0 {
+		t.Error("stalled subscription dropped nothing — the wiper run publishes far more than 2 events")
+	}
+	if got := o.Metrics().Value("obs.events_dropped"); got == 0 {
+		t.Error("obs.events_dropped = 0, want the stalled subscription's evictions")
+	}
+
+	var snap bytes.Buffer
+	if err := o.Metrics().WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), snapRef) {
+		t.Errorf("canonical metrics snapshot perturbed by a stalled subscriber:\n--- reference\n%s\n--- stalled\n%s",
+			snapRef, snap.Bytes())
+	}
+	if lines := o.Trace().CanonicalLines(); !reflect.DeepEqual(lines, linesRef) {
+		t.Errorf("canonical trace perturbed by a stalled subscriber (%d vs %d lines)",
+			len(linesRef), len(lines))
+	}
+	if got, want := canonicalBytes(t, rep), canonicalBytes(t, repRef); !bytes.Equal(got, want) {
+		t.Errorf("report perturbed by a stalled subscriber:\n--- reference\n%s\n--- stalled\n%s", want, got)
+	}
+}
+
+// TestLiveServerDoesNotPerturbCanonicalReport attaches the full HTTP
+// status surface — including an SSE subscriber that connects and then
+// never reads — to a wiper run and checks the canonical exports against
+// the unwatched reference.
+func TestLiveServerDoesNotPerturbCanonicalReport(t *testing.T) {
+	file, fn, g := buildWiperGraph(t)
+	ctx := context.Background()
+	snapRef, linesRef, repRef, _ := observedRun(t, ctx, file, fn, g, 4)
+
+	o := obs.New(obs.Config{})
+	srv, err := serve.Start("127.0.0.1:0", serve.Config{Observer: o, EventBuffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// An SSE consumer that subscribes and never reads a byte of the body:
+	// its ring (2 events) overflows immediately; the handler keeps writing
+	// into the kernel socket buffer until that backs up too.
+	resp, err := http.Get("http://" + srv.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	rep, err := core.AnalyzeGraphCtx(ctx, file, fn, g, core.Options{
+		Bound:      8,
+		Exhaustive: true,
+		Workers:    4,
+		Obs:        o,
+		TestGen:    wiperTestGenConfig(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := o.Metrics().WriteSnapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Bytes(), snapRef) {
+		t.Errorf("canonical metrics snapshot perturbed by the live server")
+	}
+	if lines := o.Trace().CanonicalLines(); !reflect.DeepEqual(lines, linesRef) {
+		t.Errorf("canonical trace perturbed by the live server (%d vs %d lines)",
+			len(linesRef), len(lines))
+	}
+	if got, want := canonicalBytes(t, rep), canonicalBytes(t, repRef); !bytes.Equal(got, want) {
+		t.Errorf("report perturbed by the live server:\n--- reference\n%s\n--- with server\n%s", want, got)
+	}
+}

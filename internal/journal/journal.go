@@ -194,6 +194,22 @@ func ReadFile(path string) (records map[string][]byte, fingerprint string, err e
 	return records, fingerprint, nil
 }
 
+// Memory wraps a record snapshot (typically from ReadFile) in a read-only
+// in-memory Journal: reads work as usual, appends and resets fail with an
+// error instead of touching any file. The live status poller uses it to
+// run planning reads (frontier progress, missing-key scans) against a
+// lock-free snapshot while another process owns the journal's flock.
+func Memory(records map[string][]byte) *Journal {
+	j := &Journal{records: make(map[string][]byte, len(records))}
+	for k, v := range records {
+		j.records[k] = v
+	}
+	return j
+}
+
+// errReadOnly reports a write on a Memory journal.
+var errReadOnly = errors.New("journal: read-only in-memory snapshot")
+
 func splitPayload(payload []byte) (key string, val []byte, ok bool) {
 	klen, n := binary.Uvarint(payload)
 	if n <= 0 || int(klen) > len(payload)-n {
@@ -307,6 +323,9 @@ func (j *Journal) Reset() error {
 }
 
 func (j *Journal) resetLocked() error {
+	if j.f == nil {
+		return errReadOnly
+	}
 	if err := j.f.Truncate(0); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
@@ -382,6 +401,9 @@ func (j *Journal) Put(key string, val []byte) error {
 }
 
 func (j *Journal) appendLocked(key string, val []byte) error {
+	if j.f == nil {
+		return errReadOnly
+	}
 	// One frame, one write: header and payload go down in a single syscall,
 	// which halves the append cost and shrinks the torn-tail window to a
 	// single partial write.

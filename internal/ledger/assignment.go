@@ -23,6 +23,17 @@ type Assignment struct {
 	// Journal is the worker's private journal path, pre-seeded by the
 	// coordinator with a copy of the canonical records.
 	Journal string
+	// Telemetry, when non-empty, is the sidecar file the worker
+	// periodically rewrites (temp+rename) with its live progress, registry
+	// snapshot and flight recorder; TelemetryMS is the rewrite interval in
+	// milliseconds (<= 0: the worker's default). The coordinator tails the
+	// sidecars for fleet /status aggregation and as a secondary liveness
+	// signal, and harvests the flight dump as a post-mortem on death.
+	Telemetry   string `json:",omitempty"`
+	TelemetryMS int    `json:",omitempty"`
+	// Verbose routes the worker's progress stream to stderr, prefixed
+	// with the worker id.
+	Verbose bool `json:",omitempty"`
 	// Spec is the complete analysis description.
 	Spec Spec
 }

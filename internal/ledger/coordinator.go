@@ -11,6 +11,7 @@ import (
 
 	"wcet/internal/core"
 	"wcet/internal/journal"
+	"wcet/internal/obs"
 	"wcet/internal/testgen"
 )
 
@@ -26,6 +27,7 @@ type lease struct {
 	keys       []string
 	journal    string // the worker's private journal path
 	assignment string
+	telemetry  string // the worker's sidecar telemetry path
 	handle     Handle
 	lastSize   int64
 	quiet      int // consecutive polls without journal growth
@@ -81,7 +83,18 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// GoLauncher workers without their own observer share the
+	// coordinator's: their unit lifecycle reaches the same bus (so /events
+	// sees them live) and their flight lines land in one ring.
+	if gl, ok := cfg.Launcher.(*GoLauncher); ok && gl.Obs == nil {
+		gl.Obs = cfg.Obs
+	}
+
 	fatal := map[string]int{} // unit key -> worker deaths while leased and incomplete
+	// postmortem stashes the flight-recorder dump harvested from a dead
+	// worker's telemetry sidecar, per incomplete unit key, so a later
+	// quarantine of that unit carries its last-events context.
+	postmortem := map[string][]string{}
 
 	for round := 1; ; round++ {
 		if round > maxRounds {
@@ -102,10 +115,10 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		leases, err := startRound(ctx, j, spec, cfg, fp, workDir, round, fr.Keys, fatal, res)
 		if err != nil {
 			killAll(leases)
-			settleAll(j, leases, cfg, fatal, res)
+			settleAll(j, leases, cfg, fatal, postmortem, res)
 			return nil, err
 		}
-		if err := pollRound(ctx, j, leases, cfg, fatal, res); err != nil {
+		if err := pollRound(ctx, j, leases, cfg, fatal, postmortem, res); err != nil {
 			return nil, err
 		}
 
@@ -119,8 +132,9 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 				continue
 			}
 			reason := fmt.Sprintf("quarantined: unit killed its worker %d time(s)", fatal[k])
+			flight := postmortem[k]
 			j.SetSync(true)
-			err := testgen.Quarantine(j, k, reason)
+			err := testgen.Quarantine(j, k, reason, flight)
 			j.SetSync(false)
 			if err != nil {
 				return nil, fmt.Errorf("ledger: unit %q killed its worker %d time(s) and %w", k, fatal[k], err)
@@ -128,6 +142,12 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 			res.Quarantined = append(res.Quarantined, k)
 			cfg.Obs.CountV("ledger.units_quarantined", 1)
 			cfg.Obs.Progressf("ledger: %s", reason+" ("+k+")")
+			cfg.Obs.Emit(obs.BusEvent{Kind: obs.EvUnitQuarantined, Unit: k, Detail: reason})
+			// The .crash file next to the canonical journal carries the dead
+			// worker's flight dump — the post-mortem a human reads first.
+			if werr := obs.WriteCrash(cfg.JournalPath+".crash", reason+" ("+k+")", flight); werr != nil {
+				cfg.Obs.Progressf("ledger: crash dump: %v", werr)
+			}
 			delete(fatal, k)
 		}
 	}
@@ -189,11 +209,17 @@ func startRound(ctx context.Context, j *journal.Journal, spec Spec, cfg Config, 
 			keys:       shard,
 			journal:    filepath.Join(workDir, id+".journal"),
 			assignment: filepath.Join(workDir, id+".json"),
+			telemetry:  filepath.Join(workDir, id+".telem.json"),
 		}
 		if err := os.WriteFile(l.journal, seed, 0o644); err != nil {
 			return leases, err
 		}
-		a := &Assignment{ID: id, Fingerprint: fp, Keys: shard, Journal: l.journal, Spec: spec}
+		os.Remove(l.telemetry) // no stale heartbeat may vouch for a new worker
+		a := &Assignment{ID: id, Fingerprint: fp, Keys: shard, Journal: l.journal,
+			Telemetry:   l.telemetry,
+			TelemetryMS: int(cfg.TelemetryInterval / time.Millisecond),
+			Verbose:     cfg.WorkerVerbose,
+			Spec:        spec}
 		if err := WriteAssignment(l.assignment, a); err != nil {
 			return leases, err
 		}
@@ -207,6 +233,11 @@ func startRound(ctx context.Context, j *journal.Journal, spec Spec, cfg Config, 
 		res.Spawned++
 		cfg.Obs.CountV("ledger.workers_spawned", 1)
 		cfg.Obs.CountV("ledger.leases_granted", int64(len(shard)))
+		cfg.Obs.Emit(obs.BusEvent{Kind: obs.EvWorkerSpawned, Worker: id,
+			Detail: fmt.Sprintf("units=%d round=%d", len(shard), round)})
+		for _, k := range shard {
+			cfg.Obs.Emit(obs.BusEvent{Kind: obs.EvUnitLeased, Unit: k, Worker: id})
+		}
 	}
 	return leases, nil
 }
@@ -215,13 +246,13 @@ func startRound(ctx context.Context, j *journal.Journal, spec Spec, cfg Config, 
 // been settled. The lease clock is logical: a worker whose journal file
 // does not grow for LeaseTicks consecutive polls is presumed wedged and
 // killed; the kill surfaces as an ordinary death at the next poll.
-func pollRound(ctx context.Context, j *journal.Journal, leases []*lease, cfg Config, fatal map[string]int, res *Result) error {
+func pollRound(ctx context.Context, j *journal.Journal, leases []*lease, cfg Config, fatal map[string]int, postmortem map[string][]string, res *Result) error {
 	live := len(leases)
 	for live > 0 {
 		select {
 		case <-ctx.Done():
 			killAll(leases)
-			settleAll(j, leases, cfg, fatal, res)
+			settleAll(j, leases, cfg, fatal, postmortem, res)
 			return ctx.Err()
 		case <-time.After(cfg.PollInterval):
 		}
@@ -230,7 +261,7 @@ func pollRound(ctx context.Context, j *journal.Journal, leases []*lease, cfg Con
 				continue
 			}
 			if done, werr := l.handle.Done(); done {
-				settle(j, l, werr, cfg, fatal, res)
+				settle(j, l, werr, cfg, fatal, postmortem, res)
 				live--
 				continue
 			}
@@ -240,6 +271,18 @@ func pollRound(ctx context.Context, j *journal.Journal, leases []*lease, cfg Con
 				cfg.Obs.Progressf("ledger: lease %s expired (%d quiet polls), killing worker", l.id, l.quiet)
 				l.handle.Kill()
 				l.quiet = 0 // await the exit; Kill is idempotent
+			}
+			// Secondary liveness: a worker that has written telemetry at
+			// least once but then let the sidecar go stale past
+			// HeartbeatTimeout is dead or wedged enough to kill early. This
+			// only ever *shortens* a lease — the journal-growth clock above
+			// stays the hard deadline, so a worker with no telemetry (or a
+			// wedged one whose heartbeat goroutine still ticks) is still
+			// bounded by LeaseTicks.
+			if fi, err := os.Stat(l.telemetry); err == nil && time.Since(fi.ModTime()) > cfg.HeartbeatTimeout {
+				cfg.Obs.Progressf("ledger: worker %s heartbeat lost (telemetry %s stale), killing worker",
+					l.id, time.Since(fi.ModTime()).Round(time.Millisecond))
+				l.handle.Kill()
 			}
 		}
 	}
@@ -252,13 +295,20 @@ func pollRound(ctx context.Context, j *journal.Journal, leases []*lease, cfg Con
 // whether the worker crashed, was killed, stalled out its lease, or even
 // exited "cleanly" without finishing (that last case would otherwise
 // livelock the round loop).
-func settle(j *journal.Journal, l *lease, werr error, cfg Config, fatal map[string]int, res *Result) {
+func settle(j *journal.Journal, l *lease, werr error, cfg Config, fatal map[string]int, postmortem map[string][]string, res *Result) {
 	l.settled = true
 	merged, err := Merge(j, l.journal, l.keys)
 	if err != nil {
 		cfg.Obs.Progressf("ledger: harvest %s: %v", l.id, err)
 	}
 	cfg.Obs.CountV("ledger.merged_records", int64(merged))
+	// Harvest the sidecar before cleanup: a dead worker's last telemetry
+	// snapshot carries its flight recorder — the only post-mortem that
+	// survives a SIGKILL.
+	var flight []string
+	if telem, err := obs.ReadTelemetry(l.telemetry); err == nil && len(telem.Flight) > 0 {
+		flight = telem.Flight
+	}
 	var incomplete []string
 	for _, k := range l.keys {
 		if !j.Has(k) {
@@ -268,14 +318,20 @@ func settle(j *journal.Journal, l *lease, werr error, cfg Config, fatal map[stri
 	if len(incomplete) > 0 {
 		for _, k := range incomplete {
 			fatal[k]++
+			if flight != nil {
+				postmortem[k] = append([]string{fmt.Sprintf("worker %s died: %v", l.id, werr)}, flight...)
+			}
 		}
 		res.Reclaimed += len(incomplete)
 		cfg.Obs.CountV("ledger.leases_reclaimed", int64(len(incomplete)))
 		cfg.Obs.Progressf("ledger: %s died (%v) with %d unit(s) incomplete; reclaimed",
 			l.id, werr, len(incomplete))
 	}
+	cfg.Obs.Emit(obs.BusEvent{Kind: obs.EvWorkerExited, Worker: l.id,
+		Detail: fmt.Sprintf("merged=%d incomplete=%d err=%v", merged, len(incomplete), werr)})
 	os.Remove(l.journal)
 	os.Remove(l.assignment)
+	os.Remove(l.telemetry)
 }
 
 func killAll(leases []*lease) {
@@ -288,14 +344,14 @@ func killAll(leases []*lease) {
 
 // settleAll drains every unsettled lease on the abort path, waiting for
 // each worker to actually exit so its journal tail is final.
-func settleAll(j *journal.Journal, leases []*lease, cfg Config, fatal map[string]int, res *Result) {
+func settleAll(j *journal.Journal, leases []*lease, cfg Config, fatal map[string]int, postmortem map[string][]string, res *Result) {
 	for _, l := range leases {
 		if l.settled || l.handle == nil {
 			continue
 		}
 		for {
 			if done, werr := l.handle.Done(); done {
-				settle(j, l, werr, cfg, fatal, res)
+				settle(j, l, werr, cfg, fatal, postmortem, res)
 				break
 			}
 			time.Sleep(cfg.PollInterval)
@@ -335,6 +391,7 @@ func recoverWorkJournals(j *journal.Journal, workDir string, cfg Config, res *Re
 		}
 		os.Remove(p)
 		os.Remove(strings.TrimSuffix(p, ".journal") + ".json")
+		os.Remove(strings.TrimSuffix(p, ".journal") + ".telem.json")
 	}
 	return nil
 }

@@ -7,6 +7,8 @@ import (
 	"os/exec"
 	"sync"
 	"syscall"
+
+	"wcet/internal/obs"
 )
 
 // Launcher starts workers on behalf of the coordinator. Two
@@ -108,13 +110,17 @@ type GoLauncher struct {
 	// calls kill after N appends dies at a durable point, leaving exactly
 	// the journal state a SIGKILL right after the append would leave.
 	Hook func(assignmentPath string, kill func()) func(key string, total int)
+	// Obs, when set, is shared with every worker (the coordinator's Run
+	// fills it in from Config.Obs when unset): in-process workers publish
+	// to the coordinator's bus, so /events sees their unit lifecycle live.
+	Obs *obs.Observer
 }
 
 // Start implements Launcher.
 func (g *GoLauncher) Start(ctx context.Context, assignmentPath string) (Handle, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	h := &goHandle{cancel: cancel, done: make(chan struct{})}
-	var opts WorkerOptions
+	opts := WorkerOptions{Obs: g.Obs}
 	if g.Hook != nil {
 		opts.AppendHook = g.Hook(assignmentPath, cancel)
 	}

@@ -90,6 +90,23 @@ type Config struct {
 	// WorkDir holds per-worker journals and assignment files (default:
 	// the canonical journal's directory).
 	WorkDir string
+	// TelemetryInterval is how often each worker rewrites its sidecar
+	// telemetry file (default 100ms). The sidecar is volatile fleet
+	// telemetry: per-worker progress for /status aggregation, a registry
+	// snapshot, and the flight recorder harvested as the post-mortem when
+	// the worker dies.
+	TelemetryInterval time.Duration
+	// HeartbeatTimeout is the secondary liveness signal: once a worker's
+	// telemetry sidecar has been seen, a sidecar older than this is
+	// treated as a dead heartbeat and the worker is killed without
+	// waiting out the journal-growth lease (default 2s, floored at 4×
+	// TelemetryInterval). Journal growth remains the hard lease deadline —
+	// a wedged worker whose telemetry goroutine still ticks is caught by
+	// LeaseTicks, never outlived by its heartbeat.
+	HeartbeatTimeout time.Duration
+	// WorkerVerbose forwards the coordinator's verbosity to workers: their
+	// progress streams go to stderr, prefixed with the worker id.
+	WorkerVerbose bool
 	// Obs receives the coordinator's observability stream (volatile
 	// counters: spawns, leases, reclaims, quarantines) and is threaded
 	// into the in-process report assembly. nil disables observation.
@@ -111,6 +128,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxFatalities <= 0 {
 		c.MaxFatalities = 2
+	}
+	if c.TelemetryInterval <= 0 {
+		c.TelemetryInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 2 * time.Second
+	}
+	if min := 4 * c.TelemetryInterval; c.HeartbeatTimeout < min {
+		c.HeartbeatTimeout = min
 	}
 	return c
 }

@@ -3,6 +3,7 @@ package ledger_test
 import (
 	"bytes"
 	"context"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -185,10 +186,25 @@ func TestDistributedQuarantineAfterRepeatedDeaths(t *testing.T) {
 	for _, d := range res.Report.Degradations {
 		if strings.Contains(strings.ToLower(cause(d)), "quarantined") {
 			found = true
+			// The dead worker's flight recorder rides the quarantine record
+			// into the degradation ledger: the post-mortem names the last
+			// events the worker saw before its death.
+			if len(d.Flight) == 0 {
+				t.Errorf("quarantined degradation carries no flight dump: %+v", d)
+			}
 		}
 	}
 	if !found {
 		t.Errorf("no degradation attributes the quarantine; ledger: %+v", res.Report.Degradations)
+	}
+	// The .crash file next to the canonical journal holds the same dump.
+	crash, err := os.ReadFile(filepath.Join(dir, "run.journal.crash"))
+	if err != nil {
+		t.Fatalf("no crash file written on quarantine: %v", err)
+	}
+	if !strings.Contains(string(crash), "wcet crash report") ||
+		!strings.Contains(string(crash), res.Quarantined[0]) {
+		t.Errorf("crash file does not name the quarantined unit:\n%s", crash)
 	}
 
 	// The canonical journal carries the quarantine record: a plain

@@ -1,0 +1,45 @@
+package ledger
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"wcet/internal/obs"
+)
+
+// ReadFleet scans workDir for worker telemetry sidecars and returns one
+// WorkerStatus per live sidecar, sorted by worker id. It is the
+// coordinator-side (or status-server-side) aggregation half of the fleet
+// telemetry protocol: workers rewrite their sidecar atomically, so any
+// file that parses is a consistent snapshot; files that vanish between
+// glob and read (a settling lease cleaning up) are simply skipped. AgeMS
+// is measured from the sidecar's mtime — the staleness signal a human
+// watching /status uses to spot a wedged worker before the coordinator's
+// lease clock does.
+func ReadFleet(workDir string) []obs.WorkerStatus {
+	paths, err := filepath.Glob(filepath.Join(workDir, "worker-*.telem.json"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(paths)
+	var fleet []obs.WorkerStatus
+	for _, p := range paths {
+		t, err := obs.ReadTelemetry(p)
+		if err != nil {
+			continue
+		}
+		ws := obs.WorkerStatus{
+			ID:       t.ID,
+			Done:     t.Done,
+			Total:    t.Total,
+			Appended: t.Appended,
+		}
+		if fi, err := os.Stat(p); err == nil {
+			ws.AgeMS = time.Since(fi.ModTime()).Milliseconds()
+		}
+		fleet = append(fleet, ws)
+	}
+	return fleet
+}

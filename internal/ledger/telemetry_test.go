@@ -1,0 +1,178 @@
+package ledger
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wcet/internal/journal"
+	"wcet/internal/obs"
+)
+
+func TestReadFleetAggregatesSidecars(t *testing.T) {
+	dir := t.TempDir()
+	write := func(id string, done, total int) {
+		path := filepath.Join(dir, id+".telem.json")
+		if err := obs.WriteTelemetry(path, &obs.Telemetry{
+			ID: id, Seq: 1, Done: done, Total: total, Appended: done,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("worker-1-r001-w01", 3, 5)
+	write("worker-1-r001-w00", 5, 5)
+	// A torn sidecar (mid-rename crash artifact) is skipped, not fatal.
+	os.WriteFile(filepath.Join(dir, "worker-1-r001-w02.telem.json"), []byte("{\"id\":"), 0o644)
+
+	fleet := ReadFleet(dir)
+	if len(fleet) != 2 {
+		t.Fatalf("fleet = %+v, want 2 workers (torn sidecar skipped)", fleet)
+	}
+	// Sorted by sidecar path: w00 before w01.
+	if fleet[0].ID != "worker-1-r001-w00" || fleet[1].ID != "worker-1-r001-w01" {
+		t.Errorf("fleet order = [%s, %s]", fleet[0].ID, fleet[1].ID)
+	}
+	if fleet[1].Done != 3 || fleet[1].Total != 5 || fleet[1].Appended != 3 {
+		t.Errorf("worker row = %+v", fleet[1])
+	}
+	if fleet[0].AgeMS < 0 || fleet[0].AgeMS > 60_000 {
+		t.Errorf("AgeMS = %d, want a recent age", fleet[0].AgeMS)
+	}
+}
+
+func TestReadFleetEmptyDir(t *testing.T) {
+	if fleet := ReadFleet(t.TempDir()); len(fleet) != 0 {
+		t.Errorf("fleet of empty dir = %+v", fleet)
+	}
+}
+
+// stuckHandle models a worker that never exits on its own but dies
+// immediately when killed.
+type stuckHandle struct {
+	killed chan struct{}
+}
+
+func (h *stuckHandle) Done() (bool, error) {
+	select {
+	case <-h.killed:
+		return true, os.ErrDeadlineExceeded
+	default:
+		return false, nil
+	}
+}
+
+func (h *stuckHandle) Kill() {
+	select {
+	case <-h.killed:
+	default:
+		close(h.killed)
+	}
+}
+
+// TestHeartbeatKillsStaleWorker: a worker whose telemetry sidecar has
+// gone stale past HeartbeatTimeout is killed by pollRound well before the
+// journal-growth lease (LeaseTicks) would expire — the sidecar is a
+// secondary liveness signal that only ever shortens a lease.
+func TestHeartbeatKillsStaleWorker(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(filepath.Join(dir, "run.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	l := &lease{
+		id:        "worker-test-r001-w00",
+		keys:      []string{"tg/poison"},
+		journal:   filepath.Join(dir, "w.journal"),
+		telemetry: filepath.Join(dir, "w.telem.json"),
+		handle:    &stuckHandle{killed: make(chan struct{})},
+	}
+	// The worker wrote telemetry once (with a flight dump), then froze:
+	// age the sidecar past the heartbeat timeout.
+	if err := obs.WriteTelemetry(l.telemetry, &obs.Telemetry{
+		ID: l.id, Seq: 1, Total: 1,
+		Flight: []string{"+0.001s #1 stage.start stage=testgen"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-time.Minute)
+	if err := os.Chtimes(l.telemetry, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := Config{
+		PollInterval:     time.Millisecond,
+		LeaseTicks:       1_000_000, // journal clock effectively disabled
+		HeartbeatTimeout: 50 * time.Millisecond,
+	}.withDefaults()
+	fatal := map[string]int{}
+	postmortem := map[string][]string{}
+	res := &Result{}
+
+	start := time.Now()
+	if err := pollRound(context.Background(), j, []*lease{l}, cfg, fatal, postmortem, res); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("heartbeat kill took %v — lease clock must not have been the trigger", elapsed)
+	}
+	if fatal["tg/poison"] != 1 {
+		t.Errorf("fatal = %v, want one death for tg/poison", fatal)
+	}
+	if res.Reclaimed != 1 {
+		t.Errorf("Reclaimed = %d, want 1", res.Reclaimed)
+	}
+	// The dead worker's flight dump was harvested into the post-mortem
+	// stash before the sidecar was cleaned up.
+	if len(postmortem["tg/poison"]) == 0 {
+		t.Error("postmortem empty: sidecar flight not harvested")
+	}
+	if _, err := os.Stat(l.telemetry); !os.IsNotExist(err) {
+		t.Error("settled lease left its telemetry sidecar behind")
+	}
+}
+
+// TestHeartbeatAbsentSidecarDoesNotKill: a worker that has never written
+// telemetry (ProcLauncher crash before the first snapshot, or telemetry
+// disabled) must not be heartbeat-killed — only the journal-growth lease
+// applies.
+func TestHeartbeatAbsentSidecarDoesNotKill(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(filepath.Join(dir, "run.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	h := &stuckHandle{killed: make(chan struct{})}
+	l := &lease{
+		id:        "worker-test-r001-w00",
+		keys:      []string{"tg/a"},
+		journal:   filepath.Join(dir, "w.journal"),
+		telemetry: filepath.Join(dir, "w.telem.json"), // never written
+		handle:    h,
+	}
+	cfg := Config{
+		PollInterval:     time.Millisecond,
+		LeaseTicks:       40, // the journal clock is what must fire
+		HeartbeatTimeout: 5 * time.Millisecond,
+	}.withDefaults()
+
+	if err := pollRound(context.Background(), j, []*lease{l}, cfg, map[string]int{},
+		map[string][]string{}, &Result{}); err != nil {
+		t.Fatal(err)
+	}
+	// The worker was killed — but only after the lease expired, which
+	// takes at least LeaseTicks polls; a heartbeat kill would have fired
+	// within ~HeartbeatTimeout. We can't time-assert robustly, so assert
+	// the observable contract: the kill happened (pollRound returned) and
+	// nothing crashed on the absent sidecar.
+	select {
+	case <-h.killed:
+	default:
+		t.Error("worker was never killed")
+	}
+}

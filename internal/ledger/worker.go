@@ -3,6 +3,8 @@ package ledger
 import (
 	"context"
 	"fmt"
+	"os"
+	"time"
 
 	"wcet/internal/core"
 	"wcet/internal/faults"
@@ -53,6 +55,22 @@ func RunWorker(ctx context.Context, assignmentPath string, w WorkerOptions) erro
 	}
 	defer j.Close()
 
+	// Worker observability: the handed-down observer (GoLauncher shares the
+	// coordinator's bus) or — for process workers with telemetry enabled —
+	// a self-built one, so the flight recorder and registry exist to
+	// snapshot into the sidecar. Either way the handle is labeled with the
+	// lease id: progress lines interleaved on a shared stderr stay
+	// attributable, and bus events carry the worker.
+	ob := w.Obs
+	if ob == nil && a.Telemetry != "" {
+		c := obs.Config{}
+		if a.Verbose {
+			c.Progress = os.Stderr
+		}
+		ob = obs.New(c)
+	}
+	ob = ob.Named(a.ID)
+
 	// Owned units that already have records (a re-leased shard after a
 	// partial death) count as complete up front, so a fully-journaled
 	// shard drains immediately and the worker exits without recomputing.
@@ -82,7 +100,51 @@ func RunWorker(ctx context.Context, assignmentPath string, w WorkerOptions) erro
 		ctx = faults.With(ctx, faults.New(spec.rules()...))
 	}
 	opt.Journal = j
-	opt.Obs = w.Obs
+	opt.Obs = ob
+
+	// Telemetry sidecar: rewrite a snapshot of (progress, registry, flight
+	// ring) every interval with temp+rename, plus once on the way out so a
+	// clean exit leaves its final state. A SIGKILLed worker leaves its last
+	// periodic snapshot — exactly the post-mortem the coordinator harvests.
+	if a.Telemetry != "" {
+		interval := time.Duration(a.TelemetryMS) * time.Millisecond
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		total := len(a.Keys)
+		var seq int64
+		writeTelem := func() {
+			seq++
+			_ = obs.WriteTelemetry(a.Telemetry, &obs.Telemetry{
+				ID:       a.ID,
+				Seq:      seq,
+				WallMS:   ob.Elapsed().Milliseconds(),
+				Done:     total - len(scope.Remaining()),
+				Total:    total,
+				Appended: j.Appended(),
+				Metrics:  ob.Metrics().Snapshot(true),
+				Flight:   ob.FlightDump(),
+			})
+		}
+		writeTelem()
+		stop := make(chan struct{})
+		ticker := time.NewTicker(interval)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					writeTelem()
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			writeTelem()
+		}()
+	}
 
 	_, runErr := core.AnalyzeGraphCtx(ctx, file, fn, g, opt)
 	if scope.Drained() {

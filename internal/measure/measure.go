@@ -152,6 +152,8 @@ func CampaignTagged(ctx context.Context, tag string, plan *partition.Plan, vm *s
 				if j.GetJSON(measKey(tag, i), &rec) {
 					observe(&sim.Trace{Events: rec.Events, Total: rec.Total})
 					o.Count("measure.journal.replayed", 1)
+					ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "measure/" + tag,
+						Unit: measKey(tag, i), Detail: "replayed"})
 					return nil
 				}
 				if !scope.Owns(measKey(tag, i)) {
@@ -180,6 +182,8 @@ func CampaignTagged(ctx context.Context, tag string, plan *partition.Plan, vm *s
 			}
 			if tag != "" {
 				_ = j.PutJSON(measKey(tag, i), &traceRecord{Events: tr.Events, Total: tr.Total})
+				ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "measure/" + tag,
+					Unit: measKey(tag, i), Detail: fmt.Sprintf("cycles=%d", tr.Total)})
 			}
 			observe(tr)
 			return nil
@@ -340,6 +344,8 @@ func ExhaustiveMaxTagged(ctx context.Context, tag string, vm *sim.VM,
 				if j.GetJSON(measKey(tag, i), &total) {
 					observe(total)
 					o.Count("measure.journal.replayed", 1)
+					ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "measure/" + tag,
+						Unit: measKey(tag, i), Detail: "replayed"})
 					return nil
 				}
 				if !scope.Owns(measKey(tag, i)) {
@@ -364,6 +370,8 @@ func ExhaustiveMaxTagged(ctx context.Context, tag string, vm *sim.VM,
 			}
 			if tag != "" {
 				_ = j.PutJSON(measKey(tag, i), tr.Total)
+				ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "measure/" + tag,
+					Unit: measKey(tag, i), Detail: fmt.Sprintf("cycles=%d", tr.Total)})
 			}
 			observe(tr.Total)
 			return nil

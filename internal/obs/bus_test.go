@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBusDeliversInOrder(t *testing.T) {
+	o := New(Config{})
+	sub := o.Subscribe(16)
+	defer sub.Close()
+	o.Emit(BusEvent{Kind: EvUnitLeased, Unit: "tg/a"})
+	o.Emit(BusEvent{Kind: EvUnitCompleted, Unit: "tg/a"})
+	o.Emit(BusEvent{Kind: EvVerdict, Unit: "tg/a", Verdict: "found-by-mc"})
+
+	var kinds []EventKind
+	var seqs []uint64
+	for {
+		ev, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		kinds = append(kinds, ev.Kind)
+		seqs = append(seqs, ev.Seq)
+	}
+	if len(kinds) != 3 || kinds[0] != EvUnitLeased || kinds[1] != EvUnitCompleted || kinds[2] != EvVerdict {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] != seqs[i-1]+1 {
+			t.Errorf("seq not contiguous: %v", seqs)
+		}
+	}
+	if got := o.Bus().Published(); got != 3 {
+		t.Errorf("Published = %d, want 3", got)
+	}
+}
+
+// TestBusBackpressureDropsOldest is the backpressure contract: a stalled
+// subscriber (one that never drains) loses its oldest events — counted in
+// the subscription and in the obs.events_dropped metric — while Emit
+// never blocks.
+func TestBusBackpressureDropsOldest(t *testing.T) {
+	o := New(Config{})
+	sub := o.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		o.Emit(BusEvent{Kind: EvProgress, Detail: string(rune('a' + i))})
+	}
+	if got := sub.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	if got := o.Metrics().Value("obs.events_dropped"); got != 6 {
+		t.Errorf("obs.events_dropped = %d, want 6", got)
+	}
+	// The survivors are the newest four, still in order.
+	var got []string
+	for {
+		ev, ok := sub.TryNext()
+		if !ok {
+			break
+		}
+		got = append(got, ev.Detail)
+	}
+	if strings.Join(got, "") != "ghij" {
+		t.Errorf("surviving events = %q, want ghij", strings.Join(got, ""))
+	}
+}
+
+func TestSubscriptionNextWakesOnCloseAndCancel(t *testing.T) {
+	o := New(Config{})
+
+	sub := o.Subscribe(4)
+	done := make(chan bool)
+	go func() {
+		_, ok := sub.Next(nil)
+		done <- ok
+	}()
+	o.Emit(BusEvent{Kind: EvProgress, Detail: "x"})
+	if ok := <-done; !ok {
+		t.Fatal("Next returned !ok for a delivered event")
+	}
+
+	// Close wakes a blocked Next with ok=false once the ring is empty.
+	go func() {
+		_, ok := sub.Next(nil)
+		done <- ok
+	}()
+	sub.Close()
+	if ok := <-done; ok {
+		t.Fatal("Next returned ok after Close on an empty ring")
+	}
+
+	// A cancel channel wakes Next the same way.
+	sub2 := o.Subscribe(4)
+	defer sub2.Close()
+	cancel := make(chan struct{})
+	go func() {
+		_, ok := sub2.Next(cancel)
+		done <- ok
+	}()
+	close(cancel)
+	if ok := <-done; ok {
+		t.Fatal("Next returned ok after cancel")
+	}
+}
+
+func TestBusCloseDrainsRacedEvents(t *testing.T) {
+	o := New(Config{})
+	sub := o.Subscribe(8)
+	o.Emit(BusEvent{Kind: EvProgress, Detail: "before-close"})
+	sub.Close()
+	ev, ok := sub.Next(nil)
+	if !ok || ev.Detail != "before-close" {
+		t.Fatalf("event published before Close was lost: ok=%v ev=%+v", ok, ev)
+	}
+	if _, ok := sub.Next(nil); ok {
+		t.Fatal("drained subscription still yields events")
+	}
+}
+
+func TestNilObserverBusIsInert(t *testing.T) {
+	var o *Observer
+	o.Emit(BusEvent{Kind: EvProgress, Detail: "x"}) // must not panic
+	if sub := o.Subscribe(4); sub != nil {
+		t.Error("Subscribe on nil observer != nil")
+	}
+	if o.Bus() != nil {
+		t.Error("Bus on nil observer != nil")
+	}
+	if o.Bus().Published() != 0 || o.Bus().Stage() != "" {
+		t.Error("nil bus reports nonzero state")
+	}
+	if o.FlightDump() != nil {
+		t.Error("FlightDump on nil observer != nil")
+	}
+}
+
+func TestStageTracksStageStartEvents(t *testing.T) {
+	o := New(Config{})
+	sp := o.Span("stage", "testgen", "30/testgen")
+	if got := o.Bus().Stage(); got != "testgen" {
+		t.Errorf("Stage = %q, want testgen", got)
+	}
+	sub := o.Subscribe(8)
+	sp.End()
+	ev, ok := sub.TryNext()
+	if !ok || ev.Kind != EvStageFinish || ev.Stage != "testgen" {
+		t.Errorf("End(stage) published %+v, want stage.finish/testgen", ev)
+	}
+}
+
+func TestNamedObserverLabelsEvents(t *testing.T) {
+	o := New(Config{})
+	sub := o.Subscribe(8)
+	defer sub.Close()
+	w := o.Named("worker-7")
+	w.Emit(BusEvent{Kind: EvUnitCompleted, Unit: "tg/x"})
+	ev, ok := sub.TryNext()
+	if !ok || ev.Worker != "worker-7" {
+		t.Errorf("derived handle event = %+v, want worker=worker-7 (shared bus)", ev)
+	}
+	// An explicit Worker wins over the label.
+	w.Emit(BusEvent{Kind: EvUnitCompleted, Unit: "tg/y", Worker: "other"})
+	if ev, _ := sub.TryNext(); ev.Worker != "other" {
+		t.Errorf("explicit Worker overridden: %+v", ev)
+	}
+}
+
+func TestEmitConcurrentWithSubscribeAndClose(t *testing.T) {
+	o := New(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				o.Emit(BusEvent{Kind: EvProgress, Detail: "spin"})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := o.Subscribe(4)
+				sub.TryNext()
+				sub.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Bus().Published(); got != 800 {
+		t.Errorf("Published = %d, want 800", got)
+	}
+}

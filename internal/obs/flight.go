@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// flightSize is the per-process flight-recorder capacity: enough recent
+// events to explain a crash without ever growing with run length.
+const flightSize = 64
+
+// Flight is a fixed-size ring of recent event lines — the per-process
+// flight recorder. It records every bus event (one rendered line each) and
+// is dumped on panic, quarantine, or worker death so that every
+// `unavailable` verdict carries its last-N-events post-mortem. A nil
+// Flight is inert.
+type Flight struct {
+	mu    sync.Mutex
+	buf   [flightSize]string
+	start int
+	n     int
+}
+
+func (f *Flight) record(ev BusEvent) {
+	if f == nil {
+		return
+	}
+	line := ev.Line()
+	f.mu.Lock()
+	if f.n == len(f.buf) {
+		f.buf[f.start] = line
+		f.start = (f.start + 1) % len(f.buf)
+	} else {
+		f.buf[(f.start+f.n)%len(f.buf)] = line
+		f.n++
+	}
+	f.mu.Unlock()
+}
+
+// Dump returns the recorded lines, oldest first.
+func (f *Flight) Dump() []string {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, f.n)
+	for i := 0; i < f.n; i++ {
+		out = append(out, f.buf[(f.start+i)%len(f.buf)])
+	}
+	return out
+}
+
+// FlightDump returns the observer's recent-event ring, oldest first (nil
+// for a nil observer). Derived Worker/Named handles share one recorder.
+func (o *Observer) FlightDump() []string {
+	if o == nil {
+		return nil
+	}
+	return o.flight.Dump()
+}
+
+// WriteCrash writes a flight-recorder dump to path with the same
+// temp+rename discipline as the verdict cache, so a concurrent reader
+// never sees a torn file. The dump is volatile diagnostic output; it never
+// feeds a canonical export.
+func WriteCrash(path, reason string, flight []string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-crash-*")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tmp, "wcet crash report\nreason: %s\ntime: %s\nlast %d event(s):\n",
+		reason, time.Now().Format(time.RFC3339), len(flight))
+	for _, line := range flight {
+		fmt.Fprintf(tmp, "  %s\n", line)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFlightRingKeepsNewest(t *testing.T) {
+	o := New(Config{})
+	for i := 0; i < flightSize+10; i++ {
+		o.Emit(BusEvent{Kind: EvProgress, Detail: fmt.Sprintf("ev-%d", i)})
+	}
+	dump := o.FlightDump()
+	if len(dump) != flightSize {
+		t.Fatalf("dump length = %d, want %d", len(dump), flightSize)
+	}
+	if !strings.Contains(dump[0], "ev-10") {
+		t.Errorf("oldest retained line = %q, want ev-10 (first 10 evicted)", dump[0])
+	}
+	if !strings.Contains(dump[len(dump)-1], fmt.Sprintf("ev-%d", flightSize+9)) {
+		t.Errorf("newest line = %q, want ev-%d", dump[len(dump)-1], flightSize+9)
+	}
+}
+
+func TestFlightSharedAcrossDerivedHandles(t *testing.T) {
+	o := New(Config{})
+	o.Named("w1").Emit(BusEvent{Kind: EvUnitCompleted, Unit: "tg/a"})
+	o.Worker(3).Emit(BusEvent{Kind: EvUnitCompleted, Unit: "tg/b"})
+	dump := o.FlightDump()
+	if len(dump) != 2 {
+		t.Fatalf("dump = %v, want 2 lines from derived handles", dump)
+	}
+	if !strings.Contains(dump[0], "worker=w1") || !strings.Contains(dump[0], "unit=tg/a") {
+		t.Errorf("line = %q, want worker=w1 unit=tg/a", dump[0])
+	}
+}
+
+func TestWriteCrashFormat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.journal.crash")
+	flight := []string{"+0.001s #1 unit.leased unit=tg/a", "+0.500s #2 progress stalling"}
+	if err := WriteCrash(path, "quarantined: unit killed its worker 2 time(s)", flight); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"wcet crash report",
+		"reason: quarantined: unit killed its worker 2 time(s)",
+		"last 2 event(s):",
+		"  +0.001s #1 unit.leased unit=tg/a",
+		"  +0.500s #2 progress stalling",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("crash file missing %q:\n%s", want, text)
+		}
+	}
+	// temp+rename: no stray temp files left behind.
+	if m, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(m) != 0 {
+		t.Errorf("leftover temp files: %v", m)
+	}
+}

@@ -55,31 +55,46 @@ type Config struct {
 }
 
 // Observer is one observation session: a metrics registry, a trace
-// recorder and an optional progress stream, shared by every stage of one
-// analysis. The zero value is not usable — construct with New. A nil
-// Observer is the disabled state: every method is a nil-check no-op.
+// recorder, an event bus with its flight recorder, and an optional
+// progress stream, shared by every stage of one analysis. The zero value
+// is not usable — construct with New. A nil Observer is the disabled
+// state: every method is a nil-check no-op.
 //
 // Observers are safe for concurrent use. Worker returns a derived handle
-// that attributes trace events to a worker lane; all derived handles share
-// the same registry and tracer.
+// that attributes trace events to a worker lane; Named returns one whose
+// events and progress lines carry a label. All derived handles share the
+// same registry, tracer, bus and flight recorder.
 type Observer struct {
 	reg      *Registry
 	tr       *Tracer
+	bus      *Bus
+	flight   *Flight
 	progress io.Writer
-	progMu   *sync.Mutex
 	epoch    time.Time
 	tid      int
+	label    string
 }
 
-// New builds an enabled Observer with a fresh registry and tracer.
+// progressMu serialises progress writes across every observer in the
+// process: the distributed coordinator and in-process GoLauncher workers
+// hold distinct observers but share one stderr, and interleaved partial
+// lines are worse than a global lock on a human-rate stream.
+var progressMu sync.Mutex
+
+// New builds an enabled Observer with a fresh registry, tracer, event bus
+// and flight recorder.
 func New(c Config) *Observer {
-	return &Observer{
+	o := &Observer{
 		reg:      NewRegistry(),
 		tr:       newTracer(),
+		flight:   &Flight{},
 		progress: c.Progress,
-		progMu:   &sync.Mutex{},
 		epoch:    time.Now(),
 	}
+	o.bus = newBus(func(n int64) {
+		o.reg.metric("obs.events_dropped", KindCounter, true).add(n)
+	})
+	return o
 }
 
 // Metrics returns the observer's registry (nil for a nil observer).
@@ -111,16 +126,36 @@ func (o *Observer) Worker(w int) *Observer {
 	return &d
 }
 
-// Progressf writes one progress line, prefixed with the elapsed wall time.
-// Safe for concurrent use; a no-op without a progress writer.
+// Named derives a handle whose events and progress lines are attributed to
+// label (the distributed path labels workers with their assignment id, so
+// interleaved fleet progress stays readable). The derived handle shares
+// the registry, tracer, bus and flight recorder.
+func (o *Observer) Named(label string) *Observer {
+	if o == nil {
+		return nil
+	}
+	d := *o
+	d.label = label
+	return &d
+}
+
+// Elapsed returns the wall time since the observer was constructed.
+func (o *Observer) Elapsed() time.Duration {
+	if o == nil {
+		return 0
+	}
+	return time.Since(o.epoch)
+}
+
+// Progressf publishes one EvProgress event — recorded on the bus and the
+// flight ring, and rendered as a progress line prefixed with the elapsed
+// wall time (and the Named label, if any) when a progress writer is
+// attached. Safe for concurrent use.
 func (o *Observer) Progressf(format string, args ...any) {
-	if o == nil || o.progress == nil {
+	if o == nil {
 		return
 	}
-	o.progMu.Lock()
-	defer o.progMu.Unlock()
-	fmt.Fprintf(o.progress, "[%8.3fs] %s\n",
-		time.Since(o.epoch).Seconds(), fmt.Sprintf(format, args...))
+	o.Emit(BusEvent{Kind: EvProgress, Detail: fmt.Sprintf(format, args...)})
 }
 
 // ---------------------------------------------------------------------------
@@ -147,6 +182,9 @@ type Span struct {
 func (o *Observer) Span(cat, name, logical string, kv ...any) *Span {
 	if o == nil {
 		return nil
+	}
+	if cat == "stage" {
+		o.Emit(BusEvent{Kind: EvStageStart, Stage: name})
 	}
 	return &Span{o: o, cat: cat, name: name, logical: logical,
 		start: time.Now(), args: makeArgs(kv)}
@@ -180,6 +218,10 @@ func (s *Span) End(kv ...any) {
 		DurNS:    now.Sub(s.start).Nanoseconds(),
 		Args:     append(s.args, makeArgs(kv)...),
 	})
+	if s.cat == "stage" {
+		s.o.Emit(BusEvent{Kind: EvStageFinish, Stage: s.name,
+			Detail: fmt.Sprintf("dur=%dms", now.Sub(s.start).Milliseconds())})
+	}
 }
 
 // Instant emits a deterministic zero-duration event — the ledger events

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// promName sanitises a registry metric name into a Prometheus metric name:
+// every character outside [a-zA-Z0-9_] becomes '_' and the result gains
+// the wcet_ namespace prefix ("testgen.mc.steps" -> "wcet_testgen_mc_steps").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 5)
+	b.WriteString("wcet_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus serialises every metric (volatile included — this is a
+// live diagnostic surface, not a canonical export) in the Prometheus text
+// exposition format. Counters map to counter, max/gauge to gauge, and
+// histograms to cumulative _bucket/_sum/_count series with power-of-two
+// upper bounds matching the registry's bit-length buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, s := range r.Snapshot(true) {
+		name := promName(s.Name)
+		help := s.Kind
+		if s.Volatile {
+			help += ", volatile"
+		} else {
+			help += ", deterministic"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s (%s)\n", name, s.Name, help); err != nil {
+			return err
+		}
+		switch s.Kind {
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for _, b := range s.Buckets {
+				cum += b.N
+				// Bucket Bit holds values in [2^(Bit-1), 2^Bit); its
+				// inclusive upper bound is 2^Bit - 1.
+				le := int64(1)<<uint(b.Bit) - 1
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, le, cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count); err != nil {
+				return err
+			}
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Value); err != nil {
+				return err
+			}
+		default: // max, gauge
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Value); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

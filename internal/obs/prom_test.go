@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"testgen.mc.steps":   "wcet_testgen_mc_steps",
+		"ledger.workers":     "wcet_ledger_workers",
+		"odd-name with sp":   "wcet_odd_name_with_sp",
+		"already_underscore": "wcet_already_underscore",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusExposition(t *testing.T) {
+	o := New(Config{})
+	o.Count("mc.verdicts", 3)
+	o.SetMax("bdd.nodes_peak", 1024)
+	o.Hist("mc.steps", 1) // bit 1: le 1
+	o.Hist("mc.steps", 5) // bit 3: le 7
+	o.CountV("obs.events_dropped", 2)
+
+	var buf bytes.Buffer
+	if err := o.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP wcet_mc_verdicts mc.verdicts (counter, deterministic)",
+		"# TYPE wcet_mc_verdicts counter",
+		"wcet_mc_verdicts 3",
+		"# TYPE wcet_bdd_nodes_peak gauge",
+		"wcet_bdd_nodes_peak 1024",
+		"# TYPE wcet_mc_steps histogram",
+		"wcet_mc_steps_bucket{le=\"+Inf\"} 2",
+		"wcet_mc_steps_sum 6",
+		"wcet_mc_steps_count 2",
+		"# HELP wcet_obs_events_dropped obs.events_dropped (counter, volatile)",
+		"wcet_obs_events_dropped 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// Histogram buckets must be cumulative and non-decreasing, with the
+	// +Inf bucket equal to the count — the invariant Prometheus scrapers
+	// assume.
+	last := int64(-1)
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "wcet_mc_steps_bucket") {
+			continue
+		}
+		fields := strings.Fields(line)
+		n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = n
+	}
+	if last != 2 {
+		t.Errorf("final (+Inf) bucket = %d, want 2", last)
+	}
+}
+
+func TestWritePrometheusNilRegistry(t *testing.T) {
+	var r *Registry
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}

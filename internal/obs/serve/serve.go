@@ -1,0 +1,147 @@
+// Package serve exposes a live observer over HTTP: /status (JSON
+// snapshot), /metrics (Prometheus text exposition), /events (SSE over the
+// event bus) and /debug/pprof. It is a diagnostic surface, deliberately
+// read-only and stdlib-only; the planned wcetd daemon mounts the same
+// handler per job.
+//
+// Serving never perturbs the analysis: /status and /metrics read
+// registry/bus snapshots, and /events subscribers sit behind the bus's
+// bounded drop-oldest rings, so a stalled curl drops events instead of
+// stalling the pipeline. Canonical reports stay byte-identical with and
+// without a server attached.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+
+	"wcet/internal/obs"
+)
+
+// Config wires a handler to one observed run.
+type Config struct {
+	// Observer supplies the registry (/metrics), the bus (/events) and
+	// the volatile half of /status. Required.
+	Observer *obs.Observer
+	// Status computes the deterministic half of /status — typically a
+	// closure over journal.ReadFile + core.StatusFromRecords. Optional:
+	// without it /status serves only the bus-derived volatile view.
+	Status func() (*obs.Status, error)
+	// Fleet lists per-worker telemetry for distributed runs. Optional.
+	Fleet func() []obs.WorkerStatus
+	// EventBuffer sizes each /events subscriber's drop-oldest ring
+	// (default 256).
+	EventBuffer int
+}
+
+// Handler builds the HTTP mux for one observed run.
+func Handler(c Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", c.serveStatus)
+	mux.HandleFunc("/metrics", c.serveMetrics)
+	mux.HandleFunc("/events", c.serveEvents)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (c Config) serveStatus(w http.ResponseWriter, req *http.Request) {
+	st := &obs.Status{}
+	if c.Status != nil {
+		if s, err := c.Status(); err != nil {
+			st.Volatile.Err = err.Error()
+		} else if s != nil {
+			*st = *s
+		}
+	}
+	o := c.Observer
+	st.Volatile.ElapsedMS = o.Elapsed().Milliseconds()
+	st.Volatile.EventsPublished = o.Bus().Published()
+	st.Volatile.EventsDropped = o.Metrics().Value("obs.events_dropped")
+	st.Volatile.BusStage = o.Bus().Stage()
+	if c.Fleet != nil {
+		st.Volatile.Workers = c.Fleet()
+		for _, ws := range st.Volatile.Workers {
+			st.Volatile.InFlight += ws.Total - ws.Done
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}
+
+func (c Config) serveMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.Observer.Metrics().WritePrometheus(w)
+}
+
+func (c Config) serveEvents(w http.ResponseWriter, req *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	buf := c.EventBuffer
+	if buf <= 0 {
+		buf = 256
+	}
+	sub := c.Observer.Subscribe(buf)
+	if sub == nil {
+		http.Error(w, "no observer", http.StatusServiceUnavailable)
+		return
+	}
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		ev, ok := sub.Next(req.Context().Done())
+		if !ok {
+			return
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n",
+			ev.Seq, ev.Kind, data); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+// Server is a bound, running status server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves Handler(c) until Close.
+func Start(addr string, c Config) (*Server, error) {
+	if c.Observer == nil {
+		return nil, fmt.Errorf("serve: Config.Observer is required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(c)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close immediately shuts the server down, aborting open SSE streams.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"wcet/internal/obs"
+)
+
+func startTestServer(t *testing.T, c Config) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf []byte
+	buf = make([]byte, 0, 4096)
+	tmp := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(tmp)
+		buf = append(buf, tmp[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return resp, buf
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	o := obs.New(obs.Config{})
+	o.Span("stage", "testgen", "30/testgen")
+	s := startTestServer(t, Config{
+		Observer: o,
+		Status: func() (*obs.Status, error) {
+			st := &obs.Status{}
+			st.Deterministic.Stage = "mc"
+			st.Deterministic.Stages = []obs.StageStatus{{Stage: "ga", Done: 4, Total: 4}}
+			return st, nil
+		},
+		Fleet: func() []obs.WorkerStatus {
+			return []obs.WorkerStatus{
+				{ID: "w0", Done: 2, Total: 5},
+				{ID: "w1", Done: 1, Total: 4},
+			}
+		},
+	})
+	resp, body := get(t, "http://"+s.Addr()+"/status")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var st obs.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status is not JSON: %v\n%s", err, body)
+	}
+	if st.Deterministic.Stage != "mc" || len(st.Deterministic.Stages) != 1 {
+		t.Errorf("deterministic half lost: %+v", st.Deterministic)
+	}
+	if st.Volatile.BusStage != "testgen" {
+		t.Errorf("BusStage = %q, want testgen", st.Volatile.BusStage)
+	}
+	if st.Volatile.InFlight != 6 {
+		t.Errorf("InFlight = %d, want 6 (3+3)", st.Volatile.InFlight)
+	}
+	if len(st.Volatile.Workers) != 2 {
+		t.Errorf("Workers = %+v", st.Volatile.Workers)
+	}
+	if st.Volatile.EventsPublished == 0 {
+		t.Error("EventsPublished = 0 after a stage span")
+	}
+}
+
+func TestStatusEndpointErrorIsVolatile(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s := startTestServer(t, Config{
+		Observer: o,
+		Status:   func() (*obs.Status, error) { return nil, fmt.Errorf("journal torn") },
+	})
+	_, body := get(t, "http://"+s.Addr()+"/status")
+	var st obs.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.Volatile.Err, "journal torn") {
+		t.Errorf("status error not surfaced: %+v", st.Volatile)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	o := obs.New(obs.Config{})
+	o.Count("mc.verdicts", 5)
+	s := startTestServer(t, Config{Observer: o})
+	resp, body := get(t, "http://"+s.Addr()+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(string(body), "wcet_mc_verdicts 5") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+}
+
+// TestEventsSSE subscribes over HTTP and checks that bus events arrive as
+// well-formed SSE frames with matching id/event fields and JSON data.
+func TestEventsSSE(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s := startTestServer(t, Config{Observer: o})
+
+	resp, err := http.Get("http://" + s.Addr() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Publish after the subscription is live: the handler subscribes
+	// before writing its header, so once the header is out we are
+	// guaranteed on the bus.
+	o.Emit(obs.BusEvent{Kind: obs.EvUnitLeased, Unit: "tg/a", Worker: "w0"})
+	o.Emit(obs.BusEvent{Kind: obs.EvVerdict, Unit: "tg/a", Verdict: "infeasible"})
+
+	type frame struct{ id, event, data string }
+	frames := make(chan frame, 2)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var f frame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				f.id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			case line == "":
+				frames <- f
+				f = frame{}
+			}
+		}
+	}()
+
+	for i, wantKind := range []obs.EventKind{obs.EvUnitLeased, obs.EvVerdict} {
+		select {
+		case f := <-frames:
+			if f.event != string(wantKind) {
+				t.Fatalf("frame %d event = %q, want %q", i, f.event, wantKind)
+			}
+			var ev obs.BusEvent
+			if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+				t.Fatalf("frame %d data is not JSON: %v (%q)", i, err, f.data)
+			}
+			if fmt.Sprint(ev.Seq) != f.id {
+				t.Errorf("frame %d id %q != data seq %d", i, f.id, ev.Seq)
+			}
+			if ev.Unit != "tg/a" {
+				t.Errorf("frame %d unit = %q", i, ev.Unit)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}
+
+func TestStartRequiresObserver(t *testing.T) {
+	if _, err := Start("127.0.0.1:0", Config{}); err == nil {
+		t.Fatal("Start without an observer must fail")
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s := startTestServer(t, Config{Observer: o})
+	resp, body := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline")
+	if resp.StatusCode != http.StatusOK || len(body) == 0 {
+		t.Errorf("pprof cmdline: status %d, %d bytes", resp.StatusCode, len(body))
+	}
+}

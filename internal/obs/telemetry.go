@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Telemetry is one worker's periodic sidecar snapshot. Workers write it
+// next to their private journal with the same temp+rename discipline as
+// the verdict cache, so the coordinator (or any status poller) always
+// reads a complete JSON document. The file is volatile by construction —
+// it carries the worker's registry snapshot and flight recorder for
+// humans and liveness checks, never canonical data.
+type Telemetry struct {
+	ID     string `json:"id"`
+	Seq    int64  `json:"seq"`
+	WallMS int64  `json:"wall_ms"`
+	// Done/Total count the worker's assigned unit progress; Appended its
+	// journal appends.
+	Done     int `json:"done"`
+	Total    int `json:"total"`
+	Appended int `json:"appended"`
+	// Metrics is the full registry snapshot (volatile series included).
+	Metrics []MetricSnapshot `json:"metrics,omitempty"`
+	// Flight is the worker's recent-event ring, oldest first — harvested
+	// by the coordinator as the post-mortem for units the worker died on.
+	Flight []string `json:"flight,omitempty"`
+}
+
+// WriteTelemetry atomically replaces path with the snapshot.
+func WriteTelemetry(path string, t *Telemetry) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-telem-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadTelemetry loads a sidecar snapshot written by WriteTelemetry.
+func ReadTelemetry(path string) (*Telemetry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Telemetry
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTelemetryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "worker-1.telem.json")
+	in := &Telemetry{
+		ID: "worker-1", Seq: 7, WallMS: 1234,
+		Done: 3, Total: 9, Appended: 3,
+		Metrics: []MetricSnapshot{{Name: "mc.verdicts", Kind: "counter", Value: 3}},
+		Flight:  []string{"+0.001s #1 unit.leased unit=tg/a"},
+	}
+	if err := WriteTelemetry(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadTelemetry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Seq != in.Seq || out.Done != in.Done ||
+		out.Total != in.Total || out.Appended != in.Appended {
+		t.Errorf("round trip mutated snapshot: %+v", out)
+	}
+	if len(out.Flight) != 1 || out.Flight[0] != in.Flight[0] {
+		t.Errorf("flight lost in round trip: %v", out.Flight)
+	}
+
+	// Rewrites replace atomically and leave no temp files — the property
+	// the coordinator's lock-free reads depend on.
+	in.Seq = 8
+	if err := WriteTelemetry(path, in); err != nil {
+		t.Fatal(err)
+	}
+	if out, err = ReadTelemetry(path); err != nil || out.Seq != 8 {
+		t.Fatalf("rewrite not visible: %+v, %v", out, err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, ".tmp-*")); len(m) != 0 {
+		t.Errorf("leftover temp files: %v", m)
+	}
+}
+
+func TestReadTelemetryErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadTelemetry(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("absent file must error")
+	}
+	bad := filepath.Join(dir, "torn.json")
+	os.WriteFile(bad, []byte("{\"id\": \"w"), 0o644)
+	if _, err := ReadTelemetry(bad); err == nil {
+		t.Error("torn JSON must error")
+	}
+}

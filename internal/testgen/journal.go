@@ -80,6 +80,11 @@ type gaRecord struct {
 	Evals    int
 	Cover    map[string]envRecord
 	Attempts []string
+	// Quarantined marks a record fabricated by Quarantine rather than
+	// computed; Flight carries the dead worker's last-events post-mortem.
+	// Both are volatile diagnostics: they never reach a canonical export.
+	Quarantined bool     `json:",omitempty"`
+	Flight      []string `json:",omitempty"`
 }
 
 func (gen *Generator) packGA(o *gaOutcome) *gaRecord {
@@ -119,6 +124,11 @@ type tgRecord struct {
 	CauseKind   string
 	CauseMsg    string
 	Attempts    []string
+	// Quarantined marks a record fabricated by Quarantine rather than
+	// computed; Flight carries the dead worker's last-events post-mortem.
+	// Both are volatile diagnostics: they never reach a canonical export.
+	Quarantined bool     `json:",omitempty"`
+	Flight      []string `json:",omitempty"`
 }
 
 func packTG(gen *Generator, pr *PathResult, causeKind, causeMsg string) *tgRecord {

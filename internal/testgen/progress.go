@@ -37,6 +37,15 @@ type Progress struct {
 	// signal that the run will need the exhaustive fallback (or end
 	// unavailable). Valid only when both missing lists are empty.
 	Unknown bool
+	// GADone/GATotal and MCDone/MCTotal count journaled vs planned units
+	// per stage, for live status views. The MC totals are only enumerable
+	// once stage 1 is complete (the residue depends on the coverage fold)
+	// and stay 0/0 before that.
+	GADone, GATotal int
+	MCDone, MCTotal int
+	// Quarantined lists unit keys ("ga/…", "tg/…") whose records were
+	// fabricated by Quarantine, in target order.
+	Quarantined []string
 }
 
 // Progress folds the journal's records for targets under conf. It uses
@@ -52,6 +61,7 @@ func (gen *Generator) Progress(j *journal.Journal, targets []paths.Path, conf Co
 	}
 	board := newGABoard(keys)
 	if !conf.SkipGA {
+		p.GATotal = n
 		recs := make([]*gaRecord, n)
 		for i := range targets {
 			rec, ok := peekGA(j, keys[i])
@@ -59,8 +69,12 @@ func (gen *Generator) Progress(j *journal.Journal, targets []paths.Path, conf Co
 				p.MissingGA = append(p.MissingGA, "ga/"+keys[i])
 				continue
 			}
+			if rec.Quarantined {
+				p.Quarantined = append(p.Quarantined, "ga/"+keys[i])
+			}
 			recs[i] = rec
 		}
+		p.GADone = n - len(p.MissingGA)
 		if len(p.MissingGA) > 0 {
 			return p
 		}
@@ -79,10 +93,15 @@ func (gen *Generator) Progress(j *journal.Journal, targets []paths.Path, conf Co
 			p.Unknown = true
 			continue
 		}
+		p.MCTotal++
 		rec, ok := peekTG(j, keys[i])
 		if !ok {
 			p.MissingMC = append(p.MissingMC, "tg/"+keys[i])
 			continue
+		}
+		p.MCDone++
+		if rec.Quarantined {
+			p.Quarantined = append(p.Quarantined, "tg/"+keys[i])
 		}
 		switch Verdict(rec.Verdict) {
 		case FoundByHeuristic, FoundByModelChecker:
@@ -105,16 +124,21 @@ func (gen *Generator) Progress(j *journal.Journal, targets []paths.Path, conf Co
 // with an attributed infrastructure cause, landing the path in the
 // degradation ledger. Measurement keys are refused: skipping a measured
 // vector would silently lower per-unit maxima, which is unsound — such a
-// unit must fail the run instead.
-func Quarantine(j *journal.Journal, key, reason string) error {
+// unit must fail the run instead. flight, when non-nil, is the dead
+// worker's flight-recorder dump — stored on the fabricated record so the
+// degradation ledger entry carries its last-events post-mortem.
+func Quarantine(j *journal.Journal, key, reason string, flight []string) error {
 	switch {
 	case strings.HasPrefix(key, "ga/"):
-		return j.PutJSON(key, &gaRecord{Attempts: []string{reason}})
+		return j.PutJSON(key, &gaRecord{Attempts: []string{reason},
+			Quarantined: true, Flight: flight})
 	case strings.HasPrefix(key, "tg/"):
 		return j.PutJSON(key, &tgRecord{
-			Verdict:   int(Unknown),
-			CauseKind: fail.KindInfra,
-			CauseMsg:  reason,
+			Verdict:     int(Unknown),
+			CauseKind:   fail.KindInfra,
+			CauseMsg:    reason,
+			Quarantined: true,
+			Flight:      flight,
 		})
 	default:
 		return fmt.Errorf("testgen: unit %q cannot be quarantined: dropping it would be unsound", key)

@@ -83,6 +83,11 @@ type PathResult struct {
 	// volatile by design — a warm run and a clean run differ here and in
 	// no deterministic field — so canonical exports exclude it.
 	Cached bool
+	// Flight is the flight-recorder dump attached by the ledger when this
+	// unit was quarantined after repeatedly killing its worker: the dead
+	// worker's last events, harvested from its telemetry sidecar. Volatile
+	// diagnostics — excluded from every canonical export.
+	Flight []string
 }
 
 // Report aggregates a generation run.
@@ -195,6 +200,14 @@ func (gen *Generator) InputDecls() []*ast.VarDecl {
 	return out
 }
 
+// emitVerdict publishes one stage-2 verdict to the event bus (a no-op for
+// a nil observer). Bus events are volatile telemetry; this never touches
+// the canonical stream.
+func emitVerdict(ow *obs.Observer, key string, v Verdict, detail string) {
+	ow.Emit(obs.BusEvent{Kind: obs.EvVerdict, Stage: "mc",
+		Unit: "tg/" + key, Verdict: v.String(), Detail: detail})
+}
+
 // Generate produces test data for every target path.
 //
 // Both stages fan out over conf.Workers goroutines. GA searches run
@@ -263,6 +276,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				if rec, ok := loadGA(j, keys[i]); ok {
 					board.deliver(i, gen.unpackGA(rec))
 					o.Count("testgen.journal.replayed", 1)
+					ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "ga",
+						Unit: "ga/" + keys[i], Detail: "replayed"})
 					// The journal is authoritative for this run; copy the
 					// replayed unit into the cache so the next run hits.
 					if gaKeys != nil {
@@ -325,10 +340,14 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 					if gaKeys != nil {
 						storeGAVC(vc, gaKeys[i], &gaRecord{})
 					}
+					ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "ga",
+						Unit: "ga/" + keys[i], Detail: "skipped"})
 					return nil
 				}
 				if len(attempts) > 1 {
 					outcome.attempts = retry.History(attempts)
+					ow.Emit(obs.BusEvent{Kind: obs.EvUnitRetried, Stage: "ga",
+						Unit: "ga/" + keys[i], Detail: fmt.Sprintf("attempts=%d", len(attempts))})
 				}
 				rec := gen.packGA(outcome)
 				saveGA(j, keys[i], rec)
@@ -336,6 +355,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 					storeGAVC(vc, gaKeys[i], rec)
 				}
 				board.deliver(i, outcome)
+				ow.Emit(obs.BusEvent{Kind: obs.EvUnitCompleted, Stage: "ga",
+					Unit: "ga/" + keys[i], Detail: fmt.Sprintf("found=%t evals=%d", outcome.found, outcome.evals)})
 				return nil
 			}
 		})
@@ -429,7 +450,9 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				pr.MCStats = rec.stats()
 				pr.Attempts = rec.Attempts
 				pr.Err = fail.Replayed(rec.CauseKind, rec.CauseMsg)
+				pr.Flight = rec.Flight
 				o.Count("testgen.journal.replayed", 1)
+				emitVerdict(ow, keys[i], pr.Verdict, "replayed")
 				// Journal replay wins over the cache, and feeds it (first
 				// owner of the key only, so duplicate queries write once).
 				if vc != nil && ownsKey[k] && lows[k] != nil {
@@ -472,6 +495,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				pr.Verdict = Unknown
 				pr.Err = fail.Attribute(lerr, "testgen", keys[i])
 				saveTG(j, keys[i], packTG(gen, pr, fail.KindLabel(pr.Err), pr.Err.Error()))
+				emitVerdict(ow, keys[i], pr.Verdict, pr.Err.Error())
 				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				return nil
 			}
@@ -491,6 +515,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 						pr.Cached = true
 						saveTG(j, keys[i], rec)
 						o.Count("testgen.vcache.replayed", 1)
+						emitVerdict(ow, keys[i], pr.Verdict, "cached")
 						if pr.Err != nil {
 							sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 						} else {
@@ -551,6 +576,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			}
 			if len(history) > 1 {
 				pr.Attempts = append(pr.Attempts, history...)
+				ow.Emit(obs.BusEvent{Kind: obs.EvUnitRetried, Stage: "mc",
+					Unit: "tg/" + keys[i], Detail: fmt.Sprintf("attempts=%d", len(history))})
 			}
 			if err != nil {
 				// Root-context cancellation unwinds the whole run; any
@@ -566,6 +593,7 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 				if vc != nil && ownsKey[k] {
 					storeTGVC(vc, ckeys[k], rec)
 				}
+				emitVerdict(ow, keys[i], pr.Verdict, pr.Err.Error())
 				sp.End("verdict", pr.Verdict, "cause", pr.Err.Error())
 				return nil
 			}
@@ -581,6 +609,8 @@ func (gen *Generator) GenerateCtx(ctx context.Context, targets []paths.Path, con
 			if vc != nil && ownsKey[k] {
 				storeTGVC(vc, ckeys[k], rec)
 			}
+			emitVerdict(ow, keys[i],
+				pr.Verdict, fmt.Sprintf("steps=%d", res.Stats.Steps))
 			sp.End("verdict", pr.Verdict,
 				"steps", res.Stats.Steps, "peak-nodes", res.Stats.PeakNodes)
 			return nil

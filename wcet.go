@@ -61,6 +61,7 @@ import (
 	"wcet/internal/ledger"
 	"wcet/internal/mc"
 	"wcet/internal/obs"
+	"wcet/internal/obs/serve"
 	"wcet/internal/testgen"
 	"wcet/internal/vcache"
 )
@@ -108,6 +109,56 @@ type ObserverConfig = obs.Config
 // Observer.Metrics().WriteSnapshotAll (full metrics JSON), or the
 // canonical variants whose bytes are identical for every Workers value.
 func NewObserver(c ObserverConfig) *Observer { return obs.New(c) }
+
+// BusEvent is one structured event on the observer's live event bus:
+// stage transitions, unit lifecycle (leased/completed/retried/
+// quarantined), model-checker verdicts, degradations, worker spawns and
+// exits, and progress lines. Subscribe via Observer.Subscribe; slow
+// subscribers drop oldest events rather than stalling the analysis.
+type BusEvent = obs.BusEvent
+
+// Status is the live snapshot served at /status: a deterministic half
+// (stage frontier and per-stage done/total counts, a pure function of the
+// journal's records) and a volatile half (elapsed time, bus counters,
+// per-worker fleet telemetry).
+type Status = obs.Status
+
+// WorkerStatus is one worker's row in a distributed run's fleet
+// telemetry.
+type WorkerStatus = obs.WorkerStatus
+
+// StatusConfig wires a status server to one observed run.
+type StatusConfig = serve.Config
+
+// StatusServer is a running live-status HTTP server: /status (JSON),
+// /metrics (Prometheus text), /events (SSE), /debug/pprof.
+type StatusServer = serve.Server
+
+// ServeStatus starts the live-status HTTP server on addr (use
+// "127.0.0.1:0" for an ephemeral port). Serving is read-only and never
+// perturbs the analysis: canonical reports are byte-identical with and
+// without a server attached.
+func ServeStatus(addr string, c StatusConfig) (*StatusServer, error) { return serve.Start(addr, c) }
+
+// JournalStatus builds the deterministic /status closure for one
+// journaled analysis: each call snapshots the journal file lock-free
+// (the run may hold its flock) and recomputes stage progress from the
+// records. Use it as StatusConfig.Status.
+func JournalStatus(src string, opt Options, journalPath string) (func() (*Status, error), error) {
+	return core.JournalStatusFunc(src, opt, journalPath)
+}
+
+// FleetStatus reads the per-worker telemetry sidecars of a distributed
+// run from its work directory (by default the canonical journal's
+// directory). Use it as StatusConfig.Fleet.
+func FleetStatus(workDir string) []WorkerStatus { return ledger.ReadFleet(workDir) }
+
+// WriteCrashFile dumps a flight-recorder snapshot (Observer.FlightDump)
+// to path atomically — the post-mortem written next to the journal when
+// a run panics or a distributed unit is quarantined.
+func WriteCrashFile(path, reason string, flight []string) error {
+	return obs.WriteCrash(path, reason, flight)
+}
 
 // Journal is the crash-safe run journal threaded through an analysis via
 // Options.Journal: every completed unit of work (GA search, model-checker

@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache check-dist check-live lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache bench-dist bench-live clean
+.PHONY: help build test vet race check check-faults check-obs check-chaos check-symbolic check-cache check-dist check-live check-remote lint-prints bench bench-parallel bench-bdd bench-obs bench-journal bench-symbolic bench-cache bench-dist bench-live bench-remote clean
 
 help:
 	@echo "make build         - compile all packages"
@@ -21,6 +21,7 @@ help:
 	@echo "make check-cache   - verdict-cache & fingerprint-coverage suites under -race"
 	@echo "make check-dist    - distributed ledger & multi-process chaos suites under -race"
 	@echo "make check-live    - live telemetry (bus, HTTP surface, fleet, flight) under -race"
+	@echo "make check-remote  - machine-spanning launcher & network-chaos suites under -race"
 	@echo "make lint-prints   - fail on stray stdout writes inside internal/"
 	@echo "make bench         - regenerate every table and figure"
 	@echo "make bench-parallel- worker fan-out benchmarks -> BENCH_1.json"
@@ -31,6 +32,7 @@ help:
 	@echo "make bench-cache   - cold vs warm verdict-cache A/B -> BENCH_6.json"
 	@echo "make bench-dist    - single-process vs distributed A/B -> BENCH_7.json"
 	@echo "make bench-live    - live telemetry surface overhead A/B -> BENCH_8.json"
+	@echo "make bench-remote  - local procs vs loopback agents A/B -> BENCH_9.json"
 
 build:
 	$(GO) build ./...
@@ -44,7 +46,7 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race check-chaos check-symbolic check-cache check-dist check-live
+check: build vet test race check-chaos check-symbolic check-cache check-dist check-live check-remote
 
 # check-faults re-runs the resilience surface with the race detector on:
 # the fail/faults/par unit suites plus every stage's injected-fault,
@@ -132,6 +134,23 @@ check-live:
 	$(GO) test -race -count 1 \
 		-run 'Backpressure|LiveServer|LiveStatus|ExportsWritten' \
 		./internal/experiments ./cmd/wcet
+
+# check-remote drives the machine-spanning surface under the race
+# detector: the remote package's own suite (byte-prefix streaming, fault-
+# transport determinism, reconnect across torn streams, unreachable-host
+# fallback onto local workers), the network-chaos acceptance (deterministic
+# tears/partitions/duplications on the wire, an agent SIGKILLed mid-run, a
+# SIGKILLed-and-restarted coordinator harvesting partially-streamed
+# journals, byte-identity against the single-process reference), the
+# process-group kill contract, the remote-harvester sidecar robustness
+# tests, and the CLI's -agents / -ledger-agent / SIGTERM smoke tests.
+check-remote:
+	$(GO) test -race -count 1 ./internal/remote
+	$(GO) test -race -count 1 -run 'RemoteNetChaos' ./internal/chaos
+	$(GO) test -race -count 1 \
+		-run 'ProcLauncherKill|RemoteHarvester|FreshSidecar' ./internal/ledger
+	$(GO) test -race -count 1 \
+		-run 'RemoteAgents|Sigterm' ./cmd/wcet
 
 # lint-prints guards the stdout/stderr contract: library code under
 # internal/ must never print — results belong to the cmd tools' stdout,
@@ -221,6 +240,16 @@ bench-dist:
 bench-live:
 	$(GO) test -run '^$$' -bench LiveTelemetry -benchtime 20x . \
 	| $(GO) run ./cmd/benchlog -out BENCH_8.json
+
+# bench-remote measures what machine-spanning costs in the best case
+# (loopback TCP, no faults): the wiper pipeline over 4 local worker
+# processes vs the same 4 workers leased onto two loopback agents with
+# journals streamed back frame by frame, interleaved with byte-identity
+# asserted every iteration. The overhead-% metric prices the TCP hop and
+# the journal/telemetry forwarding alone — same workers, same shards.
+bench-remote:
+	$(GO) test -run '^$$' -bench RemoteAgents -benchtime 3x . \
+	| $(GO) run ./cmd/benchlog -out BENCH_9.json
 
 clean:
 	$(GO) clean ./...

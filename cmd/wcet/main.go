@@ -2,8 +2,9 @@
 // a C source file:
 //
 //	wcet [-func name] [-bound b] [-exhaustive] [-seed n] [-timeout d] [-mc-timeout d]
-//	     [-journal file] [-resume] [-distribute n] [-cache dir] [-watch]
-//	     [-v] [-trace file] [-metrics file] [-status addr] [-pprof addr] file.c
+//	     [-journal file] [-resume] [-distribute n] [-agents addrs] [-cache dir]
+//	     [-watch] [-v] [-trace file] [-metrics file] [-status addr] [-pprof addr]
+//	     file.c
 //
 // The analysis report goes to stdout; diagnostics, errors and -v progress go
 // to stderr, so results stay pipeable. -trace writes a Chrome trace-event
@@ -42,6 +43,23 @@
 // store). The hidden -ledger-worker flag is the worker entry point the
 // coordinator spawns; it is not meant for interactive use.
 //
+// -agents spans the distributed run across machines: each comma-separated
+// address names a wcet agent started on another host with the hidden
+// -ledger-agent mode (wcet -ledger-agent :9400), and -distribute n leases
+// its n workers round-robin onto the live agents, streaming their
+// journals back over TCP. A torn connection is resumed from the last
+// verified frame; an agent that stays unreachable through the reconnect
+// budget is marked down (visible under "remote" in /status) and its units
+// re-leased onto the remaining agents — or onto local worker processes
+// when every agent is down, so the run completes degraded-but-correct on
+// one machine. The report stays byte-identical to a local run throughout.
+// A two-machine run over loopback looks like:
+//
+//	wcet -ledger-agent 127.0.0.1:9400 &
+//	wcet -ledger-agent 127.0.0.1:9401 &
+//	wcet -journal run.journal -distribute 4 \
+//	     -agents 127.0.0.1:9400,127.0.0.1:9401 file.c
+//
 // -status serves live run telemetry over HTTP while the analysis runs:
 // GET /status returns a JSON snapshot (deterministic stage progress
 // recomputed from the journal plus volatile elapsed/bus/fleet counters),
@@ -67,6 +85,11 @@
 // each iteration re-proves only the regions the edit touched. -watch is
 // incompatible with -journal: a journal is bound to one program identity,
 // which is exactly what an edit changes.
+//
+// SIGINT and SIGTERM interrupt the analysis through the normal exit path:
+// everything already journaled stays durable, -trace and -metrics files
+// are still written, and the process exits 3 (interrupted) rather than
+// dying with artifacts half-missing.
 //
 // Exit codes:
 //
@@ -95,6 +118,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime/debug"
+	"strings"
+	"syscall"
 	"time"
 
 	"wcet"
@@ -146,7 +171,10 @@ func run(args []string) (code int) {
 	resume := fs.Bool("resume", false, "replay finished units from the -journal file instead of discarding them")
 	cacheDir := fs.String("cache", "", "memoize per-path verdicts in this directory; later runs (of this or an edited program) replay verdicts whose sliced query is unchanged")
 	distribute := fs.Int("distribute", 0, "run the analysis across this many worker processes under a fault-tolerant coordinator (requires -journal)")
+	agents := fs.String("agents", "", "comma-separated remote agent addresses to lease -distribute workers onto; falls back to local processes when every agent is down")
 	ledgerWorker := fs.String("ledger-worker", "", "internal: run one distributed-worker assignment file and exit (spawned by -distribute)")
+	ledgerAgent := fs.String("ledger-agent", "", "internal: serve this address as a remote execution agent until SIGINT/SIGTERM (leased onto by -agents coordinators)")
+	agentAddrFile := fs.String("agent-addr-file", "", "internal: write the agent's bound address to this file (test hook for ephemeral ports)")
 	watch := fs.Bool("watch", false, "re-run the analysis whenever the source file changes (best with -cache)")
 	verbose := fs.Bool("v", false, "print per-path test-data verdicts (stdout) and stage progress (stderr)")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event file of the pipeline stages")
@@ -164,13 +192,16 @@ func run(args []string) (code int) {
 	if *ledgerWorker != "" {
 		// Worker mode: the whole process is one leased shard. Signals still
 		// cancel cleanly; everything already journaled survives regardless.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		if err := wcet.LedgerWorker(ctx, *ledgerWorker); err != nil {
 			fmt.Fprintln(os.Stderr, "wcet:", err)
 			return exitError
 		}
 		return exitOK
+	}
+	if *ledgerAgent != "" {
+		return runAgent(*ledgerAgent, *agentAddrFile)
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
@@ -196,6 +227,10 @@ func run(args []string) (code int) {
 			fmt.Fprintln(os.Stderr, "wcet: -distribute is incompatible with -cache (the journal is the only store shared with workers)")
 			return exitUsage
 		}
+	}
+	if *agents != "" && *distribute == 0 {
+		fmt.Fprintln(os.Stderr, "wcet: -agents requires -distribute (agents serve leased distributed workers)")
+		return exitUsage
 	}
 	srcPath := fs.Arg(0)
 	src, err := os.ReadFile(srcPath)
@@ -271,7 +306,7 @@ func run(args []string) (code int) {
 		}
 	}()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -298,6 +333,26 @@ func run(args []string) (code int) {
 		}
 	}
 
+	// The worker launcher is built before the status server so the remote
+	// fleet view can be wired into /status.
+	var launcher wcet.LedgerLauncher
+	var remoteL *wcet.RemoteLauncher
+	if *distribute > 0 {
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
+		}
+		launcher = wcet.ProcessLauncher(self, "-ledger-worker")
+		if *agents != "" {
+			remoteL = &wcet.RemoteLauncher{
+				Agents:   strings.Split(*agents, ","),
+				Fallback: launcher,
+			}
+			launcher = remoteL
+		}
+	}
+
 	if *statusAddr != "" {
 		sc := wcet.StatusConfig{Observer: ob}
 		if *journalFile != "" {
@@ -311,6 +366,9 @@ func run(args []string) (code int) {
 		if *distribute > 0 {
 			workDir := filepath.Dir(*journalFile)
 			sc.Fleet = func() []wcet.WorkerStatus { return wcet.FleetStatus(workDir) }
+		}
+		if remoteL != nil {
+			sc.Remote = remoteL.Hosts
 		}
 		srv, err := wcet.ServeStatus(*statusAddr, sc)
 		if err != nil {
@@ -333,15 +391,10 @@ func run(args []string) (code int) {
 			fmt.Fprintln(os.Stderr, "wcet:", err)
 			return exitError
 		}
-		self, err := os.Executable()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wcet:", err)
-			return exitError
-		}
 		res, err := wcet.Distribute(ctx, spec, wcet.LedgerConfig{
 			JournalPath:   *journalFile,
 			Workers:       *distribute,
-			Launcher:      wcet.ProcessLauncher(self, "-ledger-worker"),
+			Launcher:      launcher,
 			WorkerVerbose: *verbose,
 			Obs:           ob,
 		})
@@ -410,6 +463,42 @@ func run(args []string) (code int) {
 		src = next
 		fmt.Printf("\n--- %s changed, re-analysing ---\n", srcPath)
 	}
+}
+
+// runAgent serves this process as a remote execution agent until a signal
+// arrives: coordinators started with -agents lease worker shards onto it
+// over TCP, and each worker is spawned by re-execing this binary with
+// -ledger-worker. SIGINT/SIGTERM shut the agent down, killing its worker
+// process groups.
+func runAgent(addr, addrFile string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcet:", err)
+		return exitError
+	}
+	agent, err := wcet.StartRemoteAgent(addr, wcet.RemoteAgentConfig{
+		Exec: []string{self, "-ledger-worker"},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcet:", err)
+		return exitError
+	}
+	fmt.Fprintf(os.Stderr, "wcet: remote agent serving on %s\n", agent.Addr())
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(agent.Addr()), 0o644); err != nil {
+			agent.Close()
+			fmt.Fprintln(os.Stderr, "wcet:", err)
+			return exitError
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	if err := agent.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wcet:", err)
+		return exitError
+	}
+	return exitOK
 }
 
 // distExitCode maps a distributed run's outcome to the exit-code contract;

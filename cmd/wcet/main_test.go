@@ -8,12 +8,16 @@ import (
 	"wcet"
 )
 
-// TestMain doubles as the distributed-worker entry point: when the
-// coordinator under test spawns workers via ProcessLauncher, it re-execs
-// this test binary with -ledger-worker as the first argument, and the shim
-// routes straight into run() before the test framework parses flags.
+// TestMain doubles as the CLI's re-exec entry points: coordinators under
+// test spawn workers by re-execing this binary with -ledger-worker,
+// remote-agent smoke tests start whole agent processes with -ledger-agent,
+// and signal tests run the entire CLI as a child via WCET_CLI_MAIN=1. Each
+// shim routes straight into run() before the test framework parses flags.
 func TestMain(m *testing.M) {
-	if len(os.Args) >= 3 && os.Args[1] == "-ledger-worker" {
+	switch {
+	case os.Getenv("WCET_CLI_MAIN") == "1":
+		os.Exit(run(os.Args[1:]))
+	case len(os.Args) >= 3 && (os.Args[1] == "-ledger-worker" || os.Args[1] == "-ledger-agent"):
 		os.Exit(run(os.Args[1:]))
 	}
 	os.Exit(m.Run())
@@ -66,6 +70,7 @@ func TestUsageErrors(t *testing.T) {
 		{"distribute with watch", []string{"-distribute", "2", "-journal", j, "-watch", src}},
 		{"distribute with cache", []string{"-distribute", "2", "-journal", j, "-cache", t.TempDir(), src}},
 		{"watch with journal", []string{"-watch", "-journal", j, src}},
+		{"agents without distribute", []string{"-agents", "127.0.0.1:1", src}},
 	}
 	for _, c := range cases {
 		if got := runQuiet(t, c.args...); got != exitUsage {

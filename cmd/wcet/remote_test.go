@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startAgent launches one -ledger-agent process of this test binary on an
+// ephemeral port and returns its command and published address. Agents
+// only exit on a signal; cleanup SIGTERMs them.
+func startAgent(t *testing.T, dir, name string) (*exec.Cmd, string) {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(dir, name+".addr")
+	cmd := exec.Command(self, "-ledger-agent", "127.0.0.1:0", "-agent-addr-file", addrFile)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		_ = cmd.Wait()
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return cmd, string(data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent %s never published its address", name)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRemoteAgentsSmoke drives the -agents path end to end over loopback:
+// two real -ledger-agent processes serve the leases, the coordinator runs
+// in-process, and a SIGTERMed agent exits cleanly through the normal path.
+func TestRemoteAgentsSmoke(t *testing.T) {
+	src := writeSmokeSrc(t)
+	dir := t.TempDir()
+	agent0, addr0 := startAgent(t, dir, "a0")
+	_, addr1 := startAgent(t, dir, "a1")
+
+	j := filepath.Join(dir, "run.journal")
+	if got := runQuiet(t, "-distribute", "2", "-journal", j,
+		"-agents", addr0+","+addr1, src); got != exitOK {
+		t.Fatalf("remote distributed run: exit %d, want %d", got, exitOK)
+	}
+	if got := runQuiet(t, "-distribute", "2", "-journal", j, "-resume",
+		"-agents", addr0+","+addr1, src); got != exitResumed {
+		t.Errorf("resumed remote run: exit %d, want %d", got, exitResumed)
+	}
+
+	// Graceful agent shutdown: SIGTERM must exit 0, not die by signal.
+	if err := agent0.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent0.Wait(); err != nil {
+		t.Errorf("SIGTERMed agent did not exit cleanly: %v", err)
+	}
+}
+
+// TestSigtermWritesArtifacts pins the signal contract: SIGTERM mid-run
+// exits through the normal path (code 3, interrupted), with the -trace and
+// -metrics exports written and everything journaled so far still durable.
+func TestSigtermWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "live.c")
+	if err := os.WriteFile(src, []byte(liveSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := filepath.Join(dir, "run.journal")
+	traceF := filepath.Join(dir, "t.json")
+	metricsF := filepath.Join(dir, "m.json")
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(self, "-exhaustive", "-journal", j,
+		"-trace", traceF, "-metrics", metricsF, src)
+	cmd.Env = append(os.Environ(), "WCET_CLI_MAIN=1")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for durable progress so the signal lands mid-analysis, then
+	// SIGTERM.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if fi, err := os.Stat(j); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("journal never grew — the run did not start")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != exitDegraded {
+		t.Fatalf("SIGTERMed run exited %v, want exit code %d through the normal path", err, exitDegraded)
+	}
+	for _, p := range []string{traceF, metricsF} {
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			t.Errorf("artifact %s not written on SIGTERM: %v", filepath.Base(p), rerr)
+			continue
+		}
+		if !json.Valid(data) {
+			t.Errorf("artifact %s is not valid JSON (%d bytes)", filepath.Base(p), len(data))
+		}
+	}
+	if fi, err := os.Stat(j); err != nil || fi.Size() == 0 {
+		t.Errorf("journal lost on SIGTERM: %v", err)
+	}
+}

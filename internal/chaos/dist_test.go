@@ -12,12 +12,21 @@ package chaos
 //	                         from CHAOS_SPEC_FILE, canonical journal at
 //	                         CHAOS_JOURNAL), spawning workers via the
 //	                         worker role with a kill schedule from
-//	                         CHAOS_KILL_SCHEDULE. The parent test SIGKILLs
-//	                         this process mid-run to model a coordinator
-//	                         crash.
+//	                         CHAOS_KILL_SCHEDULE. When CHAOS_REMOTE_AGENTS
+//	                         lists agent addresses, leases go through a
+//	                         remote.Launcher instead (fault-injecting
+//	                         transport when CHAOS_REMOTE_CHAOS=1, local
+//	                         ProcLauncher fallback). The parent test
+//	                         SIGKILLs this process mid-run to model a
+//	                         coordinator crash.
+//	CHAOS_REMOTE_AGENT=1   — run a remote execution agent on a loopback
+//	                         port, spawning workers by re-execing this
+//	                         binary in the worker role; write the bound
+//	                         address to CHAOS_AGENT_ADDR_FILE and park
+//	                         until SIGKILLed from outside.
 //
 // The worker role is checked first: a worker spawned by the coordinator
-// role inherits the coordinator's environment and carries both flags.
+// or agent role inherits the parent's environment and carries both flags.
 
 import (
 	"bytes"
@@ -39,6 +48,8 @@ import (
 	"wcet/internal/journal"
 	"wcet/internal/ledger"
 	"wcet/internal/model"
+	"wcet/internal/remote"
+	"wcet/internal/retry"
 )
 
 func TestMain(m *testing.M) {
@@ -47,6 +58,8 @@ func TestMain(m *testing.M) {
 		os.Exit(distWorkerMain())
 	case os.Getenv("CHAOS_LEDGER_COORD") == "1":
 		os.Exit(distCoordMain())
+	case os.Getenv("CHAOS_REMOTE_AGENT") == "1":
+		os.Exit(distAgentMain())
 	}
 	os.Exit(m.Run())
 }
@@ -89,21 +102,82 @@ func distCoordMain() int {
 		fmt.Fprintln(os.Stderr, "chaos coord:", err)
 		return 1
 	}
+	proc := &ledger.ProcLauncher{
+		Command: []string{self},
+		Env:     killScheduleEnv(os.Getenv("CHAOS_KILL_SCHEDULE")),
+	}
+	var launcher ledger.Launcher = proc
+	if agents := os.Getenv("CHAOS_REMOTE_AGENTS"); agents != "" {
+		var tr remote.Transport
+		if os.Getenv("CHAOS_REMOTE_CHAOS") == "1" {
+			tr = remote.NewFaultTransport(nil, remoteChaosRules()...)
+		}
+		launcher = &remote.Launcher{
+			Agents:      strings.Split(agents, ","),
+			Transport:   tr,
+			Fallback:    proc,
+			Policy:      retry.Policy{MaxAttempts: 5},
+			BackoffTick: 5 * time.Millisecond,
+		}
+	}
 	cfg := ledger.Config{
 		JournalPath:  os.Getenv("CHAOS_JOURNAL"),
 		Workers:      4,
 		PollInterval: 10 * time.Millisecond,
 		LeaseTicks:   1000,
-		Launcher: &ledger.ProcLauncher{
-			Command: []string{self},
-			Env:     killScheduleEnv(os.Getenv("CHAOS_KILL_SCHEDULE")),
-		},
+		Launcher:     launcher,
 	}
 	if _, err := ledger.Run(context.Background(), spec, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "chaos coord:", err)
 		return 1
 	}
 	return 0
+}
+
+// distAgentMain is the re-exec agent role: a standalone remote-execution
+// agent process the parent test can SIGKILL to model a machine dying. It
+// spawns workers by re-execing this binary, publishes its bound address
+// through a file, then parks forever — only an external kill ends it.
+func distAgentMain() int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos agent:", err)
+		return 1
+	}
+	agent, err := remote.StartAgent("127.0.0.1:0", remote.AgentConfig{
+		Exec:    []string{self},
+		Env:     func(string) []string { return []string{"CHAOS_LEDGER_WORKER=1"} },
+		WorkDir: os.Getenv("CHAOS_AGENT_WORKDIR"),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos agent:", err)
+		return 1
+	}
+	addrFile := os.Getenv("CHAOS_AGENT_ADDR_FILE")
+	if err := os.WriteFile(addrFile+".tmp", []byte(agent.Addr()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos agent:", err)
+		return 1
+	}
+	if err := os.Rename(addrFile+".tmp", addrFile); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos agent:", err)
+		return 1
+	}
+	select {} // parked until SIGKILLed
+}
+
+// remoteChaosRules is the deterministic wire-damage campaign both
+// coordinator incarnations arm against every agent: a torn stream early in
+// the first connection, a one-dial partition, a second tear deep enough to
+// land mid-frame once real records flow, and a duplicated window that
+// garbles message framing. Firing is keyed on per-address dial indexes, so
+// the campaign replays identically however leases land.
+func remoteChaosRules() []remote.NetRule {
+	return []remote.NetRule{
+		{Dial: 0, Mode: remote.Tear, After: 97},
+		{Dial: 1, Mode: remote.Refuse},
+		{Dial: 3, Mode: remote.Tear, After: 1203},
+		{Dial: 5, Mode: remote.Duplicate, After: 301},
+	}
 }
 
 // killScheduleEnv builds a ProcLauncher env hook that doles the comma-
@@ -189,9 +263,12 @@ func TestDistSoakKillEverywhereByteIdentical(t *testing.T) {
 	}
 
 	// Phase 1: a whole coordinator process, workers being SIGKILLed after
-	// 1 and 3 appends. Its own process group so the coordinator kill takes
-	// the surviving workers down too — their journals stay on disk for the
-	// restarted coordinator to harvest.
+	// 1 and 3 appends. The coordinator gets its own process group, but its
+	// workers deliberately do NOT share it (ProcLauncher starts each in its
+	// own group): the group SIGKILL below models a Ctrl-C-style kill that
+	// takes the coordinator down and leaves the surviving workers running
+	// as orphans, still appending to their journals — exactly what the
+	// restarted coordinator must harvest.
 	coord := exec.Command(self)
 	coord.Env = append(os.Environ(),
 		"CHAOS_LEDGER_COORD=1",
@@ -229,6 +306,35 @@ func TestDistSoakKillEverywhereByteIdentical(t *testing.T) {
 	}
 	if len(preRecords) == 0 {
 		t.Fatal("no durable progress survived the coordinator kill")
+	}
+
+	// Orphan liveness: with workers in their own process groups, the
+	// coordinator's death must not have taken them down — their private
+	// journals keep growing (the kill landed early in the run, so the
+	// surviving workers still hold unfinished units). If Setpgid were
+	// lost, the group kill would reap them and no journal would ever grow
+	// again.
+	workerSize := func() int64 {
+		paths, _ := filepath.Glob(filepath.Join(dir, "worker-*.journal"))
+		var total int64
+		for _, p := range paths {
+			if fi, err := os.Stat(p); err == nil {
+				total += fi.Size()
+			}
+		}
+		return total
+	}
+	base := workerSize()
+	grew := false
+	for end := time.Now().Add(time.Minute); time.Now().Before(end); {
+		if workerSize() > base {
+			grew = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !grew {
+		t.Error("no worker journal grew after the coordinator died — workers did not survive the group kill")
 	}
 
 	// Phase 2: restart the coordinator in-process on the same journal and

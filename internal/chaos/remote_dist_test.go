@@ -1,0 +1,273 @@
+package chaos
+
+// Machine-spanning chaos: the remote launcher under real network damage
+// and real process death. Two agent processes serve leases over loopback
+// TCP through a fault-injecting transport that tears streams mid-frame,
+// refuses dials and duplicates delivered bytes; one agent is SIGKILLed
+// mid-run, then the whole coordinator process is SIGKILLed and restarted
+// in-process to harvest the partially-streamed worker journals. The
+// canonical report must come out byte-identical to the single-process
+// reference — the ledger's merge discipline plus the client-side
+// byte-prefix invariant (only complete CRC-verified frames are appended
+// locally) make every torn stream recoverable or re-derivable.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wcet/internal/core"
+	"wcet/internal/journal"
+	"wcet/internal/ledger"
+	"wcet/internal/model"
+	"wcet/internal/remote"
+	"wcet/internal/retry"
+)
+
+// startAgentProc launches one agent role process and waits for its bound
+// address. The caller owns the process; it only dies by SIGKILL.
+func startAgentProc(t *testing.T, dir, name string) (*exec.Cmd, string) {
+	t.Helper()
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrFile := filepath.Join(dir, name+".addr")
+	workDir := filepath.Join(dir, name+"-work")
+	if err := os.MkdirAll(workDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(self)
+	cmd.Env = append(os.Environ(),
+		"CHAOS_REMOTE_AGENT=1",
+		"CHAOS_AGENT_ADDR_FILE="+addrFile,
+		"CHAOS_AGENT_WORKDIR="+workDir,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil && len(data) > 0 {
+			return cmd, string(data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("agent %s never published its address", name)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// unmergedWorkerRecords reports whether any coordinator-side worker
+// journal in dir holds a record the canonical journal does not — i.e.
+// partially-streamed progress a restarted coordinator can harvest.
+func unmergedWorkerRecords(dir, jpath string) bool {
+	canon, _, err := journal.ReadFile(jpath)
+	if err != nil {
+		return false
+	}
+	paths, _ := filepath.Glob(filepath.Join(dir, "worker-*.journal"))
+	for _, p := range paths {
+		records, _, err := journal.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		for k := range records {
+			if _, ok := canon[k]; !ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestRemoteNetChaosByteIdentical is the machine-spanning acceptance on
+// the wiper case study: a 4-worker run leased across two agent processes
+// through a transport that deterministically tears, refuses and
+// duplicates; one agent SIGKILLed mid-run, then the coordinator process
+// group SIGKILLed and the run restarted in-process against the surviving
+// agent (the dead one still listed, so the unreachable-host path runs
+// too). The final canonical report must be byte-identical to the
+// single-process reference.
+func TestRemoteNetChaosByteIdentical(t *testing.T) {
+	file, fn, g := wiper(t)
+	opt := distWiperOptions()
+
+	ref, err := core.AnalyzeGraphCtx(context.Background(), file, fn, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := canonical(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := ledger.SpecFor(model.Wiper().Emit("wiper_control"), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "run.journal")
+	specPath := filepath.Join(dir, "spec.json")
+	data, err := json.Marshal(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(specPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agent0, addr0 := startAgentProc(t, dir, "agent0")
+	_ = agent0
+	agent1, addr1 := startAgentProc(t, dir, "agent1")
+
+	// Phase 1: an external coordinator process leasing over both agents
+	// through the chaos transport. Its own process group, so the SIGKILL
+	// below takes down the coordinator and its remote-handle goroutines
+	// but leaves the agent processes (started by us, not it) running.
+	coord := exec.Command(self)
+	coord.Env = append(os.Environ(),
+		"CHAOS_LEDGER_COORD=1",
+		"CHAOS_SPEC_FILE="+specPath,
+		"CHAOS_JOURNAL="+jpath,
+		"CHAOS_REMOTE_AGENTS="+addr0+","+addr1,
+		"CHAOS_REMOTE_CHAOS=1",
+	)
+	coord.Stdout = os.Stderr
+	coord.Stderr = os.Stderr
+	coord.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	records := func() int {
+		r, _, err := journal.ReadFile(jpath)
+		if err != nil {
+			return 0
+		}
+		return len(r)
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	waitRecords := func(n int, what string) {
+		t.Helper()
+		for records() < n {
+			if time.Now().After(deadline) {
+				_ = syscall.Kill(-coord.Process.Pid, syscall.SIGKILL)
+				t.Fatalf("%s: canonical journal stuck at %d records", what, records())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// First durable merges must land despite the armed tears/refusals.
+	waitRecords(1, "before agent kill")
+
+	// Kill one whole agent machine. Its in-flight streams break for good;
+	// the launcher's reconnect budget runs dry, the host is marked down,
+	// and the units are reclaimed onto the surviving agent. Progress must
+	// continue.
+	if err := agent1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	killedAt := records()
+	waitRecords(killedAt+1, "after agent kill")
+
+	// Let the run advance until some worker journal holds record bytes the
+	// canonical journal does not — partially-streamed progress — then
+	// SIGKILL the whole coordinator group mid-stream.
+	for !unmergedWorkerRecords(dir, jpath) {
+		if time.Now().After(deadline) {
+			_ = syscall.Kill(-coord.Process.Pid, syscall.SIGKILL)
+			t.Fatal("no partially-streamed worker progress appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := syscall.Kill(-coord.Process.Pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = coord.Wait()
+	// Re-check after the kill: a settle may have merged the pending records
+	// in the window before the signal landed.
+	expectResume := unmergedWorkerRecords(dir, jpath)
+	if records() == 0 {
+		t.Fatal("no durable progress survived the coordinator kill")
+	}
+
+	// Phase 2: restart the coordinator in-process on the same journal,
+	// still listing the dead agent — its refused dials must burn through
+	// the backoff budget, mark the host down and reroute, not wedge or
+	// quarantine. The chaos transport is re-armed from scratch, so the
+	// harvest-and-resume run is itself torn at the same dial indexes.
+	launcher := &remote.Launcher{
+		Agents:      []string{addr0, addr1},
+		Transport:   remote.NewFaultTransport(nil, remoteChaosRules()...),
+		Fallback:    &ledger.ProcLauncher{Command: []string{self}, Env: killScheduleEnv("")},
+		Policy:      retry.Policy{MaxAttempts: 5},
+		BackoffTick: 5 * time.Millisecond,
+	}
+	cfg := ledger.Config{
+		JournalPath:  jpath,
+		Workers:      4,
+		PollInterval: 10 * time.Millisecond,
+		LeaseTicks:   1000,
+		Launcher:     launcher,
+	}
+	res, err := ledger.Run(context.Background(), spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("network chaos must never quarantine, got %v", res.Quarantined)
+	}
+	if expectResume && res.Report.ResumedUnits == 0 {
+		t.Error("restarted coordinator resumed nothing from the partially-streamed journals")
+	}
+	got, err := canonical(res.Report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("remote chaos run diverged from single-process reference:\n--- reference\n%s\n--- remote\n%s", want, got)
+	}
+
+	// The dead host must be visible as degraded fleet state if it was ever
+	// leased to in phase 2 (with 4 workers and a round-robin pick it is),
+	// and the surviving host must have carried leases.
+	var sawUp, sawDown bool
+	for _, h := range launcher.Hosts() {
+		switch {
+		case h.Addr == addr0 && h.State == "up" && h.Leases > 0:
+			sawUp = true
+		case h.Addr == addr1 && h.State == "down":
+			sawDown = true
+		}
+	}
+	if !sawUp {
+		t.Errorf("surviving agent not up with leases: %+v", launcher.Hosts())
+	}
+	if !sawDown {
+		t.Logf("dead agent never leased in phase 2 (run finished on one host): %+v", launcher.Hosts())
+	}
+	if fired := launcher.Transport.(*remote.FaultTransport).Fired(); len(fired) == 0 {
+		t.Error("chaos transport fired nothing — the campaign never touched the wire")
+	} else {
+		t.Logf("phase-2 wire faults: %s", strings.Join(fired, ", "))
+	}
+}

@@ -194,6 +194,63 @@ func ReadFile(path string) (records map[string][]byte, fingerprint string, err e
 	return records, fingerprint, nil
 }
 
+// ReadFileFrom is ReadFile restricted to frames at or after byte offset:
+// it loads the records whose frames start at offset (which must be 0 or a
+// frame boundary — typically a previous call's end), first write wins
+// within the scanned range, and returns the offset just past the last
+// intact frame. A remote journal stream resumes from exactly this offset:
+// the stale reader's records plus the tail from end reconstruct the full
+// record set, however the stream was torn in between. The fingerprint
+// record is excluded, like ReadFile's record map.
+func ReadFileFrom(path string, offset int64) (records map[string][]byte, end int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	if offset < 0 || offset > int64(len(data)) {
+		return nil, 0, fmt.Errorf("journal: offset %d outside file of %d bytes", offset, len(data))
+	}
+	records = map[string][]byte{}
+	good := scanFrames(data[offset:], func(key string, val []byte) {
+		if key == fingerprintKey {
+			return
+		}
+		if _, dup := records[key]; !dup {
+			records[key] = val
+		}
+	})
+	return records, offset + int64(good), nil
+}
+
+// NextFrame decodes the first complete intact frame at the head of buf,
+// returning its key, value and total encoded size (header included), so a
+// streaming reader can consume buf[:n] verbatim and keep the rest. n == 0
+// with a nil error means buf holds only a frame prefix — read more bytes.
+// A non-nil error means the head cannot begin a valid frame (implausible
+// length, CRC mismatch, malformed payload): the stream is corrupt and must
+// be re-synced from a known frame boundary.
+func NextFrame(buf []byte) (key string, val []byte, n int, err error) {
+	if len(buf) < 8 {
+		return "", nil, 0, nil
+	}
+	length := binary.LittleEndian.Uint32(buf[:4])
+	if length == 0 || length > maxFrame {
+		return "", nil, 0, errors.New("journal: implausible frame length")
+	}
+	if int(length) > len(buf)-8 {
+		return "", nil, 0, nil
+	}
+	payload := buf[8 : 8+int(length)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return "", nil, 0, errors.New("journal: frame CRC mismatch")
+	}
+	key, val, ok := splitPayload(payload)
+	if !ok {
+		return "", nil, 0, errors.New("journal: malformed frame payload")
+	}
+	return key, val, 8 + int(length), nil
+}
+
 // Memory wraps a record snapshot (typically from ReadFile) in a read-only
 // in-memory Journal: reads work as usual, appends and resets fail with an
 // error instead of touching any file. The live status poller uses it to

@@ -227,3 +227,172 @@ func TestAppendHookObservesProgress(t *testing.T) {
 		t.Errorf("hook saw %v, want [1 2]", seen)
 	}
 }
+
+// TestReadFileFromStaleOffsetPlusTail pins the primitive the remote
+// journal stream relies on: a reader that snapshotted the file at some
+// frame boundary, unioned with a ReadFileFrom at that boundary after more
+// appends, reconstructs exactly ReadFile's record set — no frame is lost
+// or double-counted however the file grew in between.
+func TestReadFileFromStaleOffsetPlusTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.Bind("fp")
+	j.Put("tg/a", []byte("alpha"))
+	j.Put("tg/b", []byte("beta"))
+
+	// The stale reader snapshots now and remembers its end offset.
+	head, mid, err := ReadFileFrom(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) != 2 {
+		t.Fatalf("head records = %d, want 2 (fingerprint excluded)", len(head))
+	}
+
+	// The writer moves on; the reader later resumes from its offset.
+	j.Put("mc/c", []byte("gamma"))
+	j.Put("meas/d", []byte("delta"))
+	j.Close()
+
+	tail, end, err := ReadFileFrom(path, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 2 {
+		t.Fatalf("tail records = %v, want exactly the 2 post-snapshot ones", tail)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != end {
+		t.Errorf("end = %d, want file size %d", end, fi.Size())
+	}
+
+	full, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := map[string][]byte{}
+	for k, v := range head {
+		union[k] = v
+	}
+	for k, v := range tail {
+		if prev, dup := union[k]; dup && !bytes.Equal(prev, v) {
+			t.Errorf("key %q appears in both halves with different values", k)
+		}
+		union[k] = v
+	}
+	if len(union) != len(full) {
+		t.Fatalf("union has %d records, ReadFile has %d", len(union), len(full))
+	}
+	for k, v := range full {
+		if !bytes.Equal(union[k], v) {
+			t.Errorf("record %q: union %q, ReadFile %q", k, union[k], v)
+		}
+	}
+}
+
+// TestReadFileFromTornTail: a torn final frame ends the scan at the last
+// intact boundary, and resuming from that boundary after the tail is
+// completed re-delivers the record exactly once.
+func TestReadFileFromTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.Bind("fp")
+	j.Put("a", []byte("alpha"))
+	j.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Append a torn frame: the first half of a real frame for key "b".
+	j2 := openT(t, path)
+	j2.Put("b", []byte("beta"))
+	j2.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := full[:len(intact)+(len(full)-len(intact))/2]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, end, err := ReadFileFrom(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != int64(len(intact)) {
+		t.Fatalf("end = %d, want last intact boundary %d", end, len(intact))
+	}
+	if _, ok := recs["b"]; ok {
+		t.Error("torn frame for b must not be delivered")
+	}
+
+	// The tail is re-written whole (the stream re-sends the frame); the
+	// resumed read picks up exactly b.
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tail, end2, err := ReadFileFrom(path, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || string(tail["b"]) != "beta" {
+		t.Errorf("resumed tail = %v, want exactly b=beta", tail)
+	}
+	if end2 != int64(len(full)) {
+		t.Errorf("end after resume = %d, want %d", end2, len(full))
+	}
+	if _, _, err := ReadFileFrom(path, int64(len(full))+1); err == nil {
+		t.Error("offset beyond EOF must error")
+	}
+}
+
+// TestNextFrameIncremental drives the streaming decoder over a byte stream
+// delivered one byte at a time: every frame is recovered exactly once, a
+// prefix never decodes, and corrupted bytes are rejected with an error.
+func TestNextFrameIncremental(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j := openT(t, path)
+	j.Put("k1", []byte("v1"))
+	j.Put("k2", []byte("value-two"))
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf []byte
+	got := map[string]string{}
+	for i := 0; i < len(data); i++ {
+		buf = append(buf, data[i])
+		for {
+			key, val, n, err := NextFrame(buf)
+			if err != nil {
+				t.Fatalf("NextFrame on intact stream at byte %d: %v", i, err)
+			}
+			if n == 0 {
+				break
+			}
+			got[key] = string(val)
+			buf = buf[n:]
+		}
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d undecoded bytes left", len(buf))
+	}
+	if got["k1"] != "v1" || got["k2"] != "value-two" {
+		t.Errorf("decoded %v", got)
+	}
+
+	// A flipped payload byte is a CRC mismatch, not a silent record.
+	bad := append([]byte(nil), data...)
+	bad[9] ^= 0xff
+	if _, _, _, err := NextFrame(bad); err == nil {
+		t.Error("corrupted frame decoded without error")
+	}
+	// An implausible length field is corruption too.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 1, 2, 3}
+	if _, _, _, err := NextFrame(huge); err == nil {
+		t.Error("implausible length decoded without error")
+	}
+}

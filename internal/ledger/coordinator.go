@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"wcet/internal/core"
@@ -20,6 +21,14 @@ import (
 // (merged records shrink the frontier) or records fatalities, and
 // fatalities are capped per unit by quarantine.
 const maxRounds = 1000
+
+// runSeq makes lease ids unique across Run invocations within one
+// process. The pid alone is not enough: a second Run from the same
+// process would reuse "worker-<pid>-r001-w00", and lease ids must be
+// globally unique per logical lease — remote agents treat a start request
+// for a known id as a reconnect to the existing worker, so a collision
+// would silently replay a previous run's worker instead of spawning one.
+var runSeq atomic.Int64
 
 // lease tracks one outstanding worker shard.
 type lease struct {
@@ -77,19 +86,22 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 	// even live orphan workers) on disk. Harvest everything that matches
 	// our fingerprint before planning: those records are pure, so merging
 	// them is exactly as good as having run the workers ourselves. Worker
-	// journal names embed the coordinator pid, so our own spawns can never
-	// collide with a predecessor's leftovers.
+	// journal names embed the coordinator pid and a per-process run
+	// sequence, so our own spawns can never collide with a predecessor's
+	// leftovers — not even a predecessor Run in this same process.
 	if err := recoverWorkJournals(j, workDir, cfg, res); err != nil {
 		return nil, err
 	}
 
-	// GoLauncher workers without their own observer share the
-	// coordinator's: their unit lifecycle reaches the same bus (so /events
-	// sees them live) and their flight lines land in one ring.
-	if gl, ok := cfg.Launcher.(*GoLauncher); ok && gl.Obs == nil {
-		gl.Obs = cfg.Obs
+	// A launcher that can carry an observer gets the coordinator's:
+	// GoLauncher workers publish their unit lifecycle to the same bus (so
+	// /events sees them live), the remote launcher lands its remote.*
+	// counters in the same registry. Launchers keep their own when set.
+	if s, ok := cfg.Launcher.(interface{ SetObs(*obs.Observer) }); ok {
+		s.SetObs(cfg.Obs)
 	}
 
+	seq := runSeq.Add(1)
 	fatal := map[string]int{} // unit key -> worker deaths while leased and incomplete
 	// postmortem stashes the flight-recorder dump harvested from a dead
 	// worker's telemetry sidecar, per incomplete unit key, so a later
@@ -112,7 +124,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 		res.Rounds++
 		cfg.Obs.Progressf("ledger: round %d: stage %s, %d unit(s) to lease", round, fr.Stage, len(fr.Keys))
 
-		leases, err := startRound(ctx, j, spec, cfg, fp, workDir, round, fr.Keys, fatal, res)
+		leases, err := startRound(ctx, j, spec, cfg, fp, workDir, seq, round, fr.Keys, fatal, res)
 		if err != nil {
 			killAll(leases)
 			settleAll(j, leases, cfg, fatal, postmortem, res)
@@ -170,7 +182,7 @@ func Run(ctx context.Context, spec Spec, cfg Config) (*Result, error) {
 // Suspect units (at least one prior fatality) are leased solo and first,
 // so a repeat death attributes to exactly one unit; clean units are split
 // into contiguous chunks across cfg.Workers processes.
-func startRound(ctx context.Context, j *journal.Journal, spec Spec, cfg Config, fp, workDir string, round int, keys []string, fatal map[string]int, res *Result) ([]*lease, error) {
+func startRound(ctx context.Context, j *journal.Journal, spec Spec, cfg Config, fp, workDir string, seq int64, round int, keys []string, fatal map[string]int, res *Result) ([]*lease, error) {
 	var suspects, clean []string
 	for _, k := range keys {
 		if fatal[k] > 0 {
@@ -203,7 +215,7 @@ func startRound(ctx context.Context, j *journal.Journal, spec Spec, cfg Config, 
 
 	var leases []*lease
 	for i, shard := range shards {
-		id := fmt.Sprintf("worker-%d-r%03d-w%02d", os.Getpid(), round, i)
+		id := fmt.Sprintf("worker-%d-%d-r%03d-w%02d", os.Getpid(), seq, round, i)
 		l := &lease{
 			id:         id,
 			keys:       shard,

@@ -67,6 +67,11 @@ func (p *ProcLauncher) Start(ctx context.Context, assignmentPath string) (Handle
 	}
 	cmd.Stdout = os.Stderr // worker diagnostics must not pollute coordinator stdout
 	cmd.Stderr = os.Stderr
+	// Workers get their own process group: a Ctrl-C (SIGINT to the
+	// coordinator's foreground group) or a group-targeted SIGKILL no longer
+	// takes workers down with the coordinator, so their journals keep
+	// growing and the harvest-on-restart path has something to harvest.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("ledger: spawn worker: %w", err)
 	}
@@ -95,7 +100,14 @@ func (h *procHandle) Done() (bool, error) {
 }
 
 func (h *procHandle) Kill() {
-	h.kill.Do(func() { _ = syscall.Kill(h.pid, syscall.SIGKILL) })
+	// The worker leads its own process group (Setpgid above), so signal
+	// the group: anything the worker spawned dies with it. Fall back to
+	// the pid alone if the group is already gone.
+	h.kill.Do(func() {
+		if err := syscall.Kill(-h.pid, syscall.SIGKILL); err != nil {
+			_ = syscall.Kill(h.pid, syscall.SIGKILL)
+		}
+	})
 }
 
 // GoLauncher runs workers as goroutines inside the coordinator process.
@@ -114,6 +126,14 @@ type GoLauncher struct {
 	// fills it in from Config.Obs when unset): in-process workers publish
 	// to the coordinator's bus, so /events sees their unit lifecycle live.
 	Obs *obs.Observer
+}
+
+// SetObs hands the coordinator's observer to workers that do not already
+// have one (ledger.Run calls it on any launcher exposing the method).
+func (g *GoLauncher) SetObs(o *obs.Observer) {
+	if g.Obs == nil {
+		g.Obs = o
+	}
 }
 
 // Start implements Launcher.

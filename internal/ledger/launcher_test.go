@@ -1,0 +1,71 @@
+package ledger_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"wcet/internal/ledger"
+)
+
+// TestProcLauncherKillSignalsProcessGroup pins the Setpgid contract: a
+// worker leads its own process group, and Kill signals the group, so
+// anything the worker spawned dies with it — while a kill aimed at the
+// *coordinator's* group can no longer reap workers as collateral. The
+// stand-in worker is a shell that forks a child and parks; after Kill,
+// both the shell and its child must be gone.
+func TestProcLauncherKillSignalsProcessGroup(t *testing.T) {
+	dir := t.TempDir()
+	pidFile := filepath.Join(dir, "child.pid")
+	script := fmt.Sprintf("sleep 60 & echo $! > %s; wait", pidFile)
+	p := &ledger.ProcLauncher{Command: []string{"/bin/sh", "-c", script}}
+	h, err := p.Start(context.Background(), filepath.Join(dir, "ignored.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var childPid int
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if data, err := os.ReadFile(pidFile); err == nil {
+			if pid, err := strconv.Atoi(strings.TrimSpace(string(data))); err == nil && pid > 0 {
+				childPid = pid
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			h.Kill()
+			t.Fatal("worker shell never wrote its child pid")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	h.Kill()
+	for {
+		if done, _ := h.Done(); done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never exited after Kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The grandchild must die with the group; signal 0 probes existence.
+	// SIGKILL delivery is asynchronous, so poll briefly.
+	for {
+		if err := syscall.Kill(childPid, 0); err != nil {
+			break // ESRCH: gone
+		}
+		if time.Now().After(deadline) {
+			_ = syscall.Kill(childPid, syscall.SIGKILL)
+			t.Fatal("worker's child survived the group kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -48,6 +48,117 @@ func TestReadFleetEmptyDir(t *testing.T) {
 	}
 }
 
+// TestReadFleetRemoteHarvesterSidecars covers the sidecar states a
+// machine-spanning run produces: the remote launcher forwards agent-side
+// snapshots as raw bytes, so a partition leaves a *stale* sidecar, a
+// never-connected stream leaves an *absent* one, and wire damage that
+// slipped through leaves a *torn* one. ReadFleet must aggregate the
+// survivors, skip the damage, and surface staleness as age — never panic,
+// never invent liveness.
+func TestReadFleetRemoteHarvesterSidecars(t *testing.T) {
+	dir := t.TempDir()
+	// A healthy forwarded snapshot.
+	if err := obs.WriteTelemetry(filepath.Join(dir, "worker-9-r001-w00.telem.json"),
+		&obs.Telemetry{ID: "worker-9-r001-w00", Seq: 7, Done: 2, Total: 4, Appended: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// A stale one: the stream died mid-run and nothing has refreshed it.
+	stalePath := filepath.Join(dir, "worker-9-r001-w01.telem.json")
+	if err := obs.WriteTelemetry(stalePath,
+		&obs.Telemetry{ID: "worker-9-r001-w01", Seq: 3, Done: 1, Total: 4, Appended: 1}); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(stalePath, old, old); err != nil {
+		t.Fatal(err)
+	}
+	// Torn forwards: truncated JSON, empty file, binary garbage. The
+	// remote harvester writes temp+rename so these should not happen, but
+	// an agent-side crash mid-snapshot can still ship a torn payload.
+	os.WriteFile(filepath.Join(dir, "worker-9-r001-w02.telem.json"), []byte(`{"id":"worker-9-r`), 0o644)
+	os.WriteFile(filepath.Join(dir, "worker-9-r001-w03.telem.json"), nil, 0o644)
+	os.WriteFile(filepath.Join(dir, "worker-9-r001-w04.telem.json"), []byte{0x00, 0xff, 0x13}, 0o644)
+	// w05 is absent entirely: leased, but its stream never connected.
+
+	fleet := ReadFleet(dir)
+	if len(fleet) != 2 {
+		t.Fatalf("fleet = %+v, want exactly the 2 intact sidecars", fleet)
+	}
+	if fleet[0].ID != "worker-9-r001-w00" || fleet[1].ID != "worker-9-r001-w01" {
+		t.Errorf("fleet order = [%s, %s]", fleet[0].ID, fleet[1].ID)
+	}
+	if fleet[1].AgeMS < 60_000 {
+		t.Errorf("stale sidecar AgeMS = %d, want >= 60000 — staleness must be visible, not papered over", fleet[1].AgeMS)
+	}
+}
+
+// TestFreshSidecarNeverExtendsLease pins the liveness asymmetry for
+// remote-harvested sidecars: telemetry can only ever *shorten* a lease.
+// A worker whose journal stops growing must die at the LeaseTicks clock
+// even while a (torn, but constantly refreshed) sidecar keeps a recent
+// mtime — a chattering-but-stuck remote stream must not keep its lease
+// alive.
+func TestFreshSidecarNeverExtendsLease(t *testing.T) {
+	dir := t.TempDir()
+	j, err := journal.Open(filepath.Join(dir, "run.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	h := &stuckHandle{killed: make(chan struct{})}
+	l := &lease{
+		id:        "worker-test-r001-w00",
+		keys:      []string{"tg/a"},
+		journal:   filepath.Join(dir, "w.journal"),
+		telemetry: filepath.Join(dir, "w.telem.json"),
+		handle:    h,
+	}
+	// A torn sidecar that stays fresh: rewrite garbage on every tick, the
+	// way a half-partitioned remote stream might.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				os.WriteFile(l.telemetry, []byte(`{"id":`), 0o644)
+			}
+		}
+	}()
+
+	cfg := Config{
+		PollInterval:     time.Millisecond,
+		LeaseTicks:       30,
+		HeartbeatTimeout: time.Hour, // the heartbeat must not be what fires
+	}.withDefaults()
+	fatal := map[string]int{}
+	res := &Result{}
+	done := make(chan error, 1)
+	go func() {
+		done <- pollRound(context.Background(), j, []*lease{l}, cfg, fatal,
+			map[string][]string{}, res)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("pollRound never killed the stuck worker — the fresh sidecar extended its lease")
+	}
+	select {
+	case <-h.killed:
+	default:
+		t.Error("worker was never killed")
+	}
+	if fatal["tg/a"] != 1 || res.Reclaimed != 1 {
+		t.Errorf("fatal=%v reclaimed=%d, want the unit reclaimed exactly once", fatal, res.Reclaimed)
+	}
+}
+
 // stuckHandle models a worker that never exits on its own but dies
 // immediately when killed.
 type stuckHandle struct {

@@ -32,6 +32,9 @@ type Config struct {
 	Status func() (*obs.Status, error)
 	// Fleet lists per-worker telemetry for distributed runs. Optional.
 	Fleet func() []obs.WorkerStatus
+	// Remote lists per-agent host state for machine-spanning runs —
+	// typically the remote launcher's Hosts method. Optional.
+	Remote func() []obs.RemoteHost
 	// EventBuffer sizes each /events subscriber's drop-oldest ring
 	// (default 256).
 	EventBuffer int
@@ -70,6 +73,9 @@ func (c Config) serveStatus(w http.ResponseWriter, req *http.Request) {
 		for _, ws := range st.Volatile.Workers {
 			st.Volatile.InFlight += ws.Total - ws.Done
 		}
+	}
+	if c.Remote != nil {
+		st.Volatile.Remote = c.Remote()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

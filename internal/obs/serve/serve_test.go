@@ -59,6 +59,12 @@ func TestStatusEndpoint(t *testing.T) {
 				{ID: "w1", Done: 1, Total: 4},
 			}
 		},
+		Remote: func() []obs.RemoteHost {
+			return []obs.RemoteHost{
+				{Addr: "10.0.0.7:9400", State: "up", Leases: 3},
+				{Addr: "10.0.0.8:9400", State: "down", Leases: 1, Redials: 4},
+			}
+		},
 	})
 	resp, body := get(t, "http://"+s.Addr()+"/status")
 	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
@@ -79,6 +85,10 @@ func TestStatusEndpoint(t *testing.T) {
 	}
 	if len(st.Volatile.Workers) != 2 {
 		t.Errorf("Workers = %+v", st.Volatile.Workers)
+	}
+	if len(st.Volatile.Remote) != 2 || st.Volatile.Remote[1].State != "down" ||
+		st.Volatile.Remote[1].Redials != 4 {
+		t.Errorf("Remote fleet state lost: %+v", st.Volatile.Remote)
 	}
 	if st.Volatile.EventsPublished == 0 {
 		t.Error("EventsPublished = 0 after a stage span")

@@ -46,9 +46,25 @@ type StatusVolatile struct {
 	// InFlight is the fleet's total leased-but-incomplete unit count.
 	InFlight int            `json:"in_flight,omitempty"`
 	Workers  []WorkerStatus `json:"workers,omitempty"`
+	// Remote lists per-agent host state for machine-spanning runs — the
+	// place a degraded run shows its downgrade: a host marked "down" had
+	// its leases re-leased onto the local fallback launcher.
+	Remote []RemoteHost `json:"remote,omitempty"`
 	// Err reports a status-computation failure (e.g. journal unreadable)
 	// without taking the endpoint down.
 	Err string `json:"error,omitempty"`
+}
+
+// RemoteHost is one remote agent's state as the remote launcher sees it.
+type RemoteHost struct {
+	Addr string `json:"addr"`
+	// State is "up" or "down"; down is sticky for the run — the host
+	// exhausted a lease's reconnect budget and its work went local.
+	State string `json:"state"`
+	// Leases counts leases routed to this host; Redials the reconnect
+	// attempts its streams needed.
+	Leases  int64 `json:"leases"`
+	Redials int64 `json:"redials,omitempty"`
 }
 
 // WorkerStatus is one distributed worker's latest telemetry, as read from

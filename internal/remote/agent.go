@@ -1,0 +1,357 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"wcet/internal/ledger"
+)
+
+// AgentConfig tunes StartAgent.
+type AgentConfig struct {
+	// Exec is the worker argv prefix (the assignment path is appended):
+	// cmd/wcet passes [self, "-ledger-worker"], the chaos suites their
+	// re-exec'd test binary. Empty runs workers in-process as goroutines —
+	// no SIGKILL realism, but hermetic for unit tests and benchmarks.
+	Exec []string
+	// Env, when set, returns extra environment entries per spawn.
+	Env func(assignmentPath string) []string
+	// WorkDir holds the per-worker directories (default: a fresh temp
+	// dir, removed on Close).
+	WorkDir string
+	// Poll is the journal/telemetry poll interval while streaming
+	// (default 15ms).
+	Poll time.Duration
+}
+
+// Agent serves workers to remote coordinators. It listens on a TCP
+// address; for each start request it materialises the assignment and seed
+// journal under its own work dir, spawns the worker (in its own process
+// group, so a kill takes the whole tree), and streams the worker's
+// journal bytes and telemetry sidecar back as they grow.
+//
+// Start is idempotent per lease id: a reconnecting client re-sends the
+// same request with a higher offset and the agent attaches a fresh stream
+// to the existing worker — the seed only matters the first time. Because
+// the worker journal starts as the client's seed and only ever appends,
+// the client's local copy stays an exact byte prefix of the agent's file,
+// which is what makes "resume from offset N" sound: the agent replays
+// file bytes, never re-serialises records.
+//
+// A stream dying (torn connection, injected tear, client gone) never
+// disturbs the worker — it keeps appending locally, and the next attach
+// picks up from wherever the client got to.
+type Agent struct {
+	cfg     AgentConfig
+	ln      net.Listener
+	workDir string
+	ownDir  bool
+	closeCh chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	workers map[string]*agentWorker
+	conns   map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+}
+
+type agentWorker struct {
+	id        string
+	journal   string
+	telemetry string
+	kill      func()
+	killOnce  sync.Once
+	done      chan struct{}
+	err       error
+}
+
+// StartAgent listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// serves until Close.
+func StartAgent(addr string, cfg AgentConfig) (*Agent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		cfg:     cfg,
+		ln:      ln,
+		workDir: cfg.WorkDir,
+		closeCh: make(chan struct{}),
+		workers: map[string]*agentWorker{},
+		conns:   map[net.Conn]struct{}{},
+	}
+	if a.workDir == "" {
+		dir, err := os.MkdirTemp("", "wcet-agent-*")
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		a.workDir = dir
+		a.ownDir = true
+	}
+	if a.cfg.Poll <= 0 {
+		a.cfg.Poll = 15 * time.Millisecond
+	}
+	a.wg.Add(1)
+	go a.accept()
+	return a, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (a *Agent) Addr() string { return a.ln.Addr().String() }
+
+// Close kills every worker (SIGKILL to its process group), waits for the
+// exits, shuts the listener and open streams down, and removes the work
+// dir if the agent owns it.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	workers := make([]*agentWorker, 0, len(a.workers))
+	for _, w := range a.workers {
+		workers = append(workers, w)
+	}
+	conns := make([]net.Conn, 0, len(a.conns))
+	for c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.mu.Unlock()
+
+	close(a.closeCh)
+	err := a.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, w := range workers {
+		w.killOnce.Do(w.kill)
+	}
+	for _, w := range workers {
+		<-w.done
+	}
+	a.wg.Wait()
+	if a.ownDir {
+		os.RemoveAll(a.workDir)
+	}
+	return err
+}
+
+func (a *Agent) accept() {
+	defer a.wg.Done()
+	for {
+		conn, err := a.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return
+		}
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			a.handle(conn)
+			conn.Close()
+			a.mu.Lock()
+			delete(a.conns, conn)
+			a.mu.Unlock()
+		}()
+	}
+}
+
+func (a *Agent) handle(conn net.Conn) {
+	req, seed, err := readRequest(conn)
+	if err != nil {
+		return // torn or garbled request: the client redials
+	}
+	switch req.Op {
+	case "kill":
+		a.killWorker(req.ID)
+		_ = writeMsg(conn, msgKilled, nil)
+	case "start":
+		w, err := a.ensureWorker(req, seed)
+		if err != nil {
+			_ = writeMsg(conn, msgExit, mustJSON(exitStatus{Error: err.Error()}))
+			return
+		}
+		a.stream(conn, w, req.Offset)
+	}
+}
+
+// ensureWorker returns the worker for the lease id, spawning it on first
+// sight. The assignment's journal and telemetry paths are rewritten into
+// the agent's own work dir — the coordinator's paths mean nothing here.
+func (a *Agent) ensureWorker(req *request, seed []byte) (*agentWorker, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil, errors.New("remote: agent closing")
+	}
+	if w, ok := a.workers[req.ID]; ok {
+		return w, nil
+	}
+	if req.Assignment == nil {
+		return nil, fmt.Errorf("remote: start %s carries no assignment", req.ID)
+	}
+	dir := filepath.Join(a.workDir, req.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	asg := *req.Assignment
+	asg.Journal = filepath.Join(dir, "worker.journal")
+	if asg.Telemetry != "" {
+		asg.Telemetry = filepath.Join(dir, "worker.telem.json")
+	}
+	if err := os.WriteFile(asg.Journal, seed, 0o644); err != nil {
+		return nil, err
+	}
+	asgPath := filepath.Join(dir, "assignment.json")
+	if err := ledger.WriteAssignment(asgPath, &asg); err != nil {
+		return nil, err
+	}
+	w := &agentWorker{id: req.ID, journal: asg.Journal, telemetry: asg.Telemetry,
+		done: make(chan struct{})}
+	if err := a.spawn(w, asgPath); err != nil {
+		return nil, err
+	}
+	a.workers[req.ID] = w
+	return w, nil
+}
+
+func (a *Agent) spawn(w *agentWorker, asgPath string) error {
+	if len(a.cfg.Exec) == 0 {
+		ctx, cancel := context.WithCancel(context.Background())
+		w.kill = cancel
+		go func() {
+			w.err = ledger.RunWorker(ctx, asgPath, ledger.WorkerOptions{})
+			close(w.done)
+		}()
+		return nil
+	}
+	argv := a.cfg.Exec
+	cmd := exec.Command(argv[0], append(append([]string(nil), argv[1:]...), asgPath)...)
+	cmd.Env = os.Environ()
+	if a.cfg.Env != nil {
+		cmd.Env = append(cmd.Env, a.cfg.Env(asgPath)...)
+	}
+	cmd.Stdout = os.Stderr // worker diagnostics must not pollute agent stdout
+	cmd.Stderr = os.Stderr
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	pid := cmd.Process.Pid
+	w.kill = func() {
+		if err := syscall.Kill(-pid, syscall.SIGKILL); err != nil {
+			_ = syscall.Kill(pid, syscall.SIGKILL)
+		}
+	}
+	go func() {
+		w.err = cmd.Wait()
+		close(w.done)
+	}()
+	return nil
+}
+
+func (a *Agent) killWorker(id string) {
+	a.mu.Lock()
+	w := a.workers[id]
+	a.mu.Unlock()
+	if w == nil {
+		return
+	}
+	w.killOnce.Do(w.kill)
+}
+
+// stream tails the worker's journal and telemetry out to the client from
+// the requested offset until the worker exits, the connection breaks, or
+// the agent closes. A write failure just ends this stream — the worker
+// keeps running, and the client's reconnect attaches a new one at
+// whatever offset it actually landed.
+func (a *Agent) stream(conn net.Conn, w *agentWorker, offset int64) {
+	var lastTelem []byte
+	flush := func() error {
+		if size := agentFileSize(w.journal); size > offset {
+			chunk, err := readRange(w.journal, offset, size)
+			if err != nil {
+				return err
+			}
+			if len(chunk) > 0 {
+				if err := writeMsg(conn, msgJournal, chunk); err != nil {
+					return err
+				}
+				offset += int64(len(chunk))
+			}
+		}
+		if w.telemetry != "" {
+			if data, err := os.ReadFile(w.telemetry); err == nil && !bytes.Equal(data, lastTelem) {
+				if err := writeMsg(conn, msgTelemetry, data); err != nil {
+					return err
+				}
+				lastTelem = append(lastTelem[:0], data...)
+			}
+		}
+		return nil
+	}
+	ticker := time.NewTicker(a.cfg.Poll)
+	defer ticker.Stop()
+	for {
+		if err := flush(); err != nil {
+			return
+		}
+		select {
+		case <-w.done:
+			if err := flush(); err != nil { // bytes appended just before exit
+				return
+			}
+			st := exitStatus{}
+			if w.err != nil {
+				st.Error = w.err.Error()
+			}
+			_ = writeMsg(conn, msgExit, mustJSON(st))
+			return
+		case <-a.closeCh:
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func agentFileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+func readRange(path string, from, to int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, to-from)
+	n, err := f.ReadAt(buf, from)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf[:n], nil
+}

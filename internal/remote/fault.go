@@ -1,0 +1,250 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"wcet/internal/faults"
+)
+
+// NetMode is what an injected network fault does.
+type NetMode int
+
+// Network fault modes.
+const (
+	// Refuse makes the dial fail — a dropped packet or a partition. A rule
+	// covering a run of dial indexes models a partition that heals once
+	// the covered dials are spent.
+	Refuse NetMode = iota
+	// Delay stalls the dial for NetRule.Delay before connecting.
+	Delay
+	// Tear cuts the agent→client stream after NetRule.After delivered
+	// bytes — mid-frame for almost every value of After.
+	Tear
+	// Duplicate re-delivers a window of already-delivered agent→client
+	// bytes after NetRule.After bytes, garbling the message framing the
+	// way a confused middlebox would.
+	Duplicate
+)
+
+func (m NetMode) String() string {
+	switch m {
+	case Refuse:
+		return "refuse"
+	case Delay:
+		return "delay"
+	case Tear:
+		return "tear"
+	case Duplicate:
+		return "dup"
+	}
+	return fmt.Sprintf("netmode(%d)", int(m))
+}
+
+// NetRule arms one network fault. Firing is a pure function of the dial's
+// (address, per-address dial index) — never of wall-clock or goroutine
+// scheduling — so a chaos campaign replays identically across runs and
+// worker counts.
+type NetRule struct {
+	// Addr restricts the rule to one agent address; "" covers every agent.
+	Addr string
+	// Dial is the first per-address dial index covered; -1 covers all.
+	Dial int
+	// Count extends coverage over this many consecutive dial indexes
+	// (default 1; ignored when Dial is -1).
+	Count int
+	// Mode selects the fault.
+	Mode NetMode
+	// After is the agent→client byte count a Tear/Duplicate lets through
+	// before firing.
+	After int64
+	// Window is how many trailing bytes Duplicate re-delivers (default 16).
+	Window int
+	// Delay is the Delay mode's stall (default 5ms).
+	Delay time.Duration
+}
+
+// FaultTransport wraps a Transport with deterministic fault injection. It
+// reuses the internal/faults engine for rule matching and firing
+// bookkeeping: each NetRule is armed as faults rules at the site
+// "remote.<mode>@<addr>" (or "…@*" for address-wildcard rules) indexed by
+// the per-address dial counter, so the injector's Fired log doubles as
+// the campaign's replayable record.
+type FaultTransport struct {
+	inner Transport
+	inj   *faults.Injector
+
+	mu    sync.Mutex
+	dials map[string]int
+}
+
+// NewFaultTransport arms rules over inner (nil inner: the TCP transport).
+func NewFaultTransport(inner Transport, rules ...NetRule) *FaultTransport {
+	if inner == nil {
+		inner = &TCP{}
+	}
+	var fr []faults.Rule
+	for _, r := range rules {
+		site := fmt.Sprintf("remote.%s@%s", r.Mode, siteAddr(r.Addr))
+		count := r.Count
+		if count <= 0 {
+			count = 1
+		}
+		idxs := []int{-1}
+		if r.Dial >= 0 {
+			idxs = idxs[:0]
+			for i := 0; i < count; i++ {
+				idxs = append(idxs, r.Dial+i)
+			}
+		}
+		for _, idx := range idxs {
+			switch r.Mode {
+			case Delay:
+				d := r.Delay
+				if d <= 0 {
+					d = 5 * time.Millisecond
+				}
+				fr = append(fr, faults.Rule{Site: site, Index: idx, Mode: faults.Stall, Delay: d})
+			case Refuse:
+				fr = append(fr, faults.Rule{Site: site, Index: idx, Mode: faults.Fail,
+					Err: errors.New("remote: injected partition")})
+			case Tear, Duplicate:
+				w := r.Window
+				if w <= 0 {
+					w = 16
+				}
+				fr = append(fr, faults.Rule{Site: site, Index: idx, Mode: faults.Fail,
+					Err: &streamFault{mode: r.Mode, after: r.After, window: w}})
+			}
+		}
+	}
+	return &FaultTransport{inner: inner, inj: faults.New(fr...), dials: map[string]int{}}
+}
+
+func siteAddr(addr string) string {
+	if addr == "" {
+		return "*"
+	}
+	return addr
+}
+
+// streamFault rides a faults.Rule's Err field, carrying the tear/duplicate
+// parameters from arming to firing.
+type streamFault struct {
+	mode   NetMode
+	after  int64
+	window int
+}
+
+func (f *streamFault) Error() string {
+	return fmt.Sprintf("remote: injected %s after %d bytes", f.mode, f.after)
+}
+
+// Fired returns the sorted log of injected faults that fired, as
+// "site#index:mode" strings.
+func (t *FaultTransport) Fired() []string { return t.inj.Fired() }
+
+// Dial implements Transport: consult the armed rules for this (address,
+// dial index), then dial through, wrapping the connection when a stream
+// fault covers it. Address-specific rules win over wildcard ones.
+func (t *FaultTransport) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	t.mu.Lock()
+	idx := t.dials[addr]
+	t.dials[addr]++
+	t.mu.Unlock()
+
+	fctx := faults.With(ctx, t.inj)
+	fire := func(mode NetMode) error {
+		if err := faults.Fire(fctx, fmt.Sprintf("remote.%s@%s", mode, addr), idx); err != nil {
+			return err
+		}
+		return faults.Fire(fctx, fmt.Sprintf("remote.%s@*", mode), idx)
+	}
+	if err := fire(Refuse); err != nil {
+		return nil, err
+	}
+	if err := fire(Delay); err != nil {
+		return nil, err // a stall cancelled mid-delay surfaces the ctx error
+	}
+	conn, err := t.inner.Dial(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	for _, mode := range []NetMode{Tear, Duplicate} {
+		ferr := fire(mode)
+		if ferr == nil {
+			continue
+		}
+		sf, ok := ferr.(*streamFault)
+		if !ok {
+			conn.Close()
+			return nil, ferr
+		}
+		conn = &faultConn{Conn: conn, fault: sf}
+	}
+	return conn, nil
+}
+
+// faultConn corrupts the agent→client direction of one connection: a Tear
+// closes it after `after` delivered bytes (capping reads so the cut lands
+// at exactly that byte, even mid-frame); a Duplicate re-delivers the last
+// `window` bytes once, then passes everything through. The client→agent
+// direction is untouched — request-path damage already manifests as the
+// agent closing the connection.
+type faultConn struct {
+	net.Conn
+	fault  *streamFault
+	seen   int64
+	fired  bool
+	replay []byte
+	tail   []byte
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if len(c.replay) > 0 {
+		n := copy(p, c.replay)
+		c.replay = c.replay[n:]
+		return n, nil
+	}
+	if !c.fired && c.seen >= c.fault.after {
+		c.fired = true
+		switch c.fault.mode {
+		case Tear:
+			c.Conn.Close()
+			return 0, fmt.Errorf("remote: injected tear after %d bytes", c.seen)
+		case Duplicate:
+			w := c.fault.window
+			if w > len(c.tail) {
+				w = len(c.tail)
+			}
+			if w > 0 {
+				c.replay = append([]byte(nil), c.tail[len(c.tail)-w:]...)
+				n := copy(p, c.replay)
+				c.replay = c.replay[n:]
+				return n, nil
+			}
+		}
+	}
+	max := len(p)
+	if !c.fired {
+		if rem := c.fault.after - c.seen; int64(max) > rem {
+			max = int(rem)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	n, err := c.Conn.Read(p[:max])
+	if n > 0 && !c.fired && c.fault.mode == Duplicate {
+		c.tail = append(c.tail, p[:n]...)
+		if len(c.tail) > c.fault.window {
+			c.tail = c.tail[len(c.tail)-c.fault.window:]
+		}
+	}
+	c.seen += int64(n)
+	return n, err
+}

@@ -1,0 +1,458 @@
+// Package remote spans the work ledger across machines. A Launcher
+// implements ledger.Launcher by shipping each lease — the serialized
+// assignment plus the seed journal bytes — to a wcet agent on another
+// host and streaming the worker's CRC-framed journal back as it appends,
+// into exactly the local file the coordinator already polls for growth
+// and merges from. The coordinator cannot tell a remote worker from a
+// local one; leases, reclamation, restart harvest and quarantine all work
+// unchanged.
+//
+// Robustness model, in one invariant: the local worker journal is always
+// an exact byte prefix of the agent-side file. The client lands only
+// complete CRC-verified frames, tracks its own file size as the resume
+// offset, and on any stream damage — torn connection, duplicated bytes,
+// garbled framing — simply redials and asks for "everything from offset
+// N". Replayed or duplicated records beyond that are impossible by
+// construction (the agent streams file bytes in order), and would be
+// harmless anyway (journal replay is first-write-wins).
+//
+// Reconnects follow the retry package's logical backoff shape scaled by
+// a wall-clock tick; a lease whose outage outlives the attempt budget
+// finishes with an error, the coordinator reclaims its units as ordinary
+// fatalities, and the launcher marks the host down — subsequent leases
+// route to surviving agents, or to the Fallback launcher once none
+// remain. Records are pure functions of (program, options, unit key), so
+// the downgrade cannot change a byte of the final report.
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wcet/internal/journal"
+	"wcet/internal/ledger"
+	"wcet/internal/obs"
+	"wcet/internal/retry"
+)
+
+// Launcher implements ledger.Launcher over a fleet of agents.
+type Launcher struct {
+	// Agents lists agent addresses; leases round-robin over live ones.
+	Agents []string
+	// Transport dials agents (default: the TCP transport). The chaos
+	// suites substitute a FaultTransport here.
+	Transport Transport
+	// Fallback, when set, takes the leases once every agent is marked
+	// down — the graceful-degradation path (typically a ProcLauncher).
+	Fallback ledger.Launcher
+	// Policy bounds reconnect attempts per outage, reusing the retry
+	// package's logical backoff shape (default: 4 attempts, base 1 tick).
+	// Any completed frame resets the budget — only a host that makes no
+	// progress at all through the whole budget is given up on.
+	Policy retry.Policy
+	// BackoffTick converts one logical backoff tick to wall-clock
+	// (default 25ms). The shape stays deterministic; only its wall
+	// scaling is tunable.
+	BackoffTick time.Duration
+	// Obs receives remote.* counters and progress lines; ledger.Run
+	// fills it from Config.Obs via SetObs when unset.
+	Obs *obs.Observer
+
+	mu    sync.Mutex
+	next  int
+	hosts map[string]*hostState
+}
+
+type hostState struct {
+	down    bool
+	leases  int64
+	redials int64
+}
+
+// SetObs hands the coordinator's observer to the launcher (ledger.Run
+// calls it on any launcher exposing the method when Obs is unset).
+func (r *Launcher) SetObs(o *obs.Observer) {
+	if r.Obs == nil {
+		r.Obs = o
+	}
+}
+
+// Hosts reports per-agent fleet state, for /status.
+func (r *Launcher) Hosts() []obs.RemoteHost {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]obs.RemoteHost, 0, len(r.Agents))
+	for _, addr := range r.Agents {
+		rh := obs.RemoteHost{Addr: addr, State: "up"}
+		if h := r.hosts[addr]; h != nil {
+			rh.Leases, rh.Redials = h.leases, h.redials
+			if h.down {
+				rh.State = "down"
+			}
+		}
+		out = append(out, rh)
+	}
+	return out
+}
+
+// Start implements ledger.Launcher: route the lease to the next live
+// agent, or to the Fallback once every agent is down.
+func (r *Launcher) Start(ctx context.Context, assignmentPath string) (ledger.Handle, error) {
+	asg, err := ledger.ReadAssignment(assignmentPath)
+	if err != nil {
+		return nil, err
+	}
+	addr, ok := r.pickHost()
+	if !ok {
+		if r.Fallback == nil {
+			return nil, errors.New("remote: every agent is down and no fallback launcher is configured")
+		}
+		r.Obs.CountV("remote.fallback_local", 1)
+		r.Obs.Progressf("remote: all agents down; leasing %s to the local fallback", asg.ID)
+		return r.Fallback.Start(ctx, assignmentPath)
+	}
+	h := &remoteHandle{
+		launcher: r,
+		addr:     addr,
+		asg:      asg,
+		done:     make(chan struct{}),
+		killCh:   make(chan struct{}),
+	}
+	r.Obs.CountV("remote.leases", 1)
+	go h.run(ctx)
+	return h, nil
+}
+
+func (r *Launcher) pickHost() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hosts == nil {
+		r.hosts = map[string]*hostState{}
+		for _, a := range r.Agents {
+			r.hosts[a] = &hostState{}
+		}
+	}
+	for i := 0; i < len(r.Agents); i++ {
+		addr := r.Agents[(r.next+i)%len(r.Agents)]
+		if h := r.hosts[addr]; h != nil && !h.down {
+			r.next = (r.next + i + 1) % len(r.Agents)
+			h.leases++
+			return addr, true
+		}
+	}
+	return "", false
+}
+
+func (r *Launcher) markDown(addr string) {
+	r.mu.Lock()
+	h := r.hosts[addr]
+	first := h != nil && !h.down
+	if h != nil {
+		h.down = true
+	}
+	r.mu.Unlock()
+	if first {
+		r.Obs.CountV("remote.hosts_down", 1)
+		r.Obs.Progressf("remote: agent %s unreachable past its backoff budget; marked down", addr)
+	}
+}
+
+func (r *Launcher) noteRedial(addr string) {
+	r.mu.Lock()
+	if h := r.hosts[addr]; h != nil {
+		h.redials++
+	}
+	r.mu.Unlock()
+}
+
+func (r *Launcher) transport() Transport {
+	if r.Transport != nil {
+		return r.Transport
+	}
+	return &TCP{}
+}
+
+func (r *Launcher) policy() retry.Policy {
+	p := r.Policy
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	return p
+}
+
+func (r *Launcher) tick() time.Duration {
+	if r.BackoffTick > 0 {
+		return r.BackoffTick
+	}
+	return 25 * time.Millisecond
+}
+
+// remoteHandle is one remote lease's client side: a goroutine that dials,
+// streams, verifies, appends, and redials until the worker exits or the
+// outage budget is spent.
+type remoteHandle struct {
+	launcher *Launcher
+	addr     string
+	asg      *ledger.Assignment
+	done     chan struct{}
+	err      error
+
+	killOnce sync.Once
+	killCh   chan struct{}
+
+	mu   sync.Mutex
+	conn net.Conn // live stream; closed by Kill to unblock a read
+}
+
+// Done implements ledger.Handle.
+func (h *remoteHandle) Done() (bool, error) {
+	select {
+	case <-h.done:
+		return true, h.err
+	default:
+		return false, nil
+	}
+}
+
+// Kill implements ledger.Handle: unblock the streaming goroutine, which
+// sends a best-effort kill RPC so the agent SIGKILLs the worker's process
+// group, then finishes. If the RPC cannot get through, the orphaned
+// remote worker keeps appending on the agent's disk — harmless: records
+// are pure, and nothing merges that file into this run again.
+func (h *remoteHandle) Kill() {
+	h.killOnce.Do(func() {
+		close(h.killCh)
+		h.mu.Lock()
+		if h.conn != nil {
+			h.conn.Close()
+		}
+		h.mu.Unlock()
+	})
+}
+
+func (h *remoteHandle) killed() bool {
+	select {
+	case <-h.killCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// setConn publishes the live stream so Kill can close it; a kill racing
+// the publish still wins — the conn is closed under the same lock.
+func (h *remoteHandle) setConn(c net.Conn) {
+	h.mu.Lock()
+	h.conn = c
+	if c != nil && h.killed() {
+		c.Close()
+	}
+	h.mu.Unlock()
+}
+
+func (h *remoteHandle) run(ctx context.Context) {
+	r := h.launcher
+	defer close(h.done)
+
+	seed, err := os.ReadFile(h.asg.Journal)
+	if err != nil {
+		h.err = err
+		return
+	}
+	out, err := os.OpenFile(h.asg.Journal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		h.err = err
+		return
+	}
+	defer out.Close()
+	offset := int64(len(seed))
+
+	policy := r.policy()
+	for attempt := 1; ; attempt++ {
+		if h.killed() {
+			h.finishKilled()
+			return
+		}
+		if ctx.Err() != nil {
+			h.err = ctx.Err()
+			return
+		}
+		if attempt > policy.Attempts() {
+			r.Obs.CountV("remote.giveups", 1)
+			r.markDown(h.addr)
+			h.err = fmt.Errorf("remote: agent %s unreachable after %d attempts (lease %s at offset %d)",
+				h.addr, policy.Attempts(), h.asg.ID, offset)
+			return
+		}
+		if attempt > 1 {
+			// Deterministic logical backoff shape; wall-clock only scales it.
+			wait := time.Duration(policy.Backoff(attempt)) * r.tick()
+			select {
+			case <-time.After(wait):
+			case <-h.killCh:
+				h.finishKilled()
+				return
+			case <-ctx.Done():
+				h.err = ctx.Err()
+				return
+			}
+			r.Obs.CountV("remote.reconnects", 1)
+			r.noteRedial(h.addr)
+		}
+		dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		conn, err := r.transport().Dial(dctx, h.addr)
+		cancel()
+		if err != nil {
+			r.Obs.CountV("remote.dial_failures", 1)
+			continue
+		}
+		r.Obs.CountV("remote.dials", 1)
+		h.setConn(conn)
+		frames, exited, xerr := h.streamOnce(conn, out, &offset, seed)
+		h.setConn(nil)
+		conn.Close()
+		if exited {
+			h.err = xerr
+			return
+		}
+		if h.killed() {
+			h.finishKilled()
+			return
+		}
+		r.Obs.CountV("remote.stream_breaks", 1)
+		if frames > 0 {
+			attempt = 0 // progress resets the outage budget
+		}
+	}
+}
+
+// streamOnce drives one connection: send the idempotent start request,
+// then consume the reply stream, appending only complete CRC-verified
+// frames to the local worker journal — the file size stays equal to the
+// consumed agent offset, so resume is always exact. Any wire damage
+// (short read, bad CRC, unknown type) just ends the stream; the caller
+// redials and resumes.
+func (h *remoteHandle) streamOnce(conn net.Conn, out *os.File, offset *int64, seed []byte) (frames int, exited bool, xerr error) {
+	r := h.launcher
+	req := &request{Op: "start", ID: h.asg.ID, Offset: *offset, Assignment: h.asg}
+	if err := sendRequest(conn, req, seed); err != nil {
+		return 0, false, nil
+	}
+	var pending []byte
+	for {
+		typ, payload, err := readMsg(conn)
+		if err != nil {
+			return frames, false, nil
+		}
+		switch typ {
+		case msgJournal:
+			pending = append(pending, payload...)
+			for {
+				_, _, n, ferr := journal.NextFrame(pending)
+				if ferr != nil {
+					return frames, false, nil // corrupted stream: resync via redial
+				}
+				if n == 0 {
+					break
+				}
+				if _, werr := out.Write(pending[:n]); werr != nil {
+					return frames, true, fmt.Errorf("remote: append worker journal: %w", werr)
+				}
+				*offset += int64(n)
+				pending = pending[n:]
+				frames++
+				r.Obs.CountV("remote.frames", 1)
+				r.Obs.CountV("remote.bytes", int64(n))
+			}
+		case msgTelemetry:
+			if h.asg.Telemetry != "" && writeSidecar(h.asg.Telemetry, payload) == nil {
+				r.Obs.CountV("remote.telemetry_snapshots", 1)
+			}
+		case msgExit:
+			var st exitStatus
+			if json.Unmarshal(payload, &st) != nil {
+				return frames, false, nil
+			}
+			if st.Error != "" {
+				return frames, true, fmt.Errorf("remote: worker %s on %s: %s", h.asg.ID, h.addr, st.Error)
+			}
+			return frames, true, nil
+		default:
+			return frames, false, nil
+		}
+	}
+}
+
+// finishKilled sends the kill RPC on a fresh short-deadline connection so
+// the agent SIGKILLs the worker's process group, then finishes the
+// handle. The dial deliberately ignores the run context — kills happen
+// exactly when the run is being torn down.
+func (h *remoteHandle) finishKilled() {
+	r := h.launcher
+	h.err = errors.New("remote: lease killed")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := Kill(ctx, r.transport(), h.addr, h.asg.ID); err != nil {
+		r.Obs.CountV("remote.kill_rpc_failed", 1)
+		return
+	}
+	r.Obs.CountV("remote.kills", 1)
+}
+
+// Kill sends a kill RPC for the lease id to the agent at addr over t
+// (nil: the TCP transport), returning nil only on an acknowledged kill.
+// Kill is idempotent agent-side: unknown ids still acknowledge.
+func Kill(ctx context.Context, t Transport, addr, id string) error {
+	if t == nil {
+		t = &TCP{}
+	}
+	conn, err := t.Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if err := sendRequest(conn, &request{Op: "kill", ID: id}, nil); err != nil {
+		return err
+	}
+	typ, _, err := readMsg(conn)
+	if err != nil {
+		return err
+	}
+	if typ != msgKilled {
+		return fmt.Errorf("remote: unexpected kill reply %q", typ)
+	}
+	return nil
+}
+
+// writeSidecar atomically replaces the local telemetry sidecar with the
+// forwarded snapshot (same temp+rename discipline as the worker's own
+// writes), so fleet aggregation and the heartbeat liveness check treat
+// remote workers exactly like local ones.
+func writeSidecar(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-telem-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

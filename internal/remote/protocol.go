@@ -1,0 +1,132 @@
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wcet/internal/ledger"
+)
+
+// Wire protocol. One connection carries one request and, for start
+// requests, one reply stream. Every message is length-prefixed and typed:
+//
+//	message := type(1 byte) length(uint32 LE) payload(length bytes)
+//
+// Client→agent:
+//
+//	'r' — request: a JSON header; a start request is followed by exactly
+//	      SeedLen raw seed-journal bytes (outside any message frame).
+//
+// Agent→client (the reply stream for a start request):
+//
+//	'd' — journal bytes: the agent-side worker journal's bytes from the
+//	      requested offset on, streamed in file order. The client lands
+//	      only complete CRC-verified frames, so a tear anywhere in the
+//	      stream costs at most one partial frame, never corruption.
+//	't' — telemetry: the worker's current sidecar JSON, forwarded whole.
+//	'x' — exit: JSON {"error": "..."} ("" = clean); ends the stream.
+//	'k' — kill acknowledged (the whole reply to a kill request).
+//
+// maxMsg bounds any single message: journal frames are already bounded
+// at 1<<28 by the journal package, telemetry sidecars are far smaller.
+const (
+	msgRequest   = 'r'
+	msgJournal   = 'd'
+	msgTelemetry = 't'
+	msgExit      = 'x'
+	msgKilled    = 'k'
+
+	maxMsg = 1 << 28
+)
+
+// request is the client→agent header.
+type request struct {
+	// Op is "start" or "kill".
+	Op string `json:"op"`
+	// ID is the lease id — the agent's idempotency key: a second start
+	// for a known id attaches a new stream to the existing worker instead
+	// of spawning another.
+	ID string `json:"id"`
+	// Offset is the agent-journal byte offset to stream from (start
+	// only). The client's local copy is always an exact byte prefix of
+	// the agent's file, so the offset is simply the client's file size.
+	Offset int64 `json:"offset"`
+	// Assignment is the coordinator's lease document (start only); the
+	// agent rewrites its Journal/Telemetry paths into its own work dir.
+	Assignment *ledger.Assignment `json:"assignment,omitempty"`
+	// SeedLen counts the raw seed-journal bytes following the header.
+	SeedLen int64 `json:"seed_len"`
+}
+
+type exitStatus struct {
+	Error string `json:"error"`
+}
+
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	hdr := make([]byte, 5)
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func readMsg(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxMsg {
+		return 0, nil, fmt.Errorf("remote: implausible %d-byte message", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+func sendRequest(w io.Writer, req *request, seed []byte) error {
+	req.SeedLen = int64(len(seed))
+	hdr, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	if err := writeMsg(w, msgRequest, hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(seed)
+	return err
+}
+
+func readRequest(r io.Reader) (*request, []byte, error) {
+	typ, payload, err := readMsg(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	if typ != msgRequest {
+		return nil, nil, fmt.Errorf("remote: unexpected message type %q", typ)
+	}
+	var req request
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, nil, fmt.Errorf("remote: decode request: %w", err)
+	}
+	if req.SeedLen < 0 || req.SeedLen > maxMsg {
+		return nil, nil, fmt.Errorf("remote: implausible %d-byte seed", req.SeedLen)
+	}
+	seed := make([]byte, req.SeedLen)
+	if _, err := io.ReadFull(r, seed); err != nil {
+		return nil, nil, fmt.Errorf("remote: read seed: %w", err)
+	}
+	return &req, seed, nil
+}
+
+func mustJSON(v any) []byte {
+	data, _ := json.Marshal(v)
+	return data
+}

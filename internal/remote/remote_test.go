@@ -1,0 +1,311 @@
+package remote_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wcet/internal/core"
+	"wcet/internal/ga"
+	"wcet/internal/journal"
+	"wcet/internal/ledger"
+	"wcet/internal/obs"
+	"wcet/internal/remote"
+	"wcet/internal/retry"
+	"wcet/internal/testgen"
+)
+
+// The step function from the ledger tests: small enough to analyse in
+// milliseconds, rich enough to exercise every pipeline stage.
+const stepSrc = `
+/*@ input */ /*@ range 0 2 */ int sel;
+/*@ input */ /*@ range 0 20 */ char x;
+int r;
+void step(void) {
+    r = 0;
+    switch (sel) {
+    case 0:
+        if (x > 10) { r = 1; } else { r = 2; }
+        break;
+    case 1:
+        r = x * 2;
+        r = r + 1;
+        break;
+    default:
+        r = 9;
+        break;
+    }
+}
+`
+
+func stepOptions() core.Options {
+	return core.Options{
+		FuncName:   "step",
+		Bound:      8,
+		Exhaustive: true,
+		Workers:    1,
+		TestGen: testgen.Config{
+			GA: ga.Config{Seed: 5, Pop: 32, MaxGens: 40, Stagnation: 10},
+		},
+	}
+}
+
+func referenceRun(t *testing.T, dir string) []byte {
+	t.Helper()
+	file, fn, g, err := core.Frontend(stepSrc, "step")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := journal.Open(filepath.Join(dir, "reference.journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := stepOptions()
+	opt.Journal = j
+	rep, err := core.AnalyzeGraphCtx(context.Background(), file, fn, g, opt)
+	j.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := rep.WriteCanonical(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func canonical(t *testing.T, rep *core.Report) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := rep.WriteCanonical(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+func startAgents(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		a, err := remote.StartAgent("127.0.0.1:0", remote.AgentConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { a.Close() })
+		addrs[i] = a.Addr()
+	}
+	return addrs
+}
+
+func remoteConfig(dir string, l ledger.Launcher, ob *obs.Observer) ledger.Config {
+	return ledger.Config{
+		JournalPath:  filepath.Join(dir, "run.journal"),
+		Workers:      2,
+		Launcher:     l,
+		PollInterval: 2 * time.Millisecond,
+		LeaseTicks:   500,
+		Obs:          ob,
+	}
+}
+
+// TestRemoteRunMatchesSingleProcess is the basic acceptance: a run whose
+// every lease is shipped to loopback agents must produce a report
+// byte-identical to the single-process reference, and the coordinator
+// must not be able to tell — no reclamations, nothing quarantined.
+func TestRemoteRunMatchesSingleProcess(t *testing.T) {
+	dir := t.TempDir()
+	want := referenceRun(t, dir)
+
+	ob := obs.New(obs.Config{})
+	launcher := &remote.Launcher{Agents: startAgents(t, 2), BackoffTick: time.Millisecond}
+	spec, err := ledger.SpecFor(stepSrc, stepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ledger.Run(context.Background(), spec, remoteConfig(dir, launcher, ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 || res.Reclaimed != 0 {
+		t.Fatalf("healthy remote run degraded: quarantined=%v reclaimed=%d", res.Quarantined, res.Reclaimed)
+	}
+	if got := canonical(t, res.Report); !bytes.Equal(got, want) {
+		t.Errorf("remote report differs from single-process reference:\n--- reference\n%s\n--- remote\n%s", want, got)
+	}
+	if n := ob.Metrics().Value("remote.frames"); n == 0 {
+		t.Error("no frames streamed — the run did not actually go remote")
+	}
+	if n := ob.Metrics().Value("remote.telemetry_snapshots"); n == 0 {
+		t.Error("no telemetry snapshots forwarded from the agents")
+	}
+	for _, h := range launcher.Hosts() {
+		if h.State != "up" {
+			t.Errorf("host %s marked %q after a healthy run", h.Addr, h.State)
+		}
+		if h.Leases == 0 {
+			t.Errorf("host %s took no leases — round-robin broken", h.Addr)
+		}
+	}
+}
+
+// TestRemoteReconnectAcrossTears tears the agent→client stream mid-frame
+// on the first two dials to every agent (17 and 403 bytes in — nowhere
+// near a frame boundary) and duplicates a window on the third. The
+// launcher must resume each stream from its verified offset and still
+// deliver the byte-identical report with zero reclamations: wire damage
+// is the transport's problem, never the ledger's.
+func TestRemoteReconnectAcrossTears(t *testing.T) {
+	dir := t.TempDir()
+	want := referenceRun(t, dir)
+
+	transport := remote.NewFaultTransport(nil,
+		remote.NetRule{Dial: 0, Mode: remote.Tear, After: 17},
+		remote.NetRule{Dial: 1, Mode: remote.Tear, After: 403},
+		remote.NetRule{Dial: 2, Mode: remote.Duplicate, After: 64},
+	)
+	ob := obs.New(obs.Config{})
+	launcher := &remote.Launcher{
+		Agents:      startAgents(t, 2),
+		Transport:   transport,
+		BackoffTick: time.Millisecond,
+	}
+	spec, err := ledger.SpecFor(stepSrc, stepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ledger.Run(context.Background(), spec, remoteConfig(dir, launcher, ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("torn streams quarantined units: %v", res.Quarantined)
+	}
+	if got := canonical(t, res.Report); !bytes.Equal(got, want) {
+		t.Errorf("report differs from reference under injected tears:\n--- reference\n%s\n--- remote\n%s", want, got)
+	}
+	if fired := transport.Fired(); len(fired) == 0 {
+		t.Error("no injected faults fired — the chaos did not happen")
+	}
+	if n := ob.Metrics().Value("remote.reconnects"); n == 0 {
+		t.Error("no reconnects counted despite injected tears")
+	}
+}
+
+// TestRemoteFallbackToLocal is the graceful-degradation acceptance: every
+// dial to the only agent is refused, so the launcher must exhaust the
+// lease's backoff budget, mark the host down, let the coordinator reclaim
+// the units, and complete the run through the fallback launcher — with
+// the downgrade visible in Hosts() and the remote.* counters, and the
+// report still byte-identical (records are pure, so where they were
+// computed cannot matter).
+func TestRemoteFallbackToLocal(t *testing.T) {
+	dir := t.TempDir()
+	want := referenceRun(t, dir)
+
+	transport := remote.NewFaultTransport(nil,
+		remote.NetRule{Dial: -1, Mode: remote.Refuse},
+	)
+	ob := obs.New(obs.Config{})
+	launcher := &remote.Launcher{
+		Agents:      []string{"127.0.0.1:1"}, // never actually dialed: every dial is refused first
+		Transport:   transport,
+		Fallback:    &ledger.GoLauncher{},
+		Policy:      retry.Policy{MaxAttempts: 3},
+		BackoffTick: time.Millisecond,
+	}
+	spec, err := ledger.SpecFor(stepSrc, stepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ledger.Run(context.Background(), spec, remoteConfig(dir, launcher, ob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("fallback run quarantined units: %v", res.Quarantined)
+	}
+	if res.Reclaimed == 0 {
+		t.Error("no units reclaimed — the unreachable host was never given up on")
+	}
+	if got := canonical(t, res.Report); !bytes.Equal(got, want) {
+		t.Errorf("fallback report differs from reference:\n--- reference\n%s\n--- fallback\n%s", want, got)
+	}
+	hosts := launcher.Hosts()
+	if len(hosts) != 1 || hosts[0].State != "down" {
+		t.Errorf("unreachable host not marked down in fleet state: %+v", hosts)
+	}
+	if n := ob.Metrics().Value("remote.hosts_down"); n != 1 {
+		t.Errorf("remote.hosts_down = %d, want 1", n)
+	}
+	if n := ob.Metrics().Value("remote.fallback_local"); n == 0 {
+		t.Error("remote.fallback_local never counted — leases did not route to the fallback")
+	}
+}
+
+// TestFaultTransportDeterministic pins the injector contract: which dials
+// fail is a pure function of (address, per-address dial index), so two
+// identically-armed transports over the same dial sequence must produce
+// identical fired logs — the property that makes a chaos campaign
+// replayable.
+func TestFaultTransportDeterministic(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	addr := ln.Addr().String()
+
+	arm := func() *remote.FaultTransport {
+		return remote.NewFaultTransport(nil,
+			remote.NetRule{Addr: addr, Dial: 1, Count: 2, Mode: remote.Refuse},
+			remote.NetRule{Dial: 4, Mode: remote.Delay, Delay: time.Microsecond},
+		)
+	}
+	drive := func(ft *remote.FaultTransport) []bool {
+		var refused []bool
+		for i := 0; i < 6; i++ {
+			conn, err := ft.Dial(context.Background(), addr)
+			refused = append(refused, err != nil)
+			if conn != nil {
+				conn.Close()
+			}
+		}
+		return refused
+	}
+	a, b := drive(arm()), drive(arm())
+	wantRefused := []bool{false, true, true, false, false, false}
+	for i := range wantRefused {
+		if a[i] != wantRefused[i] {
+			t.Errorf("run A dial %d refused=%v, want %v", i, a[i], wantRefused[i])
+		}
+		if a[i] != b[i] {
+			t.Errorf("dial %d differs across identically-armed transports (%v vs %v)", i, a[i], b[i])
+		}
+	}
+}
+
+// TestAgentKillUnknownIDAcks: a kill RPC for a lease the agent has never
+// seen must still be acknowledged — the client treats kill as idempotent
+// and may retry it against an agent that lost the worker.
+func TestAgentKillUnknownIDAcks(t *testing.T) {
+	a, err := remote.StartAgent("127.0.0.1:0", remote.AgentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := remote.Kill(context.Background(), nil, a.Addr(), "no-such-lease"); err != nil {
+		t.Fatalf("kill RPC for unknown lease: %v", err)
+	}
+}

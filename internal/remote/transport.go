@@ -1,0 +1,35 @@
+package remote
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// Transport dials agents. The indirection exists so the chaos suites can
+// wrap the real network in a deterministic fault injector (FaultTransport)
+// without the launcher knowing: every robustness path — refused dials,
+// delayed handshakes, torn streams, duplicated bytes — is exercised
+// through exactly the interface production traffic uses.
+type Transport interface {
+	// Dial opens a connection to an agent. The context bounds connection
+	// establishment only, not the life of the connection.
+	Dial(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// TCP is the production transport: plain TCP with a bounded dial, so an
+// unreachable host costs a timeout, never a hang.
+type TCP struct {
+	// Timeout bounds connection establishment (default 2s).
+	Timeout time.Duration
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(ctx context.Context, addr string) (net.Conn, error) {
+	timeout := t.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	return d.DialContext(ctx, "tcp", addr)
+}

@@ -62,6 +62,7 @@ import (
 	"wcet/internal/mc"
 	"wcet/internal/obs"
 	"wcet/internal/obs/serve"
+	"wcet/internal/remote"
 	"wcet/internal/testgen"
 	"wcet/internal/vcache"
 )
@@ -250,6 +251,33 @@ type LedgerLauncher = ledger.Launcher
 // binary and the hidden -ledger-worker flag.
 func ProcessLauncher(argv ...string) LedgerLauncher {
 	return &ledger.ProcLauncher{Command: argv}
+}
+
+// RemoteLauncher leases distributed workers onto wcet agents on other
+// machines (see StartRemoteAgent) and streams their journals back over
+// TCP, so LedgerConfig.Launcher can span hosts: torn connections are
+// resumed from the last verified frame, a host that stays unreachable
+// through the reconnect budget is marked down and its units re-leased —
+// onto the remaining agents, or onto the Fallback launcher when none are
+// left. Reports stay byte-identical to a local run throughout.
+type RemoteLauncher = remote.Launcher
+
+// RemoteAgent serves leased worker shards to RemoteLauncher coordinators
+// on other machines — the wcet command's hidden -ledger-agent mode.
+type RemoteAgent = remote.Agent
+
+// RemoteAgentConfig configures how a RemoteAgent spawns its workers.
+type RemoteAgentConfig = remote.AgentConfig
+
+// RemoteHost is one agent's fleet state as surfaced on /status — see
+// StatusConfig.Remote and RemoteLauncher.Hosts.
+type RemoteHost = obs.RemoteHost
+
+// StartRemoteAgent binds a remote execution agent on addr and serves
+// until Close. Workers spawn per AgentConfig.Exec; their journals and
+// telemetry stream back to whichever coordinator holds the lease.
+func StartRemoteAgent(addr string, cfg RemoteAgentConfig) (*RemoteAgent, error) {
+	return remote.StartAgent(addr, cfg)
 }
 
 // NewLedgerSpec builds the distributable spec for analysing src under
